@@ -1,0 +1,41 @@
+//! Criterion bench: per-page crawl cost of the three crawler flavours
+//! (wall-clock compute; the virtual network is free here so the benchmark
+//! isolates parsing, JS execution, hashing and model maintenance).
+
+use ajax_crawl::crawler::{CrawlConfig, Crawler};
+use ajax_net::{LatencyModel, Server, Url};
+use ajax_webgen::{video_meta, VidShareServer, VidShareSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_crawl(c: &mut Criterion) {
+    let spec = VidShareSpec::small(50);
+    let multi = (0..50)
+        .find(|&v| video_meta(&spec, v).comment_pages >= 4)
+        .expect("multi-page video");
+    let url = Url::parse(&spec.watch_url(multi));
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+
+    let mut group = c.benchmark_group("crawl_page");
+    for (name, config) in [
+        ("traditional", CrawlConfig::traditional()),
+        ("ajax_hotnode", CrawlConfig::ajax()),
+        ("ajax_no_cache", CrawlConfig::ajax_no_cache()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut crawler = Crawler::new(
+                    Arc::clone(&server) as Arc<dyn Server>,
+                    LatencyModel::Zero,
+                    config.clone(),
+                );
+                black_box(crawler.crawl_page(black_box(&url)).expect("crawl"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench: DOM substrate (parse / serialize / normalize+hash) and
+//! JS substrate (parse / event-handler execution) on a real VidShare page.
+
+use ajax_dom::parse_document;
+use ajax_js::{Interpreter, NoopHook, NullHost};
+use ajax_net::server::{Request, Server};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_dom(c: &mut Criterion) {
+    let server = VidShareServer::new(VidShareSpec::small(50));
+    let html = server.handle(&Request::get("/watch?v=3")).body;
+    let doc = parse_document(&html);
+
+    let mut group = c.benchmark_group("dom");
+    group.throughput(Throughput::Bytes(html.len() as u64));
+    group.bench_function("parse_watch_page", |b| {
+        b.iter(|| black_box(parse_document(black_box(&html))))
+    });
+    group.bench_function("serialize", |b| b.iter(|| black_box(doc.to_html())));
+    group.bench_function("normalize_and_hash", |b| {
+        b.iter(|| black_box(doc.content_hash()))
+    });
+    group.bench_function("clone_snapshot", |b| b.iter(|| black_box(doc.clone())));
+    group.finish();
+}
+
+fn bench_js(c: &mut Criterion) {
+    let src = r#"
+        var total = 0;
+        function inner(x) { return x * 2 + 1; }
+        function run() {
+            for (var i = 0; i < 100; i++) { total += inner(i); }
+            return total;
+        }
+    "#;
+    let mut group = c.benchmark_group("js");
+    group.bench_function("parse_program", |b| {
+        b.iter(|| black_box(ajax_js::parse_program(black_box(src)).unwrap()))
+    });
+    group.bench_function("run_loop_100", |b| {
+        b.iter(|| {
+            let mut interp = Interpreter::new();
+            interp.load_program(src, &mut NullHost, &mut NoopHook).unwrap();
+            black_box(
+                interp
+                    .eval("run()", &mut NullHost, &mut NoopHook)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dom, bench_js);
+criterion_main!(benches);

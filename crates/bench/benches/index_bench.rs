@@ -1,0 +1,63 @@
+//! Criterion bench: index construction from crawled models and tokenizer
+//! throughput (the indexing phase of §6.4).
+
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::partition_urls;
+use ajax_index::invert::IndexBuilder;
+use ajax_index::tokenize::tokenize;
+use ajax_net::{LatencyModel, Server};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_index(c: &mut Criterion) {
+    let spec = VidShareSpec::small(100);
+    let urls: Vec<String> = (0..100).map(|v| spec.watch_url(v)).collect();
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+    let models = MpCrawler::new(
+        server as Arc<dyn Server>,
+        LatencyModel::Zero,
+        CrawlConfig::ajax(),
+    )
+    .crawl(&partition_urls(&urls, 50))
+    .into_models();
+    let text_bytes: usize = models.iter().map(|m| m.text_bytes()).sum();
+
+    let mut group = c.benchmark_group("index");
+    group.throughput(Throughput::Bytes(text_bytes as u64));
+    group.bench_function("build_100_pages", |b| {
+        b.iter(|| {
+            let mut builder = IndexBuilder::new();
+            for m in &models {
+                builder.add_model(m, None);
+            }
+            black_box(builder.build())
+        })
+    });
+    group.bench_function("build_traditional_view", |b| {
+        b.iter(|| {
+            let mut builder = IndexBuilder::new().with_max_states(1);
+            for m in &models {
+                builder.add_model(m, None);
+            }
+            black_box(builder.build())
+        })
+    });
+
+    let sample: String = models
+        .iter()
+        .flat_map(|m| m.states.iter())
+        .map(|s| s.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
+    group.throughput(Throughput::Bytes(sample.len() as u64));
+    group.bench_function("tokenize_corpus", |b| {
+        b.iter(|| black_box(tokenize(black_box(&sample))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: the discrete-event scheduler and the real (threaded)
+//! parallel crawl — the machinery behind Table 7.3 / Fig 7.8.
+
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::partition_urls;
+use ajax_net::sched::{simulate, Segment, Task};
+use ajax_net::{LatencyModel, Server};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sched(c: &mut Criterion) {
+    let tasks: Vec<Task> = (0..1_000)
+        .map(|i| {
+            Task::new(vec![
+                Segment::Cpu(100 + (i % 37) * 13),
+                Segment::Net(900 + (i % 53) * 29),
+                Segment::Cpu(50),
+            ])
+        })
+        .collect();
+    let mut group = c.benchmark_group("sched");
+    for lines in [1usize, 4, 16] {
+        group.bench_function(format!("simulate_1000x{lines}"), |b| {
+            b.iter(|| black_box(simulate(black_box(&tasks), lines, 2)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mp_crawl(c: &mut Criterion) {
+    let spec = VidShareSpec::small(16);
+    let urls: Vec<String> = (0..16).map(|v| spec.watch_url(v)).collect();
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+    let partitions = partition_urls(&urls, 4);
+
+    let mut group = c.benchmark_group("mp_crawl_16_pages");
+    group.sample_size(10);
+    for lines in [1usize, 4] {
+        group.bench_function(format!("{lines}_lines"), |b| {
+            b.iter(|| {
+                let mp = MpCrawler::new(
+                    Arc::clone(&server) as Arc<dyn Server>,
+                    LatencyModel::Zero,
+                    CrawlConfig::ajax(),
+                )
+                .with_proc_lines(lines);
+                black_box(mp.crawl(black_box(&partitions)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sched, bench_mp_crawl);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: query latency on a 200-page index — single keyword,
+//! conjunction, and sharded (broker) evaluation. Backs Table 7.5 / Fig 7.9.
+
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::partition_urls;
+use ajax_index::invert::{IndexBuilder, InvertedIndex};
+use ajax_index::query::{search, Query, RankWeights};
+use ajax_index::shard::QueryBroker;
+use ajax_net::{LatencyModel, Server};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn build_corpus(n: u32) -> (InvertedIndex, QueryBroker) {
+    let spec = VidShareSpec::small(n);
+    let urls: Vec<String> = (0..n).map(|v| spec.watch_url(v)).collect();
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+    let models = MpCrawler::new(
+        server as Arc<dyn Server>,
+        LatencyModel::Zero,
+        CrawlConfig::ajax(),
+    )
+    .crawl(&partition_urls(&urls, 50))
+    .into_models();
+
+    let mut single = IndexBuilder::new();
+    for m in &models {
+        single.add_model(m, None);
+    }
+    let shards: Vec<InvertedIndex> = models
+        .chunks(50)
+        .map(|chunk| {
+            let mut b = IndexBuilder::new();
+            for m in chunk {
+                b.add_model(m, None);
+            }
+            b.build()
+        })
+        .collect();
+    (single.build(), QueryBroker::new(shards))
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (index, broker) = build_corpus(200);
+    let weights = RankWeights::default();
+    let mut group = c.benchmark_group("query");
+
+    for (name, text) in [
+        ("keyword_hot", "wow"),
+        ("keyword_cold", "whistle"),
+        ("conjunction_2", "our song"),
+        ("conjunction_3", "sexy can i"),
+    ] {
+        let q = Query::parse(text);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(search(&index, black_box(&q), &weights)))
+        });
+    }
+
+    let q = Query::parse("wow");
+    group.bench_function("broker_keyword_hot", |b| {
+        b.iter(|| black_box(broker.search(black_box(&q))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablation: hot-node count vs caching benefit.
+//!
+//! The thesis conjectures (§7.3) that applications with more than one hot
+//! node benefit even more from the caching policy. We compare the
+//! network-call reduction factor on VidShare (1 hot node, linear comment
+//! chain) and NewsShare (2 hot nodes, product-shaped state space).
+
+use ajax_bench::util::{latency, TableFmt};
+use ajax_crawl::crawler::{CrawlConfig, Crawler, PageStats};
+use ajax_net::{Server, Url};
+use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+struct SiteRow {
+    site: String,
+    hot_nodes: u64,
+    pages: u32,
+    uncached_calls: u64,
+    cached_calls: u64,
+    reduction: f64,
+    net_time_factor: f64,
+}
+
+fn crawl_site(
+    server: Arc<dyn Server>,
+    urls: &[String],
+    config: CrawlConfig,
+) -> PageStats {
+    let mut crawler = Crawler::new(server, latency(), config);
+    let mut total = PageStats::default();
+    for url in urls {
+        total.merge(&crawler.crawl_page(&Url::parse(url)).expect("crawl").stats);
+    }
+    total
+}
+
+fn measure(site: &str, server: Arc<dyn Server>, urls: &[String], max_states: usize) -> SiteRow {
+    let base = CrawlConfig::ajax().with_max_states(max_states);
+    let cached = crawl_site(
+        Arc::clone(&server),
+        urls,
+        base.clone(),
+    );
+    let uncached = crawl_site(
+        server,
+        urls,
+        CrawlConfig {
+            hot_node_policy: false,
+            ..base
+        },
+    );
+    assert_eq!(cached.states, uncached.states, "cache must be transparent");
+    SiteRow {
+        site: site.to_string(),
+        hot_nodes: cached.hot_nodes,
+        pages: urls.len() as u32,
+        uncached_calls: uncached.ajax_network_calls,
+        cached_calls: cached.ajax_network_calls,
+        reduction: uncached.ajax_network_calls as f64 / cached.ajax_network_calls.max(1) as f64,
+        net_time_factor: uncached.network_micros as f64 / cached.network_micros.max(1) as f64,
+    }
+}
+
+fn main() {
+    let n = 60u32;
+
+    let vid_spec = VidShareSpec::small(n);
+    let vid_urls: Vec<String> = (0..n).map(|v| vid_spec.watch_url(v)).collect();
+    let vid = measure(
+        "VidShare (comments)",
+        Arc::new(VidShareServer::new(vid_spec)),
+        &vid_urls,
+        11,
+    );
+
+    let news_spec = NewsSpec::small(n);
+    let news_urls: Vec<String> = (0..n).map(|p| news_spec.page_url(p)).collect();
+    let news = measure(
+        "NewsShare (tabs+stories)",
+        Arc::new(NewsShareServer::new(news_spec)),
+        &news_urls,
+        20,
+    );
+
+    let mut t = TableFmt::new(vec![
+        "site",
+        "hot nodes",
+        "pages",
+        "calls (no cache)",
+        "calls (cached)",
+        "reduction",
+        "net-time factor",
+    ]);
+    for row in [&vid, &news] {
+        t.row(vec![
+            row.site.clone(),
+            row.hot_nodes.to_string(),
+            row.pages.to_string(),
+            row.uncached_calls.to_string(),
+            row.cached_calls.to_string(),
+            format!("x{:.2}", row.reduction),
+            format!("x{:.2}", row.net_time_factor),
+        ]);
+    }
+    println!("Ablation — caching benefit vs number of hot nodes (§7.3 conjecture)\n{}", t.render());
+    println!(
+        "conjecture {}: multi-hot-node site reduction x{:.2} vs single x{:.2}",
+        if news.reduction >= vid.reduction { "SUPPORTED" } else { "NOT SUPPORTED" },
+        news.reduction,
+        vid.reduction
+    );
+    ajax_bench::util::write_json("ablation_hotnodes", &vec![vid, news]);
+}

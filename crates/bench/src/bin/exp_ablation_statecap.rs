@@ -1,0 +1,56 @@
+//! Ablation: the additional-states cap (`SACR_NUM_OF_ADDITIONAL_STATES`) —
+//! crawl cost and coverage as the cap sweeps 1..11. Complements the
+//! threshold discussion of §7.6.
+
+use ajax_bench::util::{latency, TableFmt};
+use ajax_crawl::crawler::{CrawlConfig, Crawler, PageStats};
+use ajax_net::{Server, Url};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    cap: usize,
+    states: u64,
+    network_calls: u64,
+    crawl_s: f64,
+}
+
+fn main() {
+    let n = 80u32;
+    let spec = VidShareSpec::small(n);
+    let urls: Vec<String> = (0..n).map(|v| spec.watch_url(v)).collect();
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+
+    let mut rows = Vec::new();
+    for cap in [1usize, 2, 3, 4, 5, 7, 9, 11] {
+        let mut crawler = Crawler::new(
+            Arc::clone(&server) as Arc<dyn Server>,
+            latency(),
+            CrawlConfig::ajax().with_max_states(cap),
+        );
+        let mut total = PageStats::default();
+        for url in &urls {
+            total.merge(&crawler.crawl_page(&Url::parse(url)).expect("crawl").stats);
+        }
+        rows.push(Row {
+            cap,
+            states: total.states,
+            network_calls: total.ajax_network_calls,
+            crawl_s: total.crawl_micros as f64 / 1e6,
+        });
+    }
+
+    let mut t = TableFmt::new(vec!["state cap", "states", "network calls", "crawl (s)"]);
+    for r in &rows {
+        t.row(vec![
+            r.cap.to_string(),
+            r.states.to_string(),
+            r.network_calls.to_string(),
+            format!("{:.1}", r.crawl_s),
+        ]);
+    }
+    println!("Ablation — state cap sweep (crawl cost side of the §7.6 threshold)\n{}", t.render());
+    ajax_bench::util::write_json("ablation_statecap", &rows);
+}

@@ -1,0 +1,91 @@
+//! Runs every ch. 7 experiment (sharing the expensive crawls) and prints all
+//! tables/figures. `AJAX_CRAWL_SCALE=paper` for thesis scale.
+use ajax_bench::exp::{caching, crawl_perf, dataset, parallel, queries, threshold};
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("=== AJAX Crawl evaluation — scale '{}' ===\n", scale.name);
+
+    // §7.1/§7.2: one pair of serial crawls powers five experiments.
+    let perf = crawl_perf::collect(&scale);
+    let t71 = dataset::table7_1(&perf);
+    println!("{}", t71.render());
+    util::write_json("table7_1", &t71);
+
+    let f71 = dataset::fig7_1(&scale);
+    println!("{}", f71.render());
+    util::write_json("fig7_1", &f71);
+
+    let f72 = dataset::fig7_2(&scale, &perf);
+    println!("{}", f72.render());
+    util::write_json("fig7_2", &f72);
+
+    let t72 = crawl_perf::table7_2(&perf);
+    println!("{}", t72.render());
+    util::write_json("table7_2", &t72);
+
+    let f73 = crawl_perf::fig7_3(&perf);
+    println!("{}", f73.render());
+    util::write_json("fig7_3", &f73);
+
+    let f74 = crawl_perf::fig7_4(&perf);
+    println!("{}", f74.render());
+    util::write_json("fig7_4", &f74);
+
+    // §7.3: caching.
+    let cache = caching::collect(&scale);
+    let f75 = caching::fig7_5(&cache);
+    println!("{}", f75.render("Fig 7.5", "caching reduces calls ~5x"));
+    util::write_json("fig7_5", &f75);
+    let f76 = caching::fig7_6(&cache);
+    println!("{}", f76.render("Fig 7.6", "network time reduced to ~0.37x"));
+    util::write_json("fig7_6", &f76);
+    let f77 = caching::fig7_7(&cache);
+    println!("{}", f77.render("Fig 7.7", "throughput improves ~1.6x"));
+    util::write_json("fig7_7", &f77);
+
+    // §7.4: parallelization.
+    let par = parallel::collect(&scale);
+    println!("{}", par.render_table7_3());
+    println!("{}", par.render_fig7_8());
+    util::write_json("table7_3", &par);
+    util::write_json("fig7_8", &par);
+
+    // §7.5: queries.
+    let t74 = queries::table7_4(&scale);
+    println!("{}", t74.render());
+    util::write_json("table7_4", &t74);
+
+    let qdata = queries::collect(&scale);
+    let timings = queries::table7_5(&qdata);
+    println!("{}", timings.render_table7_5());
+    println!("{}", timings.render_fig7_9());
+    util::write_json("table7_5", &timings);
+    util::write_json("fig7_9", &timings);
+
+    // §7.6/§7.7: thresholds and recall.
+    let th = threshold::collect(&qdata);
+    println!("{}", th.render_fig7_10());
+    println!("{}", th.render_fig7_11());
+    util::write_json("fig7_10", &th);
+    util::write_json("fig7_11", &th);
+
+    println!("=== summary ===");
+    println!("{}", crawl_perf::summary(&perf));
+    println!(
+        "caching: calls x{:.2} fewer, net time x{:.2} less, throughput x{:.2} more",
+        caching::fig7_5(&cache).final_factor(),
+        caching::fig7_6(&cache).final_factor(),
+        1.0 / caching::fig7_7(&cache).final_factor().max(1e-9),
+    );
+    println!(
+        "parallel ({} lines): AJAX speedup x{:.2}",
+        par.proc_lines,
+        par.ajax.serial_micros as f64 / par.ajax.parallel_micros as f64
+    );
+    println!(
+        "recall gain at 11 states: {:.3}",
+        th.samples.last().map(|s| s.one_minus_rel_recall).unwrap_or(0.0)
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig 7.1 (distribution of videos by comment-page count).
+use ajax_bench::exp::dataset;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let fig = dataset::fig7_1(&scale);
+    println!("{}", fig.render());
+    util::write_json("fig7_1", &fig);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 7.11 (1 − RelRecall vs number of crawled states).
+use ajax_bench::exp::{queries, threshold};
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = queries::collect(&scale);
+    let t = threshold::collect(&data);
+    println!("{}", t.render_fig7_11());
+    util::write_json("fig7_11", &t);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig 7.2 (states and events vs number of crawled videos).
+use ajax_bench::exp::{crawl_perf, dataset};
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let mut scale = Scale::from_env();
+    // Fig 7.2 only needs the largest growth subset.
+    scale.crawl_pages = scale.growth_subsets.iter().copied().max().unwrap_or(500);
+    let data = crawl_perf::collect(&scale);
+    let fig = dataset::fig7_2(&scale, &data);
+    println!("{}", fig.render());
+    util::write_json("fig7_2", &fig);
+}

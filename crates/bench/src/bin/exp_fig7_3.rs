@@ -1,0 +1,11 @@
+//! Regenerates Fig 7.3 (distribution of per-page crawling times).
+use ajax_bench::exp::crawl_perf;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = crawl_perf::collect(&scale);
+    let fig = crawl_perf::fig7_3(&data);
+    println!("{}", fig.render());
+    util::write_json("fig7_3", &fig);
+}

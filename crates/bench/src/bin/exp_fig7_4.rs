@@ -1,0 +1,12 @@
+//! Regenerates Fig 7.4 (crawl time vs number of states, ± network time).
+use ajax_bench::exp::crawl_perf;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = crawl_perf::collect(&scale);
+    let fig = crawl_perf::fig7_4(&data);
+    println!("{}", fig.render());
+    println!("linearity (Pearson r): {:.4}", fig.correlation());
+    util::write_json("fig7_4", &fig);
+}

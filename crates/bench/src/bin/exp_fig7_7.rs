@@ -1,0 +1,11 @@
+//! Regenerates Fig 7.7 (state throughput with and without the policy).
+use ajax_bench::exp::caching;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = caching::collect(&scale);
+    let fig = caching::fig7_7(&data);
+    println!("{}", fig.render("Fig 7.7", "throughput improves ~1.6x"));
+    util::write_json("fig7_7", &fig);
+}

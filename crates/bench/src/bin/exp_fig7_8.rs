@@ -1,0 +1,10 @@
+//! Regenerates Fig 7.8 (parallel vs non-parallel mean crawl time per video).
+use ajax_bench::exp::parallel;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = parallel::collect(&scale);
+    println!("{}", data.render_fig7_8());
+    util::write_json("fig7_8", &data);
+}

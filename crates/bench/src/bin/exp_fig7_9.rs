@@ -1,0 +1,11 @@
+//! Regenerates Fig 7.9 (query throughput, traditional vs AJAX).
+use ajax_bench::exp::queries;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = queries::collect(&scale);
+    let timings = queries::table7_5(&data);
+    println!("{}", timings.render_fig7_9());
+    util::write_json("fig7_9", &timings);
+}

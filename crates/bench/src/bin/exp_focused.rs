@@ -1,0 +1,93 @@
+//! Focused crawling (§7.2.2, ch. 10): crawl a topic slice of the site and
+//! compare cost + on-topic recall against the full AJAX crawl.
+
+use ajax_bench::util::{latency, TableFmt};
+use ajax_crawl::crawler::{CrawlConfig, Crawler, PageStats};
+use ajax_crawl::model::AppModel;
+use ajax_index::invert::IndexBuilder;
+use ajax_index::query::{search, Query, RankWeights};
+use ajax_net::{Server, Url};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    config: String,
+    states: u64,
+    network_calls: u64,
+    crawl_s: f64,
+    on_topic_results: usize,
+    off_topic_results: usize,
+}
+
+fn run(server: &Arc<VidShareServer>, n: u32, config: CrawlConfig, name: &str) -> Row {
+    let mut crawler = Crawler::new(
+        Arc::clone(server) as Arc<dyn Server>,
+        latency(),
+        config,
+    );
+    let mut stats = PageStats::default();
+    let mut models: Vec<AppModel> = Vec::new();
+    for v in 0..n {
+        let url = Url::parse(&format!("http://vidshare.example/watch?v={v}"));
+        let crawl = crawler.crawl_page(&url).expect("crawl");
+        stats.merge(&crawl.stats);
+        models.push(crawl.model);
+    }
+    let mut b = IndexBuilder::new();
+    for m in &models {
+        b.add_model(m, None);
+    }
+    let index = b.build();
+    let w = RankWeights::default();
+    // On-topic: the focus keyword itself. Off-topic control: a generic term.
+    let on = search(&index, &Query::parse("dance"), &w).len();
+    let off = search(&index, &Query::parse("funny"), &w).len();
+    Row {
+        config: name.to_string(),
+        states: stats.states,
+        network_calls: stats.ajax_network_calls,
+        crawl_s: stats.crawl_micros as f64 / 1e6,
+        on_topic_results: on,
+        off_topic_results: off,
+    }
+}
+
+fn main() {
+    let n = 100u32;
+    let server = Arc::new(VidShareServer::new(VidShareSpec::small(n)));
+    let full = run(&server, n, CrawlConfig::ajax(), "full AJAX crawl");
+    let focused = run(
+        &server,
+        n,
+        CrawlConfig::ajax().focused_on(["dance"]),
+        "focused on 'dance'",
+    );
+
+    let mut t = TableFmt::new(vec![
+        "config",
+        "states",
+        "network calls",
+        "crawl (s)",
+        "'dance' results",
+        "'funny' results",
+    ]);
+    for r in [&full, &focused] {
+        t.row(vec![
+            r.config.clone(),
+            r.states.to_string(),
+            r.network_calls.to_string(),
+            format!("{:.1}", r.crawl_s),
+            r.on_topic_results.to_string(),
+            r.off_topic_results.to_string(),
+        ]);
+    }
+    println!("Focused crawling — cost vs on-topic recall (§7.2.2 / ch. 10)\n{}", t.render());
+    println!(
+        "focused crawl keeps {:.0}% of on-topic results at {:.0}% of the network cost",
+        focused.on_topic_results as f64 / full.on_topic_results.max(1) as f64 * 100.0,
+        focused.network_calls as f64 / full.network_calls.max(1) as f64 * 100.0,
+    );
+    ajax_bench::util::write_json("focused", &vec![full, focused]);
+}

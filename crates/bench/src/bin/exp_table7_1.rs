@@ -1,0 +1,11 @@
+//! Regenerates Table 7.1 (dataset statistics of the crawled corpus).
+use ajax_bench::exp::{crawl_perf, dataset};
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = crawl_perf::collect(&scale);
+    let table = dataset::table7_1(&data);
+    println!("{}", table.render());
+    util::write_json("table7_1", &table);
+}

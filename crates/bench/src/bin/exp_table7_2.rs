@@ -1,0 +1,11 @@
+//! Regenerates Table 7.2 (crawling times and overhead of AJAX crawling).
+use ajax_bench::exp::crawl_perf;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = crawl_perf::collect(&scale);
+    let table = crawl_perf::table7_2(&data);
+    println!("{}", table.render());
+    util::write_json("table7_2", &table);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 7.3 (parallel crawling times).
+use ajax_bench::exp::parallel;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = parallel::collect(&scale);
+    println!("{}", data.render_table7_3());
+    util::write_json("table7_3", &data);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 7.4 (sample queries and occurrence counts).
+use ajax_bench::exp::queries;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = queries::table7_4(&scale);
+    println!("{}", table.render());
+    util::write_json("table7_4", &table);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 7.5 (query processing times on both indexes).
+use ajax_bench::exp::queries;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = queries::collect(&scale);
+    let timings = queries::table7_5(&data);
+    println!("{}", timings.render_table7_5());
+    util::write_json("table7_5", &timings);
+}

@@ -1,0 +1,8 @@
+//! One module per evaluation experiment (thesis ch. 7).
+
+pub mod caching;
+pub mod crawl_perf;
+pub mod dataset;
+pub mod parallel;
+pub mod queries;
+pub mod threshold;

@@ -1,0 +1,175 @@
+//! Static page analysis: the JavaScript invocation graph of a fetched page
+//! (thesis §4.1), assembled from all its `<script>` blocks, together with
+//! the page's event bindings — everything Tables 4.1–4.3 tabulate, derived
+//! before any event is fired.
+
+use ajax_dom::events::{collect_event_bindings, EventBinding};
+use ajax_dom::{parse_document, EventType};
+use ajax_js::callgraph::InvocationGraph;
+use ajax_js::parse_program;
+
+/// Result of statically analyzing a page.
+#[derive(Debug, Clone)]
+pub struct PageAnalysis {
+    /// The merged invocation graph of all scripts.
+    pub graph: InvocationGraph,
+    /// All event bindings in the initial DOM.
+    pub bindings: Vec<EventBinding>,
+    /// Scripts that failed to parse (analysis is best-effort).
+    pub script_errors: usize,
+}
+
+impl PageAnalysis {
+    /// True when `binding` can cause server traffic (its handler calls,
+    /// directly or transitively, a hot node).
+    pub fn binding_reaches_network(&self, binding: &EventBinding) -> bool {
+        let Ok(program) = parse_program(&binding.code) else {
+            return false;
+        };
+        let snippet = InvocationGraph::from_program(&program);
+        let reaching = self.graph.reaches_network();
+        snippet
+            .top_level_calls
+            .iter()
+            .any(|call| reaching.contains(call.as_str()))
+    }
+
+    /// The bindings that can cause server traffic — the events a
+    /// network-conscious crawler would prioritize.
+    pub fn network_bindings(&self) -> Vec<&EventBinding> {
+        self.bindings
+            .iter()
+            .filter(|b| self.binding_reaches_network(b))
+            .collect()
+    }
+}
+
+/// Analyzes a page's HTML statically.
+pub fn analyze_page(html: &str) -> PageAnalysis {
+    let doc = parse_document(html);
+    let mut graph = InvocationGraph::default();
+    let mut script_errors = 0;
+    for src in doc.script_sources() {
+        match InvocationGraph::from_source(&src) {
+            Ok(g) => graph.merge(g),
+            Err(_) => script_errors += 1,
+        }
+    }
+    let bindings = collect_event_bindings(&doc, EventType::all());
+    PageAnalysis {
+        graph,
+        bindings,
+        script_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_net::server::{Request, Server};
+    use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+
+    #[test]
+    fn vidshare_static_analysis_matches_thesis_structure() {
+        let server = VidShareServer::new(VidShareSpec::small(20));
+        let spec = VidShareSpec::small(20);
+        let video = (0..20)
+            .find(|&v| ajax_webgen::video_meta(&spec, v).comment_pages >= 3)
+            .unwrap();
+        let html = server
+            .handle(&Request::get(format!("/watch?v={video}").as_str()))
+            .body;
+        let analysis = analyze_page(&html);
+
+        assert_eq!(analysis.script_errors, 0);
+        // One hot node, like YouTube (Table 4.2's function A).
+        assert_eq!(
+            analysis.graph.hot_nodes(),
+            vec!["getUrlXMLResponseAndFillDiv"]
+        );
+        // gotoPage/nextPage/prevPage reach it; trackers and loaders do not.
+        let reach = analysis.graph.reaches_network();
+        for f in ["gotoPage", "nextPage", "prevPage"] {
+            assert!(reach.contains(f), "{f} must reach the network");
+        }
+        for f in ["urchinTracker", "showLoading", "initPage", "highlightTitle"] {
+            assert!(!reach.contains(f), "{f} must not reach the network");
+        }
+
+        // Event classification: nav clicks are network events, the title
+        // mouseover is not.
+        let network: Vec<&str> = analysis
+            .network_bindings()
+            .iter()
+            .map(|b| b.code.as_str())
+            .collect();
+        assert!(network.iter().all(|c| c.contains("Page")));
+        assert!(network.len() >= 3, "next/prev/jumps: {network:?}");
+        let mouseover = analysis
+            .bindings
+            .iter()
+            .find(|b| b.event_type == ajax_dom::EventType::MouseOver)
+            .expect("title hover binding");
+        assert!(!analysis.binding_reaches_network(mouseover));
+    }
+
+    #[test]
+    fn newsshare_has_two_hot_nodes() {
+        let server = NewsShareServer::new(NewsSpec::small(10));
+        let html = server.handle(&Request::get("/news?p=1")).body;
+        let analysis = analyze_page(&html);
+        assert_eq!(
+            analysis.graph.hot_nodes(),
+            vec!["fetchSection", "fetchStories"]
+        );
+        let reach = analysis.graph.reaches_network();
+        assert!(reach.contains("loadSection"));
+        assert!(reach.contains("moreStories"));
+        assert!(!reach.contains("initNews"));
+    }
+
+    #[test]
+    fn static_analysis_agrees_with_runtime_detection() {
+        // The runtime hot-node registry (stack inspection during a crawl)
+        // must be a subset of the statically reachable hot-node set, keyed
+        // by the innermost frame at send() time.
+        use crate::crawler::{CrawlConfig, Crawler};
+        use ajax_net::{LatencyModel, Url};
+        use std::sync::Arc;
+
+        let spec = NewsSpec::small(10);
+        let url = Url::parse(&spec.page_url(1));
+        let server = Arc::new(NewsShareServer::new(spec));
+        let html = server.handle(&Request::get("/news?p=1")).body;
+        let static_hot: std::collections::BTreeSet<String> = analyze_page(&html)
+            .graph
+            .hot_nodes()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+
+        let mut crawler = Crawler::new(
+            server as Arc<dyn ajax_net::Server>,
+            LatencyModel::Zero,
+            CrawlConfig::ajax().with_max_states(20),
+        );
+        let crawl = crawler.crawl_page(&url).unwrap();
+        assert_eq!(crawl.stats.hot_nodes as usize, static_hot.len());
+    }
+
+    #[test]
+    fn malformed_scripts_counted_not_fatal() {
+        let analysis = analyze_page(
+            "<script>function broken( {</script><script>function ok() { x.send(0); }</script>",
+        );
+        assert_eq!(analysis.script_errors, 1);
+        assert_eq!(analysis.graph.hot_nodes(), vec!["ok"]);
+    }
+
+    #[test]
+    fn page_without_scripts() {
+        let analysis = analyze_page("<p>plain old web</p>");
+        assert!(analysis.graph.hot_nodes().is_empty());
+        assert!(analysis.bindings.is_empty());
+    }
+}

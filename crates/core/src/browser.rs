@@ -1,0 +1,504 @@
+//! The embedded "browser": one loaded page = an `ajax-dom` document plus an
+//! `ajax-js` interpreter, wired together by a page host that provides the
+//! `document` API and an `XMLHttpRequest` whose `send()` is the hot-node
+//! interception point of thesis §4.4.
+
+use crate::crawler::CpuCostModel;
+use crate::hotnode::HotNodeCache;
+use ajax_dom::hash::FnvHashMap;
+use ajax_dom::{parse_document, Document, NodeId};
+use ajax_js::{
+    DebugHook, GlobalsSnapshot, Host, HostCtx, Interpreter, JsError, NoopHook, ObjId, Value,
+};
+use ajax_net::sched::Segment;
+use ajax_net::{Micros, NetClient, Url};
+use std::collections::HashSet;
+
+/// Everything an event invocation may touch besides the page itself:
+/// network, hot-node cache, cost model, and the CPU/network trace being
+/// recorded for the parallel scheduler.
+pub struct CrawlEnv<'a> {
+    pub net: &'a mut NetClient,
+    pub cache: &'a mut HotNodeCache,
+    /// Whether the hot-node policy is active (Alg. 4.2.1 vs Alg. 3.1.1).
+    pub caching_enabled: bool,
+    pub costs: &'a CpuCostModel,
+    /// Alternating CPU/network segments of the page crawl.
+    pub trace: &'a mut Vec<Segment>,
+    /// CPU time accrued since the last network segment.
+    cpu_pending: Micros,
+}
+
+impl<'a> CrawlEnv<'a> {
+    /// Creates an environment around a client, cache and trace buffer.
+    pub fn new(
+        net: &'a mut NetClient,
+        cache: &'a mut HotNodeCache,
+        caching_enabled: bool,
+        costs: &'a CpuCostModel,
+        trace: &'a mut Vec<Segment>,
+    ) -> Self {
+        Self {
+            net,
+            cache,
+            caching_enabled,
+            costs,
+            trace,
+            cpu_pending: 0,
+        }
+    }
+
+    /// Charges CPU microseconds (virtual) to the clock and the trace.
+    pub fn charge_cpu(&mut self, micros: Micros) {
+        self.net.charge_cpu(micros);
+        self.cpu_pending += micros;
+    }
+
+    /// Fetches over the network, recording the segment boundary.
+    pub fn fetch(&mut self, url: &Url) -> (ajax_net::Response, Micros) {
+        if self.cpu_pending > 0 {
+            self.trace.push(Segment::Cpu(self.cpu_pending));
+            self.cpu_pending = 0;
+        }
+        let (resp, cost) = self.net.fetch_timed(url);
+        self.trace.push(Segment::Net(cost));
+        (resp, cost)
+    }
+
+    /// Flushes any pending CPU time into the trace (call at page end).
+    pub fn flush_trace(&mut self) {
+        if self.cpu_pending > 0 {
+            self.trace.push(Segment::Cpu(self.cpu_pending));
+            self.cpu_pending = 0;
+        }
+    }
+}
+
+/// Per-event accounting, reported by [`Browser::fire_event`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventOutcome {
+    /// JS error raised by the handler, if any (the crawl continues).
+    pub js_error: Option<JsError>,
+    /// Interpreter steps the handler burned.
+    pub js_steps: u64,
+    /// AJAX calls that reached the network during this event.
+    pub network_calls: u32,
+    /// AJAX calls served from the hot-node cache during this event.
+    pub cache_hits: u32,
+}
+
+impl EventOutcome {
+    /// True when the event attempted at least one AJAX call.
+    pub fn attempted_ajax(&self) -> bool {
+        self.network_calls + self.cache_hits > 0
+    }
+}
+
+/// Host objects live for the duration of one event invocation.
+enum HostObj {
+    Document,
+    Element(NodeId),
+    Xhr {
+        url: Option<Url>,
+        status: u16,
+        response: String,
+    },
+}
+
+/// The `ajax_js::Host` implementation giving page scripts their `document`
+/// and `XMLHttpRequest`. Its `send()` implements Step 3 of the heuristic
+/// policy (§4.2): intercept, look up the hot-node cache by the topmost stack
+/// frame's `(function, args)`, and only go to the network on a miss.
+struct PageHost<'a, 'b> {
+    doc: &'a mut Document,
+    base_url: &'a Url,
+    env: &'a mut CrawlEnv<'b>,
+    objects: FnvHashMap<u32, HostObj>,
+    next_obj: u32,
+    outcome: &'a mut EventOutcome,
+}
+
+const DOC_OBJ: u32 = 0;
+
+impl<'a, 'b> PageHost<'a, 'b> {
+    fn new(
+        doc: &'a mut Document,
+        base_url: &'a Url,
+        env: &'a mut CrawlEnv<'b>,
+        outcome: &'a mut EventOutcome,
+    ) -> Self {
+        let mut objects = FnvHashMap::default();
+        objects.insert(DOC_OBJ, HostObj::Document);
+        Self {
+            doc,
+            base_url,
+            env,
+            objects,
+            next_obj: 1,
+            outcome,
+        }
+    }
+
+    fn alloc(&mut self, obj: HostObj) -> ObjId {
+        let id = self.next_obj;
+        self.next_obj += 1;
+        self.objects.insert(id, obj);
+        ObjId(id)
+    }
+
+    fn xhr_send(&mut self, obj: u32, ctx: &HostCtx<'_>) -> Result<Value, JsError> {
+        let url = match self.objects.get(&obj) {
+            Some(HostObj::Xhr { url: Some(url), .. }) => url.clone(),
+            Some(HostObj::Xhr { url: None, .. }) => {
+                return Err(JsError::host("XMLHttpRequest.send() before open()"))
+            }
+            _ => return Err(JsError::type_error("send() on a non-XHR object")),
+        };
+
+        // StackInfo: the topmost user function is the hot node; its rendered
+        // actual arguments complete the cache key (thesis §4.4.1).
+        let (function, key) = match ctx.top_frame() {
+            Some(frame) => (frame.function.clone(), frame.key()),
+            None => ("<inline>".to_string(), format!("<inline>({url})")),
+        };
+
+        let (status, body) = if self.env.caching_enabled {
+            if let Some(cached) = self.env.cache.lookup(&key) {
+                self.outcome.cache_hits += 1;
+                (200, cached)
+            } else {
+                let (resp, _cost) = self.env.fetch(&url);
+                self.outcome.network_calls += 1;
+                if resp.is_ok() {
+                    self.env
+                        .cache
+                        .insert(&function, key, url.to_string(), resp.body.clone());
+                } else {
+                    // Errors are not cached (a retry may succeed), but the
+                    // attempt is still a network call.
+                    self.env.cache.record_uncached_call();
+                }
+                (resp.status, resp.body)
+            }
+        } else {
+            let (resp, _cost) = self.env.fetch(&url);
+            self.outcome.network_calls += 1;
+            self.env.cache.record_uncached_call();
+            (resp.status, resp.body)
+        };
+
+        if let Some(HostObj::Xhr {
+            status: s,
+            response,
+            ..
+        }) = self.objects.get_mut(&obj)
+        {
+            *s = status;
+            *response = body;
+        }
+        Ok(Value::Undefined)
+    }
+}
+
+impl Host for PageHost<'_, '_> {
+    fn get_global(&mut self, name: &str) -> Option<Value> {
+        (name == "document").then_some(Value::Object(ObjId(DOC_OBJ)))
+    }
+
+    fn construct(
+        &mut self,
+        class: &str,
+        _args: &[Value],
+        _ctx: &HostCtx<'_>,
+    ) -> Result<Value, JsError> {
+        match class {
+            "XMLHttpRequest" => Ok(Value::Object(self.alloc(HostObj::Xhr {
+                url: None,
+                status: 0,
+                response: String::new(),
+            }))),
+            other => Err(JsError::reference(format!("{other} is not a constructor"))),
+        }
+    }
+
+    fn call_method(
+        &mut self,
+        obj: ObjId,
+        method: &str,
+        args: &[Value],
+        ctx: &HostCtx<'_>,
+    ) -> Result<Value, JsError> {
+        match self.objects.get(&obj.0) {
+            Some(HostObj::Document) => match method {
+                "getElementById" => {
+                    let id = args
+                        .first()
+                        .map(Value::to_string_value)
+                        .unwrap_or_default();
+                    match self.doc.get_element_by_id(&id) {
+                        Some(node) => Ok(Value::Object(self.alloc(HostObj::Element(node)))),
+                        None => Ok(Value::Null),
+                    }
+                }
+                other => Err(JsError::type_error(format!("document.{other} is not a function"))),
+            },
+            Some(HostObj::Xhr { .. }) => match method {
+                "open" => {
+                    let url_arg = args
+                        .get(1)
+                        .map(Value::to_string_value)
+                        .ok_or_else(|| JsError::host("open() needs a URL"))?;
+                    let resolved = self.base_url.resolve(&url_arg);
+                    if let Some(HostObj::Xhr { url, .. }) = self.objects.get_mut(&obj.0) {
+                        *url = Some(resolved);
+                    }
+                    Ok(Value::Undefined)
+                }
+                "send" => self.xhr_send(obj.0, ctx),
+                "setRequestHeader" | "abort" => Ok(Value::Undefined),
+                other => Err(JsError::type_error(format!("xhr.{other} is not a function"))),
+            },
+            Some(HostObj::Element(_)) => match method {
+                "getAttribute" => {
+                    let Some(HostObj::Element(node)) = self.objects.get(&obj.0) else {
+                        unreachable!("matched element above")
+                    };
+                    let name = args
+                        .first()
+                        .map(Value::to_string_value)
+                        .unwrap_or_default();
+                    Ok(self
+                        .doc
+                        .attr(*node, &name)
+                        .map(Value::str)
+                        .unwrap_or(Value::Null))
+                }
+                other => Err(JsError::type_error(format!("element.{other} is not a function"))),
+            },
+            None => Err(JsError::type_error("method call on a stale object")),
+        }
+    }
+
+    fn get_property(&mut self, obj: ObjId, prop: &str) -> Result<Value, JsError> {
+        match self.objects.get(&obj.0) {
+            Some(HostObj::Xhr {
+                status, response, ..
+            }) => Ok(match prop {
+                "responseText" => Value::str(response.clone()),
+                "status" => Value::Num(f64::from(*status)),
+                "readyState" => Value::Num(4.0),
+                _ => Value::Undefined,
+            }),
+            Some(HostObj::Element(node)) => Ok(match prop {
+                "innerHTML" => Value::str(self.doc.inner_html(*node)),
+                "id" => self
+                    .doc
+                    .attr(*node, "id")
+                    .map(Value::str)
+                    .unwrap_or(Value::Undefined),
+                "tagName" => self
+                    .doc
+                    .tag_name(*node)
+                    .map(|t| Value::str(t.to_uppercase()))
+                    .unwrap_or(Value::Undefined),
+                _ => Value::Undefined,
+            }),
+            Some(HostObj::Document) => Ok(Value::Undefined),
+            None => Err(JsError::type_error("property read on a stale object")),
+        }
+    }
+
+    fn set_property(
+        &mut self,
+        obj: ObjId,
+        prop: &str,
+        value: Value,
+        _ctx: &HostCtx<'_>,
+    ) -> Result<(), JsError> {
+        match (self.objects.get(&obj.0), prop) {
+            (Some(HostObj::Element(node)), "innerHTML") => {
+                let node = *node;
+                let html = value.to_string_value();
+                // Re-parsing the fragment is CPU work (incremental model
+                // maintenance is the thesis' main non-network cost, §7.2.3).
+                self.env
+                    .charge_cpu(self.env.costs.parse_cost(html.len()));
+                self.doc.set_inner_html(node, &html);
+                Ok(())
+            }
+            (Some(_), _) => Ok(()), // Setting other props is a tolerated no-op.
+            (None, _) => Err(JsError::type_error("property write on a stale object")),
+        }
+    }
+}
+
+/// A snapshot of the browser: DOM + JS globals. Cloned per discovered state
+/// and restored before each event — the rollback of Alg. 3.1.1, line 17.
+#[derive(Clone)]
+pub struct BrowserSnapshot {
+    doc: Document,
+    globals: GlobalsSnapshot,
+}
+
+impl BrowserSnapshot {
+    /// The snapshotted DOM (used for transition-target diffing).
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+}
+
+/// The loaded page: document + interpreter.
+pub struct Browser {
+    url: Url,
+    doc: Document,
+    interp: Interpreter,
+}
+
+impl Browser {
+    /// Loads a page: parses `html`, runs its `<script>` bodies, and fires
+    /// `body.onload` (the AJAX-specific init of Alg. 3.1.1, line 3).
+    /// Script errors are collected, not fatal.
+    pub fn load(
+        url: Url,
+        html: &str,
+        js_fuel: u64,
+        env: &mut CrawlEnv<'_>,
+    ) -> (Self, Vec<JsError>) {
+        env.charge_cpu(env.costs.parse_cost(html.len()));
+        let doc = parse_document(html);
+        let mut browser = Self {
+            url,
+            doc,
+            interp: Interpreter::with_fuel(js_fuel),
+        };
+        let mut errors = Vec::new();
+
+        let scripts = browser.doc.script_sources();
+        for src in scripts {
+            let mut outcome = EventOutcome::default();
+            if let Err(e) = browser.run_js(&src, env, &mut outcome, RunKind::Program) {
+                errors.push(e);
+            }
+        }
+        if let Some(onload) = ajax_dom::events::body_onload(&browser.doc) {
+            let mut outcome = EventOutcome::default();
+            if let Err(e) = browser.run_js(&onload, env, &mut outcome, RunKind::Snippet) {
+                errors.push(e);
+            }
+        }
+        (browser, errors)
+    }
+
+    /// The page URL.
+    pub fn url(&self) -> &Url {
+        &self.url
+    }
+
+    /// The current DOM.
+    pub fn doc(&self) -> &Document {
+        &self.doc
+    }
+
+    /// Mutable DOM access (tests and replay tooling).
+    pub fn doc_mut(&mut self) -> &mut Document {
+        &mut self.doc
+    }
+
+    /// The interpreter (for inspecting globals in tests).
+    pub fn interp(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// Fires one event handler snippet against the current state.
+    pub fn fire_event(&mut self, code: &str, env: &mut CrawlEnv<'_>) -> EventOutcome {
+        let mut outcome = EventOutcome::default();
+        if let Err(e) = self.run_js(code, env, &mut outcome, RunKind::Snippet) {
+            outcome.js_error = Some(e);
+        }
+        outcome
+    }
+
+    fn run_js(
+        &mut self,
+        src: &str,
+        env: &mut CrawlEnv<'_>,
+        outcome: &mut EventOutcome,
+        kind: RunKind,
+    ) -> Result<(), JsError> {
+        let steps_before = self.interp.steps();
+        // The on-enter hot-node detector (§4.4.2): instrumentation that
+        // recognizes frames whose function is a known hot node.
+        let mut hook = HotEnterDetector::from_cache(env.cache);
+        let mut host = PageHost::new(&mut self.doc, &self.url, env, outcome);
+        let result = match kind {
+            RunKind::Program => self.interp.load_program(src, &mut host, &mut hook).map(|_| ()),
+            RunKind::Snippet => self.interp.eval(src, &mut host, &mut hook).map(|_| ()),
+        };
+        let steps = self.interp.steps() - steps_before;
+        outcome.js_steps += steps;
+        env.charge_cpu(env.costs.js_cost(steps));
+        result
+    }
+
+    /// Snapshots the browser (DOM + JS globals) for later rollback.
+    pub fn snapshot(&self) -> BrowserSnapshot {
+        BrowserSnapshot {
+            doc: self.doc.clone(),
+            globals: self.interp.snapshot_globals(),
+        }
+    }
+
+    /// Restores a snapshot taken earlier on this page.
+    pub fn restore(&mut self, snapshot: &BrowserSnapshot) {
+        self.doc = snapshot.doc.clone();
+        self.interp.restore_globals(&snapshot.globals);
+    }
+
+    /// Content hash of the current DOM (duplicate-state identity).
+    pub fn state_hash(&self, env: &mut CrawlEnv<'_>) -> u64 {
+        let normalized = self.doc.normalized();
+        env.charge_cpu(env.costs.hash_cost(normalized.len()));
+        ajax_dom::fnv64_str(&normalized)
+    }
+}
+
+enum RunKind {
+    Program,
+    Snippet,
+}
+
+/// The `DebugFrameImpl.onEnter` analogue: notices when execution enters a
+/// function already identified as a hot node (the early-detection path of
+/// §4.4.2). Purely observational — interception happens at `send()`.
+pub struct HotEnterDetector {
+    hot_functions: HashSet<String>,
+    /// Number of entries into known hot nodes observed.
+    pub detections: u32,
+}
+
+impl HotEnterDetector {
+    /// Builds a detector from the cache's current hot-function registry.
+    pub fn from_cache(cache: &HotNodeCache) -> Self {
+        // Snapshot the function names (the registry is tiny: YouTube has 1).
+        let hot_functions = cache
+            .hot_function_names()
+            .map(str::to_string)
+            .collect();
+        Self {
+            hot_functions,
+            detections: 0,
+        }
+    }
+}
+
+impl DebugHook for HotEnterDetector {
+    fn on_enter(&mut self, frame: &ajax_js::FrameInfo) -> ajax_js::EnterAction {
+        if self.hot_functions.contains(&frame.function) {
+            self.detections += 1;
+        }
+        ajax_js::EnterAction::Continue
+    }
+}
+
+/// A no-op hook alias re-exported for embedders.
+pub type NoHook = NoopHook;

@@ -1,0 +1,229 @@
+//! Unit tests for the browser embedding (the `PageHost` wiring of DOM, JS
+//! and XHR) — exercised directly, below the crawler.
+
+use crate::browser::{Browser, CrawlEnv, EventOutcome};
+use crate::crawler::CpuCostModel;
+use crate::hotnode::HotNodeCache;
+use ajax_net::server::{FnServer, Request, Response};
+use ajax_net::{LatencyModel, NetClient, Url};
+use std::sync::Arc;
+
+fn echo_server() -> Arc<FnServer<impl Fn(&Request) -> Response + Send + Sync>> {
+    Arc::new(FnServer(|req: &Request| match req.url.path.as_str() {
+        "/data" => Response::html(format!(
+            "<p>payload {}</p>",
+            req.url.param("p").unwrap_or("?")
+        )),
+        "/missing" => Response::not_found(),
+        _ => Response::not_found(),
+    }))
+}
+
+/// Runs `f` with a fresh env around a zero-latency client.
+fn with_env<T>(f: impl FnOnce(&mut CrawlEnv<'_>) -> T) -> T {
+    let mut net = NetClient::new(echo_server(), LatencyModel::Zero);
+    let mut cache = HotNodeCache::new();
+    let costs = CpuCostModel::free();
+    let mut trace = Vec::new();
+    let mut env = CrawlEnv::new(&mut net, &mut cache, true, &costs, &mut trace);
+    f(&mut env)
+}
+
+fn load(html: &str, env: &mut CrawlEnv<'_>) -> Browser {
+    let (browser, errors) = Browser::load(Url::parse("http://x/page"), html, 1_000_000, env);
+    assert!(errors.is_empty(), "load errors: {errors:?}");
+    browser
+}
+
+#[test]
+fn document_get_element_by_id_and_inner_html() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>\
+             function swap() { document.getElementById('a').innerHTML = '<b>new</b>'; }\
+             </script></head><body><div id=\"a\">old</div></body></html>",
+            env,
+        );
+        let before = browser.doc().document_text();
+        assert!(before.contains("old"));
+        let outcome = browser.fire_event("swap()", env);
+        assert_eq!(outcome.js_error, None);
+        assert!(browser.doc().document_text().contains("new"));
+        assert!(!browser.doc().document_text().contains("old"));
+    });
+}
+
+#[test]
+fn xhr_full_flow_updates_dom() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>\
+             function fetchIt(p) {\
+               var xhr = new XMLHttpRequest();\
+               xhr.open('GET', '/data?p=' + p, false);\
+               xhr.send(null);\
+               document.getElementById('box').innerHTML = xhr.responseText;\
+               return xhr.status;\
+             }\
+             </script></head><body><div id=\"box\"></div></body></html>",
+            env,
+        );
+        let outcome = browser.fire_event("fetchIt(7)", env);
+        assert_eq!(outcome.js_error, None);
+        assert_eq!(outcome.network_calls, 1);
+        assert!(browser.doc().document_text().contains("payload 7"));
+    });
+}
+
+#[test]
+fn hot_node_cache_serves_second_call() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>\
+             function go(p) {\
+               var xhr = new XMLHttpRequest();\
+               xhr.open('GET', '/data?p=' + p, false);\
+               xhr.send(null);\
+               document.getElementById('box').innerHTML = xhr.responseText;\
+             }\
+             </script></head><body><div id=\"box\"></div></body></html>",
+            env,
+        );
+        let first = browser.fire_event("go(1)", env);
+        assert_eq!((first.network_calls, first.cache_hits), (1, 0));
+        let second = browser.fire_event("go(1)", env);
+        assert_eq!(
+            (second.network_calls, second.cache_hits),
+            (0, 1),
+            "same (function, args) key must hit the cache"
+        );
+        let third = browser.fire_event("go(2)", env);
+        assert_eq!((third.network_calls, third.cache_hits), (1, 0));
+        assert!(env.cache.is_hot_function("go"));
+    });
+}
+
+#[test]
+fn snapshot_restore_roundtrip_dom_and_globals() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>var counter = 0;\
+             function bump() {\
+               counter = counter + 1;\
+               document.getElementById('n').innerHTML = '' + counter;\
+             }</script></head><body><div id=\"n\">0</div></body></html>",
+            env,
+        );
+        let snapshot = browser.snapshot();
+        let hash0 = browser.state_hash(env);
+        browser.fire_event("bump()", env);
+        browser.fire_event("bump()", env);
+        assert!(browser.doc().document_text().contains('2'));
+        browser.restore(&snapshot);
+        assert_eq!(browser.state_hash(env), hash0);
+        // The JS global must be rolled back too, or the next bump would show 3.
+        browser.fire_event("bump()", env);
+        assert!(browser.doc().document_text().contains('1'));
+    });
+}
+
+#[test]
+fn send_before_open_is_host_error() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>\
+             function bad() { var x = new XMLHttpRequest(); x.send(null); }\
+             </script></head><body></body></html>",
+            env,
+        );
+        let outcome = browser.fire_event("bad()", env);
+        assert!(outcome.js_error.is_some());
+        assert_eq!(outcome.network_calls, 0);
+    });
+}
+
+#[test]
+fn xhr_status_visible_to_script() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>\
+             function probe(path) {\
+               var xhr = new XMLHttpRequest();\
+               xhr.open('GET', path, false);\
+               xhr.send(null);\
+               document.getElementById('s').innerHTML = '' + xhr.status;\
+             }</script></head><body><div id=\"s\"></div></body></html>",
+            env,
+        );
+        browser.fire_event("probe('/missing')", env);
+        assert!(browser.doc().document_text().contains("404"));
+        browser.fire_event("probe('/data?p=1')", env);
+        assert!(browser.doc().document_text().contains("200"));
+    });
+}
+
+#[test]
+fn element_properties_readable() {
+    with_env(|env| {
+        let mut browser = load(
+            "<html><head><script>\
+             function read() {\
+               var el = document.getElementById('tag');\
+               return el.tagName + '/' + el.id + '/' + el.getAttribute('data-x');\
+             }</script></head><body><em id=\"tag\" data-x=\"42\">t</em></body></html>",
+            env,
+        );
+        // fire_event discards return values; use interp via a DOM write.
+        browser.fire_event(
+            "document.getElementById('tag').innerHTML = read()",
+            env,
+        );
+        let text = browser.doc().document_text();
+        assert!(text.contains("EM/tag/42"), "{text}");
+    });
+}
+
+#[test]
+fn outcome_attempted_ajax() {
+    let quiet = EventOutcome::default();
+    assert!(!quiet.attempted_ajax());
+    let networked = EventOutcome {
+        network_calls: 1,
+        ..EventOutcome::default()
+    };
+    assert!(networked.attempted_ajax());
+    let cached = EventOutcome {
+        cache_hits: 2,
+        ..EventOutcome::default()
+    };
+    assert!(cached.attempted_ajax());
+}
+
+#[test]
+fn trace_interleaves_cpu_and_net() {
+    let mut net = NetClient::new(echo_server(), LatencyModel::Fixed(500));
+    let mut cache = HotNodeCache::new();
+    let costs = CpuCostModel {
+        parse_nanos_per_byte: 1_000, // 1 µs per byte so CPU shows up.
+        ..CpuCostModel::free()
+    };
+    let mut trace = Vec::new();
+    {
+        let mut env = CrawlEnv::new(&mut net, &mut cache, true, &costs, &mut trace);
+        let mut browser = load(
+            "<html><head><script>\
+             function go() {\
+               var xhr = new XMLHttpRequest();\
+               xhr.open('GET', '/data?p=1', false);\
+               xhr.send(null);\
+               document.getElementById('b').innerHTML = xhr.responseText;\
+             }</script></head><body><div id=\"b\">x</div></body></html>",
+            &mut env,
+        );
+        browser.fire_event("go()", &mut env);
+        env.flush_trace();
+    }
+    use ajax_net::sched::Segment;
+    assert!(trace.iter().any(|s| matches!(s, Segment::Cpu(_))));
+    assert!(trace.iter().any(|s| matches!(s, Segment::Net(500))));
+}

@@ -1,0 +1,937 @@
+//! The crawling algorithms (thesis ch. 3 and 4).
+//!
+//! Three flavours, all driven by [`CrawlConfig`]:
+//!
+//! * **Traditional** — JavaScript disabled, "not even the `onload` event":
+//!   fetch + parse, one state per page (the thesis' baseline, §7.1.2).
+//! * **Basic AJAX** (Alg. 3.1.1) — breadth-first event invocation with
+//!   rollback and duplicate detection by content hash, every AJAX call going
+//!   to the network.
+//! * **Heuristic AJAX** (Alg. 4.2.1) — same, plus the hot-node cache
+//!   intercepting repeated `(function, args)` server calls.
+
+use crate::browser::{Browser, CrawlEnv};
+use crate::hotnode::HotNodeCache;
+use crate::recrawl::EventHistory;
+use crate::model::{AppModel, StateId, Transition};
+use ajax_dom::events::collect_event_bindings;
+use ajax_dom::{parse_document, EventType};
+use ajax_net::sched::Task;
+use ajax_net::{LatencyModel, Micros, NetClient, Server, Url};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Virtual CPU cost model. The defaults are calibrated so the VidShare
+/// workload reproduces the thesis' overhead *shape*: AJAX ≈ an order of
+/// magnitude per page over traditional crawling but only ~2× per state
+/// (Table 7.2), with model maintenance — not JavaScript — dominating the
+/// non-network cost (§7.2.3).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuCostModel {
+    /// Nanoseconds per parsed HTML byte.
+    pub parse_nanos_per_byte: u64,
+    /// Nanoseconds per interpreter step.
+    pub js_nanos_per_step: u64,
+    /// Nanoseconds per hashed byte (duplicate detection).
+    pub hash_nanos_per_byte: u64,
+    /// Microseconds per rollback (snapshot restore before each event).
+    pub rollback_micros: u64,
+    /// Microseconds of model maintenance per new state.
+    pub state_micros: u64,
+    /// Microseconds per recorded transition.
+    pub transition_micros: u64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        Self::thesis_default()
+    }
+}
+
+impl CpuCostModel {
+    /// The calibrated default (see module docs).
+    pub fn thesis_default() -> Self {
+        Self {
+            parse_nanos_per_byte: 150,
+            js_nanos_per_step: 2_000,
+            hash_nanos_per_byte: 600,
+            rollback_micros: 10_000,
+            state_micros: 4_000,
+            transition_micros: 1_000,
+        }
+    }
+
+    /// A zero-cost model (unit tests that only care about structure).
+    pub fn free() -> Self {
+        Self {
+            parse_nanos_per_byte: 0,
+            js_nanos_per_step: 0,
+            hash_nanos_per_byte: 0,
+            rollback_micros: 0,
+            state_micros: 0,
+            transition_micros: 0,
+        }
+    }
+
+    /// Cost of parsing `bytes` of HTML.
+    pub fn parse_cost(&self, bytes: usize) -> Micros {
+        (bytes as u64 * self.parse_nanos_per_byte) / 1_000
+    }
+
+    /// Cost of `steps` interpreter steps.
+    pub fn js_cost(&self, steps: u64) -> Micros {
+        (steps * self.js_nanos_per_step) / 1_000
+    }
+
+    /// Cost of hashing `bytes`.
+    pub fn hash_cost(&self, bytes: usize) -> Micros {
+        (bytes as u64 * self.hash_nanos_per_byte) / 1_000
+    }
+}
+
+/// Crawl configuration — the `AJAXConfig` of thesis ch. 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrawlConfig {
+    /// `TRADITIONAL_CRAWLING`: when true, JavaScript is disabled entirely.
+    pub traditional: bool,
+    /// `USE_DEBUGGER`: the hot-node caching policy (ch. 4).
+    pub hot_node_policy: bool,
+    /// Maximum states per page, counting the initial one
+    /// (`SACR_NUM_OF_ADDITIONAL_STATES + 1`).
+    pub max_states: usize,
+    /// Hard cap on events fired per page (guards infinite event invocation,
+    /// §3.2).
+    pub max_events_per_page: usize,
+    /// Which user events to trigger (§3.2: "focus on the most important").
+    pub event_types: Vec<EventType>,
+    /// Interpreter fuel per page (guards infinite loops, §3.2).
+    pub js_fuel: u64,
+    /// Keep serialized DOMs + page HTML for state reconstruction (§5.4).
+    pub store_dom: bool,
+    /// Handlers containing any of these (case-insensitive) substrings are
+    /// never fired — the "no update events" guard of §4.3 (e.g. a crawler
+    /// must not click Delete buttons in a mail client).
+    pub avoid_actions: Vec<String>,
+    /// Focused crawling (§7.2.2, ch. 10): when non-empty, only states whose
+    /// text contains at least one of these keywords (case-insensitive) are
+    /// *expanded* (their events fired). An off-topic page stops after its
+    /// initial state — indexed like a traditional page — saving its whole
+    /// AJAX budget for relevant content.
+    pub focus_keywords: Vec<String>,
+    /// Virtual CPU cost model.
+    pub costs: CpuCostModel,
+}
+
+impl CrawlConfig {
+    /// The full AJAX crawler with the hot-node policy (Alg. 4.2.1) — the
+    /// configuration the thesis used for YouTube10000.
+    pub fn ajax() -> Self {
+        Self {
+            traditional: false,
+            hot_node_policy: true,
+            max_states: 11,
+            max_events_per_page: 400,
+            event_types: EventType::user_events().to_vec(),
+            js_fuel: 2_000_000,
+            store_dom: false,
+            avoid_actions: ["delete", "remove", "destroy", "logout"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            focus_keywords: Vec::new(),
+            costs: CpuCostModel::thesis_default(),
+        }
+    }
+
+    /// The basic AJAX crawler without caching (Alg. 3.1.1) — the baseline of
+    /// the caching experiments (Figs. 7.5–7.7).
+    pub fn ajax_no_cache() -> Self {
+        Self {
+            hot_node_policy: false,
+            ..Self::ajax()
+        }
+    }
+
+    /// Traditional crawling: JS disabled, first state only.
+    pub fn traditional() -> Self {
+        Self {
+            traditional: true,
+            ..Self::ajax()
+        }
+    }
+
+    /// Returns a copy with a different additional-state cap.
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states.max(1);
+        self
+    }
+
+    /// Returns a copy that stores DOM snapshots for replay.
+    pub fn storing_dom(mut self) -> Self {
+        self.store_dom = true;
+        self
+    }
+
+    /// Returns a focused-crawling copy (§7.2.2): only states mentioning one
+    /// of `keywords` are expanded.
+    pub fn focused_on<I: IntoIterator<Item = S>, S: Into<String>>(mut self, keywords: I) -> Self {
+        self.focus_keywords = keywords.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// Per-page crawl accounting (raw material of the ch. 7 experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageStats {
+    /// Events fired (Alg. 3.1.1's loop iterations).
+    pub events_fired: u64,
+    /// Events whose handler attempted at least one AJAX call — the thesis'
+    /// "events leading to network communication" before caching.
+    pub events_with_ajax: u64,
+    /// AJAX calls that reached the network (excluding the initial page GET).
+    pub ajax_network_calls: u64,
+    /// AJAX calls served by the hot-node cache.
+    pub cache_hits: u64,
+    /// Distinct hot nodes (server-fetching functions) identified on the page.
+    pub hot_nodes: u64,
+    /// Events skipped (update-event guard or barren-event history).
+    pub events_skipped: u64,
+    /// States left unexpanded by the focused-crawling filter.
+    pub states_not_expanded: u64,
+    /// Events that produced an already-known state (duplicates detected).
+    pub duplicates: u64,
+    /// JS errors swallowed during crawling.
+    pub js_errors: u64,
+    /// States discovered (incl. initial).
+    pub states: u64,
+    /// Transitions recorded.
+    pub transitions: u64,
+    /// Total virtual crawl time for the page.
+    pub crawl_micros: Micros,
+    /// Portion spent on the network.
+    pub network_micros: Micros,
+    /// Portion spent on CPU (parse, JS, hashing, model maintenance).
+    pub cpu_micros: Micros,
+}
+
+impl PageStats {
+    /// Merges another page's stats into an aggregate.
+    pub fn merge(&mut self, other: &PageStats) {
+        self.events_fired += other.events_fired;
+        self.events_with_ajax += other.events_with_ajax;
+        self.ajax_network_calls += other.ajax_network_calls;
+        self.cache_hits += other.cache_hits;
+        self.hot_nodes = self.hot_nodes.max(other.hot_nodes);
+        self.events_skipped += other.events_skipped;
+        self.states_not_expanded += other.states_not_expanded;
+        self.duplicates += other.duplicates;
+        self.js_errors += other.js_errors;
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.crawl_micros += other.crawl_micros;
+        self.network_micros += other.network_micros;
+        self.cpu_micros += other.cpu_micros;
+    }
+}
+
+/// The result of crawling one page.
+#[derive(Debug, Clone)]
+pub struct PageCrawl {
+    pub model: AppModel,
+    pub stats: PageStats,
+    /// The CPU/network segment trace, consumed by the parallel scheduler.
+    pub trace: Task,
+}
+
+/// Crawl failures. JS errors are *not* failures (they are recorded in the
+/// stats and the crawl continues); only transport-level problems are.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlError {
+    /// Non-2xx response for the page itself.
+    Http { url: String, status: u16 },
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::Http { url, status } => write!(f, "HTTP {status} fetching {url}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+/// The `SimpleAjaxCrawler`: crawls pages one at a time over its own network
+/// client.
+pub struct Crawler {
+    net: NetClient,
+    config: CrawlConfig,
+}
+
+impl Crawler {
+    /// Creates a crawler against `server` with the given latency model.
+    pub fn new(server: Arc<dyn Server>, latency: LatencyModel, config: CrawlConfig) -> Self {
+        Self {
+            net: NetClient::new(server, latency),
+            config,
+        }
+    }
+
+    /// The crawler's network client (for reading aggregate statistics).
+    pub fn net(&self) -> &NetClient {
+        &self.net
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrawlConfig {
+        &self.config
+    }
+
+    /// Crawls one page, building its application model (Alg. 3.1.1 /
+    /// Alg. 4.2.1 depending on the configuration).
+    pub fn crawl_page(&mut self, url: &Url) -> Result<PageCrawl, CrawlError> {
+        self.crawl_page_with_history(url, None).map(|(crawl, _)| crawl)
+    }
+
+    /// Like [`Self::crawl_page`], additionally consuming the previous
+    /// session's [`EventHistory`] (events known barren are skipped — the
+    /// repetitive-crawling optimization of thesis ch. 10) and producing the
+    /// updated history for the next session.
+    pub fn crawl_page_with_history(
+        &mut self,
+        url: &Url,
+        history: Option<&EventHistory>,
+    ) -> Result<(PageCrawl, EventHistory), CrawlError> {
+        let start_time = self.net.now();
+        let start_net = self.net.stats().network_micros;
+        let mut stats = PageStats::default();
+        let mut trace_segments = Vec::new();
+        let mut cache = HotNodeCache::new();
+        let mut new_history = EventHistory::default();
+
+        let mut model = AppModel::new(url.to_string());
+
+        {
+            let mut env = CrawlEnv::new(
+                &mut self.net,
+                &mut cache,
+                self.config.hot_node_policy,
+                &self.config.costs,
+                &mut trace_segments,
+            );
+
+            let (response, _cost) = env.fetch(url);
+            if !response.is_ok() {
+                return Err(CrawlError::Http {
+                    url: url.to_string(),
+                    status: response.status,
+                });
+            }
+            if self.config.store_dom {
+                model.page_html = Some(response.body.clone());
+            }
+
+            if self.config.traditional {
+                Self::crawl_traditional(&self.config, &response.body, &mut model, &mut env);
+            } else {
+                Self::crawl_ajax(
+                    &self.config,
+                    url,
+                    &response.body,
+                    &mut model,
+                    &mut stats,
+                    &mut env,
+                    history,
+                    &mut new_history,
+                )?;
+            }
+            env.flush_trace();
+        }
+
+        let hot_stats = cache.stats();
+        stats.ajax_network_calls = hot_stats.network_calls;
+        stats.cache_hits = hot_stats.cache_hits;
+        stats.hot_nodes = hot_stats.hot_nodes;
+        stats.states = model.state_count() as u64;
+        stats.transitions = model.transitions.len() as u64;
+        stats.crawl_micros = self.net.now() - start_time;
+        stats.network_micros = self.net.stats().network_micros - start_net;
+        stats.cpu_micros = stats.crawl_micros - stats.network_micros;
+        model.crawl_micros = stats.crawl_micros;
+        model.fetches = cache
+            .fetch_records()
+            .into_iter()
+            .map(|(url, body)| crate::model::FetchRecord { url, body })
+            .collect();
+
+        Ok((
+            PageCrawl {
+                model,
+                stats,
+                trace: Task::new(trace_segments),
+            },
+            new_history,
+        ))
+    }
+
+    /// Traditional crawling: parse only; "Javascript is disabled, i.e. no
+    /// events are triggered, not even the onload event of the body tag"
+    /// (thesis ch. 8, `TRADITIONAL_CRAWLING`).
+    fn crawl_traditional(
+        config: &CrawlConfig,
+        body: &str,
+        model: &mut AppModel,
+        env: &mut CrawlEnv<'_>,
+    ) {
+        env.charge_cpu(config.costs.parse_cost(body.len()));
+        let doc = parse_document(body);
+        let normalized = doc.normalized();
+        env.charge_cpu(config.costs.hash_cost(normalized.len()));
+        let hash = ajax_dom::fnv64_str(&normalized);
+        let text = doc.document_text();
+        env.charge_cpu(config.costs.state_micros);
+        let dom_html = config.store_dom.then(|| doc.to_html());
+        model.add_state(hash, text, dom_html);
+    }
+
+    /// Breadth-first AJAX crawling with rollback and duplicate elimination.
+    #[allow(clippy::too_many_arguments)]
+    fn crawl_ajax(
+        config: &CrawlConfig,
+        url: &Url,
+        body: &str,
+        model: &mut AppModel,
+        stats: &mut PageStats,
+        env: &mut CrawlEnv<'_>,
+        history: Option<&EventHistory>,
+        new_history: &mut EventHistory,
+    ) -> Result<(), CrawlError> {
+        let (mut browser, load_errors) = Browser::load(url.clone(), body, config.js_fuel, env);
+        stats.js_errors += load_errors.len() as u64;
+
+        // Initial state (after scripts + onload).
+        let initial_hash = browser.state_hash(env);
+        let initial_text = browser.doc().document_text();
+        env.charge_cpu(config.costs.state_micros);
+        let dom_html = config.store_dom.then(|| browser.doc().to_html());
+        model.add_state(initial_hash, initial_text, dom_html);
+
+        let mut snapshots = vec![browser.snapshot()];
+        let mut queue = VecDeque::from([StateId::INITIAL]);
+
+        'bfs: while let Some(state_id) = queue.pop_front() {
+            // Focused crawling: expand only relevant states. An off-topic
+            // *page* (initial state) gets no AJAX crawling at all — its
+            // single state is still indexed, like traditional crawling.
+            if !config.focus_keywords.is_empty() {
+                let text = &model.states[state_id.index()].text;
+                if !config
+                    .focus_keywords
+                    .iter()
+                    .any(|k| contains_ignore_case(text, k))
+                {
+                    stats.states_not_expanded += 1;
+                    continue;
+                }
+            }
+            // Restore the state's snapshot to enumerate its events.
+            browser.restore(&snapshots[state_id.index()]);
+            env.charge_cpu(config.costs.rollback_micros);
+            let bindings = collect_event_bindings(browser.doc(), &config.event_types);
+
+            for binding in bindings {
+                if stats.events_fired >= config.max_events_per_page as u64 {
+                    break 'bfs;
+                }
+                // The "no update events" guard (§4.3).
+                if config
+                    .avoid_actions
+                    .iter()
+                    .any(|pattern| contains_ignore_case(&binding.code, pattern))
+                {
+                    stats.events_skipped += 1;
+                    continue;
+                }
+                // Repetitive crawling (ch. 10): skip events known barren.
+                if let Some(history) = history {
+                    if history.is_barren(&binding.source, binding.event_type, &binding.code) {
+                        stats.events_skipped += 1;
+                        continue;
+                    }
+                }
+                // Rollback to the source state before every event
+                // (Alg. 3.1.1 line 17): both the DOM and the JS globals.
+                browser.restore(&snapshots[state_id.index()]);
+                env.charge_cpu(config.costs.rollback_micros);
+
+                let outcome = browser.fire_event(&binding.code, env);
+                stats.events_fired += 1;
+                if outcome.attempted_ajax() {
+                    stats.events_with_ajax += 1;
+                }
+                if outcome.js_error.is_some() {
+                    stats.js_errors += 1;
+                    continue;
+                }
+
+                let new_hash = browser.state_hash(env);
+                let changed = new_hash != model.states[state_id.index()].hash;
+                new_history.record(
+                    &binding.source,
+                    binding.event_type,
+                    &binding.code,
+                    changed,
+                );
+                if !changed {
+                    continue; // DOM unchanged: no transition.
+                }
+
+                let target = if let Some(existing) = model.state_by_hash(new_hash) {
+                    stats.duplicates += 1;
+                    existing.id
+                } else if model.state_count() < config.max_states {
+                    let text = browser.doc().document_text();
+                    env.charge_cpu(config.costs.state_micros);
+                    let dom_html = config.store_dom.then(|| browser.doc().to_html());
+                    let id = model.add_state(new_hash, text, dom_html);
+                    snapshots.push(browser.snapshot());
+                    queue.push_back(id);
+                    id
+                } else {
+                    // State cap reached (infinite-expansion guard): the
+                    // transition target is not materialized.
+                    continue;
+                };
+
+                env.charge_cpu(config.costs.transition_micros);
+                // Annotate the transition with its modified targets
+                // (Table 2.1) by diffing the source-state DOM against the
+                // current one.
+                let targets = ajax_dom::diff::changed_roots(
+                    snapshots[state_id.index()].doc(),
+                    browser.doc(),
+                )
+                .into_iter()
+                .map(|t| t.element)
+                .collect();
+                model.add_transition(Transition {
+                    from: state_id,
+                    to: target,
+                    source: binding.source.clone(),
+                    event: binding.event_type,
+                    action: binding.code.clone(),
+                    targets,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Case-insensitive ASCII substring test.
+fn contains_ignore_case(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let haystack = haystack.to_ascii_lowercase();
+    haystack.contains(&needle.to_ascii_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_webgen::{VidShareServer, VidShareSpec};
+
+    fn vidshare(n: u32) -> Arc<VidShareServer> {
+        Arc::new(VidShareServer::new(VidShareSpec::small(n)))
+    }
+
+    fn crawl(config: CrawlConfig, video: u32) -> PageCrawl {
+        let server = vidshare(50);
+        let mut crawler = Crawler::new(server, LatencyModel::Fixed(10_000), config);
+        crawler
+            .crawl_page(&Url::parse(&format!("http://vidshare.example/watch?v={video}")))
+            .expect("crawl must succeed")
+    }
+
+    /// A multi-page video under the default small(50) spec.
+    fn multi_page_video() -> (u32, u32) {
+        let spec = VidShareSpec::small(50);
+        for v in 0..50 {
+            let pages = ajax_webgen::video_meta(&spec, v).comment_pages;
+            if (3..=6).contains(&pages) {
+                return (v, pages);
+            }
+        }
+        panic!("no 3..6-page video in the first 50");
+    }
+
+    #[test]
+    fn traditional_crawl_single_state() {
+        let crawl = crawl(CrawlConfig::traditional(), 3);
+        assert_eq!(crawl.model.state_count(), 1);
+        assert_eq!(crawl.stats.events_fired, 0);
+        assert_eq!(crawl.stats.ajax_network_calls, 0);
+        assert!(crawl.stats.crawl_micros > 0);
+        assert!(!crawl.model.states[0].text.is_empty());
+    }
+
+    #[test]
+    fn ajax_crawl_discovers_all_comment_pages() {
+        let (video, pages) = multi_page_video();
+        let result = crawl(CrawlConfig::ajax(), video);
+        assert_eq!(
+            result.model.state_count(),
+            pages as usize,
+            "one state per comment page"
+        );
+        // All states reachable from the initial one.
+        for s in 1..result.model.state_count() {
+            assert!(
+                result.model.event_path(StateId(s as u32)).is_some(),
+                "state {s} unreachable"
+            );
+        }
+    }
+
+    #[test]
+    fn state_texts_contain_the_right_comments() {
+        let (video, pages) = multi_page_video();
+        let result = crawl(CrawlConfig::ajax(), video);
+        let spec = VidShareSpec::small(50);
+        // Every comment page's first comment appears in exactly the states
+        // that show that page.
+        for page in 1..=pages {
+            let comment = ajax_webgen::text::comment_text(&spec, video, page, 0);
+            assert!(
+                result.model.states.iter().any(|s| s.text.contains(&comment)),
+                "comment of page {page} not found in any state"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_node_cache_reduces_network_calls() {
+        let (video, _pages) = multi_page_video();
+        let cached = crawl(CrawlConfig::ajax(), video);
+        let uncached = crawl(CrawlConfig::ajax_no_cache(), video);
+
+        // Same states either way (the cache must not change the model)...
+        assert_eq!(cached.model.state_count(), uncached.model.state_count());
+        let cached_hashes: Vec<u64> = cached.model.states.iter().map(|s| s.hash).collect();
+        let uncached_hashes: Vec<u64> = uncached.model.states.iter().map(|s| s.hash).collect();
+        assert_eq!(cached_hashes, uncached_hashes);
+
+        // ...but strictly fewer network calls with the policy on.
+        assert!(
+            cached.stats.ajax_network_calls < uncached.stats.ajax_network_calls,
+            "cached {} !< uncached {}",
+            cached.stats.ajax_network_calls,
+            uncached.stats.ajax_network_calls
+        );
+        assert!(cached.stats.cache_hits > 0);
+        assert_eq!(uncached.stats.cache_hits, 0);
+        // With one hot node per page, each distinct comment page is fetched
+        // at most once: pages 2..=N plus possibly page 1 (reached via `prev`,
+        // whose inline copy never went through the hot node).
+        let states = cached.model.state_count() as u64;
+        assert!(
+            (states - 1..=states).contains(&cached.stats.ajax_network_calls),
+            "expected {}..={} calls, got {}",
+            states - 1,
+            states,
+            cached.stats.ajax_network_calls
+        );
+    }
+
+    #[test]
+    fn crawl_time_cached_faster() {
+        let (video, _) = multi_page_video();
+        let cached = crawl(CrawlConfig::ajax(), video);
+        let uncached = crawl(CrawlConfig::ajax_no_cache(), video);
+        assert!(
+            cached.stats.network_micros < uncached.stats.network_micros,
+            "caching must reduce network time"
+        );
+    }
+
+    #[test]
+    fn max_states_cap_respected() {
+        let (video, pages) = multi_page_video();
+        assert!(pages >= 3);
+        let result = crawl(CrawlConfig::ajax().with_max_states(2), video);
+        assert_eq!(result.model.state_count(), 2);
+    }
+
+    #[test]
+    fn ajax_overhead_vs_traditional_shape() {
+        // Aggregate over several pages: the per-page overhead factor must be
+        // substantially above 1 and per-state overhead around 2 (Table 7.2).
+        let server = vidshare(50);
+        let mut trad = Crawler::new(
+            Arc::clone(&server) as Arc<dyn Server>,
+            LatencyModel::thesis_default(1),
+            CrawlConfig::traditional(),
+        );
+        let mut ajax = Crawler::new(
+            server,
+            LatencyModel::thesis_default(1),
+            CrawlConfig::ajax(),
+        );
+        let mut trad_total = 0u64;
+        let mut ajax_total = 0u64;
+        let mut states = 0u64;
+        for v in 0..20 {
+            let url = Url::parse(&format!("http://vidshare.example/watch?v={v}"));
+            trad_total += trad.crawl_page(&url).unwrap().stats.crawl_micros;
+            let pc = ajax.crawl_page(&url).unwrap();
+            ajax_total += pc.stats.crawl_micros;
+            states += pc.stats.states;
+        }
+        let per_page = ajax_total as f64 / trad_total as f64;
+        let per_state =
+            (ajax_total as f64 / states as f64) / (trad_total as f64 / 20.0);
+        assert!(
+            per_page > 3.0,
+            "AJAX must cost much more per page (got {per_page:.2})"
+        );
+        assert!(
+            (1.2..=5.0).contains(&per_state),
+            "per-state overhead should be moderate (got {per_state:.2})"
+        );
+    }
+
+    #[test]
+    fn http_error_is_reported() {
+        let server = vidshare(5);
+        let mut crawler = Crawler::new(server, LatencyModel::Zero, CrawlConfig::ajax());
+        let err = crawler
+            .crawl_page(&Url::parse("http://vidshare.example/watch?v=99999"))
+            .unwrap_err();
+        assert!(matches!(err, CrawlError::Http { status: 404, .. }));
+    }
+
+    #[test]
+    fn store_dom_keeps_replay_data() {
+        let (video, _) = multi_page_video();
+        let result = crawl(CrawlConfig::ajax().storing_dom(), video);
+        assert!(result.model.page_html.is_some());
+        assert!(result.model.states.iter().all(|s| s.dom_html.is_some()));
+        assert!(!result.model.fetches.is_empty());
+    }
+
+    #[test]
+    fn trace_matches_stats() {
+        let (video, _) = multi_page_video();
+        let result = crawl(CrawlConfig::ajax(), video);
+        assert_eq!(
+            result.trace.net_total(),
+            result.stats.network_micros,
+            "trace network total must equal measured network time"
+        );
+        assert_eq!(
+            result.trace.duration(),
+            result.stats.crawl_micros,
+            "trace duration must equal crawl time"
+        );
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let (video, _) = multi_page_video();
+        let a = crawl(CrawlConfig::ajax(), video);
+        let b = crawl(CrawlConfig::ajax(), video);
+        assert_eq!(a.model, b.model);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn single_page_video_has_one_state() {
+        let spec = VidShareSpec::small(50);
+        let video = (0..50)
+            .find(|&v| ajax_webgen::video_meta(&spec, v).comment_pages == 1)
+            .expect("some single-page video");
+        let result = crawl(CrawlConfig::ajax(), video);
+        assert_eq!(result.model.state_count(), 1);
+        assert_eq!(result.stats.ajax_network_calls, 0);
+    }
+}
+
+#[cfg(test)]
+mod guard_and_recrawl_tests {
+    use super::*;
+    use ajax_net::server::{FnServer, Request, Response};
+    use ajax_webgen::{VidShareServer, VidShareSpec};
+    use std::sync::Arc;
+
+    /// A page with a destructive handler among the navigation.
+    fn destructive_server() -> Arc<dyn Server> {
+        Arc::new(FnServer(|req: &Request| {
+            match req.url.path.as_str() {
+                "/page" => Response::html(
+                    "<html><head><script>\
+                     var items = ['a', 'b'];\
+                     function deleteItem() { items.pop(); poisonTheWell(); }\
+                     function fetchMore(p) {\
+                       var xhr = new XMLHttpRequest();\
+                       xhr.open('GET', '/more?p=' + p, false);\
+                       xhr.send(null);\
+                       document.getElementById('box').innerHTML = xhr.responseText;\
+                     }\
+                     </script></head><body>\
+                     <span id=\"kill\" onclick=\"deleteItem()\">Delete</span>\
+                     <span id=\"more\" onclick=\"fetchMore(2)\">more</span>\
+                     <div id=\"box\">first</div>\
+                     </body></html>",
+                ),
+                "/more" => Response::html("<p>second batch</p>"),
+                _ => Response::not_found(),
+            }
+        }))
+    }
+
+    #[test]
+    fn update_events_never_fired() {
+        let mut crawler = Crawler::new(
+            destructive_server(),
+            LatencyModel::Zero,
+            CrawlConfig::ajax(),
+        );
+        let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+        // deleteItem calls an undefined function; had it run, js_errors > 0.
+        assert_eq!(crawl.stats.js_errors, 0, "Delete handler must not run");
+        // The Delete control exists in both discovered states, so it is
+        // skipped once per state.
+        assert_eq!(crawl.stats.events_skipped, 2);
+        assert_eq!(crawl.model.state_count(), 2, "fetchMore still crawled");
+    }
+
+    #[test]
+    fn guard_disabled_fires_everything() {
+        let mut crawler = Crawler::new(
+            destructive_server(),
+            LatencyModel::Zero,
+            CrawlConfig {
+                avoid_actions: Vec::new(),
+                ..CrawlConfig::ajax()
+            },
+        );
+        let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+        assert!(crawl.stats.js_errors > 0, "destructive handler ran");
+    }
+
+    #[test]
+    fn recrawl_with_history_skips_barren_events() {
+        let spec = VidShareSpec::small(50);
+        let video = (0..50)
+            .find(|&v| (3..=6).contains(&ajax_webgen::video_meta(&spec, v).comment_pages))
+            .unwrap();
+        let url = Url::parse(&spec.watch_url(video));
+        let server = Arc::new(VidShareServer::new(spec));
+        let mut crawler = Crawler::new(
+            server,
+            LatencyModel::Fixed(1_000),
+            CrawlConfig::ajax(),
+        );
+
+        let (first, history) = crawler.crawl_page_with_history(&url, None).unwrap();
+        let (barren, productive) = history.counts();
+        assert!(barren > 0, "the title mouseover is barren");
+        assert!(productive > 0);
+
+        let (second, _) = crawler.crawl_page_with_history(&url, Some(&history)).unwrap();
+        // Timing differs (fewer events, different jitter sequence); the
+        // *content* must not.
+        assert_eq!(first.model.states, second.model.states);
+        assert_eq!(first.model.transitions, second.model.transitions);
+        assert!(
+            second.stats.events_fired < first.stats.events_fired,
+            "history must cut events: {} !< {}",
+            second.stats.events_fired,
+            first.stats.events_fired
+        );
+        assert!(second.stats.events_skipped > 0);
+        assert!(
+            second.stats.crawl_micros < first.stats.crawl_micros,
+            "skipping events must save time"
+        );
+    }
+
+    #[test]
+    fn history_roundtrip_stable() {
+        // Crawling with the produced history and collecting a new history
+        // must reach a fixpoint (barren keys stay known via carry-over).
+        let spec = VidShareSpec::small(50);
+        let url = Url::parse(&spec.watch_url(3));
+        let server = Arc::new(VidShareServer::new(spec));
+        let mut crawler = Crawler::new(server, LatencyModel::Zero, CrawlConfig::ajax());
+        let (_, h1) = crawler.crawl_page_with_history(&url, None).unwrap();
+        let (m2, h2) = crawler.crawl_page_with_history(&url, Some(&h1)).unwrap();
+        // Productive sets agree.
+        assert_eq!(h1.counts().1, h2.counts().1);
+        let (m3, _) = crawler.crawl_page_with_history(&url, Some(&h2)).unwrap();
+        assert_eq!(m2.model.states, m3.model.states);
+        assert_eq!(m2.model.transitions, m3.model.transitions);
+    }
+}
+
+#[cfg(test)]
+mod focused_tests {
+    use super::*;
+    use ajax_webgen::{VidShareServer, VidShareSpec};
+    use std::sync::Arc;
+
+    fn crawl_many(config: CrawlConfig, n: u32) -> PageStats {
+        let server = Arc::new(VidShareServer::new(VidShareSpec::small(n)));
+        let mut crawler = Crawler::new(server, LatencyModel::Fixed(1_000), config);
+        let mut total = PageStats::default();
+        for v in 0..n {
+            let url = Url::parse(&format!("http://vidshare.example/watch?v={v}"));
+            total.merge(&crawler.crawl_page(&url).unwrap().stats);
+        }
+        total
+    }
+
+    #[test]
+    fn focused_crawl_saves_work() {
+        let full = crawl_many(CrawlConfig::ajax(), 30);
+        // "ride" appears only in the showcase video's title (and in pages
+        // that link to it), so most pages are off-topic.
+        let focused = crawl_many(CrawlConfig::ajax().focused_on(["ride"]), 30);
+        assert!(
+            focused.ajax_network_calls < full.ajax_network_calls / 3,
+            "focused {} vs full {}",
+            focused.ajax_network_calls,
+            full.ajax_network_calls
+        );
+        assert!(focused.states_not_expanded > 0);
+        assert!(focused.crawl_micros < full.crawl_micros);
+        assert!(focused.states <= full.states);
+    }
+
+    #[test]
+    fn focused_crawl_keeps_relevant_states() {
+        // The showcase video mentions morcheeba in every state (title), so a
+        // morcheeba-focused crawl must discover all of its comment pages.
+        let spec = VidShareSpec::small(30);
+        let pages = ajax_webgen::video_meta(&spec, 0).comment_pages;
+        let server = Arc::new(VidShareServer::new(spec));
+        let mut crawler = Crawler::new(
+            server,
+            LatencyModel::Zero,
+            CrawlConfig::ajax().focused_on(["morcheeba"]),
+        );
+        let crawl = crawler
+            .crawl_page(&Url::parse("http://vidshare.example/watch?v=0"))
+            .unwrap();
+        assert_eq!(crawl.model.state_count(), pages as usize);
+        assert_eq!(crawl.stats.states_not_expanded, 0);
+    }
+
+    #[test]
+    fn unfocused_config_expands_everything() {
+        let stats = crawl_many(CrawlConfig::ajax(), 10);
+        assert_eq!(stats.states_not_expanded, 0);
+    }
+}

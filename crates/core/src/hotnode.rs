@@ -1,0 +1,224 @@
+//! The hot-node cache (thesis ch. 4).
+//!
+//! A *hot node* is a JavaScript function that performs a server call; a *hot
+//! call* is one invocation of it, keyed by the function name plus its
+//! rendered actual arguments (`StackInfo.getHotnodeInfo()` in the thesis).
+//! The cache maps hot calls to the server content they fetched; a repeated
+//! hot call is served from the cache, skipping the network round trip — the
+//! crawler's answer to "events cannot be cached".
+
+use ajax_dom::hash::FnvHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One cached hot call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CachedCall {
+    /// The URL the call fetched (diagnostics + replay).
+    pub url: String,
+    /// The response body.
+    pub body: String,
+    /// How many times the cache served this entry.
+    pub hits: u32,
+}
+
+/// Counters for the caching experiments (Figs. 7.5–7.7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HotNodeStats {
+    /// AJAX calls that actually reached the network.
+    pub network_calls: u64,
+    /// AJAX calls served from the hot-node cache.
+    pub cache_hits: u64,
+    /// Distinct hot nodes (functions) identified.
+    pub hot_nodes: u64,
+}
+
+impl HotNodeStats {
+    /// Total AJAX call attempts (network + cached).
+    pub fn total_calls(&self) -> u64 {
+        self.network_calls + self.cache_hits
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &HotNodeStats) {
+        self.network_calls += other.network_calls;
+        self.cache_hits += other.cache_hits;
+        self.hot_nodes = self.hot_nodes.max(other.hot_nodes);
+    }
+}
+
+/// The hot-node cache of Table 4.4: `(hot node, parameters) → content`.
+#[derive(Debug, Clone, Default)]
+pub struct HotNodeCache {
+    entries: FnvHashMap<String, CachedCall>,
+    /// Names of functions identified as hot nodes (they contained an AJAX
+    /// call) — the `hotNodes` set of Alg. 4.2.1, line 37.
+    hot_functions: HashSet<String>,
+    stats: HotNodeStats,
+}
+
+impl HotNodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a hot call. On a hit, bumps the hit counters and returns the
+    /// cached body.
+    pub fn lookup(&mut self, key: &str) -> Option<String> {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.hits += 1;
+                self.stats.cache_hits += 1;
+                Some(entry.body.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Peeks without touching counters.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// True when `function` has been identified as a hot node — the
+    /// `DebugFrameImpl.onEnter` check of §4.4.2.
+    pub fn is_hot_function(&self, function: &str) -> bool {
+        self.hot_functions.contains(function)
+    }
+
+    /// Names of all functions identified as hot nodes.
+    pub fn hot_function_names(&self) -> impl Iterator<Item = &str> {
+        self.hot_functions.iter().map(String::as_str)
+    }
+
+    /// Records a fresh hot call result fetched from the network.
+    /// `function` is the hot node, `key` the `(function, args)` rendering.
+    pub fn insert(&mut self, function: &str, key: String, url: String, body: String) {
+        if self.hot_functions.insert(function.to_string()) {
+            self.stats.hot_nodes += 1;
+        }
+        self.stats.network_calls += 1;
+        self.entries.insert(
+            key,
+            CachedCall {
+                url,
+                body,
+                hits: 0,
+            },
+        );
+    }
+
+    /// Records a network call made while caching is *disabled* (the baseline
+    /// crawler still counts its calls for the comparison experiments).
+    pub fn record_uncached_call(&mut self) {
+        self.stats.network_calls += 1;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HotNodeStats {
+        self.stats
+    }
+
+    /// Number of distinct cached calls.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains all `(url, body)` pairs for replay storage.
+    pub fn fetch_records(&self) -> Vec<(String, String)> {
+        let mut records: Vec<(String, String)> = self
+            .entries
+            .values()
+            .map(|c| (c.url.clone(), c.body.clone()))
+            .collect();
+        records.sort();
+        records.dedup();
+        records
+    }
+
+    /// Clears entries but keeps statistics (fresh page, same accounting).
+    pub fn clear_entries(&mut self) {
+        self.entries.clear();
+        self.hot_functions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = HotNodeCache::new();
+        let key = "getUrl(\"/c?p=2\", true)";
+        assert!(cache.lookup(key).is_none());
+        cache.insert("getUrl", key.to_string(), "/c?p=2".into(), "<p>page2</p>".into());
+        assert_eq!(cache.lookup(key).as_deref(), Some("<p>page2</p>"));
+        assert_eq!(cache.lookup(key).as_deref(), Some("<p>page2</p>"));
+        let stats = cache.stats();
+        assert_eq!(stats.network_calls, 1);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.total_calls(), 3);
+    }
+
+    #[test]
+    fn distinct_args_are_distinct_calls() {
+        let mut cache = HotNodeCache::new();
+        cache.insert("getUrl", "getUrl(\"/c?p=2\")".into(), "/c?p=2".into(), "two".into());
+        assert!(cache.lookup("getUrl(\"/c?p=3\")").is_none());
+        assert!(cache.contains("getUrl(\"/c?p=2\")"));
+    }
+
+    #[test]
+    fn hot_function_registry() {
+        let mut cache = HotNodeCache::new();
+        assert!(!cache.is_hot_function("getUrl"));
+        cache.insert("getUrl", "k1".into(), "/a".into(), "x".into());
+        cache.insert("getUrl", "k2".into(), "/b".into(), "y".into());
+        assert!(cache.is_hot_function("getUrl"));
+        assert_eq!(cache.stats().hot_nodes, 1, "one distinct hot node");
+    }
+
+    #[test]
+    fn fetch_records_sorted_dedup() {
+        let mut cache = HotNodeCache::new();
+        cache.insert("f", "k1".into(), "/b".into(), "y".into());
+        cache.insert("f", "k2".into(), "/a".into(), "x".into());
+        let recs = cache.fetch_records();
+        assert_eq!(recs[0].0, "/a");
+        assert_eq!(recs[1].0, "/b");
+    }
+
+    #[test]
+    fn uncached_calls_counted() {
+        let mut cache = HotNodeCache::new();
+        cache.record_uncached_call();
+        cache.record_uncached_call();
+        assert_eq!(cache.stats().network_calls, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = HotNodeStats {
+            network_calls: 3,
+            cache_hits: 1,
+            hot_nodes: 1,
+        };
+        let b = HotNodeStats {
+            network_calls: 2,
+            cache_hits: 4,
+            hot_nodes: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.network_calls, 5);
+        assert_eq!(a.cache_hits, 5);
+        assert_eq!(a.hot_nodes, 2);
+    }
+}

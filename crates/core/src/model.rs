@@ -1,0 +1,318 @@
+//! The AJAX application model (thesis ch. 2).
+//!
+//! An AJAX page is modelled as a **transition graph**: nodes are application
+//! states (DOM trees, identified by a content hash), edges are transitions
+//! annotated with the triggering event (source element, trigger type, action
+//! and modified targets). An AJAX *web site* adds the traditional hyperlink
+//! graph between pages.
+
+use ajax_dom::EventType;
+use ajax_net::Micros;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a state inside one [`AppModel`]. State 0 is always the
+/// initial state (the page as loaded + `onload`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The initial state of every page.
+    pub const INITIAL: StateId = StateId(0);
+
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One application state: a snapshot of the user-visible document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct State {
+    pub id: StateId,
+    /// FNV-64 hash of the normalized DOM — the duplicate-detection identity
+    /// of §3.2.
+    pub hash: u64,
+    /// Extracted text content (what the indexer consumes).
+    pub text: String,
+    /// Full serialized DOM, kept only when the crawl config asks for it
+    /// (needed by result aggregation / replay; heavy for bulk crawls).
+    pub dom_html: Option<String>,
+}
+
+/// A transition: `from --event--> to`, annotated as in Table 2.1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    pub from: StateId,
+    pub to: StateId,
+    /// Stable description of the source element (`span#nextArrow`).
+    pub source: String,
+    /// The trigger (click, mouseover, …).
+    pub event: EventType,
+    /// The handler code — the *action* that caused the transition; replaying
+    /// it from `from` reproduces `to` (result aggregation, §5.4).
+    pub action: String,
+    /// The modified target elements (Table 2.1's "Target(s)" column, e.g.
+    /// `div#recent_comments`), computed by DOM diff between the two states.
+    pub targets: Vec<String>,
+}
+
+/// One `(url, body)` pair fetched from the server during the crawl; stored so
+/// that replay (result aggregation) can run fully offline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FetchRecord {
+    pub url: String,
+    pub body: String,
+}
+
+/// The application model of one AJAX page: the transition graph plus the
+/// replay data and crawl accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// The page URL (all states share it — that is the crux of the problem).
+    pub url: String,
+    pub states: Vec<State>,
+    pub transitions: Vec<Transition>,
+    /// The raw page HTML, kept when replay support is enabled.
+    pub page_html: Option<String>,
+    /// XHR bodies fetched during crawling, for offline replay.
+    pub fetches: Vec<FetchRecord>,
+    /// Virtual time the page crawl took.
+    pub crawl_micros: Micros,
+}
+
+impl AppModel {
+    /// Creates an empty model for `url`.
+    pub fn new(url: impl Into<String>) -> Self {
+        Self {
+            url: url.into(),
+            states: Vec::new(),
+            transitions: Vec::new(),
+            page_html: None,
+            fetches: Vec::new(),
+            crawl_micros: 0,
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Looks a state up by id.
+    pub fn state(&self, id: StateId) -> Option<&State> {
+        self.states.get(id.index())
+    }
+
+    /// Finds the state with content hash `hash` (duplicate detection).
+    pub fn state_by_hash(&self, hash: u64) -> Option<&State> {
+        self.states.iter().find(|s| s.hash == hash)
+    }
+
+    /// Adds a state and returns its id. The caller must have checked for
+    /// duplicates via [`Self::state_by_hash`] first.
+    pub fn add_state(&mut self, hash: u64, text: String, dom_html: Option<String>) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(State {
+            id,
+            hash,
+            text,
+            dom_html,
+        });
+        id
+    }
+
+    /// Adds a transition (idempotent: duplicate edges are dropped).
+    pub fn add_transition(&mut self, transition: Transition) {
+        if !self.transitions.iter().any(|t| {
+            t.from == transition.from
+                && t.to == transition.to
+                && t.source == transition.source
+                && t.event == transition.event
+        }) {
+            self.transitions.push(transition);
+        }
+    }
+
+    /// Outgoing transitions of `state`.
+    pub fn outgoing(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// The shortest event path from the initial state to `target` — the path
+    /// result aggregation replays (§5.4, step 1).
+    pub fn event_path(&self, target: StateId) -> Option<Vec<&Transition>> {
+        if target == StateId::INITIAL {
+            return Some(Vec::new());
+        }
+        if target.index() >= self.states.len() {
+            return None;
+        }
+        // BFS over transitions.
+        let mut pred: HashMap<StateId, &Transition> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([StateId::INITIAL]);
+        while let Some(s) = queue.pop_front() {
+            for t in self.outgoing(s) {
+                if t.to != StateId::INITIAL && !pred.contains_key(&t.to) {
+                    pred.insert(t.to, t);
+                    if t.to == target {
+                        // Reconstruct.
+                        let mut path = Vec::new();
+                        let mut cur = target;
+                        while cur != StateId::INITIAL {
+                            let t = pred[&cur];
+                            path.push(t);
+                            cur = t.from;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(t.to);
+                }
+            }
+        }
+        None
+    }
+
+    /// Adjacency lists over states (for AJAXRank).
+    pub fn state_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.states.len()];
+        for t in &self.transitions {
+            adj[t.from.index()].push(t.to.index());
+        }
+        adj
+    }
+
+    /// Total text size across states (bytes).
+    pub fn text_bytes(&self) -> usize {
+        self.states.iter().map(|s| s.text.len()).sum()
+    }
+}
+
+/// The model of a whole AJAX web site: the page models plus the traditional
+/// hyperlink graph (Fig. 2.3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteModel {
+    pub pages: Vec<AppModel>,
+    /// `url -> outbound urls` (hyperlinks, not AJAX transitions).
+    pub hyperlinks: HashMap<String, Vec<String>>,
+    /// `url -> PageRank` from the precrawl phase.
+    pub pagerank: HashMap<String, f64>,
+}
+
+impl SiteModel {
+    /// Total number of states over all pages.
+    pub fn total_states(&self) -> usize {
+        self.pages.iter().map(AppModel::state_count).sum()
+    }
+
+    /// Finds a page model by URL.
+    pub fn page(&self, url: &str) -> Option<&AppModel> {
+        self.pages.iter().find(|p| p.url == url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_with_chain() -> AppModel {
+        // s0 -> s1 -> s2, plus a shortcut s0 -> s2.
+        let mut m = AppModel::new("http://x/watch?v=1");
+        let s0 = m.add_state(10, "zero".into(), None);
+        let s1 = m.add_state(11, "one".into(), None);
+        let s2 = m.add_state(12, "two".into(), None);
+        assert_eq!(s0, StateId::INITIAL);
+        m.add_transition(Transition {
+            from: s0,
+            to: s1,
+            source: "span#next".into(),
+            event: EventType::Click,
+            action: "nextPage()".into(),
+            targets: vec!["div#recent_comments".into()],
+        });
+        m.add_transition(Transition {
+            from: s1,
+            to: s2,
+            source: "span#next".into(),
+            event: EventType::Click,
+            action: "nextPage()".into(),
+            targets: vec!["div#recent_comments".into()],
+        });
+        m.add_transition(Transition {
+            from: s0,
+            to: s2,
+            source: "span.pagelink".into(),
+            event: EventType::Click,
+            action: "gotoPage(3)".into(),
+            targets: vec!["div#recent_comments".into()],
+        });
+        m
+    }
+
+    #[test]
+    fn duplicate_detection_by_hash() {
+        let m = model_with_chain();
+        assert!(m.state_by_hash(11).is_some());
+        assert!(m.state_by_hash(99).is_none());
+    }
+
+    #[test]
+    fn duplicate_transitions_dropped() {
+        let mut m = model_with_chain();
+        let before = m.transitions.len();
+        m.add_transition(Transition {
+            from: StateId(0),
+            to: StateId(1),
+            source: "span#next".into(),
+            event: EventType::Click,
+            action: "nextPage()".into(),
+            targets: Vec::new(),
+        });
+        assert_eq!(m.transitions.len(), before);
+    }
+
+    #[test]
+    fn event_path_finds_shortest() {
+        let m = model_with_chain();
+        let path = m.event_path(StateId(2)).unwrap();
+        assert_eq!(path.len(), 1, "shortcut s0->s2 must win over s0->s1->s2");
+        assert_eq!(path[0].action, "gotoPage(3)");
+        let path1 = m.event_path(StateId(1)).unwrap();
+        assert_eq!(path1.len(), 1);
+        assert!(m.event_path(StateId::INITIAL).unwrap().is_empty());
+        assert!(m.event_path(StateId(77)).is_none());
+    }
+
+    #[test]
+    fn unreachable_state_has_no_path() {
+        let mut m = model_with_chain();
+        let lonely = m.add_state(99, "lonely".into(), None);
+        assert!(m.event_path(lonely).is_none());
+    }
+
+    #[test]
+    fn adjacency() {
+        let m = model_with_chain();
+        let adj = m.state_adjacency();
+        assert_eq!(adj[0], vec![1, 2]);
+        assert_eq!(adj[1], vec![2]);
+        assert!(adj[2].is_empty());
+    }
+
+    #[test]
+    fn site_model_totals() {
+        let mut site = SiteModel::default();
+        site.pages.push(model_with_chain());
+        site.pages.push(AppModel::new("http://x/watch?v=2"));
+        assert_eq!(site.total_states(), 3);
+        assert!(site.page("http://x/watch?v=1").is_some());
+        assert!(site.page("http://x/watch?v=9").is_none());
+    }
+}

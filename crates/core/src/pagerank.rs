@@ -1,0 +1,149 @@
+//! PageRank by power iteration.
+//!
+//! Used twice in the system, exactly as in the thesis:
+//!
+//! * by the **precrawler** over the hyperlink graph (URL-level PageRank,
+//!   §6.2.1), and
+//! * by the **indexer** over each page's transition graph, where the
+//!   stationary distribution plays the role of the *AJAXRank* — "a
+//!   measurement for the ranking order of the states within one AJAX Web
+//!   page" (§5.3.3). The initial state receives the most mass; deeper,
+//!   harder-to-reach states receive less.
+
+/// Computes PageRank over `adjacency` (out-edges, node indices) with damping
+/// `d`, iterating until L1 change < `tolerance` or `max_iterations`.
+/// Dangling nodes distribute their mass uniformly. Returns a distribution
+/// summing to ~1.
+pub fn pagerank(
+    adjacency: &[Vec<usize>],
+    damping: f64,
+    tolerance: f64,
+    max_iterations: usize,
+) -> Vec<f64> {
+    let n = adjacency.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+
+    for _ in 0..max_iterations {
+        next.fill((1.0 - damping) * uniform);
+        let mut dangling_mass = 0.0;
+        for (node, out) in adjacency.iter().enumerate() {
+            if out.is_empty() {
+                dangling_mass += rank[node];
+            } else {
+                let share = damping * rank[node] / out.len() as f64;
+                for &target in out {
+                    if target < n {
+                        next[target] += share;
+                    }
+                }
+            }
+        }
+        let dangling_share = damping * dangling_mass * uniform;
+        for value in next.iter_mut() {
+            *value += dangling_share;
+        }
+
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+/// PageRank with the conventional damping 0.85 and sensible convergence
+/// settings.
+pub fn pagerank_default(adjacency: &[Vec<usize>]) -> Vec<f64> {
+    pagerank(adjacency, 0.85, 1e-9, 200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to_one(rank: &[f64]) {
+        let sum: f64 = rank.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "ranks sum to {sum}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(pagerank_default(&[]).is_empty());
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        // 0 -> 1 -> 2 -> 0
+        let adj = vec![vec![1], vec![2], vec![0]];
+        let rank = pagerank_default(&adj);
+        assert_sums_to_one(&rank);
+        for r in &rank {
+            assert!((r - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hub_gets_more_rank() {
+        // Everyone links to node 0; node 0 links to node 1.
+        let adj = vec![vec![1], vec![0], vec![0], vec![0]];
+        let rank = pagerank_default(&adj);
+        assert_sums_to_one(&rank);
+        assert!(rank[0] > rank[2]);
+        assert!(rank[1] > rank[2], "0's endorsement lifts 1");
+        assert!((rank[2] - rank[3]).abs() < 1e-9, "symmetric nodes equal");
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        // 0 -> 1, 1 dangling.
+        let adj = vec![vec![1], vec![]];
+        let rank = pagerank_default(&adj);
+        assert_sums_to_one(&rank);
+        assert!(rank[1] > rank[0], "1 receives all of 0's mass");
+    }
+
+    #[test]
+    fn initial_state_dominates_comment_chain() {
+        // The AJAXRank use case: a chain s0 <-> s1 <-> s2 <-> s3 with jumps
+        // from s0 — shaped like a comment pagination graph.
+        let adj = vec![
+            vec![1, 2, 3], // s0: next + two jumps
+            vec![0, 2],    // s1: prev, next
+            vec![1, 3],
+            vec![2],
+        ];
+        let rank = pagerank_default(&adj);
+        assert_sums_to_one(&rank);
+        // Deeper states must not beat middle states reachable many ways;
+        // chain ends get less than the well-connected middle.
+        assert!(rank[2] > rank[3] || rank[1] > rank[3]);
+    }
+
+    #[test]
+    fn out_of_range_edges_ignored() {
+        let adj = vec![vec![1, 99], vec![0]];
+        let rank = pagerank_default(&adj);
+        assert_eq!(rank.len(), 2);
+        assert!(rank.iter().all(|r| r.is_finite() && *r > 0.0));
+    }
+
+    #[test]
+    fn converges_quickly_on_bigger_graph() {
+        let n = 500;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| vec![(i + 1) % n, (i * 7 + 3) % n])
+            .collect();
+        let rank = pagerank(&adj, 0.85, 1e-10, 500);
+        assert_sums_to_one(&rank);
+    }
+}

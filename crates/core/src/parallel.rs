@@ -1,0 +1,273 @@
+//! The parallel crawler (thesis ch. 6): `MpCrawler` is the `MPAjaxCrawler` —
+//! it runs `proc_lines` concurrent "process lines", each serially consuming
+//! URL partitions with its own independent `SimpleAjaxCrawler` (here: a
+//! [`Crawler`] with its own network client). No communication happens
+//! between lines; the hyperlink structure was already extracted by the
+//! precrawling phase, which is exactly what makes this embarrassingly
+//! parallel (§6.1).
+//!
+//! Two time axes:
+//!
+//! * **real**: partitions are crawled on OS threads (wall-clock parallelism);
+//! * **virtual**: each partition's CPU/network trace is replayed through
+//!   `ajax_net::sched::simulate` over `proc_lines` lines and `cores` CPU
+//!   cores, yielding the deterministic makespan reported by the Table 7.3 /
+//!   Fig 7.8 experiments.
+
+use crate::crawler::{CrawlConfig, CrawlError, Crawler, PageStats};
+use crate::model::AppModel;
+use crate::partition::Partition;
+use ajax_net::sched::{simulate, Segment, Task};
+use ajax_net::{LatencyModel, Micros, Server, Url};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Result of crawling one partition.
+#[derive(Debug, Clone)]
+pub struct PartitionResult {
+    pub id: usize,
+    pub models: Vec<AppModel>,
+    /// Aggregate stats over the partition's pages.
+    pub stats: PageStats,
+    /// Concatenated CPU/network trace of the partition (one serial
+    /// `SimpleAjaxCrawler` run).
+    pub trace: Task,
+    /// Pages that failed (URL + error); the line continues past failures.
+    pub failures: Vec<(String, CrawlError)>,
+}
+
+/// Result of a full parallel crawl.
+#[derive(Debug, Clone)]
+pub struct MpReport {
+    /// Per-partition results, ordered by partition id.
+    pub partitions: Vec<PartitionResult>,
+    /// Aggregate stats over all pages.
+    pub aggregate: PageStats,
+    /// Virtual wall-clock time with `proc_lines` lines on `cores` cores.
+    pub virtual_makespan: Micros,
+    /// Virtual time a single line would need (serial execution).
+    pub virtual_serial: Micros,
+}
+
+impl MpReport {
+    /// All application models in partition order.
+    pub fn into_models(self) -> Vec<AppModel> {
+        self.partitions
+            .into_iter()
+            .flat_map(|p| p.models)
+            .collect()
+    }
+
+    /// Parallel speedup in virtual time.
+    pub fn speedup(&self) -> f64 {
+        if self.virtual_makespan == 0 {
+            1.0
+        } else {
+            self.virtual_serial as f64 / self.virtual_makespan as f64
+        }
+    }
+}
+
+/// The multi-process-line crawler.
+pub struct MpCrawler {
+    server: Arc<dyn Server>,
+    latency: LatencyModel,
+    config: CrawlConfig,
+    /// `MP_CRAWLER_NUM_OF_PROC_LINES`.
+    pub proc_lines: usize,
+    /// CPU cores of the (virtual) machine the lines share.
+    pub cores: usize,
+}
+
+impl MpCrawler {
+    /// Creates a parallel crawler. The thesis machine was a dual-core Xeon
+    /// running 4 process lines; those are the defaults.
+    pub fn new(server: Arc<dyn Server>, latency: LatencyModel, config: CrawlConfig) -> Self {
+        Self {
+            server,
+            latency,
+            config,
+            proc_lines: 4,
+            cores: 2,
+        }
+    }
+
+    /// Sets the number of process lines.
+    pub fn with_proc_lines(mut self, proc_lines: usize) -> Self {
+        self.proc_lines = proc_lines.max(1);
+        self
+    }
+
+    /// Sets the core count of the machine model.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Crawls one partition serially with a fresh crawler (fresh network
+    /// client ⇒ per-partition determinism independent of thread scheduling).
+    fn crawl_partition(&self, partition: &Partition) -> PartitionResult {
+        let mut crawler = Crawler::new(
+            Arc::clone(&self.server),
+            self.latency.clone(),
+            self.config.clone(),
+        );
+        let mut result = PartitionResult {
+            id: partition.id,
+            models: Vec::with_capacity(partition.urls.len()),
+            stats: PageStats::default(),
+            trace: Task::default(),
+            failures: Vec::new(),
+        };
+        let mut segments: Vec<Segment> = Vec::new();
+        for url in &partition.urls {
+            match crawler.crawl_page(&Url::parse(url)) {
+                Ok(page) => {
+                    result.stats.merge(&page.stats);
+                    segments.extend(page.trace.segments.iter().copied());
+                    result.models.push(page.model);
+                }
+                Err(e) => result.failures.push((url.clone(), e)),
+            }
+        }
+        result.trace = Task::new(segments);
+        result
+    }
+
+    /// Crawls all partitions over `proc_lines` OS threads (each line pulls
+    /// the next unprocessed partition, exactly like `getPartitionID()`), and
+    /// computes the virtual makespan of that execution.
+    pub fn crawl(&self, partitions: &[Partition]) -> MpReport {
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<PartitionResult>> = Mutex::new(Vec::with_capacity(partitions.len()));
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.proc_lines.max(1) {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(partition) = partitions.get(idx) else {
+                        break;
+                    };
+                    let result = self.crawl_partition(partition);
+                    results.lock().expect("no poisoned lock").push(result);
+                });
+            }
+        });
+
+        let mut partitions_done = results.into_inner().expect("threads joined");
+        partitions_done.sort_by_key(|p| p.id);
+
+        let mut aggregate = PageStats::default();
+        for p in &partitions_done {
+            aggregate.merge(&p.stats);
+        }
+        let tasks: Vec<Task> = partitions_done.iter().map(|p| p.trace.clone()).collect();
+        let report = simulate(&tasks, self.proc_lines, self.cores);
+
+        MpReport {
+            partitions: partitions_done,
+            aggregate,
+            virtual_makespan: report.makespan,
+            virtual_serial: report.serial_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_urls;
+    use ajax_webgen::{VidShareServer, VidShareSpec};
+
+    fn setup(n_videos: u32, partition_size: usize) -> (Arc<VidShareServer>, Vec<Partition>) {
+        let spec = VidShareSpec::small(n_videos);
+        let urls: Vec<String> = (0..n_videos).map(|v| spec.watch_url(v)).collect();
+        let server = Arc::new(VidShareServer::new(spec));
+        let partitions = partition_urls(&urls, partition_size);
+        (server, partitions)
+    }
+
+    #[test]
+    fn parallel_crawl_covers_all_pages() {
+        let (server, partitions) = setup(24, 6);
+        let mp = MpCrawler::new(server, LatencyModel::Fixed(2_000), CrawlConfig::ajax())
+            .with_proc_lines(4)
+            .with_cores(2);
+        let report = mp.crawl(&partitions);
+        let models = report.into_models();
+        assert_eq!(models.len(), 24);
+        let urls: std::collections::HashSet<_> = models.iter().map(|m| &m.url).collect();
+        assert_eq!(urls.len(), 24, "every page crawled exactly once");
+    }
+
+    #[test]
+    fn parallel_matches_serial_models() {
+        let (server, partitions) = setup(12, 3);
+        let mp = |lines: usize| {
+            MpCrawler::new(
+                Arc::clone(&server) as Arc<dyn Server>,
+                LatencyModel::thesis_default(3),
+                CrawlConfig::ajax(),
+            )
+            .with_proc_lines(lines)
+        };
+        let serial = mp(1).crawl(&partitions);
+        let parallel = mp(4).crawl(&partitions);
+        let serial_models = serial.into_models();
+        let parallel_models = parallel.into_models();
+        assert_eq!(serial_models, parallel_models, "parallelism must not change results");
+    }
+
+    #[test]
+    fn virtual_makespan_shrinks_with_lines() {
+        let (server, partitions) = setup(16, 2);
+        let run = |lines: usize| {
+            MpCrawler::new(
+                Arc::clone(&server) as Arc<dyn Server>,
+                LatencyModel::thesis_default(1),
+                CrawlConfig::ajax(),
+            )
+            .with_proc_lines(lines)
+            .with_cores(2)
+            .crawl(&partitions)
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.virtual_serial, four.virtual_serial);
+        assert!(
+            four.virtual_makespan < one.virtual_makespan,
+            "4 lines ({}) must beat 1 line ({})",
+            four.virtual_makespan,
+            one.virtual_makespan
+        );
+        assert!(four.speedup() > 1.5, "speedup {}", four.speedup());
+    }
+
+    #[test]
+    fn failures_recorded_not_fatal() {
+        let (server, _) = setup(5, 2);
+        let partitions = vec![Partition {
+            id: 1,
+            urls: vec![
+                "http://vidshare.example/watch?v=1".into(),
+                "http://vidshare.example/watch?v=777".into(), // 404
+                "http://vidshare.example/watch?v=2".into(),
+            ],
+        }];
+        let mp = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax());
+        let report = mp.crawl(&partitions);
+        assert_eq!(report.partitions[0].failures.len(), 1);
+        assert_eq!(report.partitions[0].models.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_partitions() {
+        let (server, partitions) = setup(10, 5);
+        let mp = MpCrawler::new(server, LatencyModel::Fixed(1_000), CrawlConfig::ajax())
+            .with_proc_lines(2);
+        let report = mp.crawl(&partitions);
+        let sum: u64 = report.partitions.iter().map(|p| p.stats.states).sum();
+        assert_eq!(report.aggregate.states, sum);
+        assert!(report.aggregate.states >= 10);
+    }
+}

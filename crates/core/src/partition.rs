@@ -1,0 +1,79 @@
+//! The `URLPartitioner` (thesis §6.2.2): split the precrawled URL list into
+//! fixed-size partitions, each becoming the input of one independent
+//! `SimpleAjaxCrawler`. On disk the thesis wrote one directory per partition
+//! with a `URLsToCrawl.txt`; here a partition is a value.
+
+use serde::{Deserialize, Serialize};
+
+/// One URL partition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    /// 1-based id, matching the thesis' numbered partition directories.
+    pub id: usize,
+    pub urls: Vec<String>,
+}
+
+/// Splits `urls` into partitions of `partition_size` (`PARTITION_SIZE`).
+/// The final partition may be smaller. `partition_size == 0` is coerced to 1.
+pub fn partition_urls(urls: &[String], partition_size: usize) -> Vec<Partition> {
+    let size = partition_size.max(1);
+    urls.chunks(size)
+        .enumerate()
+        .map(|(i, chunk)| Partition {
+            id: i + 1,
+            urls: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urls(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("http://x/watch?v={i}")).collect()
+    }
+
+    #[test]
+    fn exact_division() {
+        let parts = partition_urls(&urls(100), 20);
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|p| p.urls.len() == 20));
+        assert_eq!(parts[0].id, 1);
+        assert_eq!(parts[4].id, 5);
+    }
+
+    #[test]
+    fn remainder_partition_smaller() {
+        // The thesis' own example: 107 pages, size 20 ⇒ 6 partitions.
+        let parts = partition_urls(&urls(107), 20);
+        assert_eq!(parts.len(), 6);
+        assert_eq!(parts[5].urls.len(), 7);
+    }
+
+    #[test]
+    fn covers_all_urls_exactly_once() {
+        let input = urls(53);
+        let parts = partition_urls(&input, 7);
+        let flattened: Vec<String> = parts.into_iter().flat_map(|p| p.urls).collect();
+        assert_eq!(flattened, input);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(partition_urls(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn zero_size_coerced() {
+        let parts = partition_urls(&urls(3), 0);
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn size_larger_than_input() {
+        let parts = partition_urls(&urls(3), 100);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].urls.len(), 3);
+    }
+}

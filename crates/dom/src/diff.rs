@@ -1,0 +1,262 @@
+//! DOM difference: which elements did a transition modify?
+//!
+//! The thesis annotates each transition with its *target(s)* — the elements
+//! whose properties changed through the action (Table 2.1: a click on
+//! `next` affects `recent_comments` through `innerHTML`). This module
+//! computes that annotation by structural comparison of the before/after
+//! DOMs, returning the changed regions as element **paths**.
+//!
+//! Heuristics, tuned to produce Table 2.1-style answers:
+//!
+//! * if a matched element's child list changed shape, or **several** of its
+//!   children changed, the element itself is the target (an `innerHTML`
+//!   refill reads as one target, not dozens of leaf paragraphs);
+//! * if exactly **one** child changed, descend for a more precise target;
+//! * attribute changes target the element carrying the attribute.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::events::describe_element;
+use crate::hash::fnv64_str;
+use crate::serialize;
+
+/// A changed region, identified by its element path
+/// (`body > div#recent_comments`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangedTarget {
+    /// ` > `-joined path of element descriptions from the root.
+    pub path: String,
+    /// Description of the target element itself (`div#recent_comments`).
+    pub element: String,
+}
+
+/// Computes the modified targets between `old` and `new`.
+/// Returns an empty vector when the documents are content-identical.
+pub fn changed_roots(old: &Document, new: &Document) -> Vec<ChangedTarget> {
+    let mut out = Vec::new();
+    diff_children(old, old.root(), new, new.root(), &mut Vec::new(), &mut out);
+    out
+}
+
+fn subtree_hash(doc: &Document, node: NodeId) -> u64 {
+    let mut sub = Document::new();
+    let root = sub.root();
+    graft(doc, node, &mut sub, root);
+    fnv64_str(&serialize::normalized_html(&sub))
+}
+
+fn graft(src: &Document, src_node: NodeId, dst: &mut Document, dst_parent: NodeId) {
+    let data = src.node(src_node).data.clone();
+    let new_id = dst.append(dst_parent, data);
+    for child in src.children(src_node) {
+        graft(src, child, dst, new_id);
+    }
+}
+
+fn push_target(path: &[String], out: &mut Vec<ChangedTarget>) {
+    let target = ChangedTarget {
+        path: if path.is_empty() {
+            "#document".to_string()
+        } else {
+            path.join(" > ")
+        },
+        element: path.last().cloned().unwrap_or_else(|| "#document".into()),
+    };
+    if !out.iter().any(|t| t.path == target.path) {
+        out.push(target);
+    }
+}
+
+/// Compares the children of two matched nodes; `path` describes `new_node`.
+fn diff_children(
+    old: &Document,
+    old_node: NodeId,
+    new: &Document,
+    new_node: NodeId,
+    path: &mut Vec<String>,
+    out: &mut Vec<ChangedTarget>,
+) {
+    let old_children: Vec<NodeId> = old.children(old_node).collect();
+    let new_children: Vec<NodeId> = new.children(new_node).collect();
+
+    let aligned = old_children.len() == new_children.len()
+        && old_children
+            .iter()
+            .zip(new_children.iter())
+            .all(|(&a, &b)| same_kind(old, a, new, b));
+    if !aligned {
+        push_target(path, out);
+        return;
+    }
+
+    // Which aligned children changed?
+    #[derive(Clone, Copy)]
+    enum Change {
+        Element { attrs_equal: bool },
+        Text,
+    }
+    let mut changed: Vec<(usize, Change)> = Vec::new();
+    for (i, (&a, &b)) in old_children.iter().zip(new_children.iter()).enumerate() {
+        match (&old.node(a).data, &new.node(b).data) {
+            (NodeData::Element { .. }, NodeData::Element { .. }) => {
+                if subtree_hash(old, a) != subtree_hash(new, b) {
+                    changed.push((
+                        i,
+                        Change::Element {
+                            attrs_equal: attributes_equal(old, a, new, b),
+                        },
+                    ));
+                }
+            }
+            (NodeData::Text(t1), NodeData::Text(t2)) => {
+                if collapse(t1) != collapse(t2) {
+                    changed.push((i, Change::Text));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if changed.is_empty() {
+        return;
+    }
+    // Every child changed at once: the innerHTML-refill pattern — this node
+    // is the single target (e.g. the comment box, not its 20 paragraphs).
+    if changed.len() > 1 && changed.len() == new_children.len() {
+        push_target(path, out);
+        return;
+    }
+    // Otherwise the changed children are independent regions: handle each.
+    for (i, change) in &changed {
+        match change {
+            Change::Element { attrs_equal: true } => {
+                let a = old_children[*i];
+                let b = new_children[*i];
+                path.push(describe_element(new, b));
+                diff_children(old, a, new, b, path, out);
+                path.pop();
+            }
+            Change::Element { attrs_equal: false } => {
+                let b = new_children[*i];
+                path.push(describe_element(new, b));
+                push_target(path, out);
+                path.pop();
+            }
+            // A changed bare text child targets this node.
+            Change::Text => push_target(path, out),
+        }
+    }
+}
+
+fn same_kind(old: &Document, a: NodeId, new: &Document, b: NodeId) -> bool {
+    match (&old.node(a).data, &new.node(b).data) {
+        (NodeData::Element { name: n1, .. }, NodeData::Element { name: n2, .. }) => n1 == n2,
+        (NodeData::Text(_), NodeData::Text(_)) => true,
+        (NodeData::Comment(_), NodeData::Comment(_)) => true,
+        _ => false,
+    }
+}
+
+fn attributes_equal(old: &Document, a: NodeId, new: &Document, b: NodeId) -> bool {
+    match (&old.node(a).data, &new.node(b).data) {
+        (NodeData::Element { attrs: x, .. }, NodeData::Element { attrs: y, .. }) => {
+            let mut x: Vec<_> = x.clone();
+            let mut y: Vec<_> = y.clone();
+            x.sort();
+            y.sort();
+            x == y
+        }
+        _ => false,
+    }
+}
+
+fn collapse(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn targets(old_html: &str, new_html: &str) -> Vec<String> {
+        let old = parse_document(old_html);
+        let new = parse_document(new_html);
+        changed_roots(&old, &new)
+            .into_iter()
+            .map(|t| t.element)
+            .collect()
+    }
+
+    #[test]
+    fn identical_documents_no_targets() {
+        let html = "<div id=\"a\"><p>x</p></div>";
+        assert!(targets(html, html).is_empty());
+        assert!(targets(
+            "<div a=\"1\" b=\"2\">x   y</div>",
+            "<div b=\"2\" a=\"1\">x y</div>"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn inner_html_refill_targets_the_box() {
+        // The thesis' canonical transition: the whole comment box refilled
+        // (several comments change at once).
+        let old = "<h1 id=\"t\">title</h1>\
+                   <div id=\"recent_comments\"><p>c1 page1</p><p>c2 page1</p><p>c3 page1</p></div>";
+        let new = "<h1 id=\"t\">title</h1>\
+                   <div id=\"recent_comments\"><p>c1 page2</p><p>c2 page2</p><p>c3 page2</p></div>";
+        assert_eq!(targets(old, new), vec!["div#recent_comments"]);
+    }
+
+    #[test]
+    fn single_leaf_change_descends() {
+        let old = "<div id=\"box\"><p>keep</p><p>old text</p></div>";
+        let new = "<div id=\"box\"><p>keep</p><p>new text</p></div>";
+        assert_eq!(targets(old, new), vec!["p"], "one changed child: precise target");
+    }
+
+    #[test]
+    fn structural_change_reports_container() {
+        let old = "<div id=\"box\"><p>a</p></div>";
+        let new = "<div id=\"box\"><p>a</p><p>b</p></div>";
+        assert_eq!(targets(old, new), vec!["div#box"]);
+    }
+
+    #[test]
+    fn two_independent_regions_both_reported_with_paths() {
+        let old = "<div id=\"x\"><p>1</p><p>1b</p></div><div id=\"y\"><p>1</p><p>1b</p></div><div id=\"z\"><p>same</p></div>";
+        let new = "<div id=\"x\"><p>2</p><p>2b</p></div><div id=\"y\"><p>2</p><p>2b</p></div><div id=\"z\"><p>same</p></div>";
+        let o = parse_document(old);
+        let n = parse_document(new);
+        let roots = changed_roots(&o, &n);
+        let paths: Vec<&str> = roots.iter().map(|t| t.path.as_str()).collect();
+        assert_eq!(paths, vec!["div#x", "div#y"]);
+    }
+
+    #[test]
+    fn attribute_change_reports_element() {
+        let old = "<div id=\"a\"><span class=\"off\">s</span></div>";
+        let new = "<div id=\"a\"><span class=\"on\">s</span></div>";
+        assert_eq!(targets(old, new), vec!["span.on"]);
+    }
+
+    #[test]
+    fn tag_swap_reports_parent() {
+        let old = "<div id=\"a\"><em>x</em></div>";
+        let new = "<div id=\"a\"><b>x</b></div>";
+        assert_eq!(targets(old, new), vec!["div#a"]);
+    }
+
+    #[test]
+    fn paths_are_full_chains() {
+        let old = "<body><div id=\"outer\"><div id=\"inner\"><p>a</p><p>b old</p></div></div></body>";
+        let new = "<body><div id=\"outer\"><div id=\"inner\"><p>a</p><p>b new</p></div></div></body>";
+        let o = parse_document(old);
+        let n = parse_document(new);
+        let roots = changed_roots(&o, &n);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].path, "body > div#outer > div#inner > p");
+        assert_eq!(roots[0].element, "p");
+    }
+}

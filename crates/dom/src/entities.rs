@@ -1,0 +1,131 @@
+//! Minimal HTML entity encoding/decoding.
+//!
+//! We support the named entities that occur in practice in text-centric pages
+//! plus numeric character references. Unknown entities are passed through
+//! verbatim (browser-like leniency).
+
+/// Decodes HTML entities in `input` (`&amp;`, `&lt;`, `&gt;`, `&quot;`,
+/// `&apos;`, `&nbsp;` and numeric `&#NN;` / `&#xHH;` references).
+pub fn decode(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some((replacement, consumed)) = decode_entity(&input[i..]) {
+                out.push_str(&replacement);
+                i += consumed;
+                continue;
+            }
+        }
+        // Advance one full UTF-8 character.
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&input[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+/// Attempts to decode one entity at the start of `s` (which begins with `&`).
+/// Returns the replacement text and the number of input bytes consumed.
+fn decode_entity(s: &str) -> Option<(String, usize)> {
+    let end = s[1..].find(';').map(|p| p + 1)?;
+    if end > 32 {
+        return None; // Unreasonably long; not an entity.
+    }
+    let name = &s[1..end];
+    let consumed = end + 1;
+    let text = match name {
+        "amp" => "&".to_string(),
+        "lt" => "<".to_string(),
+        "gt" => ">".to_string(),
+        "quot" => "\"".to_string(),
+        "apos" => "'".to_string(),
+        "nbsp" => "\u{a0}".to_string(),
+        _ if name.starts_with("#x") || name.starts_with("#X") => {
+            let code = u32::from_str_radix(&name[2..], 16).ok()?;
+            char::from_u32(code)?.to_string()
+        }
+        _ if name.starts_with('#') => {
+            let code: u32 = name[1..].parse().ok()?;
+            char::from_u32(code)?.to_string()
+        }
+        _ => return None,
+    };
+    Some((text, consumed))
+}
+
+/// Encodes text content: escapes `&`, `<`, `>`.
+pub fn encode_text(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Encodes an attribute value: like [`encode_text`] but also escapes `"`.
+pub fn encode_attr(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_named() {
+        assert_eq!(decode("a &amp; b &lt;c&gt; &quot;d&quot;"), "a & b <c> \"d\"");
+    }
+
+    #[test]
+    fn decode_numeric() {
+        assert_eq!(decode("&#65;&#x42;"), "AB");
+        assert_eq!(decode("&#x1F600;"), "😀");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(decode("&bogus; & x"), "&bogus; & x");
+        assert_eq!(decode("100% &"), "100% &");
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let original = "a<b>&\"c\"";
+        assert_eq!(decode(&encode_attr(original)), original);
+        assert_eq!(decode(&encode_text("x & <y>")), "x & <y>");
+    }
+
+    #[test]
+    fn decode_multibyte_passthrough() {
+        assert_eq!(decode("héllo & wörld"), "héllo & wörld");
+    }
+}

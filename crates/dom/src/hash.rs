@@ -1,0 +1,155 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! The thesis detects duplicate application states by "computing a hash of the
+//! content of the state" (§3.2). We use FNV-1a: it is tiny, dependency-free,
+//! deterministic across platforms and fast for the short-to-medium strings a
+//! serialized DOM produces. Determinism across runs matters because state ids
+//! are derived from these hashes and the whole evaluation must be reproducible.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher.
+///
+/// ```
+/// use ajax_dom::hash::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write(b"hello ");
+/// h.write(b"world");
+/// assert_eq!(h.finish(), ajax_dom::fnv64(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher in its initial state.
+    #[inline]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Feeds `bytes` into the hasher.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut s = self.state;
+        for &b in bytes {
+            s ^= u64::from(b);
+            s = s.wrapping_mul(FNV_PRIME);
+        }
+        self.state = s;
+    }
+
+    /// Feeds a string into the hasher.
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian) into the hasher. Useful for mixing
+    /// sequence numbers into per-request jitter seeds.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Returns the current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl std::hash::Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        Fnv64::write(self, bytes);
+    }
+}
+
+/// Hashes a byte slice with FNV-1a 64.
+#[inline]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hashes a string with FNV-1a 64.
+#[inline]
+pub fn fnv64_str(s: &str) -> u64 {
+    fnv64(s.as_bytes())
+}
+
+/// A `BuildHasher` for [`Fnv64`], so it can back `HashMap`s on hot paths
+/// (crawler state tables, posting dictionaries) without SipHash overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = Fnv64;
+    fn build_hasher(&self) -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+/// A `HashMap` keyed with FNV-1a (fast, deterministic; we control all keys so
+/// HashDoS is not a concern).
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+/// A `HashSet` hashed with FNV-1a.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        assert_ne!(fnv64_str("state-1"), fnv64_str("state-2"));
+    }
+
+    #[test]
+    fn write_u64_is_le_bytes() {
+        let mut a = Fnv64::new();
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv64::new();
+        b.write(&[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hashmap_usable() {
+        let mut m: FnvHashMap<u64, &str> = FnvHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+}

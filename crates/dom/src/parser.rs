@@ -1,0 +1,139 @@
+//! Tree builder: turns the token stream into a [`Document`].
+//!
+//! Forgiving by design (like browsers and like COBRA): unmatched end tags are
+//! dropped, unclosed elements are closed at EOF, void elements never take
+//! children.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Elements that never have children (no end tag expected).
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta",
+    "param", "source", "track", "wbr",
+];
+
+/// Returns true when `name` is an HTML void element.
+pub fn is_void_element(name: &str) -> bool {
+    VOID_ELEMENTS.contains(&name)
+}
+
+/// Parses a complete HTML document.
+pub fn parse_document(html: &str) -> Document {
+    parse_into(html)
+}
+
+/// Parses an HTML *fragment* (the `innerHTML` setter path). Identical
+/// algorithm; the distinction is kept for API clarity and future divergence.
+pub fn parse_fragment(html: &str) -> Document {
+    parse_into(html)
+}
+
+fn parse_into(html: &str) -> Document {
+    let mut doc = Document::new();
+    let mut open: Vec<(String, NodeId)> = Vec::new();
+
+    let current = |open: &Vec<(String, NodeId)>, doc: &Document| -> NodeId {
+        open.last().map(|(_, id)| *id).unwrap_or(doc.root())
+    };
+
+    for token in Tokenizer::new(html) {
+        match token {
+            Token::Doctype(_) => {}
+            Token::Comment(body) => {
+                let parent = current(&open, &doc);
+                doc.append(parent, NodeData::Comment(body));
+            }
+            Token::Text(text) => {
+                if text.is_empty() {
+                    continue;
+                }
+                let parent = current(&open, &doc);
+                doc.append(parent, NodeData::Text(text));
+            }
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                let parent = current(&open, &doc);
+                let id = doc.append(
+                    parent,
+                    NodeData::Element {
+                        name: name.clone(),
+                        attrs: attrs.into_iter().map(|a| (a.name, a.value)).collect(),
+                    },
+                );
+                if !self_closing && !is_void_element(&name) {
+                    open.push((name, id));
+                }
+            }
+            Token::EndTag { name } => {
+                // Pop up to (and including) the nearest matching open element;
+                // if none matches, ignore the stray end tag.
+                if let Some(pos) = open.iter().rposition(|(n, _)| *n == name) {
+                    open.truncate(pos);
+                }
+            }
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure() {
+        let doc = parse_document("<div><p>a</p><p>b</p></div>");
+        let div = doc.walk().next().unwrap();
+        assert_eq!(doc.tag_name(div), Some("div"));
+        assert_eq!(doc.children(div).count(), 2);
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let doc = parse_document("</p><div>x</div></div></span>");
+        assert_eq!(doc.document_text().trim(), "x");
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        let doc = parse_document("<div><p>a<p-like>");
+        assert!(doc.document_text().contains('a'));
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse_document("<br><p>text</p>");
+        let br = doc.walk().next().unwrap();
+        assert_eq!(doc.tag_name(br), Some("br"));
+        assert_eq!(doc.children(br).count(), 0);
+        // <p> must be a sibling of <br>, not its child.
+        assert_eq!(doc.children(doc.root()).count(), 2);
+    }
+
+    #[test]
+    fn mismatched_nesting_recovers() {
+        let doc = parse_document("<b><i>x</b>y</i>");
+        // "x" under <i>, and "y" lands somewhere sensible (no panic, all text kept).
+        let text = doc.document_text();
+        assert!(text.contains('x') && text.contains('y'));
+    }
+
+    #[test]
+    fn deeply_nested_no_stack_overflow() {
+        let depth = 2000;
+        let html = format!("{}{}", "<div>".repeat(depth), "</div>".repeat(depth));
+        let doc = parse_document(&html);
+        assert_eq!(doc.walk().count(), depth);
+    }
+
+    #[test]
+    fn empty_input() {
+        let doc = parse_document("");
+        assert!(doc.is_empty());
+        assert_eq!(doc.document_text(), "");
+    }
+}

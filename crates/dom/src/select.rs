@@ -1,0 +1,275 @@
+//! A small CSS-selector engine over the DOM: enough to locate elements by
+//! tag, id, class, attribute presence/value, compounds and descendant
+//! combinators. Used by the search engine's element-level result
+//! presentation (thesis §5.3: "the user might be interested in the DOM
+//! element in which the desired text resides") and by analysis tooling.
+//!
+//! Supported grammar (whitespace = descendant combinator):
+//!
+//! ```text
+//! selector   := compound (WS compound)*
+//! compound   := part+
+//! part       := tag | '#'id | '.'class | '[' attr ('=' value)? ']' | '*'
+//! ```
+
+use crate::dom::{Document, NodeId};
+
+/// One simple-selector part of a compound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Part {
+    Universal,
+    Tag(String),
+    Id(String),
+    Class(String),
+    AttrPresent(String),
+    AttrEquals(String, String),
+}
+
+/// A parsed selector: a chain of compounds connected by descendant
+/// combinators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selector {
+    compounds: Vec<Vec<Part>>,
+}
+
+/// Selector parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectorError(pub String);
+
+impl std::fmt::Display for SelectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad selector: {}", self.0)
+    }
+}
+
+impl std::error::Error for SelectorError {}
+
+impl Selector {
+    /// Parses a selector string.
+    pub fn parse(input: &str) -> Result<Selector, SelectorError> {
+        let mut compounds = Vec::new();
+        for chunk in input.split_whitespace() {
+            compounds.push(parse_compound(chunk)?);
+        }
+        if compounds.is_empty() {
+            return Err(SelectorError("empty selector".into()));
+        }
+        Ok(Selector { compounds })
+    }
+
+    /// True when the element `node` matches the *last* compound and its
+    /// ancestor chain satisfies the preceding compounds.
+    pub fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        let (last, ancestors_spec) = self
+            .compounds
+            .split_last()
+            .expect("parse guarantees non-empty");
+        if !matches_compound(doc, node, last) {
+            return false;
+        }
+        // Walk ancestors, greedily satisfying the remaining compounds from
+        // the right.
+        let mut remaining = ancestors_spec.len();
+        let mut current = doc.node(node).parent;
+        while remaining > 0 {
+            let Some(ancestor) = current else {
+                return false;
+            };
+            if matches_compound(doc, ancestor, &ancestors_spec[remaining - 1]) {
+                remaining -= 1;
+            }
+            current = doc.node(ancestor).parent;
+        }
+        true
+    }
+
+    /// All elements matching the selector, in document order.
+    pub fn select(&self, doc: &Document) -> Vec<NodeId> {
+        doc.walk().filter(|&n| self.matches(doc, n)).collect()
+    }
+}
+
+fn parse_compound(chunk: &str) -> Result<Vec<Part>, SelectorError> {
+    let mut parts = Vec::new();
+    let bytes = chunk.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'*' => {
+                parts.push(Part::Universal);
+                i += 1;
+            }
+            b'#' => {
+                let (name, next) = take_name(chunk, i + 1);
+                if name.is_empty() {
+                    return Err(SelectorError(format!("empty id in {chunk:?}")));
+                }
+                parts.push(Part::Id(name));
+                i = next;
+            }
+            b'.' => {
+                let (name, next) = take_name(chunk, i + 1);
+                if name.is_empty() {
+                    return Err(SelectorError(format!("empty class in {chunk:?}")));
+                }
+                parts.push(Part::Class(name));
+                i = next;
+            }
+            b'[' => {
+                let close = chunk[i..]
+                    .find(']')
+                    .map(|p| p + i)
+                    .ok_or_else(|| SelectorError(format!("unclosed [ in {chunk:?}")))?;
+                let body = &chunk[i + 1..close];
+                match body.split_once('=') {
+                    Some((k, v)) => parts.push(Part::AttrEquals(
+                        k.trim().to_ascii_lowercase(),
+                        v.trim().trim_matches('"').to_string(),
+                    )),
+                    None => parts.push(Part::AttrPresent(body.trim().to_ascii_lowercase())),
+                }
+                i = close + 1;
+            }
+            _ => {
+                let (name, next) = take_name(chunk, i);
+                if name.is_empty() {
+                    return Err(SelectorError(format!(
+                        "unexpected {:?} in {chunk:?}",
+                        chunk[i..].chars().next().unwrap_or('?')
+                    )));
+                }
+                parts.push(Part::Tag(name.to_ascii_lowercase()));
+                i = next;
+            }
+        }
+    }
+    if parts.is_empty() {
+        return Err(SelectorError("empty compound".into()));
+    }
+    Ok(parts)
+}
+
+/// Reads an identifier (`a-zA-Z0-9_-`) starting at `from`; returns it and
+/// the next index.
+fn take_name(chunk: &str, from: usize) -> (String, usize) {
+    let bytes = chunk.as_bytes();
+    let mut i = from;
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+    {
+        i += 1;
+    }
+    (chunk[from..i].to_string(), i)
+}
+
+fn matches_compound(doc: &Document, node: NodeId, parts: &[Part]) -> bool {
+    parts.iter().all(|part| match part {
+        Part::Universal => doc.tag_name(node).is_some(),
+        Part::Tag(tag) => doc.tag_name(node) == Some(tag.as_str()),
+        Part::Id(id) => doc.attr(node, "id") == Some(id.as_str()),
+        Part::Class(class) => doc
+            .attr(node, "class")
+            .is_some_and(|v| v.split_whitespace().any(|c| c == class)),
+        Part::AttrPresent(name) => doc.attr(node, name).is_some(),
+        Part::AttrEquals(name, value) => doc.attr(node, name) == Some(value.as_str()),
+    })
+}
+
+/// Convenience: parse + select in one call.
+pub fn select(doc: &Document, selector: &str) -> Result<Vec<NodeId>, SelectorError> {
+    Ok(Selector::parse(selector)?.select(doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<div id=\"main\" class=\"wrap outer\">\
+               <p class=\"comment first\">one</p>\
+               <p class=\"comment\">two</p>\
+               <span data-k=\"v\">three</span>\
+               <div class=\"nested\"><p class=\"comment\">deep</p></div>\
+             </div>\
+             <p class=\"comment\">outside</p>",
+        )
+    }
+
+    fn texts(doc: &Document, nodes: &[NodeId]) -> Vec<String> {
+        nodes.iter().map(|&n| doc.text_content(n)).collect()
+    }
+
+    #[test]
+    fn by_tag() {
+        let d = doc();
+        assert_eq!(select(&d, "p").unwrap().len(), 4);
+        assert_eq!(select(&d, "span").unwrap().len(), 1);
+        assert_eq!(select(&d, "em").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn by_id_and_class() {
+        let d = doc();
+        assert_eq!(select(&d, "#main").unwrap().len(), 1);
+        assert_eq!(select(&d, ".comment").unwrap().len(), 4);
+        assert_eq!(select(&d, ".first").unwrap().len(), 1);
+        assert_eq!(select(&d, ".wrap").unwrap().len(), 1, "multi-class attr");
+    }
+
+    #[test]
+    fn compound() {
+        let d = doc();
+        assert_eq!(select(&d, "p.comment.first").unwrap().len(), 1);
+        assert_eq!(select(&d, "div#main").unwrap().len(), 1);
+        assert_eq!(select(&d, "span.comment").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn attributes() {
+        let d = doc();
+        assert_eq!(select(&d, "[data-k]").unwrap().len(), 1);
+        assert_eq!(select(&d, "[data-k=v]").unwrap().len(), 1);
+        assert_eq!(select(&d, "[data-k=w]").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn descendant_combinator() {
+        let d = doc();
+        let inside = select(&d, "#main .comment").unwrap();
+        assert_eq!(inside.len(), 3, "excludes the outside paragraph");
+        assert_eq!(
+            texts(&d, &inside),
+            vec!["one", "two", "deep"],
+            "document order"
+        );
+        assert_eq!(select(&d, ".nested p").unwrap().len(), 1);
+        assert_eq!(select(&d, "#main .nested .comment").unwrap().len(), 1);
+        assert_eq!(select(&d, ".nested #main").unwrap().len(), 0, "order matters");
+    }
+
+    #[test]
+    fn universal() {
+        let d = doc();
+        assert_eq!(select(&d, "#main *").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Selector::parse("").is_err());
+        assert!(Selector::parse("#").is_err());
+        assert!(Selector::parse(".").is_err());
+        assert!(Selector::parse("[unclosed").is_err());
+        assert!(Selector::parse("??").is_err());
+    }
+
+    #[test]
+    fn selectors_survive_mutation() {
+        let mut d = doc();
+        let main = d.get_element_by_id("main").unwrap();
+        d.set_inner_html(main, "<p class=\"comment\">replaced</p>");
+        assert_eq!(select(&d, "#main .comment").unwrap().len(), 1);
+        assert_eq!(select(&d, ".comment").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! DOM serialization: faithful (`to_html`) and normalized (for hashing).
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::entities;
+use crate::parser::is_void_element;
+
+/// Serializes the children of `id` (the `innerHTML` getter).
+pub fn inner_html(doc: &Document, id: NodeId) -> String {
+    let mut out = String::new();
+    for child in doc.children(id) {
+        serialize_node(doc, child, &mut out);
+    }
+    out
+}
+
+/// Serializes the whole document.
+pub fn document_html(doc: &Document) -> String {
+    inner_html(doc, doc.root())
+}
+
+fn serialize_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).data {
+        NodeData::Root => {
+            for child in doc.children(id) {
+                serialize_node(doc, child, out);
+            }
+        }
+        NodeData::Text(t) => out.push_str(&entities::encode_text(t)),
+        NodeData::Comment(c) => {
+            out.push_str("<!--");
+            out.push_str(c);
+            out.push_str("-->");
+        }
+        NodeData::Element { name, attrs } => {
+            out.push('<');
+            out.push_str(name);
+            for (attr_name, attr_value) in attrs {
+                out.push(' ');
+                out.push_str(attr_name);
+                out.push_str("=\"");
+                out.push_str(&entities::encode_attr(attr_value));
+                out.push('"');
+            }
+            out.push('>');
+            if is_void_element(name) {
+                return;
+            }
+            if name == "script" || name == "style" {
+                // Raw text: serialize children verbatim.
+                for child in doc.children(id) {
+                    if let NodeData::Text(t) = &doc.node(child).data {
+                        out.push_str(t);
+                    }
+                }
+            } else {
+                for child in doc.children(id) {
+                    serialize_node(doc, child, out);
+                }
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+/// Normalized serialization used for duplicate-state detection:
+///
+/// * attributes sorted by name (event ordering must not affect identity),
+/// * text whitespace collapsed to single spaces and trimmed,
+/// * comments dropped (invisible to the user, thus not part of the state),
+/// * script bodies dropped (code is not content; a state is what the user
+///   *sees* — the thesis hashes "the content of the state").
+pub fn normalized_html(doc: &Document) -> String {
+    let mut out = String::new();
+    normalize_node(doc, doc.root(), &mut out);
+    out
+}
+
+fn normalize_node(doc: &Document, id: NodeId, out: &mut String) {
+    match &doc.node(id).data {
+        NodeData::Root => {
+            for child in doc.children(id) {
+                normalize_node(doc, child, out);
+            }
+        }
+        NodeData::Comment(_) => {}
+        NodeData::Text(t) => {
+            let collapsed = collapse_ws(t);
+            if !collapsed.is_empty() {
+                out.push_str(&collapsed);
+            }
+        }
+        NodeData::Element { name, attrs } => {
+            if name == "script" || name == "style" {
+                return;
+            }
+            out.push('<');
+            out.push_str(name);
+            let mut sorted: Vec<&(String, String)> = attrs.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (attr_name, attr_value) in sorted {
+                out.push(' ');
+                out.push_str(attr_name);
+                out.push_str("=\"");
+                out.push_str(&entities::encode_attr(attr_value));
+                out.push('"');
+            }
+            out.push('>');
+            for child in doc.children(id) {
+                normalize_node(doc, child, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+fn collapse_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_ws = true;
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !last_ws {
+                out.push(' ');
+            }
+            last_ws = true;
+        } else {
+            out.push(ch);
+            last_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn roundtrip_simple() {
+        let html = "<div id=\"a\"><p>x</p></div>";
+        let doc = parse_document(html);
+        assert_eq!(doc.to_html(), html);
+    }
+
+    #[test]
+    fn script_serialized_verbatim() {
+        let html = "<script>if (a < b) { go(); }</script>";
+        let doc = parse_document(html);
+        assert_eq!(doc.to_html(), html);
+    }
+
+    #[test]
+    fn normalized_ignores_attr_order() {
+        let a = parse_document("<div a=\"1\" b=\"2\">x</div>");
+        let b = parse_document("<div b=\"2\" a=\"1\">x</div>");
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn normalized_ignores_whitespace_and_comments() {
+        let a = parse_document("<p>hello   world</p><!-- c -->");
+        let b = parse_document("<p>hello world</p>");
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn normalized_ignores_script_bodies() {
+        let a = parse_document("<p>x</p><script>var v=1;</script>");
+        let b = parse_document("<p>x</p><script>var v=2;</script>");
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn normalized_distinguishes_content() {
+        let a = parse_document("<p>comment page 1</p>");
+        let b = parse_document("<p>comment page 2</p>");
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn entities_escaped_on_output() {
+        let mut doc = Document::new();
+        let root = doc.root();
+        let p = doc.append_element(root, "p", vec![("title".into(), "a\"b&c".into())]);
+        doc.append_text(p, "x < y & z");
+        let html = doc.to_html();
+        assert_eq!(html, "<p title=\"a&quot;b&amp;c\">x &lt; y &amp; z</p>");
+        // And it must reparse to the same content.
+        let reparsed = parse_document(&html);
+        assert_eq!(reparsed.content_hash(), doc.content_hash());
+    }
+}

@@ -1,0 +1,414 @@
+//! HTML tokenizer.
+//!
+//! Produces a flat token stream (start tags, end tags, text, comments,
+//! doctype) from raw HTML. `<script>` and `<style>` contents are treated as
+//! raw text running until the matching close tag, which is essential because
+//! the VidShare pages embed JavaScript containing `<` comparisons.
+
+use crate::entities;
+
+/// One `name="value"` pair on a start tag. `value` is entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    pub name: String,
+    pub value: String,
+}
+
+/// A lexical token of the HTML input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr=...>`; `self_closing` is true for `<br/>` style tags.
+    StartTag {
+        name: String,
+        attrs: Vec<Attribute>,
+        self_closing: bool,
+    },
+    /// `</name>`
+    EndTag { name: String },
+    /// Character data (entity-decoded).
+    Text(String),
+    /// `<!-- ... -->`
+    Comment(String),
+    /// `<!DOCTYPE ...>`
+    Doctype(String),
+}
+
+/// Elements whose content is raw text up to the matching end tag.
+const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style"];
+
+/// A streaming HTML tokenizer over an input string.
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// When `Some(tag)`, we are inside a raw-text element and must scan for
+    /// `</tag` before resuming normal tokenization.
+    raw_text_until: Option<String>,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Creates a tokenizer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            pos: 0,
+            raw_text_until: None,
+        }
+    }
+
+    /// Tokenizes the entire input.
+    pub fn tokenize(input: &'a str) -> Vec<Token> {
+        Tokenizer::new(input).collect()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with_ci(haystack: &str, needle: &str) -> bool {
+        // Byte-wise to stay safe on multibyte input (slicing by needle
+        // length could split a UTF-8 character).
+        let haystack = haystack.as_bytes();
+        let needle = needle.as_bytes();
+        haystack.len() >= needle.len() && haystack[..needle.len()].eq_ignore_ascii_case(needle)
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        if self.pos >= self.input.len() {
+            return None;
+        }
+
+        // Raw text mode: emit everything up to the matching end tag as Text.
+        if let Some(tag) = self.raw_text_until.clone() {
+            let closer = format!("</{tag}");
+            let rest = self.rest();
+            let lower = rest.to_ascii_lowercase();
+            if let Some(idx) = lower.find(&closer) {
+                let text = &rest[..idx];
+                self.pos += idx;
+                self.raw_text_until = None;
+                if !text.is_empty() {
+                    return Some(Token::Text(text.to_string()));
+                }
+                // Fall through to tokenize the end tag itself.
+            } else {
+                // Unterminated raw text: consume all the rest.
+                self.pos = self.input.len();
+                self.raw_text_until = None;
+                if !rest.is_empty() {
+                    return Some(Token::Text(rest.to_string()));
+                }
+                return None;
+            }
+        }
+
+        let rest = self.rest();
+        if let Some(after) = rest.strip_prefix('<') {
+            if after.starts_with("!--") {
+                return Some(self.lex_comment());
+            }
+            if Self::starts_with_ci(after, "!doctype") {
+                return Some(self.lex_doctype());
+            }
+            if after.starts_with('/') {
+                return Some(self.lex_end_tag());
+            }
+            if after
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
+            {
+                return Some(self.lex_start_tag());
+            }
+            // A lone '<' that doesn't begin a tag: treat as text.
+        }
+        Some(self.lex_text())
+    }
+
+    fn lex_text(&mut self) -> Token {
+        let rest = self.rest();
+        // Text runs until the next '<' that plausibly starts markup.
+        let mut end = rest.len();
+        let bytes = rest.as_bytes();
+        let mut i = if bytes.first() == Some(&b'<') { 1 } else { 0 };
+        while i < bytes.len() {
+            if bytes[i] == b'<' {
+                let nxt = bytes.get(i + 1).copied().unwrap_or(b' ');
+                if nxt.is_ascii_alphabetic() || nxt == b'/' || nxt == b'!' {
+                    end = i;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let raw = &rest[..end];
+        self.pos += end;
+        Token::Text(entities::decode(raw))
+    }
+
+    fn lex_comment(&mut self) -> Token {
+        // self.rest() starts with "<!--"
+        let rest = self.rest();
+        let body_start = 4;
+        match rest[body_start..].find("-->") {
+            Some(idx) => {
+                let body = &rest[body_start..body_start + idx];
+                self.pos += body_start + idx + 3;
+                Token::Comment(body.to_string())
+            }
+            None => {
+                let body = &rest[body_start..];
+                self.pos = self.input.len();
+                Token::Comment(body.to_string())
+            }
+        }
+    }
+
+    /// Returns `(body_end, consumed)` for a construct running to the next
+    /// `>` (or EOF). `body_end` is always a char boundary: either the index
+    /// of the ASCII `>` or the string length.
+    fn until_gt(rest: &str) -> (usize, usize) {
+        match rest.find('>') {
+            Some(i) => (i, i + 1),
+            None => (rest.len(), rest.len()),
+        }
+    }
+
+    fn lex_doctype(&mut self) -> Token {
+        let rest = self.rest();
+        let (body_end, consumed) = Self::until_gt(rest);
+        let body = rest[2.min(body_end)..body_end].trim().to_string();
+        self.pos += consumed;
+        Token::Doctype(body)
+    }
+
+    fn lex_end_tag(&mut self) -> Token {
+        // rest starts with "</"
+        let rest = self.rest();
+        let (body_end, consumed) = Self::until_gt(rest);
+        let name = rest[2.min(body_end)..body_end].trim().to_ascii_lowercase();
+        self.pos += consumed;
+        Token::EndTag { name }
+    }
+
+    fn lex_start_tag(&mut self) -> Token {
+        // rest starts with "<name"
+        let rest = self.rest();
+        let bytes = rest.as_bytes();
+        let mut i = 1;
+        while i < bytes.len()
+            && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b':')
+        {
+            i += 1;
+        }
+        let name = rest[1..i].to_ascii_lowercase();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+
+        // Attribute scanning.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                break;
+            }
+            match bytes[i] {
+                b'>' => {
+                    i += 1;
+                    break;
+                }
+                b'/' => {
+                    self_closing = true;
+                    i += 1;
+                }
+                _ => {
+                    // Attribute name.
+                    let name_start = i;
+                    while i < bytes.len()
+                        && !bytes[i].is_ascii_whitespace()
+                        && bytes[i] != b'='
+                        && bytes[i] != b'>'
+                        && bytes[i] != b'/'
+                    {
+                        i += 1;
+                    }
+                    let attr_name = rest[name_start..i].to_ascii_lowercase();
+                    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                        i += 1;
+                    }
+                    let mut attr_value = String::new();
+                    if i < bytes.len() && bytes[i] == b'=' {
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                            i += 1;
+                        }
+                        if i < bytes.len() && (bytes[i] == b'"' || bytes[i] == b'\'') {
+                            let quote = bytes[i];
+                            i += 1;
+                            let val_start = i;
+                            while i < bytes.len() && bytes[i] != quote {
+                                i += 1;
+                            }
+                            attr_value = entities::decode(&rest[val_start..i]);
+                            if i < bytes.len() {
+                                i += 1; // Skip closing quote.
+                            }
+                        } else {
+                            let val_start = i;
+                            while i < bytes.len()
+                                && !bytes[i].is_ascii_whitespace()
+                                && bytes[i] != b'>'
+                            {
+                                i += 1;
+                            }
+                            attr_value = entities::decode(&rest[val_start..i]);
+                        }
+                    }
+                    if !attr_name.is_empty() {
+                        attrs.push(Attribute {
+                            name: attr_name,
+                            value: attr_value,
+                        });
+                    }
+                }
+            }
+        }
+        self.pos += i;
+
+        if !self_closing && RAW_TEXT_ELEMENTS.contains(&name.as_str()) {
+            self.raw_text_until = Some(name.clone());
+        }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+    fn next(&mut self) -> Option<Token> {
+        self.next_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Tokenizer::tokenize(s)
+    }
+
+    #[test]
+    fn simple_tags() {
+        let t = toks("<div id=\"a\">hi</div>");
+        assert_eq!(
+            t,
+            vec![
+                Token::StartTag {
+                    name: "div".into(),
+                    attrs: vec![Attribute {
+                        name: "id".into(),
+                        value: "a".into()
+                    }],
+                    self_closing: false
+                },
+                Token::Text("hi".into()),
+                Token::EndTag { name: "div".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn unquoted_and_single_quoted_attrs() {
+        let t = toks("<a href=/watch?v=1 class='x y'>z</a>");
+        match &t[0] {
+            Token::StartTag { attrs, .. } => {
+                assert_eq!(attrs[0].value, "/watch?v=1");
+                assert_eq!(attrs[1].value, "x y");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_closing() {
+        let t = toks("<br/><img src=\"i.png\" />");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+    }
+
+    #[test]
+    fn script_is_raw_text() {
+        let t = toks("<script>if (a < b) { x(); }</script><p>t</p>");
+        assert_eq!(
+            t[1],
+            Token::Text("if (a < b) { x(); }".into()),
+            "script body must not be parsed as markup"
+        );
+        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+    }
+
+    #[test]
+    fn script_case_insensitive_close() {
+        let t = toks("<SCRIPT>x<1</ScRiPt>");
+        assert!(matches!(&t[1], Token::Text(s) if s == "x<1"));
+    }
+
+    #[test]
+    fn comments_and_doctype() {
+        let t = toks("<!DOCTYPE html><!-- a -- b --><p/>");
+        assert_eq!(t[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(t[1], Token::Comment(" a -- b ".into()));
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let t = toks("<a title=\"a &amp; b\">x &lt; y</a>");
+        match &t[0] {
+            Token::StartTag { attrs, .. } => assert_eq!(attrs[0].value, "a & b"),
+            _ => panic!(),
+        }
+        assert_eq!(t[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let t = toks("a < b");
+        assert_eq!(t, vec![Token::Text("a < b".into())]);
+    }
+
+    #[test]
+    fn unterminated_tag_eof() {
+        let t = toks("<div class=\"x");
+        assert!(matches!(&t[0], Token::StartTag { name, .. } if name == "div"));
+    }
+
+    #[test]
+    fn unterminated_script() {
+        let t = toks("<script>var x = 1;");
+        assert_eq!(t[1], Token::Text("var x = 1;".into()));
+    }
+
+    #[test]
+    fn boolean_attribute() {
+        let t = toks("<input disabled>");
+        match &t[0] {
+            Token::StartTag { attrs, .. } => {
+                assert_eq!(attrs[0].name, "disabled");
+                assert_eq!(attrs[0].value, "");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn tag_names_lowercased() {
+        let t = toks("<DIV ID=x></DIV>");
+        assert!(matches!(&t[0], Token::StartTag { name, attrs, .. }
+            if name == "div" && attrs[0].name == "id"));
+        assert!(matches!(&t[1], Token::EndTag { name } if name == "div"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the DOM substrate: the parser must be total (never
+//! panic) and serialization must be a normalized fixpoint.
+
+use ajax_dom::{parse_document, Document};
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser never panics, whatever bytes arrive (a crawler eats
+    /// whatever the server sends).
+    #[test]
+    fn parser_is_total(input in "\\PC*") {
+        let _ = parse_document(&input);
+    }
+
+    /// Same, biased toward markup-shaped garbage.
+    #[test]
+    fn parser_is_total_on_markupish_input(
+        input in "(<[a-z!/]{0,4}[ \"'=a-z0-9<>-]{0,18}>?|[a-z &;]{0,9}){0,24}"
+    ) {
+        let doc = parse_document(&input);
+        // And everything derived from it stays total too.
+        let _ = doc.to_html();
+        let _ = doc.normalized();
+        let _ = doc.content_hash();
+        let _ = doc.document_text();
+    }
+
+    /// parse → serialize → parse reaches a fixpoint in one step: the
+    /// reparse of the serialization serializes identically.
+    #[test]
+    fn serialize_reparse_fixpoint(input in "\\PC{0,200}") {
+        let doc1 = parse_document(&input);
+        let html1 = doc1.to_html();
+        let doc2 = parse_document(&html1);
+        let html2 = doc2.to_html();
+        prop_assert_eq!(html1, html2);
+        prop_assert_eq!(doc1.content_hash(), doc2.content_hash());
+    }
+
+    /// Entity encode/decode roundtrips for text content.
+    #[test]
+    fn entity_roundtrip(text in "\\PC{0,80}") {
+        let encoded = ajax_dom::entities::encode_text(&text);
+        prop_assert_eq!(ajax_dom::entities::decode(&encoded), text);
+    }
+
+    /// innerHTML set/get roundtrips on the normalized form.
+    #[test]
+    fn inner_html_roundtrip(fragment in "(<b>|</b>|<p>|</p>|[a-z ]{0,8}){0,12}") {
+        let mut doc = parse_document("<div id=\"t\">old</div>");
+        let target = doc.get_element_by_id("t").unwrap();
+        doc.set_inner_html(target, &fragment);
+        let inner1 = doc.inner_html(target);
+        // Setting the read-back markup again must be idempotent.
+        doc.set_inner_html(target, &inner1);
+        prop_assert_eq!(doc.inner_html(target), inner1);
+    }
+
+    /// The content hash ignores attribute order.
+    #[test]
+    fn hash_ignores_attr_order(
+        tag in "[a-z]{1,6}",
+        k1 in "[a-z]{1,5}", v1 in "[a-z0-9]{0,6}",
+        k2 in "[a-z]{1,5}", v2 in "[a-z0-9]{0,6}",
+        text in "[a-z ]{0,16}",
+    ) {
+        prop_assume!(k1 != k2);
+        let a = parse_document(&format!("<{tag} {k1}=\"{v1}\" {k2}=\"{v2}\">{text}</{tag}>"));
+        let b = parse_document(&format!("<{tag} {k2}=\"{v2}\" {k1}=\"{v1}\">{text}</{tag}>"));
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    /// Clone is a true snapshot: mutating the original never affects it.
+    #[test]
+    fn clone_isolation(texts in proptest::collection::vec("[a-z]{1,8}", 1..5)) {
+        let mut html = String::from("<div id=\"root\">");
+        for t in &texts {
+            html.push_str(&format!("<p>{t}</p>"));
+        }
+        html.push_str("</div>");
+        let mut doc = parse_document(&html);
+        let snapshot: Document = doc.clone();
+        let hash_before = snapshot.content_hash();
+        let root = doc.get_element_by_id("root").unwrap();
+        doc.set_inner_html(root, "<p>changed</p>");
+        prop_assert_eq!(snapshot.content_hash(), hash_before);
+    }
+}

@@ -1,0 +1,163 @@
+//! `ajax-search` — the command-line counterpart of the thesis' setup
+//! application (ch. 8): build an index over a synthetic site, save/load it,
+//! and process queries.
+//!
+//! ```sh
+//! # Build an AJAX index over 200 VidShare videos and save it:
+//! ajax-search build --videos 200 --out /tmp/ajax.idx
+//!
+//! # Build the traditional baseline instead:
+//! ajax-search build --videos 200 --traditional --out /tmp/trad.idx
+//!
+//! # Query a saved index:
+//! ajax-search query --index /tmp/ajax.idx "morcheeba mysterious video"
+//!
+//! # One-shot demo (build in memory, run sample queries):
+//! ajax-search demo
+//! ```
+
+use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_index::invert::IndexBuilder;
+use ajax_index::persist::{load_index, save_index};
+use ajax_index::query::{search, Query, RankWeights};
+use ajax_net::Url;
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: ajax-search build --videos N [--traditional] [--max-states N] --out FILE\n\
+                 \u{20}      ajax-search query --index FILE \"query terms\"\n\
+                 \u{20}      ajax-search demo"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches the value following `--flag`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let videos: u32 = flag_value(args, "--videos")
+        .unwrap_or("100")
+        .parse()
+        .map_err(|_| "--videos must be a number".to_string())?;
+    let out = flag_value(args, "--out").ok_or("--out FILE is required")?;
+    let traditional = has_flag(args, "--traditional");
+    let max_states: Option<usize> = flag_value(args, "--max-states")
+        .map(|v| v.parse().map_err(|_| "--max-states must be a number".to_string()))
+        .transpose()?;
+
+    let spec = VidShareSpec::small(videos);
+    let start = Url::parse(&spec.watch_url(0));
+    let server = Arc::new(VidShareServer::new(spec));
+    let mut config = if traditional {
+        EngineConfig::traditional(videos as usize)
+    } else {
+        EngineConfig::ajax(videos as usize)
+    };
+    config.max_index_states = max_states;
+    config.keep_models = true;
+
+    eprintln!(
+        "building {} index over {videos} videos…",
+        if traditional { "traditional" } else { "AJAX" }
+    );
+    let engine = AjaxSearchEngine::build(server, &start, config);
+    let r = &engine.report;
+    eprintln!(
+        "crawled {} pages / {} states; {} AJAX calls ({} cached); virtual time {:.1} s",
+        r.pages_crawled,
+        r.total_states,
+        r.crawl.ajax_network_calls,
+        r.crawl.cache_hits,
+        r.virtual_makespan as f64 / 1e6
+    );
+
+    // Persist as a single merged index (simplest portable artifact).
+    let mut builder = IndexBuilder::new();
+    if let Some(max) = max_states {
+        builder = builder.with_max_states(max);
+    }
+    for model in &engine.models {
+        let pagerank = engine.graph.pagerank.get(&model.url).copied();
+        builder.add_model(model, pagerank);
+    }
+    let index = builder.build();
+    save_index(out, &index).map_err(|e| e.to_string())?;
+    eprintln!(
+        "saved {} terms / {} states to {out}",
+        index.term_count(),
+        index.total_states
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--index").ok_or("--index FILE is required")?;
+    let text = args
+        .iter()
+        .skip_while(|a| *a != "--index")
+        .nth(2)
+        .or_else(|| args.last().filter(|a| !a.starts_with("--")))
+        .ok_or("missing query text")?;
+
+    let index = load_index(path).map_err(|e| e.to_string())?;
+    let query = Query::parse(text);
+    let t0 = std::time::Instant::now();
+    let results = search(&index, &query, &RankWeights::default());
+    let elapsed = t0.elapsed();
+
+    println!(
+        "{} results for {text:?} in {:.3} ms",
+        results.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    for (rank, r) in results.iter().take(10).enumerate() {
+        println!("{:>3}. {:.4}  {}  state {}", rank + 1, r.score, r.url, r.doc.state);
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let spec = VidShareSpec::small(60);
+    let start = Url::parse(&spec.watch_url(0));
+    let server = Arc::new(VidShareServer::new(spec));
+    let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(60));
+    println!(
+        "demo index: {} pages, {} states, {} shards",
+        engine.report.pages_crawled, engine.report.total_states, engine.report.shards
+    );
+    for q in ["wow", "our song", "morcheeba mysterious video"] {
+        let results = engine.search(q);
+        println!("\n{q:?} → {} results", results.len());
+        for r in results.iter().take(3) {
+            println!("   {:.4}  {}  state {}", r.score, r.url, r.doc.state);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,288 @@
+//! # ajax-engine
+//!
+//! The end-to-end AJAX search engine of thesis ch. 5/6, assembled from the
+//! workspace crates. [`AjaxSearchEngine::build`] runs the full pipeline of
+//! Fig 6.1:
+//!
+//! 1. **Precrawling** — BFS over hyperlinks from a start URL, PageRank;
+//! 2. **Partitioning** — the URL list is split into fixed-size partitions;
+//! 3. **Crawling** — `proc_lines` parallel process lines build the AJAX
+//!    application models (traditional / basic AJAX / hot-node AJAX per the
+//!    crawl config);
+//! 4. **Indexing** — one state-granular inverted file per partition;
+//! 5. **Query processing** — query shipping + global-idf merge through a
+//!    [`QueryBroker`];
+//! 6. **Result aggregation** — state reconstruction by event replay
+//!    (when the crawl stored DOMs).
+
+pub mod report;
+
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::model::AppModel;
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::partition_urls;
+use ajax_crawl::precrawl::{LinkGraph, Precrawler};
+use ajax_crawl::replay::{reconstruct_state, ReplayError};
+use ajax_dom::Document;
+use ajax_index::invert::IndexBuilder;
+use ajax_index::query::{Query, RankWeights};
+use ajax_index::shard::{BrokerResult, QueryBroker};
+use ajax_net::{LatencyModel, Server, Url};
+use std::sync::Arc;
+
+pub use report::BuildReport;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The crawl flavour (traditional / AJAX ± hot-node policy, state caps…).
+    pub crawl: CrawlConfig,
+    /// Latency model for all network clients.
+    pub latency: LatencyModel,
+    /// `NUM_OF_PAGES_TO_PRECRAWL`.
+    pub precrawl_pages: usize,
+    /// `PARTITION_SIZE`.
+    pub partition_size: usize,
+    /// `MP_CRAWLER_NUM_OF_PROC_LINES`.
+    pub proc_lines: usize,
+    /// CPU cores of the virtual machine model.
+    pub cores: usize,
+    /// Index at most this many states per page (`None` = all crawled).
+    pub max_index_states: Option<usize>,
+    /// Ranking weights (formula 5.3).
+    pub weights: RankWeights,
+    /// Keep the crawled models inside the engine (needed for result
+    /// aggregation; costs memory on large corpora).
+    pub keep_models: bool,
+}
+
+impl EngineConfig {
+    /// A sensible default AJAX configuration for `n` pages.
+    pub fn ajax(n: usize) -> Self {
+        Self {
+            crawl: CrawlConfig::ajax(),
+            latency: LatencyModel::thesis_default(7),
+            precrawl_pages: n,
+            partition_size: 50.min(n.max(1)),
+            proc_lines: 4,
+            cores: 2,
+            max_index_states: None,
+            weights: RankWeights::default(),
+            keep_models: false,
+        }
+    }
+
+    /// The traditional baseline over the same site.
+    pub fn traditional(n: usize) -> Self {
+        Self {
+            crawl: CrawlConfig::traditional(),
+            ..Self::ajax(n)
+        }
+    }
+
+    /// Enables result aggregation (stores DOMs and models).
+    pub fn with_replay(mut self) -> Self {
+        self.crawl.store_dom = true;
+        self.keep_models = true;
+        self
+    }
+}
+
+/// The assembled engine.
+pub struct AjaxSearchEngine {
+    /// Hyperlink graph + PageRank from the precrawl phase.
+    pub graph: LinkGraph,
+    /// The sharded index + broker.
+    pub broker: QueryBroker,
+    /// Crawled models (present when `keep_models`).
+    pub models: Vec<AppModel>,
+    /// Pipeline accounting.
+    pub report: BuildReport,
+    weights: RankWeights,
+}
+
+impl AjaxSearchEngine {
+    /// Runs the full pipeline against `server`, starting the precrawl from
+    /// `start`.
+    pub fn build(server: Arc<dyn Server>, start: &Url, config: EngineConfig) -> Self {
+        // Phase 1: precrawl.
+        let mut precrawler = Precrawler::new(Arc::clone(&server), config.latency.clone());
+        let graph = precrawler.run(start, config.precrawl_pages);
+
+        // Phase 2: partition.
+        let partitions = partition_urls(&graph.urls, config.partition_size);
+
+        // Phase 3: parallel crawl.
+        let mp = MpCrawler::new(Arc::clone(&server), config.latency.clone(), config.crawl.clone())
+            .with_proc_lines(config.proc_lines)
+            .with_cores(config.cores);
+        let crawl_report = mp.crawl(&partitions);
+
+        // Phase 4: one index per partition.
+        let mut shards = Vec::with_capacity(crawl_report.partitions.len());
+        let mut kept_models = Vec::new();
+        for partition in &crawl_report.partitions {
+            let mut builder = IndexBuilder::new();
+            if let Some(max) = config.max_index_states {
+                builder = builder.with_max_states(max);
+            }
+            for model in &partition.models {
+                let pagerank = graph.pagerank.get(&model.url).copied();
+                builder.add_model(model, pagerank);
+            }
+            shards.push(builder.build());
+            if config.keep_models {
+                kept_models.extend(partition.models.iter().cloned());
+            }
+        }
+        let mut broker = QueryBroker::new(shards);
+        broker.weights = config.weights;
+
+        let report = BuildReport::new(&graph, &crawl_report, &broker);
+        Self {
+            graph,
+            broker,
+            models: kept_models,
+            report,
+            weights: config.weights,
+        }
+    }
+
+    /// Phase 5: distributed query processing.
+    pub fn search(&self, query_text: &str) -> Vec<BrokerResult> {
+        self.broker.search(&Query::parse(query_text))
+    }
+
+    /// The ranking weights in effect.
+    pub fn weights(&self) -> RankWeights {
+        self.weights
+    }
+
+    /// Phase 6: result aggregation — reconstructs the DOM of a search
+    /// result's state by replaying its event path (requires
+    /// [`EngineConfig::with_replay`]).
+    pub fn reconstruct(&self, result: &BrokerResult) -> Result<Document, ReplayError> {
+        let model = self
+            .models
+            .iter()
+            .find(|m| m.url == result.url)
+            .ok_or(ReplayError::NoPageHtml)?;
+        reconstruct_state(model, result.doc.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_webgen::{VidShareServer, VidShareSpec};
+
+    fn vidshare(n: u32) -> (Arc<VidShareServer>, Url) {
+        let spec = VidShareSpec::small(n);
+        let url = Url::parse(&spec.watch_url(0));
+        (Arc::new(VidShareServer::new(spec)), url)
+    }
+
+    #[test]
+    fn end_to_end_showcase_queries() {
+        let (server, start) = vidshare(30);
+        let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(30));
+
+        // Q1: title search works.
+        let q1 = engine.search("morcheeba enjoy the ride");
+        assert!(!q1.is_empty(), "Q1 must find the showcase video");
+        // The showcase video itself must be among the hits (pages linking to
+        // it also match through their related-video anchor text — just like
+        // real link text on YouTube).
+        assert!(q1.iter().any(|r| r.url.ends_with("watch?v=0")));
+
+        // Q2: needs AJAX content (page 2 comment).
+        let q2 = engine.search("morcheeba mysterious video");
+        assert!(!q2.is_empty(), "Q2 must be answerable with AJAX search");
+        assert!(q2[0].doc.state.0 > 0, "hit must be a non-initial state");
+
+        // Q3: band name (title, every state) + singer (page-2 comment).
+        let q3 = engine.search("morcheeba singer");
+        assert!(!q3.is_empty());
+    }
+
+    #[test]
+    fn traditional_engine_misses_ajax_content() {
+        let (server, start) = vidshare(30);
+        let trad = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::traditional(30),
+        );
+        assert!(
+            trad.search("morcheeba mysterious video").is_empty(),
+            "traditional crawl must not see page-2 comments"
+        );
+        assert!(!trad.search("morcheeba enjoy the ride").is_empty());
+    }
+
+    #[test]
+    fn ajax_returns_superset_of_traditional() {
+        let (server, start) = vidshare(25);
+        let ajax = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(25),
+        );
+        let trad = AjaxSearchEngine::build(server, &start, EngineConfig::traditional(25));
+        for q in ["wow", "dance", "funny"] {
+            let ajax_n = ajax.search(q).len();
+            let trad_n = trad.search(q).len();
+            assert!(
+                ajax_n >= trad_n,
+                "query {q:?}: AJAX {ajax_n} < traditional {trad_n}"
+            );
+        }
+        // Overall the AJAX index must be strictly bigger.
+        assert!(ajax.broker.total_states() > trad.broker.total_states());
+    }
+
+    #[test]
+    fn reconstruction_of_search_hit() {
+        let (server, start) = vidshare(15);
+        let engine =
+            AjaxSearchEngine::build(server, &start, EngineConfig::ajax(15).with_replay());
+        let hits = engine.search("morcheeba mysterious video");
+        assert!(!hits.is_empty());
+        let doc = engine.reconstruct(&hits[0]).expect("replay");
+        let text = doc.document_text();
+        assert!(text.contains("mysterious"));
+        assert!(text.contains("Morcheeba Enjoy the Ride"), "title visible in state");
+    }
+
+    #[test]
+    fn report_is_coherent() {
+        let (server, start) = vidshare(20);
+        let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(20));
+        let r = &engine.report;
+        assert_eq!(r.pages_crawled, 20);
+        assert!(r.total_states >= r.pages_crawled as u64);
+        assert!(r.virtual_makespan > 0);
+        assert!(r.virtual_makespan <= r.virtual_serial);
+        assert_eq!(engine.broker.total_states(), r.total_states);
+    }
+
+    #[test]
+    fn max_index_states_caps_recall() {
+        let (server, start) = vidshare(25);
+        let full = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(25),
+        );
+        let capped = AjaxSearchEngine::build(
+            server,
+            &start,
+            EngineConfig {
+                max_index_states: Some(1),
+                ..EngineConfig::ajax(25)
+            },
+        );
+        assert!(capped.broker.total_states() < full.broker.total_states());
+        assert!(capped.search("wow").len() <= full.search("wow").len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Pipeline accounting: what the build did, in the units the thesis'
+//! experiments report.
+
+use ajax_crawl::crawler::PageStats;
+use ajax_crawl::parallel::MpReport;
+use ajax_crawl::precrawl::LinkGraph;
+use ajax_index::shard::QueryBroker;
+use ajax_net::Micros;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// Pages discovered by the precrawl.
+    pub pages_discovered: usize,
+    /// Pages successfully crawled.
+    pub pages_crawled: usize,
+    /// Pages that failed to crawl.
+    pub pages_failed: usize,
+    /// Virtual time of the precrawl phase.
+    pub precrawl_micros: Micros,
+    /// Aggregate per-page crawl statistics.
+    pub crawl: PageStats,
+    /// Virtual makespan of the (parallel) crawl.
+    pub virtual_makespan: Micros,
+    /// Serial virtual time of the same work.
+    pub virtual_serial: Micros,
+    /// Total states in the index.
+    pub total_states: u64,
+    /// Number of index shards.
+    pub shards: usize,
+}
+
+impl BuildReport {
+    /// Assembles the report from the phases' outputs.
+    pub fn new(graph: &LinkGraph, crawl: &MpReport, broker: &QueryBroker) -> Self {
+        let pages_crawled = crawl.partitions.iter().map(|p| p.models.len()).sum();
+        let pages_failed = crawl.partitions.iter().map(|p| p.failures.len()).sum();
+        Self {
+            pages_discovered: graph.len(),
+            pages_crawled,
+            pages_failed,
+            precrawl_micros: graph.precrawl_micros,
+            crawl: crawl.aggregate,
+            virtual_makespan: crawl.virtual_makespan,
+            virtual_serial: crawl.virtual_serial,
+            total_states: broker.total_states(),
+            shards: broker.shard_count(),
+        }
+    }
+
+    /// Mean virtual crawl time per page (serial).
+    pub fn mean_page_micros(&self) -> f64 {
+        if self.pages_crawled == 0 {
+            0.0
+        } else {
+            self.crawl.crawl_micros as f64 / self.pages_crawled as f64
+        }
+    }
+
+    /// Mean virtual crawl time per state (serial).
+    pub fn mean_state_micros(&self) -> f64 {
+        if self.crawl.states == 0 {
+            0.0
+        } else {
+            self.crawl.crawl_micros as f64 / self.crawl.states as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_handle_zero() {
+        let r = BuildReport::default();
+        assert_eq!(r.mean_page_micros(), 0.0);
+        assert_eq!(r.mean_state_micros(), 0.0);
+    }
+
+    #[test]
+    fn means_compute() {
+        let r = BuildReport {
+            pages_crawled: 4,
+            crawl: PageStats {
+                crawl_micros: 4_000,
+                states: 8,
+                ..PageStats::default()
+            },
+            ..BuildReport::default()
+        };
+        assert_eq!(r.mean_page_micros(), 1_000.0);
+        assert_eq!(r.mean_state_micros(), 500.0);
+    }
+}

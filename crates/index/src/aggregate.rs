@@ -1,0 +1,175 @@
+//! Element-level result presentation (thesis §5.3: "the user might be
+//! interested in the DOM element in which the desired text resides").
+//!
+//! Given a reconstructed state's DOM (from `ajax_crawl::replay`) and the
+//! query terms, [`locate_terms`] finds the *deepest* elements containing
+//! every term and returns a stable CSS-like path plus a text snippet for
+//! each — what a result page would highlight.
+
+use crate::tokenize::query_terms;
+use ajax_dom::{Document, NodeId};
+
+/// One element-level hit inside a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementHit {
+    /// CSS-like path from the root, e.g.
+    /// `html > body > div#recent_comments > div.comments > p.ctext`.
+    pub path: String,
+    /// Short description of the element itself (`p.ctext`).
+    pub element: String,
+    /// Snippet of the element's text, clipped around the first term.
+    pub snippet: String,
+}
+
+/// Finds the deepest elements whose text contains **all** `terms`
+/// (case-insensitive whole words), in document order.
+pub fn locate_terms(doc: &Document, query: &str) -> Vec<ElementHit> {
+    let terms = query_terms(query);
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let mut hits = Vec::new();
+    for node in doc.walk() {
+        if !element_contains_all(doc, node, &terms) {
+            continue;
+        }
+        // Deepest-match only: skip if some element child also contains all.
+        let has_deeper = doc
+            .children(node)
+            .any(|c| doc.tag_name(c).is_some() && element_contains_all(doc, c, &terms));
+        if has_deeper {
+            continue;
+        }
+        hits.push(ElementHit {
+            path: element_path(doc, node),
+            element: ajax_dom::events::describe_element(doc, node),
+            snippet: snippet(&doc.text_content(node), &terms[0]),
+        });
+    }
+    hits
+}
+
+fn element_contains_all(doc: &Document, node: NodeId, terms: &[String]) -> bool {
+    let text = doc.text_content(node);
+    terms.iter().all(|t| contains_word(&text, t))
+}
+
+fn contains_word(text: &str, word: &str) -> bool {
+    text.split(|c: char| !c.is_alphanumeric())
+        .any(|w| w.eq_ignore_ascii_case(word))
+}
+
+/// Builds the `tag#id`-chain path from the root to `node`.
+fn element_path(doc: &Document, node: NodeId) -> String {
+    let mut parts = Vec::new();
+    let mut current = Some(node);
+    while let Some(id) = current {
+        if doc.tag_name(id).is_some() {
+            parts.push(ajax_dom::events::describe_element(doc, id));
+        }
+        current = doc.node(id).parent;
+    }
+    parts.reverse();
+    parts.join(" > ")
+}
+
+/// Clips ~12 words around the first occurrence of `term`.
+fn snippet(text: &str, term: &str) -> String {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let pos = words
+        .iter()
+        .position(|w| {
+            w.split(|c: char| !c.is_alphanumeric())
+                .any(|p| p.eq_ignore_ascii_case(term))
+        })
+        .unwrap_or(0);
+    let start = pos.saturating_sub(4);
+    let end = (pos + 8).min(words.len());
+    let mut out = String::new();
+    if start > 0 {
+        out.push_str("… ");
+    }
+    out.push_str(&words[start..end].join(" "));
+    if end < words.len() {
+        out.push_str(" …");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_dom::parse_document;
+
+    fn doc() -> Document {
+        parse_document(
+            "<html><body>\
+             <h1 id=\"title\">Morcheeba Enjoy the Ride</h1>\
+             <div id=\"recent_comments\"><div class=\"comments\">\
+               <div class=\"comment\"><p class=\"ctext\">this mysterious video rocks</p></div>\
+               <div class=\"comment\"><p class=\"ctext\">the new singer is daisy martey</p></div>\
+             </div></div>\
+             </body></html>",
+        )
+    }
+
+    #[test]
+    fn locates_deepest_element() {
+        let d = doc();
+        let hits = locate_terms(&d, "singer");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].element, "p.ctext");
+        assert!(hits[0].path.contains("div#recent_comments"));
+        assert!(hits[0].path.ends_with("p.ctext"));
+        assert!(hits[0].snippet.contains("singer"));
+    }
+
+    #[test]
+    fn conjunction_localizes_to_common_ancestor() {
+        let d = doc();
+        // "mysterious" and "singer" live in sibling comments; the deepest
+        // element containing both is the comments container.
+        let hits = locate_terms(&d, "mysterious singer");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].element, "div.comments");
+    }
+
+    #[test]
+    fn multiple_hits_in_document_order() {
+        let d = parse_document(
+            "<p id=\"a\">wow one</p><p id=\"b\">wow two</p>",
+        );
+        let hits = locate_terms(&d, "wow");
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].element, "p#a");
+        assert_eq!(hits[1].element, "p#b");
+    }
+
+    #[test]
+    fn missing_terms_no_hits() {
+        assert!(locate_terms(&doc(), "zebra").is_empty());
+        assert!(locate_terms(&doc(), "").is_empty());
+    }
+
+    #[test]
+    fn title_terms_found_in_h1() {
+        let hits = locate_terms(&doc(), "morcheeba ride");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].element, "h1#title");
+    }
+
+    #[test]
+    fn snippet_clips_long_text() {
+        let long = format!(
+            "<p>{} target {}</p>",
+            "filler ".repeat(20),
+            "tail ".repeat(20)
+        );
+        let d = parse_document(&long);
+        let hits = locate_terms(&d, "target");
+        assert!(hits[0].snippet.starts_with("… "));
+        assert!(hits[0].snippet.ends_with(" …"));
+        assert!(hits[0].snippet.contains("target"));
+        assert!(hits[0].snippet.split_whitespace().count() < 16);
+    }
+}

@@ -1,0 +1,33 @@
+//! # ajax-index
+//!
+//! The search-engine half of *AJAX Crawl* (thesis ch. 5 and the
+//! query-processing parts of ch. 6): an inverted file whose postings point
+//! to **application states**, not just URLs.
+//!
+//! * [`tokenize`] — lowercase word tokenizer with positions;
+//! * [`invert`] — the enhanced inverted file of Table 5.1:
+//!   `keyword → (URI, state, tf, positions)`, plus the per-state AJAXRank
+//!   (stationary distribution of the page's transition graph) and the
+//!   per-URL PageRank from the precrawl phase;
+//! * [`query`] — boolean keyword and conjunction processing (posting-list
+//!   merge on URL, then state — §5.3.2) and the ranking formula 5.3:
+//!   `R = w1·PageRank + w2·AJAXRank + w3·Σ tf·idf + w4·proximity`;
+//! * [`shard`] — query shipping over per-partition indexes with the global
+//!   idf computed at merge time from per-shard `(N, df)` counts (§6.5.2).
+//!
+//! Result aggregation (state reconstruction) lives in `ajax_crawl::replay`,
+//! since it re-drives the crawler's browser.
+
+pub mod aggregate;
+pub mod invert;
+pub mod persist;
+pub mod query;
+pub mod shard;
+pub mod tokenize;
+
+pub use aggregate::{locate_terms, ElementHit};
+pub use invert::{DocKey, IndexBuilder, InvertedIndex, Posting};
+pub use persist::{load_index, load_models, save_index, save_models, PersistError};
+pub use query::{search, search_top_k, Query, RankWeights, SearchResult};
+pub use shard::{QueryBroker, ShardResult};
+pub use tokenize::tokenize;

@@ -1,0 +1,132 @@
+//! Index and model persistence (thesis §8.3: "Saving an Index to disk for
+//! later use" / "Loading an Index"; the crawler likewise serialized
+//! application models per partition, §6.3.2).
+//!
+//! The original used Java serialization; we use JSON via serde — human
+//! inspectable, versionable, and adequate for the corpus sizes at hand.
+
+use crate::invert::InvertedIndex;
+use ajax_crawl::model::AppModel;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Why a save/load failed.
+#[derive(Debug)]
+pub enum PersistError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Saves an inverted file to `path` (JSON).
+pub fn save_index(path: impl AsRef<Path>, index: &InvertedIndex) -> Result<(), PersistError> {
+    let json = serde_json::to_string(index)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads an inverted file from `path`.
+pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Saves crawled application models to `path` — the per-partition
+/// `*.bin` files of §6.3.2, unified into one JSON document.
+pub fn save_models(path: impl AsRef<Path>, models: &[AppModel]) -> Result<(), PersistError> {
+    let json = serde_json::to_string(models)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads application models from `path`.
+pub fn load_models(path: impl AsRef<Path>) -> Result<Vec<AppModel>, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invert::IndexBuilder;
+    use crate::query::{search, Query, RankWeights};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ajax_persist_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample_model() -> AppModel {
+        let mut m = AppModel::new("http://x/watch?v=1");
+        m.add_state(1, "morcheeba enjoy the ride".into(), Some("<p>x</p>".into()));
+        m.add_state(2, "the singer is daisy".into(), None);
+        m
+    }
+
+    #[test]
+    fn index_roundtrip_preserves_search_results() {
+        let mut b = IndexBuilder::new();
+        b.add_model(&sample_model(), Some(0.7));
+        let index = b.build();
+
+        let path = temp_path("index.json");
+        save_index(&path, &index).unwrap();
+        let loaded = load_index(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(index, loaded);
+        let q = Query::parse("singer");
+        let w = RankWeights::default();
+        assert_eq!(search(&index, &q, &w), search(&loaded, &q, &w));
+    }
+
+    #[test]
+    fn models_roundtrip() {
+        let models = vec![sample_model()];
+        let path = temp_path("models.json");
+        save_models(&path, &models).unwrap();
+        let loaded = load_models(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(models, loaded);
+        assert_eq!(loaded[0].states[0].dom_html.as_deref(), Some("<p>x</p>"));
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_index("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = temp_path("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = load_index(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, PersistError::Serde(_)));
+    }
+}

@@ -1,0 +1,434 @@
+//! Query processing (thesis §5.3): boolean keyword queries and conjunctions
+//! over the state-granular inverted file, ranked by formula 5.3.
+
+use crate::invert::{DocKey, InvertedIndex, Posting};
+use crate::tokenize::query_terms;
+use serde::{Deserialize, Serialize};
+
+/// A parsed query: a conjunction of terms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Query {
+    pub terms: Vec<String>,
+}
+
+impl Query {
+    /// Parses a query string (`"Morcheeba Enjoy the Ride"` ⇒ 4 terms).
+    pub fn parse(text: &str) -> Self {
+        Self {
+            terms: query_terms(text),
+        }
+    }
+
+    /// True when the query has no terms (matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// The weights `w1..w4` of ranking formula 5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankWeights {
+    /// `w1` — PageRank of the URL.
+    pub pagerank: f64,
+    /// `w2` — AJAXRank of the state within its page.
+    pub ajaxrank: f64,
+    /// `w3` — Σ tf·idf over the query terms.
+    pub tfidf: f64,
+    /// `w4` — term proximity.
+    pub proximity: f64,
+}
+
+impl Default for RankWeights {
+    fn default() -> Self {
+        Self {
+            pagerank: 0.15,
+            ajaxrank: 0.15,
+            tfidf: 0.55,
+            proximity: 0.15,
+        }
+    }
+}
+
+/// One ranked search result: a `(URL, state)` pair with its score — exactly
+/// the 3-tuple `(u, s, r)` of §6.5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    pub url: String,
+    pub doc: DocKey,
+    pub score: f64,
+}
+
+/// Evaluates `query` against `index`: conjunction semantics (every term must
+/// occur in the state), results ranked by formula 5.3, descending.
+pub fn search(index: &InvertedIndex, query: &Query, weights: &RankWeights) -> Vec<SearchResult> {
+    let mut results = search_unsorted(index, query, weights);
+    sort_results(&mut results);
+    results
+}
+
+/// Evaluates `query` and returns only the `k` best results — the top-k
+/// path (cf. the thesis' pointer to threshold-algorithm style optimized
+/// ranking, ch. 9). Scoring work is identical to [`search`], but only a
+/// bounded selection is fully sorted, so large result sets avoid the
+/// O(n log n) total sort.
+pub fn search_top_k(
+    index: &InvertedIndex,
+    query: &Query,
+    weights: &RankWeights,
+    k: usize,
+) -> Vec<SearchResult> {
+    let mut results = search_unsorted(index, query, weights);
+    if k == 0 || results.is_empty() {
+        return Vec::new();
+    }
+    if results.len() > k {
+        // Partition so the k best (by the same ordering as sort_results)
+        // land in front, then sort just that prefix.
+        results.select_nth_unstable_by(k - 1, compare_results);
+        results.truncate(k);
+    }
+    results.sort_by(compare_results);
+    results
+}
+
+fn compare_results(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.url.cmp(&b.url))
+        .then_with(|| a.doc.state.cmp(&b.doc.state))
+}
+
+/// The scoring pass shared by [`search`] and [`search_top_k`].
+fn search_unsorted(
+    index: &InvertedIndex,
+    query: &Query,
+    weights: &RankWeights,
+) -> Vec<SearchResult> {
+    conjunction_postings(index, &query.terms)
+        .into_iter()
+        .map(|(doc, postings)| {
+            let (pagerank, ajaxrank) = index.ranks_of(doc);
+            let tfidf: f64 = postings
+                .iter()
+                .zip(query.terms.iter())
+                .map(|(p, term)| index.tf(p) * index.idf(term))
+                .sum();
+            let proximity = proximity_score(&postings, query.terms.len());
+            let score = weights.pagerank * pagerank
+                + weights.ajaxrank * ajaxrank
+                + weights.tfidf * tfidf
+                + weights.proximity * proximity;
+            SearchResult {
+                url: index.url_of(doc).to_string(),
+                doc,
+                score,
+            }
+        })
+        .collect()
+}
+
+/// Sorts results by descending score with a deterministic tiebreak.
+pub fn sort_results(results: &mut [SearchResult]) {
+    results.sort_by(compare_results);
+}
+
+/// The posting-list merge of §5.3.2: intersects the per-term posting lists
+/// on `(URL, state)` identity. Returns, per matching document, the postings
+/// of each query term *in term order*. Duplicate query terms are allowed.
+pub fn conjunction_postings<'a>(
+    index: &'a InvertedIndex,
+    terms: &[String],
+) -> Vec<(DocKey, Vec<&'a Posting>)> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
+    if lists.iter().any(|l| l.is_empty()) {
+        return Vec::new(); // Conjunction with an unseen term is empty.
+    }
+    // Drive the merge from the rarest list; binary-search the others.
+    let (driver_idx, driver) = lists
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, l)| l.len())
+        .expect("non-empty terms");
+
+    let mut out = Vec::new();
+    'candidates: for candidate in driver.iter() {
+        let doc = candidate.doc;
+        let mut row: Vec<&Posting> = Vec::with_capacity(lists.len());
+        for (i, list) in lists.iter().enumerate() {
+            if i == driver_idx {
+                row.push(candidate);
+                continue;
+            }
+            match list.binary_search_by_key(&doc, |p| p.doc) {
+                Ok(pos) => row.push(&list[pos]),
+                Err(_) => continue 'candidates,
+            }
+        }
+        out.push((doc, row));
+    }
+    out
+}
+
+/// Term-proximity measure `T(q, s)` (§5.3.3 item 4): the highest value goes
+/// to states containing the query terms adjacently in order; spread-out
+/// occurrences score lower. Computed as `k / window`, where `window` is the
+/// length of the smallest token window containing all `k` terms, with a
+/// small in-order bonus folded in by construction (an in-order adjacent run
+/// has window == k ⇒ score 1.0).
+pub fn proximity_score(postings: &[&Posting], k: usize) -> f64 {
+    if k <= 1 {
+        return 1.0;
+    }
+    // Gather (position, term_index) pairs, sorted by position.
+    let mut events: Vec<(u32, usize)> = Vec::new();
+    for (term_idx, posting) in postings.iter().enumerate() {
+        for &pos in &posting.positions {
+            events.push((pos, term_idx));
+        }
+    }
+    events.sort_unstable();
+
+    // Minimal covering window (two pointers with per-term counts).
+    let mut counts = vec![0u32; k];
+    let mut covered = 0usize;
+    let mut best = u32::MAX;
+    let mut left = 0usize;
+    for right in 0..events.len() {
+        let (_, term) = events[right];
+        if counts[term] == 0 {
+            covered += 1;
+        }
+        counts[term] += 1;
+        while covered == k {
+            let window = events[right].0 - events[left].0 + 1;
+            best = best.min(window);
+            let (_, lterm) = events[left];
+            counts[lterm] -= 1;
+            if counts[lterm] == 0 {
+                covered -= 1;
+            }
+            left += 1;
+        }
+    }
+    if best == u32::MAX {
+        // A duplicated term with a single occurrence can never cover k slots;
+        // fall back to the spread of distinct terms.
+        return 0.0;
+    }
+    (k as f64 / f64::from(best)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invert::IndexBuilder;
+    use ajax_crawl::model::AppModel;
+
+    fn index_of(states_per_page: &[(&str, &[&str])]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for (url, states) in states_per_page {
+            let mut m = AppModel::new(*url);
+            for (i, text) in states.iter().enumerate() {
+                m.add_state(i as u64 + 1, (*text).to_string(), None);
+            }
+            b.add_model(&m, Some(0.5));
+        }
+        b.build()
+    }
+
+    /// The thesis' running example (Tables 5.1/5.2, Fig 5.2).
+    fn morcheeba_index() -> InvertedIndex {
+        index_of(&[
+            (
+                "http://www.youtube.com/watch?v=w16JlLSySWQ",
+                &[
+                    "morcheeba enjoy the ride mysterious video",
+                    "morcheeba the new singer sounds great",
+                ],
+            ),
+            (
+                "http://www.youtube.com/watch?v=Iv5JXxME0js",
+                &["morcheeba morcheeba live in concert"],
+            ),
+        ])
+    }
+
+    #[test]
+    fn single_keyword_returns_states() {
+        let idx = morcheeba_index();
+        let results = search(&idx, &Query::parse("morcheeba"), &RankWeights::default());
+        assert_eq!(results.len(), 3, "three states contain 'morcheeba'");
+    }
+
+    #[test]
+    fn double_occurrence_ranks_higher() {
+        // Table 5.2: the state where the keyword appears twice ranks first
+        // (tf dominates with default weights on equal-length-ish states).
+        let idx = morcheeba_index();
+        let results = search(&idx, &Query::parse("morcheeba"), &RankWeights::default());
+        assert_eq!(
+            results[0].url, "http://www.youtube.com/watch?v=Iv5JXxME0js",
+            "state with two occurrences must rank first: {results:#?}"
+        );
+    }
+
+    #[test]
+    fn conjunction_requires_same_state() {
+        // Q3 of the thesis: "morcheeba singer" must return exactly
+        // (URL1, s2) — Fig 5.2.
+        let idx = morcheeba_index();
+        let results = search(&idx, &Query::parse("morcheeba singer"), &RankWeights::default());
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].doc.state.0, 1);
+        assert!(results[0].url.ends_with("w16JlLSySWQ"));
+    }
+
+    #[test]
+    fn conjunction_with_unseen_term_is_empty() {
+        let idx = morcheeba_index();
+        assert!(search(&idx, &Query::parse("morcheeba zebra"), &RankWeights::default()).is_empty());
+        assert!(search(&idx, &Query::parse(""), &RankWeights::default()).is_empty());
+    }
+
+    #[test]
+    fn conjunction_equals_naive_intersection() {
+        let idx = index_of(&[
+            ("u1", &["a b c", "a c", "b c"]),
+            ("u2", &["c a b a", "b"]),
+        ]);
+        let merged = conjunction_postings(&idx, &["a".into(), "b".into()]);
+        let merged_docs: Vec<DocKey> = merged.iter().map(|(d, _)| *d).collect();
+        // Naive: docs containing a ∩ docs containing b.
+        let a_docs: std::collections::BTreeSet<DocKey> =
+            idx.postings("a").iter().map(|p| p.doc).collect();
+        let b_docs: std::collections::BTreeSet<DocKey> =
+            idx.postings("b").iter().map(|p| p.doc).collect();
+        let naive: Vec<DocKey> = a_docs.intersection(&b_docs).copied().collect();
+        assert_eq!(merged_docs, naive);
+    }
+
+    #[test]
+    fn proximity_rewards_adjacency() {
+        let idx = index_of(&[(
+            "u",
+            &[
+                "enjoy the ride is here",        // adjacent, in order
+                "enjoy something long the filler word ride", // spread
+            ],
+        )]);
+        let q = Query::parse("enjoy ride");
+        let results = search(&idx, &q, &RankWeights {
+            pagerank: 0.0,
+            ajaxrank: 0.0,
+            tfidf: 0.0,
+            proximity: 1.0,
+        });
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].doc.state.0, 0, "adjacent phrase wins");
+        assert!(results[0].score > results[1].score);
+        assert!((results[0].score - 2.0 / 3.0).abs() < 1e-9, "window 'enjoy the ride' = 3");
+    }
+
+    #[test]
+    fn proximity_single_term_is_one() {
+        let idx = index_of(&[("u", &["hello world"])]);
+        let q = Query::parse("hello");
+        let results = search(&idx, &q, &RankWeights {
+            pagerank: 0.0,
+            ajaxrank: 0.0,
+            tfidf: 0.0,
+            proximity: 1.0,
+        });
+        assert!((results[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_phrase_scores_full_proximity() {
+        let idx = index_of(&[("u", &["x sexy can i y"])]);
+        let results = search(&idx, &Query::parse("sexy can i"), &RankWeights {
+            pagerank: 0.0,
+            ajaxrank: 0.0,
+            tfidf: 0.0,
+            proximity: 1.0,
+        });
+        assert!((results[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_sorted_desc_deterministic() {
+        let idx = morcheeba_index();
+        let a = search(&idx, &Query::parse("morcheeba"), &RankWeights::default());
+        let b = search(&idx, &Query::parse("morcheeba"), &RankWeights::default());
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn pagerank_breaks_content_ties() {
+        let mut builder = IndexBuilder::new();
+        let mut m1 = AppModel::new("http://low");
+        m1.add_state(1, "identical words".into(), None);
+        let mut m2 = AppModel::new("http://high");
+        m2.add_state(2, "identical words".into(), None);
+        builder.add_model(&m1, Some(0.1));
+        builder.add_model(&m2, Some(0.9));
+        let idx = builder.build();
+        let results = search(&idx, &Query::parse("identical"), &RankWeights::default());
+        assert_eq!(results[0].url, "http://high");
+    }
+
+    #[test]
+    fn duplicate_query_terms_handled() {
+        let idx = index_of(&[("u", &["wow wow great", "wow only"])]);
+        let results = search(&idx, &Query::parse("wow wow"), &RankWeights::default());
+        // Both states contain "wow"; the conjunction of a term with itself
+        // degenerates to the single-term query (set semantics).
+        assert_eq!(results.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod top_k_tests {
+    use super::*;
+    use crate::invert::IndexBuilder;
+    use ajax_crawl::model::AppModel;
+
+    fn big_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for page in 0..40 {
+            let mut m = AppModel::new(format!("http://x/{page:02}"));
+            for s in 0..3 {
+                // Vary tf so scores differ.
+                let mut text = "common ".repeat((page % 7 + 1) as usize);
+                text.push_str(&"filler ".repeat((s + 1) * 2));
+                m.add_state(u64::from(page * 10 + s as u32 + 1), text, None);
+            }
+            b.add_model(&m, Some(1.0 / 40.0));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_prefix() {
+        let idx = big_index();
+        let q = Query::parse("common");
+        let w = RankWeights::default();
+        let full = search(&idx, &q, &w);
+        for k in [0usize, 1, 5, 17, 120, 1000] {
+            let top = search_top_k(&idx, &q, &w, k);
+            assert_eq!(top.len(), full.len().min(k));
+            assert_eq!(&full[..top.len()], &top[..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_on_empty_results() {
+        let idx = big_index();
+        let q = Query::parse("absent");
+        assert!(search_top_k(&idx, &q, &RankWeights::default(), 10).is_empty());
+    }
+}

@@ -1,0 +1,288 @@
+//! Query shipping over partitioned indexes (thesis §6.4–6.5).
+//!
+//! The parallel architecture builds **one inverted file per partition**.
+//! A query is shipped to every shard; each shard evaluates the conjunction
+//! locally and returns results scored with its *local* components (PageRank,
+//! AJAXRank, proximity) plus the raw per-term `tf` values and its
+//! `(state count, df)` statistics. The broker computes the **global idf**
+//! from the summed counts (the formula worked in §6.5.2), completes each
+//! result's score with `w3·Σ tf·idf`, merges and re-sorts — Steps 1 and 2 of
+//! Fig 6.4.
+
+use crate::invert::{DocKey, InvertedIndex};
+use crate::query::{conjunction_postings, proximity_score, sort_results, Query, RankWeights, SearchResult};
+use serde::{Deserialize, Serialize};
+
+/// A shard-local result before the global tf·idf completion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardResult {
+    pub shard: usize,
+    pub url: String,
+    pub doc: DocKey,
+    /// `w1·PageRank + w2·AJAXRank + w4·proximity` — everything computable
+    /// locally.
+    pub base_score: f64,
+    /// Raw normalized `tf` per query term.
+    pub tfs: Vec<f64>,
+}
+
+/// Per-shard term statistics returned alongside results.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTermStats {
+    /// `|{s | s ∈ Idx}|` — states in the shard.
+    pub total_states: u64,
+    /// `|{s | s ∈ Idx ∧ k ∈ s}|` per query term.
+    pub df: Vec<u64>,
+}
+
+/// A fully merged, globally scored result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrokerResult {
+    pub shard: usize,
+    pub url: String,
+    pub doc: DocKey,
+    pub score: f64,
+}
+
+/// The central "Search Application" that ships queries to every shard and
+/// merges the result sets.
+#[derive(Debug, Default)]
+pub struct QueryBroker {
+    shards: Vec<InvertedIndex>,
+    pub weights: RankWeights,
+}
+
+impl QueryBroker {
+    /// Builds a broker over per-partition indexes.
+    pub fn new(shards: Vec<InvertedIndex>) -> Self {
+        Self {
+            shards,
+            weights: RankWeights::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Access to a shard (diagnostics).
+    pub fn shard(&self, i: usize) -> Option<&InvertedIndex> {
+        self.shards.get(i)
+    }
+
+    /// Total states across shards (the global `|D|`).
+    pub fn total_states(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_states).sum()
+    }
+
+    /// Evaluates the query on one shard (the "query shipping" leg).
+    fn ship(&self, shard_idx: usize, query: &Query) -> (Vec<ShardResult>, ShardTermStats) {
+        let shard = &self.shards[shard_idx];
+        let stats = ShardTermStats {
+            total_states: shard.total_states,
+            df: query.terms.iter().map(|t| shard.df(t)).collect(),
+        };
+        let results = conjunction_postings(shard, &query.terms)
+            .into_iter()
+            .map(|(doc, postings)| {
+                let (pagerank, ajaxrank) = shard.ranks_of(doc);
+                let proximity = proximity_score(&postings, query.terms.len());
+                ShardResult {
+                    shard: shard_idx,
+                    url: shard.url_of(doc).to_string(),
+                    doc,
+                    base_score: self.weights.pagerank * pagerank
+                        + self.weights.ajaxrank * ajaxrank
+                        + self.weights.proximity * proximity,
+                    tfs: postings.iter().map(|p| shard.tf(p)).collect(),
+                }
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// Computes the global idf of each query term from per-shard stats:
+    /// `idf(k) = ln( Σ_i |Idx_i| / Σ_i df_i(k) )` — the §6.5.2 formula.
+    pub fn global_idf(query: &Query, stats: &[ShardTermStats]) -> Vec<f64> {
+        let total: u64 = stats.iter().map(|s| s.total_states).sum();
+        (0..query.terms.len())
+            .map(|t| {
+                let df: u64 = stats.iter().map(|s| s.df[t]).sum();
+                if df == 0 || total == 0 {
+                    0.0
+                } else {
+                    (total as f64 / df as f64).ln()
+                }
+            })
+            .collect()
+    }
+
+    /// Full distributed evaluation: ship, collect, complete scores with the
+    /// global tf·idf (Step 1 of Fig 6.4), merge and sort (Step 2).
+    pub fn search(&self, query: &Query) -> Vec<BrokerResult> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut all_results = Vec::new();
+        let mut all_stats = Vec::with_capacity(self.shards.len());
+        for shard_idx in 0..self.shards.len() {
+            let (results, stats) = self.ship(shard_idx, query);
+            all_results.extend(results);
+            all_stats.push(stats);
+        }
+        let idf = Self::global_idf(query, &all_stats);
+
+        let mut merged: Vec<SearchResult> = all_results
+            .iter()
+            .map(|r| {
+                let tfidf: f64 = r.tfs.iter().zip(idf.iter()).map(|(tf, idf)| tf * idf).sum();
+                SearchResult {
+                    url: r.url.clone(),
+                    doc: r.doc,
+                    score: r.base_score + self.weights.tfidf * tfidf,
+                }
+            })
+            .collect();
+        sort_results(&mut merged);
+
+        // Re-attach shard provenance (url+doc uniquely identify the origin
+        // because partitions are URL-disjoint, §6.5.2: "the intersection of
+        // URLs between distinct inverted lists is empty").
+        let provenance: std::collections::HashMap<(&str, DocKey), usize> = all_results
+            .iter()
+            .map(|s| ((s.url.as_str(), s.doc), s.shard))
+            .collect();
+        merged
+            .into_iter()
+            .map(|r| {
+                let shard = provenance
+                    .get(&(r.url.as_str(), r.doc))
+                    .copied()
+                    .unwrap_or(0);
+                BrokerResult {
+                    shard,
+                    url: r.url,
+                    doc: r.doc,
+                    score: r.score,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invert::IndexBuilder;
+    use crate::query::search;
+    use ajax_crawl::model::AppModel;
+
+    fn model(url: &str, states: &[&str]) -> AppModel {
+        let mut m = AppModel::new(url);
+        for (i, text) in states.iter().enumerate() {
+            m.add_state(i as u64 + 1, (*text).to_string(), None);
+        }
+        m
+    }
+
+    fn corpus() -> Vec<AppModel> {
+        vec![
+            model("http://x/1", &["wow great video", "more wow content here"]),
+            model("http://x/2", &["dance dance dance", "wow dance"]),
+            model("http://x/3", &["nothing relevant at all"]),
+            model("http://x/4", &["wow", "dance wow", "silence"]),
+        ]
+    }
+
+    fn build_single(models: &[AppModel]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for m in models {
+            b.add_model(m, Some(0.25));
+        }
+        b.build()
+    }
+
+    fn build_sharded(models: &[AppModel], per_shard: usize) -> QueryBroker {
+        let shards = models
+            .chunks(per_shard)
+            .map(|chunk| {
+                let mut b = IndexBuilder::new();
+                for m in chunk {
+                    b.add_model(m, Some(0.25));
+                }
+                b.build()
+            })
+            .collect();
+        QueryBroker::new(shards)
+    }
+
+    #[test]
+    fn worked_example_of_section_652() {
+        // Idx1: 10 states, 4 with k; Idx2: 13 states, 6 with k
+        // ⇒ idf = log(23/10).
+        let stats = vec![
+            ShardTermStats { total_states: 10, df: vec![4] },
+            ShardTermStats { total_states: 13, df: vec![6] },
+        ];
+        let q = Query::parse("k1");
+        let idf = QueryBroker::global_idf(&q, &stats);
+        assert!((idf[0] - (23.0f64 / 10.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_equals_single_index() {
+        let models = corpus();
+        let single = build_single(&models);
+        for per_shard in [1, 2, 3] {
+            let broker = build_sharded(&models, per_shard);
+            for q in ["wow", "dance", "wow dance", "nothing", "absent"] {
+                let query = Query::parse(q);
+                let merged = broker.search(&query);
+                let reference = search(&single, &query, &RankWeights::default());
+                assert_eq!(
+                    merged.len(),
+                    reference.len(),
+                    "query {q:?}, per_shard {per_shard}"
+                );
+                for (m, r) in merged.iter().zip(reference.iter()) {
+                    assert_eq!(m.url, r.url, "query {q:?}");
+                    assert_eq!(m.doc.state, r.doc.state);
+                    assert!(
+                        (m.score - r.score).abs() < 1e-9,
+                        "score mismatch for {q:?}: {} vs {}",
+                        m.score,
+                        r.score
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_states_sums_shards() {
+        let broker = build_sharded(&corpus(), 2);
+        assert_eq!(broker.total_states(), 8);
+        assert_eq!(broker.shard_count(), 2);
+    }
+
+    #[test]
+    fn empty_query_empty_results() {
+        let broker = build_sharded(&corpus(), 2);
+        assert!(broker.search(&Query::parse("")).is_empty());
+        assert!(broker.search(&Query::parse("absentterm")).is_empty());
+    }
+
+    #[test]
+    fn shard_provenance_attached() {
+        let broker = build_sharded(&corpus(), 1);
+        let results = broker.search(&Query::parse("dance"));
+        for r in &results {
+            let shard = broker.shard(r.shard).unwrap();
+            assert_eq!(shard.url_of(r.doc), r.url, "provenance must be consistent");
+        }
+        // "dance" occurs on pages 2 and 4, which live in shards 1 and 3.
+        let shards: std::collections::BTreeSet<_> = results.iter().map(|r| r.shard).collect();
+        assert_eq!(shards, [1usize, 3].into_iter().collect());
+    }
+}

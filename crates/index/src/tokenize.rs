@@ -1,0 +1,85 @@
+//! Tokenization: lowercase alphanumeric words with positions.
+
+/// One token: the word and its 0-based position in the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenAt {
+    pub term: String,
+    pub position: u32,
+}
+
+/// Splits `text` into lowercase alphanumeric tokens with positions.
+/// Everything that is not alphanumeric separates tokens; tokens are
+/// lowercased (ASCII + Unicode via `char::to_lowercase`).
+pub fn tokenize(text: &str) -> Vec<TokenAt> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut position = 0u32;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                current.push(lower);
+            }
+        } else if !current.is_empty() {
+            out.push(TokenAt {
+                term: std::mem::take(&mut current),
+                position,
+            });
+            position += 1;
+        }
+    }
+    if !current.is_empty() {
+        out.push(TokenAt {
+            term: current,
+            position,
+        });
+    }
+    out
+}
+
+/// Tokenizes a query string into terms (no positions).
+pub fn query_terms(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().map(|t| t.term).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(s: &str) -> Vec<String> {
+        tokenize(s).into_iter().map(|t| t.term).collect()
+    }
+
+    #[test]
+    fn basic_split_and_lowercase() {
+        assert_eq!(terms("Morcheeba, Enjoy the RIDE!"), vec!["morcheeba", "enjoy", "the", "ride"]);
+    }
+
+    #[test]
+    fn positions_are_sequential() {
+        let toks = tokenize("a b  c");
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 1);
+        assert_eq!(toks[2].position, 2);
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(terms("page 2 of 11"), vec!["page", "2", "of", "11"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(terms("").is_empty());
+        assert!(terms("... !!! ---").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(terms("Größe"), vec!["größe"]);
+    }
+
+    #[test]
+    fn apostrophes_split() {
+        assert_eq!(terms("can't stop"), vec!["can", "t", "stop"]);
+    }
+}

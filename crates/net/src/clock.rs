@@ -1,0 +1,77 @@
+//! Virtual time.
+
+/// Virtual microseconds.
+pub type Micros = u64;
+
+/// A virtual clock. All "times" in the reproduction's experiments are virtual
+/// microseconds accumulated here, which makes crawl-time measurements exactly
+/// reproducible and independent of the host machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now: Micros,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Micros {
+        self.now
+    }
+
+    /// Advances the clock by `d` microseconds.
+    #[inline]
+    pub fn advance(&mut self, d: Micros) {
+        self.now = self.now.saturating_add(d);
+    }
+
+    /// Resets to time zero.
+    pub fn reset(&mut self) {
+        self.now = 0;
+    }
+}
+
+/// Formats microseconds as a human-readable duration (`1.234 s`, `56 ms`…).
+pub fn format_micros(us: Micros) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3} s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance(10);
+        c.advance(5);
+        assert_eq!(c.now(), 15);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = SimClock::new();
+        c.advance(u64::MAX);
+        c.advance(10);
+        assert_eq!(c.now(), u64::MAX);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_micros(500), "500 µs");
+        assert_eq!(format_micros(2_500), "2.50 ms");
+        assert_eq!(format_micros(1_234_000), "1.234 s");
+    }
+}

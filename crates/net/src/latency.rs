@@ -1,0 +1,143 @@
+//! Latency models.
+//!
+//! The thesis' crawl times are dominated by network round trips to YouTube.
+//! We model a request's cost as `connect + body_bytes / bandwidth`, optionally
+//! perturbed by a *deterministic* jitter derived from the URL and a sequence
+//! number, so experiments are reproducible run-to-run yet per-request times
+//! vary realistically (needed for the crawl-time distribution, Fig 7.3).
+
+use crate::clock::Micros;
+use ajax_dom::hash::Fnv64;
+
+/// How long a request takes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyModel {
+    /// Free networking (useful in unit tests).
+    Zero,
+    /// A constant per request.
+    Fixed(Micros),
+    /// `connect + ceil(bytes / bytes_per_micro)` — connection setup plus
+    /// transfer time.
+    Linear {
+        connect: Micros,
+        /// Bandwidth in bytes per microsecond (1 byte/µs = ~1 MB/s).
+        bytes_per_micro: f64,
+    },
+    /// Wraps another model with multiplicative jitter in
+    /// `[1 - spread, 1 + spread]`, derived deterministically from
+    /// `(seed, url, seq)`.
+    Jittered {
+        base: Box<LatencyModel>,
+        /// e.g. `0.3` for ±30 %.
+        spread: f64,
+        seed: u64,
+    },
+}
+
+impl LatencyModel {
+    /// The default model used by the experiments: ~60 ms connect, ~1 MB/s
+    /// transfer, ±40 % jitter. With VidShare page sizes this lands close to
+    /// the thesis' observed per-page crawl times (~1.7 s traditional pages
+    /// once parse/model costs are added).
+    pub fn thesis_default(seed: u64) -> Self {
+        LatencyModel::Jittered {
+            base: Box::new(LatencyModel::Linear {
+                connect: 60_000,
+                bytes_per_micro: 1.0,
+            }),
+            spread: 0.4,
+            seed,
+        }
+    }
+
+    /// Computes the cost of fetching `url` (the `seq`-th request overall)
+    /// with a response body of `response_bytes`.
+    pub fn cost(&self, url: &str, seq: u64, response_bytes: usize) -> Micros {
+        match self {
+            LatencyModel::Zero => 0,
+            LatencyModel::Fixed(us) => *us,
+            LatencyModel::Linear {
+                connect,
+                bytes_per_micro,
+            } => {
+                let transfer = if *bytes_per_micro > 0.0 {
+                    (response_bytes as f64 / bytes_per_micro).ceil() as Micros
+                } else {
+                    0
+                };
+                connect + transfer
+            }
+            LatencyModel::Jittered { base, spread, seed } => {
+                let base_cost = base.cost(url, seq, response_bytes) as f64;
+                let mut h = Fnv64::new();
+                h.write_u64(*seed);
+                h.write_str(url);
+                h.write_u64(seq);
+                // Map the hash to [-1, 1).
+                let unit = (h.finish() >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+                let factor = 1.0 + spread * (2.0 * unit - 1.0);
+                (base_cost * factor.max(0.0)).round() as Micros
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_zero() {
+        assert_eq!(LatencyModel::Zero.cost("/x", 0, 1000), 0);
+        assert_eq!(LatencyModel::Fixed(42).cost("/x", 7, 1000), 42);
+    }
+
+    #[test]
+    fn linear_scales_with_bytes() {
+        let m = LatencyModel::Linear {
+            connect: 100,
+            bytes_per_micro: 2.0,
+        };
+        assert_eq!(m.cost("/x", 0, 0), 100);
+        assert_eq!(m.cost("/x", 0, 200), 200);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let m = LatencyModel::Jittered {
+            base: Box::new(LatencyModel::Fixed(1000)),
+            spread: 0.3,
+            seed: 7,
+        };
+        let a = m.cost("/watch?v=1", 0, 0);
+        let b = m.cost("/watch?v=1", 0, 0);
+        assert_eq!(a, b, "same inputs, same jitter");
+        for seq in 0..200 {
+            let c = m.cost("/watch?v=1", seq, 0);
+            assert!((700..=1300).contains(&c), "jitter out of bounds: {c}");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_across_requests() {
+        let m = LatencyModel::Jittered {
+            base: Box::new(LatencyModel::Fixed(1000)),
+            spread: 0.3,
+            seed: 7,
+        };
+        let costs: std::collections::HashSet<_> = (0..50).map(|s| m.cost("/u", s, 0)).collect();
+        assert!(costs.len() > 10, "expected spread, got {costs:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mk = |seed| LatencyModel::Jittered {
+            base: Box::new(LatencyModel::Fixed(10_000)),
+            spread: 0.4,
+            seed,
+        };
+        let a: Vec<_> = (0..20).map(|s| mk(1).cost("/u", s, 0)).collect();
+        let b: Vec<_> = (0..20).map(|s| mk(2).cost("/u", s, 0)).collect();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ajax-net
+//!
+//! The network substrate for the AJAX Crawl reproduction. The original
+//! evaluation ran against the live 2008 YouTube over real HTTP; that is
+//! neither available nor reproducible, so this crate simulates it:
+//!
+//! * [`Server`] — the remote application; implementors (e.g. the VidShare
+//!   workload of `ajax-webgen`) answer [`Request`]s with [`Response`]s purely
+//!   as a function of the request (the thesis assumes *statelessness of the
+//!   server* and *snapshot isolation*, §4.3 — a pure function gives us both).
+//! * [`SimClock`] — a virtual clock in microseconds. Crawlers charge network
+//!   latencies and CPU costs to it; experiment "times" are read from it,
+//!   making every timing experiment deterministic.
+//! * [`LatencyModel`] — connect + transfer + deterministic jitter; calibrated
+//!   defaults approximate the thesis' observed page times.
+//! * [`NetClient`] — fetch with per-request accounting (request count, bytes,
+//!   cumulative network time): the raw data behind Figs. 7.5–7.7.
+//! * [`sched`] — a discrete-event executor that replays per-page CPU/network
+//!   traces over *k* "process lines" sharing *m* CPU cores: the virtual-time
+//!   model of the parallel crawler (thesis ch. 6, Table 7.3 / Fig 7.8).
+//!   Network waits overlap freely; CPU contends via processor sharing.
+
+pub mod clock;
+pub mod latency;
+pub mod network;
+pub mod sched;
+pub mod server;
+pub mod url;
+
+pub use clock::{Micros, SimClock};
+pub use latency::LatencyModel;
+pub use network::{NetClient, NetStats};
+pub use sched::{simulate, Segment, SimReport, Task};
+pub use server::{Request, Response, Server};
+pub use url::Url;

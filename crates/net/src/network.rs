@@ -1,0 +1,139 @@
+//! The crawler-side network client: fetches from a [`Server`] through a
+//! [`LatencyModel`], charging a [`SimClock`] and keeping the per-request
+//! accounting behind the caching experiments (Figs. 7.5–7.7).
+
+use crate::clock::{Micros, SimClock};
+use crate::latency::LatencyModel;
+use crate::server::{Request, Response, Server};
+use crate::url::Url;
+use std::sync::Arc;
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Number of requests actually sent to the server.
+    pub requests: u64,
+    /// Total response bytes transferred.
+    pub bytes: u64,
+    /// Total virtual time spent on the network.
+    pub network_micros: Micros,
+}
+
+/// A virtual HTTP client owned by one crawler.
+pub struct NetClient {
+    server: Arc<dyn Server>,
+    latency: LatencyModel,
+    clock: SimClock,
+    stats: NetStats,
+    seq: u64,
+}
+
+impl NetClient {
+    /// Creates a client talking to `server` under `latency`.
+    pub fn new(server: Arc<dyn Server>, latency: LatencyModel) -> Self {
+        Self {
+            server,
+            latency,
+            clock: SimClock::new(),
+            stats: NetStats::default(),
+            seq: 0,
+        }
+    }
+
+    /// Fetches `url`, advancing the virtual clock by the request's cost.
+    pub fn fetch(&mut self, url: &Url) -> Response {
+        self.fetch_timed(url).0
+    }
+
+    /// Like [`Self::fetch`], also returning the request's virtual cost (used
+    /// by callers that record CPU/network traces for the parallel scheduler).
+    pub fn fetch_timed(&mut self, url: &Url) -> (Response, Micros) {
+        let request = Request::get(url.clone());
+        let response = self.server.handle(&request);
+        let cost = self
+            .latency
+            .cost(&url.to_string(), self.seq, response.len());
+        self.seq += 1;
+        self.clock.advance(cost);
+        self.stats.requests += 1;
+        self.stats.bytes += response.len() as u64;
+        self.stats.network_micros += cost;
+        (response, cost)
+    }
+
+    /// Charges pure CPU time (parsing, JS, hashing…) to the same clock, so
+    /// the clock reflects total crawl time.
+    pub fn charge_cpu(&mut self, micros: Micros) {
+        self.clock.advance(micros);
+    }
+
+    /// Current virtual time (network + charged CPU).
+    pub fn now(&self) -> Micros {
+        self.clock.now()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The shared server handle (for spawning sibling clients).
+    pub fn server(&self) -> Arc<dyn Server> {
+        Arc::clone(&self.server)
+    }
+
+    /// The latency model in use.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Resets clock, stats and sequence number (fresh measurement window).
+    pub fn reset(&mut self) {
+        self.clock.reset();
+        self.stats = NetStats::default();
+        self.seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::FnServer;
+
+    fn client(latency: LatencyModel) -> NetClient {
+        let server = Arc::new(FnServer(|req: &Request| {
+            Response::text(format!("echo {}", req.url))
+        }));
+        NetClient::new(server, latency)
+    }
+
+    #[test]
+    fn fetch_accounts_time_and_bytes() {
+        let mut c = client(LatencyModel::Fixed(1_000));
+        let r1 = c.fetch(&Url::parse("/a"));
+        let r2 = c.fetch(&Url::parse("/bb"));
+        assert!(r1.body.contains("/a"));
+        assert_eq!(c.stats().requests, 2);
+        assert_eq!(c.stats().bytes, (r1.len() + r2.len()) as u64);
+        assert_eq!(c.now(), 2_000);
+        assert_eq!(c.stats().network_micros, 2_000);
+    }
+
+    #[test]
+    fn cpu_charges_clock_not_network_stats() {
+        let mut c = client(LatencyModel::Fixed(100));
+        c.fetch(&Url::parse("/a"));
+        c.charge_cpu(50);
+        assert_eq!(c.now(), 150);
+        assert_eq!(c.stats().network_micros, 100);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = client(LatencyModel::Fixed(100));
+        c.fetch(&Url::parse("/a"));
+        c.reset();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.stats(), &NetStats::default());
+    }
+}

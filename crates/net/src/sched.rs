@@ -1,0 +1,343 @@
+//! Discrete-event executor for the parallel crawler's virtual time.
+//!
+//! The thesis parallelizes crawling with *process lines* (ch. 6): `k`
+//! concurrent `SimpleAjaxCrawler` processes, each serially working through
+//! URL partitions, all on one machine. Crawling is network-bound, so lines
+//! overlap each other's network waits almost perfectly, while CPU work
+//! contends for the machine's cores.
+//!
+//! This module replays per-page *traces* — alternating CPU and network
+//! segments recorded by a (serial) crawl — under that execution model:
+//!
+//! * network segments always progress at rate 1 (the server and pipe are not
+//!   the bottleneck at this scale),
+//! * CPU segments progress at rate `min(1, cores / active_cpu_lines)`
+//!   (egalitarian processor sharing).
+//!
+//! The result is the virtual makespan of the parallel crawl (Table 7.3 /
+//! Fig 7.8) without needing wall-clock parallelism — though the real
+//! crawler *also* runs truly in parallel via crossbeam; this model is what
+//! maps its work onto the thesis' timing axis deterministically.
+
+use crate::clock::Micros;
+
+/// One phase of a task: either pure CPU work or a network wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    Cpu(Micros),
+    Net(Micros),
+}
+
+impl Segment {
+    fn amount(self) -> Micros {
+        match self {
+            Segment::Cpu(a) | Segment::Net(a) => a,
+        }
+    }
+}
+
+/// A unit of schedulable work (one page crawl): its segments run in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Task {
+    pub segments: Vec<Segment>,
+}
+
+impl Task {
+    /// Builds a task from segments.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        Self { segments }
+    }
+
+    /// Total CPU work in the task.
+    pub fn cpu_total(&self) -> Micros {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Cpu(a) => Some(*a),
+                Segment::Net(_) => None,
+            })
+            .sum()
+    }
+
+    /// Total network wait in the task.
+    pub fn net_total(&self) -> Micros {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                Segment::Net(a) => Some(*a),
+                Segment::Cpu(_) => None,
+            })
+            .sum()
+    }
+
+    /// Serial duration of the task (sum of all segments).
+    pub fn duration(&self) -> Micros {
+        self.cpu_total() + self.net_total()
+    }
+}
+
+/// Result of a simulated parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Virtual wall-clock time until the last line finished.
+    pub makespan: Micros,
+    /// Sum of all task durations (== serial execution time).
+    pub serial_time: Micros,
+    /// Completion time of every task, in submission order.
+    pub completion: Vec<Micros>,
+    /// Busy time per line.
+    pub line_busy: Vec<Micros>,
+}
+
+impl SimReport {
+    /// Parallel speedup over serial execution.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            1.0
+        } else {
+            self.serial_time as f64 / self.makespan as f64
+        }
+    }
+}
+
+/// State of one process line during simulation.
+struct Line {
+    /// Index of the task being executed.
+    task: usize,
+    /// Index of the current segment within the task.
+    segment: usize,
+    /// Remaining work in the current segment (micros of work).
+    remaining: f64,
+    /// Whether the current segment is CPU.
+    is_cpu: bool,
+    busy: f64,
+}
+
+/// Simulates `tasks` over `lines` process lines sharing `cores` CPU cores.
+/// Tasks are assigned to lines in FIFO order, matching the thesis'
+/// `MPAjaxCrawler::getPartitionID()` dispatch.
+pub fn simulate(tasks: &[Task], lines: usize, cores: usize) -> SimReport {
+    let lines = lines.max(1);
+    let cores = cores.max(1);
+    let serial_time: Micros = tasks.iter().map(Task::duration).sum();
+    let mut completion = vec![0u64; tasks.len()];
+
+    let mut next_task = 0usize;
+    let mut active: Vec<Line> = Vec::with_capacity(lines);
+    let mut line_busy = vec![0.0f64; lines];
+    let mut line_of: Vec<usize> = Vec::new(); // active[i] runs on line line_of[i]
+    let mut idle_lines: Vec<usize> = (0..lines).rev().collect();
+    let mut now = 0.0f64;
+
+    // Pulls the next task onto an idle line, skipping empty tasks.
+    fn start_task(
+        tasks: &[Task],
+        next_task: &mut usize,
+        completion: &mut [Micros],
+        now: f64,
+    ) -> Option<(usize, Line)> {
+        while *next_task < tasks.len() {
+            let idx = *next_task;
+            *next_task += 1;
+            let task = &tasks[idx];
+            if let Some(seg) = task.segments.iter().position(|s| s.amount() > 0) {
+                return Some((
+                    idx,
+                    Line {
+                        task: idx,
+                        segment: seg,
+                        remaining: task.segments[seg].amount() as f64,
+                        is_cpu: matches!(task.segments[seg], Segment::Cpu(_)),
+                        busy: 0.0,
+                    },
+                ));
+            }
+            // Task with no work completes instantly.
+            completion[idx] = now.round() as Micros;
+        }
+        None
+    }
+
+    loop {
+        // Fill idle lines.
+        while let Some(&line_id) = idle_lines.last() {
+            match start_task(tasks, &mut next_task, &mut completion, now) {
+                Some((_, line)) => {
+                    idle_lines.pop();
+                    active.push(line);
+                    line_of.push(line_id);
+                }
+                None => break,
+            }
+        }
+        if active.is_empty() {
+            break;
+        }
+
+        // Rates under processor sharing.
+        let cpu_count = active.iter().filter(|l| l.is_cpu).count();
+        let cpu_rate = if cpu_count == 0 {
+            1.0
+        } else {
+            (cores as f64 / cpu_count as f64).min(1.0)
+        };
+
+        // Time until the first segment completes.
+        let mut dt = f64::INFINITY;
+        for line in &active {
+            let rate = if line.is_cpu { cpu_rate } else { 1.0 };
+            dt = dt.min(line.remaining / rate);
+        }
+        debug_assert!(dt.is_finite() && dt >= 0.0);
+        now += dt;
+
+        // Progress everyone; collect finishers.
+        let mut i = 0;
+        while i < active.len() {
+            let rate = if active[i].is_cpu { cpu_rate } else { 1.0 };
+            active[i].remaining -= dt * rate;
+            active[i].busy += dt;
+            if active[i].remaining <= 1e-9 {
+                // Advance to the next non-empty segment.
+                let task_idx = active[i].task;
+                let task = &tasks[task_idx];
+                let mut seg = active[i].segment + 1;
+                while seg < task.segments.len() && task.segments[seg].amount() == 0 {
+                    seg += 1;
+                }
+                if seg < task.segments.len() {
+                    active[i].segment = seg;
+                    active[i].remaining = task.segments[seg].amount() as f64;
+                    active[i].is_cpu = matches!(task.segments[seg], Segment::Cpu(_));
+                    i += 1;
+                } else {
+                    // Task done; free the line.
+                    completion[task_idx] = now.round() as Micros;
+                    let line_id = line_of[i];
+                    line_busy[line_id] += active[i].busy;
+                    active.swap_remove(i);
+                    line_of.swap_remove(i);
+                    idle_lines.push(line_id);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    SimReport {
+        makespan: now.round() as Micros,
+        serial_time,
+        completion,
+        line_busy: line_busy.into_iter().map(|b| b.round() as Micros).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net_task(us: Micros) -> Task {
+        Task::new(vec![Segment::Net(us)])
+    }
+    fn cpu_task(us: Micros) -> Task {
+        Task::new(vec![Segment::Cpu(us)])
+    }
+
+    #[test]
+    fn single_line_is_serial() {
+        let tasks = vec![net_task(100), cpu_task(50), net_task(25)];
+        let report = simulate(&tasks, 1, 4);
+        assert_eq!(report.makespan, 175);
+        assert_eq!(report.serial_time, 175);
+        assert_eq!(report.completion, vec![100, 150, 175]);
+        assert!((report.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_overlaps_perfectly() {
+        let tasks: Vec<_> = (0..4).map(|_| net_task(1_000)).collect();
+        let report = simulate(&tasks, 4, 1);
+        assert_eq!(report.makespan, 1_000, "net waits overlap fully");
+        assert!((report.speedup() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_contends_for_cores() {
+        let tasks: Vec<_> = (0..4).map(|_| cpu_task(1_000)).collect();
+        // 4 lines, 2 cores: processor sharing halves each line's rate.
+        let report = simulate(&tasks, 4, 2);
+        assert_eq!(report.makespan, 2_000);
+        // 4 lines, 4 cores: full speed.
+        let report = simulate(&tasks, 4, 4);
+        assert_eq!(report.makespan, 1_000);
+    }
+
+    #[test]
+    fn mixed_workload_between_bounds() {
+        // Each task: 200µs CPU + 800µs net. 4 lines, 2 cores.
+        let tasks: Vec<_> = (0..8)
+            .map(|_| Task::new(vec![Segment::Cpu(200), Segment::Net(800)]))
+            .collect();
+        let report = simulate(&tasks, 4, 2);
+        let serial = report.serial_time;
+        assert_eq!(serial, 8 * 1_000);
+        // Better than 2x (CPU bound would cap at cores=2), worse than 8x.
+        let speedup = report.speedup();
+        assert!(speedup > 2.0 && speedup <= 4.0 + 1e-9, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn fifo_assignment() {
+        // Two lines, three tasks: third task starts when the *first* line
+        // frees up (after 100), finishing at 100 + 300 = 400.
+        let tasks = vec![net_task(100), net_task(500), net_task(300)];
+        let report = simulate(&tasks, 2, 4);
+        assert_eq!(report.completion, vec![100, 500, 400]);
+        assert_eq!(report.makespan, 500);
+    }
+
+    #[test]
+    fn empty_and_zero_tasks() {
+        let report = simulate(&[], 4, 2);
+        assert_eq!(report.makespan, 0);
+        let report = simulate(&[Task::default(), net_task(10)], 2, 2);
+        assert_eq!(report.makespan, 10);
+        assert_eq!(report.completion[0], 0);
+    }
+
+    #[test]
+    fn zero_length_segments_skipped() {
+        let t = Task::new(vec![Segment::Cpu(0), Segment::Net(5), Segment::Cpu(0)]);
+        let report = simulate(&[t], 1, 1);
+        assert_eq!(report.makespan, 5);
+    }
+
+    #[test]
+    fn line_busy_accounted() {
+        let tasks = vec![net_task(100), net_task(100)];
+        let report = simulate(&tasks, 2, 1);
+        assert_eq!(report.line_busy, vec![100, 100]);
+    }
+
+    #[test]
+    fn task_totals() {
+        let t = Task::new(vec![Segment::Cpu(10), Segment::Net(20), Segment::Cpu(5)]);
+        assert_eq!(t.cpu_total(), 15);
+        assert_eq!(t.net_total(), 20);
+        assert_eq!(t.duration(), 35);
+    }
+
+    #[test]
+    fn more_lines_never_slower() {
+        let tasks: Vec<_> = (0..20)
+            .map(|i| Task::new(vec![Segment::Cpu(100 + i * 7), Segment::Net(900 - i * 11)]))
+            .collect();
+        let mut last = u64::MAX;
+        for lines in [1, 2, 4, 8] {
+            let m = simulate(&tasks, lines, 2).makespan;
+            assert!(m <= last, "lines={lines} makespan={m} > previous {last}");
+            last = m;
+        }
+    }
+}

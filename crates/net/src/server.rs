@@ -1,0 +1,140 @@
+//! The remote application: requests, responses and the [`Server`] trait.
+
+use crate::url::Url;
+
+/// An HTTP-ish request. The crawler only issues GETs, but the method field
+/// keeps the model honest (the thesis explicitly avoids update events, §4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: Method,
+    pub url: Url,
+}
+
+/// Request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+}
+
+impl Request {
+    /// Builds a GET request.
+    pub fn get(url: impl Into<Url>) -> Self {
+        Self {
+            method: Method::Get,
+            url: url.into(),
+        }
+    }
+}
+
+/// An HTTP-ish response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: String,
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with `text/html`.
+    pub fn html(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/html".into(),
+            body: body.into(),
+        }
+    }
+
+    /// 200 with `text/plain`.
+    pub fn text(body: impl Into<String>) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain".into(),
+            body: body.into(),
+        }
+    }
+
+    /// 404.
+    pub fn not_found() -> Self {
+        Self {
+            status: 404,
+            content_type: "text/plain".into(),
+            body: "not found".into(),
+        }
+    }
+
+    /// 500.
+    pub fn server_error(message: impl Into<String>) -> Self {
+        Self {
+            status: 500,
+            content_type: "text/plain".into(),
+            body: message.into(),
+        }
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Response size in bytes (used by transfer-time latency models).
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+/// The remote application. Implementations must be pure functions of the
+/// request (thesis §4.3: snapshot isolation + server statelessness), which
+/// also makes them trivially shareable across parallel crawler threads.
+pub trait Server: Send + Sync {
+    /// Handles one request.
+    fn handle(&self, request: &Request) -> Response;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "server"
+    }
+}
+
+/// A server built from a closure — convenient in tests.
+pub struct FnServer<F>(pub F);
+
+impl<F> Server for FnServer<F>
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request) -> Response {
+        (self.0)(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_server_routes() {
+        let server = FnServer(|req: &Request| {
+            if req.url.path == "/ok" {
+                Response::text("yes")
+            } else {
+                Response::not_found()
+            }
+        });
+        assert_eq!(server.handle(&Request::get("/ok")).body, "yes");
+        assert_eq!(server.handle(&Request::get("/other")).status, 404);
+    }
+
+    #[test]
+    fn response_helpers() {
+        assert!(Response::html("<p>x</p>").is_ok());
+        assert!(!Response::not_found().is_ok());
+        assert!(!Response::server_error("boom").is_ok());
+        assert_eq!(Response::text("abc").len(), 3);
+    }
+}

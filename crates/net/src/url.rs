@@ -1,0 +1,183 @@
+//! A small URL type sufficient for crawling: path + query string, relative
+//! resolution, and query-parameter access.
+
+use std::fmt;
+
+/// A parsed URL. We only need scheme/host for display; routing happens on
+/// `path` and `query`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    /// `"http"`, possibly empty for site-relative URLs.
+    pub scheme: String,
+    /// `"vidshare.example"`, possibly empty for site-relative URLs.
+    pub host: String,
+    /// Always begins with `/` (normalized).
+    pub path: String,
+    /// The raw query string without `?` (possibly empty).
+    pub query: String,
+}
+
+impl Url {
+    /// Parses an absolute (`http://host/path?q`) or site-relative
+    /// (`/path?q`) URL.
+    pub fn parse(input: &str) -> Url {
+        let (rest, scheme, host) = match input.find("://") {
+            Some(idx) => {
+                let scheme = input[..idx].to_string();
+                let after = &input[idx + 3..];
+                match after.find('/') {
+                    Some(slash) => (
+                        after[slash..].to_string(),
+                        scheme,
+                        after[..slash].to_string(),
+                    ),
+                    None => ("/".to_string(), scheme, after.to_string()),
+                }
+            }
+            None => (input.to_string(), String::new(), String::new()),
+        };
+        let (path, query) = match rest.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (rest, String::new()),
+        };
+        let path = if path.starts_with('/') {
+            path
+        } else {
+            format!("/{path}")
+        };
+        Url {
+            scheme,
+            host,
+            path,
+            query,
+        }
+    }
+
+    /// Resolves `href` against `self` (absolute hrefs win; site-relative
+    /// hrefs inherit scheme/host; bare relative paths resolve against the
+    /// current directory).
+    pub fn resolve(&self, href: &str) -> Url {
+        if href.contains("://") {
+            return Url::parse(href);
+        }
+        let mut url = if href.starts_with('/') {
+            Url::parse(href)
+        } else if let Some(q) = href.strip_prefix('?') {
+            let mut u = self.clone();
+            u.query = q.to_string();
+            return u;
+        } else {
+            let dir = match self.path.rfind('/') {
+                Some(idx) => &self.path[..=idx],
+                None => "/",
+            };
+            Url::parse(&format!("{dir}{href}"))
+        };
+        url.scheme = self.scheme.clone();
+        url.host = self.host.clone();
+        url
+    }
+
+    /// Returns the value of query parameter `key`, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// All query parameters in order.
+    pub fn params(&self) -> Vec<(&str, &str)> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .collect()
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.host.is_empty() {
+            write!(f, "{}://{}", self.scheme, self.host)?;
+        }
+        f.write_str(&self.path)?;
+        if !self.query.is_empty() {
+            write!(f, "?{}", self.query)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for Url {
+    fn from(s: &str) -> Self {
+        Url::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_absolute() {
+        let u = Url::parse("http://vidshare.example/watch?v=42&x=1");
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "vidshare.example");
+        assert_eq!(u.path, "/watch");
+        assert_eq!(u.param("v"), Some("42"));
+        assert_eq!(u.param("x"), Some("1"));
+        assert_eq!(u.param("nope"), None);
+    }
+
+    #[test]
+    fn parse_relative() {
+        let u = Url::parse("/comments?v=3&p=2");
+        assert_eq!(u.path, "/comments");
+        assert_eq!(u.param("p"), Some("2"));
+        assert!(u.host.is_empty());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "http://h.example/watch?v=1",
+            "/a/b?x=1&y=2",
+            "http://h.example/",
+        ] {
+            assert_eq!(Url::parse(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn resolve_site_relative() {
+        let base = Url::parse("http://h.example/watch?v=1");
+        let r = base.resolve("/watch?v=2");
+        assert_eq!(r.to_string(), "http://h.example/watch?v=2");
+    }
+
+    #[test]
+    fn resolve_absolute_wins() {
+        let base = Url::parse("http://h.example/watch");
+        let r = base.resolve("http://other.example/x");
+        assert_eq!(r.host, "other.example");
+    }
+
+    #[test]
+    fn resolve_bare_relative() {
+        let base = Url::parse("http://h.example/dir/page");
+        assert_eq!(base.resolve("other").path, "/dir/other");
+    }
+
+    #[test]
+    fn resolve_query_only() {
+        let base = Url::parse("http://h.example/watch?v=1");
+        let r = base.resolve("?v=2");
+        assert_eq!(r.to_string(), "http://h.example/watch?v=2");
+    }
+
+    #[test]
+    fn host_only_gets_root_path() {
+        let u = Url::parse("http://h.example");
+        assert_eq!(u.path, "/");
+    }
+}

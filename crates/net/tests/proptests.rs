@@ -1,0 +1,109 @@
+//! Property tests for the network substrate, chiefly the discrete-event
+//! scheduler's invariants.
+
+use ajax_net::sched::{simulate, Segment, Task};
+use ajax_net::{LatencyModel, Micros};
+use proptest::prelude::*;
+
+fn task_strategy() -> impl Strategy<Value = Task> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..5_000).prop_map(Segment::Cpu),
+            (0u64..5_000).prop_map(Segment::Net),
+        ],
+        0..6,
+    )
+    .prop_map(Task::new)
+}
+
+proptest! {
+    /// Core scheduler bounds: serial-work / perfect-speedup ≤ makespan ≤
+    /// serial-work, and makespan ≥ the longest single task (a task never
+    /// splits across lines).
+    #[test]
+    fn makespan_bounds(
+        tasks in proptest::collection::vec(task_strategy(), 0..20),
+        lines in 1usize..8,
+        cores in 1usize..4,
+    ) {
+        let report = simulate(&tasks, lines, cores);
+        let serial: Micros = tasks.iter().map(Task::duration).sum();
+        let longest: Micros = tasks.iter().map(Task::duration).max().unwrap_or(0);
+        prop_assert!(report.makespan <= serial + 1);
+        prop_assert!(report.makespan + 1 >= longest);
+        // Work conservation: at least serial/lines, and at least total CPU
+        // divided by the cores.
+        let cpu_total: Micros = tasks.iter().map(Task::cpu_total).sum();
+        prop_assert!(report.makespan + 1 >= serial / lines as u64);
+        prop_assert!(report.makespan + 1 >= cpu_total / cores as u64);
+        prop_assert_eq!(report.serial_time, serial);
+        prop_assert_eq!(report.completion.len(), tasks.len());
+    }
+
+    /// One line means strictly serial execution with prefix-sum completions.
+    #[test]
+    fn single_line_serial(tasks in proptest::collection::vec(task_strategy(), 0..12)) {
+        let report = simulate(&tasks, 1, 2);
+        let mut elapsed = 0u64;
+        for (task, completion) in tasks.iter().zip(report.completion.iter()) {
+            elapsed += task.duration();
+            prop_assert!(completion.abs_diff(elapsed) <= 1, "{completion} vs {elapsed}");
+        }
+    }
+
+    /// For purely network-bound tasks (no CPU contention), adding lines is
+    /// strictly monotone: waits overlap perfectly.
+    #[test]
+    fn monotone_in_lines_for_network_tasks(
+        durations in proptest::collection::vec(0u64..5_000, 0..16)
+    ) {
+        let tasks: Vec<Task> = durations
+            .iter()
+            .map(|&d| Task::new(vec![Segment::Net(d)]))
+            .collect();
+        let mut last = u64::MAX;
+        for lines in [1usize, 2, 4, 8] {
+            let m = simulate(&tasks, lines, 2).makespan;
+            prop_assert!(m <= last.saturating_add(1), "lines={lines}: {m} > {last}");
+            last = m;
+        }
+    }
+
+    /// For mixed workloads, adding lines or cores may *reorder* FIFO
+    /// assignment and slightly extend the makespan (Graham's scheduling
+    /// anomalies) — but never beyond the classic 2x list-scheduling bound.
+    #[test]
+    fn anomalies_bounded(tasks in proptest::collection::vec(task_strategy(), 0..16)) {
+        let baseline = simulate(&tasks, 1, 2).makespan;
+        for lines in [2usize, 4, 8] {
+            for cores in [1usize, 2, 4] {
+                let m = simulate(&tasks, lines, cores).makespan;
+                prop_assert!(
+                    m <= baseline.saturating_mul(2).saturating_add(1),
+                    "lines={lines} cores={cores}: {m} vs serial {baseline}"
+                );
+            }
+        }
+    }
+
+    /// Latency models are deterministic and non-negative.
+    #[test]
+    fn latency_deterministic(seed in any::<u64>(), seq in 0u64..1000, bytes in 0usize..100_000) {
+        let model = LatencyModel::thesis_default(seed);
+        let a = model.cost("/some/url", seq, bytes);
+        let b = model.cost("/some/url", seq, bytes);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Jitter stays within its configured spread.
+    #[test]
+    fn jitter_bounded(seed in any::<u64>(), seq in 0u64..500) {
+        let model = LatencyModel::Jittered {
+            base: Box::new(LatencyModel::Fixed(10_000)),
+            spread: 0.4,
+            seed,
+        };
+        let cost = model.cost("/u", seq, 0);
+        prop_assert!((6_000..=14_000).contains(&cost), "{cost}");
+    }
+}

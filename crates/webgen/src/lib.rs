@@ -1,0 +1,34 @@
+//! # ajax-webgen
+//!
+//! **VidShare** — a deterministic, synthetic AJAX video-sharing site that
+//! stands in for the 2008 YouTube the original *AJAX Crawl* evaluation ran
+//! against. Every page, comment and related-video edge is a pure function of
+//! `(spec.seed, video_id, …)`, which gives us:
+//!
+//! * the thesis' simplifying assumptions for free (snapshot isolation and
+//!   server statelessness, §4.3),
+//! * O(1) server memory regardless of site size,
+//! * recomputable ground truth for the search-quality experiments
+//!   (Table 7.4 / Fig 7.11) without storing 10 000 crawled pages.
+//!
+//! A watch page (`/watch?v=N`) contains the video title/description, a list
+//! of hyperlinks to related videos (the traditional link graph the
+//! precrawler walks) and an AJAX comment box: the first comment page is
+//! inlined (what a JS-less browser sees — the *traditional* content), the
+//! remaining pages load via an `XMLHttpRequest` in page JavaScript shaped
+//! exactly like the thesis' YouTube excerpt (`showLoading` →
+//! `getUrlXMLResponseAndFillDiv` → `urchinTracker`), including the property
+//! the hot-node heuristic exploits: *next*, *prev* and direct page jumps all
+//! funnel into one server-fetching function, so distinct events collide on
+//! identical hot calls.
+
+pub mod news;
+pub mod queries;
+pub mod server;
+pub mod spec;
+pub mod text;
+
+pub use news::{NewsShareServer, NewsSpec};
+pub use queries::{ground_truth, ground_truth_all, query_workload, GroundTruth, QuerySpec};
+pub use server::VidShareServer;
+pub use spec::{video_meta, VidShareSpec, VideoMeta};

@@ -1,0 +1,341 @@
+//! **NewsShare** — a second synthetic AJAX application, structurally
+//! different from VidShare.
+//!
+//! The thesis evaluates on a single site (YouTube) and conjectures that
+//! "for applications with more than one hot node, we expect even better
+//! improvement in performance" (§7.3). NewsShare exists to test exactly
+//! that: a news portal page with **two independent AJAX regions**, each
+//! driven by its own server-fetching function (two hot nodes):
+//!
+//! * a **section tab bar** (`world`, `tech`, `sports`, …) whose tabs load a
+//!   section panel via `loadSection(name)` → `fetchSection(url, div)`;
+//! * a **top-stories box** paginated via `moreStories(k)` →
+//!   `fetchStories(url, div)`.
+//!
+//! The two regions mutate two different `<div>`s, so the page's state space
+//! is the *product* of (section × stories-page) — a much denser transition
+//! graph than VidShare's linear comment chain, exercising duplicate
+//! detection and the state cap harder.
+
+use crate::spec::VidShareSpec;
+use crate::text;
+use ajax_net::server::{Request, Response, Server};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a NewsShare site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewsSpec {
+    pub seed: u64,
+    /// Number of news pages.
+    pub num_pages: u32,
+    /// Section tabs per page.
+    pub sections: Vec<String>,
+    /// Story pages in the top-stories box.
+    pub story_pages: u32,
+    /// Headlines per section panel / stories page.
+    pub items_per_panel: u32,
+    /// Hyperlinks to other news pages.
+    pub related_links: u32,
+}
+
+impl Default for NewsSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0xBEEF_FEED,
+            num_pages: 500,
+            sections: ["world", "tech", "sports"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            story_pages: 3,
+            items_per_panel: 6,
+            related_links: 6,
+        }
+    }
+}
+
+impl NewsSpec {
+    /// A small site for tests.
+    pub fn small(num_pages: u32) -> Self {
+        Self {
+            num_pages,
+            ..Self::default()
+        }
+    }
+
+    /// The canonical URL of a news page.
+    pub fn page_url(&self, page: u32) -> String {
+        format!("http://newsshare.example/news?p={page}")
+    }
+
+    fn text_spec(&self) -> VidShareSpec {
+        VidShareSpec {
+            seed: self.seed,
+            showcase: false,
+            ..VidShareSpec::default()
+        }
+    }
+
+    /// Deterministic headline text for `(page, region, slot)`.
+    pub fn headline(&self, page: u32, region: &str, slot: u32) -> String {
+        let spec = self.text_spec();
+        let mut rng = spec.rng("news-headline", &[
+            page as u64,
+            ajax_dom::fnv64_str(region),
+            slot as u64,
+        ]);
+        let mut words = Vec::new();
+        for _ in 0..rng.random_range(5..11usize) {
+            words.push(crate::text::VOCAB[rng.random_range(0..text::VOCAB.len())]);
+        }
+        format!("{region} {}", words.join(" "))
+    }
+
+    /// Related page ids.
+    pub fn related(&self, page: u32) -> Vec<u32> {
+        let spec = self.text_spec();
+        let mut rng = spec.rng("news-related", &[page as u64]);
+        let n = self.num_pages.max(1);
+        let mut out = Vec::new();
+        for _ in 0..self.related_links {
+            let target = rng.random_range(0..n);
+            if target != page && !out.contains(&target) {
+                out.push(target);
+            }
+        }
+        if out.is_empty() && n > 1 {
+            out.push((page + 1) % n);
+        }
+        out
+    }
+}
+
+/// The NewsShare server.
+#[derive(Debug, Clone)]
+pub struct NewsShareServer {
+    spec: NewsSpec,
+}
+
+impl NewsShareServer {
+    /// Creates a server for `spec`.
+    pub fn new(spec: NewsSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The site spec.
+    pub fn spec(&self) -> &NewsSpec {
+        &self.spec
+    }
+
+    /// Renders a section panel fragment.
+    pub fn section_fragment(&self, page: u32, section: &str) -> String {
+        let mut html = format!("<div class=\"panel\" data-section=\"{section}\">");
+        for slot in 0..self.spec.items_per_panel {
+            html.push_str(&format!(
+                "<p class=\"headline\">{}</p>",
+                self.spec.headline(page, section, slot)
+            ));
+        }
+        html.push_str("</div>");
+        html
+    }
+
+    /// Renders a top-stories fragment (with its own pagination controls —
+    /// the second AJAX region's events live inside the region, like
+    /// VidShare's comment nav).
+    pub fn stories_fragment(&self, page: u32, k: u32) -> String {
+        let total = self.spec.story_pages;
+        let k = k.clamp(1, total);
+        let mut html = format!("<div class=\"stories\" data-k=\"{k}\">");
+        for slot in 0..self.spec.items_per_panel {
+            html.push_str(&format!(
+                "<p class=\"story\">{}</p>",
+                self.spec.headline(page, &format!("stories{k}"), slot)
+            ));
+        }
+        html.push_str("</div><div id=\"story_nav\">");
+        if k > 1 {
+            html.push_str(&format!(
+                "<span class=\"snav\" onclick=\"moreStories({})\">newer</span>",
+                k - 1
+            ));
+        }
+        if k < total {
+            html.push_str(&format!(
+                "<span class=\"snav\" onclick=\"moreStories({})\">older</span>",
+                k + 1
+            ));
+        }
+        html.push_str("</div>");
+        html
+    }
+
+    fn page_script(&self, page: u32) -> String {
+        format!(
+            r#"
+var currentStories = 1;
+var sectionHistory = [];
+function fetchSection(url, div_id) {{
+    var xhr = new XMLHttpRequest();
+    xhr.open("GET", url, false);
+    xhr.send(null);
+    document.getElementById(div_id).innerHTML = xhr.responseText;
+}}
+function fetchStories(url, div_id) {{
+    var xhr = new XMLHttpRequest();
+    xhr.open("GET", url, false);
+    xhr.send(null);
+    document.getElementById(div_id).innerHTML = xhr.responseText;
+}}
+function loadSection(name) {{
+    sectionHistory.push(name);
+    fetchSection('/section?p={page}&s=' + name, 'section_panel');
+}}
+function moreStories(k) {{
+    if (k < 1) {{ return; }}
+    fetchStories('/stories?p={page}&k=' + k, 'top_stories');
+    currentStories = k;
+}}
+function initNews() {{ var boot = sectionHistory.length; return boot; }}
+"#
+        )
+    }
+
+    /// Renders the full news page.
+    pub fn news_page(&self, page: u32) -> String {
+        let spec = &self.spec;
+        let mut tabs = String::new();
+        for section in &spec.sections {
+            tabs.push_str(&format!(
+                "<span class=\"tab\" onclick=\"loadSection('{section}')\">{section}</span>"
+            ));
+        }
+        let mut related = String::new();
+        for rel in spec.related(page) {
+            related.push_str(&format!(
+                "<li><a href=\"/news?p={rel}\">{}</a></li>",
+                spec.headline(rel, "front", 0)
+            ));
+        }
+        format!(
+            "<!DOCTYPE html>\n<html><head><title>NewsShare page {page}</title>\
+             <script type=\"text/javascript\">{script}</script></head>\
+             <body onload=\"initNews()\">\
+             <h1 id=\"masthead\">NewsShare daily edition {page}</h1>\
+             <div id=\"tabs\">{tabs}</div>\
+             <div id=\"section_panel\">{first_section}</div>\
+             <div id=\"top_stories\">{first_stories}</div>\
+             <div id=\"related\"><ul>{related}</ul></div>\
+             </body></html>",
+            script = self.page_script(page),
+            first_section = self.section_fragment(page, &spec.sections[0]),
+            first_stories = self.stories_fragment(page, 1),
+        )
+    }
+}
+
+impl Server for NewsShareServer {
+    fn handle(&self, request: &Request) -> Response {
+        let page: Option<u32> = request
+            .url
+            .param("p")
+            .and_then(|p| p.parse().ok())
+            .filter(|p| *p < self.spec.num_pages);
+        match (request.url.path.as_str(), page) {
+            ("/news", Some(page)) => Response::html(self.news_page(page)),
+            ("/section", Some(page)) => {
+                match request.url.param("s") {
+                    Some(section) if self.spec.sections.iter().any(|s| s == section) => {
+                        Response::html(self.section_fragment(page, section))
+                    }
+                    _ => Response::not_found(),
+                }
+            }
+            ("/stories", Some(page)) => {
+                match request.url.param("k").and_then(|k| k.parse::<u32>().ok()) {
+                    Some(k) if k >= 1 && k <= self.spec.story_pages => {
+                        Response::html(self.stories_fragment(page, k))
+                    }
+                    _ => Response::not_found(),
+                }
+            }
+            _ => Response::not_found(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "newsshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_dom::parse_document;
+
+    fn server() -> NewsShareServer {
+        NewsShareServer::new(NewsSpec::small(20))
+    }
+
+    #[test]
+    fn page_parses_with_two_ajax_regions() {
+        let s = server();
+        let resp = s.handle(&Request::get("/news?p=3"));
+        assert!(resp.is_ok());
+        let mut doc = parse_document(&resp.body);
+        assert!(doc.get_element_by_id("section_panel").is_some());
+        assert!(doc.get_element_by_id("top_stories").is_some());
+        assert!(resp.body.contains("fetchSection"));
+        assert!(resp.body.contains("fetchStories"));
+    }
+
+    #[test]
+    fn fragments_served() {
+        let s = server();
+        assert!(s.handle(&Request::get("/section?p=1&s=tech")).is_ok());
+        assert!(s.handle(&Request::get("/stories?p=1&k=2")).is_ok());
+        assert_eq!(s.handle(&Request::get("/section?p=1&s=bogus")).status, 404);
+        assert_eq!(s.handle(&Request::get("/stories?p=1&k=0")).status, 404);
+        assert_eq!(s.handle(&Request::get("/stories?p=1&k=99")).status, 404);
+        assert_eq!(s.handle(&Request::get("/news?p=999")).status, 404);
+    }
+
+    #[test]
+    fn deterministic_content() {
+        let s = server();
+        assert_eq!(
+            s.handle(&Request::get("/news?p=5")),
+            s.handle(&Request::get("/news?p=5"))
+        );
+        assert_ne!(
+            s.spec().headline(1, "tech", 0),
+            s.spec().headline(1, "world", 0)
+        );
+    }
+
+    #[test]
+    fn sections_differ_from_stories() {
+        let s = server();
+        assert_ne!(s.section_fragment(1, "tech"), s.stories_fragment(1, 1));
+    }
+
+    #[test]
+    fn related_links_valid() {
+        let spec = NewsSpec::small(20);
+        for page in 0..20 {
+            for rel in spec.related(page) {
+                assert!(rel < 20);
+                assert_ne!(rel, page);
+            }
+        }
+    }
+
+    #[test]
+    fn story_nav_events_present() {
+        let s = server();
+        let frag = s.stories_fragment(1, 2);
+        assert!(frag.contains("moreStories(1)"));
+        assert!(frag.contains("moreStories(3)"));
+    }
+}

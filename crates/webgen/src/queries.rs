@@ -1,0 +1,310 @@
+//! The query workload (Table 7.4: "the most popular YouTube queries…
+//! 100 queries in total") and recomputable ground truth for the
+//! search-quality experiments.
+
+use crate::spec::{video_meta, VidShareSpec};
+use crate::text::comment_text;
+use serde::{Deserialize, Serialize};
+
+/// The 100-query workload. The first eleven are the paper's Table 7.4 sample
+/// (in its cardinality order); the rest are additional popular-query-style
+/// phrases. The phrase *rank* here drives the Zipf injection frequency in
+/// `text::comment_text`, so workload cardinalities decrease with rank just
+/// like in the paper.
+pub fn query_phrases() -> &'static [&'static str] {
+    &[
+        // Table 7.4 sample (paper order = cardinality order).
+        "wow",
+        "dance",
+        "funny",
+        "our song",
+        "sexy can i",
+        "american idol",
+        "kiss",
+        "fight",
+        "no air",
+        "chris brown",
+        "low",
+        // Filled up to 100 in decreasing intended popularity.
+        "guitar hero",
+        "best ever",
+        "so cool",
+        "music video",
+        "live concert",
+        "epic fail",
+        "cute cat",
+        "skate trick",
+        "free hugs",
+        "love this",
+        "drum solo",
+        "beat box",
+        "magic trick",
+        "card trick",
+        "street dance",
+        "break dance",
+        "salsa steps",
+        "piano cover",
+        "violin solo",
+        "opera voice",
+        "rock anthem",
+        "pop idol",
+        "rap battle",
+        "freestyle flow",
+        "country road",
+        "blues night",
+        "jazz club",
+        "disco fever",
+        "techno beat",
+        "house party",
+        "summer hit",
+        "winter song",
+        "spring vibe",
+        "autumn leaves",
+        "morning run",
+        "night drive",
+        "road trip",
+        "city lights",
+        "beach waves",
+        "mountain air",
+        "space walk",
+        "moon landing",
+        "deep sea",
+        "wild life",
+        "baby laugh",
+        "dog skate",
+        "parrot talks",
+        "horse jump",
+        "goal replay",
+        "match highlights",
+        "final whistle",
+        "penalty shot",
+        "slam dunk",
+        "home run",
+        "touch down",
+        "knockout punch",
+        "title fight",
+        "speed run",
+        "lap record",
+        "drift king",
+        "bike stunt",
+        "ski jump",
+        "surf wave",
+        "snow board",
+        "ice dance",
+        "figure skate",
+        "gym workout",
+        "yoga flow",
+        "study music",
+        "sleep sounds",
+        "rain sounds",
+        "thunder storm",
+        "camp fire",
+        "cook show",
+        "cake recipe",
+        "pizza dough",
+        "secret sauce",
+        "movie trailer",
+        "season finale",
+        "plot twist",
+        "behind scenes",
+        "blooper reel",
+        "voice over",
+        "stand up",
+        "sketch comedy",
+        "prank call",
+        "hidden camera",
+        "time lapse",
+        "slow motion",
+    ]
+}
+
+/// One workload query with its rank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    pub id: usize,
+    pub text: String,
+    /// The individual conjunction terms.
+    pub terms: Vec<String>,
+}
+
+/// Builds the full 100-query workload.
+pub fn query_workload() -> Vec<QuerySpec> {
+    query_phrases()
+        .iter()
+        .enumerate()
+        .map(|(id, text)| QuerySpec {
+            id,
+            text: (*text).to_string(),
+            terms: text.split_whitespace().map(str::to_string).collect(),
+        })
+        .collect()
+}
+
+/// Ground truth for one query over a site prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Number of videos whose *first comment page* state (title +
+    /// description + page-1 comments) matches the conjunction — what
+    /// traditional search can find (Table 7.4 col. 3).
+    pub first_page_videos: u32,
+    /// Total number of individual comments (over all comment pages) whose
+    /// text matches the conjunction (Table 7.4 col. 4).
+    pub all_page_comments: u32,
+    /// Number of (video, state) pairs matching the conjunction when states
+    /// up to `max_state` are indexed — the RelRecall numerator/denominator
+    /// source for Fig 7.11. Index `s` holds the count for `max_state = s+1`.
+    pub state_matches_by_depth: Vec<u32>,
+}
+
+/// True when every term occurs as a whole word in `text` (boolean
+/// conjunction, case-insensitive ASCII).
+pub fn matches_conjunction(text: &str, terms: &[String]) -> bool {
+    terms.iter().all(|t| contains_word(text, t))
+}
+
+fn contains_word(text: &str, word: &str) -> bool {
+    text.split(|c: char| !c.is_alphanumeric())
+        .any(|w| w.eq_ignore_ascii_case(word))
+}
+
+/// Renders the text of one application state exactly as the crawler's DOM
+/// sees it: the full watch page with the comment box holding `page`'s
+/// fragment (so titles, descriptions, uploader names and related-video
+/// anchor text are all part of every state, like on the real site).
+pub fn state_text(server: &crate::VidShareServer, video: u32, page: u32) -> String {
+    let mut doc = ajax_dom::parse_document(&server.watch_page(video));
+    if page > 1 {
+        if let Some(id) = doc.get_element_by_id("recent_comments") {
+            doc.set_inner_html(id, &server.comments_fragment(video, page));
+        }
+    }
+    doc.document_text()
+}
+
+/// Scans the first `num_videos` videos of `spec` and computes ground truth
+/// for every query in `queries`, considering comment pages up to
+/// `max_pages` (the crawl cap). State texts are rendered once per
+/// `(video, page)` and tested against all queries.
+pub fn ground_truth_all(
+    spec: &VidShareSpec,
+    num_videos: u32,
+    max_pages: u32,
+    queries: &[QuerySpec],
+) -> Vec<GroundTruth> {
+    let server = crate::VidShareServer::new(spec.clone());
+    let mut truths: Vec<GroundTruth> = queries
+        .iter()
+        .map(|_| GroundTruth {
+            state_matches_by_depth: vec![0; max_pages as usize],
+            ..GroundTruth::default()
+        })
+        .collect();
+    for video in 0..num_videos {
+        let meta = video_meta(spec, video);
+        let pages = meta.comment_pages.min(max_pages);
+        for page in 1..=pages {
+            // Per-comment counts (Table 7.4 col. 4) use the raw comment text.
+            for slot in 0..spec.comments_per_page {
+                let comment = comment_text(spec, video, page, slot);
+                for (query, truth) in queries.iter().zip(truths.iter_mut()) {
+                    if matches_conjunction(&comment, &query.terms) {
+                        truth.all_page_comments += 1;
+                    }
+                }
+            }
+            // State-level matches use the full rendered state text.
+            let text = state_text(&server, video, page);
+            for (query, truth) in queries.iter().zip(truths.iter_mut()) {
+                if matches_conjunction(&text, &query.terms) {
+                    if page == 1 {
+                        truth.first_page_videos += 1;
+                    }
+                    for d in (page as usize - 1)..max_pages as usize {
+                        truth.state_matches_by_depth[d] += 1;
+                    }
+                }
+            }
+        }
+    }
+    truths
+}
+
+/// Ground truth for a single query (see [`ground_truth_all`]).
+pub fn ground_truth(
+    spec: &VidShareSpec,
+    num_videos: u32,
+    max_pages: u32,
+    query: &QuerySpec,
+) -> GroundTruth {
+    ground_truth_all(spec, num_videos, max_pages, std::slice::from_ref(query))
+        .pop()
+        .expect("one query in, one truth out")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_100_unique_queries() {
+        let w = query_workload();
+        assert_eq!(w.len(), 100);
+        let unique: std::collections::HashSet<_> = w.iter().map(|q| &q.text).collect();
+        assert_eq!(unique.len(), 100);
+        assert_eq!(w[0].text, "wow");
+        assert_eq!(w[3].terms, vec!["our", "song"]);
+    }
+
+    #[test]
+    fn conjunction_matching_is_word_based() {
+        assert!(matches_conjunction("i love our new song", &["our".into(), "song".into()]));
+        assert!(!matches_conjunction("oursong is here", &["our".into(), "song".into()]));
+        assert!(matches_conjunction("WOW amazing", &["wow".into()]));
+        assert!(!matches_conjunction("wowza", &["wow".into()]));
+    }
+
+    #[test]
+    fn ground_truth_counts_grow_with_depth() {
+        let spec = VidShareSpec::small(150);
+        let q = &query_workload()[0]; // "wow" — most frequent
+        let truth = ground_truth(&spec, 150, 11, q);
+        assert!(truth.all_page_comments > 0, "'wow' must occur somewhere");
+        assert!(truth.first_page_videos > 0);
+        // Monotone in depth.
+        for w in truth.state_matches_by_depth.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // Deeper indexes find strictly more than depth 1 on a 150-video site.
+        assert!(
+            truth.state_matches_by_depth[10] > truth.state_matches_by_depth[0],
+            "AJAX crawling must improve recall: {:?}",
+            truth.state_matches_by_depth
+        );
+    }
+
+    #[test]
+    fn popular_queries_have_higher_cardinality() {
+        let spec = VidShareSpec::small(200);
+        let w = query_workload();
+        let top = ground_truth(&spec, 200, 11, &w[0]).all_page_comments;
+        let tail = ground_truth(&spec, 200, 11, &w[90]).all_page_comments;
+        assert!(
+            top > tail,
+            "rank 0 ({top}) should beat rank 90 ({tail})"
+        );
+    }
+
+    #[test]
+    fn showcase_queries_resolve() {
+        let spec = VidShareSpec::small(10);
+        // Q2: "morcheeba mysterious video" — findable only beyond page 1.
+        let q2 = QuerySpec {
+            id: 900,
+            text: "morcheeba mysterious video".into(),
+            terms: vec!["morcheeba".into(), "mysterious".into(), "video".into()],
+        };
+        let truth = ground_truth(&spec, 1, 11, &q2);
+        assert_eq!(truth.first_page_videos, 0, "not on the first page");
+        assert!(truth.state_matches_by_depth[10] >= 1, "found with AJAX states");
+    }
+}

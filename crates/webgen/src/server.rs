@@ -1,0 +1,294 @@
+//! The VidShare HTTP server: renders watch pages and AJAX comment fragments.
+//!
+//! The page JavaScript is shaped after the thesis' YouTube excerpt (§4.4.1):
+//! every comment-navigation event funnels through
+//! `getUrlXMLResponseAndFillDiv(url, div_id)`, the single function that
+//! performs the `XMLHttpRequest` — the site's one *hot node*.
+
+use crate::spec::{video_meta, VidShareSpec};
+use crate::text::{comment_author, comment_text};
+use ajax_net::server::{Request, Response, Server};
+
+/// The synthetic video site, exposed through `ajax_net::Server`.
+///
+/// Routes:
+/// * `/watch?v=<id>` — the full watch page (title, description, related
+///   hyperlinks, inline first comment page, pagination controls, script),
+/// * `/comments?v=<id>&p=<n>` — the comment fragment AJAX endpoint,
+/// * anything else — 404.
+#[derive(Debug, Clone)]
+pub struct VidShareServer {
+    spec: VidShareSpec,
+}
+
+impl VidShareServer {
+    /// Creates a server for `spec`.
+    pub fn new(spec: VidShareSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The site spec.
+    pub fn spec(&self) -> &VidShareSpec {
+        &self.spec
+    }
+
+    fn parse_video_id(&self, value: Option<&str>) -> Option<u32> {
+        let id: u32 = value?.parse().ok()?;
+        (id < self.spec.num_videos).then_some(id)
+    }
+
+    /// Renders the navigation controls shown *inside* the comment box for
+    /// `page` of `total` pages: prev / direct jumps / next — several distinct
+    /// events that collide on the same underlying hot call, exactly the
+    /// structure the hot-node cache exploits.
+    fn nav_html(&self, page: u32, total: u32) -> String {
+        if total <= 1 {
+            return String::new();
+        }
+        let mut nav = String::from("<div id=\"comment_nav\">");
+        if page > 1 {
+            nav.push_str(
+                "<span id=\"prevArrow\" class=\"nav\" onclick=\"prevPage()\">previous</span>",
+            );
+        }
+        // Direct jumps: a window of up to three pages around the current one
+        // (YouTube showed "direct jumps to the immediately few previous and
+        // next pages", §7.1.1).
+        let window_start = page.saturating_sub(1).max(1);
+        let window_end = (page + 2).min(total);
+        for p in window_start..=window_end {
+            if p == page {
+                nav.push_str(&format!("<span class=\"current\">{p}</span>"));
+            } else {
+                nav.push_str(&format!(
+                    "<span class=\"pagelink\" onclick=\"gotoPage({p})\">{p}</span>"
+                ));
+            }
+        }
+        if page < total {
+            nav.push_str(
+                "<span id=\"nextArrow\" class=\"nav\" onclick=\"nextPage()\">next</span>",
+            );
+        }
+        nav.push_str("</div>");
+        nav
+    }
+
+    /// Renders the comment fragment for `page` (1-based) of `video` — the
+    /// body served by the `/comments` AJAX endpoint and inlined for page 1.
+    pub fn comments_fragment(&self, video: u32, page: u32) -> String {
+        let meta = video_meta(&self.spec, video);
+        let total = meta.comment_pages;
+        let page = page.clamp(1, total);
+        let mut html = format!("<div class=\"comments\" data-page=\"{page}\">");
+        for slot in 0..self.spec.comments_per_page {
+            let author = comment_author(&self.spec, video, page, slot);
+            let text = comment_text(&self.spec, video, page, slot);
+            html.push_str(&format!(
+                "<div class=\"comment\"><span class=\"author\">{author}</span>\
+                 <p class=\"ctext\">{text}</p></div>"
+            ));
+        }
+        html.push_str("</div>");
+        html.push_str(&self.nav_html(page, total));
+        html
+    }
+
+    /// The page JavaScript — structurally the thesis' YouTube code.
+    fn page_script(&self, video: u32, total_pages: u32) -> String {
+        format!(
+            r#"
+var currentPage = 1;
+var totalPages = {total_pages};
+function showLoading(div_id) {{
+    var box = document.getElementById(div_id);
+    box.innerHTML = '<p class="loading">Loading...</p>';
+}}
+function getUrlXMLResponseAndFillDiv(url, div_id) {{
+    var xmlHttpReq = new XMLHttpRequest();
+    xmlHttpReq.open("GET", url, false);
+    xmlHttpReq.send(null);
+    var box = document.getElementById(div_id);
+    box.innerHTML = xmlHttpReq.responseText;
+}}
+function urchinTracker(tag) {{
+    var tracked = tag;
+    return tracked;
+}}
+function gotoPage(p) {{
+    if (p < 1 || p > totalPages) {{
+        return;
+    }}
+    showLoading('recent_comments');
+    getUrlXMLResponseAndFillDiv('/comments?v={video}&p=' + p, 'recent_comments');
+    urchinTracker('comments-page-' + p);
+    currentPage = p;
+}}
+function nextPage() {{ gotoPage(currentPage + 1); }}
+function prevPage() {{ gotoPage(currentPage - 1); }}
+function highlightTitle() {{ urchinTracker('title-hover'); }}
+function initPage() {{ urchinTracker('page-load'); }}
+"#
+        )
+    }
+
+    /// Renders the full watch page for `video`.
+    pub fn watch_page(&self, video: u32) -> String {
+        let meta = video_meta(&self.spec, video);
+        let mut related = String::new();
+        for rel in &meta.related {
+            let rel_meta = video_meta(&self.spec, *rel);
+            related.push_str(&format!(
+                "<li><a href=\"/watch?v={rel}\">{}</a></li>",
+                rel_meta.title
+            ));
+        }
+        let first_comments = self.comments_fragment(video, 1);
+        let script = self.page_script(video, meta.comment_pages);
+        format!(
+            "<!DOCTYPE html>\n<html><head><title>{title} - VidShare</title>\
+             <script type=\"text/javascript\">{script}</script></head>\
+             <body onload=\"initPage()\">\
+             <h1 id=\"video_title\" onmouseover=\"highlightTitle()\">{title}</h1>\
+             <div id=\"player\">[video player placeholder]</div>\
+             <div id=\"description\">{description}</div>\
+             <div id=\"uploader\">uploaded by {uploader}</div>\
+             <div id=\"related\"><ul>{related}</ul></div>\
+             <div id=\"recent_comments\">{first_comments}</div>\
+             </body></html>",
+            title = meta.title,
+            description = meta.description,
+            uploader = meta.uploader,
+        )
+    }
+}
+
+impl Server for VidShareServer {
+    fn handle(&self, request: &Request) -> Response {
+        match request.url.path.as_str() {
+            "/watch" => match self.parse_video_id(request.url.param("v")) {
+                Some(video) => Response::html(self.watch_page(video)),
+                None => Response::not_found(),
+            },
+            "/comments" => {
+                let video = self.parse_video_id(request.url.param("v"));
+                let page: Option<u32> = request.url.param("p").and_then(|p| p.parse().ok());
+                match (video, page) {
+                    (Some(video), Some(page)) if page >= 1 => {
+                        let total = video_meta(&self.spec, video).comment_pages;
+                        if page > total {
+                            Response::not_found()
+                        } else {
+                            Response::html(self.comments_fragment(video, page))
+                        }
+                    }
+                    _ => Response::not_found(),
+                }
+            }
+            _ => Response::not_found(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "vidshare"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_dom::parse_document;
+    use ajax_net::server::Request;
+
+    fn server() -> VidShareServer {
+        VidShareServer::new(VidShareSpec::small(50))
+    }
+
+    #[test]
+    fn watch_page_parses_and_has_structure() {
+        let s = server();
+        let resp = s.handle(&Request::get("/watch?v=3"));
+        assert!(resp.is_ok());
+        let mut doc = parse_document(&resp.body);
+        assert!(doc.get_element_by_id("video_title").is_some());
+        assert!(doc.get_element_by_id("recent_comments").is_some());
+        assert!(!doc.script_sources().is_empty());
+        assert!(!doc.hyperlinks().is_empty(), "related links present");
+    }
+
+    #[test]
+    fn first_page_comments_inlined() {
+        let s = server();
+        let resp = s.handle(&Request::get("/watch?v=3"));
+        let first_comment = crate::text::comment_text(s.spec(), 3, 1, 0);
+        assert!(
+            resp.body.contains(&first_comment),
+            "page must inline first comment page"
+        );
+    }
+
+    #[test]
+    fn comments_endpoint_serves_fragments() {
+        let s = server();
+        // Find a video with ≥ 2 pages.
+        let video = (0..50)
+            .find(|&v| video_meta(s.spec(), v).comment_pages >= 2)
+            .expect("some multi-page video");
+        let resp = s.handle(&Request::get(format!("/comments?v={video}&p=2").as_str()));
+        assert!(resp.is_ok());
+        assert!(resp.body.contains("data-page=\"2\""));
+        let expected = crate::text::comment_text(s.spec(), video, 2, 0);
+        assert!(resp.body.contains(&expected));
+    }
+
+    #[test]
+    fn nav_events_funnel_into_goto_page() {
+        let s = server();
+        let video = (0..50)
+            .find(|&v| video_meta(s.spec(), v).comment_pages >= 3)
+            .expect("some 3-page video");
+        let frag = s.comments_fragment(video, 2);
+        assert!(frag.contains("onclick=\"prevPage()\""));
+        assert!(frag.contains("onclick=\"nextPage()\""));
+        assert!(frag.contains("onclick=\"gotoPage("));
+    }
+
+    #[test]
+    fn single_page_video_has_no_nav() {
+        let s = server();
+        let video = (0..50)
+            .find(|&v| video_meta(s.spec(), v).comment_pages == 1)
+            .expect("some 1-page video");
+        let frag = s.comments_fragment(video, 1);
+        assert!(!frag.contains("comment_nav"));
+    }
+
+    #[test]
+    fn errors_for_bad_requests() {
+        let s = server();
+        assert_eq!(s.handle(&Request::get("/watch?v=999999")).status, 404);
+        assert_eq!(s.handle(&Request::get("/watch")).status, 404);
+        assert_eq!(s.handle(&Request::get("/bogus")).status, 404);
+        assert_eq!(s.handle(&Request::get("/comments?v=1&p=0")).status, 404);
+        assert_eq!(s.handle(&Request::get("/comments?v=1&p=99")).status, 404);
+        assert_eq!(s.handle(&Request::get("/comments?v=1")).status, 404);
+    }
+
+    #[test]
+    fn responses_are_pure_functions_of_requests() {
+        let s = server();
+        let a = s.handle(&Request::get("/watch?v=7"));
+        let b = s.handle(&Request::get("/watch?v=7"));
+        assert_eq!(a, b, "snapshot isolation / statelessness (§4.3)");
+    }
+
+    #[test]
+    fn script_contains_hot_node_structure() {
+        let s = server();
+        let body = s.handle(&Request::get("/watch?v=1")).body;
+        assert!(body.contains("getUrlXMLResponseAndFillDiv"));
+        assert!(body.contains("new XMLHttpRequest()"));
+        assert!(body.contains("showLoading"));
+        assert!(body.contains("urchinTracker"));
+    }
+}

@@ -1,0 +1,302 @@
+//! The site specification and derived per-video metadata.
+
+use ajax_dom::hash::Fnv64;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a VidShare site. Everything downstream (pages, comments,
+/// link graph, query ground truth) is a pure function of this value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VidShareSpec {
+    /// Master seed; change it to get a different but equally-shaped site.
+    pub seed: u64,
+    /// Number of videos (the thesis' YouTube10000 uses 10 000).
+    pub num_videos: u32,
+    /// Maximum number of comment pages per video, counting the initial one
+    /// (the thesis caps additional pages at 10 ⇒ 11 total).
+    pub max_comment_pages: u32,
+    /// Comments shown per page (YouTube showed 10).
+    pub comments_per_page: u32,
+    /// Zipf skew of the comment-page-count distribution; ~0.78 yields the
+    /// thesis' ≈4.16 states/page average with the Fig 7.1 shape (mode 1).
+    pub page_count_skew: f64,
+    /// Outgoing related-video links per watch page.
+    pub related_links: u32,
+    /// Probability that a comment carries one of the workload query phrases.
+    pub phrase_rate: f64,
+    /// Plant the §1.1 "Morcheeba" showcase as video 0.
+    pub showcase: bool,
+}
+
+impl Default for VidShareSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED_CAFE,
+            num_videos: 10_000,
+            max_comment_pages: 11,
+            comments_per_page: 10,
+            page_count_skew: 0.78,
+            related_links: 8,
+            phrase_rate: 0.18,
+            showcase: true,
+        }
+    }
+}
+
+impl VidShareSpec {
+    /// A small site for tests and examples.
+    pub fn small(num_videos: u32) -> Self {
+        Self {
+            num_videos,
+            ..Self::default()
+        }
+    }
+
+    /// Derives a sub-seed for a named purpose + ids, so the different random
+    /// streams (page counts, text, links…) are independent.
+    pub fn sub_seed(&self, purpose: &str, ids: &[u64]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.seed);
+        h.write_str(purpose);
+        for &id in ids {
+            h.write_u64(id);
+        }
+        h.finish()
+    }
+
+    /// An RNG for a named purpose + ids.
+    pub fn rng(&self, purpose: &str, ids: &[u64]) -> StdRng {
+        StdRng::seed_from_u64(self.sub_seed(purpose, ids))
+    }
+
+    /// The canonical URL of a video's watch page.
+    pub fn watch_url(&self, video: u32) -> String {
+        format!("http://vidshare.example/watch?v={video}")
+    }
+}
+
+/// Derived metadata of one video.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VideoMeta {
+    pub id: u32,
+    pub title: String,
+    pub description: String,
+    pub uploader: String,
+    /// Total number of comment pages (≥ 1).
+    pub comment_pages: u32,
+    /// Related video ids (the outgoing hyperlinks).
+    pub related: Vec<u32>,
+}
+
+/// Samples from the truncated Zipf distribution over `1..=max` with skew `s`.
+fn zipf_sample(rng: &mut StdRng, s: f64, max: u32) -> u32 {
+    debug_assert!(max >= 1);
+    let weights: Vec<f64> = (1..=max).map(|k| (k as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut x: f64 = rng.random_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i as u32 + 1;
+        }
+        x -= w;
+    }
+    max
+}
+
+/// Expected value of the truncated Zipf over `1..=max` with skew `s`.
+pub fn zipf_mean(s: f64, max: u32) -> f64 {
+    let norm: f64 = (1..=max).map(|k| (k as f64).powf(-s)).sum();
+    let num: f64 = (1..=max).map(|k| (k as f64).powf(1.0 - s)).sum();
+    num / norm
+}
+
+/// Computes the metadata of video `id` under `spec`. Pure and deterministic.
+pub fn video_meta(spec: &VidShareSpec, id: u32) -> VideoMeta {
+    let mut rng = spec.rng("video-meta", &[id as u64]);
+
+    let comment_pages = if spec.showcase && id == 0 {
+        // The showcase needs at least two comment pages (§1.1: the singer's
+        // name is on the second page).
+        3
+    } else {
+        zipf_sample(&mut rng, spec.page_count_skew, spec.max_comment_pages)
+    };
+
+    let (title, description, uploader) = if spec.showcase && id == 0 {
+        (
+            "Morcheeba Enjoy the Ride".to_string(),
+            "the newest video of the band with a new unknown singer".to_string(),
+            "morcheeba_fan".to_string(),
+        )
+    } else {
+        crate::text::video_text(spec, id, &mut rng)
+    };
+
+    // Related links: a mix of near neighbours (keeps the graph locally dense)
+    // and long-range jumps (keeps it connected and small-world, so a
+    // breadth-first precrawl from video 0 reaches the whole site).
+    let n = spec.num_videos.max(1);
+    let mut related = Vec::with_capacity(spec.related_links as usize);
+    for slot in 0..spec.related_links {
+        let target = if slot % 2 == 0 {
+            // Near: within a window of ±32.
+            let offset = rng.random_range(1..=32u32);
+            if rng.random_bool(0.5) {
+                (id + offset) % n
+            } else {
+                (id + n - (offset % n)) % n
+            }
+        } else {
+            rng.random_range(0..n)
+        };
+        if target != id && !related.contains(&target) {
+            related.push(target);
+        }
+    }
+    // Guarantee forward progress for the precrawler even on tiny sites.
+    if related.is_empty() && n > 1 {
+        related.push((id + 1) % n);
+    }
+
+    VideoMeta {
+        id,
+        title,
+        description,
+        uploader,
+        comment_pages,
+        related,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let spec = VidShareSpec::default();
+        let a = video_meta(&spec, 42);
+        let b = video_meta(&spec, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_videos_differ() {
+        let spec = VidShareSpec::default();
+        assert_ne!(video_meta(&spec, 1).title, video_meta(&spec, 2).title);
+    }
+
+    #[test]
+    fn page_counts_within_bounds() {
+        let spec = VidShareSpec::small(500);
+        for id in 0..500 {
+            let m = video_meta(&spec, id);
+            assert!(
+                (1..=spec.max_comment_pages).contains(&m.comment_pages),
+                "video {id} has {} pages",
+                m.comment_pages
+            );
+        }
+    }
+
+    #[test]
+    fn page_count_mean_matches_thesis() {
+        // Thesis: 41 572 states over 10 000 pages ⇒ mean ≈ 4.157.
+        let mean = zipf_mean(0.78, 11);
+        assert!(
+            (3.8..=4.5).contains(&mean),
+            "zipf(0.78, 11) mean = {mean}, expected ≈ 4.16"
+        );
+
+        let spec = VidShareSpec::small(2_000);
+        let total: u64 = (0..2_000)
+            .map(|id| video_meta(&spec, id).comment_pages as u64)
+            .sum();
+        let empirical = total as f64 / 2_000.0;
+        assert!(
+            (3.5..=4.8).contains(&empirical),
+            "empirical mean = {empirical}"
+        );
+    }
+
+    #[test]
+    fn mode_is_one_page() {
+        let spec = VidShareSpec::small(2_000);
+        let mut histogram = vec![0u32; 12];
+        for id in 0..2_000 {
+            histogram[video_meta(&spec, id).comment_pages as usize] += 1;
+        }
+        let mode = histogram
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(k, _)| k)
+            .unwrap();
+        assert_eq!(mode, 1, "Fig 7.1: most videos have one comment page; histogram={histogram:?}");
+    }
+
+    #[test]
+    fn showcase_video_planted() {
+        let spec = VidShareSpec::default();
+        let m = video_meta(&spec, 0);
+        assert_eq!(m.title, "Morcheeba Enjoy the Ride");
+        assert!(m.comment_pages >= 2);
+    }
+
+    #[test]
+    fn showcase_disabled() {
+        let spec = VidShareSpec {
+            showcase: false,
+            ..VidShareSpec::default()
+        };
+        assert_ne!(video_meta(&spec, 0).title, "Morcheeba Enjoy the Ride");
+    }
+
+    #[test]
+    fn related_links_valid() {
+        let spec = VidShareSpec::small(100);
+        for id in 0..100 {
+            let m = video_meta(&spec, id);
+            assert!(!m.related.is_empty());
+            for &r in &m.related {
+                assert!(r < 100);
+                assert_ne!(r, id, "no self links");
+            }
+            // No duplicates.
+            let mut sorted = m.related.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), m.related.len());
+        }
+    }
+
+    #[test]
+    fn graph_is_reachable_from_zero() {
+        let spec = VidShareSpec::small(300);
+        let mut seen = vec![false; 300];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = queue.pop_front() {
+            for r in video_meta(&spec, v).related {
+                if !seen[r as usize] {
+                    seen[r as usize] = true;
+                    count += 1;
+                    queue.push_back(r);
+                }
+            }
+        }
+        assert!(
+            count >= 295,
+            "BFS from 0 reached only {count}/300 videos"
+        );
+    }
+
+    #[test]
+    fn sub_seed_streams_independent() {
+        let spec = VidShareSpec::default();
+        assert_ne!(spec.sub_seed("a", &[1]), spec.sub_seed("b", &[1]));
+        assert_ne!(spec.sub_seed("a", &[1]), spec.sub_seed("a", &[2]));
+    }
+}

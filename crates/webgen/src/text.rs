@@ -1,0 +1,249 @@
+//! Deterministic text generation: video titles, descriptions and comments.
+//!
+//! Comment text is a bag of Zipf-weighted filler words into which workload
+//! query phrases are injected at a configurable rate — giving the
+//! search-quality experiments (Table 7.4, Fig 7.11) a realistic, *countable*
+//! keyword distribution.
+
+use crate::queries::query_phrases;
+use crate::spec::VidShareSpec;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Filler vocabulary, ordered by intended popularity (Zipf rank 0 = most
+/// frequent). 2008-YouTube-comment flavoured.
+pub const VOCAB: &[&str] = &[
+    "the", "this", "is", "so", "i", "love", "it", "best", "video", "ever",
+    "great", "song", "music", "haha", "lol", "cool", "nice", "awesome", "omg",
+    "really", "good", "like", "you", "me", "we", "they", "one", "first",
+    "time", "watch", "again", "cant", "stop", "listening", "amazing", "epic",
+    "wow", "see", "live", "show", "concert", "band", "beat", "drums",
+    "guitar", "voice", "sound", "quality", "part", "favorite", "always",
+    "never", "forget", "remember", "back", "days", "old", "school", "new",
+    "just", "found", "channel", "subscribe", "please", "more", "videos",
+    "upload", "thanks", "sharing", "who", "else", "watching", "year", "club",
+    "anyone", "here", "from", "comments", "section", "page", "next", "wait",
+    "what", "happened", "end", "beginning", "middle", "funny", "laugh",
+    "cried", "tears", "joy", "happy", "sad", "mood", "vibe", "chill",
+    "relax", "study", "work", "gym", "run", "dance", "moves", "steps",
+    "choreo", "singer", "sings", "sang", "lyrics", "words", "meaning",
+    "deep", "true", "real", "fake", "cover", "original", "version", "remix",
+    "better", "worse", "than", "radio", "play", "played", "playing",
+    "repeat", "loop", "hours", "minutes", "seconds", "legend", "legendary",
+    "icon", "iconic", "masterpiece", "art", "artist", "talent", "talented",
+    "gifted", "skill", "skills", "pro", "professional", "beginner", "learn",
+    "learned", "teach", "tutorial", "how", "did", "make", "made", "making",
+    "camera", "edit", "editing", "effects", "light", "lights", "color",
+    "colors", "scene", "scenes", "actor", "actress", "movie", "film",
+    "trailer", "episode", "series", "season", "finale", "ending", "spoiler",
+    "alert", "warning", "careful", "attention", "look", "looking", "looks",
+    "beautiful", "gorgeous", "stunning", "pretty", "cute", "adorable",
+    "sweet", "kind", "gentle", "strong", "power", "powerful", "energy",
+    "energetic", "hype", "hyped", "excited", "exciting", "bored", "boring",
+    "interesting", "curious", "question", "answer", "why", "where", "when",
+    "which", "whose", "because", "reason", "point", "idea", "thought",
+    "think", "thinking", "feel", "feeling", "feels", "heart", "soul",
+    "mind", "brain", "head", "hands", "clap", "clapping", "applause",
+    "crowd", "audience", "fans", "fan", "supporter", "support", "keep",
+    "going", "come", "coming", "came", "went", "gone", "leave", "stay",
+    "moment", "moments", "memory", "memories", "childhood", "grew", "grow",
+    "family", "friends", "friend", "brother", "sister", "mom", "dad",
+    "home", "house", "room", "car", "road", "trip", "travel", "world",
+    "country", "city", "town", "street", "summer", "winter", "spring",
+    "autumn", "night", "day", "morning", "evening", "today", "tomorrow",
+    "yesterday", "week", "month", "hope", "wish", "dream", "dreams",
+    "goal", "goals", "win", "winner", "winning", "lose", "loser", "lost",
+    "game", "games", "player", "players", "team", "teams", "match",
+    "score", "goalie", "kick", "ball", "field", "court", "ring", "fight",
+    "fighter", "boxing", "punch", "round", "champion", "title", "belt",
+    "king", "queen", "prince", "princess", "star", "stars", "sky", "moon",
+    "sun", "light", "dark", "darkness", "shadow", "fire", "water", "earth",
+    "air", "wind", "storm", "rain", "snow", "ice", "cold", "hot", "warm",
+];
+
+/// Pools used for video titles.
+const ARTISTS: &[&str] = &[
+    "morcheeba", "skyline", "the", "neon", "river", "echo", "velvet",
+    "crimson", "silver", "golden", "midnight", "electric", "cosmic",
+    "urban", "wild", "lunar", "solar", "crystal", "shadow", "thunder",
+];
+const ARTIST_SUFFIX: &[&str] = &[
+    "waves", "lights", "hearts", "riders", "kids", "souls", "birds",
+    "wolves", "tigers", "foxes", "queens", "kings", "dreamers", "rebels",
+    "angels", "ghosts", "pilots", "sailors", "dancers", "drifters",
+];
+const TOPICS: &[&str] = &[
+    "enjoy", "forever", "tonight", "yesterday", "sunrise", "sunset",
+    "horizon", "gravity", "velocity", "paradise", "wonder", "mystery",
+    "journey", "freedom", "silence", "thunder", "lightning", "ocean",
+    "desert", "mountain",
+];
+const FORMS: &[&str] = &[
+    "official video", "live performance", "acoustic session", "music video",
+    "lyric video", "full concert", "behind the scenes", "interview",
+    "dance cover", "guitar tutorial", "drum cover", "piano version",
+    "remix", "mashup", "reaction", "compilation", "highlights", "trailer",
+    "episode one", "documentary",
+];
+const UPLOADERS: &[&str] = &[
+    "musicfan88", "veejay", "clipmaster", "studio54", "indiehead",
+    "bassline", "drumroll", "vinyljunkie", "concertgoer", "roadie",
+    "mixtape", "headphones", "subwoofer", "treble", "falsetto",
+];
+
+/// Samples a filler word with Zipf(1.0) rank weighting.
+fn filler_word(rng: &mut StdRng) -> &'static str {
+    // Inverse-CDF free sampling: u^k concentrates on small ranks.
+    let u: f64 = rng.random_range(0.0..1.0);
+    let rank = ((VOCAB.len() as f64).powf(u) - 1.0) as usize;
+    VOCAB[rank.min(VOCAB.len() - 1)]
+}
+
+/// Generates `(title, description, uploader)` for a non-showcase video.
+pub fn video_text(spec: &VidShareSpec, id: u32, rng: &mut StdRng) -> (String, String, String) {
+    let _ = spec;
+    let artist = format!(
+        "{} {}",
+        ARTISTS[rng.random_range(0..ARTISTS.len())],
+        ARTIST_SUFFIX[rng.random_range(0..ARTIST_SUFFIX.len())]
+    );
+    let title = format!(
+        "{} {} {}",
+        artist,
+        TOPICS[rng.random_range(0..TOPICS.len())],
+        FORMS[rng.random_range(0..FORMS.len())]
+    );
+    let mut description = String::new();
+    for i in 0..rng.random_range(8..20) {
+        if i > 0 {
+            description.push(' ');
+        }
+        description.push_str(filler_word(rng));
+    }
+    let uploader = format!(
+        "{}{}",
+        UPLOADERS[rng.random_range(0..UPLOADERS.len())],
+        id % 1000
+    );
+    (title, description, uploader)
+}
+
+/// The showcase comments of §1.1 (video 0). Page 2 carries the information
+/// that only AJAX search can reach: the "mysterious video" phrasing (query
+/// Q2) and the new singer's name (query Q3).
+fn showcase_comment(page: u32, slot: u32) -> Option<String> {
+    match (page, slot) {
+        (1, 0) => Some("first comment! enjoy the ride is such a great song".into()),
+        (1, 1) => Some("saw them live last month, the show was amazing".into()),
+        (2, 0) => Some(
+            "this mysterious video is their best work, morcheeba never disappoints".into(),
+        ),
+        (2, 1) => Some(
+            "the new singer on enjoy the ride is daisy martey, what a voice".into(),
+        ),
+        (3, 0) => Some("still watching this in 2008, a timeless classic".into()),
+        _ => None,
+    }
+}
+
+/// Generates the text of one comment, injecting a workload query phrase with
+/// probability `spec.phrase_rate`. Pure function of `(spec, video, page,
+/// slot)` — the ground-truth scanner regenerates exactly this text.
+pub fn comment_text(spec: &VidShareSpec, video: u32, page: u32, slot: u32) -> String {
+    if spec.showcase && video == 0 {
+        if let Some(text) = showcase_comment(page, slot) {
+            return text;
+        }
+    }
+    let mut rng = spec.rng("comment", &[video as u64, page as u64, slot as u64]);
+    let length = rng.random_range(6..18usize);
+    let mut words: Vec<&str> = (0..length).map(|_| filler_word(&mut rng)).collect();
+
+    if rng.random_range(0.0..1.0) < spec.phrase_rate {
+        let phrases = query_phrases();
+        // Zipf over the query ranks, so Table 7.4's cardinality ordering holds.
+        let u: f64 = rng.random_range(0.0..1.0);
+        let rank = ((phrases.len() as f64).powf(u) - 1.0) as usize;
+        let phrase = phrases[rank.min(phrases.len() - 1)];
+        let insert_at = rng.random_range(0..=words.len());
+        for (offset, word) in phrase.split_whitespace().enumerate() {
+            words.insert((insert_at + offset).min(words.len()), word);
+        }
+    }
+    words.join(" ")
+}
+
+/// The author handle of a comment.
+pub fn comment_author(spec: &VidShareSpec, video: u32, page: u32, slot: u32) -> String {
+    let mut rng = spec.rng("author", &[video as u64, page as u64, slot as u64]);
+    format!(
+        "{}{}",
+        UPLOADERS[rng.random_range(0..UPLOADERS.len())],
+        rng.random_range(0..10_000u32)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_text_is_deterministic() {
+        let spec = VidShareSpec::default();
+        assert_eq!(comment_text(&spec, 5, 2, 3), comment_text(&spec, 5, 2, 3));
+        assert_ne!(comment_text(&spec, 5, 2, 3), comment_text(&spec, 5, 2, 4));
+    }
+
+    #[test]
+    fn showcase_comments_planted() {
+        let spec = VidShareSpec::default();
+        assert!(comment_text(&spec, 0, 2, 0).contains("mysterious"));
+        assert!(comment_text(&spec, 0, 2, 1).contains("singer"));
+        assert!(comment_text(&spec, 0, 2, 1).contains("daisy martey"));
+    }
+
+    #[test]
+    fn phrases_get_injected_at_roughly_the_configured_rate() {
+        let spec = VidShareSpec {
+            showcase: false,
+            phrase_rate: 0.5,
+            ..VidShareSpec::default()
+        };
+        let phrases = query_phrases();
+        let mut hits = 0;
+        let total = 400;
+        for slot in 0..total {
+            let text = comment_text(&spec, 7, 1, slot);
+            if phrases.iter().any(|p| {
+                p.split_whitespace().all(|w| text.split_whitespace().any(|t| t == w))
+            }) {
+                hits += 1;
+            }
+        }
+        // Injection rate 0.5 plus organic occurrences ⇒ comfortably over 30 %.
+        assert!(hits > total * 3 / 10, "only {hits}/{total} comments carry a phrase");
+    }
+
+    #[test]
+    fn filler_words_zipf_shaped() {
+        let spec = VidShareSpec::default();
+        let mut rng = spec.rng("test", &[1]);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5_000 {
+            *counts.entry(filler_word(&mut rng)).or_insert(0u32) += 1;
+        }
+        let top = counts.get("the").copied().unwrap_or(0);
+        let rare: u32 = counts.get("warm").copied().unwrap_or(0);
+        assert!(top > rare * 3, "head word {top} vs tail word {rare}");
+    }
+
+    #[test]
+    fn titles_vary() {
+        let spec = VidShareSpec { showcase: false, ..VidShareSpec::default() };
+        let mut rng1 = spec.rng("video-meta", &[1]);
+        let mut rng2 = spec.rng("video-meta", &[2]);
+        let (t1, _, _) = video_text(&spec, 1, &mut rng1);
+        let (t2, _, _) = video_text(&spec, 2, &mut rng2);
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,59 @@
+//! The JavaScript invocation graph of §4.1, computed statically from a
+//! fetched page: functions, call edges, hot nodes, and the classification
+//! of every event binding into network / non-network — the contents of the
+//! thesis' Fig 4.1 and Tables 4.1–4.3, for both synthetic sites.
+//!
+//! ```sh
+//! cargo run --release --example invocation_graph
+//! ```
+
+use ajax_crawl::analysis::analyze_page;
+use ajax_net::server::{Request, Server};
+use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+
+fn show(site: &str, html: &str) {
+    let analysis = analyze_page(html);
+    println!("=== {site} ===");
+    println!("functions:");
+    for f in analysis.graph.functions() {
+        let marker = if f.direct_ajax { "  [HOT NODE]" } else { "" };
+        let calls: Vec<&str> = f.calls.iter().map(String::as_str).collect();
+        println!("  {}({}) -> {:?}{marker}", f.name, f.params.join(", "), calls);
+    }
+    println!("hot nodes: {:?}", analysis.graph.hot_nodes());
+    let reach = analysis.graph.reaches_network();
+    println!("functions reaching the network: {reach:?}");
+    println!("event bindings:");
+    for binding in &analysis.bindings {
+        println!(
+            "  {:<11} on {:<18} {:<28} {}",
+            binding.event_type.to_string(),
+            binding.source,
+            binding.code,
+            if analysis.binding_reaches_network(binding) {
+                "-> network"
+            } else {
+                "-> local only"
+            }
+        );
+    }
+    println!("\ndot graph:\n{}", analysis.graph.to_dot());
+}
+
+fn main() {
+    let vid = VidShareServer::new(VidShareSpec::small(10));
+    let spec = VidShareSpec::small(10);
+    let video = (0..10)
+        .find(|&v| ajax_webgen::video_meta(&spec, v).comment_pages >= 2)
+        .unwrap_or(0);
+    show(
+        "VidShare watch page (YouTube-like, 1 hot node)",
+        &vid.handle(&Request::get(format!("/watch?v={video}").as_str())).body,
+    );
+
+    let news = NewsShareServer::new(NewsSpec::small(10));
+    show(
+        "NewsShare front page (2 hot nodes)",
+        &news.handle(&Request::get("/news?p=1")).body,
+    );
+}

@@ -1,0 +1,83 @@
+//! Parallelized crawling and distributed query processing (thesis ch. 6).
+//!
+//! Runs the precrawl → partition → parallel-crawl pipeline with 1, 2, 4 and
+//! 8 process lines on a 2-core machine model and reports the virtual
+//! makespan, then demonstrates query shipping with the global-idf merge.
+//!
+//! ```sh
+//! cargo run --release --example parallel_search
+//! ```
+
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::partition_urls;
+use ajax_crawl::precrawl::Precrawler;
+use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_net::{LatencyModel, Server, Url};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use std::sync::Arc;
+
+fn main() {
+    let spec = VidShareSpec::small(120);
+    let start = Url::parse(&spec.watch_url(0));
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+
+    // Phase 1+2: precrawl & partition (shared by every run).
+    let mut pre = Precrawler::new(
+        Arc::clone(&server) as Arc<dyn Server>,
+        LatencyModel::thesis_default(11),
+    );
+    let graph = pre.run(&start, 120);
+    let partitions = partition_urls(&graph.urls, 10);
+    println!(
+        "precrawl: {} pages, {} partitions of ≤10 URLs\n",
+        graph.len(),
+        partitions.len()
+    );
+
+    println!(
+        "{:>6} {:>14} {:>10}",
+        "lines", "makespan (s)", "speedup"
+    );
+    for lines in [1usize, 2, 4, 8] {
+        let mp = MpCrawler::new(
+            Arc::clone(&server) as Arc<dyn Server>,
+            LatencyModel::thesis_default(11),
+            CrawlConfig::ajax(),
+        )
+        .with_proc_lines(lines)
+        .with_cores(2);
+        let report = mp.crawl(&partitions);
+        println!(
+            "{:>6} {:>14.2} {:>9.2}x",
+            lines,
+            report.virtual_makespan as f64 / 1e6,
+            report.speedup()
+        );
+    }
+
+    // Distributed query processing: one index per partition, global idf
+    // computed at merge time.
+    let engine = AjaxSearchEngine::build(
+        server,
+        &start,
+        EngineConfig {
+            partition_size: 10,
+            ..EngineConfig::ajax(120)
+        },
+    );
+    println!(
+        "\nindex: {} shards, {} states total",
+        engine.report.shards, engine.report.total_states
+    );
+    for query in ["wow", "our song", "american idol"] {
+        let results = engine.search(query);
+        let shards_hit: std::collections::BTreeSet<_> =
+            results.iter().map(|r| r.shard).collect();
+        println!(
+            "query {query:?}: {} results merged from {} shard(s)",
+            results.len(),
+            shards_hit.len()
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build an AJAX search engine over a small synthetic VidShare
+//! site and run a few queries.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_net::Url;
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use std::sync::Arc;
+
+fn main() {
+    // 1. A synthetic AJAX site (stands in for youtube.com ca. 2008).
+    let spec = VidShareSpec::small(100);
+    let start = Url::parse(&spec.watch_url(0));
+    let server = Arc::new(VidShareServer::new(spec));
+
+    // 2. Precrawl → partition → parallel AJAX crawl → index → broker.
+    println!("building the AJAX search engine over 100 videos…");
+    let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(100));
+
+    let r = &engine.report;
+    println!(
+        "crawled {} pages into {} states ({} events fired, {} AJAX calls, {} served from hot-node cache)",
+        r.pages_crawled, r.total_states, r.crawl.events_fired, r.crawl.ajax_network_calls, r.crawl.cache_hits,
+    );
+    println!(
+        "virtual crawl time: serial {:.1} s, with 4 process lines {:.1} s\n",
+        r.virtual_serial as f64 / 1e6,
+        r.virtual_makespan as f64 / 1e6,
+    );
+
+    // 3. Search. Results are (URL, state) pairs: the state tells the engine
+    //    *which comment page* of the video matched.
+    for query in ["wow", "dance", "morcheeba mysterious video"] {
+        let results = engine.search(query);
+        println!("query {query:?}: {} results", results.len());
+        for r in results.iter().take(3) {
+            println!("   {:.4}  {}  state {}", r.score, r.url, r.doc.state);
+        }
+    }
+}

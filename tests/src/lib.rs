@@ -1,0 +1,1 @@
+//! Integration tests for the AJAX Crawl workspace live in `tests/tests/`.

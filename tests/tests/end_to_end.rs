@@ -1,0 +1,155 @@
+//! End-to-end integration tests: the full pipeline against the VidShare
+//! site, exercising every phase of Fig 6.1 together.
+
+use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_net::{Server, Url};
+use ajax_webgen::{ground_truth, query_workload, VidShareServer, VidShareSpec};
+use std::sync::Arc;
+
+fn site(n: u32) -> (Arc<VidShareServer>, Url) {
+    let spec = VidShareSpec::small(n);
+    let start = Url::parse(&spec.watch_url(0));
+    (Arc::new(VidShareServer::new(spec)), start)
+}
+
+#[test]
+fn engine_results_match_generator_ground_truth() {
+    // What the crawler+indexer find must equal what the generator knows it
+    // planted: for each query, (video, state)-matches at full depth.
+    let n = 40;
+    let (server, start) = site(n);
+    let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(n as usize));
+    let spec = VidShareSpec::small(n);
+
+    for query in query_workload().iter().take(8) {
+        let results = engine.search(&query.text);
+        let truth = ground_truth(&spec, n, 11, query);
+        let expected = *truth.state_matches_by_depth.last().unwrap() as usize;
+        assert_eq!(
+            results.len(),
+            expected,
+            "query {:?}: engine {} vs ground truth {}",
+            query.text,
+            results.len(),
+            expected
+        );
+    }
+}
+
+#[test]
+fn traditional_engine_matches_first_page_ground_truth() {
+    let n = 40;
+    let (server, start) = site(n);
+    let engine = AjaxSearchEngine::build(server, &start, EngineConfig::traditional(n as usize));
+    let spec = VidShareSpec::small(n);
+
+    for query in query_workload().iter().take(8) {
+        let results = engine.search(&query.text);
+        let truth = ground_truth(&spec, n, 1, query);
+        assert_eq!(
+            results.len(),
+            truth.first_page_videos as usize,
+            "query {:?}",
+            query.text
+        );
+    }
+}
+
+#[test]
+fn hot_node_policy_does_not_change_search_results() {
+    let n = 25;
+    let (server, start) = site(n);
+    let mut no_cache_cfg = EngineConfig::ajax(n as usize);
+    no_cache_cfg.crawl.hot_node_policy = false;
+
+    let cached = AjaxSearchEngine::build(
+        Arc::clone(&server) as Arc<dyn Server>,
+        &start,
+        EngineConfig::ajax(n as usize),
+    );
+    let uncached = AjaxSearchEngine::build(server, &start, no_cache_cfg);
+
+    for q in ["wow", "dance", "morcheeba mysterious video", "our song"] {
+        let a: Vec<_> = cached.search(q).iter().map(|r| (r.url.clone(), r.doc.state)).collect();
+        let b: Vec<_> = uncached.search(q).iter().map(|r| (r.url.clone(), r.doc.state)).collect();
+        assert_eq!(a, b, "query {q:?}");
+    }
+    // But the cached build must have been cheaper on the network.
+    assert!(
+        cached.report.crawl.ajax_network_calls < uncached.report.crawl.ajax_network_calls
+    );
+}
+
+#[test]
+fn partition_size_does_not_change_search_results() {
+    let n = 30;
+    let (server, start) = site(n);
+    let configs = [1usize, 7, 30].map(|partition_size| EngineConfig {
+        partition_size,
+        ..EngineConfig::ajax(n as usize)
+    });
+    let engines: Vec<_> = configs
+        .into_iter()
+        .map(|c| {
+            AjaxSearchEngine::build(Arc::clone(&server) as Arc<dyn Server>, &start, c)
+        })
+        .collect();
+    for q in ["wow", "kiss", "american idol"] {
+        let reference: Vec<_> = engines[0]
+            .search(q)
+            .iter()
+            .map(|r| (r.url.clone(), r.doc.state, (r.score * 1e9).round() as i64))
+            .collect();
+        for engine in &engines[1..] {
+            let other: Vec<_> = engine
+                .search(q)
+                .iter()
+                .map(|r| (r.url.clone(), r.doc.state, (r.score * 1e9).round() as i64))
+                .collect();
+            assert_eq!(reference, other, "query {q:?}: sharding changed results");
+        }
+    }
+}
+
+#[test]
+fn recall_improves_monotonically_with_indexed_states() {
+    let n = 50;
+    let (server, start) = site(n);
+    let mut counts = Vec::new();
+    for depth in [1usize, 3, 6, 11] {
+        let engine = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig {
+                max_index_states: Some(depth),
+                ..EngineConfig::ajax(n as usize)
+            },
+        );
+        let total: usize = query_workload()
+            .iter()
+            .take(15)
+            .map(|q| engine.search(&q.text).len())
+            .sum();
+        counts.push(total);
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] <= w[1]),
+        "recall must grow with depth: {counts:?}"
+    );
+    assert!(
+        counts.last() > counts.first(),
+        "AJAX states must add results: {counts:?}"
+    );
+}
+
+#[test]
+fn engine_survives_broken_start_page() {
+    let (server, _) = site(5);
+    // Start the precrawl from a 404 page: nothing crawled, empty engine,
+    // queries return nothing — no panics anywhere.
+    let start = Url::parse("http://vidshare.example/watch?v=999999");
+    let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(5));
+    assert_eq!(engine.report.pages_crawled, 0);
+    assert_eq!(engine.report.pages_failed, 1);
+    assert!(engine.search("wow").is_empty());
+}

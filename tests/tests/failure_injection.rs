@@ -1,0 +1,223 @@
+//! Failure injection: the crawler must survive hostile pages and flaky
+//! servers — the real Web is not the thesis' clean YouTube subset.
+
+use ajax_crawl::crawler::{CrawlConfig, Crawler};
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::Partition;
+use ajax_net::server::{FnServer, Request, Response, Server};
+use ajax_net::{LatencyModel, Url};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn crawler_for(server: Arc<dyn Server>, config: CrawlConfig) -> Crawler {
+    Crawler::new(server, LatencyModel::Zero, config)
+}
+
+/// Wraps a server, failing every `n`-th request with a 500.
+struct FlakyServer<S> {
+    inner: S,
+    n: u64,
+    counter: AtomicU64,
+}
+
+impl<S: Server> Server for FlakyServer<S> {
+    fn handle(&self, request: &Request) -> Response {
+        let k = self.counter.fetch_add(1, Ordering::Relaxed);
+        if k % self.n == self.n - 1 {
+            Response::server_error("injected failure")
+        } else {
+            self.inner.handle(request)
+        }
+    }
+}
+
+#[test]
+fn infinite_js_loop_is_contained() {
+    let server = Arc::new(FnServer(|_: &Request| {
+        Response::html(
+            "<html><head><script>\
+             function spin() { while (true) { var x = 1; } }\
+             </script></head>\
+             <body onload=\"spin()\"><p>content survives</p>\
+             <span onclick=\"spin()\">go</span></body></html>",
+        )
+    }));
+    let mut crawler = crawler_for(
+        server,
+        CrawlConfig {
+            js_fuel: 50_000,
+            ..CrawlConfig::ajax()
+        },
+    );
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert!(crawl.stats.js_errors >= 2, "onload + click both spin");
+    assert_eq!(crawl.model.state_count(), 1);
+    assert!(crawl.model.states[0].text.contains("content survives"));
+}
+
+#[test]
+fn infinite_state_expansion_is_capped() {
+    // Every click appends to the DOM: unbounded distinct states.
+    let server = Arc::new(FnServer(|_: &Request| {
+        Response::html(
+            "<html><head><script>\
+             var n = 0;\
+             function grow() {\
+               n = n + 1;\
+               var box = document.getElementById('box');\
+               box.innerHTML = box.innerHTML + '<p>entry ' + n + '</p>';\
+             }\
+             </script></head>\
+             <body><span id=\"g\" onclick=\"grow()\">grow</span>\
+             <div id=\"box\"><p>entry 0</p></div></body></html>",
+        )
+    }));
+    let config = CrawlConfig::ajax().with_max_states(5);
+    let max_events = config.max_events_per_page as u64;
+    let mut crawler = crawler_for(server, config);
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert_eq!(crawl.model.state_count(), 5, "state cap must hold");
+    assert!(crawl.stats.events_fired <= max_events);
+}
+
+#[test]
+fn deep_recursion_is_contained() {
+    let server = Arc::new(FnServer(|_: &Request| {
+        Response::html(
+            "<html><head><script>function r(n) { return r(n + 1); }</script></head>\
+             <body><span onclick=\"r(0)\">boom</span><p>safe</p></body></html>",
+        )
+    }));
+    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert_eq!(crawl.stats.js_errors, 1);
+    assert_eq!(crawl.model.state_count(), 1);
+}
+
+#[test]
+fn xhr_errors_are_not_cached_and_crawl_continues() {
+    let server = Arc::new(FnServer(|req: &Request| match req.url.path.as_str() {
+        "/page" => Response::html(
+            "<html><head><script>\
+             function fetchInto(url, id) {\
+               var xhr = new XMLHttpRequest();\
+               xhr.open('GET', url, false);\
+               xhr.send(null);\
+               if (xhr.status == 200) {\
+                 document.getElementById(id).innerHTML = xhr.responseText;\
+               }\
+             }\
+             </script></head><body>\
+             <span onclick=\"fetchInto('/missing', 'box')\">bad</span>\
+             <span onclick=\"fetchInto('/good', 'box')\">good</span>\
+             <div id=\"box\">initial</div></body></html>",
+        ),
+        "/good" => Response::html("<p>fresh content</p>"),
+        _ => Response::not_found(),
+    }));
+    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert_eq!(crawl.stats.js_errors, 0, "a 404 XHR is not a JS error");
+    // The good endpoint produced a second state; the 404 did not.
+    assert_eq!(crawl.model.state_count(), 2);
+    assert!(crawl
+        .model
+        .states
+        .iter()
+        .any(|s| s.text.contains("fresh content")));
+}
+
+#[test]
+fn malformed_html_fragments_do_not_break_state_tracking() {
+    let server = Arc::new(FnServer(|req: &Request| match req.url.path.as_str() {
+        "/page" => Response::html(
+            "<html><head><script>\
+             function load() {\
+               var xhr = new XMLHttpRequest();\
+               xhr.open('GET', '/broken', false);\
+               xhr.send(null);\
+               document.getElementById('box').innerHTML = xhr.responseText;\
+             }\
+             </script></head><body>\
+             <span onclick=\"load()\">load</span><div id=\"box\">start</div>\
+             </body></html>",
+        ),
+        // Unclosed tags, stray closers, nonsense nesting.
+        "/broken" => Response::html("</div><b><i>text</b> more <p><p><"),
+        _ => Response::not_found(),
+    }));
+    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert_eq!(crawl.model.state_count(), 2);
+    let texts: Vec<&str> = crawl.model.states.iter().map(|s| s.text.as_str()).collect();
+    assert!(texts.iter().any(|t| t.contains("text")), "{texts:?}");
+}
+
+#[test]
+fn flaky_server_page_fetches_reported_and_skipped() {
+    let inner = ajax_webgen::VidShareServer::new(ajax_webgen::VidShareSpec::small(30));
+    let flaky = Arc::new(FlakyServer {
+        inner,
+        n: 4,
+        counter: AtomicU64::new(0),
+    });
+    let partitions = vec![Partition {
+        id: 1,
+        urls: (0..12)
+            .map(|v| format!("http://vidshare.example/watch?v={v}"))
+            .collect(),
+    }];
+    let mp = MpCrawler::new(flaky, LatencyModel::Zero, CrawlConfig::ajax()).with_proc_lines(1);
+    let report = mp.crawl(&partitions);
+    let partition = &report.partitions[0];
+    assert!(!partition.failures.is_empty(), "some page GETs failed");
+    assert!(
+        !partition.models.is_empty(),
+        "pages between failures still crawled"
+    );
+    assert_eq!(partition.failures.len() + partition.models.len(), 12);
+    for (_, err) in &partition.failures {
+        assert!(matches!(err, ajax_crawl::crawler::CrawlError::Http { status: 500, .. }));
+    }
+}
+
+#[test]
+fn event_handler_with_syntax_error_is_skipped() {
+    let server = Arc::new(FnServer(|_: &Request| {
+        Response::html(
+            "<html><body>\
+             <span onclick=\"this is not javascript ((\">bad</span>\
+             <p>page text</p></body></html>",
+        )
+    }));
+    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert_eq!(crawl.stats.js_errors, 1);
+    assert_eq!(crawl.model.state_count(), 1);
+}
+
+#[test]
+fn dom_mutation_of_missing_element_is_a_recorded_error() {
+    let server = Arc::new(FnServer(|_: &Request| {
+        Response::html(
+            "<html><head><script>\
+             function poke() { document.getElementById('ghost').innerHTML = 'x'; }\
+             </script></head>\
+             <body><span onclick=\"poke()\">poke</span></body></html>",
+        )
+    }));
+    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    // getElementById returns null; null.innerHTML is a type error.
+    assert_eq!(crawl.stats.js_errors, 1);
+    assert_eq!(crawl.model.state_count(), 1);
+}
+
+#[test]
+fn empty_page_crawls_cleanly() {
+    let server = Arc::new(FnServer(|_: &Request| Response::html("")));
+    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+    assert_eq!(crawl.model.state_count(), 1);
+    assert_eq!(crawl.stats.events_fired, 0);
+}

@@ -1,0 +1,180 @@
+//! Cross-crate property-based tests (proptest) on the core invariants the
+//! thesis' correctness rests on.
+
+use ajax_crawl::crawler::{CrawlConfig, Crawler};
+use ajax_crawl::replay::reconstruct_state;
+use ajax_dom::parse_document;
+use ajax_index::invert::IndexBuilder;
+use ajax_index::query::{search, Query, RankWeights};
+use ajax_index::shard::QueryBroker;
+use ajax_net::{LatencyModel, Server, Url};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn crawl_video(seed: u64, video: u32, config: CrawlConfig) -> ajax_crawl::model::AppModel {
+    let spec = VidShareSpec {
+        seed,
+        ..VidShareSpec::small(64)
+    };
+    let server = Arc::new(VidShareServer::new(spec));
+    let mut crawler = Crawler::new(server as Arc<dyn Server>, LatencyModel::Zero, config);
+    crawler
+        .crawl_page(&Url::parse(&format!("http://vidshare.example/watch?v={video}")))
+        .expect("crawl")
+        .model
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The hot-node cache must be *transparent*: same states, same
+    /// transitions, for any site seed and any video.
+    #[test]
+    fn cache_transparency(seed in 0u64..1_000, video in 0u32..64) {
+        let cached = crawl_video(seed, video, CrawlConfig::ajax());
+        let uncached = crawl_video(seed, video, CrawlConfig::ajax_no_cache());
+        prop_assert_eq!(&cached.states, &uncached.states);
+        prop_assert_eq!(&cached.transitions, &uncached.transitions);
+    }
+
+    /// Crawling is deterministic: same inputs, identical model.
+    #[test]
+    fn crawl_determinism(seed in 0u64..1_000, video in 0u32..64) {
+        let a = crawl_video(seed, video, CrawlConfig::ajax());
+        let b = crawl_video(seed, video, CrawlConfig::ajax());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every crawled state can be reconstructed by event replay, hash-exact.
+    #[test]
+    fn replay_soundness(seed in 0u64..300, video in 0u32..64) {
+        let model = crawl_video(seed, video, CrawlConfig::ajax().storing_dom());
+        for state in &model.states {
+            let doc = reconstruct_state(&model, state.id)
+                .map_err(|e| TestCaseError::fail(format!("state {}: {e}", state.id)))?;
+            prop_assert_eq!(doc.content_hash(), state.hash);
+        }
+    }
+
+    /// State-count caps are always respected and state hashes are unique.
+    #[test]
+    fn state_cap_and_uniqueness(seed in 0u64..1_000, video in 0u32..64, cap in 1usize..12) {
+        let model = crawl_video(seed, video, CrawlConfig::ajax().with_max_states(cap));
+        prop_assert!(model.state_count() <= cap);
+        let mut hashes: Vec<u64> = model.states.iter().map(|s| s.hash).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        prop_assert_eq!(hashes.len(), model.state_count(), "duplicate states in model");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// HTML parse → serialize → parse is a fixpoint on the *normalized*
+    /// form, for arbitrary text content and ids.
+    #[test]
+    fn html_roundtrip_fixpoint(
+        texts in proptest::collection::vec("[ -~]{0,40}", 1..6),
+        ids in proptest::collection::vec("[a-z][a-z0-9]{0,8}", 1..6),
+    ) {
+        let mut html = String::new();
+        for (text, id) in texts.iter().zip(ids.iter()) {
+            html.push_str(&format!("<div id=\"{id}\"><p>{}</p></div>",
+                ajax_dom::entities::encode_text(text)));
+        }
+        let doc1 = parse_document(&html);
+        let doc2 = parse_document(&doc1.to_html());
+        prop_assert_eq!(doc1.normalized(), doc2.normalized());
+        prop_assert_eq!(doc1.content_hash(), doc2.content_hash());
+    }
+
+    /// Sharded query processing must equal the single-index reference for
+    /// any partitioning of any corpus.
+    #[test]
+    fn sharding_equivalence(
+        state_words in proptest::collection::vec(
+            proptest::collection::vec("[a-e]{1,3}", 1..6), 2..8),
+        per_shard in 1usize..5,
+        query in proptest::collection::vec("[a-e]{1,3}", 1..3),
+    ) {
+        // Build one page per state-word list.
+        let models: Vec<ajax_crawl::model::AppModel> = state_words
+            .iter()
+            .enumerate()
+            .map(|(i, words)| {
+                let mut m = ajax_crawl::model::AppModel::new(format!("http://x/{i}"));
+                m.add_state(i as u64 + 1, words.join(" "), None);
+                m
+            })
+            .collect();
+
+        let mut single = IndexBuilder::new();
+        for m in &models {
+            single.add_model(m, Some(0.5));
+        }
+        let single = single.build();
+
+        let shards: Vec<_> = models
+            .chunks(per_shard)
+            .map(|chunk| {
+                let mut b = IndexBuilder::new();
+                for m in chunk {
+                    b.add_model(m, Some(0.5));
+                }
+                b.build()
+            })
+            .collect();
+        let broker = QueryBroker::new(shards);
+
+        let q = Query { terms: query };
+        let reference = search(&single, &q, &RankWeights::default());
+        let merged = broker.search(&q);
+        prop_assert_eq!(reference.len(), merged.len());
+        for (r, m) in reference.iter().zip(merged.iter()) {
+            prop_assert_eq!(&r.url, &m.url);
+            prop_assert!((r.score - m.score).abs() < 1e-9);
+        }
+    }
+
+    /// Conjunction results are always a subset of each term's results.
+    #[test]
+    fn conjunction_subset(
+        state_words in proptest::collection::vec(
+            proptest::collection::vec("[a-d]{1,2}", 1..8), 1..6),
+        t1 in "[a-d]{1,2}",
+        t2 in "[a-d]{1,2}",
+    ) {
+        let mut m = ajax_crawl::model::AppModel::new("http://x/1");
+        for (i, words) in state_words.iter().enumerate() {
+            m.add_state(i as u64 + 1, words.join(" "), None);
+        }
+        let mut b = IndexBuilder::new();
+        b.add_model(&m, None);
+        let idx = b.build();
+        let w = RankWeights::default();
+
+        let both: std::collections::BTreeSet<_> = search(
+            &idx,
+            &Query { terms: vec![t1.clone(), t2.clone()] },
+            &w,
+        )
+        .into_iter()
+        .map(|r| r.doc)
+        .collect();
+        let only1: std::collections::BTreeSet<_> =
+            search(&idx, &Query { terms: vec![t1] }, &w)
+                .into_iter()
+                .map(|r| r.doc)
+                .collect();
+        let only2: std::collections::BTreeSet<_> =
+            search(&idx, &Query { terms: vec![t2] }, &w)
+                .into_iter()
+                .map(|r| r.doc)
+                .collect();
+        prop_assert!(both.is_subset(&only1));
+        prop_assert!(both.is_subset(&only2));
+        prop_assert_eq!(both.clone(), only1.intersection(&only2).copied().collect());
+    }
+}
