@@ -42,12 +42,10 @@ fn bench_js(c: &mut Criterion) {
     group.bench_function("run_loop_100", |b| {
         b.iter(|| {
             let mut interp = Interpreter::new();
-            interp.load_program(src, &mut NullHost, &mut NoopHook).unwrap();
-            black_box(
-                interp
-                    .eval("run()", &mut NullHost, &mut NoopHook)
-                    .unwrap(),
-            )
+            interp
+                .load_program(src, &mut NullHost, &mut NoopHook)
+                .unwrap();
+            black_box(interp.eval("run()", &mut NullHost, &mut NoopHook).unwrap())
         })
     });
     group.finish();

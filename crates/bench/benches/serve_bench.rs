@@ -1,0 +1,88 @@
+//! Criterion bench: the `ajax-serve` serving path — closed-loop throughput
+//! over the 100-query VidShare workload through the sequential broker, the
+//! worker-pool server (cache off), and the server with a warm result cache.
+
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::MpCrawler;
+use ajax_crawl::partition::partition_urls;
+use ajax_index::invert::{IndexBuilder, InvertedIndex};
+use ajax_index::query::Query;
+use ajax_index::shard::QueryBroker;
+use ajax_net::{LatencyModel, Server};
+use ajax_serve::{ServeConfig, ShardServer};
+use ajax_webgen::queries::query_phrases;
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn build_shards(n: u32) -> Vec<InvertedIndex> {
+    let spec = VidShareSpec::small(n);
+    let urls: Vec<String> = (0..n).map(|v| spec.watch_url(v)).collect();
+    let server: Arc<VidShareServer> = Arc::new(VidShareServer::new(spec));
+    let models = MpCrawler::new(
+        server as Arc<dyn Server>,
+        LatencyModel::Zero,
+        CrawlConfig::ajax(),
+    )
+    .crawl(&partition_urls(&urls, 25))
+    .into_models();
+    models
+        .chunks(25)
+        .map(|chunk| {
+            let mut b = IndexBuilder::new();
+            for m in chunk {
+                b.add_model(m, None);
+            }
+            b.build()
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let workload: Vec<Query> = query_phrases().iter().map(|q| Query::parse(q)).collect();
+    let n_queries = workload.len() as u64;
+
+    let broker = QueryBroker::new(build_shards(100));
+    let uncached = ShardServer::new(
+        QueryBroker::new(build_shards(100)),
+        ServeConfig::default().with_cache_capacity(0),
+    );
+    let cached = ShardServer::new(
+        QueryBroker::new(build_shards(100)),
+        ServeConfig::default().with_cache_capacity(256),
+    );
+    // Warm the cache once so the cached flavour measures pure hits.
+    for q in &workload {
+        cached.search_query(q).expect("admitted");
+    }
+
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(n_queries));
+    group.sample_size(10);
+    group.bench_function("sequential_broker", |b| {
+        b.iter(|| {
+            for q in &workload {
+                black_box(broker.search(black_box(q)));
+            }
+        })
+    });
+    group.bench_function("worker_pool_uncached", |b| {
+        b.iter(|| {
+            for q in &workload {
+                black_box(uncached.search_query(black_box(q)).expect("admitted"));
+            }
+        })
+    });
+    group.bench_function("worker_pool_cache_hits", |b| {
+        b.iter(|| {
+            for q in &workload {
+                black_box(cached.search_query(black_box(q)).expect("admitted"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -23,11 +23,7 @@ struct SiteRow {
     net_time_factor: f64,
 }
 
-fn crawl_site(
-    server: Arc<dyn Server>,
-    urls: &[String],
-    config: CrawlConfig,
-) -> PageStats {
+fn crawl_site(server: Arc<dyn Server>, urls: &[String], config: CrawlConfig) -> PageStats {
     let mut crawler = Crawler::new(server, latency(), config);
     let mut total = PageStats::default();
     for url in urls {
@@ -38,11 +34,7 @@ fn crawl_site(
 
 fn measure(site: &str, server: Arc<dyn Server>, urls: &[String], max_states: usize) -> SiteRow {
     let base = CrawlConfig::ajax().with_max_states(max_states);
-    let cached = crawl_site(
-        Arc::clone(&server),
-        urls,
-        base.clone(),
-    );
+    let cached = crawl_site(Arc::clone(&server), urls, base.clone());
     let uncached = crawl_site(
         server,
         urls,
@@ -104,10 +96,17 @@ fn main() {
             format!("x{:.2}", row.net_time_factor),
         ]);
     }
-    println!("Ablation — caching benefit vs number of hot nodes (§7.3 conjecture)\n{}", t.render());
+    println!(
+        "Ablation — caching benefit vs number of hot nodes (§7.3 conjecture)\n{}",
+        t.render()
+    );
     println!(
         "conjecture {}: multi-hot-node site reduction x{:.2} vs single x{:.2}",
-        if news.reduction >= vid.reduction { "SUPPORTED" } else { "NOT SUPPORTED" },
+        if news.reduction >= vid.reduction {
+            "SUPPORTED"
+        } else {
+            "NOT SUPPORTED"
+        },
         news.reduction,
         vid.reduction
     );

@@ -51,6 +51,9 @@ fn main() {
             format!("{:.1}", r.crawl_s),
         ]);
     }
-    println!("Ablation — state cap sweep (crawl cost side of the §7.6 threshold)\n{}", t.render());
+    println!(
+        "Ablation — state cap sweep (crawl cost side of the §7.6 threshold)\n{}",
+        t.render()
+    );
     ajax_bench::util::write_json("ablation_statecap", &rows);
 }

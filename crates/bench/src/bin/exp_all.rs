@@ -1,6 +1,6 @@
 //! Runs every ch. 7 experiment (sharing the expensive crawls) and prints all
 //! tables/figures. `AJAX_CRAWL_SCALE=paper` for thesis scale.
-use ajax_bench::exp::{caching, crawl_perf, dataset, parallel, queries, threshold};
+use ajax_bench::exp::{caching, crawl_perf, dataset, parallel, queries, serving, threshold};
 use ajax_bench::{util, Scale};
 
 fn main() {
@@ -39,7 +39,10 @@ fn main() {
     println!("{}", f75.render("Fig 7.5", "caching reduces calls ~5x"));
     util::write_json("fig7_5", &f75);
     let f76 = caching::fig7_6(&cache);
-    println!("{}", f76.render("Fig 7.6", "network time reduced to ~0.37x"));
+    println!(
+        "{}",
+        f76.render("Fig 7.6", "network time reduced to ~0.37x")
+    );
     util::write_json("fig7_6", &f76);
     let f77 = caching::fig7_7(&cache);
     println!("{}", f77.render("Fig 7.7", "throughput improves ~1.6x"));
@@ -64,6 +67,11 @@ fn main() {
     util::write_json("table7_5", &timings);
     util::write_json("fig7_9", &timings);
 
+    // Serving subsystem (ajax-serve): worker pools, cache, admission.
+    let srv = serving::collect(&scale);
+    println!("{}", srv.render());
+    util::write_json("serving", &srv);
+
     // §7.6/§7.7: thresholds and recall.
     let th = threshold::collect(&qdata);
     println!("{}", th.render_fig7_10());
@@ -86,6 +94,16 @@ fn main() {
     );
     println!(
         "recall gain at 11 states: {:.3}",
-        th.samples.last().map(|s| s.one_minus_rel_recall).unwrap_or(0.0)
+        th.samples
+            .last()
+            .map(|s| s.one_minus_rel_recall)
+            .unwrap_or(0.0)
+    );
+    println!(
+        "serving ({} workers): virtual speedup x{:.2}, cache hit rate {:.0}%, {} lost",
+        srv.workers,
+        srv.virtual_speedup,
+        srv.repeat_hit_rate * 100.0,
+        srv.burst_lost
     );
 }

@@ -6,7 +6,16 @@ fn main() {
     let scale = Scale::from_env();
     let data = caching::collect(&scale);
     let fig = caching::fig7_5(&data);
-    println!("{}", fig.render("Fig 7.5", "caching reduces calls ~5x (359 vs 1790 at 100 videos)"));
-    println!("reduction factor at largest subset: {:.2}x", fig.final_factor());
+    println!(
+        "{}",
+        fig.render(
+            "Fig 7.5",
+            "caching reduces calls ~5x (359 vs 1790 at 100 videos)"
+        )
+    );
+    println!(
+        "reduction factor at largest subset: {:.2}x",
+        fig.final_factor()
+    );
     util::write_json("fig7_5", &fig);
 }

@@ -6,6 +6,9 @@ fn main() {
     let scale = Scale::from_env();
     let data = caching::collect(&scale);
     let fig = caching::fig7_6(&data);
-    println!("{}", fig.render("Fig 7.6", "network time reduced to ~0.37x"));
+    println!(
+        "{}",
+        fig.render("Fig 7.6", "network time reduced to ~0.37x")
+    );
     util::write_json("fig7_6", &fig);
 }

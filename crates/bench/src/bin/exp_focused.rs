@@ -22,11 +22,7 @@ struct Row {
 }
 
 fn run(server: &Arc<VidShareServer>, n: u32, config: CrawlConfig, name: &str) -> Row {
-    let mut crawler = Crawler::new(
-        Arc::clone(server) as Arc<dyn Server>,
-        latency(),
-        config,
-    );
+    let mut crawler = Crawler::new(Arc::clone(server) as Arc<dyn Server>, latency(), config);
     let mut stats = PageStats::default();
     let mut models: Vec<AppModel> = Vec::new();
     for v in 0..n {
@@ -83,7 +79,10 @@ fn main() {
             r.off_topic_results.to_string(),
         ]);
     }
-    println!("Focused crawling — cost vs on-topic recall (§7.2.2 / ch. 10)\n{}", t.render());
+    println!(
+        "Focused crawling — cost vs on-topic recall (§7.2.2 / ch. 10)\n{}",
+        t.render()
+    );
     println!(
         "focused crawl keeps {:.0}% of on-topic results at {:.0}% of the network cost",
         focused.on_topic_results as f64 / full.on_topic_results.max(1) as f64 * 100.0,

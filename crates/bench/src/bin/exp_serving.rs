@@ -1,0 +1,12 @@
+//! Serving-subsystem experiment: worker-pool throughput vs the sequential
+//! broker, result-cache hit rate on a repeated workload, and overload
+//! accounting under a closed-loop burst.
+use ajax_bench::exp::serving;
+use ajax_bench::{util, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = serving::collect(&scale);
+    println!("{}", data.render());
+    util::write_json("serving", &data);
+}

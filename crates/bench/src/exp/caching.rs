@@ -38,14 +38,9 @@ pub struct CachingSeries {
     pub metric: String,
 }
 
-fn cumulative(
-    data: &CachingData,
-    metric: &str,
-    f: impl Fn(&PageStats) -> f64,
-) -> CachingSeries {
-    let series = |stats: &[PageStats], n: u32| -> f64 {
-        stats.iter().take(n as usize).map(&f).sum()
-    };
+fn cumulative(data: &CachingData, metric: &str, f: impl Fn(&PageStats) -> f64) -> CachingSeries {
+    let series =
+        |stats: &[PageStats], n: u32| -> f64 { stats.iter().take(n as usize).map(&f).sum() };
     CachingSeries {
         rows: data
             .subsets
@@ -80,7 +75,13 @@ pub fn fig7_7(data: &CachingData) -> CachingSeries {
         rows: data
             .subsets
             .iter()
-            .map(|&n| (n, throughput(&data.uncached, n), throughput(&data.cached, n)))
+            .map(|&n| {
+                (
+                    n,
+                    throughput(&data.uncached, n),
+                    throughput(&data.cached, n),
+                )
+            })
             .collect(),
         metric: "state throughput (states/s)".to_string(),
     }

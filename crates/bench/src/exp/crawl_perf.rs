@@ -23,7 +23,10 @@ pub fn collect(scale: &Scale) -> CrawlPerfData {
         scale.crawl_pages
     );
     let trad = crawl_serial(&server, scale.crawl_pages, CrawlConfig::traditional());
-    eprintln!("[crawl_perf] crawling {} pages with AJAX…", scale.crawl_pages);
+    eprintln!(
+        "[crawl_perf] crawling {} pages with AJAX…",
+        scale.crawl_pages
+    );
     let ajax = crawl_serial(&server, scale.crawl_pages, CrawlConfig::ajax());
     CrawlPerfData { trad, ajax }
 }
@@ -114,7 +117,10 @@ pub fn fig7_3(data: &CrawlPerfData) -> Fig73 {
     let mut counts = vec![0u32; bounds_s.len()];
     for page in &data.ajax {
         let s = page.crawl_micros as f64 / 1e6;
-        let idx = bounds_s.iter().position(|b| s <= *b).unwrap_or(bounds_s.len() - 1);
+        let idx = bounds_s
+            .iter()
+            .position(|b| s <= *b)
+            .unwrap_or(bounds_s.len() - 1);
         counts[idx] += 1;
     }
     Fig73 {

@@ -137,7 +137,11 @@ impl Fig72 {
     pub fn render(&self) -> String {
         let mut t = TableFmt::new(vec!["videos", "states", "events"]);
         for (videos, states, events) in &self.rows {
-            t.row(vec![videos.to_string(), states.to_string(), events.to_string()]);
+            t.row(vec![
+                videos.to_string(),
+                states.to_string(),
+                events.to_string(),
+            ]);
         }
         format!(
             "Fig 7.2 — States and events vs crawled videos\n{}\n\

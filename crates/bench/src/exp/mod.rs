@@ -1,8 +1,10 @@
-//! One module per evaluation experiment (thesis ch. 7).
+//! One module per evaluation experiment (thesis ch. 7), plus the serving
+//! experiment for the `ajax-serve` subsystem.
 
 pub mod caching;
 pub mod crawl_perf;
 pub mod dataset;
 pub mod parallel;
 pub mod queries;
+pub mod serving;
 pub mod threshold;

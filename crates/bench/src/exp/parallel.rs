@@ -54,9 +54,7 @@ pub fn collect(scale: &Scale) -> ParallelData {
 pub fn collect_with(scale: &Scale, proc_lines: usize, cores: usize) -> ParallelData {
     let spec = scale.spec();
     let server = crate::util::server(&spec);
-    let urls: Vec<String> = (0..scale.crawl_pages)
-        .map(|v| spec.watch_url(v))
-        .collect();
+    let urls: Vec<String> = (0..scale.crawl_pages).map(|v| spec.watch_url(v)).collect();
     let partitions = partition_urls(&urls, 50);
 
     let run = |config: CrawlConfig, flavour: &str| -> FlavourTiming {
@@ -64,13 +62,9 @@ pub fn collect_with(scale: &Scale, proc_lines: usize, cores: usize) -> ParallelD
             "[parallel] {flavour}: {} pages over {proc_lines} lines…",
             urls.len()
         );
-        let mp = MpCrawler::new(
-            Arc::clone(&server) as Arc<dyn Server>,
-            latency(),
-            config,
-        )
-        .with_proc_lines(proc_lines)
-        .with_cores(cores);
+        let mp = MpCrawler::new(Arc::clone(&server) as Arc<dyn Server>, latency(), config)
+            .with_proc_lines(proc_lines)
+            .with_cores(cores);
         let report = mp.crawl(&partitions);
         FlavourTiming {
             flavour: flavour.to_string(),
@@ -149,10 +143,7 @@ impl ParallelData {
                 f.flavour.clone(),
                 format!("{:.3}", f.serial_mean_page_s()),
                 format!("{:.3}", f.parallel_mean_page_s()),
-                format!(
-                    "x{:.2}",
-                    f.serial_micros as f64 / f.parallel_micros as f64
-                ),
+                format!("x{:.2}", f.serial_micros as f64 / f.parallel_micros as f64),
             ]);
         }
         format!(

@@ -83,7 +83,11 @@ pub fn collect(data: &QueryData) -> ThresholdData {
                 indexed_states: index.total_states,
                 total_results,
                 total_query_ms,
-                one_minus_rel_recall: if rel_n == 0 { 0.0 } else { rel_sum / f64::from(rel_n) },
+                one_minus_rel_recall: if rel_n == 0 {
+                    0.0
+                } else {
+                    rel_sum / f64::from(rel_n)
+                },
             }
         })
         .collect();

@@ -21,16 +21,8 @@ pub fn latency() -> LatencyModel {
 
 /// Crawls videos `0..n` serially with `config`, returning per-page stats in
 /// order. Failures panic: the synthetic site must always crawl.
-pub fn crawl_serial(
-    server: &Arc<VidShareServer>,
-    n: u32,
-    config: CrawlConfig,
-) -> Vec<PageStats> {
-    let mut crawler = Crawler::new(
-        Arc::clone(server) as Arc<dyn Server>,
-        latency(),
-        config,
-    );
+pub fn crawl_serial(server: &Arc<VidShareServer>, n: u32, config: CrawlConfig) -> Vec<PageStats> {
+    let mut crawler = Crawler::new(Arc::clone(server) as Arc<dyn Server>, latency(), config);
     (0..n)
         .map(|v| {
             let url = Url::parse(&format!("http://vidshare.example/watch?v={v}"));

@@ -231,16 +231,15 @@ impl Host for PageHost<'_, '_> {
         match self.objects.get(&obj.0) {
             Some(HostObj::Document) => match method {
                 "getElementById" => {
-                    let id = args
-                        .first()
-                        .map(Value::to_string_value)
-                        .unwrap_or_default();
+                    let id = args.first().map(Value::to_string_value).unwrap_or_default();
                     match self.doc.get_element_by_id(&id) {
                         Some(node) => Ok(Value::Object(self.alloc(HostObj::Element(node)))),
                         None => Ok(Value::Null),
                     }
                 }
-                other => Err(JsError::type_error(format!("document.{other} is not a function"))),
+                other => Err(JsError::type_error(format!(
+                    "document.{other} is not a function"
+                ))),
             },
             Some(HostObj::Xhr { .. }) => match method {
                 "open" => {
@@ -256,24 +255,25 @@ impl Host for PageHost<'_, '_> {
                 }
                 "send" => self.xhr_send(obj.0, ctx),
                 "setRequestHeader" | "abort" => Ok(Value::Undefined),
-                other => Err(JsError::type_error(format!("xhr.{other} is not a function"))),
+                other => Err(JsError::type_error(format!(
+                    "xhr.{other} is not a function"
+                ))),
             },
             Some(HostObj::Element(_)) => match method {
                 "getAttribute" => {
                     let Some(HostObj::Element(node)) = self.objects.get(&obj.0) else {
                         unreachable!("matched element above")
                     };
-                    let name = args
-                        .first()
-                        .map(Value::to_string_value)
-                        .unwrap_or_default();
+                    let name = args.first().map(Value::to_string_value).unwrap_or_default();
                     Ok(self
                         .doc
                         .attr(*node, &name)
                         .map(Value::str)
                         .unwrap_or(Value::Null))
                 }
-                other => Err(JsError::type_error(format!("element.{other} is not a function"))),
+                other => Err(JsError::type_error(format!(
+                    "element.{other} is not a function"
+                ))),
             },
             None => Err(JsError::type_error("method call on a stale object")),
         }
@@ -321,8 +321,7 @@ impl Host for PageHost<'_, '_> {
                 let html = value.to_string_value();
                 // Re-parsing the fragment is CPU work (incremental model
                 // maintenance is the thesis' main non-network cost, §7.2.3).
-                self.env
-                    .charge_cpu(self.env.costs.parse_cost(html.len()));
+                self.env.charge_cpu(self.env.costs.parse_cost(html.len()));
                 self.doc.set_inner_html(node, &html);
                 Ok(())
             }
@@ -431,7 +430,10 @@ impl Browser {
         let mut hook = HotEnterDetector::from_cache(env.cache);
         let mut host = PageHost::new(&mut self.doc, &self.url, env, outcome);
         let result = match kind {
-            RunKind::Program => self.interp.load_program(src, &mut host, &mut hook).map(|_| ()),
+            RunKind::Program => self
+                .interp
+                .load_program(src, &mut host, &mut hook)
+                .map(|_| ()),
             RunKind::Snippet => self.interp.eval(src, &mut host, &mut hook).map(|_| ()),
         };
         let steps = self.interp.steps() - steps_before;
@@ -480,10 +482,7 @@ impl HotEnterDetector {
     /// Builds a detector from the cache's current hot-function registry.
     pub fn from_cache(cache: &HotNodeCache) -> Self {
         // Snapshot the function names (the registry is tiny: YouTube has 1).
-        let hot_functions = cache
-            .hot_function_names()
-            .map(str::to_string)
-            .collect();
+        let hot_functions = cache.hot_function_names().map(str::to_string).collect();
         Self {
             hot_functions,
             detections: 0,

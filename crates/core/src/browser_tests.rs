@@ -174,10 +174,7 @@ fn element_properties_readable() {
             env,
         );
         // fire_event discards return values; use interp via a DOM write.
-        browser.fire_event(
-            "document.getElementById('tag').innerHTML = read()",
-            env,
-        );
+        browser.fire_event("document.getElementById('tag').innerHTML = read()", env);
         let text = browser.doc().document_text();
         assert!(text.contains("EM/tag/42"), "{text}");
     });

@@ -99,14 +99,7 @@ impl HotNodeCache {
             self.stats.hot_nodes += 1;
         }
         self.stats.network_calls += 1;
-        self.entries.insert(
-            key,
-            CachedCall {
-                url,
-                body,
-                hits: 0,
-            },
-        );
+        self.entries.insert(key, CachedCall { url, body, hits: 0 });
     }
 
     /// Records a network call made while caching is *disabled* (the baseline
@@ -158,7 +151,12 @@ mod tests {
         let mut cache = HotNodeCache::new();
         let key = "getUrl(\"/c?p=2\", true)";
         assert!(cache.lookup(key).is_none());
-        cache.insert("getUrl", key.to_string(), "/c?p=2".into(), "<p>page2</p>".into());
+        cache.insert(
+            "getUrl",
+            key.to_string(),
+            "/c?p=2".into(),
+            "<p>page2</p>".into(),
+        );
         assert_eq!(cache.lookup(key).as_deref(), Some("<p>page2</p>"));
         assert_eq!(cache.lookup(key).as_deref(), Some("<p>page2</p>"));
         let stats = cache.stats();
@@ -170,7 +168,12 @@ mod tests {
     #[test]
     fn distinct_args_are_distinct_calls() {
         let mut cache = HotNodeCache::new();
-        cache.insert("getUrl", "getUrl(\"/c?p=2\")".into(), "/c?p=2".into(), "two".into());
+        cache.insert(
+            "getUrl",
+            "getUrl(\"/c?p=2\")".into(),
+            "/c?p=2".into(),
+            "two".into(),
+        );
         assert!(cache.lookup("getUrl(\"/c?p=3\")").is_none());
         assert!(cache.contains("getUrl(\"/c?p=2\")"));
     }

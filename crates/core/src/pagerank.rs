@@ -140,9 +140,7 @@ mod tests {
     #[test]
     fn converges_quickly_on_bigger_graph() {
         let n = 500;
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|i| vec![(i + 1) % n, (i * 7 + 3) % n])
-            .collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n, (i * 7 + 3) % n]).collect();
         let rank = pagerank(&adj, 0.85, 1e-10, 500);
         assert_sums_to_one(&rank);
     }

@@ -52,10 +52,7 @@ pub struct MpReport {
 impl MpReport {
     /// All application models in partition order.
     pub fn into_models(self) -> Vec<AppModel> {
-        self.partitions
-            .into_iter()
-            .flat_map(|p| p.models)
-            .collect()
+        self.partitions.into_iter().flat_map(|p| p.models).collect()
     }
 
     /// Parallel speedup in virtual time.
@@ -215,7 +212,10 @@ mod tests {
         let parallel = mp(4).crawl(&partitions);
         let serial_models = serial.into_models();
         let parallel_models = parallel.into_models();
-        assert_eq!(serial_models, parallel_models, "parallelism must not change results");
+        assert_eq!(
+            serial_models, parallel_models,
+            "parallelism must not change results"
+        );
     }
 
     #[test]

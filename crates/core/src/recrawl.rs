@@ -75,10 +75,16 @@ impl EventHistory {
 /// by re-deriving the event outcomes: transitions mark productive triples;
 /// every other fired binding is barren. Requires the crawl to have been made
 /// with the same event-type configuration.
-pub fn history_from_crawl(crawl: &PageCrawl, fired: &[(String, EventType, String)]) -> EventHistory {
+pub fn history_from_crawl(
+    crawl: &PageCrawl,
+    fired: &[(String, EventType, String)],
+) -> EventHistory {
     let mut history = EventHistory::from_model(&crawl.model);
     for (source, event, action) in fired {
-        if !history.productive.contains(&EventHistory::key(source, *event, action)) {
+        if !history
+            .productive
+            .contains(&EventHistory::key(source, *event, action))
+        {
             history.record(source, *event, action, false);
         }
     }

@@ -135,7 +135,9 @@ mod tests {
             CrawlConfig::ajax().storing_dom(),
         );
         crawler
-            .crawl_page(&Url::parse(&format!("http://vidshare.example/watch?v={video}")))
+            .crawl_page(&Url::parse(&format!(
+                "http://vidshare.example/watch?v={video}"
+            )))
             .unwrap()
             .model
     }

@@ -97,20 +97,18 @@ fn diff_children(
     let mut changed: Vec<(usize, Change)> = Vec::new();
     for (i, (&a, &b)) in old_children.iter().zip(new_children.iter()).enumerate() {
         match (&old.node(a).data, &new.node(b).data) {
-            (NodeData::Element { .. }, NodeData::Element { .. }) => {
-                if subtree_hash(old, a) != subtree_hash(new, b) {
-                    changed.push((
-                        i,
-                        Change::Element {
-                            attrs_equal: attributes_equal(old, a, new, b),
-                        },
-                    ));
-                }
+            (NodeData::Element { .. }, NodeData::Element { .. })
+                if subtree_hash(old, a) != subtree_hash(new, b) =>
+            {
+                changed.push((
+                    i,
+                    Change::Element {
+                        attrs_equal: attributes_equal(old, a, new, b),
+                    },
+                ));
             }
-            (NodeData::Text(t1), NodeData::Text(t2)) => {
-                if collapse(t1) != collapse(t2) {
-                    changed.push((i, Change::Text));
-                }
+            (NodeData::Text(t1), NodeData::Text(t2)) if collapse(t1) != collapse(t2) => {
+                changed.push((i, Change::Text));
             }
             _ => {}
         }
@@ -213,7 +211,11 @@ mod tests {
     fn single_leaf_change_descends() {
         let old = "<div id=\"box\"><p>keep</p><p>old text</p></div>";
         let new = "<div id=\"box\"><p>keep</p><p>new text</p></div>";
-        assert_eq!(targets(old, new), vec!["p"], "one changed child: precise target");
+        assert_eq!(
+            targets(old, new),
+            vec!["p"],
+            "one changed child: precise target"
+        );
     }
 
     #[test]
@@ -250,8 +252,10 @@ mod tests {
 
     #[test]
     fn paths_are_full_chains() {
-        let old = "<body><div id=\"outer\"><div id=\"inner\"><p>a</p><p>b old</p></div></div></body>";
-        let new = "<body><div id=\"outer\"><div id=\"inner\"><p>a</p><p>b new</p></div></div></body>";
+        let old =
+            "<body><div id=\"outer\"><div id=\"inner\"><p>a</p><p>b old</p></div></div></body>";
+        let new =
+            "<body><div id=\"outer\"><div id=\"inner\"><p>a</p><p>b new</p></div></div></body>";
         let o = parse_document(old);
         let n = parse_document(new);
         let roots = changed_roots(&o, &n);

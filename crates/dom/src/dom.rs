@@ -196,8 +196,7 @@ impl Document {
 
     /// Read-only variant of [`Self::get_element_by_id`] (walks the tree).
     pub fn find_element_by_id(&self, wanted: &str) -> Option<NodeId> {
-        self.walk()
-            .find(|&id| self.attr(id, "id") == Some(wanted))
+        self.walk().find(|&id| self.attr(id, "id") == Some(wanted))
     }
 
     fn rebuild_id_index(&mut self) {
@@ -434,10 +433,12 @@ mod tests {
 
     #[test]
     fn script_sources_extracted_in_order() {
-        let doc =
-            parse_document("<script>var a=1;</script><p>t</p><script>var b=2;</script>");
+        let doc = parse_document("<script>var a=1;</script><p>t</p><script>var b=2;</script>");
         let scripts = doc.script_sources();
-        assert_eq!(scripts, vec!["var a=1;".to_string(), "var b=2;".to_string()]);
+        assert_eq!(
+            scripts,
+            vec!["var a=1;".to_string(), "var b=2;".to_string()]
+        );
     }
 
     #[test]
@@ -449,7 +450,9 @@ mod tests {
 
     #[test]
     fn hyperlinks_collected() {
-        let doc = parse_document("<a href=\"/watch?v=1\">one</a><a href=\"/watch?v=2\">two</a><a>none</a>");
+        let doc = parse_document(
+            "<a href=\"/watch?v=1\">one</a><a href=\"/watch?v=2\">two</a><a>none</a>",
+        );
         assert_eq!(doc.hyperlinks(), vec!["/watch?v=1", "/watch?v=2"]);
     }
 

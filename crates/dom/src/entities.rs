@@ -102,7 +102,10 @@ mod tests {
 
     #[test]
     fn decode_named() {
-        assert_eq!(decode("a &amp; b &lt;c&gt; &quot;d&quot;"), "a & b <c> \"d\"");
+        assert_eq!(
+            decode("a &amp; b &lt;c&gt; &quot;d&quot;"),
+            "a & b <c> \"d\""
+        );
     }
 
     #[test]

@@ -9,8 +9,8 @@ use crate::tokenizer::{Token, Tokenizer};
 
 /// Elements that never have children (no end tag expected).
 const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta",
-    "param", "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Returns true when `name` is an HTML void element.

@@ -246,7 +246,11 @@ mod tests {
         );
         assert_eq!(select(&d, ".nested p").unwrap().len(), 1);
         assert_eq!(select(&d, "#main .nested .comment").unwrap().len(), 1);
-        assert_eq!(select(&d, ".nested #main").unwrap().len(), 0, "order matters");
+        assert_eq!(
+            select(&d, ".nested #main").unwrap().len(),
+            0,
+            "order matters"
+        );
     }
 
     #[test]

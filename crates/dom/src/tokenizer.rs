@@ -336,8 +336,20 @@ mod tests {
     #[test]
     fn self_closing() {
         let t = toks("<br/><img src=\"i.png\" />");
-        assert!(matches!(&t[0], Token::StartTag { self_closing: true, .. }));
-        assert!(matches!(&t[1], Token::StartTag { self_closing: true, .. }));
+        assert!(matches!(
+            &t[0],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &t[1],
+            Token::StartTag {
+                self_closing: true,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -348,7 +360,12 @@ mod tests {
             Token::Text("if (a < b) { x(); }".into()),
             "script body must not be parsed as markup"
         );
-        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+        assert_eq!(
+            t[2],
+            Token::EndTag {
+                name: "script".into()
+            }
+        );
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!
 //! # One-shot demo (build in memory, run sample queries):
 //! ajax-search demo
+//!
+//! # Build in memory and serve queries concurrently (stdin or a workload
+//! # file, one query per line); prints a metrics snapshot at EOF:
+//! ajax-search serve --videos 60 --workers 2 --workload queries.txt
 //! ```
 
 use ajax_engine::{AjaxSearchEngine, EngineConfig};
@@ -21,6 +25,7 @@ use ajax_index::invert::IndexBuilder;
 use ajax_index::persist::{load_index, save_index};
 use ajax_index::query::{search, Query, RankWeights};
 use ajax_net::Url;
+use ajax_serve::ServeConfig;
 use ajax_webgen::{VidShareServer, VidShareSpec};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -31,11 +36,14 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
                 "usage: ajax-search build --videos N [--traditional] [--max-states N] --out FILE\n\
                  \u{20}      ajax-search query --index FILE \"query terms\"\n\
-                 \u{20}      ajax-search demo"
+                 \u{20}      ajax-search demo\n\
+                 \u{20}      ajax-search serve [--videos N] [--workers W] [--cache N] \
+                 [--max-in-flight N] [--deadline-ms N] [--workload FILE]"
             );
             return ExitCode::from(2);
         }
@@ -69,7 +77,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let out = flag_value(args, "--out").ok_or("--out FILE is required")?;
     let traditional = has_flag(args, "--traditional");
     let max_states: Option<usize> = flag_value(args, "--max-states")
-        .map(|v| v.parse().map_err(|_| "--max-states must be a number".to_string()))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--max-states must be a number".to_string())
+        })
         .transpose()?;
 
     let spec = VidShareSpec::small(videos);
@@ -138,8 +149,105 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         elapsed.as_secs_f64() * 1e3
     );
     for (rank, r) in results.iter().take(10).enumerate() {
-        println!("{:>3}. {:.4}  {}  state {}", rank + 1, r.score, r.url, r.doc.state);
+        println!(
+            "{:>3}. {:.4}  {}  state {}",
+            rank + 1,
+            r.score,
+            r.url,
+            r.doc.state
+        );
     }
+    Ok(())
+}
+
+/// Builds an in-memory index and serves queries through `ajax-serve`:
+/// one line per query from `--workload FILE` or stdin, top-3 results each,
+/// and a JSON metrics snapshot once the input is exhausted.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let videos: u32 = flag_value(args, "--videos")
+        .unwrap_or("60")
+        .parse()
+        .map_err(|_| "--videos must be a number".to_string())?;
+    let workers: usize = flag_value(args, "--workers")
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "--workers must be a number".to_string())?;
+    let cache: usize = flag_value(args, "--cache")
+        .unwrap_or("256")
+        .parse()
+        .map_err(|_| "--cache must be a number".to_string())?;
+    let max_in_flight: usize = flag_value(args, "--max-in-flight")
+        .unwrap_or("64")
+        .parse()
+        .map_err(|_| "--max-in-flight must be a number".to_string())?;
+    let deadline_ms: Option<u64> = flag_value(args, "--deadline-ms")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--deadline-ms must be a number".to_string())
+        })
+        .transpose()?;
+
+    let spec = VidShareSpec::small(videos);
+    let start = Url::parse(&spec.watch_url(0));
+    let site = Arc::new(VidShareServer::new(spec));
+    eprintln!("building AJAX index over {videos} videos…");
+    let engine = AjaxSearchEngine::build(site, &start, EngineConfig::ajax(videos as usize));
+    eprintln!(
+        "serving {} states over {} shards ({} workers, cache {cache}, max in-flight {max_in_flight})",
+        engine.report.total_states, engine.report.shards, engine.report.shards * workers,
+    );
+
+    let server = engine.into_server(
+        ServeConfig::default()
+            .with_workers_per_shard(workers)
+            .with_cache_capacity(cache)
+            .with_max_in_flight(max_in_flight)
+            .with_deadline_micros(deadline_ms.map(|ms| ms * 1_000)),
+    );
+
+    let input: Box<dyn BufRead> = match flag_value(args, "--workload") {
+        Some(path) => Box::new(std::io::BufReader::new(
+            std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?,
+        )),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    for line in input.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        match server.search(text) {
+            Ok(resp) => {
+                let tag = if resp.from_cache {
+                    " [cached]"
+                } else if resp.degraded {
+                    " [degraded]"
+                } else {
+                    ""
+                };
+                println!(
+                    "{} results for {text:?} in {:.3} ms{tag}",
+                    resp.results.len(),
+                    resp.latency_micros as f64 / 1e3
+                );
+                for (rank, r) in resp.results.iter().take(3).enumerate() {
+                    println!(
+                        "{:>3}. {:.4}  {}  state {}",
+                        rank + 1,
+                        r.score,
+                        r.url,
+                        r.doc.state
+                    );
+                }
+            }
+            Err(e) => println!("shed {text:?}: {e}"),
+        }
+    }
+
+    println!("{}", server.metrics_json());
     Ok(())
 }
 

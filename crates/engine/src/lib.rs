@@ -14,6 +14,10 @@
 //!    [`QueryBroker`];
 //! 6. **Result aggregation** — state reconstruction by event replay
 //!    (when the crawl stored DOMs).
+//!
+//! For long-lived serving, [`AjaxSearchEngine::into_server`] hands the
+//! sharded index to `ajax-serve`'s concurrent [`ShardServer`] — per-shard
+//! worker pools, an LRU result cache, and admission control.
 
 pub mod report;
 
@@ -28,6 +32,7 @@ use ajax_index::invert::IndexBuilder;
 use ajax_index::query::{Query, RankWeights};
 use ajax_index::shard::{BrokerResult, QueryBroker};
 use ajax_net::{LatencyModel, Server, Url};
+use ajax_serve::{ServeConfig, ShardServer};
 use std::sync::Arc;
 
 pub use report::BuildReport;
@@ -113,9 +118,13 @@ impl AjaxSearchEngine {
         let partitions = partition_urls(&graph.urls, config.partition_size);
 
         // Phase 3: parallel crawl.
-        let mp = MpCrawler::new(Arc::clone(&server), config.latency.clone(), config.crawl.clone())
-            .with_proc_lines(config.proc_lines)
-            .with_cores(config.cores);
+        let mp = MpCrawler::new(
+            Arc::clone(&server),
+            config.latency.clone(),
+            config.crawl.clone(),
+        )
+        .with_proc_lines(config.proc_lines)
+        .with_cores(config.cores);
         let crawl_report = mp.crawl(&partitions);
 
         // Phase 4: one index per partition.
@@ -151,6 +160,15 @@ impl AjaxSearchEngine {
     /// Phase 5: distributed query processing.
     pub fn search(&self, query_text: &str) -> Vec<BrokerResult> {
         self.broker.search(&Query::parse(query_text))
+    }
+
+    /// Turns the built engine into a long-lived concurrent query server:
+    /// the broker's shards move onto `ajax-serve` worker pools (one pool per
+    /// shard), gaining a result cache, admission control, and metrics.
+    /// The link graph, models, and build report are dropped — serve from a
+    /// separate engine instance if reconstruction is also needed.
+    pub fn into_server(self, config: ServeConfig) -> ShardServer {
+        ShardServer::new(self.broker, config)
     }
 
     /// The ranking weights in effect.
@@ -244,14 +262,47 @@ mod tests {
     #[test]
     fn reconstruction_of_search_hit() {
         let (server, start) = vidshare(15);
-        let engine =
-            AjaxSearchEngine::build(server, &start, EngineConfig::ajax(15).with_replay());
+        let engine = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(15).with_replay());
         let hits = engine.search("morcheeba mysterious video");
         assert!(!hits.is_empty());
         let doc = engine.reconstruct(&hits[0]).expect("replay");
         let text = doc.document_text();
         assert!(text.contains("mysterious"));
-        assert!(text.contains("Morcheeba Enjoy the Ride"), "title visible in state");
+        assert!(
+            text.contains("Morcheeba Enjoy the Ride"),
+            "title visible in state"
+        );
+    }
+
+    #[test]
+    fn into_server_preserves_results() {
+        let (server, start) = vidshare(25);
+        let engine = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(25),
+        );
+        let reference: Vec<_> = ["wow", "dance", "morcheeba mysterious video"]
+            .iter()
+            .map(|q| engine.search(q))
+            .collect();
+        let shards = engine.broker.shard_count();
+        let serve = engine.into_server(ServeConfig::default().with_workers_per_shard(2));
+        assert_eq!(serve.shard_count(), shards);
+        assert_eq!(serve.worker_count(), shards * 2);
+        for (q, expected) in ["wow", "dance", "morcheeba mysterious video"]
+            .iter()
+            .zip(reference)
+        {
+            let got = serve.search(q).expect("admitted");
+            assert!(!got.degraded);
+            assert_eq!(got.results.len(), expected.len(), "query {q:?}");
+            for (e, g) in expected.iter().zip(got.results.iter()) {
+                assert_eq!(e.url, g.url);
+                assert_eq!(e.score.to_bits(), g.score.to_bits(), "query {q:?}");
+            }
+        }
+        assert_eq!(serve.metrics_snapshot().completed, 3);
     }
 
     #[test]

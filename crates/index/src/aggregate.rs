@@ -136,9 +136,7 @@ mod tests {
 
     #[test]
     fn multiple_hits_in_document_order() {
-        let d = parse_document(
-            "<p id=\"a\">wow one</p><p id=\"b\">wow two</p>",
-        );
+        let d = parse_document("<p id=\"a\">wow one</p><p id=\"b\">wow two</p>");
         let hits = locate_terms(&d, "wow");
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].element, "p#a");

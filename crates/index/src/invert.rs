@@ -6,9 +6,9 @@
 //! AJAXRank (PageRank over the page's transition graph) and per-state token
 //! counts for the thesis' normalized term frequency (formula 5.1).
 
+use crate::tokenize::tokenize;
 use ajax_crawl::model::{AppModel, StateId};
 use ajax_crawl::pagerank::pagerank_default;
-use crate::tokenize::tokenize;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -95,11 +95,7 @@ impl InvertedIndex {
     /// PageRank + AJAXRank of a document.
     pub fn ranks_of(&self, doc: DocKey) -> (f64, f64) {
         let page = &self.pages[doc.page as usize];
-        let ajax = page
-            .ajaxrank
-            .get(doc.state.index())
-            .copied()
-            .unwrap_or(0.0);
+        let ajax = page.ajaxrank.get(doc.state.index()).copied().unwrap_or(0.0);
         (page.pagerank, ajax)
     }
 
@@ -126,8 +122,12 @@ impl InvertedIndex {
         self.postings
             .iter()
             .map(|(term, postings)| {
-                term.len() + postings.len() * std::mem::size_of::<Posting>()
-                    + postings.iter().map(|p| p.positions.len() * 4).sum::<usize>()
+                term.len()
+                    + postings.len() * std::mem::size_of::<Posting>()
+                    + postings
+                        .iter()
+                        .map(|p| p.positions.len() * 4)
+                        .sum::<usize>()
             })
             .sum()
     }
@@ -184,7 +184,10 @@ impl IndexBuilder {
             // Group positions per term.
             let mut grouped: HashMap<&str, Vec<u32>> = HashMap::new();
             for token in &tokens {
-                grouped.entry(token.term.as_str()).or_default().push(token.position);
+                grouped
+                    .entry(token.term.as_str())
+                    .or_default()
+                    .push(token.position);
             }
             for (term, positions) in grouped {
                 let posting = Posting {
@@ -299,8 +302,14 @@ mod tests {
     fn ajaxrank_favours_initial_state() {
         let model = toy_model("u", &["one", "two", "three", "four"]);
         let idx = build(&[model]);
-        let (_, a0) = idx.ranks_of(DocKey { page: 0, state: StateId(0) });
-        let (_, a3) = idx.ranks_of(DocKey { page: 0, state: StateId(3) });
+        let (_, a0) = idx.ranks_of(DocKey {
+            page: 0,
+            state: StateId(0),
+        });
+        let (_, a3) = idx.ranks_of(DocKey {
+            page: 0,
+            state: StateId(3),
+        });
         // A forward chain pushes mass to the end; AJAXRank only needs to be a
         // well-defined distribution here — check it is one.
         let page = &idx.pages[0];
@@ -357,15 +366,23 @@ mod merge_tests {
         let m2 = model("http://b", &["dance wow"]);
         let m3 = model("http://c", &["silence here"]);
 
-        let mut merged = build(&[m1.clone()]);
+        let mut merged = build(std::slice::from_ref(&m1));
         merged.merge(build(&[m2.clone(), m3.clone()]));
         let joint = build(&[m1, m2, m3]);
 
         assert_eq!(merged.total_states, joint.total_states);
         assert_eq!(merged.pages.len(), joint.pages.len());
         for term in ["wow", "dance", "video", "silence"] {
-            let a: Vec<_> = merged.postings(term).iter().map(|p| (merged.url_of(p.doc).to_string(), p.doc.state, p.count)).collect();
-            let b: Vec<_> = joint.postings(term).iter().map(|p| (joint.url_of(p.doc).to_string(), p.doc.state, p.count)).collect();
+            let a: Vec<_> = merged
+                .postings(term)
+                .iter()
+                .map(|p| (merged.url_of(p.doc).to_string(), p.doc.state, p.count))
+                .collect();
+            let b: Vec<_> = joint
+                .postings(term)
+                .iter()
+                .map(|p| (joint.url_of(p.doc).to_string(), p.doc.state, p.count))
+                .collect();
             assert_eq!(a, b, "term {term}");
         }
         assert!((merged.idf("wow") - joint.idf("wow")).abs() < 1e-12);

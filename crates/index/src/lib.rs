@@ -29,5 +29,7 @@ pub use aggregate::{locate_terms, ElementHit};
 pub use invert::{DocKey, IndexBuilder, InvertedIndex, Posting};
 pub use persist::{load_index, load_models, save_index, save_models, PersistError};
 pub use query::{search, search_top_k, Query, RankWeights, SearchResult};
-pub use shard::{QueryBroker, ShardResult};
+pub use shard::{
+    eval_shard, merge_shard_outputs, BrokerResult, QueryBroker, ShardResult, ShardTermStats,
+};
 pub use tokenize::tokenize;

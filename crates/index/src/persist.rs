@@ -82,37 +82,61 @@ mod tests {
 
     fn sample_model() -> AppModel {
         let mut m = AppModel::new("http://x/watch?v=1");
-        m.add_state(1, "morcheeba enjoy the ride".into(), Some("<p>x</p>".into()));
+        m.add_state(
+            1,
+            "morcheeba enjoy the ride".into(),
+            Some("<p>x</p>".into()),
+        );
         m.add_state(2, "the singer is daisy".into(), None);
         m
     }
 
     #[test]
-    fn index_roundtrip_preserves_search_results() {
+    fn index_roundtrip_preserves_search_results() -> Result<(), PersistError> {
         let mut b = IndexBuilder::new();
         b.add_model(&sample_model(), Some(0.7));
         let index = b.build();
 
         let path = temp_path("index.json");
-        save_index(&path, &index).unwrap();
-        let loaded = load_index(&path).unwrap();
+        save_index(&path, &index)?;
+        let loaded = load_index(&path)?;
         std::fs::remove_file(&path).ok();
 
         assert_eq!(index, loaded);
         let q = Query::parse("singer");
         let w = RankWeights::default();
         assert_eq!(search(&index, &q, &w), search(&loaded, &q, &w));
+        Ok(())
     }
 
     #[test]
-    fn models_roundtrip() {
+    fn empty_index_roundtrip() -> Result<(), PersistError> {
+        // The degenerate case a fresh deployment starts from: zero pages,
+        // zero states. Must survive persistence exactly and stay searchable.
+        let index = IndexBuilder::new().build();
+        assert_eq!(index.total_states, 0);
+
+        let path = temp_path("empty_index.json");
+        save_index(&path, &index)?;
+        let loaded = load_index(&path)?;
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(index, loaded);
+        assert_eq!(loaded.term_count(), 0);
+        assert!(search(&loaded, &Query::parse("anything"), &RankWeights::default()).is_empty());
+        Ok(())
+    }
+
+    #[test]
+    fn models_roundtrip() -> Result<(), PersistError> {
         let models = vec![sample_model()];
         let path = temp_path("models.json");
-        save_models(&path, &models).unwrap();
-        let loaded = load_models(&path).unwrap();
+        save_models(&path, &models)?;
+        let loaded = load_models(&path)?;
         std::fs::remove_file(&path).ok();
         assert_eq!(models, loaded);
         assert_eq!(loaded[0].states[0].dom_html.as_deref(), Some("<p>x</p>"));
+        Ok(())
     }
 
     #[test]
@@ -122,11 +146,12 @@ mod tests {
     }
 
     #[test]
-    fn load_garbage_errors() {
+    fn load_garbage_errors() -> Result<(), std::io::Error> {
         let path = temp_path("garbage.json");
-        std::fs::write(&path, "{not json").unwrap();
+        std::fs::write(&path, "{not json")?;
         let err = load_index(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, PersistError::Serde(_)));
+        Ok(())
     }
 }

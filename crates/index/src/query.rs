@@ -140,10 +140,18 @@ pub fn conjunction_postings<'a>(
     index: &'a InvertedIndex,
     terms: &[String],
 ) -> Vec<(DocKey, Vec<&'a Posting>)> {
-    if terms.is_empty() {
+    let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
+    conjunction_of_lists(&lists)
+}
+
+/// The same merge over pre-fetched posting lists, one per query term in term
+/// order. Callers that also need per-term statistics (the shard-evaluation
+/// path) fetch each list once and reuse it for both, instead of paying two
+/// term lookups per shard.
+pub fn conjunction_of_lists<'a>(lists: &[&'a [Posting]]) -> Vec<(DocKey, Vec<&'a Posting>)> {
+    if lists.is_empty() {
         return Vec::new();
     }
-    let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
     if lists.iter().any(|l| l.is_empty()) {
         return Vec::new(); // Conjunction with an unseen term is empty.
     }
@@ -281,7 +289,11 @@ mod tests {
         // Q3 of the thesis: "morcheeba singer" must return exactly
         // (URL1, s2) — Fig 5.2.
         let idx = morcheeba_index();
-        let results = search(&idx, &Query::parse("morcheeba singer"), &RankWeights::default());
+        let results = search(
+            &idx,
+            &Query::parse("morcheeba singer"),
+            &RankWeights::default(),
+        );
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].doc.state.0, 1);
         assert!(results[0].url.ends_with("w16JlLSySWQ"));
@@ -290,16 +302,18 @@ mod tests {
     #[test]
     fn conjunction_with_unseen_term_is_empty() {
         let idx = morcheeba_index();
-        assert!(search(&idx, &Query::parse("morcheeba zebra"), &RankWeights::default()).is_empty());
+        assert!(search(
+            &idx,
+            &Query::parse("morcheeba zebra"),
+            &RankWeights::default()
+        )
+        .is_empty());
         assert!(search(&idx, &Query::parse(""), &RankWeights::default()).is_empty());
     }
 
     #[test]
     fn conjunction_equals_naive_intersection() {
-        let idx = index_of(&[
-            ("u1", &["a b c", "a c", "b c"]),
-            ("u2", &["c a b a", "b"]),
-        ]);
+        let idx = index_of(&[("u1", &["a b c", "a c", "b c"]), ("u2", &["c a b a", "b"])]);
         let merged = conjunction_postings(&idx, &["a".into(), "b".into()]);
         let merged_docs: Vec<DocKey> = merged.iter().map(|(d, _)| *d).collect();
         // Naive: docs containing a ∩ docs containing b.
@@ -316,45 +330,60 @@ mod tests {
         let idx = index_of(&[(
             "u",
             &[
-                "enjoy the ride is here",        // adjacent, in order
+                "enjoy the ride is here",                    // adjacent, in order
                 "enjoy something long the filler word ride", // spread
             ],
         )]);
         let q = Query::parse("enjoy ride");
-        let results = search(&idx, &q, &RankWeights {
-            pagerank: 0.0,
-            ajaxrank: 0.0,
-            tfidf: 0.0,
-            proximity: 1.0,
-        });
+        let results = search(
+            &idx,
+            &q,
+            &RankWeights {
+                pagerank: 0.0,
+                ajaxrank: 0.0,
+                tfidf: 0.0,
+                proximity: 1.0,
+            },
+        );
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].doc.state.0, 0, "adjacent phrase wins");
         assert!(results[0].score > results[1].score);
-        assert!((results[0].score - 2.0 / 3.0).abs() < 1e-9, "window 'enjoy the ride' = 3");
+        assert!(
+            (results[0].score - 2.0 / 3.0).abs() < 1e-9,
+            "window 'enjoy the ride' = 3"
+        );
     }
 
     #[test]
     fn proximity_single_term_is_one() {
         let idx = index_of(&[("u", &["hello world"])]);
         let q = Query::parse("hello");
-        let results = search(&idx, &q, &RankWeights {
-            pagerank: 0.0,
-            ajaxrank: 0.0,
-            tfidf: 0.0,
-            proximity: 1.0,
-        });
+        let results = search(
+            &idx,
+            &q,
+            &RankWeights {
+                pagerank: 0.0,
+                ajaxrank: 0.0,
+                tfidf: 0.0,
+                proximity: 1.0,
+            },
+        );
         assert!((results[0].score - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn exact_phrase_scores_full_proximity() {
         let idx = index_of(&[("u", &["x sexy can i y"])]);
-        let results = search(&idx, &Query::parse("sexy can i"), &RankWeights {
-            pagerank: 0.0,
-            ajaxrank: 0.0,
-            tfidf: 0.0,
-            proximity: 1.0,
-        });
+        let results = search(
+            &idx,
+            &Query::parse("sexy can i"),
+            &RankWeights {
+                pagerank: 0.0,
+                ajaxrank: 0.0,
+                tfidf: 0.0,
+                proximity: 1.0,
+            },
+        );
         assert!((results[0].score - 1.0).abs() < 1e-9);
     }
 

@@ -9,8 +9,10 @@
 //! result's score with `w3·Σ tf·idf`, merges and re-sorts — Steps 1 and 2 of
 //! Fig 6.4.
 
-use crate::invert::{DocKey, InvertedIndex};
-use crate::query::{conjunction_postings, proximity_score, sort_results, Query, RankWeights, SearchResult};
+use crate::invert::{DocKey, InvertedIndex, Posting};
+use crate::query::{
+    conjunction_of_lists, proximity_score, sort_results, Query, RankWeights, SearchResult,
+};
 use serde::{Deserialize, Serialize};
 
 /// A shard-local result before the global tf·idf completion.
@@ -76,30 +78,10 @@ impl QueryBroker {
         self.shards.iter().map(|s| s.total_states).sum()
     }
 
-    /// Evaluates the query on one shard (the "query shipping" leg).
-    fn ship(&self, shard_idx: usize, query: &Query) -> (Vec<ShardResult>, ShardTermStats) {
-        let shard = &self.shards[shard_idx];
-        let stats = ShardTermStats {
-            total_states: shard.total_states,
-            df: query.terms.iter().map(|t| shard.df(t)).collect(),
-        };
-        let results = conjunction_postings(shard, &query.terms)
-            .into_iter()
-            .map(|(doc, postings)| {
-                let (pagerank, ajaxrank) = shard.ranks_of(doc);
-                let proximity = proximity_score(&postings, query.terms.len());
-                ShardResult {
-                    shard: shard_idx,
-                    url: shard.url_of(doc).to_string(),
-                    doc,
-                    base_score: self.weights.pagerank * pagerank
-                        + self.weights.ajaxrank * ajaxrank
-                        + self.weights.proximity * proximity,
-                    tfs: postings.iter().map(|p| shard.tf(p)).collect(),
-                }
-            })
-            .collect();
-        (results, stats)
+    /// Decomposes the broker into its shards and weights — the handoff a
+    /// serving layer uses to distribute shards across worker threads.
+    pub fn into_parts(self) -> (Vec<InvertedIndex>, RankWeights) {
+        (self.shards, self.weights)
     }
 
     /// Computes the global idf of each query term from per-shard stats:
@@ -120,55 +102,111 @@ impl QueryBroker {
 
     /// Full distributed evaluation: ship, collect, complete scores with the
     /// global tf·idf (Step 1 of Fig 6.4), merge and sort (Step 2).
+    ///
+    /// `ajax_serve` runs the same two halves — [`eval_shard`] on worker
+    /// threads and [`merge_shard_outputs`] on the caller — so the parallel
+    /// path is result-identical (bit-for-bit scores) to this sequential one.
     pub fn search(&self, query: &Query) -> Vec<BrokerResult> {
         if query.is_empty() {
             return Vec::new();
         }
         let mut all_results = Vec::new();
         let mut all_stats = Vec::with_capacity(self.shards.len());
-        for shard_idx in 0..self.shards.len() {
-            let (results, stats) = self.ship(shard_idx, query);
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            let (results, stats) = eval_shard(shard, shard_idx, query, &self.weights);
             all_results.extend(results);
             all_stats.push(stats);
         }
-        let idf = Self::global_idf(query, &all_stats);
-
-        let mut merged: Vec<SearchResult> = all_results
-            .iter()
-            .map(|r| {
-                let tfidf: f64 = r.tfs.iter().zip(idf.iter()).map(|(tf, idf)| tf * idf).sum();
-                SearchResult {
-                    url: r.url.clone(),
-                    doc: r.doc,
-                    score: r.base_score + self.weights.tfidf * tfidf,
-                }
-            })
-            .collect();
-        sort_results(&mut merged);
-
-        // Re-attach shard provenance (url+doc uniquely identify the origin
-        // because partitions are URL-disjoint, §6.5.2: "the intersection of
-        // URLs between distinct inverted lists is empty").
-        let provenance: std::collections::HashMap<(&str, DocKey), usize> = all_results
-            .iter()
-            .map(|s| ((s.url.as_str(), s.doc), s.shard))
-            .collect();
-        merged
-            .into_iter()
-            .map(|r| {
-                let shard = provenance
-                    .get(&(r.url.as_str(), r.doc))
-                    .copied()
-                    .unwrap_or(0);
-                BrokerResult {
-                    shard,
-                    url: r.url,
-                    doc: r.doc,
-                    score: r.score,
-                }
-            })
-            .collect()
+        merge_shard_outputs(query, &self.weights, all_results, &all_stats)
     }
+}
+
+/// Evaluates a query on one shard — the "query shipping" leg, exposed as a
+/// free function so a serving layer can run it on worker threads without
+/// borrowing the whole broker. The query arrives already parsed and
+/// normalized (tokenization happens once per query, not once per shard), and
+/// each term's posting list is fetched exactly once, serving both the df
+/// statistic and the conjunction merge.
+pub fn eval_shard(
+    shard: &InvertedIndex,
+    shard_idx: usize,
+    query: &Query,
+    weights: &RankWeights,
+) -> (Vec<ShardResult>, ShardTermStats) {
+    let lists: Vec<&[Posting]> = query.terms.iter().map(|t| shard.postings(t)).collect();
+    let stats = ShardTermStats {
+        total_states: shard.total_states,
+        df: lists.iter().map(|l| l.len() as u64).collect(),
+    };
+    let results = conjunction_of_lists(&lists)
+        .into_iter()
+        .map(|(doc, postings)| {
+            let (pagerank, ajaxrank) = shard.ranks_of(doc);
+            let proximity = proximity_score(&postings, query.terms.len());
+            ShardResult {
+                shard: shard_idx,
+                url: shard.url_of(doc).to_string(),
+                doc,
+                base_score: weights.pagerank * pagerank
+                    + weights.ajaxrank * ajaxrank
+                    + weights.proximity * proximity,
+                tfs: postings.iter().map(|p| shard.tf(p)).collect(),
+            }
+        })
+        .collect();
+    (results, stats)
+}
+
+/// The broker-side half of Fig 6.4: completes per-shard base scores with the
+/// global tf·idf, merges, sorts, and re-attaches shard provenance. Shared by
+/// [`QueryBroker::search`] and the `ajax-serve` worker-pool path so both
+/// produce identical floating-point results (same summation order).
+///
+/// `all_results` must be ordered by shard index (shard 0's results first) for
+/// the ordering guarantee to hold.
+pub fn merge_shard_outputs(
+    query: &Query,
+    weights: &RankWeights,
+    all_results: Vec<ShardResult>,
+    all_stats: &[ShardTermStats],
+) -> Vec<BrokerResult> {
+    let idf = QueryBroker::global_idf(query, all_stats);
+
+    let mut merged: Vec<SearchResult> = all_results
+        .iter()
+        .map(|r| {
+            let tfidf: f64 = r.tfs.iter().zip(idf.iter()).map(|(tf, idf)| tf * idf).sum();
+            SearchResult {
+                url: r.url.clone(),
+                doc: r.doc,
+                score: r.base_score + weights.tfidf * tfidf,
+            }
+        })
+        .collect();
+    sort_results(&mut merged);
+
+    // Re-attach shard provenance (url+doc uniquely identify the origin
+    // because partitions are URL-disjoint, §6.5.2: "the intersection of
+    // URLs between distinct inverted lists is empty").
+    let provenance: std::collections::HashMap<(&str, DocKey), usize> = all_results
+        .iter()
+        .map(|s| ((s.url.as_str(), s.doc), s.shard))
+        .collect();
+    merged
+        .into_iter()
+        .map(|r| {
+            let shard = provenance
+                .get(&(r.url.as_str(), r.doc))
+                .copied()
+                .unwrap_or(0);
+            BrokerResult {
+                shard,
+                url: r.url,
+                doc: r.doc,
+                score: r.score,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -222,8 +260,14 @@ mod tests {
         // Idx1: 10 states, 4 with k; Idx2: 13 states, 6 with k
         // ⇒ idf = log(23/10).
         let stats = vec![
-            ShardTermStats { total_states: 10, df: vec![4] },
-            ShardTermStats { total_states: 13, df: vec![6] },
+            ShardTermStats {
+                total_states: 10,
+                df: vec![4],
+            },
+            ShardTermStats {
+                total_states: 13,
+                df: vec![6],
+            },
         ];
         let q = Query::parse("k1");
         let idf = QueryBroker::global_idf(&q, &stats);

@@ -51,7 +51,10 @@ mod tests {
 
     #[test]
     fn basic_split_and_lowercase() {
-        assert_eq!(terms("Morcheeba, Enjoy the RIDE!"), vec!["morcheeba", "enjoy", "the", "ride"]);
+        assert_eq!(
+            terms("Morcheeba, Enjoy the RIDE!"),
+            vec!["morcheeba", "enjoy", "the", "ride"]
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub enum Stmt {
         else_branch: Vec<Stmt>,
     },
     /// `while (cond) body`
-    While { cond: Expr, body: Vec<Stmt> },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
     /// `for (init; cond; update) body`
     For {
         init: Option<Box<Stmt>>,
@@ -110,7 +113,10 @@ pub enum Expr {
         index: Box<Expr>,
     },
     /// Variable reference.
-    Ident { name: String, line: u32 },
+    Ident {
+        name: String,
+        line: u32,
+    },
     /// `lhs op rhs` (short-circuit ops are separate).
     Binary {
         op: BinOp,
@@ -122,7 +128,10 @@ pub enum Expr {
     /// `lhs || rhs`
     Or(Box<Expr>, Box<Expr>),
     /// `op expr`
-    Unary { op: UnOp, expr: Box<Expr> },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
     /// `cond ? then : alt`
     Ternary {
         cond: Box<Expr>,
@@ -136,7 +145,10 @@ pub enum Expr {
         value: Box<Expr>,
     },
     /// `name++` / `name--` (postfix; evaluates to the *old* value).
-    PostIncDec { target: AssignTarget, inc: bool },
+    PostIncDec {
+        target: AssignTarget,
+        inc: bool,
+    },
     /// `f(args)` — a user function or a native global.
     Call {
         callee: String,
@@ -151,7 +163,10 @@ pub enum Expr {
         line: u32,
     },
     /// `obj.prop`
-    Member { object: Box<Expr>, prop: String },
+    Member {
+        object: Box<Expr>,
+        prop: String,
+    },
     /// `new Class(args)`
     New {
         class: String,

@@ -131,7 +131,11 @@ impl InvocationGraph {
     pub fn to_dot(&self) -> String {
         let mut out = String::from("digraph invocation {\n  rankdir=LR;\n");
         for f in self.functions.values() {
-            let shape = if f.direct_ajax { "doubleoctagon" } else { "box" };
+            let shape = if f.direct_ajax {
+                "doubleoctagon"
+            } else {
+                "box"
+            };
             out.push_str(&format!("  \"{}\" [shape={shape}];\n", f.name));
         }
         for f in self.functions.values() {
@@ -196,8 +200,8 @@ impl CallCollector {
             Stmt::Block(body) => body.iter().for_each(|s| self.visit_stmt(s)),
             // Nested function declarations are hoisted by the interpreter;
             // their bodies are analyzed when encountered at the top level.
-            Stmt::Function(_) | Stmt::Return(None) | Stmt::Break | Stmt::Continue
-            | Stmt::Empty => {}
+            Stmt::Function(_) | Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {
+            }
         }
     }
 
@@ -345,16 +349,12 @@ mod tests {
 
     #[test]
     fn ajax_detection_variants() {
-        let direct = InvocationGraph::from_source(
-            "function f() { var x = new XMLHttpRequest(); }",
-        )
-        .unwrap();
+        let direct =
+            InvocationGraph::from_source("function f() { var x = new XMLHttpRequest(); }").unwrap();
         assert_eq!(direct.hot_nodes(), vec!["f"]);
 
-        let send_only = InvocationGraph::from_source(
-            "function g(req) { req.send(null); }",
-        )
-        .unwrap();
+        let send_only =
+            InvocationGraph::from_source("function g(req) { req.send(null); }").unwrap();
         assert_eq!(send_only.hot_nodes(), vec!["g"]);
 
         let none = InvocationGraph::from_source("function h() { look(); }").unwrap();

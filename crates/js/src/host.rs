@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn null_host_rejects_everything() {
         let mut h = NullHost;
-        let ctx = HostCtx { stack: &[], steps: 0 };
+        let ctx = HostCtx {
+            stack: &[],
+            steps: 0,
+        };
         assert!(h.call_native("f", &[], &ctx).is_err());
         assert!(h.construct("C", &[], &ctx).is_err());
         assert!(h.call_method(ObjId(0), "m", &[], &ctx).is_err());

@@ -639,12 +639,7 @@ impl Interpreter {
         }
     }
 
-    fn get_member(
-        &mut self,
-        obj: &Value,
-        prop: &str,
-        run: &mut Run<'_>,
-    ) -> Result<Value, JsError> {
+    fn get_member(&mut self, obj: &Value, prop: &str, run: &mut Run<'_>) -> Result<Value, JsError> {
         match obj {
             Value::Str(s) => match prop {
                 "length" => Ok(Value::Num(s.chars().count() as f64)),
@@ -702,11 +697,13 @@ impl Interpreter {
         line: u32,
         run: &mut Run<'_>,
     ) -> Result<Value, JsError> {
-        let decl = self
-            .functions
-            .get(name)
-            .cloned()
-            .ok_or_else(|| JsError::at(JsErrorKind::Reference, format!("{name} is not a function"), line))?;
+        let decl = self.functions.get(name).cloned().ok_or_else(|| {
+            JsError::at(
+                JsErrorKind::Reference,
+                format!("{name} is not a function"),
+                line,
+            )
+        })?;
         if self.stack.len() >= self.max_depth {
             return Err(JsError::at(
                 JsErrorKind::StackOverflow,
@@ -878,8 +875,14 @@ fn math_method(method: &str, args: &[Value], line: u32) -> Result<Value, JsError
         "abs" => a.abs(),
         "sqrt" => a.sqrt(),
         "pow" => a.powf(b),
-        "max" => args.iter().map(Value::to_number).fold(f64::NEG_INFINITY, f64::max),
-        "min" => args.iter().map(Value::to_number).fold(f64::INFINITY, f64::min),
+        "max" => args
+            .iter()
+            .map(Value::to_number)
+            .fold(f64::NEG_INFINITY, f64::max),
+        "min" => args
+            .iter()
+            .map(Value::to_number)
+            .fold(f64::INFINITY, f64::min),
         _ => {
             return Err(JsError::at(
                 JsErrorKind::Type,
@@ -927,7 +930,11 @@ fn string_method(s: &str, method: &str, args: &[Value], line: u32) -> Result<Val
                 }
             };
             let mut start = clamp(arg_num(0));
-            let mut end = if args.len() > 1 { clamp(arg_num(1)) } else { len as usize };
+            let mut end = if args.len() > 1 {
+                clamp(arg_num(1))
+            } else {
+                len as usize
+            };
             if start > end {
                 std::mem::swap(&mut start, &mut end);
             }
@@ -1011,7 +1018,11 @@ fn array_method(
             let items = items.borrow();
             let len = items.len() as f64;
             let norm = |v: f64| -> usize {
-                let v = if v < 0.0 { (len + v).max(0.0) } else { v.min(len) };
+                let v = if v < 0.0 {
+                    (len + v).max(0.0)
+                } else {
+                    v.min(len)
+                };
                 v as usize
             };
             let start = norm(args.first().map(Value::to_number).unwrap_or(0.0));
@@ -1051,10 +1062,7 @@ fn dict_method(
 ) -> Result<Value, JsError> {
     Ok(match method {
         "hasOwnProperty" => {
-            let key = args
-                .first()
-                .map(Value::to_string_value)
-                .unwrap_or_default();
+            let key = args.first().map(Value::to_string_value).unwrap_or_default();
             Value::Bool(entries.borrow().contains_key(&key))
         }
         other => {
@@ -1296,10 +1304,19 @@ mod tests {
     fn call_declared_function_directly() {
         let mut interp = Interpreter::new();
         interp
-            .load_program("function add(a, b) { return a + b; }", &mut NullHost, &mut NoopHook)
+            .load_program(
+                "function add(a, b) { return a + b; }",
+                &mut NullHost,
+                &mut NoopHook,
+            )
             .unwrap();
         let v = interp
-            .call("add", vec![Value::Num(2.0), Value::Num(3.0)], &mut NullHost, &mut NoopHook)
+            .call(
+                "add",
+                vec![Value::Num(2.0), Value::Num(3.0)],
+                &mut NullHost,
+                &mut NoopHook,
+            )
             .unwrap();
         assert_eq!(v, Value::Num(5.0));
     }
@@ -1316,9 +1333,17 @@ mod tests {
     fn steps_counted() {
         let mut interp = Interpreter::new();
         interp
-            .eval("var s = 0; for (var i = 0; i < 100; i++) s += i;", &mut NullHost, &mut NoopHook)
+            .eval(
+                "var s = 0; for (var i = 0; i < 100; i++) s += i;",
+                &mut NullHost,
+                &mut NoopHook,
+            )
             .unwrap();
-        assert!(interp.steps() > 300, "loop must burn steps, got {}", interp.steps());
+        assert!(
+            interp.steps() > 300,
+            "loop must burn steps, got {}",
+            interp.steps()
+        );
     }
 
     #[test]
@@ -1389,7 +1414,11 @@ mod collection_tests {
             Value::Num(2.0)
         );
         assert_eq!(eval("var a = [1]; var b = a; a == b"), Value::Bool(true));
-        assert_eq!(eval("[1] == [1]"), Value::Bool(false), "distinct identities");
+        assert_eq!(
+            eval("[1] == [1]"),
+            Value::Bool(false),
+            "distinct identities"
+        );
     }
 
     #[test]
@@ -1437,12 +1466,16 @@ mod collection_tests {
             .eval("log.push(2); log.push(3);", &mut NullHost, &mut NoopHook)
             .unwrap();
         assert_eq!(
-            interp.eval("log.length", &mut NullHost, &mut NoopHook).unwrap(),
+            interp
+                .eval("log.length", &mut NullHost, &mut NoopHook)
+                .unwrap(),
             Value::Num(3.0)
         );
         interp.restore_globals(&snap);
         assert_eq!(
-            interp.eval("log.length", &mut NullHost, &mut NoopHook).unwrap(),
+            interp
+                .eval("log.length", &mut NullHost, &mut NoopHook)
+                .unwrap(),
             Value::Num(1.0),
             "rollback must undo array mutation (crawler correctness)"
         );
@@ -1452,7 +1485,9 @@ mod collection_tests {
             .unwrap();
         interp.restore_globals(&snap);
         assert_eq!(
-            interp.eval("log.length", &mut NullHost, &mut NoopHook).unwrap(),
+            interp
+                .eval("log.length", &mut NullHost, &mut NoopHook)
+                .unwrap(),
             Value::Num(1.0)
         );
     }
@@ -1460,15 +1495,11 @@ mod collection_tests {
     #[test]
     fn array_in_loops() {
         assert_eq!(
-            eval(
-                "var a = []; for (var i = 0; i < 5; i++) a.push(i * i); a.join(' ')"
-            ),
+            eval("var a = []; for (var i = 0; i < 5; i++) a.push(i * i); a.join(' ')"),
             Value::str("0 1 4 9 16")
         );
         assert_eq!(
-            eval(
-                "var a = [3,1,2]; var s = 0; for (var i = 0; i < a.length; i++) s += a[i]; s"
-            ),
+            eval("var a = [3,1,2]; var s = 0; for (var i = 0; i < a.length; i++) s += a[i]; s"),
             Value::Num(6.0)
         );
     }

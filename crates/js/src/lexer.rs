@@ -87,10 +87,10 @@ pub enum Punct {
     Star,
     Slash,
     Percent,
-    EqEq,       // ==
-    NotEq,      // !=
-    EqEqEq,     // ===
-    NotEqEq,    // !==
+    EqEq,    // ==
+    NotEq,   // !=
+    EqEqEq,  // ===
+    NotEqEq, // !==
     Lt,
     Gt,
     Le,
@@ -216,7 +216,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, JsError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -256,7 +259,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, JsError> {
             }
             _ => {
                 use Punct::*;
-                let two = |a: u8, b2: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b2;
+                let two =
+                    |a: u8, b2: u8| i + 1 < bytes.len() && bytes[i] == a && bytes[i + 1] == b2;
                 let three = |a: u8, b2: u8, c: u8| {
                     i + 2 < bytes.len() && bytes[i] == a && bytes[i + 1] == b2 && bytes[i + 2] == c
                 };
@@ -375,7 +379,10 @@ mod tests {
     #[test]
     fn comments_skipped() {
         let k = kinds("1 // line\n/* block\nstill */ 2");
-        assert_eq!(k, vec![TokenKind::Num(1.0), TokenKind::Num(2.0), TokenKind::Eof]);
+        assert_eq!(
+            k,
+            vec![TokenKind::Num(1.0), TokenKind::Num(2.0), TokenKind::Eof]
+        );
     }
 
     #[test]

@@ -202,7 +202,9 @@ impl Parser {
                 self.advance();
                 let value = if matches!(
                     self.peek(),
-                    TokenKind::Punct(Punct::Semi) | TokenKind::Punct(Punct::RBrace) | TokenKind::Eof
+                    TokenKind::Punct(Punct::Semi)
+                        | TokenKind::Punct(Punct::RBrace)
+                        | TokenKind::Eof
                 ) {
                     None
                 } else {
@@ -237,7 +239,11 @@ impl Parser {
                 return Ok(body);
             }
             if self.at_eof() {
-                return Err(JsError::at(JsErrorKind::Parse, "unclosed block", self.line()));
+                return Err(JsError::at(
+                    JsErrorKind::Parse,
+                    "unclosed block",
+                    self.line(),
+                ));
             }
             body.push(self.statement()?);
         }
@@ -626,7 +632,11 @@ mod tests {
     fn precedence() {
         let p = parse_program("1 + 2 * 3").unwrap();
         match &p.body[0] {
-            Stmt::Expr(Expr::Binary { op: BinOp::Add, rhs, .. }) => {
+            Stmt::Expr(Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            }) => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -661,7 +671,10 @@ mod tests {
     fn new_expression() {
         let p = parse_program("var x = new XMLHttpRequest();").unwrap();
         match &p.body[0] {
-            Stmt::VarDecl { init: Some(Expr::New { class, .. }), .. } => {
+            Stmt::VarDecl {
+                init: Some(Expr::New { class, .. }),
+                ..
+            } => {
                 assert_eq!(class, "XMLHttpRequest");
             }
             other => panic!("unexpected {other:?}"),
@@ -711,7 +724,10 @@ mod tests {
         let p = parse_program("obj.count++").unwrap();
         assert!(matches!(
             &p.body[0],
-            Stmt::Expr(Expr::PostIncDec { target: AssignTarget::Member { .. }, inc: true })
+            Stmt::Expr(Expr::PostIncDec {
+                target: AssignTarget::Member { .. },
+                inc: true
+            })
         ));
     }
 

@@ -44,9 +44,9 @@ impl Value {
     /// them).
     pub fn deep_clone(&self) -> Value {
         match self {
-            Value::Array(items) => Value::array(
-                items.borrow().iter().map(Value::deep_clone).collect(),
-            ),
+            Value::Array(items) => {
+                Value::array(items.borrow().iter().map(Value::deep_clone).collect())
+            }
             Value::Dict(entries) => Value::Dict(Rc::new(RefCell::new(
                 entries
                     .borrow()
@@ -189,7 +189,11 @@ pub fn format_number(n: f64) -> String {
         return "NaN".into();
     }
     if n.is_infinite() {
-        return if n > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+        return if n > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        };
     }
     if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)

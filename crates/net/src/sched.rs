@@ -284,7 +284,10 @@ mod tests {
         assert_eq!(serial, 8 * 1_000);
         // Better than 2x (CPU bound would cap at cores=2), worse than 8x.
         let speedup = report.speedup();
-        assert!(speedup > 2.0 && speedup <= 4.0 + 1e-9, "speedup = {speedup}");
+        assert!(
+            speedup > 2.0 && speedup <= 4.0 + 1e-9,
+            "speedup = {speedup}"
+        );
     }
 
     #[test]

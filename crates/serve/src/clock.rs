@@ -1,0 +1,131 @@
+//! Time source for deadlines and latency measurement.
+//!
+//! The serving layer needs "now" in two places — stamping a query's deadline
+//! at admission and measuring its latency at completion. Production wants
+//! wall time; load tests want the repo's virtual-time model (`ajax_net`'s
+//! [`SimClock`](ajax_net::SimClock)) so overload and deadline behavior stay
+//! deterministic on any machine. [`ServeClock`] abstracts over both.
+
+use ajax_net::{Micros, SimClock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared, thread-safe handle to a virtual clock. Cloning shares the
+/// underlying counter — the thread-safe counterpart of `SimClock`, which is
+/// single-owner by design.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A virtual clock starting at 0 µs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds the virtual clock from a `SimClock`'s current reading.
+    pub fn from_sim(sim: &SimClock) -> Self {
+        let c = Self::new();
+        c.now.store(sim.now(), Ordering::SeqCst);
+        c
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Advances virtual time by `d` µs (any thread may call this).
+    pub fn advance(&self, d: Micros) {
+        self.now.fetch_add(d, Ordering::SeqCst);
+    }
+}
+
+/// Where the server reads time from.
+#[derive(Debug, Clone)]
+pub enum ServeClock {
+    /// Real time, measured from a fixed epoch so readings are monotone `u64`
+    /// micros like everything else in the repo.
+    Wall { epoch: Instant },
+    /// Virtual time driven by the test harness through a [`ManualClock`].
+    Manual(ManualClock),
+}
+
+impl ServeClock {
+    /// A wall clock whose epoch is "now".
+    pub fn wall() -> Self {
+        ServeClock::Wall {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A virtual clock plus the handle the test uses to drive it. The
+    /// returned handle and the clock share state.
+    pub fn manual() -> (Self, ManualClock) {
+        let handle = ManualClock::new();
+        (ServeClock::Manual(handle.clone()), handle)
+    }
+
+    /// Current time in µs since the clock's epoch.
+    pub fn now_micros(&self) -> Micros {
+        match self {
+            ServeClock::Wall { epoch } => epoch.elapsed().as_micros() as Micros,
+            ServeClock::Manual(m) => m.now(),
+        }
+    }
+
+    /// True when driven by a [`ManualClock`] (workers then account virtual
+    /// evaluation cost instead of the caller waiting on wall timeouts).
+    pub fn is_manual(&self) -> bool {
+        matches!(self, ServeClock::Manual(_))
+    }
+
+    /// Advances a manual clock; no-op on a wall clock.
+    pub fn advance(&self, d: Micros) {
+        if let ServeClock::Manual(m) = self {
+            m.advance(d);
+        }
+    }
+}
+
+impl Default for ServeClock {
+    fn default() -> Self {
+        ServeClock::wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let (clock, handle) = ServeClock::manual();
+        assert_eq!(clock.now_micros(), 0);
+        handle.advance(125);
+        assert_eq!(clock.now_micros(), 125);
+        clock.advance(75);
+        assert_eq!(handle.now(), 200);
+    }
+
+    #[test]
+    fn seeded_from_sim_clock() {
+        let mut sim = SimClock::new();
+        sim.advance(1_000);
+        let m = ManualClock::from_sim(&sim);
+        assert_eq!(m.now(), 1_000);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let clock = ServeClock::wall();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+        clock.advance(1_000_000); // must be a no-op
+        assert!(clock.now_micros() < 1_000_000_000);
+        assert!(!clock.is_manual());
+    }
+}

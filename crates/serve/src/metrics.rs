@@ -1,0 +1,265 @@
+//! Serving metrics: lock-free counters and a latency histogram.
+//!
+//! Workers and callers record into atomics; [`Metrics::snapshot`] reads them
+//! into a plain [`MetricsSnapshot`] struct that serializes to JSON — the
+//! shape a scrape endpoint or the `ajax-search serve` CLI prints.
+
+use ajax_net::Micros;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples with
+/// `latency < 2^i` µs (bucket 0 holds exact zeros), which covers ~36 minutes
+/// in the last bucket — more than any sane query latency.
+const BUCKETS: usize = 32;
+
+/// A fixed-bucket, power-of-two latency histogram. `record` is wait-free;
+/// percentile reads are approximate (they return the upper bound of the
+/// bucket containing the requested rank), which is plenty for p50/p95/p99
+/// over exponentially spaced buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(micros: Micros) -> usize {
+        // 0 → bucket 0; otherwise the position of the highest set bit + 1,
+        // capped to the last bucket.
+        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, micros: Micros) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in µs (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) in µs: the upper bound of the
+    /// bucket where the cumulative count reaches `ceil(q·n)`.
+    pub fn quantile(&self, q: f64) -> Micros {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn to_vec(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The server's live metrics registry. All fields are atomics so workers and
+/// clients update without locks; a consistent-enough view is taken by
+/// [`Metrics::snapshot`].
+#[derive(Debug)]
+pub struct Metrics {
+    /// Queries answered (cache hits + full evaluations + degraded), i.e.
+    /// every admitted query.
+    pub completed: AtomicU64,
+    /// Queries refused at admission (`ServeError::Overloaded`).
+    pub shed: AtomicU64,
+    /// Completed queries that merged fewer than all shards.
+    pub degraded: AtomicU64,
+    /// Result-cache hits / misses / evictions.
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub cache_evictions: AtomicU64,
+    /// Index reloads (each also invalidates the cache).
+    pub reloads: AtomicU64,
+    /// End-to-end query latency (admission → response), µs.
+    pub latency: LatencyHistogram,
+    /// Jobs currently queued per shard (gauge).
+    pub shard_queue_depth: Vec<AtomicU64>,
+}
+
+impl Metrics {
+    /// A zeroed registry for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            shard_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Takes a serializable snapshot. `uptime_micros` comes from the
+    /// server's clock (virtual under a manual clock), `cache_entries` from
+    /// the cache, `workers` from the pool configuration.
+    pub fn snapshot(
+        &self,
+        uptime_micros: Micros,
+        cache_entries: usize,
+        workers: usize,
+    ) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        MetricsSnapshot {
+            uptime_micros,
+            workers: workers as u64,
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            qps: if uptime_micros == 0 {
+                0.0
+            } else {
+                completed as f64 / (uptime_micros as f64 / 1e6)
+            },
+            latency_mean_micros: self.latency.mean(),
+            latency_p50_micros: self.latency.quantile(0.50),
+            latency_p95_micros: self.latency.quantile(0.95),
+            latency_p99_micros: self.latency.quantile(0.99),
+            latency_buckets: self.latency.to_vec(),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            cache_entries: cache_entries as u64,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            shard_queue_depth: self
+                .shard_queue_depth
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of [`Metrics`], serializable with serde. Latency
+/// percentiles are upper bounds of power-of-two buckets (`latency_buckets[i]`
+/// counts samples `< 2^i` µs, `[0]` exact zeros).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub uptime_micros: u64,
+    pub workers: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub degraded: u64,
+    pub reloads: u64,
+    pub qps: f64,
+    pub latency_mean_micros: f64,
+    pub latency_p50_micros: u64,
+    pub latency_p95_micros: u64,
+    pub latency_p99_micros: u64,
+    pub latency_buckets: Vec<u64>,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_evictions: u64,
+    pub cache_entries: u64,
+    pub cache_hit_rate: f64,
+    pub shard_queue_depth: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_over_known_samples() {
+        let h = LatencyHistogram::default();
+        // 90 fast samples (~8 µs → bucket 4, upper bound 16) and 10 slow
+        // (~1000 µs → bucket 10, upper bound 1024).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 16);
+        assert_eq!(h.quantile(0.90), 16);
+        assert_eq!(h.quantile(0.95), 1024);
+        assert_eq!(h.quantile(0.99), 1024);
+        let mean = h.mean();
+        assert!((mean - (90.0 * 8.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_and_roundtrips() {
+        let m = Metrics::new(3);
+        m.completed.fetch_add(10, Ordering::Relaxed);
+        m.cache_hits.fetch_add(4, Ordering::Relaxed);
+        m.cache_misses.fetch_add(6, Ordering::Relaxed);
+        m.latency.record(100);
+        m.shard_queue_depth[1].fetch_add(2, Ordering::Relaxed);
+
+        let snap = m.snapshot(2_000_000, 5, 3);
+        assert_eq!(snap.completed, 10);
+        assert!((snap.qps - 5.0).abs() < 1e-9);
+        assert!((snap.cache_hit_rate - 0.4).abs() < 1e-9);
+        assert_eq!(snap.shard_queue_depth, vec![0, 2, 0]);
+
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,266 @@
+//! Per-shard worker pools and the reply rendezvous.
+//!
+//! Each shard owns one MPMC job queue (`Mutex<VecDeque>` + `Condvar`)
+//! consumed by `workers_per_shard` OS threads. Submitting a query pushes one
+//! job per shard; each worker runs [`ajax_index::eval_shard`] against its
+//! shard's current index and delivers the reply into a per-query
+//! [`ReplyState`] slot indexed by shard, where the calling thread collects
+//! them **in shard order** before merging — preserving the sequential
+//! broker's summation order exactly.
+//!
+//! Workers always deliver *something* for every job they pop — a result, a
+//! `TimedOut` marker when the job's deadline already passed, or `Failed` if
+//! evaluation panicked — so an admitted query can never be silently lost.
+
+use crate::clock::ServeClock;
+use crate::metrics::Metrics;
+use ajax_index::{eval_shard, InvertedIndex, Query, RankWeights, ShardResult, ShardTermStats};
+use ajax_net::Micros;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// What a shard worker sends back for one job.
+#[derive(Debug)]
+pub(crate) enum ShardReply {
+    Evaluated(Vec<ShardResult>, ShardTermStats),
+    /// The job's deadline had already passed when a worker picked it up.
+    TimedOut,
+    /// Evaluation panicked (treated like a missed shard).
+    Failed,
+}
+
+/// Per-query rendezvous: one slot per shard, filled by workers, drained by
+/// the caller. Lives in an `Arc` so a caller that gives up on a deadline can
+/// walk away — late deliveries land in the abandoned state harmlessly.
+pub(crate) struct ReplyState {
+    slots: Mutex<ReplySlots>,
+    arrived_cv: Condvar,
+}
+
+struct ReplySlots {
+    replies: Vec<Option<ShardReply>>,
+    arrived: usize,
+}
+
+impl ReplyState {
+    pub(crate) fn new(shards: usize) -> Self {
+        Self {
+            slots: Mutex::new(ReplySlots {
+                replies: (0..shards).map(|_| None).collect(),
+                arrived: 0,
+            }),
+            arrived_cv: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, shard: usize, reply: ShardReply) {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.replies[shard].is_none() {
+            slots.replies[shard] = Some(reply);
+            slots.arrived += 1;
+        }
+        self.arrived_cv.notify_all();
+    }
+
+    /// Blocks until every shard has replied, then takes the replies.
+    /// Used on the no-deadline and manual-clock paths, where workers are
+    /// guaranteed to reply (possibly with `TimedOut`).
+    pub(crate) fn wait_all(&self) -> Vec<Option<ShardReply>> {
+        let mut slots = self.slots.lock().unwrap();
+        while slots.arrived < slots.replies.len() {
+            slots = self.arrived_cv.wait(slots).unwrap();
+        }
+        std::mem::take(&mut slots.replies)
+    }
+
+    /// Blocks until every shard has replied or the wall clock reaches
+    /// `deadline`, then takes whatever replies arrived.
+    pub(crate) fn wait_until(
+        &self,
+        clock: &ServeClock,
+        deadline: Micros,
+    ) -> Vec<Option<ShardReply>> {
+        let mut slots = self.slots.lock().unwrap();
+        while slots.arrived < slots.replies.len() {
+            let now = clock.now_micros();
+            if now >= deadline {
+                break;
+            }
+            let wait = std::time::Duration::from_micros(deadline - now);
+            let (guard, _timeout) = self.arrived_cv.wait_timeout(slots, wait).unwrap();
+            slots = guard;
+        }
+        std::mem::take(&mut slots.replies)
+    }
+}
+
+/// One unit of shard work, or the shutdown pill.
+pub(crate) enum Job {
+    Eval {
+        query: Arc<Query>,
+        weights: RankWeights,
+        /// Absolute deadline on the server's clock, if any.
+        deadline: Option<Micros>,
+        reply: Arc<ReplyState>,
+    },
+    Shutdown,
+}
+
+/// The MPMC channel one shard's workers consume from.
+pub(crate) struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    available_cv: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        Self {
+            jobs: Mutex::new(VecDeque::new()),
+            available_cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push_back(job);
+        self.available_cv.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return job;
+            }
+            jobs = self.available_cv.wait(jobs).unwrap();
+        }
+    }
+}
+
+/// One shard's queue, swappable index, and worker threads.
+pub(crate) struct ShardPool {
+    queue: Arc<JobQueue>,
+    /// Double `Arc` so workers take a cheap snapshot of the current index
+    /// (`Arc<InvertedIndex>`) and an in-progress reload never blocks behind
+    /// a long evaluation.
+    index: Arc<RwLock<Arc<InvertedIndex>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `workers` threads over `index` for shard `shard_idx`.
+    pub(crate) fn spawn(
+        shard_idx: usize,
+        index: InvertedIndex,
+        workers: usize,
+        clock: ServeClock,
+        metrics: Arc<Metrics>,
+        eval_cost_micros: Micros,
+    ) -> Self {
+        let queue = Arc::new(JobQueue::new());
+        let index = Arc::new(RwLock::new(Arc::new(index)));
+        let handles = (0..workers.max(1))
+            .map(|w| {
+                let queue = Arc::clone(&queue);
+                let index = Arc::clone(&index);
+                let clock = clock.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::Builder::new()
+                    .name(format!("ajax-serve-s{shard_idx}w{w}"))
+                    .spawn(move || {
+                        worker_loop(
+                            shard_idx,
+                            &queue,
+                            &index,
+                            &clock,
+                            &metrics,
+                            eval_cost_micros,
+                        )
+                    })
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            queue,
+            index,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job (and maintains the shard's queue-depth gauge).
+    pub(crate) fn submit(&self, shard_idx: usize, job: Job, metrics: &Metrics) {
+        metrics.shard_queue_depth[shard_idx].fetch_add(1, Ordering::Relaxed);
+        self.queue.push(job);
+    }
+
+    /// Swaps in a new index; subsequent jobs evaluate against it.
+    pub(crate) fn swap_index(&self, index: InvertedIndex) {
+        *self.index.write().unwrap() = Arc::new(index);
+    }
+
+    /// Current index snapshot (diagnostics).
+    pub(crate) fn index(&self) -> Arc<InvertedIndex> {
+        self.index.read().unwrap().clone()
+    }
+
+    /// Sends one shutdown pill per worker and joins them.
+    pub(crate) fn shutdown(&mut self) {
+        for _ in 0..self.workers.len() {
+            self.queue.push(Job::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    shard_idx: usize,
+    queue: &JobQueue,
+    index: &RwLock<Arc<InvertedIndex>>,
+    clock: &ServeClock,
+    metrics: &Metrics,
+    eval_cost_micros: Micros,
+) {
+    loop {
+        let job = queue.pop();
+        let Job::Eval {
+            query,
+            weights,
+            deadline,
+            reply,
+        } = job
+        else {
+            return;
+        };
+        metrics.shard_queue_depth[shard_idx].fetch_sub(1, Ordering::Relaxed);
+
+        // `>=` so a zero-length deadline deterministically times out even
+        // under a manual clock that never advances — the degraded path is
+        // testable without real time.
+        let expired = deadline.is_some_and(|d| clock.now_micros() >= d);
+        let outcome = if expired {
+            ShardReply::TimedOut
+        } else {
+            let snapshot = index.read().unwrap().clone();
+            let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eval_shard(&snapshot, shard_idx, &query, &weights)
+            }));
+            // Under a manual clock, evaluation "costs" virtual time so load
+            // tests can model slow shards deterministically.
+            clock.advance(eval_cost_micros);
+            match evaluated {
+                Ok((results, stats)) => ShardReply::Evaluated(results, stats),
+                Err(_) => ShardReply::Failed,
+            }
+        };
+        reply.deliver(shard_idx, outcome);
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,626 @@
+//! The concurrent shard server: admission control, fan-out, degradation.
+//!
+//! [`ShardServer`] owns one [`pool::ShardPool`](crate::pool) per shard. A
+//! query's life:
+//!
+//! 1. **admission** — a bounded in-flight gate; beyond
+//!    [`ServeConfig::max_in_flight`] the query is shed with
+//!    [`ServeError::Overloaded`] (typed, never silently dropped);
+//! 2. **cache lookup** — a hit answers immediately from the LRU;
+//! 3. **fan-out** — one job per shard is pushed onto the shard queues;
+//!    workers evaluate in parallel and deliver into a per-query slot array;
+//! 4. **merge** — the caller collects replies *in shard order* and runs
+//!    [`ajax_index::merge_shard_outputs`], the same code the sequential
+//!    broker uses, so scores are bit-identical to `QueryBroker::search`;
+//! 5. **degradation** — with a deadline configured, shards that miss it are
+//!    skipped: the response carries whatever arrived, flagged `degraded`,
+//!    with the missing shard ids listed. Degraded results are not cached.
+
+use crate::cache::{cache_key, QueryCache};
+use crate::clock::ServeClock;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::pool::{Job, ReplyState, ShardPool, ShardReply};
+use ajax_index::{merge_shard_outputs, BrokerResult, Query, QueryBroker, RankWeights};
+use ajax_net::Micros;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tunables for a [`ShardServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads per shard (≥ 1).
+    pub workers_per_shard: usize,
+    /// LRU result-cache entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Maximum concurrently admitted queries; excess load is shed with
+    /// [`ServeError::Overloaded`]. 0 sheds everything (drain mode).
+    pub max_in_flight: usize,
+    /// Per-query deadline relative to admission; `None` waits for every
+    /// shard. Shards that miss it are dropped from the merge (degraded
+    /// partial results).
+    pub deadline_micros: Option<Micros>,
+    /// Time source for deadlines, latency, and qps.
+    pub clock: ServeClock,
+    /// Virtual µs a shard evaluation costs under a manual clock (ignored by
+    /// the wall clock). Lets load tests model slow shards deterministically.
+    pub eval_cost_micros: Micros,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers_per_shard: 1,
+            cache_capacity: 256,
+            max_in_flight: 64,
+            deadline_micros: None,
+            clock: ServeClock::wall(),
+            eval_cost_micros: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub fn with_workers_per_shard(mut self, n: usize) -> Self {
+        self.workers_per_shard = n;
+        self
+    }
+
+    pub fn with_cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    pub fn with_max_in_flight(mut self, n: usize) -> Self {
+        self.max_in_flight = n;
+        self
+    }
+
+    pub fn with_deadline_micros(mut self, d: Option<Micros>) -> Self {
+        self.deadline_micros = d;
+        self
+    }
+
+    pub fn with_clock(mut self, clock: ServeClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    pub fn with_eval_cost_micros(mut self, c: Micros) -> Self {
+        self.eval_cost_micros = c;
+        self
+    }
+}
+
+/// Why a query was refused or a reload rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the query: `in_flight` queries were already
+    /// running against a capacity of `max_in_flight`.
+    Overloaded {
+        in_flight: usize,
+        max_in_flight: usize,
+    },
+    /// `reload` was given a broker with a different shard count than the
+    /// server was built with.
+    ShardCountMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                in_flight,
+                max_in_flight,
+            } => write!(
+                f,
+                "overloaded: {in_flight} queries in flight (capacity {max_in_flight})"
+            ),
+            ServeError::ShardCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "reload shard count mismatch: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A served query's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// Globally merged, ranked results (identical to `QueryBroker::search`
+    /// when not degraded).
+    pub results: Vec<BrokerResult>,
+    /// True when at least one shard missed the deadline — `results` then
+    /// covers only the shards that answered.
+    pub degraded: bool,
+    /// Shards absent from the merge (empty unless `degraded`).
+    pub missing_shards: Vec<usize>,
+    /// True when answered from the result cache.
+    pub from_cache: bool,
+    /// Admission-to-response latency on the server's clock.
+    pub latency_micros: Micros,
+}
+
+/// Decrements the in-flight gauge when the query finishes, however it
+/// finishes.
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A long-lived concurrent query server over sharded indexes. Shareable
+/// across client threads (`&self` methods); workers shut down on drop.
+pub struct ShardServer {
+    pools: Vec<ShardPool>,
+    weights: RankWeights,
+    cache: QueryCache,
+    metrics: Arc<Metrics>,
+    config: ServeConfig,
+    in_flight: AtomicUsize,
+    start_micros: Micros,
+}
+
+impl ShardServer {
+    /// Takes over a broker's shards, spawning
+    /// `shards × workers_per_shard` worker threads.
+    pub fn new(broker: QueryBroker, config: ServeConfig) -> Self {
+        let (shards, weights) = broker.into_parts();
+        let metrics = Arc::new(Metrics::new(shards.len()));
+        let pools = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                ShardPool::spawn(
+                    i,
+                    shard,
+                    config.workers_per_shard,
+                    config.clock.clone(),
+                    Arc::clone(&metrics),
+                    config.eval_cost_micros,
+                )
+            })
+            .collect();
+        let start_micros = config.clock.now_micros();
+        Self {
+            pools,
+            weights,
+            cache: QueryCache::new(config.cache_capacity),
+            metrics,
+            config,
+            in_flight: AtomicUsize::new(0),
+            start_micros,
+        }
+    }
+
+    /// Number of shards served.
+    pub fn shard_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Total worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.pools.len() * self.config.workers_per_shard.max(1)
+    }
+
+    /// The rank weights queries are scored with.
+    pub fn weights(&self) -> RankWeights {
+        self.weights
+    }
+
+    /// The server's time source (clone it to drive a manual clock).
+    pub fn clock(&self) -> &ServeClock {
+        &self.config.clock
+    }
+
+    /// Parses `text` and serves it — the convenience entry point.
+    pub fn search(&self, text: &str) -> Result<ServeResponse, ServeError> {
+        self.search_query(&Query::parse(text))
+    }
+
+    /// Serves an already-parsed query: admission → cache → fan-out → merge.
+    pub fn search_query(&self, query: &Query) -> Result<ServeResponse, ServeError> {
+        let admitted_at = self.config.clock.now_micros();
+
+        // Admission control: reserve a slot or shed.
+        let max = self.config.max_in_flight;
+        if self
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .is_err()
+        {
+            self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                in_flight: self.in_flight.load(Ordering::SeqCst),
+                max_in_flight: max,
+            });
+        }
+        let _guard = InFlightGuard(&self.in_flight);
+
+        if query.is_empty() {
+            return Ok(self.finish(admitted_at, Vec::new(), false, Vec::new(), false));
+        }
+
+        // Cache lookup.
+        let key = cache_key(query, &self.weights);
+        if let Some(cached) = self.cache.get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.finish(admitted_at, (*cached).clone(), false, Vec::new(), true));
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Fan out one job per shard.
+        let deadline = self.config.deadline_micros.map(|d| admitted_at + d);
+        let query_arc = Arc::new(query.clone());
+        let reply = Arc::new(ReplyState::new(self.pools.len()));
+        for (shard_idx, pool) in self.pools.iter().enumerate() {
+            pool.submit(
+                shard_idx,
+                Job::Eval {
+                    query: Arc::clone(&query_arc),
+                    weights: self.weights,
+                    deadline,
+                    reply: Arc::clone(&reply),
+                },
+                &self.metrics,
+            );
+        }
+
+        // Collect. Under a wall clock with a deadline the caller enforces it
+        // here (walking away from late shards); otherwise workers reply for
+        // every shard — `TimedOut` when a manual-clock deadline expired.
+        let replies = match (deadline, self.config.clock.is_manual()) {
+            (Some(d), false) => reply.wait_until(&self.config.clock, d),
+            _ => reply.wait_all(),
+        };
+
+        // Merge in shard order — same summation order as the sequential
+        // broker, hence bit-identical scores when nothing is missing.
+        let mut all_results = Vec::new();
+        let mut all_stats = Vec::new();
+        let mut missing = Vec::new();
+        for (shard_idx, slot) in replies.into_iter().enumerate() {
+            match slot {
+                Some(ShardReply::Evaluated(results, stats)) => {
+                    all_results.extend(results);
+                    all_stats.push(stats);
+                }
+                Some(ShardReply::TimedOut) | Some(ShardReply::Failed) | None => {
+                    missing.push(shard_idx)
+                }
+            }
+        }
+        let degraded = !missing.is_empty();
+        let results = merge_shard_outputs(query, &self.weights, all_results, &all_stats);
+
+        if !degraded {
+            let evicted = self.cache.insert(key, Arc::new(results.clone()));
+            self.metrics
+                .cache_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(self.finish(admitted_at, results, degraded, missing, false))
+    }
+
+    fn finish(
+        &self,
+        admitted_at: Micros,
+        results: Vec<BrokerResult>,
+        degraded: bool,
+        missing_shards: Vec<usize>,
+        from_cache: bool,
+    ) -> ServeResponse {
+        let latency_micros = self.config.clock.now_micros().saturating_sub(admitted_at);
+        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        self.metrics.latency.record(latency_micros);
+        ServeResponse {
+            results,
+            degraded,
+            missing_shards,
+            from_cache,
+            latency_micros,
+        }
+    }
+
+    /// Swaps in a freshly built index (same shard count) and invalidates the
+    /// result cache. In-flight queries finish against whichever index their
+    /// shard evaluation snapshots.
+    pub fn reload(&self, broker: QueryBroker) -> Result<(), ServeError> {
+        if broker.shard_count() != self.pools.len() {
+            return Err(ServeError::ShardCountMismatch {
+                expected: self.pools.len(),
+                got: broker.shard_count(),
+            });
+        }
+        let (shards, _weights) = broker.into_parts();
+        for (pool, shard) in self.pools.iter().zip(shards) {
+            pool.swap_index(shard);
+        }
+        self.invalidate_cache();
+        self.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops every cached result (exposed for operational use; `reload`
+    /// calls it automatically).
+    pub fn invalidate_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Total states across shards (diagnostics, mirrors
+    /// `QueryBroker::total_states`).
+    pub fn total_states(&self) -> u64 {
+        self.pools.iter().map(|p| p.index().total_states).sum()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let uptime = self
+            .config
+            .clock
+            .now_micros()
+            .saturating_sub(self.start_micros);
+        self.metrics
+            .snapshot(uptime, self.cache.len(), self.worker_count())
+    }
+
+    /// The snapshot as pretty JSON (what `ajax-search serve` prints).
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics_snapshot()).expect("metrics snapshot serializes")
+    }
+
+    /// Stops all workers (also runs on drop).
+    pub fn shutdown(&mut self) {
+        for pool in &mut self.pools {
+            pool.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_crawl::model::AppModel;
+    use ajax_index::IndexBuilder;
+
+    fn model(url: &str, states: &[&str]) -> AppModel {
+        let mut m = AppModel::new(url);
+        for (i, text) in states.iter().enumerate() {
+            m.add_state(i as u64 + 1, (*text).to_string(), None);
+        }
+        m
+    }
+
+    fn corpus() -> Vec<AppModel> {
+        vec![
+            model("http://x/1", &["wow great video", "more wow content here"]),
+            model("http://x/2", &["dance dance dance", "wow dance"]),
+            model("http://x/3", &["nothing relevant at all"]),
+            model("http://x/4", &["wow", "dance wow", "silence"]),
+            model("http://x/5", &["great dance video wow", "hidden gem"]),
+        ]
+    }
+
+    fn build_broker(per_shard: usize) -> QueryBroker {
+        let shards = corpus()
+            .chunks(per_shard)
+            .map(|chunk| {
+                let mut b = IndexBuilder::new();
+                for m in chunk {
+                    b.add_model(m, Some(0.2));
+                }
+                b.build()
+            })
+            .collect();
+        QueryBroker::new(shards)
+    }
+
+    const QUERIES: &[&str] = &[
+        "wow",
+        "dance",
+        "wow dance",
+        "great video",
+        "hidden",
+        "absent",
+    ];
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        for per_shard in [1, 2, 5] {
+            for workers in [1, 3] {
+                let sequential = build_broker(per_shard);
+                let server = ShardServer::new(
+                    build_broker(per_shard),
+                    ServeConfig::default().with_workers_per_shard(workers),
+                );
+                for q in QUERIES {
+                    let query = Query::parse(q);
+                    let expected = sequential.search(&query);
+                    let got = server.search_query(&query).unwrap();
+                    assert!(!got.degraded);
+                    assert_eq!(expected.len(), got.results.len(), "query {q:?}");
+                    for (e, g) in expected.iter().zip(got.results.iter()) {
+                        assert_eq!(e.url, g.url);
+                        assert_eq!(e.doc, g.doc);
+                        assert_eq!(e.shard, g.shard);
+                        assert_eq!(
+                            e.score.to_bits(),
+                            g.score.to_bits(),
+                            "score bits differ for {q:?}: {} vs {}",
+                            e.score,
+                            g.score
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hit_on_repeat_and_invalidation_on_reload() {
+        let server = ShardServer::new(build_broker(2), ServeConfig::default());
+        let first = server.search("wow dance").unwrap();
+        assert!(!first.from_cache);
+        let second = server.search("wow dance").unwrap();
+        assert!(second.from_cache);
+        assert_eq!(first.results, second.results);
+
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert!(snap.cache_hit_rate > 0.0);
+        assert_eq!(snap.cache_entries, 1);
+
+        server.reload(build_broker(2)).unwrap();
+        let third = server.search("wow dance").unwrap();
+        assert!(!third.from_cache, "reload must invalidate the cache");
+        assert_eq!(third.results, first.results);
+        assert_eq!(server.metrics_snapshot().reloads, 1);
+    }
+
+    #[test]
+    fn reload_with_wrong_shard_count_is_rejected() {
+        let server = ShardServer::new(build_broker(2), ServeConfig::default());
+        let err = server.reload(build_broker(1)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ShardCountMismatch {
+                expected: 3,
+                got: 5
+            }
+        );
+        // The original index still serves.
+        assert!(!server.search("wow").unwrap().results.is_empty());
+    }
+
+    #[test]
+    fn zero_deadline_degrades_deterministically() {
+        let (clock, _handle) = ServeClock::manual();
+        let server = ShardServer::new(
+            build_broker(2),
+            ServeConfig::default()
+                .with_clock(clock)
+                .with_deadline_micros(Some(0)),
+        );
+        let resp = server.search("wow").unwrap();
+        assert!(resp.degraded);
+        assert_eq!(resp.missing_shards, vec![0, 1, 2]);
+        assert!(resp.results.is_empty());
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.degraded, 1);
+        // Degraded results must not be cached.
+        assert_eq!(snap.cache_entries, 0);
+    }
+
+    #[test]
+    fn manual_clock_accounts_eval_cost() {
+        let (clock, _handle) = ServeClock::manual();
+        let server = ShardServer::new(
+            build_broker(2),
+            ServeConfig::default()
+                .with_clock(clock)
+                .with_eval_cost_micros(500),
+        );
+        let resp = server.search("wow").unwrap();
+        assert!(!resp.degraded);
+        // 3 shards × 500 µs of virtual evaluation advanced the clock.
+        assert_eq!(resp.latency_micros, 1_500);
+        let snap = server.metrics_snapshot();
+        assert!(snap.uptime_micros >= 1_500);
+        assert!(snap.qps > 0.0);
+    }
+
+    #[test]
+    fn drain_mode_sheds_everything() {
+        let server = ShardServer::new(
+            build_broker(2),
+            ServeConfig::default().with_max_in_flight(0),
+        );
+        let err = server.search("wow").unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Overloaded {
+                max_in_flight: 0,
+                ..
+            }
+        ));
+        assert_eq!(server.metrics_snapshot().shed, 1);
+    }
+
+    #[test]
+    fn no_query_lost_under_concurrent_overload() {
+        // 8 client threads hammer a capacity-2 server; every request must
+        // come back as either a response or a typed Overloaded error.
+        let server = Arc::new(ShardServer::new(
+            build_broker(1),
+            ServeConfig::default().with_max_in_flight(2),
+        ));
+        const CLIENTS: usize = 8;
+        const PER_CLIENT: usize = 25;
+        let outcomes: Vec<(usize, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let server = Arc::clone(&server);
+                    scope.spawn(move || {
+                        let mut ok = 0;
+                        let mut shed = 0;
+                        for i in 0..PER_CLIENT {
+                            match server.search(QUERIES[(c + i) % QUERIES.len()]) {
+                                Ok(resp) => {
+                                    assert!(!resp.degraded);
+                                    ok += 1;
+                                }
+                                Err(ServeError::Overloaded { .. }) => shed += 1,
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        (ok, shed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let ok: usize = outcomes.iter().map(|o| o.0).sum();
+        let shed: usize = outcomes.iter().map(|o| o.1).sum();
+        assert_eq!(
+            ok + shed,
+            CLIENTS * PER_CLIENT,
+            "every request accounted for"
+        );
+        assert!(ok > 0, "some queries must get through");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.completed as usize, ok);
+        assert_eq!(snap.shed as usize, shed);
+        // The in-flight gauge drained back to zero.
+        assert_eq!(server.in_flight.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn empty_query_answers_empty() {
+        let server = ShardServer::new(build_broker(2), ServeConfig::default());
+        let resp = server.search("   ").unwrap();
+        assert!(resp.results.is_empty());
+        assert!(!resp.degraded);
+        assert_eq!(server.metrics_snapshot().completed, 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = ShardServer::new(build_broker(2), ServeConfig::default());
+        assert!(!server.search("wow").unwrap().results.is_empty());
+        server.shutdown();
+        server.shutdown(); // second call must not hang or panic
+    }
+}

@@ -80,11 +80,10 @@ impl NewsSpec {
     /// Deterministic headline text for `(page, region, slot)`.
     pub fn headline(&self, page: u32, region: &str, slot: u32) -> String {
         let spec = self.text_spec();
-        let mut rng = spec.rng("news-headline", &[
-            page as u64,
-            ajax_dom::fnv64_str(region),
-            slot as u64,
-        ]);
+        let mut rng = spec.rng(
+            "news-headline",
+            &[page as u64, ajax_dom::fnv64_str(region), slot as u64],
+        );
         let mut words = Vec::new();
         for _ in 0..rng.random_range(5..11usize) {
             words.push(crate::text::VOCAB[rng.random_range(0..text::VOCAB.len())]);
@@ -244,14 +243,12 @@ impl Server for NewsShareServer {
             .filter(|p| *p < self.spec.num_pages);
         match (request.url.path.as_str(), page) {
             ("/news", Some(page)) => Response::html(self.news_page(page)),
-            ("/section", Some(page)) => {
-                match request.url.param("s") {
-                    Some(section) if self.spec.sections.iter().any(|s| s == section) => {
-                        Response::html(self.section_fragment(page, section))
-                    }
-                    _ => Response::not_found(),
+            ("/section", Some(page)) => match request.url.param("s") {
+                Some(section) if self.spec.sections.iter().any(|s| s == section) => {
+                    Response::html(self.section_fragment(page, section))
                 }
-            }
+                _ => Response::not_found(),
+            },
             ("/stories", Some(page)) => {
                 match request.url.param("k").and_then(|k| k.parse::<u32>().ok()) {
                     Some(k) if k >= 1 && k <= self.spec.story_pages => {

@@ -257,8 +257,14 @@ mod tests {
 
     #[test]
     fn conjunction_matching_is_word_based() {
-        assert!(matches_conjunction("i love our new song", &["our".into(), "song".into()]));
-        assert!(!matches_conjunction("oursong is here", &["our".into(), "song".into()]));
+        assert!(matches_conjunction(
+            "i love our new song",
+            &["our".into(), "song".into()]
+        ));
+        assert!(!matches_conjunction(
+            "oursong is here",
+            &["our".into(), "song".into()]
+        ));
         assert!(matches_conjunction("WOW amazing", &["wow".into()]));
         assert!(!matches_conjunction("wowza", &["wow".into()]));
     }
@@ -288,10 +294,7 @@ mod tests {
         let w = query_workload();
         let top = ground_truth(&spec, 200, 11, &w[0]).all_page_comments;
         let tail = ground_truth(&spec, 200, 11, &w[90]).all_page_comments;
-        assert!(
-            top > tail,
-            "rank 0 ({top}) should beat rank 90 ({tail})"
-        );
+        assert!(top > tail, "rank 0 ({top}) should beat rank 90 ({tail})");
     }
 
     #[test]
@@ -305,6 +308,9 @@ mod tests {
         };
         let truth = ground_truth(&spec, 1, 11, &q2);
         assert_eq!(truth.first_page_videos, 0, "not on the first page");
-        assert!(truth.state_matches_by_depth[10] >= 1, "found with AJAX states");
+        assert!(
+            truth.state_matches_by_depth[10] >= 1,
+            "found with AJAX states"
+        );
     }
 }

@@ -66,9 +66,7 @@ impl VidShareServer {
             }
         }
         if page < total {
-            nav.push_str(
-                "<span id=\"nextArrow\" class=\"nav\" onclick=\"nextPage()\">next</span>",
-            );
+            nav.push_str("<span id=\"nextArrow\" class=\"nav\" onclick=\"nextPage()\">next</span>");
         }
         nav.push_str("</div>");
         nav

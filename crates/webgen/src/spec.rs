@@ -233,7 +233,10 @@ mod tests {
             .max_by_key(|(_, c)| **c)
             .map(|(k, _)| k)
             .unwrap();
-        assert_eq!(mode, 1, "Fig 7.1: most videos have one comment page; histogram={histogram:?}");
+        assert_eq!(
+            mode, 1,
+            "Fig 7.1: most videos have one comment page; histogram={histogram:?}"
+        );
     }
 
     #[test]
@@ -287,10 +290,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            count >= 295,
-            "BFS from 0 reached only {count}/300 videos"
-        );
+        assert!(count >= 295, "BFS from 0 reached only {count}/300 videos");
     }
 
     #[test]

@@ -13,82 +13,441 @@ use rand::RngExt;
 /// Filler vocabulary, ordered by intended popularity (Zipf rank 0 = most
 /// frequent). 2008-YouTube-comment flavoured.
 pub const VOCAB: &[&str] = &[
-    "the", "this", "is", "so", "i", "love", "it", "best", "video", "ever",
-    "great", "song", "music", "haha", "lol", "cool", "nice", "awesome", "omg",
-    "really", "good", "like", "you", "me", "we", "they", "one", "first",
-    "time", "watch", "again", "cant", "stop", "listening", "amazing", "epic",
-    "wow", "see", "live", "show", "concert", "band", "beat", "drums",
-    "guitar", "voice", "sound", "quality", "part", "favorite", "always",
-    "never", "forget", "remember", "back", "days", "old", "school", "new",
-    "just", "found", "channel", "subscribe", "please", "more", "videos",
-    "upload", "thanks", "sharing", "who", "else", "watching", "year", "club",
-    "anyone", "here", "from", "comments", "section", "page", "next", "wait",
-    "what", "happened", "end", "beginning", "middle", "funny", "laugh",
-    "cried", "tears", "joy", "happy", "sad", "mood", "vibe", "chill",
-    "relax", "study", "work", "gym", "run", "dance", "moves", "steps",
-    "choreo", "singer", "sings", "sang", "lyrics", "words", "meaning",
-    "deep", "true", "real", "fake", "cover", "original", "version", "remix",
-    "better", "worse", "than", "radio", "play", "played", "playing",
-    "repeat", "loop", "hours", "minutes", "seconds", "legend", "legendary",
-    "icon", "iconic", "masterpiece", "art", "artist", "talent", "talented",
-    "gifted", "skill", "skills", "pro", "professional", "beginner", "learn",
-    "learned", "teach", "tutorial", "how", "did", "make", "made", "making",
-    "camera", "edit", "editing", "effects", "light", "lights", "color",
-    "colors", "scene", "scenes", "actor", "actress", "movie", "film",
-    "trailer", "episode", "series", "season", "finale", "ending", "spoiler",
-    "alert", "warning", "careful", "attention", "look", "looking", "looks",
-    "beautiful", "gorgeous", "stunning", "pretty", "cute", "adorable",
-    "sweet", "kind", "gentle", "strong", "power", "powerful", "energy",
-    "energetic", "hype", "hyped", "excited", "exciting", "bored", "boring",
-    "interesting", "curious", "question", "answer", "why", "where", "when",
-    "which", "whose", "because", "reason", "point", "idea", "thought",
-    "think", "thinking", "feel", "feeling", "feels", "heart", "soul",
-    "mind", "brain", "head", "hands", "clap", "clapping", "applause",
-    "crowd", "audience", "fans", "fan", "supporter", "support", "keep",
-    "going", "come", "coming", "came", "went", "gone", "leave", "stay",
-    "moment", "moments", "memory", "memories", "childhood", "grew", "grow",
-    "family", "friends", "friend", "brother", "sister", "mom", "dad",
-    "home", "house", "room", "car", "road", "trip", "travel", "world",
-    "country", "city", "town", "street", "summer", "winter", "spring",
-    "autumn", "night", "day", "morning", "evening", "today", "tomorrow",
-    "yesterday", "week", "month", "hope", "wish", "dream", "dreams",
-    "goal", "goals", "win", "winner", "winning", "lose", "loser", "lost",
-    "game", "games", "player", "players", "team", "teams", "match",
-    "score", "goalie", "kick", "ball", "field", "court", "ring", "fight",
-    "fighter", "boxing", "punch", "round", "champion", "title", "belt",
-    "king", "queen", "prince", "princess", "star", "stars", "sky", "moon",
-    "sun", "light", "dark", "darkness", "shadow", "fire", "water", "earth",
-    "air", "wind", "storm", "rain", "snow", "ice", "cold", "hot", "warm",
+    "the",
+    "this",
+    "is",
+    "so",
+    "i",
+    "love",
+    "it",
+    "best",
+    "video",
+    "ever",
+    "great",
+    "song",
+    "music",
+    "haha",
+    "lol",
+    "cool",
+    "nice",
+    "awesome",
+    "omg",
+    "really",
+    "good",
+    "like",
+    "you",
+    "me",
+    "we",
+    "they",
+    "one",
+    "first",
+    "time",
+    "watch",
+    "again",
+    "cant",
+    "stop",
+    "listening",
+    "amazing",
+    "epic",
+    "wow",
+    "see",
+    "live",
+    "show",
+    "concert",
+    "band",
+    "beat",
+    "drums",
+    "guitar",
+    "voice",
+    "sound",
+    "quality",
+    "part",
+    "favorite",
+    "always",
+    "never",
+    "forget",
+    "remember",
+    "back",
+    "days",
+    "old",
+    "school",
+    "new",
+    "just",
+    "found",
+    "channel",
+    "subscribe",
+    "please",
+    "more",
+    "videos",
+    "upload",
+    "thanks",
+    "sharing",
+    "who",
+    "else",
+    "watching",
+    "year",
+    "club",
+    "anyone",
+    "here",
+    "from",
+    "comments",
+    "section",
+    "page",
+    "next",
+    "wait",
+    "what",
+    "happened",
+    "end",
+    "beginning",
+    "middle",
+    "funny",
+    "laugh",
+    "cried",
+    "tears",
+    "joy",
+    "happy",
+    "sad",
+    "mood",
+    "vibe",
+    "chill",
+    "relax",
+    "study",
+    "work",
+    "gym",
+    "run",
+    "dance",
+    "moves",
+    "steps",
+    "choreo",
+    "singer",
+    "sings",
+    "sang",
+    "lyrics",
+    "words",
+    "meaning",
+    "deep",
+    "true",
+    "real",
+    "fake",
+    "cover",
+    "original",
+    "version",
+    "remix",
+    "better",
+    "worse",
+    "than",
+    "radio",
+    "play",
+    "played",
+    "playing",
+    "repeat",
+    "loop",
+    "hours",
+    "minutes",
+    "seconds",
+    "legend",
+    "legendary",
+    "icon",
+    "iconic",
+    "masterpiece",
+    "art",
+    "artist",
+    "talent",
+    "talented",
+    "gifted",
+    "skill",
+    "skills",
+    "pro",
+    "professional",
+    "beginner",
+    "learn",
+    "learned",
+    "teach",
+    "tutorial",
+    "how",
+    "did",
+    "make",
+    "made",
+    "making",
+    "camera",
+    "edit",
+    "editing",
+    "effects",
+    "light",
+    "lights",
+    "color",
+    "colors",
+    "scene",
+    "scenes",
+    "actor",
+    "actress",
+    "movie",
+    "film",
+    "trailer",
+    "episode",
+    "series",
+    "season",
+    "finale",
+    "ending",
+    "spoiler",
+    "alert",
+    "warning",
+    "careful",
+    "attention",
+    "look",
+    "looking",
+    "looks",
+    "beautiful",
+    "gorgeous",
+    "stunning",
+    "pretty",
+    "cute",
+    "adorable",
+    "sweet",
+    "kind",
+    "gentle",
+    "strong",
+    "power",
+    "powerful",
+    "energy",
+    "energetic",
+    "hype",
+    "hyped",
+    "excited",
+    "exciting",
+    "bored",
+    "boring",
+    "interesting",
+    "curious",
+    "question",
+    "answer",
+    "why",
+    "where",
+    "when",
+    "which",
+    "whose",
+    "because",
+    "reason",
+    "point",
+    "idea",
+    "thought",
+    "think",
+    "thinking",
+    "feel",
+    "feeling",
+    "feels",
+    "heart",
+    "soul",
+    "mind",
+    "brain",
+    "head",
+    "hands",
+    "clap",
+    "clapping",
+    "applause",
+    "crowd",
+    "audience",
+    "fans",
+    "fan",
+    "supporter",
+    "support",
+    "keep",
+    "going",
+    "come",
+    "coming",
+    "came",
+    "went",
+    "gone",
+    "leave",
+    "stay",
+    "moment",
+    "moments",
+    "memory",
+    "memories",
+    "childhood",
+    "grew",
+    "grow",
+    "family",
+    "friends",
+    "friend",
+    "brother",
+    "sister",
+    "mom",
+    "dad",
+    "home",
+    "house",
+    "room",
+    "car",
+    "road",
+    "trip",
+    "travel",
+    "world",
+    "country",
+    "city",
+    "town",
+    "street",
+    "summer",
+    "winter",
+    "spring",
+    "autumn",
+    "night",
+    "day",
+    "morning",
+    "evening",
+    "today",
+    "tomorrow",
+    "yesterday",
+    "week",
+    "month",
+    "hope",
+    "wish",
+    "dream",
+    "dreams",
+    "goal",
+    "goals",
+    "win",
+    "winner",
+    "winning",
+    "lose",
+    "loser",
+    "lost",
+    "game",
+    "games",
+    "player",
+    "players",
+    "team",
+    "teams",
+    "match",
+    "score",
+    "goalie",
+    "kick",
+    "ball",
+    "field",
+    "court",
+    "ring",
+    "fight",
+    "fighter",
+    "boxing",
+    "punch",
+    "round",
+    "champion",
+    "title",
+    "belt",
+    "king",
+    "queen",
+    "prince",
+    "princess",
+    "star",
+    "stars",
+    "sky",
+    "moon",
+    "sun",
+    "light",
+    "dark",
+    "darkness",
+    "shadow",
+    "fire",
+    "water",
+    "earth",
+    "air",
+    "wind",
+    "storm",
+    "rain",
+    "snow",
+    "ice",
+    "cold",
+    "hot",
+    "warm",
 ];
 
 /// Pools used for video titles.
 const ARTISTS: &[&str] = &[
-    "morcheeba", "skyline", "the", "neon", "river", "echo", "velvet",
-    "crimson", "silver", "golden", "midnight", "electric", "cosmic",
-    "urban", "wild", "lunar", "solar", "crystal", "shadow", "thunder",
+    "morcheeba",
+    "skyline",
+    "the",
+    "neon",
+    "river",
+    "echo",
+    "velvet",
+    "crimson",
+    "silver",
+    "golden",
+    "midnight",
+    "electric",
+    "cosmic",
+    "urban",
+    "wild",
+    "lunar",
+    "solar",
+    "crystal",
+    "shadow",
+    "thunder",
 ];
 const ARTIST_SUFFIX: &[&str] = &[
-    "waves", "lights", "hearts", "riders", "kids", "souls", "birds",
-    "wolves", "tigers", "foxes", "queens", "kings", "dreamers", "rebels",
-    "angels", "ghosts", "pilots", "sailors", "dancers", "drifters",
+    "waves", "lights", "hearts", "riders", "kids", "souls", "birds", "wolves", "tigers", "foxes",
+    "queens", "kings", "dreamers", "rebels", "angels", "ghosts", "pilots", "sailors", "dancers",
+    "drifters",
 ];
 const TOPICS: &[&str] = &[
-    "enjoy", "forever", "tonight", "yesterday", "sunrise", "sunset",
-    "horizon", "gravity", "velocity", "paradise", "wonder", "mystery",
-    "journey", "freedom", "silence", "thunder", "lightning", "ocean",
-    "desert", "mountain",
+    "enjoy",
+    "forever",
+    "tonight",
+    "yesterday",
+    "sunrise",
+    "sunset",
+    "horizon",
+    "gravity",
+    "velocity",
+    "paradise",
+    "wonder",
+    "mystery",
+    "journey",
+    "freedom",
+    "silence",
+    "thunder",
+    "lightning",
+    "ocean",
+    "desert",
+    "mountain",
 ];
 const FORMS: &[&str] = &[
-    "official video", "live performance", "acoustic session", "music video",
-    "lyric video", "full concert", "behind the scenes", "interview",
-    "dance cover", "guitar tutorial", "drum cover", "piano version",
-    "remix", "mashup", "reaction", "compilation", "highlights", "trailer",
-    "episode one", "documentary",
+    "official video",
+    "live performance",
+    "acoustic session",
+    "music video",
+    "lyric video",
+    "full concert",
+    "behind the scenes",
+    "interview",
+    "dance cover",
+    "guitar tutorial",
+    "drum cover",
+    "piano version",
+    "remix",
+    "mashup",
+    "reaction",
+    "compilation",
+    "highlights",
+    "trailer",
+    "episode one",
+    "documentary",
 ];
 const UPLOADERS: &[&str] = &[
-    "musicfan88", "veejay", "clipmaster", "studio54", "indiehead",
-    "bassline", "drumroll", "vinyljunkie", "concertgoer", "roadie",
-    "mixtape", "headphones", "subwoofer", "treble", "falsetto",
+    "musicfan88",
+    "veejay",
+    "clipmaster",
+    "studio54",
+    "indiehead",
+    "bassline",
+    "drumroll",
+    "vinyljunkie",
+    "concertgoer",
+    "roadie",
+    "mixtape",
+    "headphones",
+    "subwoofer",
+    "treble",
+    "falsetto",
 ];
 
 /// Samples a filler word with Zipf(1.0) rank weighting.
@@ -135,12 +494,10 @@ fn showcase_comment(page: u32, slot: u32) -> Option<String> {
     match (page, slot) {
         (1, 0) => Some("first comment! enjoy the ride is such a great song".into()),
         (1, 1) => Some("saw them live last month, the show was amazing".into()),
-        (2, 0) => Some(
-            "this mysterious video is their best work, morcheeba never disappoints".into(),
-        ),
-        (2, 1) => Some(
-            "the new singer on enjoy the ride is daisy martey, what a voice".into(),
-        ),
+        (2, 0) => {
+            Some("this mysterious video is their best work, morcheeba never disappoints".into())
+        }
+        (2, 1) => Some("the new singer on enjoy the ride is daisy martey, what a voice".into()),
         (3, 0) => Some("still watching this in 2008, a timeless classic".into()),
         _ => None,
     }
@@ -215,13 +572,17 @@ mod tests {
         for slot in 0..total {
             let text = comment_text(&spec, 7, 1, slot);
             if phrases.iter().any(|p| {
-                p.split_whitespace().all(|w| text.split_whitespace().any(|t| t == w))
+                p.split_whitespace()
+                    .all(|w| text.split_whitespace().any(|t| t == w))
             }) {
                 hits += 1;
             }
         }
         // Injection rate 0.5 plus organic occurrences ⇒ comfortably over 30 %.
-        assert!(hits > total * 3 / 10, "only {hits}/{total} comments carry a phrase");
+        assert!(
+            hits > total * 3 / 10,
+            "only {hits}/{total} comments carry a phrase"
+        );
     }
 
     #[test]
@@ -239,7 +600,10 @@ mod tests {
 
     #[test]
     fn titles_vary() {
-        let spec = VidShareSpec { showcase: false, ..VidShareSpec::default() };
+        let spec = VidShareSpec {
+            showcase: false,
+            ..VidShareSpec::default()
+        };
         let mut rng1 = spec.rng("video-meta", &[1]);
         let mut rng2 = spec.rng("video-meta", &[2]);
         let (t1, _, _) = video_text(&spec, 1, &mut rng1);

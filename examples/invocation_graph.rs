@@ -18,7 +18,12 @@ fn show(site: &str, html: &str) {
     for f in analysis.graph.functions() {
         let marker = if f.direct_ajax { "  [HOT NODE]" } else { "" };
         let calls: Vec<&str> = f.calls.iter().map(String::as_str).collect();
-        println!("  {}({}) -> {:?}{marker}", f.name, f.params.join(", "), calls);
+        println!(
+            "  {}({}) -> {:?}{marker}",
+            f.name,
+            f.params.join(", "),
+            calls
+        );
     }
     println!("hot nodes: {:?}", analysis.graph.hot_nodes());
     let reach = analysis.graph.reaches_network();
@@ -48,7 +53,8 @@ fn main() {
         .unwrap_or(0);
     show(
         "VidShare watch page (YouTube-like, 1 hot node)",
-        &vid.handle(&Request::get(format!("/watch?v={video}").as_str())).body,
+        &vid.handle(&Request::get(format!("/watch?v={video}").as_str()))
+            .body,
     );
 
     let news = NewsShareServer::new(NewsSpec::small(10));

@@ -35,10 +35,7 @@ fn main() {
         partitions.len()
     );
 
-    println!(
-        "{:>6} {:>14} {:>10}",
-        "lines", "makespan (s)", "speedup"
-    );
+    println!("{:>6} {:>14} {:>10}", "lines", "makespan (s)", "speedup");
     for lines in [1usize, 2, 4, 8] {
         let mp = MpCrawler::new(
             Arc::clone(&server) as Arc<dyn Server>,
@@ -72,8 +69,7 @@ fn main() {
     );
     for query in ["wow", "our song", "american idol"] {
         let results = engine.search(query);
-        let shards_hit: std::collections::BTreeSet<_> =
-            results.iter().map(|r| r.shard).collect();
+        let shards_hit: std::collections::BTreeSet<_> = results.iter().map(|r| r.shard).collect();
         println!(
             "query {query:?}: {} results merged from {} shard(s)",
             results.len(),

@@ -1,0 +1,90 @@
+//! Concurrent query serving with `ajax-serve`.
+//!
+//! Builds a small VidShare index, turns it into an in-process
+//! [`ShardServer`] (one worker pool per shard), then fires 1 000 queries
+//! from 8 client threads — a mix of repeated hot queries (exercising the
+//! LRU result cache) and the thesis' 100-query workload — and prints the
+//! server's metrics snapshot.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_net::Url;
+use ajax_serve::{ServeConfig, ServeError};
+use ajax_webgen::queries::query_phrases;
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+const QUERIES_PER_CLIENT: usize = 125; // 8 × 125 = 1 000 queries total
+
+fn main() {
+    // Build the index: 60 videos, AJAX crawl, per-partition shards.
+    let spec = VidShareSpec::small(60);
+    let start = Url::parse(&spec.watch_url(0));
+    let site = Arc::new(VidShareServer::new(spec));
+    let engine = AjaxSearchEngine::build(site, &start, EngineConfig::ajax(60));
+    println!(
+        "index: {} pages, {} states, {} shards",
+        engine.report.pages_crawled, engine.report.total_states, engine.report.shards
+    );
+
+    // Start the server in-process: 2 workers per shard, result cache on,
+    // admission capped at 32 concurrent queries.
+    let server = Arc::new(
+        engine.into_server(
+            ServeConfig::default()
+                .with_workers_per_shard(2)
+                .with_cache_capacity(128)
+                .with_max_in_flight(32),
+        ),
+    );
+    println!(
+        "server: {} workers over {} shards\n",
+        server.worker_count(),
+        server.shard_count()
+    );
+
+    // 8 closed-loop clients; each cycles through the 100-query workload at
+    // its own offset, so popular queries repeat across clients and the
+    // cache gets real hits.
+    let workload = query_phrases();
+    let t0 = std::time::Instant::now();
+    let (answered, shed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    let mut answered = 0u64;
+                    let mut shed = 0u64;
+                    for i in 0..QUERIES_PER_CLIENT {
+                        let q = workload[(c * 13 + i) % workload.len()];
+                        match server.search(q) {
+                            Ok(_) => answered += 1,
+                            Err(ServeError::Overloaded { .. }) => shed += 1,
+                            Err(e) => panic!("unexpected serve error: {e}"),
+                        }
+                    }
+                    (answered, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0u64, 0u64), |(a, s), (ca, cs)| (a + ca, s + cs))
+    });
+    let elapsed = t0.elapsed();
+
+    println!(
+        "{} queries from {CLIENTS} clients in {:.1} ms ({} answered, {} shed, 0 lost)",
+        CLIENTS * QUERIES_PER_CLIENT,
+        elapsed.as_secs_f64() * 1e3,
+        answered,
+        shed,
+    );
+
+    println!("\nmetrics snapshot:\n{}", server.metrics_json());
+}

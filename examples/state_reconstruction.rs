@@ -53,10 +53,7 @@ fn main() {
         };
         let doc = reconstruct_state(&model, state.id).expect("replay");
         let ok = doc.content_hash() == state.hash;
-        println!(
-            "state {}: replayed via {path_str}",
-            state.id
-        );
+        println!("state {}: replayed via {path_str}", state.id);
         println!(
             "   hash {:#018x}  match: {}",
             doc.content_hash(),

@@ -30,12 +30,23 @@ fn main() {
     let ajax = AjaxSearchEngine::build(server, &start, EngineConfig::ajax(50));
 
     let queries = [
-        ("Q1", "morcheeba enjoy the ride", "title only — both engines find it"),
+        (
+            "Q1",
+            "morcheeba enjoy the ride",
+            "title only — both engines find it",
+        ),
         ("Q2", "morcheeba mysterious video", "needs comment page 2"),
-        ("Q3", "morcheeba enjoy the ride singer", "title + page-2 comment"),
+        (
+            "Q3",
+            "morcheeba enjoy the ride singer",
+            "title + page-2 comment",
+        ),
     ];
 
-    println!("{:<4} {:<34} {:>12} {:>12}", "id", "query", "traditional", "ajax");
+    println!(
+        "{:<4} {:<34} {:>12} {:>12}",
+        "id", "query", "traditional", "ajax"
+    );
     println!("{}", "-".repeat(66));
     for (id, query, _) in &queries {
         let t = traditional.search(query).len();

@@ -70,14 +70,20 @@ fn hot_node_policy_does_not_change_search_results() {
     let uncached = AjaxSearchEngine::build(server, &start, no_cache_cfg);
 
     for q in ["wow", "dance", "morcheeba mysterious video", "our song"] {
-        let a: Vec<_> = cached.search(q).iter().map(|r| (r.url.clone(), r.doc.state)).collect();
-        let b: Vec<_> = uncached.search(q).iter().map(|r| (r.url.clone(), r.doc.state)).collect();
+        let a: Vec<_> = cached
+            .search(q)
+            .iter()
+            .map(|r| (r.url.clone(), r.doc.state))
+            .collect();
+        let b: Vec<_> = uncached
+            .search(q)
+            .iter()
+            .map(|r| (r.url.clone(), r.doc.state))
+            .collect();
         assert_eq!(a, b, "query {q:?}");
     }
     // But the cached build must have been cheaper on the network.
-    assert!(
-        cached.report.crawl.ajax_network_calls < uncached.report.crawl.ajax_network_calls
-    );
+    assert!(cached.report.crawl.ajax_network_calls < uncached.report.crawl.ajax_network_calls);
 }
 
 #[test]
@@ -90,9 +96,7 @@ fn partition_size_does_not_change_search_results() {
     });
     let engines: Vec<_> = configs
         .into_iter()
-        .map(|c| {
-            AjaxSearchEngine::build(Arc::clone(&server) as Arc<dyn Server>, &start, c)
-        })
+        .map(|c| AjaxSearchEngine::build(Arc::clone(&server) as Arc<dyn Server>, &start, c))
         .collect();
     for q in ["wow", "kiss", "american idol"] {
         let reference: Vec<_> = engines[0]

@@ -177,7 +177,10 @@ fn flaky_server_page_fetches_reported_and_skipped() {
     );
     assert_eq!(partition.failures.len() + partition.models.len(), 12);
     for (_, err) in &partition.failures {
-        assert!(matches!(err, ajax_crawl::crawler::CrawlError::Http { status: 500, .. }));
+        assert!(matches!(
+            err,
+            ajax_crawl::crawler::CrawlError::Http { status: 500, .. }
+        ));
     }
 }
 

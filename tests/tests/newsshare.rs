@@ -14,7 +14,11 @@ fn crawl_news(page: u32, config: CrawlConfig) -> (ajax_crawl::model::AppModel, P
     let spec = NewsSpec::small(30);
     let url = Url::parse(&spec.page_url(page));
     let server = Arc::new(NewsShareServer::new(spec));
-    let mut crawler = Crawler::new(server as Arc<dyn Server>, LatencyModel::Fixed(5_000), config);
+    let mut crawler = Crawler::new(
+        server as Arc<dyn Server>,
+        LatencyModel::Fixed(5_000),
+        config,
+    );
     let result = crawler.crawl_page(&url).expect("crawl");
     (result.model, result.stats)
 }
@@ -51,7 +55,11 @@ fn two_hot_nodes_cache_all_repeat_calls() {
     // Distinct fetches: 3 sections + 3 story pages = 6 (section 0 and page 1
     // are also fetchable via events, their inline copies never hit the
     // cache); the cap is 6 network calls with caching.
-    assert!(cached.ajax_network_calls <= 6, "{}", cached.ajax_network_calls);
+    assert!(
+        cached.ajax_network_calls <= 6,
+        "{}",
+        cached.ajax_network_calls
+    );
     assert!(
         uncached.ajax_network_calls > cached.ajax_network_calls * 3,
         "dense event collisions should save >3x: {} vs {}",

@@ -20,7 +20,9 @@ fn crawl_video(seed: u64, video: u32, config: CrawlConfig) -> ajax_crawl::model:
     let server = Arc::new(VidShareServer::new(spec));
     let mut crawler = Crawler::new(server as Arc<dyn Server>, LatencyModel::Zero, config);
     crawler
-        .crawl_page(&Url::parse(&format!("http://vidshare.example/watch?v={video}")))
+        .crawl_page(&Url::parse(&format!(
+            "http://vidshare.example/watch?v={video}"
+        )))
         .expect("crawl")
         .model
 }

@@ -1,0 +1,131 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group-based benchmarking API this workspace's benches use
+//! (`benchmark_group` / `throughput` / `sample_size` / `bench_function` /
+//! `finish`, plus the `criterion_group!` / `criterion_main!` macros) with a
+//! simple median-of-samples wall-clock timer. Not statistically rigorous —
+//! it exists so `cargo bench` runs offline and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(2);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // One warm-up run, then timed samples.
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let rate = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  ({rate:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let rate = n as f64 / median.as_secs_f64();
+                format!("  ({rate:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: median {:?} over {} samples{extra}",
+            self.name,
+            median,
+            samples.len()
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        drop(out);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; ignore them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,874 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: [`Strategy`] with `prop_map` / `prop_recursive`, range and tuple
+//! strategies, `collection::vec`, a regex-subset string generator (so
+//! `"[a-z]{1,6}"`-style literals work), `any::<T>()`, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` / `prop_oneof!` macros.
+//!
+//! No shrinking: a failing case reports its deterministic seed and the
+//! generated inputs instead. Generation is seeded per test name, so runs
+//! are reproducible.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod prelude {
+    pub use crate::strategy::{ArcStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use strategy::{ArcStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+// ------------------------------------------------------------------- rng
+
+/// Deterministic SplitMix64 generator used for all value generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end);
+        range.start + self.below((range.end - range.start) as u64) as usize
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of one type. Unlike real proptest there is no
+    /// value tree / shrinking; `generate` produces a value directly.
+    pub trait Strategy {
+        type Value: fmt::Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `recurse` receives a strategy for
+        /// the previous depth level and returns one producing a node above
+        /// it. `depth` bounds nesting; the size hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(ArcStrategy<Self::Value>) -> R,
+        {
+            let leaf = arc(self);
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = arc(recurse(current));
+                // Mix in leaves at every level so generated trees vary in
+                // depth rather than always bottoming out at `depth`.
+                current = arc(Union {
+                    options: vec![leaf.clone(), deeper],
+                });
+            }
+            current
+        }
+
+        fn boxed(self) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            arc(self)
+        }
+    }
+
+    /// Type-erased, clonable strategy (stands in for `BoxedStrategy`).
+    pub struct ArcStrategy<T> {
+        gen: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for ArcStrategy<T> {
+        fn clone(&self) -> Self {
+            ArcStrategy {
+                gen: Arc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for ArcStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    pub fn arc<S: Strategy + 'static>(s: S) -> ArcStrategy<S::Value> {
+        ArcStrategy {
+            gen: Arc::new(move |rng| s.generate(rng)),
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (built by `prop_oneof!`).
+    pub struct Union<T> {
+        pub options: Vec<ArcStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<ArcStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_in(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add((rng.below(span)) as $t)
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `&str` literals are regex-subset string strategies.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::regex_gen::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::regex_gen::generate(self, rng)
+        }
+    }
+}
+
+// ------------------------------------------------------------- arbitrary
+
+pub trait Arbitrary: Sized + fmt::Debug {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub struct AnyStrategy<T> {
+    gen: fn(&mut TestRng) -> T,
+}
+
+impl<T: fmt::Debug> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { gen: |rng| rng.next_u64() as $t }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = AnyStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy {
+            gen: |rng| rng.next_u64() & 1 == 1,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyStrategy<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyStrategy {
+            gen: |rng| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64),
+        }
+    }
+}
+
+/// `any::<T>()` — the full-range strategy for a primitive type.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ------------------------------------------------------------ collection
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.len.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose length falls in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range in collection::vec");
+        VecStrategy { element, len }
+    }
+}
+
+// ------------------------------------------------------------- regex gen
+
+/// Generator for the regex subset used by this workspace's string
+/// strategies: literals, `\`-escapes (incl. `\PC` = any non-control char),
+/// character classes with ranges, groups with alternation, and the
+/// quantifiers `* + ? {m} {m,n}`.
+mod regex_gen {
+    use super::TestRng;
+
+    const STAR_MAX: usize = 16;
+
+    #[derive(Debug)]
+    enum Node {
+        Lit(char),
+        /// Any char that is not a Unicode control/format char (`\PC`).
+        NonControl,
+        Class(Vec<(char, char)>),
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos);
+        assert!(
+            pos == chars.len(),
+            "regex stub: could not parse {pattern:?} (stopped at {pos})"
+        );
+        let mut out = String::new();
+        emit(&node, rng, &mut out);
+        out
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+        let mut options = vec![parse_seq(chars, pos)];
+        while chars.get(*pos) == Some(&'|') {
+            *pos += 1;
+            options.push(parse_seq(chars, pos));
+        }
+        if options.len() == 1 {
+            options.pop().unwrap()
+        } else {
+            Node::Alt(options)
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+        let mut items = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = parse_atom(chars, pos);
+            items.push(parse_quantifier(chars, pos, atom));
+        }
+        if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Node::Seq(items)
+        }
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos);
+                assert_eq!(chars.get(*pos), Some(&')'), "regex stub: unclosed group");
+                *pos += 1;
+                inner
+            }
+            '[' => {
+                *pos += 1;
+                parse_class(chars, pos)
+            }
+            '\\' => {
+                *pos += 1;
+                let c = chars[*pos];
+                *pos += 1;
+                match c {
+                    'P' | 'p' => {
+                        // Only `\PC` (not-control) is supported.
+                        let prop = chars[*pos];
+                        *pos += 1;
+                        assert_eq!(prop, 'C', "regex stub: only \\PC is supported");
+                        Node::NonControl
+                    }
+                    'd' => Node::Class(vec![('0', '9')]),
+                    'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Node::Class(vec![(' ', ' '), ('\t', '\t')]),
+                    'n' => Node::Lit('\n'),
+                    't' => Node::Lit('\t'),
+                    'r' => Node::Lit('\r'),
+                    other => Node::Lit(other),
+                }
+            }
+            '.' => {
+                *pos += 1;
+                Node::NonControl
+            }
+            other => {
+                *pos += 1;
+                Node::Lit(other)
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Node {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = *chars
+                .get(*pos)
+                .unwrap_or_else(|| panic!("regex stub: unclosed class"));
+            *pos += 1;
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    assert!(!ranges.is_empty(), "regex stub: empty class");
+                    return Node::Class(ranges);
+                }
+                '-' if pending.is_some() && chars.get(*pos) != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let mut hi = chars[*pos];
+                    *pos += 1;
+                    if hi == '\\' {
+                        hi = chars[*pos];
+                        *pos += 1;
+                    }
+                    assert!(lo <= hi, "regex stub: inverted class range");
+                    ranges.push((lo, hi));
+                }
+                '\\' => {
+                    if let Some(p) = pending.replace(chars[*pos]) {
+                        ranges.push((p, p));
+                    }
+                    *pos += 1;
+                }
+                other => {
+                    if let Some(p) = pending.replace(other) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+        match chars.get(*pos) {
+            Some('*') => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, STAR_MAX)
+            }
+            Some('+') => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 1, STAR_MAX)
+            }
+            Some('?') => {
+                *pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = 0usize;
+                while chars[*pos].is_ascii_digit() {
+                    min = min * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                    *pos += 1;
+                }
+                let max = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut max = 0usize;
+                    while chars[*pos].is_ascii_digit() {
+                        max = max * 10 + chars[*pos].to_digit(10).unwrap() as usize;
+                        *pos += 1;
+                    }
+                    max
+                } else {
+                    min
+                };
+                assert_eq!(chars[*pos], '}', "regex stub: unclosed quantifier");
+                *pos += 1;
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::NonControl => out.push(non_control_char(rng)),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u64 - lo as u64 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                        return;
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+            Node::Seq(items) => {
+                for item in items {
+                    emit(item, rng, out);
+                }
+            }
+            Node::Alt(options) => {
+                let i = rng.usize_in(0..options.len());
+                emit(&options[i], rng, out);
+            }
+            Node::Repeat(inner, min, max) => {
+                let n = min + rng.below((*max - *min + 1) as u64) as usize;
+                for _ in 0..n {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// A char outside Unicode category C — mostly printable ASCII, with a
+    /// sprinkling of multi-byte chars to exercise UTF-8 handling.
+    fn non_control_char(rng: &mut TestRng) -> char {
+        const EXOTIC: &[char] = &['é', 'ß', 'λ', '你', '好', '→', '€', '😀', '∑', '¿'];
+        if rng.below(10) == 0 {
+            EXOTIC[rng.usize_in(0..EXOTIC.len())]
+        } else {
+            char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+        }
+    }
+}
+
+// ------------------------------------------------------------ test runner
+
+pub mod test_runner {
+    use super::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in text.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Drives one `proptest!` test: runs `config.cases` accepted cases with
+    /// per-case deterministic seeds derived from the test name.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let base = fnv1a(name);
+        let mut accepted = 0u32;
+        let mut rejects = 0u32;
+        let mut attempt = 0u64;
+        while accepted < config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            attempt += 1;
+            let mut rng = TestRng::new(seed);
+            let (inputs, result) = case(&mut rng);
+            match result {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > config.max_global_rejects {
+                        panic!(
+                            "proptest stub: {name} rejected {rejects} inputs \
+                             (accepted {accepted}/{} cases)",
+                            config.cases
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case failed: {name} (seed {seed:#x})\n  inputs: {inputs}\n  {msg}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Renders a caught panic payload for failure messages.
+    pub fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(stringify!($name), &__config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(concat!(stringify!($arg), " = "));
+                        __s.push_str(&format!("{:?}, ", &$arg));
+                    )+
+                    __s
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            let _: () = $body;
+                            ::std::result::Result::Ok(())
+                        }
+                    )
+                );
+                let __result = match __outcome {
+                    ::std::result::Result::Ok(r) => r,
+                    ::std::result::Result::Err(payload) => ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(
+                            format!("panicked: {}", $crate::test_runner::payload_to_string(payload)),
+                        ),
+                    ),
+                };
+                (__inputs, __result)
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::arc($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_shapes() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = Strategy::generate(&"(<b>|</b>|[a-z ]{0,8}){0,12}", &mut rng);
+            assert!(t
+                .chars()
+                .all(|c| "</b>abcdefghijklmnopqrstuvwxyz ".contains(c)));
+
+            let u = Strategy::generate(&"[ -~]{0,40}", &mut rng);
+            assert!(u.chars().all(|c| (' '..='~').contains(&c)));
+
+            let v = Strategy::generate(&"\\PC*", &mut rng);
+            assert!(v.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in -50i32..50, b in 1usize..8) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((1..8).contains(&b));
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..100) {
+            prop_assume!(x != 50);
+            prop_assert_ne!(x, 50);
+        }
+
+        #[test]
+        fn question_mark_works(x in 0u32..10) {
+            let y: u32 = format!("{x}")
+                .parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(x, y);
+        }
+
+        #[test]
+        fn vec_and_oneof(items in crate::collection::vec(prop_oneof![0u32..5, 10u32..15], 1..6)) {
+            prop_assert!(!items.is_empty());
+            for item in items {
+                prop_assert!((0..5).contains(&item) || (10..15).contains(&item));
+            }
+        }
+    }
+}
