@@ -10,8 +10,11 @@
 //! Implementation: a `HashMap` plus a recency `VecDeque` of
 //! `(key, stamp)` pairs with lazy deletion — bumping an entry pushes a fresh
 //! stamped pair instead of splicing the queue, and eviction pops pairs until
-//! one's stamp matches the map's current stamp for that key. Amortized O(1),
-//! single `Mutex`, no dependency on an external LRU crate.
+//! one's stamp matches the map's current stamp for that key. The queue is
+//! additionally compacted (stale pairs swept) whenever it outgrows twice the
+//! capacity, so hit-heavy workloads below capacity can't grow it without
+//! bound. Amortized O(1), single `Mutex`, no dependency on an external LRU
+//! crate.
 
 use ajax_index::{BrokerResult, Query, RankWeights};
 use std::collections::HashMap;
@@ -48,13 +51,29 @@ struct Inner {
 }
 
 impl Inner {
-    fn bump(&mut self, key: &str) {
+    fn bump(&mut self, key: &str, capacity: usize) {
         let stamp = self.next_stamp;
         self.next_stamp += 1;
         if let Some(e) = self.map.get_mut(key) {
             e.stamp = stamp;
         }
         self.recency.push_back((key.to_string(), stamp));
+        // Lazy deletion alone only sheds stale pairs under eviction
+        // pressure; a hit-heavy workload whose working set stays below
+        // capacity would grow the queue one pair per hit forever. Compact
+        // whenever the queue outgrows a small multiple of capacity — the
+        // O(len) sweep runs at most once per O(capacity) bumps, keeping the
+        // amortized cost O(1).
+        if self.recency.len() > capacity.saturating_mul(2).max(16) {
+            self.compact();
+        }
+    }
+
+    /// Drops every recency pair that is not its key's live (latest) stamp,
+    /// leaving exactly one pair per cached entry.
+    fn compact(&mut self) {
+        let Inner { map, recency, .. } = self;
+        recency.retain(|(key, stamp)| map.get(key).is_some_and(|e| e.stamp == *stamp));
     }
 
     /// Pops stale recency pairs until the front is the live pair of its key,
@@ -111,7 +130,7 @@ impl QueryCache {
         }
         let mut inner = self.inner.lock().unwrap();
         let value = inner.map.get(key)?.value.clone();
-        inner.bump(key);
+        inner.bump(key, self.capacity);
         Some(value)
     }
 
@@ -123,7 +142,7 @@ impl QueryCache {
         }
         let mut inner = self.inner.lock().unwrap();
         inner.map.insert(key.clone(), Entry { value, stamp: 0 });
-        inner.bump(&key);
+        inner.bump(&key, self.capacity);
         let mut evicted = 0;
         while inner.map.len() > self.capacity {
             if inner.evict_lru() {
@@ -205,6 +224,24 @@ mod tests {
         assert_eq!(cache.insert("a".into(), val(1)), 0);
         assert!(cache.get("a").is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_repeated_hits() {
+        let cache = QueryCache::new(4);
+        cache.insert("a".into(), val(1));
+        cache.insert("b".into(), val(2));
+        for _ in 0..10_000 {
+            assert!(cache.get("a").is_some());
+            assert!(cache.get("b").is_some());
+        }
+        let inner = cache.inner.lock().unwrap();
+        assert_eq!(inner.map.len(), 2);
+        assert!(
+            inner.recency.len() <= 16,
+            "recency queue leaked: {} pairs for 2 live entries",
+            inner.recency.len()
+        );
     }
 
     #[test]

@@ -57,9 +57,16 @@ impl ReplyState {
 
     fn deliver(&self, shard: usize, reply: ShardReply) {
         let mut slots = self.slots.lock().unwrap();
-        if slots.replies[shard].is_none() {
-            slots.replies[shard] = Some(reply);
-            slots.arrived += 1;
+        // A caller that hit its wall-clock deadline has already taken the
+        // slot array (`wait_until`); a late reply then finds no slot and is
+        // dropped — never an out-of-bounds panic, which would kill the
+        // worker and poison this mutex.
+        let ReplySlots { replies, arrived } = &mut *slots;
+        if let Some(slot) = replies.get_mut(shard) {
+            if slot.is_none() {
+                *slot = Some(reply);
+                *arrived += 1;
+            }
         }
         self.arrived_cv.notify_all();
     }
@@ -262,5 +269,35 @@ fn worker_loop(
 impl Drop for ShardPool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_delivery_after_deadline_abandonment_is_dropped() {
+        let state = ReplyState::new(2);
+        state.deliver(0, ShardReply::TimedOut);
+        // Deadline 0 is already past on a wall clock, so the caller takes
+        // whatever arrived and walks away.
+        let taken = state.wait_until(&ServeClock::wall(), 0);
+        assert_eq!(taken.len(), 2);
+        assert!(taken[0].is_some());
+        assert!(taken[1].is_none());
+        // A slow worker replying after abandonment must be a harmless no-op
+        // (this used to index the taken-away Vec out of bounds and panic).
+        state.deliver(1, ShardReply::TimedOut);
+        state.deliver(0, ShardReply::Failed);
+    }
+
+    #[test]
+    fn duplicate_delivery_keeps_first_reply() {
+        let state = ReplyState::new(1);
+        state.deliver(0, ShardReply::TimedOut);
+        state.deliver(0, ShardReply::Failed);
+        let taken = state.wait_all();
+        assert!(matches!(taken[0], Some(ShardReply::TimedOut)));
     }
 }

@@ -23,7 +23,7 @@ use crate::pool::{Job, ReplyState, ShardPool, ShardReply};
 use ajax_index::{merge_shard_outputs, BrokerResult, Query, QueryBroker, RankWeights};
 use ajax_net::Micros;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tunables for a [`ShardServer`].
@@ -93,7 +93,7 @@ impl ServeConfig {
 }
 
 /// Why a query was refused or a reload rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// Admission control shed the query: `in_flight` queries were already
     /// running against a capacity of `max_in_flight`.
@@ -104,6 +104,17 @@ pub enum ServeError {
     /// `reload` was given a broker with a different shard count than the
     /// server was built with.
     ShardCountMismatch { expected: usize, got: usize },
+    /// `reload` was given a broker built with different rank weights than
+    /// the server scores and cache-keys with (compared bit-for-bit, like
+    /// the cache key). Serving the new shards under the old weights would
+    /// silently diverge from a fresh broker.
+    WeightsMismatch {
+        expected: RankWeights,
+        got: RankWeights,
+    },
+    /// The server's `shutdown` has run; its workers are gone, so queries
+    /// can no longer be served.
+    ShuttingDown,
 }
 
 impl fmt::Display for ServeError {
@@ -122,8 +133,27 @@ impl fmt::Display for ServeError {
                     "reload shard count mismatch: expected {expected}, got {got}"
                 )
             }
+            ServeError::WeightsMismatch { expected, got } => {
+                write!(
+                    f,
+                    "reload rank weights mismatch: server uses {expected:?}, \
+                     reloaded index was built with {got:?}"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
+}
+
+/// The four rank weights as bit patterns — the same identity the cache key
+/// uses, since cached scores are only valid for bit-identical weights.
+fn weights_bits(w: &RankWeights) -> [u64; 4] {
+    [
+        w.pagerank.to_bits(),
+        w.ajaxrank.to_bits(),
+        w.tfidf.to_bits(),
+        w.proximity.to_bits(),
+    ]
 }
 
 impl std::error::Error for ServeError {}
@@ -164,6 +194,7 @@ pub struct ShardServer {
     metrics: Arc<Metrics>,
     config: ServeConfig,
     in_flight: AtomicUsize,
+    shutting_down: AtomicBool,
     start_micros: Micros,
 }
 
@@ -195,6 +226,7 @@ impl ShardServer {
             metrics,
             config,
             in_flight: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
             start_micros,
         }
     }
@@ -226,6 +258,12 @@ impl ShardServer {
 
     /// Serves an already-parsed query: admission → cache → fan-out → merge.
     pub fn search_query(&self, query: &Query) -> Result<ServeResponse, ServeError> {
+        // After `shutdown` the worker threads are gone; fanning out would
+        // park a job on a queue nobody drains and `wait_all` would block
+        // forever. Refuse with a typed error instead.
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
         let admitted_at = self.config.clock.now_micros();
 
         // Admission control: reserve a slot or shed.
@@ -333,9 +371,12 @@ impl ShardServer {
         }
     }
 
-    /// Swaps in a freshly built index (same shard count) and invalidates the
-    /// result cache. In-flight queries finish against whichever index their
-    /// shard evaluation snapshots.
+    /// Swaps in a freshly built index (same shard count, same rank weights)
+    /// and invalidates the result cache. In-flight queries finish against
+    /// whichever index their shard evaluation snapshots. A broker built with
+    /// different weights is rejected — the server would otherwise keep
+    /// scoring and cache-keying with its original weights, silently
+    /// diverging from a fresh broker.
     pub fn reload(&self, broker: QueryBroker) -> Result<(), ServeError> {
         if broker.shard_count() != self.pools.len() {
             return Err(ServeError::ShardCountMismatch {
@@ -343,7 +384,13 @@ impl ShardServer {
                 got: broker.shard_count(),
             });
         }
-        let (shards, _weights) = broker.into_parts();
+        let (shards, weights) = broker.into_parts();
+        if weights_bits(&weights) != weights_bits(&self.weights) {
+            return Err(ServeError::WeightsMismatch {
+                expected: self.weights,
+                got: weights,
+            });
+        }
         for (pool, shard) in self.pools.iter().zip(shards) {
             pool.swap_index(shard);
         }
@@ -380,8 +427,11 @@ impl ShardServer {
         serde_json::to_string_pretty(&self.metrics_snapshot()).expect("metrics snapshot serializes")
     }
 
-    /// Stops all workers (also runs on drop).
+    /// Stops all workers (also runs on drop). Subsequent queries are
+    /// refused with [`ServeError::ShuttingDown`] instead of deadlocking on
+    /// queues nobody drains.
     pub fn shutdown(&mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
         for pool in &mut self.pools {
             pool.shutdown();
         }
@@ -505,6 +555,22 @@ mod tests {
     }
 
     #[test]
+    fn reload_with_different_weights_is_rejected() {
+        let server = ShardServer::new(build_broker(2), ServeConfig::default());
+        let cached = server.search("wow dance").unwrap();
+        let mut other = build_broker(2);
+        other.weights.tfidf += 0.25;
+        let err = server.reload(other).unwrap_err();
+        assert!(matches!(err, ServeError::WeightsMismatch { .. }));
+        // The rejected reload must not have swapped shards or dropped the
+        // cache: the original index still serves, from cache.
+        let again = server.search("wow dance").unwrap();
+        assert!(again.from_cache);
+        assert_eq!(again.results, cached.results);
+        assert_eq!(server.metrics_snapshot().reloads, 0);
+    }
+
+    #[test]
     fn zero_deadline_degrades_deterministically() {
         let (clock, _handle) = ServeClock::manual();
         let server = ShardServer::new(
@@ -622,5 +688,37 @@ mod tests {
         assert!(!server.search("wow").unwrap().results.is_empty());
         server.shutdown();
         server.shutdown(); // second call must not hang or panic
+    }
+
+    #[test]
+    fn search_after_shutdown_errors_instead_of_hanging() {
+        let mut server = ShardServer::new(build_broker(2), ServeConfig::default());
+        server.shutdown();
+        assert_eq!(server.search("wow").unwrap_err(), ServeError::ShuttingDown);
+        // Cached entries are unreachable too — the refusal is unconditional.
+        assert_eq!(
+            server.search_query(&Query::parse("wow")).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn wall_clock_deadline_with_late_shard_degrades_without_panicking() {
+        // Exercises the wall-clock `wait_until` abandonment path end to end:
+        // a zero deadline under the wall clock makes the caller take the
+        // reply slots (possibly before workers deliver); late deliveries
+        // must be dropped, not panic the worker. With workers_per_shard=1 a
+        // dead worker would hang the follow-up query forever.
+        let server = ShardServer::new(
+            build_broker(2),
+            ServeConfig::default().with_deadline_micros(Some(0)),
+        );
+        for _ in 0..50 {
+            let resp = server.search("wow dance").unwrap();
+            assert!(resp.degraded || !resp.results.is_empty());
+        }
+        // Workers are still alive: a no-deadline-pressure query completes.
+        let resp = server.search_query(&Query::parse("great video")).unwrap();
+        assert!(resp.degraded || !resp.results.is_empty());
     }
 }
