@@ -1,0 +1,43 @@
+//! Fault-matrix smoke sweep: seeds × transient-fault rates over a VidShare
+//! site; fails (exit 1) if any cell loses pages or is non-deterministic.
+//!
+//! ```sh
+//! exp_fault_sweep --videos 12 --seeds 1,2 --rates 0,0.1,0.3
+//! ```
+use ajax_bench::exp::faults;
+use ajax_bench::util;
+use std::process::ExitCode;
+
+fn parse_list<T: std::str::FromStr>(args: &[String], flag: &str, default: &str) -> Vec<T> {
+    let raw = args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(default);
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let videos: u32 = parse_list(&args, "--videos", "12")
+        .first()
+        .copied()
+        .unwrap_or(12);
+    let seeds: Vec<u64> = parse_list(&args, "--seeds", "1,2");
+    let rates: Vec<f64> = parse_list(&args, "--rates", "0,0.1,0.3");
+
+    let sweep = faults::collect(videos, &seeds, &rates);
+    println!("{}", sweep.render());
+    util::write_json("fault_sweep", &sweep);
+
+    if sweep.all_resilient() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: lost pages or non-deterministic cells in the sweep");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,160 @@
+//! Fault sweep: crawl resilience under injected transient faults.
+//!
+//! For each (seed, fault-rate) cell the whole site is crawled by the
+//! `MpCrawler` under `FaultPlan::transient_mix(seed, rate)`, and the cell
+//! reports what resilience cost: fetch retries, page re-crawl passes,
+//! recovered pages, partial states — and, crucially, how many pages were
+//! *lost*. Each cell is also run twice to confirm the run is bit-identical
+//! under the same seed (virtual time included).
+
+use crate::util::{latency, TableFmt};
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::{MpCrawler, MpReport};
+use ajax_crawl::partition::{partition_urls, Partition};
+use ajax_net::{FaultPlan, Server};
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One (seed, rate) cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCell {
+    pub seed: u64,
+    pub rate: f64,
+    /// Pages asked for.
+    pub pages: usize,
+    /// Pages with no model at the end (must be 0 for transient-only plans).
+    pub lost_pages: usize,
+    pub quarantined: u64,
+    pub recovered: u64,
+    pub fetch_retries: u64,
+    pub page_retries: u64,
+    pub partial_states: u64,
+    pub failed_xhr: u64,
+    pub backoff_micros: u64,
+    pub makespan_micros: u64,
+    /// True when a second run with the same seed reproduced the first
+    /// bit-for-bit (stats, failures, models, virtual makespan).
+    pub deterministic: bool,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultSweep {
+    pub videos: u32,
+    pub cells: Vec<FaultCell>,
+}
+
+fn run_once(
+    server: &Arc<VidShareServer>,
+    partitions: &[Partition],
+    seed: u64,
+    rate: f64,
+) -> MpReport {
+    let mut mp = MpCrawler::new(
+        Arc::clone(server) as Arc<dyn Server>,
+        latency(),
+        CrawlConfig::ajax(),
+    )
+    .with_proc_lines(4);
+    if rate > 0.0 {
+        mp = mp.with_fault_plan(FaultPlan::transient_mix(seed, rate));
+    }
+    mp.crawl(partitions)
+}
+
+/// True when two reports are observably identical: same aggregate stats,
+/// same makespan, and the same models (states and transitions) and failures
+/// partition by partition.
+fn identical(a: &MpReport, b: &MpReport) -> bool {
+    a.aggregate == b.aggregate
+        && a.virtual_makespan == b.virtual_makespan
+        && a.virtual_serial == b.virtual_serial
+        && a.partitions.len() == b.partitions.len()
+        && a.partitions.iter().zip(&b.partitions).all(|(pa, pb)| {
+            pa.failures == pb.failures
+                && pa.models.len() == pb.models.len()
+                && pa.models.iter().zip(&pb.models).all(|(ma, mb)| {
+                    ma.url == mb.url && ma.states == mb.states && ma.transitions == mb.transitions
+                })
+        })
+}
+
+/// Sweeps `seeds × rates` over a `videos`-page VidShare site.
+pub fn collect(videos: u32, seeds: &[u64], rates: &[f64]) -> FaultSweep {
+    let spec = VidShareSpec::small(videos);
+    let server = Arc::new(VidShareServer::new(spec.clone()));
+    let urls: Vec<String> = (0..videos).map(|v| spec.watch_url(v)).collect();
+    let partitions = partition_urls(&urls, 50);
+
+    let mut cells = Vec::new();
+    for &seed in seeds {
+        for &rate in rates {
+            eprintln!(
+                "[faults] seed {seed}, rate {rate:.0}%…",
+                rate = rate * 100.0
+            );
+            let report = run_once(&server, &partitions, seed, rate);
+            let rerun = run_once(&server, &partitions, seed, rate);
+            let crawled: usize = report.partitions.iter().map(|p| p.models.len()).sum();
+            cells.push(FaultCell {
+                seed,
+                rate,
+                pages: urls.len(),
+                lost_pages: urls.len() - crawled,
+                quarantined: report.quarantined_pages,
+                recovered: report.recovered_pages,
+                fetch_retries: report.aggregate.fetch_retries,
+                page_retries: report.page_retries,
+                partial_states: report.aggregate.partial_states,
+                failed_xhr: report.aggregate.failed_xhr,
+                backoff_micros: report.aggregate.backoff_micros,
+                makespan_micros: report.virtual_makespan,
+                deterministic: identical(&report, &rerun),
+            });
+        }
+    }
+    FaultSweep { videos, cells }
+}
+
+impl FaultSweep {
+    /// Renders the sweep as a table.
+    pub fn render(&self) -> String {
+        let mut table = TableFmt::new(vec![
+            "seed",
+            "rate",
+            "lost",
+            "quarantined",
+            "recovered",
+            "fetch retries",
+            "partials",
+            "makespan (s)",
+            "deterministic",
+        ]);
+        for c in &self.cells {
+            table.row(vec![
+                c.seed.to_string(),
+                format!("{:.0}%", c.rate * 100.0),
+                format!("{}/{}", c.lost_pages, c.pages),
+                c.quarantined.to_string(),
+                c.recovered.to_string(),
+                c.fetch_retries.to_string(),
+                c.partial_states.to_string(),
+                format!("{:.1}", c.makespan_micros as f64 / 1e6),
+                if c.deterministic { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        format!(
+            "Fault sweep — resilient crawl over {} videos\n{}",
+            self.videos,
+            table.render()
+        )
+    }
+
+    /// True when every cell lost zero pages and reproduced deterministically.
+    pub fn all_resilient(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|c| c.lost_pages == 0 && c.deterministic)
+    }
+}

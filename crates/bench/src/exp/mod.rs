@@ -4,6 +4,7 @@
 pub mod caching;
 pub mod crawl_perf;
 pub mod dataset;
+pub mod faults;
 pub mod parallel;
 pub mod queries;
 pub mod serving;

@@ -3,30 +3,35 @@
 //! `document` API and an `XMLHttpRequest` whose `send()` is the hot-node
 //! interception point of thesis §4.4.
 
-use crate::crawler::CpuCostModel;
+use crate::crawler::{CpuCostModel, FetchFailure, LastError, RetryPolicy};
 use crate::hotnode::HotNodeCache;
 use ajax_dom::hash::FnvHashMap;
 use ajax_dom::{parse_document, Document, NodeId};
 use ajax_js::{
     DebugHook, GlobalsSnapshot, Host, HostCtx, Interpreter, JsError, NoopHook, ObjId, Value,
 };
+use ajax_net::fault::NetError;
 use ajax_net::sched::Segment;
 use ajax_net::{Micros, NetClient, Url};
 use std::collections::HashSet;
 
 /// Everything an event invocation may touch besides the page itself:
-/// network, hot-node cache, cost model, and the CPU/network trace being
-/// recorded for the parallel scheduler.
+/// network, hot-node cache, cost model, retry policy, and the CPU/network
+/// trace being recorded for the parallel scheduler.
 pub struct CrawlEnv<'a> {
     pub net: &'a mut NetClient,
     pub cache: &'a mut HotNodeCache,
     /// Whether the hot-node policy is active (Alg. 4.2.1 vs Alg. 3.1.1).
     pub caching_enabled: bool,
     pub costs: &'a CpuCostModel,
+    /// Retry policy applied to every fetch issued through this environment.
+    pub retry: RetryPolicy,
     /// Alternating CPU/network segments of the page crawl.
     pub trace: &'a mut Vec<Segment>,
     /// CPU time accrued since the last network segment.
     cpu_pending: Micros,
+    /// Fetch attempts beyond the first (retries), page-wide.
+    pub fetch_retries: u64,
 }
 
 impl<'a> CrawlEnv<'a> {
@@ -36,6 +41,7 @@ impl<'a> CrawlEnv<'a> {
         cache: &'a mut HotNodeCache,
         caching_enabled: bool,
         costs: &'a CpuCostModel,
+        retry: RetryPolicy,
         trace: &'a mut Vec<Segment>,
     ) -> Self {
         Self {
@@ -43,8 +49,10 @@ impl<'a> CrawlEnv<'a> {
             cache,
             caching_enabled,
             costs,
+            retry,
             trace,
             cpu_pending: 0,
+            fetch_retries: 0,
         }
     }
 
@@ -54,7 +62,23 @@ impl<'a> CrawlEnv<'a> {
         self.cpu_pending += micros;
     }
 
-    /// Fetches over the network, recording the segment boundary.
+    /// Charges a pure wait (retry backoff): it occupies the process line
+    /// like a network segment but transfers nothing.
+    fn wait(&mut self, micros: Micros) {
+        if micros == 0 {
+            return;
+        }
+        if self.cpu_pending > 0 {
+            self.trace.push(Segment::Cpu(self.cpu_pending));
+            self.cpu_pending = 0;
+        }
+        self.net.charge_wait(micros);
+        self.trace.push(Segment::Net(micros));
+    }
+
+    /// Fetches over the network, recording the segment boundary. Transport
+    /// faults surface as synthetic non-2xx responses (no retry) — the
+    /// resilient path is [`Self::fetch_with_retry`].
     pub fn fetch(&mut self, url: &Url) -> (ajax_net::Response, Micros) {
         if self.cpu_pending > 0 {
             self.trace.push(Segment::Cpu(self.cpu_pending));
@@ -63,6 +87,71 @@ impl<'a> CrawlEnv<'a> {
         let (resp, cost) = self.net.fetch_timed(url);
         self.trace.push(Segment::Net(cost));
         (resp, cost)
+    }
+
+    /// One fallible fetch: like [`Self::fetch`] but transport faults are
+    /// surfaced as [`NetError`] instead of synthetic statuses. The burned
+    /// virtual time is recorded in the trace either way.
+    pub fn try_fetch(&mut self, url: &Url) -> Result<(ajax_net::Response, Micros), NetError> {
+        if self.cpu_pending > 0 {
+            self.trace.push(Segment::Cpu(self.cpu_pending));
+            self.cpu_pending = 0;
+        }
+        match self.net.try_fetch_timed(url) {
+            Ok((resp, cost)) => {
+                self.trace.push(Segment::Net(cost));
+                Ok((resp, cost))
+            }
+            Err(e) => {
+                self.trace.push(Segment::Net(e.cost()));
+                Err(e)
+            }
+        }
+    }
+
+    /// The resilient fetch: retries transport faults and retryable statuses
+    /// under the environment's [`RetryPolicy`], sleeping the deterministic
+    /// backoff (virtual micros) between attempts. `Ok` carries a 2xx
+    /// response; a non-retryable status returns immediately as
+    /// [`FetchFailure::Http`]; running out of attempts (or timeout budget)
+    /// returns [`FetchFailure::Exhausted`].
+    pub fn fetch_with_retry(
+        &mut self,
+        url: &Url,
+    ) -> Result<(ajax_net::Response, u32), FetchFailure> {
+        let policy = self.retry;
+        let budget_start = self.net.now();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let last = match self.try_fetch(url) {
+                Ok((resp, _cost)) => {
+                    if resp.is_ok() {
+                        return Ok((resp, attempt));
+                    }
+                    if !policy.retry_status(resp.status) {
+                        return Err(FetchFailure::Http {
+                            response: resp,
+                            attempts: attempt,
+                        });
+                    }
+                    LastError::Http(resp.status)
+                }
+                Err(NetError::Timeout { .. }) => LastError::Timeout,
+                Err(NetError::Dropped { .. }) => LastError::Dropped,
+            };
+            let out_of_budget =
+                policy.budget_micros > 0 && self.net.now() - budget_start >= policy.budget_micros;
+            if attempt >= policy.max_attempts.max(1) || out_of_budget {
+                return Err(FetchFailure::Exhausted {
+                    url: url.to_string(),
+                    attempts: attempt,
+                    last,
+                });
+            }
+            self.fetch_retries += 1;
+            self.wait(policy.backoff(&url.to_string(), attempt));
+        }
     }
 
     /// Flushes any pending CPU time into the trace (call at page end).
@@ -85,6 +174,12 @@ pub struct EventOutcome {
     pub network_calls: u32,
     /// AJAX calls served from the hot-node cache during this event.
     pub cache_hits: u32,
+    /// AJAX calls that completed with a non-2xx status (delivered to the
+    /// script, which may or may not cope).
+    pub failed_xhr: u32,
+    /// AJAX calls that exhausted every retry: the script saw status 0 and an
+    /// empty body, so the resulting DOM is a *partial* state.
+    pub exhausted_xhr: u32,
 }
 
 impl EventOutcome {
@@ -162,29 +257,46 @@ impl<'a, 'b> PageHost<'a, 'b> {
             None => ("<inline>".to_string(), format!("<inline>({url})")),
         };
 
-        let (status, body) = if self.env.caching_enabled {
-            if let Some(cached) = self.env.cache.lookup(&key) {
-                self.outcome.cache_hits += 1;
-                (200, cached)
-            } else {
-                let (resp, _cost) = self.env.fetch(&url);
-                self.outcome.network_calls += 1;
-                if resp.is_ok() {
-                    self.env
-                        .cache
-                        .insert(&function, key, url.to_string(), resp.body.clone());
-                } else {
-                    // Errors are not cached (a retry may succeed), but the
-                    // attempt is still a network call.
-                    self.env.cache.record_uncached_call();
-                }
-                (resp.status, resp.body)
-            }
+        let cached = self
+            .env
+            .caching_enabled
+            .then(|| self.env.cache.lookup(&key))
+            .flatten();
+        let (status, body) = if let Some(cached) = cached {
+            self.outcome.cache_hits += 1;
+            (200, cached)
         } else {
-            let (resp, _cost) = self.env.fetch(&url);
+            // One *logical* network call; retries under the policy are
+            // accounted separately (`fetch_retries`).
             self.outcome.network_calls += 1;
-            self.env.cache.record_uncached_call();
-            (resp.status, resp.body)
+            match self.env.fetch_with_retry(&url) {
+                Ok((resp, _attempts)) => {
+                    if self.env.caching_enabled {
+                        self.env
+                            .cache
+                            .insert(&function, key, url.to_string(), resp.body.clone());
+                    } else {
+                        self.env.cache.record_uncached_call();
+                    }
+                    (resp.status, resp.body)
+                }
+                Err(FetchFailure::Http { response, .. }) => {
+                    // Non-retryable error (e.g. 404): delivered to the
+                    // script as a browser would, never cached.
+                    self.outcome.failed_xhr += 1;
+                    self.env.cache.record_uncached_call();
+                    (response.status, response.body)
+                }
+                Err(FetchFailure::Exhausted { .. }) => {
+                    // All retries burned: the script sees what a browser
+                    // reports for a network-level failure — status 0, empty
+                    // body. The caller flags the resulting state partial.
+                    self.outcome.failed_xhr += 1;
+                    self.outcome.exhausted_xhr += 1;
+                    self.env.cache.record_uncached_call();
+                    (0, String::new())
+                }
+            }
         };
 
         if let Some(HostObj::Xhr {
@@ -363,6 +475,19 @@ impl Browser {
         js_fuel: u64,
         env: &mut CrawlEnv<'_>,
     ) -> (Self, Vec<JsError>) {
+        let (browser, errors, _outcome) = Self::load_with_outcome(url, html, js_fuel, env);
+        (browser, errors)
+    }
+
+    /// Like [`Self::load`], also returning the aggregate [`EventOutcome`] of
+    /// the load-time scripts and `onload` handler (XHR accounting: a page
+    /// whose load-time XHR exhausts its retries starts in a partial state).
+    pub fn load_with_outcome(
+        url: Url,
+        html: &str,
+        js_fuel: u64,
+        env: &mut CrawlEnv<'_>,
+    ) -> (Self, Vec<JsError>, EventOutcome) {
         env.charge_cpu(env.costs.parse_cost(html.len()));
         let doc = parse_document(html);
         let mut browser = Self {
@@ -371,21 +496,20 @@ impl Browser {
             interp: Interpreter::with_fuel(js_fuel),
         };
         let mut errors = Vec::new();
+        let mut outcome = EventOutcome::default();
 
         let scripts = browser.doc.script_sources();
         for src in scripts {
-            let mut outcome = EventOutcome::default();
             if let Err(e) = browser.run_js(&src, env, &mut outcome, RunKind::Program) {
                 errors.push(e);
             }
         }
         if let Some(onload) = ajax_dom::events::body_onload(&browser.doc) {
-            let mut outcome = EventOutcome::default();
             if let Err(e) = browser.run_js(&onload, env, &mut outcome, RunKind::Snippet) {
                 errors.push(e);
             }
         }
-        (browser, errors)
+        (browser, errors, outcome)
     }
 
     /// The page URL.

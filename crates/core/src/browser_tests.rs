@@ -2,7 +2,7 @@
 //! and XHR) — exercised directly, below the crawler.
 
 use crate::browser::{Browser, CrawlEnv, EventOutcome};
-use crate::crawler::CpuCostModel;
+use crate::crawler::{CpuCostModel, RetryPolicy};
 use crate::hotnode::HotNodeCache;
 use ajax_net::server::{FnServer, Request, Response};
 use ajax_net::{LatencyModel, NetClient, Url};
@@ -25,7 +25,14 @@ fn with_env<T>(f: impl FnOnce(&mut CrawlEnv<'_>) -> T) -> T {
     let mut cache = HotNodeCache::new();
     let costs = CpuCostModel::free();
     let mut trace = Vec::new();
-    let mut env = CrawlEnv::new(&mut net, &mut cache, true, &costs, &mut trace);
+    let mut env = CrawlEnv::new(
+        &mut net,
+        &mut cache,
+        true,
+        &costs,
+        RetryPolicy::none(),
+        &mut trace,
+    );
     f(&mut env)
 }
 
@@ -206,7 +213,14 @@ fn trace_interleaves_cpu_and_net() {
     };
     let mut trace = Vec::new();
     {
-        let mut env = CrawlEnv::new(&mut net, &mut cache, true, &costs, &mut trace);
+        let mut env = CrawlEnv::new(
+            &mut net,
+            &mut cache,
+            true,
+            &costs,
+            RetryPolicy::none(),
+            &mut trace,
+        );
         let mut browser = load(
             "<html><head><script>\
              function go() {\

@@ -16,8 +16,9 @@ use crate::model::{AppModel, StateId, Transition};
 use crate::recrawl::EventHistory;
 use ajax_dom::events::collect_event_bindings;
 use ajax_dom::{parse_document, EventType};
+use ajax_net::fault::FaultPlan;
 use ajax_net::sched::Task;
-use ajax_net::{LatencyModel, Micros, NetClient, Server, Url};
+use ajax_net::{LatencyModel, Micros, NetClient, Response, Server, Url};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -90,6 +91,87 @@ impl CpuCostModel {
     }
 }
 
+/// Per-request resilience knobs, all in *virtual* microseconds so degraded
+/// crawls stay deterministic. Applied to page fetches and in-event XHR
+/// fetches alike.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per request, counting the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff_micros: Micros,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub backoff_factor: f64,
+    /// Hard cap on a single backoff sleep.
+    pub max_backoff_micros: Micros,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// deterministic factor in `[1 - jitter/2, 1 + jitter/2]` derived from
+    /// the URL and attempt number (no shared RNG state — reproducible under
+    /// any thread schedule).
+    pub jitter: f64,
+    /// Per-request virtual time budget across all attempts (0 = unlimited).
+    /// Once exceeded, no further retry is attempted.
+    pub budget_micros: Micros,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff_micros: 100_000,
+            backoff_factor: 2.0,
+            max_backoff_micros: 5_000_000,
+            jitter: 0.5,
+            budget_micros: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all — the pre-resilience behavior.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with a different attempt cap.
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Whether `status` is worth retrying: server-side errors (5xx, incl.
+    /// the synthetic 598 timeout / 597 drop statuses), request timeout (408)
+    /// and throttling (429). Client errors like 404 are permanent.
+    pub fn retry_status(&self, status: u16) -> bool {
+        status >= 500 || status == 408 || status == 429
+    }
+
+    /// The virtual backoff before retry number `attempt` (1-based: the wait
+    /// after the first failed attempt is `backoff(url, 1)`). Exponential
+    /// with a deterministic per-(url, attempt) jitter.
+    pub fn backoff(&self, url: &str, attempt: u32) -> Micros {
+        if self.base_backoff_micros == 0 {
+            return 0;
+        }
+        let exp = self
+            .backoff_factor
+            .max(1.0)
+            .powi(attempt.saturating_sub(1) as i32);
+        let nominal = (self.base_backoff_micros as f64 * exp)
+            .min(self.max_backoff_micros.max(self.base_backoff_micros) as f64);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let roll = {
+            let h = ajax_dom::fnv64_str(&format!("backoff|{url}|{attempt}"));
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let factor = 1.0 + jitter * (roll - 0.5);
+        (nominal * factor).round() as Micros
+    }
+}
+
 /// Crawl configuration — the `AJAXConfig` of thesis ch. 8.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CrawlConfig {
@@ -121,6 +203,8 @@ pub struct CrawlConfig {
     pub focus_keywords: Vec<String>,
     /// Virtual CPU cost model.
     pub costs: CpuCostModel,
+    /// Retry policy for page GETs and in-event XHR fetches.
+    pub retry: RetryPolicy,
 }
 
 impl CrawlConfig {
@@ -141,6 +225,7 @@ impl CrawlConfig {
                 .collect(),
             focus_keywords: Vec::new(),
             costs: CpuCostModel::thesis_default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -179,6 +264,12 @@ impl CrawlConfig {
         self.focus_keywords = keywords.into_iter().map(Into::into).collect();
         self
     }
+
+    /// Returns a copy with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 /// Per-page crawl accounting (raw material of the ch. 7 experiments).
@@ -207,10 +298,20 @@ pub struct PageStats {
     pub states: u64,
     /// Transitions recorded.
     pub transitions: u64,
+    /// In-event (and load-time) XHR fetches that completed with a non-2xx
+    /// status or exhausted their retries.
+    pub failed_xhr: u64,
+    /// Events abandoned because an XHR exhausted every retry — the resulting
+    /// DOM state was not materialized (see `AppModel::partial_states`).
+    pub partial_states: u64,
+    /// Fetch attempts beyond the first (page GETs and XHRs).
+    pub fetch_retries: u64,
     /// Total virtual crawl time for the page.
     pub crawl_micros: Micros,
     /// Portion spent on the network.
     pub network_micros: Micros,
+    /// Portion spent sleeping between retries (backoff).
+    pub backoff_micros: Micros,
     /// Portion spent on CPU (parse, JS, hashing, model maintenance).
     pub cpu_micros: Micros,
 }
@@ -229,8 +330,12 @@ impl PageStats {
         self.js_errors += other.js_errors;
         self.states += other.states;
         self.transitions += other.transitions;
+        self.failed_xhr += other.failed_xhr;
+        self.partial_states += other.partial_states;
+        self.fetch_retries += other.fetch_retries;
         self.crawl_micros += other.crawl_micros;
         self.network_micros += other.network_micros;
+        self.backoff_micros += other.backoff_micros;
         self.cpu_micros += other.cpu_micros;
     }
 }
@@ -244,18 +349,130 @@ pub struct PageCrawl {
     pub trace: Task,
 }
 
+/// The terminal condition of the last failed attempt of a retried fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LastError {
+    /// A retryable HTTP status (5xx / 408 / 429).
+    Http(u16),
+    /// The request timed out.
+    Timeout,
+    /// The connection dropped mid-transfer.
+    Dropped,
+}
+
+/// Why a retried fetch ultimately failed — the low-level counterpart of
+/// [`CrawlError`], used by the in-event XHR path (which degrades instead of
+/// aborting the page).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchFailure {
+    /// A non-retryable status (e.g. 404): the response is handed back so XHR
+    /// callers can deliver it to the script, browser-style.
+    Http { response: Response, attempts: u32 },
+    /// Every attempt failed with a retryable condition.
+    Exhausted {
+        url: String,
+        attempts: u32,
+        last: LastError,
+    },
+}
+
 /// Crawl failures. JS errors are *not* failures (they are recorded in the
-/// stats and the crawl continues); only transport-level problems are.
+/// stats and the crawl continues); only transport-level problems on the
+/// page's own GET are. The taxonomy drives the transient/permanent
+/// classification of the parallel crawler's re-enqueue + quarantine logic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CrawlError {
-    /// Non-2xx response for the page itself.
-    Http { url: String, status: u16 },
+    /// Non-retryable, non-2xx response for the page itself (e.g. 404) —
+    /// permanent: retrying cannot help.
+    Http {
+        url: String,
+        status: u16,
+        attempts: u32,
+    },
+    /// Every attempt timed out — transient: the host may come back.
+    Timeout { url: String, attempts: u32 },
+    /// Every attempt's connection dropped mid-transfer — transient.
+    Truncated { url: String, attempts: u32 },
+    /// Every attempt drew a retryable HTTP error (5xx / 408 / 429) —
+    /// transient (the server may recover), but quarantined after enough
+    /// page-level re-crawls.
+    Exhausted {
+        url: String,
+        status: u16,
+        attempts: u32,
+    },
+}
+
+impl CrawlError {
+    /// Builds the page-level error from a failed (retried) page GET.
+    pub fn from_fetch(url: &Url, failure: FetchFailure) -> Self {
+        match failure {
+            FetchFailure::Http { response, attempts } => CrawlError::Http {
+                url: url.to_string(),
+                status: response.status,
+                attempts,
+            },
+            FetchFailure::Exhausted {
+                url,
+                attempts,
+                last,
+            } => match last {
+                LastError::Timeout => CrawlError::Timeout { url, attempts },
+                LastError::Dropped => CrawlError::Truncated { url, attempts },
+                LastError::Http(status) => CrawlError::Exhausted {
+                    url,
+                    status,
+                    attempts,
+                },
+            },
+        }
+    }
+
+    /// The URL that failed.
+    pub fn url(&self) -> &str {
+        match self {
+            CrawlError::Http { url, .. }
+            | CrawlError::Timeout { url, .. }
+            | CrawlError::Truncated { url, .. }
+            | CrawlError::Exhausted { url, .. } => url,
+        }
+    }
+
+    /// Fetch attempts burned before giving up.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CrawlError::Http { attempts, .. }
+            | CrawlError::Timeout { attempts, .. }
+            | CrawlError::Truncated { attempts, .. }
+            | CrawlError::Exhausted { attempts, .. } => *attempts,
+        }
+    }
+
+    /// Transient errors are worth re-enqueuing at the end of the partition;
+    /// permanent ones (client errors) are not.
+    pub fn is_transient(&self) -> bool {
+        !matches!(self, CrawlError::Http { .. })
+    }
 }
 
 impl std::fmt::Display for CrawlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CrawlError::Http { url, status } => write!(f, "HTTP {status} fetching {url}"),
+            CrawlError::Http { url, status, .. } => write!(f, "HTTP {status} fetching {url}"),
+            CrawlError::Timeout { url, attempts } => {
+                write!(f, "timeout fetching {url} ({attempts} attempts)")
+            }
+            CrawlError::Truncated { url, attempts } => {
+                write!(f, "connection dropped fetching {url} ({attempts} attempts)")
+            }
+            CrawlError::Exhausted {
+                url,
+                status,
+                attempts,
+            } => write!(
+                f,
+                "retries exhausted fetching {url} (last HTTP {status}, {attempts} attempts)"
+            ),
         }
     }
 }
@@ -276,6 +493,12 @@ impl Crawler {
             net: NetClient::new(server, latency),
             config,
         }
+    }
+
+    /// Attaches a deterministic fault plan to the crawler's network client.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.net = self.net.with_fault_plan(plan);
+        self
     }
 
     /// The crawler's network client (for reading aggregate statistics).
@@ -306,6 +529,7 @@ impl Crawler {
     ) -> Result<(PageCrawl, EventHistory), CrawlError> {
         let start_time = self.net.now();
         let start_net = self.net.stats().network_micros;
+        let start_wait = self.net.stats().wait_micros;
         let mut stats = PageStats::default();
         let mut trace_segments = Vec::new();
         let mut cache = HotNodeCache::new();
@@ -319,16 +543,14 @@ impl Crawler {
                 &mut cache,
                 self.config.hot_node_policy,
                 &self.config.costs,
+                self.config.retry,
                 &mut trace_segments,
             );
 
-            let (response, _cost) = env.fetch(url);
-            if !response.is_ok() {
-                return Err(CrawlError::Http {
-                    url: url.to_string(),
-                    status: response.status,
-                });
-            }
+            let response = match env.fetch_with_retry(url) {
+                Ok((response, _attempts)) => response,
+                Err(failure) => return Err(CrawlError::from_fetch(url, failure)),
+            };
             if self.config.store_dom {
                 model.page_html = Some(response.body.clone());
             }
@@ -348,6 +570,7 @@ impl Crawler {
                 )?;
             }
             env.flush_trace();
+            stats.fetch_retries = env.fetch_retries;
         }
 
         let hot_stats = cache.stats();
@@ -358,7 +581,9 @@ impl Crawler {
         stats.transitions = model.transitions.len() as u64;
         stats.crawl_micros = self.net.now() - start_time;
         stats.network_micros = self.net.stats().network_micros - start_net;
-        stats.cpu_micros = stats.crawl_micros - stats.network_micros;
+        stats.backoff_micros = self.net.stats().wait_micros - start_wait;
+        stats.cpu_micros = stats.crawl_micros - stats.network_micros - stats.backoff_micros;
+        model.partial_states = stats.partial_states as u32;
         model.crawl_micros = stats.crawl_micros;
         model.fetches = cache
             .fetch_records()
@@ -408,8 +633,16 @@ impl Crawler {
         history: Option<&EventHistory>,
         new_history: &mut EventHistory,
     ) -> Result<(), CrawlError> {
-        let (mut browser, load_errors) = Browser::load(url.clone(), body, config.js_fuel, env);
+        let (mut browser, load_errors, load_outcome) =
+            Browser::load_with_outcome(url.clone(), body, config.js_fuel, env);
         stats.js_errors += load_errors.len() as u64;
+        stats.failed_xhr += load_outcome.failed_xhr as u64;
+        if load_outcome.exhausted_xhr > 0 {
+            // A load-time XHR exhausted its retries: the page starts in a
+            // partial state. It is still materialized (there is nothing to
+            // roll back to), but flagged.
+            stats.partial_states += 1;
+        }
 
         // Initial state (after scripts + onload).
         let initial_hash = browser.state_hash(env);
@@ -471,8 +704,19 @@ impl Crawler {
                 if outcome.attempted_ajax() {
                     stats.events_with_ajax += 1;
                 }
+                stats.failed_xhr += outcome.failed_xhr as u64;
                 if outcome.js_error.is_some() {
                     stats.js_errors += 1;
+                    continue;
+                }
+                if outcome.exhausted_xhr > 0 {
+                    // An XHR exhausted every retry mid-event: whatever DOM
+                    // the handler left behind is built on a failed fetch.
+                    // Record a partial state and move on without
+                    // materializing it — graceful degradation means missing
+                    // edges, never corrupt states. The event is also left
+                    // out of the history (its productivity is unknown).
+                    stats.partial_states += 1;
                     continue;
                 }
 

@@ -45,11 +45,14 @@ pub mod replay;
 
 pub use analysis::{analyze_page, PageAnalysis};
 pub use browser::Browser;
-pub use crawler::{CpuCostModel, CrawlConfig, CrawlError, Crawler, PageCrawl, PageStats};
+pub use crawler::{
+    CpuCostModel, CrawlConfig, CrawlError, Crawler, FetchFailure, LastError, PageCrawl, PageStats,
+    RetryPolicy,
+};
 pub use hotnode::{HotNodeCache, HotNodeStats};
 pub use model::{AppModel, SiteModel, State, StateId, Transition};
 pub use pagerank::pagerank;
-pub use parallel::{MpCrawler, MpReport};
+pub use parallel::{MpCrawler, MpReport, PageFailure};
 pub use partition::{partition_urls, Partition};
 pub use precrawl::{LinkGraph, Precrawler};
 pub use recrawl::EventHistory;

@@ -85,6 +85,10 @@ pub struct AppModel {
     pub fetches: Vec<FetchRecord>,
     /// Virtual time the page crawl took.
     pub crawl_micros: Micros,
+    /// Events whose XHR exhausted all retries: the resulting DOM state could
+    /// not be materialized, so the transition graph is missing edges here
+    /// (graceful degradation — the page is still indexed, just incompletely).
+    pub partial_states: u32,
 }
 
 impl AppModel {
@@ -97,6 +101,7 @@ impl AppModel {
             page_html: None,
             fetches: Vec::new(),
             crawl_micros: 0,
+            partial_states: 0,
         }
     }
 

@@ -17,23 +17,44 @@
 use crate::crawler::{CrawlConfig, CrawlError, Crawler, PageStats};
 use crate::model::AppModel;
 use crate::partition::Partition;
+use ajax_net::fault::FaultPlan;
 use ajax_net::sched::{simulate, Segment, Task};
 use ajax_net::{LatencyModel, Micros, Server, Url};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// A page the partition ultimately gave up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageFailure {
+    pub url: String,
+    /// The error of the *last* crawl attempt.
+    pub error: CrawlError,
+    /// Page-level crawl attempts (re-enqueue passes), not fetch attempts.
+    pub attempts: u32,
+    /// True when the page kept failing transiently and was quarantined after
+    /// `quarantine_after` attempts — a poison URL the crawler stopped
+    /// feeding. False for permanent failures (e.g. 404), abandoned at once.
+    pub quarantined: bool,
+}
+
 /// Result of crawling one partition.
 #[derive(Debug, Clone)]
 pub struct PartitionResult {
     pub id: usize,
+    /// Models in partition URL order (stable regardless of re-crawl passes).
     pub models: Vec<AppModel>,
     /// Aggregate stats over the partition's pages.
     pub stats: PageStats,
     /// Concatenated CPU/network trace of the partition (one serial
-    /// `SimpleAjaxCrawler` run).
+    /// `SimpleAjaxCrawler` run), including time burned on failed attempts.
     pub trace: Task,
-    /// Pages that failed (URL + error); the line continues past failures.
-    pub failures: Vec<(String, CrawlError)>,
+    /// Pages that failed for good; the line continues past failures.
+    pub failures: Vec<PageFailure>,
+    /// Page-level re-crawl attempts beyond the first (end-of-partition
+    /// re-enqueues of transiently-failed pages).
+    pub page_retries: u64,
+    /// Pages that failed at least once but succeeded on a later pass.
+    pub recovered_pages: u64,
 }
 
 /// Result of a full parallel crawl.
@@ -47,6 +68,14 @@ pub struct MpReport {
     pub virtual_makespan: Micros,
     /// Virtual time a single line would need (serial execution).
     pub virtual_serial: Micros,
+    /// Page-level re-crawl attempts across all partitions.
+    pub page_retries: u64,
+    /// Pages recovered by re-crawl passes across all partitions.
+    pub recovered_pages: u64,
+    /// Poison URLs quarantined after `quarantine_after` failing passes.
+    pub quarantined_pages: u64,
+    /// Pages lost for good (quarantined + permanent failures).
+    pub failed_pages: u64,
 }
 
 impl MpReport {
@@ -74,6 +103,12 @@ pub struct MpCrawler {
     pub proc_lines: usize,
     /// CPU cores of the (virtual) machine the lines share.
     pub cores: usize,
+    /// Deterministic fault plan shared by every line's client (each line
+    /// keeps its own attempt counters, so decisions stay schedule-independent).
+    pub fault_plan: Option<FaultPlan>,
+    /// Page-level crawl attempts before a transiently-failing URL is
+    /// quarantined (bounds the number of end-of-partition re-crawl passes).
+    pub quarantine_after: u32,
 }
 
 impl MpCrawler {
@@ -86,6 +121,8 @@ impl MpCrawler {
             config,
             proc_lines: 4,
             cores: 2,
+            fault_plan: None,
+            quarantine_after: 3,
         }
     }
 
@@ -101,32 +138,98 @@ impl MpCrawler {
         self
     }
 
+    /// Attaches a deterministic fault plan (every line gets a copy).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the quarantine threshold (page-level attempts, min 1).
+    pub fn with_quarantine_after(mut self, attempts: u32) -> Self {
+        self.quarantine_after = attempts.max(1);
+        self
+    }
+
     /// Crawls one partition serially with a fresh crawler (fresh network
     /// client ⇒ per-partition determinism independent of thread scheduling).
+    ///
+    /// Failure handling: a page whose GET fails *transiently* (timeout, drop,
+    /// 5xx exhaustion) is re-enqueued at the end of the partition and retried
+    /// on a later pass; after `quarantine_after` failing passes it is
+    /// quarantined. Permanent failures (e.g. 404) are abandoned immediately.
     fn crawl_partition(&self, partition: &Partition) -> PartitionResult {
         let mut crawler = Crawler::new(
             Arc::clone(&self.server),
             self.latency.clone(),
             self.config.clone(),
         );
+        if let Some(plan) = &self.fault_plan {
+            crawler = crawler.with_fault_plan(plan.clone());
+        }
         let mut result = PartitionResult {
             id: partition.id,
             models: Vec::with_capacity(partition.urls.len()),
             stats: PageStats::default(),
             trace: Task::default(),
             failures: Vec::new(),
+            page_retries: 0,
+            recovered_pages: 0,
         };
+        let n = partition.urls.len();
+        let mut models: Vec<Option<AppModel>> = (0..n).map(|_| None).collect();
+        let mut attempts: Vec<u32> = vec![0; n];
+        // (url index, last error, quarantined) of pages given up on.
+        let mut failed: Vec<(usize, CrawlError, bool)> = Vec::new();
         let mut segments: Vec<Segment> = Vec::new();
-        for url in &partition.urls {
-            match crawler.crawl_page(&Url::parse(url)) {
-                Ok(page) => {
-                    result.stats.merge(&page.stats);
-                    segments.extend(page.trace.segments.iter().copied());
-                    result.models.push(page.model);
+
+        let mut pending: Vec<usize> = (0..n).collect();
+        while !pending.is_empty() {
+            let mut next_pass: Vec<usize> = Vec::new();
+            for &i in &pending {
+                attempts[i] += 1;
+                let before = crawler.net().now();
+                match crawler.crawl_page(&Url::parse(&partition.urls[i])) {
+                    Ok(page) => {
+                        if attempts[i] > 1 {
+                            result.recovered_pages += 1;
+                        }
+                        result.stats.merge(&page.stats);
+                        segments.extend(page.trace.segments.iter().copied());
+                        models[i] = Some(page.model);
+                    }
+                    Err(e) => {
+                        // The burned virtual time (network + backoff of the
+                        // failed attempts) still occupies the process line.
+                        let burned = crawler.net().now() - before;
+                        if burned > 0 {
+                            segments.push(Segment::Net(burned));
+                        }
+                        if e.is_transient() && attempts[i] < self.quarantine_after {
+                            result.page_retries += 1;
+                            next_pass.push(i);
+                        } else {
+                            let quarantined = e.is_transient();
+                            failed.push((i, e, quarantined));
+                        }
+                    }
                 }
-                Err(e) => result.failures.push((url.clone(), e)),
             }
+            pending = next_pass;
         }
+
+        // Emit models and failures in partition URL order: the index layout
+        // must not depend on how many re-crawl passes happened.
+        result.models = models.into_iter().flatten().collect();
+        failed.sort_by_key(|(i, _, _)| *i);
+        result.failures = failed
+            .into_iter()
+            .map(|(i, error, quarantined)| PageFailure {
+                url: partition.urls[i].clone(),
+                error,
+                attempts: attempts[i],
+                quarantined,
+            })
+            .collect();
         result.trace = Task::new(segments);
         result
     }
@@ -155,8 +258,16 @@ impl MpCrawler {
         partitions_done.sort_by_key(|p| p.id);
 
         let mut aggregate = PageStats::default();
+        let mut page_retries = 0u64;
+        let mut recovered_pages = 0u64;
+        let mut quarantined_pages = 0u64;
+        let mut failed_pages = 0u64;
         for p in &partitions_done {
             aggregate.merge(&p.stats);
+            page_retries += p.page_retries;
+            recovered_pages += p.recovered_pages;
+            quarantined_pages += p.failures.iter().filter(|f| f.quarantined).count() as u64;
+            failed_pages += p.failures.len() as u64;
         }
         let tasks: Vec<Task> = partitions_done.iter().map(|p| p.trace.clone()).collect();
         let report = simulate(&tasks, self.proc_lines, self.cores);
@@ -166,6 +277,10 @@ impl MpCrawler {
             aggregate,
             virtual_makespan: report.makespan,
             virtual_serial: report.serial_time,
+            page_retries,
+            recovered_pages,
+            quarantined_pages,
+            failed_pages,
         }
     }
 }
@@ -256,8 +371,99 @@ mod tests {
         }];
         let mp = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax());
         let report = mp.crawl(&partitions);
+        let failure = &report.partitions[0].failures[0];
         assert_eq!(report.partitions[0].failures.len(), 1);
         assert_eq!(report.partitions[0].models.len(), 2);
+        // A 404 is permanent: abandoned on the first pass, not quarantined.
+        assert!(matches!(
+            failure.error,
+            CrawlError::Http { status: 404, .. }
+        ));
+        assert!(!failure.quarantined);
+        assert_eq!(failure.attempts, 1);
+        assert_eq!(report.failed_pages, 1);
+        assert_eq!(report.quarantined_pages, 0);
+        assert_eq!(report.page_retries, 0);
+    }
+
+    #[test]
+    fn permanently_dead_urls_quarantined_after_k_attempts() {
+        use ajax_net::fault::{Fault, FaultRule};
+        let (server, _) = setup(6, 3);
+        let partitions = vec![Partition {
+            id: 0,
+            urls: vec![
+                "http://vidshare.example/watch?v=0".into(),
+                "http://vidshare.example/watch?v=1".into(),
+                "http://vidshare.example/watch?v=2".into(),
+            ],
+        }];
+        // v=1 is permanently dead (every attempt 503); the rest are clean.
+        let plan = FaultPlan::new(7).with_rule(FaultRule::matching(
+            "v=1",
+            1.0,
+            Fault::Permanent { status: 503 },
+        ));
+        let mp = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax())
+            .with_proc_lines(1)
+            .with_fault_plan(plan)
+            .with_quarantine_after(3);
+        let report = mp.crawl(&partitions);
+        let partition = &report.partitions[0];
+        assert_eq!(partition.models.len(), 2, "healthy pages crawled");
+        assert_eq!(partition.failures.len(), 1);
+        let failure = &partition.failures[0];
+        assert!(failure.url.contains("v=1"));
+        assert!(failure.quarantined, "5xx-forever is quarantined, not 404");
+        assert_eq!(failure.attempts, 3, "exactly quarantine_after passes");
+        assert!(matches!(
+            failure.error,
+            CrawlError::Exhausted { status: 503, .. }
+        ));
+        assert_eq!(report.quarantined_pages, 1);
+        assert_eq!(report.page_retries, 2, "re-enqueued twice before giving up");
+    }
+
+    #[test]
+    fn transient_pages_recovered_by_reenqueue() {
+        use ajax_net::fault::{Fault, FaultRule};
+        let (server, _) = setup(4, 4);
+        let partitions = vec![Partition {
+            id: 0,
+            urls: (0..4)
+                .map(|v| format!("http://vidshare.example/watch?v={v}"))
+                .collect(),
+        }];
+        // Every watch page fails its first 4 fetch attempts with 503 — more
+        // than one crawl attempt (3 fetches) absorbs, so page-level
+        // re-enqueue must kick in — then succeeds forever.
+        let plan = FaultPlan::new(3).with_rule(FaultRule::matching(
+            "/watch",
+            1.0,
+            Fault::Transient {
+                status: 503,
+                fail_attempts: 4,
+            },
+        ));
+        let mp = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax())
+            .with_proc_lines(1)
+            .with_fault_plan(plan);
+        let report = mp.crawl(&partitions);
+        let partition = &report.partitions[0];
+        assert_eq!(partition.failures.len(), 0, "zero lost pages");
+        assert_eq!(partition.models.len(), 4);
+        assert_eq!(partition.recovered_pages, 4, "all recovered on pass 2");
+        assert!(report.page_retries >= 4);
+        // Models come out in partition URL order despite the extra pass.
+        let urls: Vec<&str> = partition.models.iter().map(|m| m.url.as_str()).collect();
+        assert_eq!(
+            urls,
+            partitions[0]
+                .urls
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! and it is what lets the expensive AJAX crawl be partitioned into fully
 //! independent process lines afterwards.
 
-use crate::crawler::CpuCostModel;
+use crate::crawler::{CpuCostModel, RetryPolicy};
 use crate::pagerank::pagerank_default;
 use ajax_dom::parse_document;
+use ajax_net::fault::FaultPlan;
 use ajax_net::{LatencyModel, Micros, NetClient, Server, Url};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -47,6 +48,9 @@ pub struct Precrawler {
     /// Only follow links whose path matches this prefix (e.g. `/watch`),
     /// mirroring how the thesis restricted itself to video pages.
     pub path_filter: Option<String>,
+    /// Retry policy for page GETs (a transiently-failing page would
+    /// otherwise silently vanish from the crawl list).
+    pub retry: RetryPolicy,
 }
 
 impl Precrawler {
@@ -56,7 +60,20 @@ impl Precrawler {
             net: NetClient::new(server, latency),
             costs: CpuCostModel::thesis_default(),
             path_filter: Some("/watch".to_string()),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Attaches a deterministic fault plan to the precrawler's client.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.net = self.net.with_fault_plan(plan);
+        self
+    }
+
+    /// Returns a copy with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// BFS from `start`, visiting at most `max_pages` pages
@@ -74,7 +91,19 @@ impl Precrawler {
         graph.urls.push(start.to_string());
 
         while let Some(url) = queue.pop_front() {
-            let response = self.net.fetch(&url);
+            // Retry under the policy: transport faults surface as synthetic
+            // retryable statuses (598/597) through the legacy fetch.
+            let mut response = self.net.fetch(&url);
+            let mut attempt = 1;
+            while !response.is_ok()
+                && self.retry.retry_status(response.status)
+                && attempt < self.retry.max_attempts
+            {
+                self.net
+                    .charge_wait(self.retry.backoff(&url.to_string(), attempt));
+                response = self.net.fetch(&url);
+                attempt += 1;
+            }
             if !response.is_ok() {
                 graph.edges.entry(url.to_string()).or_default();
                 continue;

@@ -96,7 +96,15 @@ pub fn reconstruct_state(model: &AppModel, target: StateId) -> Result<Document, 
     let mut cache = HotNodeCache::new();
     let costs = CpuCostModel::free();
     let mut trace = Vec::new();
-    let mut env = CrawlEnv::new(&mut net, &mut cache, true, &costs, &mut trace);
+    // Replay runs against the recorded fetches: no faults, no retries.
+    let mut env = CrawlEnv::new(
+        &mut net,
+        &mut cache,
+        true,
+        &costs,
+        crate::crawler::RetryPolicy::none(),
+        &mut trace,
+    );
 
     let url = Url::parse(&model.url);
     let (mut browser, _errors) = Browser::load(url, page_html, 2_000_000, &mut env);

@@ -9,6 +9,11 @@
 //! # Build the traditional baseline instead:
 //! ajax-search build --videos 200 --traditional --out /tmp/trad.idx
 //!
+//! # Build under 10% injected transient faults and dump the JSON report:
+//! ajax-search build --videos 200 --fault-plan "seed=7,transient=0.1" \
+//!     --retries 4 --quarantine-after 3 --report-json /tmp/report.json \
+//!     --out /tmp/ajax.idx
+//!
 //! # Query a saved index:
 //! ajax-search query --index /tmp/ajax.idx "morcheeba mysterious video"
 //!
@@ -20,11 +25,12 @@
 //! ajax-search serve --videos 60 --workers 2 --workload queries.txt
 //! ```
 
-use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_crawl::crawler::RetryPolicy;
+use ajax_engine::{AjaxSearchEngine, BuildReport, EngineConfig};
 use ajax_index::invert::IndexBuilder;
 use ajax_index::persist::{load_index, save_index};
 use ajax_index::query::{search, Query, RankWeights};
-use ajax_net::Url;
+use ajax_net::{FaultPlan, Url};
 use ajax_serve::ServeConfig;
 use ajax_webgen::{VidShareServer, VidShareSpec};
 use std::process::ExitCode;
@@ -39,7 +45,9 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ajax-search build --videos N [--traditional] [--max-states N] --out FILE\n\
+                "usage: ajax-search build --videos N [--traditional] [--max-states N]\n\
+                 \u{20}                  [--fault-plan SPEC] [--retries N] [--quarantine-after K]\n\
+                 \u{20}                  [--report-json FILE] --out FILE\n\
                  \u{20}      ajax-search query --index FILE \"query terms\"\n\
                  \u{20}      ajax-search demo\n\
                  \u{20}      ajax-search serve [--videos N] [--workers W] [--cache N] \
@@ -69,6 +77,70 @@ fn has_flag(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
 }
 
+/// Applies the shared resilience flags (`--fault-plan`, `--retries`,
+/// `--quarantine-after`) to an engine configuration.
+fn apply_resilience_flags(args: &[String], config: &mut EngineConfig) -> Result<(), String> {
+    if let Some(spec) = flag_value(args, "--fault-plan") {
+        config.fault_plan =
+            Some(FaultPlan::from_spec(spec).map_err(|e| format!("--fault-plan: {e}"))?);
+    }
+    if let Some(n) = flag_value(args, "--retries") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| "--retries must be a number".to_string())?;
+        config.crawl.retry = RetryPolicy::default().with_max_attempts(n.max(1));
+    }
+    if let Some(k) = flag_value(args, "--quarantine-after") {
+        let k: u32 = k
+            .parse()
+            .map_err(|_| "--quarantine-after must be a number".to_string())?;
+        config.quarantine_after = k.max(1);
+    }
+    Ok(())
+}
+
+/// Prints what the crawl survived: retries, recoveries, partial states,
+/// and every page it ultimately gave up on.
+fn print_resilience(report: &BuildReport) {
+    if report.crawl.fetch_retries > 0 || report.page_retries > 0 || report.pages_failed > 0 {
+        eprintln!(
+            "resilience: {} fetch retries, {} page re-crawls, {} pages recovered, \
+             {} partial states, {} failed XHR",
+            report.crawl.fetch_retries,
+            report.page_retries,
+            report.pages_recovered,
+            report.crawl.partial_states,
+            report.crawl.failed_xhr,
+        );
+    }
+    if !report.failures.is_empty() {
+        eprintln!(
+            "gave up on {} pages ({} quarantined):",
+            report.pages_failed, report.pages_quarantined
+        );
+        for f in &report.failures {
+            eprintln!(
+                "  [partition {}] {} — {} after {} attempts{}",
+                f.partition,
+                f.url,
+                f.error,
+                f.attempts,
+                if f.quarantined { " (quarantined)" } else { "" }
+            );
+        }
+    }
+}
+
+/// Writes the build report as pretty JSON when `--report-json` is given.
+fn write_report_json(args: &[String], report: &BuildReport) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--report-json") {
+        let json = serde_json::to_string_pretty(report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("wrote build report to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let videos: u32 = flag_value(args, "--videos")
         .unwrap_or("100")
@@ -93,6 +165,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     config.max_index_states = max_states;
     config.keep_models = true;
+    apply_resilience_flags(args, &mut config)?;
 
     eprintln!(
         "building {} index over {videos} videos…",
@@ -108,6 +181,8 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         r.crawl.cache_hits,
         r.virtual_makespan as f64 / 1e6
     );
+    print_resilience(r);
+    write_report_json(args, r)?;
 
     // Persist as a single merged index (simplest portable artifact).
     let mut builder = IndexBuilder::new();

@@ -31,7 +31,7 @@ use ajax_dom::Document;
 use ajax_index::invert::IndexBuilder;
 use ajax_index::query::{Query, RankWeights};
 use ajax_index::shard::{BrokerResult, QueryBroker};
-use ajax_net::{LatencyModel, Server, Url};
+use ajax_net::{FaultPlan, LatencyModel, Server, Url};
 use ajax_serve::{ServeConfig, ShardServer};
 use std::sync::Arc;
 
@@ -59,6 +59,12 @@ pub struct EngineConfig {
     /// Keep the crawled models inside the engine (needed for result
     /// aggregation; costs memory on large corpora).
     pub keep_models: bool,
+    /// Deterministic fault injection for every network client in the
+    /// pipeline (`None` = fault-free).
+    pub fault_plan: Option<FaultPlan>,
+    /// Quarantine a page URL after this many failed page-level crawl
+    /// attempts across re-crawl passes.
+    pub quarantine_after: u32,
 }
 
 impl EngineConfig {
@@ -74,6 +80,8 @@ impl EngineConfig {
             max_index_states: None,
             weights: RankWeights::default(),
             keep_models: false,
+            fault_plan: None,
+            quarantine_after: 3,
         }
     }
 
@@ -89,6 +97,18 @@ impl EngineConfig {
     pub fn with_replay(mut self) -> Self {
         self.crawl.store_dom = true;
         self.keep_models = true;
+        self
+    }
+
+    /// Injects deterministic faults into the precrawl and crawl phases.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the page-level quarantine threshold.
+    pub fn with_quarantine_after(mut self, attempts: u32) -> Self {
+        self.quarantine_after = attempts.max(1);
         self
     }
 }
@@ -111,20 +131,28 @@ impl AjaxSearchEngine {
     /// `start`.
     pub fn build(server: Arc<dyn Server>, start: &Url, config: EngineConfig) -> Self {
         // Phase 1: precrawl.
-        let mut precrawler = Precrawler::new(Arc::clone(&server), config.latency.clone());
+        let mut precrawler = Precrawler::new(Arc::clone(&server), config.latency.clone())
+            .with_retry(config.crawl.retry);
+        if let Some(plan) = &config.fault_plan {
+            precrawler = precrawler.with_fault_plan(plan.clone());
+        }
         let graph = precrawler.run(start, config.precrawl_pages);
 
         // Phase 2: partition.
         let partitions = partition_urls(&graph.urls, config.partition_size);
 
         // Phase 3: parallel crawl.
-        let mp = MpCrawler::new(
+        let mut mp = MpCrawler::new(
             Arc::clone(&server),
             config.latency.clone(),
             config.crawl.clone(),
         )
         .with_proc_lines(config.proc_lines)
-        .with_cores(config.cores);
+        .with_cores(config.cores)
+        .with_quarantine_after(config.quarantine_after);
+        if let Some(plan) = &config.fault_plan {
+            mp = mp.with_fault_plan(plan.clone());
+        }
         let crawl_report = mp.crawl(&partitions);
 
         // Phase 4: one index per partition.
@@ -315,6 +343,34 @@ mod tests {
         assert!(r.virtual_makespan > 0);
         assert!(r.virtual_makespan <= r.virtual_serial);
         assert_eq!(engine.broker.total_states(), r.total_states);
+    }
+
+    #[test]
+    fn faulty_build_loses_no_pages_and_reports_recoveries() {
+        let (server, start) = vidshare(20);
+        let clean = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(20),
+        );
+        let faulty = AjaxSearchEngine::build(
+            server,
+            &start,
+            EngineConfig::ajax(20).with_fault_plan(FaultPlan::transient_mix(11, 0.3)),
+        );
+        let r = &faulty.report;
+        assert_eq!(r.pages_crawled, clean.report.pages_crawled);
+        assert!(
+            r.failures.is_empty(),
+            "retries must absorb transient faults"
+        );
+        assert!(r.crawl.fetch_retries > 0, "30% faults must cost retries");
+        assert_eq!(r.total_states, clean.report.total_states);
+        // Same content reachable despite the faults.
+        assert_eq!(
+            faulty.search("morcheeba mysterious video").len(),
+            clean.search("morcheeba mysterious video").len()
+        );
     }
 
     #[test]

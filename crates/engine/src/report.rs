@@ -8,6 +8,20 @@ use ajax_index::shard::QueryBroker;
 use ajax_net::Micros;
 use serde::{Deserialize, Serialize};
 
+/// One page the crawl gave up on, as surfaced by the CLI and JSON report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSummary {
+    /// Partition the page belonged to.
+    pub partition: usize,
+    pub url: String,
+    /// Human-readable error of the last attempt.
+    pub error: String,
+    /// Page-level crawl attempts before giving up.
+    pub attempts: u32,
+    /// True when the URL was quarantined (kept failing transiently).
+    pub quarantined: bool,
+}
+
 /// Summary of a pipeline run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BuildReport {
@@ -17,6 +31,14 @@ pub struct BuildReport {
     pub pages_crawled: usize,
     /// Pages that failed to crawl.
     pub pages_failed: usize,
+    /// Pages that failed at least once but were recovered by a re-crawl pass.
+    pub pages_recovered: u64,
+    /// Poison URLs quarantined after repeated transient failures.
+    pub pages_quarantined: u64,
+    /// Page-level re-crawl attempts beyond the first.
+    pub page_retries: u64,
+    /// Every abandoned page (URL, error, attempts), in partition order.
+    pub failures: Vec<FailureSummary>,
     /// Virtual time of the precrawl phase.
     pub precrawl_micros: Micros,
     /// Aggregate per-page crawl statistics.
@@ -36,10 +58,27 @@ impl BuildReport {
     pub fn new(graph: &LinkGraph, crawl: &MpReport, broker: &QueryBroker) -> Self {
         let pages_crawled = crawl.partitions.iter().map(|p| p.models.len()).sum();
         let pages_failed = crawl.partitions.iter().map(|p| p.failures.len()).sum();
+        let failures = crawl
+            .partitions
+            .iter()
+            .flat_map(|p| {
+                p.failures.iter().map(|f| FailureSummary {
+                    partition: p.id,
+                    url: f.url.clone(),
+                    error: f.error.to_string(),
+                    attempts: f.attempts,
+                    quarantined: f.quarantined,
+                })
+            })
+            .collect();
         Self {
             pages_discovered: graph.len(),
             pages_crawled,
             pages_failed,
+            pages_recovered: crawl.recovered_pages,
+            pages_quarantined: crawl.quarantined_pages,
+            page_retries: crawl.page_retries,
+            failures,
             precrawl_micros: graph.precrawl_micros,
             crawl: crawl.aggregate,
             virtual_makespan: crawl.virtual_makespan,

@@ -1,0 +1,503 @@
+//! Deterministic fault injection.
+//!
+//! The thesis crawled the live 2008 YouTube over a real, flaky network —
+//! 187,980 events for the 10k-video corpus — yet the simulated substrate is
+//! a perfect world where every request succeeds. This module closes that
+//! gap without giving up reproducibility: a [`FaultPlan`] is a seeded set of
+//! per-URL-pattern rules, and every fault decision is a pure function of
+//! `(seed, rule, url, attempt)`, so two runs with the same plan inject the
+//! *bit-identical* fault sequence. All fault costs (timeout budgets, dropped
+//! connections, latency spikes) are charged to the virtual [`SimClock`],
+//! keeping timing experiments deterministic even in degraded mode.
+//!
+//! [`SimClock`]: crate::clock::SimClock
+
+use crate::clock::Micros;
+use ajax_dom::hash::Fnv64;
+use std::fmt;
+
+/// Transport-level failure surfaced by the fallible fetch path
+/// ([`NetClient::try_fetch_timed`]): the request never produced an HTTP
+/// response at all. Non-2xx responses are *not* `NetError`s — the transport
+/// worked, the server just said no.
+///
+/// [`NetClient::try_fetch_timed`]: crate::network::NetClient::try_fetch_timed
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No response within the virtual request timeout; `after` is the
+    /// virtual time burned waiting (already charged to the clock).
+    Timeout { url: String, after: Micros },
+    /// The connection dropped mid-transfer; the response never arrived
+    /// whole. `after` is the virtual time burned before the drop.
+    Dropped { url: String, after: Micros },
+}
+
+impl NetError {
+    /// The URL the failed request was for.
+    pub fn url(&self) -> &str {
+        match self {
+            NetError::Timeout { url, .. } | NetError::Dropped { url, .. } => url,
+        }
+    }
+
+    /// Virtual time the failed attempt burned (already on the clock).
+    pub fn cost(&self) -> Micros {
+        match self {
+            NetError::Timeout { after, .. } | NetError::Dropped { after, .. } => *after,
+        }
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Timeout { url, after } => {
+                write!(f, "timeout after {after} µs fetching {url}")
+            }
+            NetError::Dropped { url, .. } => write!(f, "connection dropped fetching {url}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// What a matching [`FaultRule`] does to a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// The URL fails its first `fail_attempts` attempts with `status`, then
+    /// succeeds — the classic transient-5xx shape. Selection is per-URL
+    /// (attempt-independent), so a selected URL deterministically recovers
+    /// once retried often enough.
+    Transient { status: u16, fail_attempts: u32 },
+    /// Every attempt fails with `status`: a permanently dead endpoint.
+    /// Selection is per-URL — deadness is a property of the URL, not of the
+    /// attempt — which is what quarantine policies are for.
+    Permanent { status: u16 },
+    /// This attempt fails with `status`; the next attempt re-rolls.
+    Flaky { status: u16 },
+    /// This attempt times out (no response; costs the plan's timeout
+    /// budget). Re-rolled per attempt.
+    Timeout,
+    /// The connection drops mid-transfer on this attempt. Re-rolled per
+    /// attempt.
+    Drop,
+    /// The response arrives, but `factor`× slower (latency spike).
+    /// Re-rolled per attempt.
+    Slow { factor: f64 },
+}
+
+/// One fault rule: which URLs it matches, how often it fires, and what it
+/// injects. Rules are evaluated in order; the first one that fires wins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Substring matched against the full URL (`""` matches everything).
+    pub pattern: String,
+    /// Probability in `[0, 1]` that the rule fires for a matching request.
+    pub rate: f64,
+    /// The fault injected when the rule fires.
+    pub fault: Fault,
+}
+
+impl FaultRule {
+    /// A rule matching every URL.
+    pub fn any(rate: f64, fault: Fault) -> Self {
+        Self {
+            pattern: String::new(),
+            rate,
+            fault,
+        }
+    }
+
+    /// A rule matching URLs containing `pattern`.
+    pub fn matching(pattern: impl Into<String>, rate: f64, fault: Fault) -> Self {
+        Self {
+            pattern: pattern.into(),
+            rate,
+            fault,
+        }
+    }
+}
+
+/// The decision for one `(url, attempt)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultDecision {
+    /// No fault: the request proceeds normally.
+    None,
+    /// The request "reaches" the server but yields an injected error status.
+    Fail { status: u16 },
+    /// The request times out.
+    Timeout,
+    /// The connection drops mid-transfer.
+    Drop,
+    /// The response is delivered `factor`× slower.
+    Slow { factor: f64 },
+}
+
+/// A seeded, reproducible fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every fault roll.
+    pub seed: u64,
+    /// Ordered rules; first firing rule wins.
+    pub rules: Vec<FaultRule>,
+    /// Virtual time a timed-out request burns before giving up.
+    pub timeout_micros: Micros,
+    /// Virtual time a dropped connection burns before failing.
+    pub drop_micros: Micros,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the default budgets.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+            timeout_micros: 2_000_000,
+            drop_micros: 300_000,
+        }
+    }
+
+    /// Adds a rule (builder style).
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Sets the virtual timeout budget.
+    pub fn with_timeout_micros(mut self, micros: Micros) -> Self {
+        self.timeout_micros = micros;
+        self
+    }
+
+    /// The standard transient mix used by the fault-sweep experiments:
+    /// `rate` is split across flaky 503s (half), timeouts (a quarter) and
+    /// connection drops (a quarter), all per-attempt, so retries with
+    /// backoff recover everything eventually.
+    pub fn transient_mix(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self::new(seed)
+            .with_rule(FaultRule::any(rate * 0.5, Fault::Flaky { status: 503 }))
+            .with_rule(FaultRule::any(rate * 0.25, Fault::Timeout))
+            .with_rule(FaultRule::any(rate * 0.25, Fault::Drop))
+    }
+
+    /// Parses a CLI-style spec: comma-separated `key=value` clauses.
+    ///
+    /// * `seed=N` — the plan seed (default 0);
+    /// * `rate=R` — shorthand for the standard transient mix at rate `R`;
+    /// * `flaky=R[:STATUS]` — per-attempt 5xx at rate `R` (default 503);
+    /// * `timeout=R` — per-attempt timeouts at rate `R`;
+    /// * `drop=R` — per-attempt connection drops at rate `R`;
+    /// * `slow=R[:FACTOR]` — latency spikes at rate `R` (default 5×);
+    /// * `transient=R[:N[:STATUS]]` — `R` of URLs fail their first `N`
+    ///   attempts (default 2) with `STATUS` (default 503), then succeed;
+    /// * `dead=R[:STATUS]` — `R` of URLs are permanently dead;
+    /// * `dead_pattern=SUBSTR` — URLs containing `SUBSTR` are always dead;
+    /// * `timeout_ms=N` / `drop_ms=N` — virtual fault budgets.
+    ///
+    /// Example: `seed=42,rate=0.3,dead_pattern=/legacy`.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let mut parts = value.split(':');
+            let head = parts.next().unwrap_or_default();
+            let rate = || -> Result<f64, String> {
+                head.parse::<f64>()
+                    .map_err(|_| format!("{key}: bad rate {head:?}"))
+            };
+            match key {
+                "seed" => {
+                    plan.seed = head
+                        .parse()
+                        .map_err(|_| format!("seed: bad value {head:?}"))?
+                }
+                "timeout_ms" => {
+                    plan.timeout_micros = head
+                        .parse::<u64>()
+                        .map_err(|_| format!("timeout_ms: bad value {head:?}"))?
+                        * 1_000
+                }
+                "drop_ms" => {
+                    plan.drop_micros = head
+                        .parse::<u64>()
+                        .map_err(|_| format!("drop_ms: bad value {head:?}"))?
+                        * 1_000
+                }
+                "rate" => {
+                    let mix = FaultPlan::transient_mix(plan.seed, rate()?);
+                    plan.rules.extend(mix.rules);
+                }
+                "flaky" => {
+                    let status = parse_or(parts.next(), 503, "flaky status")?;
+                    plan.rules
+                        .push(FaultRule::any(rate()?, Fault::Flaky { status }));
+                }
+                "timeout" => plan.rules.push(FaultRule::any(rate()?, Fault::Timeout)),
+                "drop" => plan.rules.push(FaultRule::any(rate()?, Fault::Drop)),
+                "slow" => {
+                    let factor = parse_or(parts.next(), 5.0, "slow factor")?;
+                    plan.rules
+                        .push(FaultRule::any(rate()?, Fault::Slow { factor }));
+                }
+                "transient" => {
+                    let fail_attempts = parse_or(parts.next(), 2, "transient attempts")?;
+                    let status = parse_or(parts.next(), 503, "transient status")?;
+                    plan.rules.push(FaultRule::any(
+                        rate()?,
+                        Fault::Transient {
+                            status,
+                            fail_attempts,
+                        },
+                    ));
+                }
+                "dead" => {
+                    let status = parse_or(parts.next(), 503, "dead status")?;
+                    plan.rules
+                        .push(FaultRule::any(rate()?, Fault::Permanent { status }));
+                }
+                "dead_pattern" => plan.rules.push(FaultRule::matching(
+                    head,
+                    1.0,
+                    Fault::Permanent { status: 503 },
+                )),
+                other => return Err(format!("unknown fault clause {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Decides the fault (if any) for the `attempt`-th request to `url`
+    /// (attempts count from 0). Pure: same inputs, same decision.
+    pub fn decide(&self, url: &str, attempt: u32) -> FaultDecision {
+        for (idx, rule) in self.rules.iter().enumerate() {
+            if !rule.pattern.is_empty() && !url.contains(rule.pattern.as_str()) {
+                continue;
+            }
+            match &rule.fault {
+                // Per-URL selection: the roll ignores the attempt number, so
+                // a selected URL behaves identically on every attempt.
+                Fault::Transient {
+                    status,
+                    fail_attempts,
+                } => {
+                    // A recovered URL falls through: later rules (e.g. a
+                    // dead_pattern) still get their say.
+                    if self.roll(idx, b'u', url, 0) < rule.rate && attempt < *fail_attempts {
+                        return FaultDecision::Fail { status: *status };
+                    }
+                }
+                Fault::Permanent { status } => {
+                    if self.roll(idx, b'u', url, 0) < rule.rate {
+                        return FaultDecision::Fail { status: *status };
+                    }
+                }
+                // Per-attempt faults: every retry re-rolls.
+                Fault::Flaky { status } => {
+                    if self.roll(idx, b'a', url, attempt) < rule.rate {
+                        return FaultDecision::Fail { status: *status };
+                    }
+                }
+                Fault::Timeout => {
+                    if self.roll(idx, b'a', url, attempt) < rule.rate {
+                        return FaultDecision::Timeout;
+                    }
+                }
+                Fault::Drop => {
+                    if self.roll(idx, b'a', url, attempt) < rule.rate {
+                        return FaultDecision::Drop;
+                    }
+                }
+                Fault::Slow { factor } => {
+                    if self.roll(idx, b'a', url, attempt) < rule.rate {
+                        return FaultDecision::Slow { factor: *factor };
+                    }
+                }
+            }
+        }
+        FaultDecision::None
+    }
+
+    /// Deterministic roll in `[0, 1)` from `(seed, rule, tag, url, attempt)`.
+    fn roll(&self, rule: usize, tag: u8, url: &str, attempt: u32) -> f64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.seed);
+        h.write_u64(rule as u64);
+        h.write_u64(u64::from(tag));
+        h.write_str(url);
+        h.write_u64(u64::from(attempt));
+        (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn parse_or<T: std::str::FromStr>(part: Option<&str>, default: T, what: &str) -> Result<T, String> {
+    match part {
+        None | Some("") => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("bad {what}: {s:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::new(7);
+        for attempt in 0..100 {
+            assert_eq!(plan.decide("/watch?v=1", attempt), FaultDecision::None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::transient_mix(42, 0.5);
+        for attempt in 0..50 {
+            let a = plan.decide("/watch?v=3", attempt);
+            let b = plan.decide("/watch?v=3", attempt);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn transient_fails_n_then_succeeds() {
+        let plan = FaultPlan::new(1).with_rule(FaultRule::any(
+            1.0,
+            Fault::Transient {
+                status: 503,
+                fail_attempts: 2,
+            },
+        ));
+        assert_eq!(plan.decide("/a", 0), FaultDecision::Fail { status: 503 });
+        assert_eq!(plan.decide("/a", 1), FaultDecision::Fail { status: 503 });
+        assert_eq!(plan.decide("/a", 2), FaultDecision::None);
+        assert_eq!(plan.decide("/a", 3), FaultDecision::None);
+    }
+
+    #[test]
+    fn permanent_never_recovers() {
+        let plan =
+            FaultPlan::new(1).with_rule(FaultRule::any(1.0, Fault::Permanent { status: 500 }));
+        for attempt in 0..20 {
+            assert_eq!(
+                plan.decide("/dead", attempt),
+                FaultDecision::Fail { status: 500 }
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_scopes_rules() {
+        let plan = FaultPlan::new(1).with_rule(FaultRule::matching(
+            "/legacy",
+            1.0,
+            Fault::Permanent { status: 503 },
+        ));
+        assert_eq!(
+            plan.decide("http://x/legacy/api", 0),
+            FaultDecision::Fail { status: 503 }
+        );
+        assert_eq!(plan.decide("http://x/watch?v=1", 0), FaultDecision::None);
+    }
+
+    #[test]
+    fn recovered_transient_does_not_mask_later_rules() {
+        // A URL picked by a transient rule must still hit a dead_pattern
+        // rule behind it once the transient window has passed.
+        let plan = FaultPlan::new(7)
+            .with_rule(FaultRule::any(
+                1.0,
+                Fault::Transient {
+                    status: 503,
+                    fail_attempts: 1,
+                },
+            ))
+            .with_rule(FaultRule::matching(
+                "v=13",
+                1.0,
+                Fault::Permanent { status: 500 },
+            ));
+        assert_eq!(
+            plan.decide("/watch?v=13", 0),
+            FaultDecision::Fail { status: 503 }
+        );
+        assert_eq!(
+            plan.decide("/watch?v=13", 5),
+            FaultDecision::Fail { status: 500 },
+            "permanent rule must apply after the transient window"
+        );
+        assert_eq!(plan.decide("/watch?v=2", 5), FaultDecision::None);
+    }
+
+    #[test]
+    fn per_attempt_faults_reroll() {
+        // At rate 0.5 over many attempts, both outcomes must appear.
+        let plan = FaultPlan::new(9).with_rule(FaultRule::any(0.5, Fault::Timeout));
+        let outcomes: Vec<_> = (0..100).map(|a| plan.decide("/u", a)).collect();
+        assert!(outcomes.contains(&FaultDecision::Timeout));
+        assert!(outcomes.contains(&FaultDecision::None));
+    }
+
+    #[test]
+    fn rate_selects_a_fraction_of_urls() {
+        let plan =
+            FaultPlan::new(3).with_rule(FaultRule::any(0.3, Fault::Permanent { status: 500 }));
+        let dead = (0..1000)
+            .filter(|v| plan.decide(&format!("/watch?v={v}"), 0) != FaultDecision::None)
+            .count();
+        assert!((200..400).contains(&dead), "got {dead} dead of 1000");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::transient_mix(1, 0.4);
+        let b = FaultPlan::transient_mix(2, 0.4);
+        let da: Vec<_> = (0..64).map(|i| a.decide(&format!("/v{i}"), 0)).collect();
+        let db: Vec<_> = (0..64).map(|i| b.decide(&format!("/v{i}"), 0)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let plan = FaultPlan::from_spec("seed=42,rate=0.3,dead_pattern=/legacy,timeout_ms=500")
+            .expect("valid spec");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.timeout_micros, 500_000);
+        assert_eq!(plan.rules.len(), 4, "mix (3 rules) + dead_pattern");
+        assert_eq!(
+            plan.decide("http://x/legacy/old", 0),
+            FaultDecision::Fail { status: 503 }
+        );
+    }
+
+    #[test]
+    fn spec_explicit_rules() {
+        let plan = FaultPlan::from_spec("seed=1,flaky=0.2:500,transient=0.1:3:502,slow=0.5:8")
+            .expect("valid");
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].fault, Fault::Flaky { status: 500 });
+        assert_eq!(
+            plan.rules[1].fault,
+            Fault::Transient {
+                status: 502,
+                fail_attempts: 3
+            }
+        );
+        assert_eq!(plan.rules[2].fault, Fault::Slow { factor: 8.0 });
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(FaultPlan::from_spec("nonsense").is_err());
+        assert!(FaultPlan::from_spec("wat=1").is_err());
+        assert!(FaultPlan::from_spec("flaky=notanumber").is_err());
+    }
+}

@@ -15,12 +15,17 @@
 //!   defaults approximate the thesis' observed page times.
 //! * [`NetClient`] — fetch with per-request accounting (request count, bytes,
 //!   cumulative network time): the raw data behind Figs. 7.5–7.7.
+//! * [`FaultPlan`] — deterministic fault injection (timeouts, drops,
+//!   transient/permanent errors, latency spikes) layered onto the client;
+//!   every fault decision is a pure function of `(seed, url, attempt)` so
+//!   degraded-mode experiments stay bit-reproducible.
 //! * [`sched`] — a discrete-event executor that replays per-page CPU/network
 //!   traces over *k* "process lines" sharing *m* CPU cores: the virtual-time
 //!   model of the parallel crawler (thesis ch. 6, Table 7.3 / Fig 7.8).
 //!   Network waits overlap freely; CPU contends via processor sharing.
 
 pub mod clock;
+pub mod fault;
 pub mod latency;
 pub mod network;
 pub mod sched;
@@ -28,6 +33,7 @@ pub mod server;
 pub mod url;
 
 pub use clock::{Micros, SimClock};
+pub use fault::{Fault, FaultDecision, FaultPlan, FaultRule, NetError};
 pub use latency::LatencyModel;
 pub use network::{NetClient, NetStats};
 pub use sched::{simulate, Segment, SimReport, Task};

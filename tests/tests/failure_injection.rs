@@ -154,7 +154,7 @@ fn malformed_html_fragments_do_not_break_state_tracking() {
 }
 
 #[test]
-fn flaky_server_page_fetches_reported_and_skipped() {
+fn flaky_server_recovered_by_retries() {
     let inner = ajax_webgen::VidShareServer::new(ajax_webgen::VidShareSpec::small(30));
     let flaky = Arc::new(FlakyServer {
         inner,
@@ -170,17 +170,53 @@ fn flaky_server_page_fetches_reported_and_skipped() {
     let mp = MpCrawler::new(flaky, LatencyModel::Zero, CrawlConfig::ajax()).with_proc_lines(1);
     let report = mp.crawl(&partitions);
     let partition = &report.partitions[0];
+    // The flaky server fails every 4th request, but consecutive requests
+    // differ (its counter advances), so a single retry always recovers:
+    // the retry layer turns "1 in 4 pages lost" into zero lost pages.
+    assert!(partition.failures.is_empty(), "retries recover every 500");
+    assert_eq!(partition.models.len(), 12);
+    assert!(
+        report.aggregate.fetch_retries > 0,
+        "recovery must have cost retries"
+    );
+    assert!(report.aggregate.backoff_micros > 0, "retries sleep backoff");
+}
+
+#[test]
+fn flaky_server_without_retries_loses_pages() {
+    // The pre-resilience behavior, now opt-in via RetryPolicy::none():
+    // failed page GETs are reported and skipped.
+    use ajax_crawl::crawler::RetryPolicy;
+    let inner = ajax_webgen::VidShareServer::new(ajax_webgen::VidShareSpec::small(30));
+    let flaky = Arc::new(FlakyServer {
+        inner,
+        n: 4,
+        counter: AtomicU64::new(0),
+    });
+    let partitions = vec![Partition {
+        id: 1,
+        urls: (0..12)
+            .map(|v| format!("http://vidshare.example/watch?v={v}"))
+            .collect(),
+    }];
+    let config = CrawlConfig::ajax().with_retry(RetryPolicy::none());
+    let mp = MpCrawler::new(flaky, LatencyModel::Zero, config)
+        .with_proc_lines(1)
+        .with_quarantine_after(1);
+    let report = mp.crawl(&partitions);
+    let partition = &report.partitions[0];
     assert!(!partition.failures.is_empty(), "some page GETs failed");
     assert!(
         !partition.models.is_empty(),
         "pages between failures still crawled"
     );
     assert_eq!(partition.failures.len() + partition.models.len(), 12);
-    for (_, err) in &partition.failures {
+    for failure in &partition.failures {
         assert!(matches!(
-            err,
-            ajax_crawl::crawler::CrawlError::Http { status: 500, .. }
+            failure.error,
+            ajax_crawl::crawler::CrawlError::Exhausted { status: 500, .. }
         ));
+        assert_eq!(failure.attempts, 1);
     }
 }
 
