@@ -1,9 +1,15 @@
 //! Criterion bench: per-page crawl cost of the three crawler flavours
 //! (wall-clock compute; the virtual network is free here so the benchmark
 //! isolates parsing, JS execution, hashing and model maintenance).
+//!
+//! `ajax_hotnode_traced` repeats the hot-node flavour with the `ajax-obs`
+//! flight recorder enabled; comparing it against `ajax_hotnode` measures the
+//! tracing overhead, and the gap between `ajax_hotnode` here and its
+//! pre-tracing baseline is the *disabled* recorder's cost (expected: noise).
 
 use ajax_crawl::crawler::{CrawlConfig, Crawler};
 use ajax_net::{LatencyModel, Server, Url};
+use ajax_obs::Recorder;
 use ajax_webgen::{video_meta, VidShareServer, VidShareSpec};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -34,6 +40,19 @@ fn bench_crawl(c: &mut Criterion) {
             })
         });
     }
+    group.bench_function("ajax_hotnode_traced", |b| {
+        b.iter(|| {
+            let mut crawler = Crawler::new(
+                Arc::clone(&server) as Arc<dyn Server>,
+                LatencyModel::Zero,
+                CrawlConfig::ajax(),
+            )
+            .with_recorder(Recorder::enabled());
+            let stats = crawler.crawl_page(black_box(&url)).expect("crawl");
+            black_box(crawler.take_spans());
+            black_box(stats)
+        })
+    });
     group.finish();
 }
 

@@ -5,13 +5,15 @@
 //! reports what resilience cost: fetch retries, page re-crawl passes,
 //! recovered pages, partial states — and, crucially, how many pages were
 //! *lost*. Each cell is also run twice to confirm the run is bit-identical
-//! under the same seed (virtual time included).
+//! under the same seed (virtual time included) — and, with tracing on, that
+//! the serialised span trace of both runs matches byte for byte.
 
 use crate::util::{latency, TableFmt};
 use ajax_crawl::crawler::CrawlConfig;
 use ajax_crawl::parallel::{MpCrawler, MpReport};
 use ajax_crawl::partition::{partition_urls, Partition};
 use ajax_net::{FaultPlan, Server};
+use ajax_obs::chrome_trace_json;
 use ajax_webgen::{VidShareServer, VidShareSpec};
 use serde::Serialize;
 use std::sync::Arc;
@@ -36,6 +38,10 @@ pub struct FaultCell {
     /// True when a second run with the same seed reproduced the first
     /// bit-for-bit (stats, failures, models, virtual makespan).
     pub deterministic: bool,
+    /// True when the two runs' *trace output* (span log serialised to Chrome
+    /// `trace_event` JSON) is byte-identical — the flight recorder must be as
+    /// reproducible as the stats it annotates.
+    pub trace_deterministic: bool,
 }
 
 /// The full sweep.
@@ -56,7 +62,8 @@ fn run_once(
         latency(),
         CrawlConfig::ajax(),
     )
-    .with_proc_lines(4);
+    .with_proc_lines(4)
+    .with_tracing(true);
     if rate > 0.0 {
         mp = mp.with_fault_plan(FaultPlan::transient_mix(seed, rate));
     }
@@ -111,6 +118,8 @@ pub fn collect(videos: u32, seeds: &[u64], rates: &[f64]) -> FaultSweep {
                 backoff_micros: report.aggregate.backoff_micros,
                 makespan_micros: report.virtual_makespan,
                 deterministic: identical(&report, &rerun),
+                trace_deterministic: chrome_trace_json(&report.spans)
+                    == chrome_trace_json(&rerun.spans),
             });
         }
     }
@@ -130,6 +139,7 @@ impl FaultSweep {
             "partials",
             "makespan (s)",
             "deterministic",
+            "trace",
         ]);
         for c in &self.cells {
             table.row(vec![
@@ -142,6 +152,7 @@ impl FaultSweep {
                 c.partial_states.to_string(),
                 format!("{:.1}", c.makespan_micros as f64 / 1e6),
                 if c.deterministic { "yes" } else { "NO" }.to_string(),
+                if c.trace_deterministic { "yes" } else { "NO" }.to_string(),
             ]);
         }
         format!(
@@ -151,10 +162,11 @@ impl FaultSweep {
         )
     }
 
-    /// True when every cell lost zero pages and reproduced deterministically.
+    /// True when every cell lost zero pages and reproduced deterministically
+    /// — stats *and* trace output alike.
     pub fn all_resilient(&self) -> bool {
         self.cells
             .iter()
-            .all(|c| c.lost_pages == 0 && c.deterministic)
+            .all(|c| c.lost_pages == 0 && c.deterministic && c.trace_deterministic)
     }
 }

@@ -153,7 +153,7 @@ mod tests {
             states: 3,
             ..PageStats::default()
         };
-        let total = aggregate(&[a, a]);
+        let total = aggregate(&[a.clone(), a]);
         assert_eq!(total.events_fired, 4);
         assert_eq!(total.states, 6);
     }

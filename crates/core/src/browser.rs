@@ -13,11 +13,12 @@ use ajax_js::{
 use ajax_net::fault::NetError;
 use ajax_net::sched::Segment;
 use ajax_net::{Micros, NetClient, Url};
+use ajax_obs::{AttrValue, Recorder};
 use std::collections::HashSet;
 
 /// Everything an event invocation may touch besides the page itself:
-/// network, hot-node cache, cost model, retry policy, and the CPU/network
-/// trace being recorded for the parallel scheduler.
+/// network, hot-node cache, cost model, retry policy, the CPU/network
+/// trace being recorded for the parallel scheduler, and the span recorder.
 pub struct CrawlEnv<'a> {
     pub net: &'a mut NetClient,
     pub cache: &'a mut HotNodeCache,
@@ -28,6 +29,9 @@ pub struct CrawlEnv<'a> {
     pub retry: RetryPolicy,
     /// Alternating CPU/network segments of the page crawl.
     pub trace: &'a mut Vec<Segment>,
+    /// Span recorder stamped on the virtual clock (no-op when tracing is
+    /// disabled).
+    pub rec: &'a mut Recorder,
     /// CPU time accrued since the last network segment.
     cpu_pending: Micros,
     /// Fetch attempts beyond the first (retries), page-wide.
@@ -35,7 +39,8 @@ pub struct CrawlEnv<'a> {
 }
 
 impl<'a> CrawlEnv<'a> {
-    /// Creates an environment around a client, cache and trace buffer.
+    /// Creates an environment around a client, cache, trace buffer and span
+    /// recorder.
     pub fn new(
         net: &'a mut NetClient,
         cache: &'a mut HotNodeCache,
@@ -43,6 +48,7 @@ impl<'a> CrawlEnv<'a> {
         costs: &'a CpuCostModel,
         retry: RetryPolicy,
         trace: &'a mut Vec<Segment>,
+        rec: &'a mut Recorder,
     ) -> Self {
         Self {
             net,
@@ -51,6 +57,7 @@ impl<'a> CrawlEnv<'a> {
             costs,
             retry,
             trace,
+            rec,
             cpu_pending: 0,
             fetch_retries: 0,
         }
@@ -264,12 +271,22 @@ impl<'a, 'b> PageHost<'a, 'b> {
             .flatten();
         let (status, body) = if let Some(cached) = cached {
             self.outcome.cache_hits += 1;
+            if self.env.rec.is_on() {
+                let now = self.env.net.now();
+                self.env.rec.push(
+                    "hotnode.hit",
+                    now,
+                    now,
+                    vec![("function", AttrValue::str(&function))],
+                );
+            }
             (200, cached)
         } else {
             // One *logical* network call; retries under the policy are
             // accounted separately (`fetch_retries`).
             self.outcome.network_calls += 1;
-            match self.env.fetch_with_retry(&url) {
+            let fetch_start = self.env.net.now();
+            let (status, body) = match self.env.fetch_with_retry(&url) {
                 Ok((resp, _attempts)) => {
                     if self.env.caching_enabled {
                         self.env
@@ -296,7 +313,20 @@ impl<'a, 'b> PageHost<'a, 'b> {
                     self.env.cache.record_uncached_call();
                     (0, String::new())
                 }
+            };
+            if self.env.rec.is_on() {
+                let end = self.env.net.now();
+                self.env.rec.push(
+                    "xhr.fetch",
+                    fetch_start,
+                    end,
+                    vec![
+                        ("url", AttrValue::str(url.to_string())),
+                        ("status", AttrValue::U64(status as u64)),
+                    ],
+                );
             }
+            (status, body)
         };
 
         if let Some(HostObj::Xhr {

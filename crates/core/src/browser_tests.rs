@@ -25,6 +25,7 @@ fn with_env<T>(f: impl FnOnce(&mut CrawlEnv<'_>) -> T) -> T {
     let mut cache = HotNodeCache::new();
     let costs = CpuCostModel::free();
     let mut trace = Vec::new();
+    let mut rec = ajax_obs::Recorder::Off;
     let mut env = CrawlEnv::new(
         &mut net,
         &mut cache,
@@ -32,6 +33,7 @@ fn with_env<T>(f: impl FnOnce(&mut CrawlEnv<'_>) -> T) -> T {
         &costs,
         RetryPolicy::none(),
         &mut trace,
+        &mut rec,
     );
     f(&mut env)
 }
@@ -212,6 +214,7 @@ fn trace_interleaves_cpu_and_net() {
         ..CpuCostModel::free()
     };
     let mut trace = Vec::new();
+    let mut rec = ajax_obs::Recorder::Off;
     {
         let mut env = CrawlEnv::new(
             &mut net,
@@ -220,6 +223,7 @@ fn trace_interleaves_cpu_and_net() {
             &costs,
             RetryPolicy::none(),
             &mut trace,
+            &mut rec,
         );
         let mut browser = load(
             "<html><head><script>\

@@ -19,6 +19,7 @@ use ajax_dom::{parse_document, EventType};
 use ajax_net::fault::FaultPlan;
 use ajax_net::sched::Task;
 use ajax_net::{LatencyModel, Micros, NetClient, Response, Server, Url};
+use ajax_obs::{AttrValue, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -273,7 +274,7 @@ impl CrawlConfig {
 }
 
 /// Per-page crawl accounting (raw material of the ch. 7 experiments).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageStats {
     /// Events fired (Alg. 3.1.1's loop iterations).
     pub events_fired: u64,
@@ -286,6 +287,10 @@ pub struct PageStats {
     pub cache_hits: u64,
     /// Distinct hot nodes (server-fetching functions) identified on the page.
     pub hot_nodes: u64,
+    /// Names of the functions behind `hot_nodes`; merged by set union so
+    /// cross-page / cross-partition aggregates count each distinct function
+    /// once (see [`HotNodeStats::merge`](crate::hotnode::HotNodeStats)).
+    pub hot_functions: std::collections::BTreeSet<String>,
     /// Events skipped (update-event guard or barren-event history).
     pub events_skipped: u64,
     /// States left unexpanded by the focused-crawling filter.
@@ -323,7 +328,16 @@ impl PageStats {
         self.events_with_ajax += other.events_with_ajax;
         self.ajax_network_calls += other.ajax_network_calls;
         self.cache_hits += other.cache_hits;
-        self.hot_nodes = self.hot_nodes.max(other.hot_nodes);
+        // Union the hot-function names: `max` undercounted whenever two
+        // pages/partitions discovered different hot nodes, and a plain sum
+        // double-counts functions shared across pages of the same app.
+        self.hot_functions
+            .extend(other.hot_functions.iter().cloned());
+        self.hot_nodes = if self.hot_functions.is_empty() {
+            self.hot_nodes + other.hot_nodes
+        } else {
+            self.hot_functions.len() as u64
+        };
         self.events_skipped += other.events_skipped;
         self.states_not_expanded += other.states_not_expanded;
         self.duplicates += other.duplicates;
@@ -484,6 +498,7 @@ impl std::error::Error for CrawlError {}
 pub struct Crawler {
     net: NetClient,
     config: CrawlConfig,
+    recorder: Recorder,
 }
 
 impl Crawler {
@@ -492,6 +507,7 @@ impl Crawler {
         Self {
             net: NetClient::new(server, latency),
             config,
+            recorder: Recorder::Off,
         }
     }
 
@@ -499,6 +515,18 @@ impl Crawler {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.net = self.net.with_fault_plan(plan);
         self
+    }
+
+    /// Attaches a span recorder; pass [`Recorder::enabled()`] to trace the
+    /// crawl on the virtual clock (`Recorder::Off` is the zero-cost default).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Drains the spans recorded so far (empty when tracing is disabled).
+    pub fn take_spans(&mut self) -> Vec<ajax_obs::SpanEvent> {
+        self.recorder.take()
     }
 
     /// The crawler's network client (for reading aggregate statistics).
@@ -545,6 +573,7 @@ impl Crawler {
                 &self.config.costs,
                 self.config.retry,
                 &mut trace_segments,
+                &mut self.recorder,
             );
 
             let response = match env.fetch_with_retry(url) {
@@ -577,6 +606,7 @@ impl Crawler {
         stats.ajax_network_calls = hot_stats.network_calls;
         stats.cache_hits = hot_stats.cache_hits;
         stats.hot_nodes = hot_stats.hot_nodes;
+        stats.hot_functions = hot_stats.hot_functions.clone();
         stats.states = model.state_count() as u64;
         stats.transitions = model.transitions.len() as u64;
         stats.crawl_micros = self.net.now() - start_time;
@@ -590,6 +620,20 @@ impl Crawler {
             .into_iter()
             .map(|(url, body)| crate::model::FetchRecord { url, body })
             .collect();
+
+        if self.recorder.is_on() {
+            self.recorder.push(
+                "crawl.page",
+                start_time,
+                self.net.now(),
+                vec![
+                    ("url", AttrValue::str(url.to_string())),
+                    ("states", AttrValue::U64(stats.states)),
+                    ("events", AttrValue::U64(stats.events_fired)),
+                    ("cache_hits", AttrValue::U64(stats.cache_hits)),
+                ],
+            );
+        }
 
         Ok((
             PageCrawl {
@@ -633,6 +677,7 @@ impl Crawler {
         history: Option<&EventHistory>,
         new_history: &mut EventHistory,
     ) -> Result<(), CrawlError> {
+        let load_start = env.net.now();
         let (mut browser, load_errors, load_outcome) =
             Browser::load_with_outcome(url.clone(), body, config.js_fuel, env);
         stats.js_errors += load_errors.len() as u64;
@@ -650,6 +695,7 @@ impl Crawler {
         env.charge_cpu(config.costs.state_micros);
         let dom_html = config.store_dom.then(|| browser.doc().to_html());
         model.add_state(initial_hash, initial_text, dom_html);
+        env.rec.push0("crawl.load", load_start, env.net.now());
 
         let mut snapshots = vec![browser.snapshot()];
         let mut queue = VecDeque::from([StateId::INITIAL]);
@@ -670,8 +716,10 @@ impl Crawler {
                 }
             }
             // Restore the state's snapshot to enumerate its events.
+            let rb_start = env.net.now();
             browser.restore(&snapshots[state_id.index()]);
             env.charge_cpu(config.costs.rollback_micros);
+            env.rec.push0("crawl.rollback", rb_start, env.net.now());
             let bindings = collect_event_bindings(browser.doc(), &config.event_types);
 
             for binding in bindings {
@@ -694,73 +742,95 @@ impl Crawler {
                         continue;
                     }
                 }
-                // Rollback to the source state before every event
-                // (Alg. 3.1.1 line 17): both the DOM and the JS globals.
-                browser.restore(&snapshots[state_id.index()]);
-                env.charge_cpu(config.costs.rollback_micros);
+                // The event body runs in a closure returning what became of
+                // the firing, so the `crawl.event` span can label its result
+                // without a push on every early exit.
+                let ev_start = env.net.now();
+                let result: &'static str = (|| {
+                    // Rollback to the source state before every event
+                    // (Alg. 3.1.1 line 17): both the DOM and the JS globals.
+                    let rb_start = env.net.now();
+                    browser.restore(&snapshots[state_id.index()]);
+                    env.charge_cpu(config.costs.rollback_micros);
+                    env.rec.push0("crawl.rollback", rb_start, env.net.now());
 
-                let outcome = browser.fire_event(&binding.code, env);
-                stats.events_fired += 1;
-                if outcome.attempted_ajax() {
-                    stats.events_with_ajax += 1;
-                }
-                stats.failed_xhr += outcome.failed_xhr as u64;
-                if outcome.js_error.is_some() {
-                    stats.js_errors += 1;
-                    continue;
-                }
-                if outcome.exhausted_xhr > 0 {
-                    // An XHR exhausted every retry mid-event: whatever DOM
-                    // the handler left behind is built on a failed fetch.
-                    // Record a partial state and move on without
-                    // materializing it — graceful degradation means missing
-                    // edges, never corrupt states. The event is also left
-                    // out of the history (its productivity is unknown).
-                    stats.partial_states += 1;
-                    continue;
-                }
+                    let outcome = browser.fire_event(&binding.code, env);
+                    stats.events_fired += 1;
+                    if outcome.attempted_ajax() {
+                        stats.events_with_ajax += 1;
+                    }
+                    stats.failed_xhr += outcome.failed_xhr as u64;
+                    if outcome.js_error.is_some() {
+                        stats.js_errors += 1;
+                        return "js_error";
+                    }
+                    if outcome.exhausted_xhr > 0 {
+                        // An XHR exhausted every retry mid-event: whatever DOM
+                        // the handler left behind is built on a failed fetch.
+                        // Record a partial state and move on without
+                        // materializing it — graceful degradation means missing
+                        // edges, never corrupt states. The event is also left
+                        // out of the history (its productivity is unknown).
+                        stats.partial_states += 1;
+                        return "partial";
+                    }
 
-                let new_hash = browser.state_hash(env);
-                let changed = new_hash != model.states[state_id.index()].hash;
-                new_history.record(&binding.source, binding.event_type, &binding.code, changed);
-                if !changed {
-                    continue; // DOM unchanged: no transition.
+                    let new_hash = browser.state_hash(env);
+                    let changed = new_hash != model.states[state_id.index()].hash;
+                    new_history.record(&binding.source, binding.event_type, &binding.code, changed);
+                    if !changed {
+                        return "unchanged"; // DOM unchanged: no transition.
+                    }
+
+                    let target = if let Some(existing) = model.state_by_hash(new_hash) {
+                        stats.duplicates += 1;
+                        existing.id
+                    } else if model.state_count() < config.max_states {
+                        let text = browser.doc().document_text();
+                        env.charge_cpu(config.costs.state_micros);
+                        let dom_html = config.store_dom.then(|| browser.doc().to_html());
+                        let id = model.add_state(new_hash, text, dom_html);
+                        snapshots.push(browser.snapshot());
+                        queue.push_back(id);
+                        id
+                    } else {
+                        // State cap reached (infinite-expansion guard): the
+                        // transition target is not materialized.
+                        return "state_cap";
+                    };
+
+                    env.charge_cpu(config.costs.transition_micros);
+                    // Annotate the transition with its modified targets
+                    // (Table 2.1) by diffing the source-state DOM against the
+                    // current one.
+                    let targets = ajax_dom::diff::changed_roots(
+                        snapshots[state_id.index()].doc(),
+                        browser.doc(),
+                    )
+                    .into_iter()
+                    .map(|t| t.element)
+                    .collect();
+                    model.add_transition(Transition {
+                        from: state_id,
+                        to: target,
+                        source: binding.source.clone(),
+                        event: binding.event_type,
+                        action: binding.code.clone(),
+                        targets,
+                    });
+                    "transition"
+                })();
+                if env.rec.is_on() {
+                    env.rec.push(
+                        "crawl.event",
+                        ev_start,
+                        env.net.now(),
+                        vec![
+                            ("source", AttrValue::str(binding.source.as_str())),
+                            ("result", AttrValue::str(result)),
+                        ],
+                    );
                 }
-
-                let target = if let Some(existing) = model.state_by_hash(new_hash) {
-                    stats.duplicates += 1;
-                    existing.id
-                } else if model.state_count() < config.max_states {
-                    let text = browser.doc().document_text();
-                    env.charge_cpu(config.costs.state_micros);
-                    let dom_html = config.store_dom.then(|| browser.doc().to_html());
-                    let id = model.add_state(new_hash, text, dom_html);
-                    snapshots.push(browser.snapshot());
-                    queue.push_back(id);
-                    id
-                } else {
-                    // State cap reached (infinite-expansion guard): the
-                    // transition target is not materialized.
-                    continue;
-                };
-
-                env.charge_cpu(config.costs.transition_micros);
-                // Annotate the transition with its modified targets
-                // (Table 2.1) by diffing the source-state DOM against the
-                // current one.
-                let targets =
-                    ajax_dom::diff::changed_roots(snapshots[state_id.index()].doc(), browser.doc())
-                        .into_iter()
-                        .map(|t| t.element)
-                        .collect();
-                model.add_transition(Transition {
-                    from: state_id,
-                    to: target,
-                    source: binding.source.clone(),
-                    event: binding.event_type,
-                    action: binding.code.clone(),
-                    targets,
-                });
             }
         }
         Ok(())

@@ -9,7 +9,7 @@
 
 use ajax_dom::hash::FnvHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// One cached hot call.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,14 +23,20 @@ pub struct CachedCall {
 }
 
 /// Counters for the caching experiments (Figs. 7.5–7.7).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HotNodeStats {
     /// AJAX calls that actually reached the network.
     pub network_calls: u64,
     /// AJAX calls served from the hot-node cache.
     pub cache_hits: u64,
-    /// Distinct hot nodes (functions) identified.
+    /// Distinct hot nodes (functions) identified. Kept equal to
+    /// `hot_functions.len()` whenever the name set is populated.
     pub hot_nodes: u64,
+    /// The names behind `hot_nodes`. Merging two stats blocks unions these
+    /// sets, so aggregating disjoint partitions counts each distinct
+    /// function exactly once (summing or taking `max` of the counts alone
+    /// is wrong as soon as partitions overlap or differ).
+    pub hot_functions: BTreeSet<String>,
 }
 
 impl HotNodeStats {
@@ -39,11 +45,20 @@ impl HotNodeStats {
         self.network_calls + self.cache_hits
     }
 
-    /// Merges another stats block into this one.
+    /// Merges another stats block into this one. `hot_nodes` becomes the
+    /// size of the unioned name set; when neither side carries names (e.g.
+    /// hand-built counters) the counts are summed, which is exact for
+    /// disjoint partitions.
     pub fn merge(&mut self, other: &HotNodeStats) {
         self.network_calls += other.network_calls;
         self.cache_hits += other.cache_hits;
-        self.hot_nodes = self.hot_nodes.max(other.hot_nodes);
+        self.hot_functions
+            .extend(other.hot_functions.iter().cloned());
+        self.hot_nodes = if self.hot_functions.is_empty() {
+            self.hot_nodes + other.hot_nodes
+        } else {
+            self.hot_functions.len() as u64
+        };
     }
 }
 
@@ -95,7 +110,8 @@ impl HotNodeCache {
     /// Records a fresh hot call result fetched from the network.
     /// `function` is the hot node, `key` the `(function, args)` rendering.
     pub fn insert(&mut self, function: &str, key: String, url: String, body: String) {
-        if self.hot_functions.insert(function.to_string()) {
+        self.hot_functions.insert(function.to_string());
+        if self.stats.hot_functions.insert(function.to_string()) {
             self.stats.hot_nodes += 1;
         }
         self.stats.network_calls += 1;
@@ -109,8 +125,8 @@ impl HotNodeCache {
     }
 
     /// Accumulated statistics.
-    pub fn stats(&self) -> HotNodeStats {
-        self.stats
+    pub fn stats(&self) -> &HotNodeStats {
+        &self.stats
     }
 
     /// Number of distinct cached calls.
@@ -207,21 +223,46 @@ mod tests {
         assert!(cache.is_empty());
     }
 
+    fn stats_with(network_calls: u64, cache_hits: u64, functions: &[&str]) -> HotNodeStats {
+        HotNodeStats {
+            network_calls,
+            cache_hits,
+            hot_nodes: functions.len() as u64,
+            hot_functions: functions.iter().map(|f| f.to_string()).collect(),
+        }
+    }
+
     #[test]
-    fn stats_merge() {
-        let mut a = HotNodeStats {
-            network_calls: 3,
-            cache_hits: 1,
-            hot_nodes: 1,
-        };
-        let b = HotNodeStats {
-            network_calls: 2,
-            cache_hits: 4,
-            hot_nodes: 2,
-        };
+    fn stats_merge_unions_hot_functions() {
+        // Disjoint partitions: the old `max` semantics reported 2 here.
+        let mut a = stats_with(3, 1, &["fetchA"]);
+        let b = stats_with(2, 4, &["fetchB", "fetchC"]);
         a.merge(&b);
         assert_eq!(a.network_calls, 5);
         assert_eq!(a.cache_hits, 5);
-        assert_eq!(a.hot_nodes, 2);
+        assert_eq!(a.hot_nodes, 3, "disjoint hot nodes must sum");
+        assert_eq!(a.hot_functions.len(), 3);
+    }
+
+    #[test]
+    fn stats_merge_dedups_shared_hot_functions() {
+        let mut a = stats_with(3, 0, &["getUrl", "fetchA"]);
+        let b = stats_with(2, 0, &["getUrl", "fetchB"]);
+        a.merge(&b);
+        assert_eq!(a.hot_nodes, 3, "shared function counted once");
+    }
+
+    #[test]
+    fn stats_merge_without_names_sums_counts() {
+        let mut a = HotNodeStats {
+            hot_nodes: 1,
+            ..HotNodeStats::default()
+        };
+        let b = HotNodeStats {
+            hot_nodes: 2,
+            ..HotNodeStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hot_nodes, 3, "nameless counters assume disjointness");
     }
 }

@@ -20,6 +20,7 @@ use crate::partition::Partition;
 use ajax_net::fault::FaultPlan;
 use ajax_net::sched::{simulate, Segment, Task};
 use ajax_net::{LatencyModel, Micros, Server, Url};
+use ajax_obs::{Recorder, SpanEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -55,6 +56,10 @@ pub struct PartitionResult {
     pub page_retries: u64,
     /// Pages that failed at least once but succeeded on a later pass.
     pub recovered_pages: u64,
+    /// Serial-local trace spans of the partition (empty unless tracing was
+    /// enabled). Timestamps start at the partition's own virtual zero;
+    /// [`MpCrawler::crawl`] drains them onto the simulated timeline.
+    pub spans: Vec<SpanEvent>,
 }
 
 /// Result of a full parallel crawl.
@@ -72,10 +77,23 @@ pub struct MpReport {
     pub page_retries: u64,
     /// Pages recovered by re-crawl passes across all partitions.
     pub recovered_pages: u64,
-    /// Poison URLs quarantined after `quarantine_after` failing passes.
+    /// Poison URLs quarantined after `quarantine_after` failing passes —
+    /// a *subset* of [`failed_pages`](Self::failed_pages), not disjoint
+    /// from it.
     pub quarantined_pages: u64,
-    /// Pages lost for good (quarantined + permanent failures).
+    /// Every page lost for good: quarantined pages *plus* permanent
+    /// failures (e.g. 404s abandoned on the first pass). Always
+    /// `failed_pages == quarantined_pages + permanent_failures()`.
     pub failed_pages: u64,
+    /// Trace spans from every partition, placed on the simulated timeline:
+    /// each partition's serial-local span times are shifted by the virtual
+    /// start `simulate` assigned its task, and its track is the process
+    /// *line* (not the OS thread) that ran it — so the trace is
+    /// deterministic even though OS threads pull partitions in racy order.
+    /// Within a partition, span durations are the uncontended serial times;
+    /// processor sharing under `cores < lines` stretches real virtual time
+    /// but not these spans. Empty unless tracing was enabled.
+    pub spans: Vec<SpanEvent>,
 }
 
 impl MpReport {
@@ -91,6 +109,12 @@ impl MpReport {
         } else {
             self.virtual_serial as f64 / self.virtual_makespan as f64
         }
+    }
+
+    /// Pages abandoned on first contact (404 and friends): the part of
+    /// [`failed_pages`](Self::failed_pages) that is *not* quarantined.
+    pub fn permanent_failures(&self) -> u64 {
+        self.failed_pages - self.quarantined_pages
     }
 }
 
@@ -109,6 +133,9 @@ pub struct MpCrawler {
     /// Page-level crawl attempts before a transiently-failing URL is
     /// quarantined (bounds the number of end-of-partition re-crawl passes).
     pub quarantine_after: u32,
+    /// When true every partition crawls with an enabled [`Recorder`] and
+    /// the report carries the merged spans.
+    pub trace: bool,
 }
 
 impl MpCrawler {
@@ -123,7 +150,14 @@ impl MpCrawler {
             cores: 2,
             fault_plan: None,
             quarantine_after: 3,
+            trace: false,
         }
+    }
+
+    /// Enables (or disables) span tracing for every partition.
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Sets the number of process lines.
@@ -166,6 +200,9 @@ impl MpCrawler {
         if let Some(plan) = &self.fault_plan {
             crawler = crawler.with_fault_plan(plan.clone());
         }
+        if self.trace {
+            crawler = crawler.with_recorder(Recorder::enabled());
+        }
         let mut result = PartitionResult {
             id: partition.id,
             models: Vec::with_capacity(partition.urls.len()),
@@ -174,6 +211,7 @@ impl MpCrawler {
             failures: Vec::new(),
             page_retries: 0,
             recovered_pages: 0,
+            spans: Vec::new(),
         };
         let n = partition.urls.len();
         let mut models: Vec<Option<AppModel>> = (0..n).map(|_| None).collect();
@@ -231,6 +269,7 @@ impl MpCrawler {
             })
             .collect();
         result.trace = Task::new(segments);
+        result.spans = crawler.take_spans();
         result
     }
 
@@ -261,16 +300,39 @@ impl MpCrawler {
         let mut page_retries = 0u64;
         let mut recovered_pages = 0u64;
         let mut quarantined_pages = 0u64;
+        let mut permanent_pages = 0u64;
         let mut failed_pages = 0u64;
         for p in &partitions_done {
             aggregate.merge(&p.stats);
             page_retries += p.page_retries;
             recovered_pages += p.recovered_pages;
             quarantined_pages += p.failures.iter().filter(|f| f.quarantined).count() as u64;
+            permanent_pages += p.failures.iter().filter(|f| !f.quarantined).count() as u64;
             failed_pages += p.failures.len() as u64;
         }
+        // Every lost page is exactly one of quarantined or permanent.
+        debug_assert_eq!(failed_pages, quarantined_pages + permanent_pages);
         let tasks: Vec<Task> = partitions_done.iter().map(|p| p.trace.clone()).collect();
         let report = simulate(&tasks, self.proc_lines, self.cores);
+
+        // Place each partition's serial-local spans on the simulated
+        // timeline: shift by the task's virtual start and stamp the process
+        // line the simulation chose. Both come from `simulate`, never from
+        // the racy OS-thread execution, so the merged trace is
+        // deterministic. `partitions_done` is in id order, which is also
+        // the task order handed to `simulate`.
+        let mut spans: Vec<SpanEvent> = Vec::new();
+        if self.trace {
+            for (i, p) in partitions_done.iter_mut().enumerate() {
+                let offset = report.start.get(i).copied().unwrap_or(0);
+                let line = report.line_of_task.get(i).copied().unwrap_or(0) as u32;
+                for mut span in p.spans.drain(..) {
+                    span.start += offset;
+                    span.track = line;
+                    spans.push(span);
+                }
+            }
+        }
 
         MpReport {
             partitions: partitions_done,
@@ -281,6 +343,7 @@ impl MpCrawler {
             recovered_pages,
             quarantined_pages,
             failed_pages,
+            spans,
         }
     }
 }
@@ -464,6 +527,128 @@ mod tests {
                 .map(String::as_str)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn disjoint_partitions_union_hot_functions() {
+        use ajax_net::server::{FnServer, Request, Response};
+        // Two pages, each with its own hot function. Two partitions, so the
+        // counts meet only in the aggregate merge — the old `max` semantics
+        // reported 1 hot node here instead of 2.
+        fn page(func: &str, param: &str) -> Response {
+            Response::html(format!(
+                "<html><head><script>\
+                 function {func}() {{\
+                   var xhr = new XMLHttpRequest();\
+                   xhr.open('GET', '/data?p={param}', false);\
+                   xhr.send(null);\
+                   document.getElementById('out').innerHTML = xhr.responseText;\
+                 }}\
+                 </script></head>\
+                 <body><div id=\"out\">empty</div>\
+                 <button onclick=\"{func}()\">go</button></body></html>"
+            ))
+        }
+        let server = Arc::new(FnServer(|req: &Request| match req.url.path.as_str() {
+            "/a" => page("fetchA", "a"),
+            "/b" => page("fetchB", "b"),
+            "/data" => Response::html(format!("<p>{}</p>", req.url.param("p").unwrap_or("?"))),
+            _ => Response::not_found(),
+        }));
+        let partitions = vec![
+            Partition {
+                id: 0,
+                urls: vec!["http://site.example/a".into()],
+            },
+            Partition {
+                id: 1,
+                urls: vec!["http://site.example/b".into()],
+            },
+        ];
+        let mp = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax()).with_proc_lines(2);
+        let report = mp.crawl(&partitions);
+        assert_eq!(
+            report.aggregate.hot_nodes, 2,
+            "each partition found a distinct hot function"
+        );
+        let names: Vec<&str> = report
+            .aggregate
+            .hot_functions
+            .iter()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(names, ["fetchA", "fetchB"]);
+    }
+
+    #[test]
+    fn failed_pages_split_into_quarantined_and_permanent() {
+        use ajax_net::fault::{Fault, FaultRule};
+        let (server, _) = setup(6, 3);
+        let partitions = vec![Partition {
+            id: 0,
+            urls: vec![
+                "http://vidshare.example/watch?v=0".into(),
+                "http://vidshare.example/watch?v=777".into(), // permanent 404
+                "http://vidshare.example/watch?v=1".into(),   // poisoned 503
+            ],
+        }];
+        let plan = FaultPlan::new(11).with_rule(FaultRule::matching(
+            "v=1",
+            1.0,
+            Fault::Permanent { status: 503 },
+        ));
+        let mp = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax())
+            .with_proc_lines(1)
+            .with_fault_plan(plan)
+            .with_quarantine_after(2);
+        let report = mp.crawl(&partitions);
+        assert_eq!(report.failed_pages, 2);
+        assert_eq!(report.quarantined_pages, 1, "the 503 poison URL");
+        assert_eq!(report.permanent_failures(), 1, "the 404");
+        assert_eq!(
+            report.failed_pages,
+            report.quarantined_pages + report.permanent_failures()
+        );
+    }
+
+    #[test]
+    fn traced_parallel_crawl_is_deterministic_with_line_tracks() {
+        let (server, partitions) = setup(8, 2);
+        let run = || {
+            MpCrawler::new(
+                Arc::clone(&server) as Arc<dyn Server>,
+                LatencyModel::Fixed(2_000),
+                CrawlConfig::ajax(),
+            )
+            .with_proc_lines(2)
+            .with_cores(2)
+            .with_tracing(true)
+            .crawl(&partitions)
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.spans.is_empty(), "tracing produced spans");
+        assert_eq!(a.spans, b.spans, "same-seed runs must trace identically");
+        // Tracks come from the simulated line assignment, not OS threads.
+        let tracks: std::collections::BTreeSet<u32> = a.spans.iter().map(|s| s.track).collect();
+        assert!(tracks.len() > 1, "4 partitions over 2 lines use both lines");
+        assert!(tracks.iter().all(|&t| (t as usize) < 2));
+        // The merge drained per-partition spans into the report.
+        assert!(a.partitions.iter().all(|p| p.spans.is_empty()));
+        // Later partitions on a line start after its earlier ones.
+        let kinds: std::collections::BTreeSet<&str> = a.spans.iter().map(|s| s.name).collect();
+        assert!(kinds.contains("crawl.page"));
+        assert!(kinds.contains("crawl.event"));
+    }
+
+    #[test]
+    fn untraced_crawl_carries_no_spans() {
+        let (server, partitions) = setup(4, 2);
+        let report = MpCrawler::new(server, LatencyModel::Zero, CrawlConfig::ajax())
+            .with_proc_lines(2)
+            .crawl(&partitions);
+        assert!(report.spans.is_empty());
+        assert!(report.partitions.iter().all(|p| p.spans.is_empty()));
     }
 
     #[test]

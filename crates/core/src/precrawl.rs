@@ -11,6 +11,7 @@ use crate::pagerank::pagerank_default;
 use ajax_dom::parse_document;
 use ajax_net::fault::FaultPlan;
 use ajax_net::{LatencyModel, Micros, NetClient, Server, Url};
+use ajax_obs::{AttrValue, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -51,6 +52,7 @@ pub struct Precrawler {
     /// Retry policy for page GETs (a transiently-failing page would
     /// otherwise silently vanish from the crawl list).
     pub retry: RetryPolicy,
+    recorder: Recorder,
 }
 
 impl Precrawler {
@@ -61,7 +63,19 @@ impl Precrawler {
             costs: CpuCostModel::thesis_default(),
             path_filter: Some("/watch".to_string()),
             retry: RetryPolicy::default(),
+            recorder: Recorder::Off,
         }
+    }
+
+    /// Attaches a span recorder (one `precrawl.page` span per visited page).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Drains the recorded spans, leaving the recorder armed.
+    pub fn take_spans(&mut self) -> Vec<ajax_obs::SpanEvent> {
+        self.recorder.take()
     }
 
     /// Attaches a deterministic fault plan to the precrawler's client.
@@ -91,6 +105,7 @@ impl Precrawler {
         graph.urls.push(start.to_string());
 
         while let Some(url) = queue.pop_front() {
+            let page_start = self.net.now();
             // Retry under the policy: transport faults surface as synthetic
             // retryable statuses (598/597) through the legacy fetch.
             let mut response = self.net.fetch(&url);
@@ -106,6 +121,18 @@ impl Precrawler {
             }
             if !response.is_ok() {
                 graph.edges.entry(url.to_string()).or_default();
+                if self.recorder.is_on() {
+                    let end = self.net.now();
+                    self.recorder.push(
+                        "precrawl.page",
+                        page_start,
+                        end,
+                        vec![
+                            ("url", AttrValue::str(url.to_string())),
+                            ("status", AttrValue::U64(response.status as u64)),
+                        ],
+                    );
+                }
                 continue;
             }
             self.net
@@ -130,6 +157,18 @@ impl Precrawler {
                 if seen.contains_key(&target_str) && !out.contains(&target_str) {
                     out.push(target_str);
                 }
+            }
+            if self.recorder.is_on() {
+                let end = self.net.now();
+                self.recorder.push(
+                    "precrawl.page",
+                    page_start,
+                    end,
+                    vec![
+                        ("url", AttrValue::str(url.to_string())),
+                        ("links", AttrValue::U64(out.len() as u64)),
+                    ],
+                );
             }
             graph.edges.insert(url.to_string(), out);
         }

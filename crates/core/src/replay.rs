@@ -96,6 +96,7 @@ pub fn reconstruct_state(model: &AppModel, target: StateId) -> Result<Document, 
     let mut cache = HotNodeCache::new();
     let costs = CpuCostModel::free();
     let mut trace = Vec::new();
+    let mut rec = ajax_obs::Recorder::Off;
     // Replay runs against the recorded fetches: no faults, no retries.
     let mut env = CrawlEnv::new(
         &mut net,
@@ -104,6 +105,7 @@ pub fn reconstruct_state(model: &AppModel, target: StateId) -> Result<Document, 
         &costs,
         crate::crawler::RetryPolicy::none(),
         &mut trace,
+        &mut rec,
     );
 
     let url = Url::parse(&model.url);

@@ -30,9 +30,10 @@ use ajax_engine::{AjaxSearchEngine, BuildReport, EngineConfig};
 use ajax_index::invert::IndexBuilder;
 use ajax_index::persist::{load_index, save_index};
 use ajax_index::query::{search, Query, RankWeights};
-use ajax_net::{FaultPlan, Url};
+use ajax_net::{FaultPlan, Server, Url};
+use ajax_obs::{chrome_trace_json_named, ProfileRollup};
 use ajax_serve::ServeConfig;
-use ajax_webgen::{VidShareServer, VidShareSpec};
+use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -45,9 +46,10 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ajax-search build --videos N [--traditional] [--max-states N]\n\
-                 \u{20}                  [--fault-plan SPEC] [--retries N] [--quarantine-after K]\n\
-                 \u{20}                  [--report-json FILE] --out FILE\n\
+                "usage: ajax-search build --videos N [--site vidshare|news] [--traditional]\n\
+                 \u{20}                  [--max-states N] [--fault-plan SPEC] [--retries N]\n\
+                 \u{20}                  [--quarantine-after K] [--report-json FILE]\n\
+                 \u{20}                  [--trace-out FILE] [--profile] --out FILE\n\
                  \u{20}      ajax-search query --index FILE \"query terms\"\n\
                  \u{20}      ajax-search demo\n\
                  \u{20}      ajax-search serve [--videos N] [--workers W] [--cache N] \
@@ -141,6 +143,41 @@ fn write_report_json(args: &[String], report: &BuildReport) -> Result<(), String
     Ok(())
 }
 
+/// Writes the Chrome trace (`--trace-out`) and prints the per-phase profile
+/// rollup (`--profile`) from a traced build.
+fn write_trace(
+    trace_out: Option<&str>,
+    profile: bool,
+    engine: &AjaxSearchEngine,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        let tracks: std::collections::BTreeSet<u32> =
+            engine.spans.iter().map(|s| s.track).collect();
+        let names: Vec<(u32, String)> = tracks
+            .into_iter()
+            .map(|t| {
+                let name = if t == 0 {
+                    "line 0 (precrawl, index)".to_string()
+                } else {
+                    format!("line {t}")
+                };
+                (t, name)
+            })
+            .collect();
+        let named: Vec<(u32, &str)> = names.iter().map(|(t, n)| (*t, n.as_str())).collect();
+        let json = chrome_trace_json_named(&engine.spans, &named);
+        std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!(
+            "wrote {} spans to {path} (open in chrome://tracing or Perfetto)",
+            engine.spans.len()
+        );
+    }
+    if profile {
+        eprintln!("{}", ProfileRollup::from_events(&engine.spans).render());
+    }
+    Ok(())
+}
+
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let videos: u32 = flag_value(args, "--videos")
         .unwrap_or("100")
@@ -148,6 +185,9 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         .map_err(|_| "--videos must be a number".to_string())?;
     let out = flag_value(args, "--out").ok_or("--out FILE is required")?;
     let traditional = has_flag(args, "--traditional");
+    let site = flag_value(args, "--site").unwrap_or("vidshare");
+    let trace_out = flag_value(args, "--trace-out");
+    let profile = has_flag(args, "--profile");
     let max_states: Option<usize> = flag_value(args, "--max-states")
         .map(|v| {
             v.parse()
@@ -155,9 +195,20 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
 
-    let spec = VidShareSpec::small(videos);
-    let start = Url::parse(&spec.watch_url(0));
-    let server = Arc::new(VidShareServer::new(spec));
+    // `--videos N` doubles as the page count for `--site news`.
+    let (server, start, path_filter): (Arc<dyn Server>, Url, &str) = match site {
+        "vidshare" => {
+            let spec = VidShareSpec::small(videos);
+            let start = Url::parse(&spec.watch_url(0));
+            (Arc::new(VidShareServer::new(spec)), start, "/watch")
+        }
+        "news" => {
+            let spec = NewsSpec::small(videos);
+            let start = Url::parse(&spec.page_url(0));
+            (Arc::new(NewsShareServer::new(spec)), start, "/news")
+        }
+        other => return Err(format!("--site must be vidshare or news, got {other:?}")),
+    };
     let mut config = if traditional {
         EngineConfig::traditional(videos as usize)
     } else {
@@ -165,24 +216,31 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     };
     config.max_index_states = max_states;
     config.keep_models = true;
+    config.path_filter = Some(path_filter.to_string());
+    config.trace = trace_out.is_some() || profile;
     apply_resilience_flags(args, &mut config)?;
 
     eprintln!(
-        "building {} index over {videos} videos…",
+        "building {} index over {videos} {site} pages…",
         if traditional { "traditional" } else { "AJAX" }
     );
     let engine = AjaxSearchEngine::build(server, &start, config);
     let r = &engine.report;
+    // Two time axes, labeled: virtual_ms is simulated network/CPU time,
+    // wall_ms is how long the build really took on this machine.
     eprintln!(
-        "crawled {} pages / {} states; {} AJAX calls ({} cached); virtual time {:.1} s",
+        "crawled {} pages / {} states; {} AJAX calls ({} cached); \
+         virtual_ms {:.1} (simulated), wall_ms {:.1} (host)",
         r.pages_crawled,
         r.total_states,
         r.crawl.ajax_network_calls,
         r.crawl.cache_hits,
-        r.virtual_makespan as f64 / 1e6
+        r.virtual_makespan as f64 / 1e3,
+        r.build_wall_micros as f64 / 1e3,
     );
     print_resilience(r);
     write_report_json(args, r)?;
+    write_trace(trace_out, profile, &engine)?;
 
     // Persist as a single merged index (simplest portable artifact).
     let mut builder = IndexBuilder::new();
@@ -218,8 +276,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let results = search(&index, &query, &RankWeights::default());
     let elapsed = t0.elapsed();
 
+    // Query evaluation happens on the host, so this is *wall* time — unlike
+    // the build phase's virtual_ms, which comes from the simulated clock.
     println!(
-        "{} results for {text:?} in {:.3} ms",
+        "{} results for {text:?} in wall_ms {:.3}",
         results.len(),
         elapsed.as_secs_f64() * 1e3
     );

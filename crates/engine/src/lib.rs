@@ -32,6 +32,7 @@ use ajax_index::invert::IndexBuilder;
 use ajax_index::query::{Query, RankWeights};
 use ajax_index::shard::{BrokerResult, QueryBroker};
 use ajax_net::{FaultPlan, LatencyModel, Server, Url};
+use ajax_obs::{AttrValue, Recorder, SpanEvent};
 use ajax_serve::{ServeConfig, ShardServer};
 use std::sync::Arc;
 
@@ -65,6 +66,13 @@ pub struct EngineConfig {
     /// Quarantine a page URL after this many failed page-level crawl
     /// attempts across re-crawl passes.
     pub quarantine_after: u32,
+    /// Precrawl link filter: only follow hyperlinks whose path starts with
+    /// this prefix (`None` follows everything). Defaults to `/watch`, the
+    /// VidShare content path; a NewsShare site needs `/news`.
+    pub path_filter: Option<String>,
+    /// Record spans across precrawl → crawl → index; drained from
+    /// [`AjaxSearchEngine::spans`] after the build.
+    pub trace: bool,
 }
 
 impl EngineConfig {
@@ -82,6 +90,8 @@ impl EngineConfig {
             keep_models: false,
             fault_plan: None,
             quarantine_after: 3,
+            path_filter: Some("/watch".to_string()),
+            trace: false,
         }
     }
 
@@ -111,6 +121,18 @@ impl EngineConfig {
         self.quarantine_after = attempts.max(1);
         self
     }
+
+    /// Sets the precrawl link-path filter (`None` follows every link).
+    pub fn with_path_filter(mut self, filter: Option<String>) -> Self {
+        self.path_filter = filter;
+        self
+    }
+
+    /// Enables span tracing for the build pipeline.
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// The assembled engine.
@@ -123,6 +145,11 @@ pub struct AjaxSearchEngine {
     pub models: Vec<AppModel>,
     /// Pipeline accounting.
     pub report: BuildReport,
+    /// Spans from every phase on one virtual timeline (empty unless
+    /// [`EngineConfig::trace`]): `precrawl.page` on track 0, crawl spans on
+    /// their process-line tracks offset by the precrawl duration, and
+    /// modeled `index.invert` spans after the crawl makespan.
+    pub spans: Vec<SpanEvent>,
     weights: RankWeights,
 }
 
@@ -130,13 +157,21 @@ impl AjaxSearchEngine {
     /// Runs the full pipeline against `server`, starting the precrawl from
     /// `start`.
     pub fn build(server: Arc<dyn Server>, start: &Url, config: EngineConfig) -> Self {
+        let wall_start = std::time::Instant::now();
+
         // Phase 1: precrawl.
         let mut precrawler = Precrawler::new(Arc::clone(&server), config.latency.clone())
             .with_retry(config.crawl.retry);
+        precrawler.path_filter = config.path_filter.clone();
         if let Some(plan) = &config.fault_plan {
             precrawler = precrawler.with_fault_plan(plan.clone());
         }
+        if config.trace {
+            precrawler = precrawler.with_recorder(Recorder::enabled());
+        }
         let graph = precrawler.run(start, config.precrawl_pages);
+        // Precrawl spans sit at the head of the timeline on track 0.
+        let mut spans = precrawler.take_spans();
 
         // Phase 2: partition.
         let partitions = partition_urls(&graph.urls, config.partition_size);
@@ -149,13 +184,24 @@ impl AjaxSearchEngine {
         )
         .with_proc_lines(config.proc_lines)
         .with_cores(config.cores)
-        .with_quarantine_after(config.quarantine_after);
+        .with_quarantine_after(config.quarantine_after)
+        .with_tracing(config.trace);
         if let Some(plan) = &config.fault_plan {
             mp = mp.with_fault_plan(plan.clone());
         }
-        let crawl_report = mp.crawl(&partitions);
+        let mut crawl_report = mp.crawl(&partitions);
+        // The crawl phase starts once the precrawl finishes: shift its spans
+        // (already on per-line tracks) past the precrawl's virtual duration.
+        for mut span in crawl_report.spans.drain(..) {
+            span.start += graph.precrawl_micros;
+            spans.push(span);
+        }
 
-        // Phase 4: one index per partition.
+        // Phase 4: one index per partition. Indexing has no virtual cost
+        // model of its own, so its spans are *modeled*: sequential after the
+        // crawl makespan, charged per indexed state.
+        const INDEX_STATE_MICROS: ajax_net::Micros = 50;
+        let mut index_cursor = graph.precrawl_micros + crawl_report.virtual_makespan;
         let mut shards = Vec::with_capacity(crawl_report.partitions.len());
         let mut kept_models = Vec::new();
         for partition in &crawl_report.partitions {
@@ -167,7 +213,22 @@ impl AjaxSearchEngine {
                 let pagerank = graph.pagerank.get(&model.url).copied();
                 builder.add_model(model, pagerank);
             }
-            shards.push(builder.build());
+            let shard = builder.build();
+            if config.trace {
+                let cost = shard.total_states * INDEX_STATE_MICROS;
+                spans.push(SpanEvent {
+                    name: "index.invert",
+                    track: 0,
+                    start: index_cursor,
+                    dur: cost,
+                    args: vec![
+                        ("partition", AttrValue::U64(partition.id as u64)),
+                        ("states", AttrValue::U64(shard.total_states)),
+                    ],
+                });
+                index_cursor += cost;
+            }
+            shards.push(shard);
             if config.keep_models {
                 kept_models.extend(partition.models.iter().cloned());
             }
@@ -175,12 +236,14 @@ impl AjaxSearchEngine {
         let mut broker = QueryBroker::new(shards);
         broker.weights = config.weights;
 
-        let report = BuildReport::new(&graph, &crawl_report, &broker);
+        let mut report = BuildReport::new(&graph, &crawl_report, &broker);
+        report.build_wall_micros = wall_start.elapsed().as_micros() as u64;
         Self {
             graph,
             broker,
             models: kept_models,
             report,
+            spans,
             weights: config.weights,
         }
     }
@@ -371,6 +434,54 @@ mod tests {
             faulty.search("morcheeba mysterious video").len(),
             clean.search("morcheeba mysterious video").len()
         );
+    }
+
+    #[test]
+    fn traced_build_covers_all_phases_deterministically() {
+        let (server, start) = vidshare(16);
+        let build = || {
+            AjaxSearchEngine::build(
+                Arc::clone(&server) as Arc<dyn Server>,
+                &start,
+                EngineConfig::ajax(16).with_tracing(true),
+            )
+        };
+        let a = build();
+        let b = build();
+        assert!(!a.spans.is_empty());
+        assert_eq!(a.spans, b.spans, "same-seed builds must trace identically");
+        let kinds: std::collections::BTreeSet<&str> = a.spans.iter().map(|s| s.name).collect();
+        for kind in ["precrawl.page", "crawl.page", "crawl.event", "index.invert"] {
+            assert!(kinds.contains(kind), "missing span kind {kind}");
+        }
+        // Phases sit in order on the virtual timeline.
+        let phase_end = |name: &str| {
+            a.spans
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.start + s.dur)
+                .max()
+                .unwrap()
+        };
+        let phase_start = |name: &str| {
+            a.spans
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.start)
+                .min()
+                .unwrap()
+        };
+        assert!(phase_start("crawl.page") >= phase_end("precrawl.page"));
+        assert!(phase_start("index.invert") >= a.graph.precrawl_micros + a.report.virtual_makespan);
+        // Wall time is measured, and is a separate axis from virtual time.
+        assert!(a.report.build_wall_micros > 0);
+
+        let untraced = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(16),
+        );
+        assert!(untraced.spans.is_empty());
     }
 
     #[test]

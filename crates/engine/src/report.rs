@@ -51,6 +51,11 @@ pub struct BuildReport {
     pub total_states: u64,
     /// Number of index shards.
     pub shards: usize,
+    /// Real (wall-clock) duration of the whole build on the host machine.
+    /// Everything else time-shaped in this report (`precrawl_micros`,
+    /// `virtual_makespan`, `virtual_serial`) is *virtual* time from the
+    /// simulated network clock — the two axes must never be conflated.
+    pub build_wall_micros: Micros,
 }
 
 impl BuildReport {
@@ -80,11 +85,12 @@ impl BuildReport {
             page_retries: crawl.page_retries,
             failures,
             precrawl_micros: graph.precrawl_micros,
-            crawl: crawl.aggregate,
+            crawl: crawl.aggregate.clone(),
             virtual_makespan: crawl.virtual_makespan,
             virtual_serial: crawl.virtual_serial,
             total_states: broker.total_states(),
             shards: broker.shard_count(),
+            build_wall_micros: 0,
         }
     }
 

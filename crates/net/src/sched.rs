@@ -85,6 +85,12 @@ pub struct SimReport {
     pub serial_time: Micros,
     /// Completion time of every task, in submission order.
     pub completion: Vec<Micros>,
+    /// Start time of every task (when a line pulled it), in submission
+    /// order. Lets trace consumers place each task's serial-local events
+    /// on the virtual timeline deterministically.
+    pub start: Vec<Micros>,
+    /// Which line executed each task, in submission order.
+    pub line_of_task: Vec<usize>,
     /// Busy time per line.
     pub line_busy: Vec<Micros>,
 }
@@ -121,6 +127,8 @@ pub fn simulate(tasks: &[Task], lines: usize, cores: usize) -> SimReport {
     let cores = cores.max(1);
     let serial_time: Micros = tasks.iter().map(Task::duration).sum();
     let mut completion = vec![0u64; tasks.len()];
+    let mut start = vec![0u64; tasks.len()];
+    let mut line_of_task = vec![0usize; tasks.len()];
 
     let mut next_task = 0usize;
     let mut active: Vec<Line> = Vec::with_capacity(lines);
@@ -130,16 +138,22 @@ pub fn simulate(tasks: &[Task], lines: usize, cores: usize) -> SimReport {
     let mut now = 0.0f64;
 
     // Pulls the next task onto an idle line, skipping empty tasks.
+    #[allow(clippy::too_many_arguments)]
     fn start_task(
         tasks: &[Task],
         next_task: &mut usize,
         completion: &mut [Micros],
+        start: &mut [Micros],
+        line_of_task: &mut [usize],
+        line_id: usize,
         now: f64,
     ) -> Option<(usize, Line)> {
         while *next_task < tasks.len() {
             let idx = *next_task;
             *next_task += 1;
             let task = &tasks[idx];
+            start[idx] = now.round() as Micros;
+            line_of_task[idx] = line_id;
             if let Some(seg) = task.segments.iter().position(|s| s.amount() > 0) {
                 return Some((
                     idx,
@@ -161,7 +175,15 @@ pub fn simulate(tasks: &[Task], lines: usize, cores: usize) -> SimReport {
     loop {
         // Fill idle lines.
         while let Some(&line_id) = idle_lines.last() {
-            match start_task(tasks, &mut next_task, &mut completion, now) {
+            match start_task(
+                tasks,
+                &mut next_task,
+                &mut completion,
+                &mut start,
+                &mut line_of_task,
+                line_id,
+                now,
+            ) {
                 Some((_, line)) => {
                     idle_lines.pop();
                     active.push(line);
@@ -229,6 +251,8 @@ pub fn simulate(tasks: &[Task], lines: usize, cores: usize) -> SimReport {
         makespan: now.round() as Micros,
         serial_time,
         completion,
+        start,
+        line_of_task,
         line_busy: line_busy.into_iter().map(|b| b.round() as Micros).collect(),
     }
 }
@@ -298,6 +322,27 @@ mod tests {
         let report = simulate(&tasks, 2, 4);
         assert_eq!(report.completion, vec![100, 500, 400]);
         assert_eq!(report.makespan, 500);
+        assert_eq!(report.start, vec![0, 0, 100]);
+        // Task 2 reuses the line task 0 ran on.
+        assert_eq!(report.line_of_task[2], report.line_of_task[0]);
+        assert_ne!(report.line_of_task[0], report.line_of_task[1]);
+    }
+
+    #[test]
+    fn start_times_and_lines_are_deterministic() {
+        let tasks: Vec<_> = (0..6)
+            .map(|i| Task::new(vec![Segment::Cpu(50 + i * 13), Segment::Net(200)]))
+            .collect();
+        let a = simulate(&tasks, 3, 2);
+        let b = simulate(&tasks, 3, 2);
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.line_of_task, b.line_of_task);
+        for (i, (&s, &c)) in a.start.iter().zip(&a.completion).enumerate() {
+            assert!(s <= c, "task {i} starts before it completes");
+        }
+        for &line in &a.line_of_task {
+            assert!(line < 3);
+        }
     }
 
     #[test]

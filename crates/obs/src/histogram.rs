@@ -1,0 +1,180 @@
+//! A fixed-bucket, power-of-two latency histogram, generalized out of
+//! `ajax-serve`'s metrics registry so both the serving metrics and the
+//! profile rollup share one implementation. `record` is wait-free;
+//! percentile reads are approximate (upper bound of the bucket containing
+//! the requested rank), which is plenty for p50/p95/p99 over exponentially
+//! spaced buckets.
+
+use ajax_net::Micros;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets: bucket `i` holds samples with
+/// `value < 2^i` µs (bucket 0 holds exact zeros), which covers ~36 minutes
+/// in the last bucket — more than any sane latency.
+pub const BUCKETS: usize = 32;
+
+/// The histogram. All updates are relaxed atomics, so it can be shared
+/// across threads behind an `Arc` without locks.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn bucket_of(micros: Micros) -> usize {
+        // 0 → bucket 0; otherwise the position of the highest set bit + 1,
+        // capped to the last bucket.
+        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&self, micros: Micros) {
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples in µs.
+    pub fn total(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean in µs (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total() as f64 / n as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) in µs: the upper bound of the
+    /// bucket where the cumulative count reaches `ceil(q·n)`, clamped to
+    /// rank 1 so `q = 0.0` reads the fastest bucket rather than nothing.
+    pub fn quantile(&self, q: f64) -> Micros {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// Per-bucket counts (`[i]` counts samples `< 2^i` µs, `[0]` zeros).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_over_known_samples() {
+        let h = LatencyHistogram::default();
+        // 90 fast samples (~8 µs → bucket 4, upper bound 16) and 10 slow
+        // (~1000 µs → bucket 10, upper bound 1024).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 16);
+        assert_eq!(h.quantile(0.90), 16);
+        assert_eq!(h.quantile(0.95), 1024);
+        assert_eq!(h.quantile(0.99), 1024);
+        let mean = h.mean();
+        assert!((mean - (90.0 * 8.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_at_every_quantile() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LatencyHistogram::default();
+        h.record(100); // bucket 7, upper bound 128
+        assert_eq!(h.quantile(0.0), 128, "q=0 clamps to rank 1");
+        assert_eq!(h.quantile(0.5), 128);
+        assert_eq!(h.quantile(1.0), 128);
+        assert_eq!(h.mean(), 100.0);
+    }
+
+    #[test]
+    fn single_zero_sample_reads_zero() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn all_samples_in_last_bucket() {
+        let h = LatencyHistogram::default();
+        for _ in 0..5 {
+            h.record(u64::MAX);
+        }
+        let cap = 1u64 << (BUCKETS - 1);
+        assert_eq!(h.quantile(0.0), cap);
+        assert_eq!(h.quantile(0.95), cap);
+        assert_eq!(h.quantile(1.0), cap);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 5);
+    }
+
+    #[test]
+    fn extreme_quantiles_bound_the_distribution() {
+        let h = LatencyHistogram::default();
+        h.record(1); // bucket 1 → upper bound 2
+        h.record(1000); // bucket 10 → upper bound 1024
+        assert_eq!(h.quantile(0.0), 2, "q=0.0 is the fastest bucket");
+        assert_eq!(h.quantile(1.0), 1024, "q=1.0 is the slowest bucket");
+    }
+}

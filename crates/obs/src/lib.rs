@@ -1,0 +1,28 @@
+//! # ajax-obs
+//!
+//! Observability for the AJAX Crawl pipeline: a structured span tracer
+//! stamped on the **virtual clock** ([`ajax_net::Micros`]) with a bounded
+//! flight-recorder ring buffer, plus two exporters:
+//!
+//! * [`chrome_trace_json`] — a Chrome `trace_event` JSON file, loadable in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
+//! * [`ProfileRollup`] — a per-span-kind count / total / mean / p95 table,
+//!   built on the generalized [`LatencyHistogram`] (lifted out of
+//!   `ajax-serve`'s metrics registry).
+//!
+//! Spans are recorded through a [`Recorder`], an enum with a no-op `Off`
+//! variant: the disabled path is a single branch and performs **no
+//! allocation** (call sites gate attribute construction behind
+//! [`Recorder::is_on`]). Because every timestamp comes from the caller's
+//! deterministic virtual clock and the ring is filled single-threaded, two
+//! same-seed runs emit byte-identical traces.
+
+mod chrome;
+mod histogram;
+mod profile;
+mod span;
+
+pub use chrome::{chrome_trace_json, chrome_trace_json_named, validate_chrome_trace, TraceStats};
+pub use histogram::{LatencyHistogram, BUCKETS};
+pub use profile::{ProfileRollup, ProfileRow};
+pub use span::{AttrValue, Recorder, SpanEvent, SpanLog, DEFAULT_CAPACITY};

@@ -1,0 +1,131 @@
+//! Per-phase profile rollup: aggregates recorded spans by kind into
+//! count / total / mean / p95 rows — the table `ajax-search build --profile`
+//! prints. Quantiles come from the shared [`LatencyHistogram`], so they are
+//! power-of-two bucket upper bounds; count/total/mean are exact.
+
+use crate::histogram::LatencyHistogram;
+use crate::span::SpanEvent;
+use std::collections::BTreeMap;
+
+/// One rendered rollup row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Span kind (`SpanEvent::name`).
+    pub kind: String,
+    /// Spans of this kind.
+    pub count: u64,
+    /// Summed duration in µs (exact).
+    pub total_micros: u64,
+    /// Mean duration in µs (exact).
+    pub mean_micros: f64,
+    /// Approximate p95 duration in µs (bucket upper bound).
+    pub p95_micros: u64,
+}
+
+/// Aggregation of a span list by kind, sorted alphabetically (deterministic).
+#[derive(Debug, Default)]
+pub struct ProfileRollup {
+    rows: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl ProfileRollup {
+    /// Builds the rollup from recorded spans.
+    pub fn from_events(events: &[SpanEvent]) -> Self {
+        let mut rows: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+        for e in events {
+            rows.entry(e.name).or_default().record(e.dur);
+        }
+        Self { rows }
+    }
+
+    /// True when no spans were aggregated.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rollup rows, sorted by span kind.
+    pub fn rows(&self) -> Vec<ProfileRow> {
+        self.rows
+            .iter()
+            .map(|(kind, h)| ProfileRow {
+                kind: kind.to_string(),
+                count: h.count(),
+                total_micros: h.total(),
+                mean_micros: h.mean(),
+                p95_micros: h.quantile(0.95),
+            })
+            .collect()
+    }
+
+    /// Renders the rollup as an aligned text table.
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        let kind_w = rows
+            .iter()
+            .map(|r| r.kind.len())
+            .chain(["span kind".len()])
+            .max()
+            .unwrap_or(9);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<kind_w$}  {:>9}  {:>12}  {:>10}  {:>10}\n",
+            "span kind", "count", "total ms", "mean µs", "p95 µs"
+        ));
+        out.push_str(&format!(
+            "{:-<kind_w$}  {:->9}  {:->12}  {:->10}  {:->10}\n",
+            "", "", "", "", ""
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "{:<kind_w$}  {:>9}  {:>12.3}  {:>10.1}  {:>10}\n",
+                r.kind,
+                r.count,
+                r.total_micros as f64 / 1e3,
+                r.mean_micros,
+                r.p95_micros
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Recorder;
+
+    #[test]
+    fn rollup_aggregates_by_kind() {
+        let mut r = Recorder::enabled();
+        r.push0("crawl.page", 0, 100);
+        r.push0("crawl.page", 100, 300);
+        r.push0("xhr.fetch", 10, 20);
+        let spans = r.take();
+        let rollup = ProfileRollup::from_events(&spans);
+        let rows = rollup.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kind, "crawl.page", "sorted alphabetically");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].total_micros, 300);
+        assert!((rows[0].mean_micros - 150.0).abs() < 1e-9);
+        assert_eq!(rows[1].count, 1);
+        assert_eq!(rows[1].total_micros, 10);
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let mut r = Recorder::enabled();
+        r.push0("serve.query", 0, 1000);
+        let table = ProfileRollup::from_events(&r.take()).render();
+        assert!(table.contains("span kind"));
+        assert!(table.contains("serve.query"));
+        assert!(table.contains("p95"));
+    }
+
+    #[test]
+    fn empty_rollup_renders_header_only() {
+        let rollup = ProfileRollup::from_events(&[]);
+        assert!(rollup.is_empty());
+        assert_eq!(rollup.render().lines().count(), 2);
+    }
+}

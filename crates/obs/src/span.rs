@@ -1,0 +1,257 @@
+//! The span recorder: a flight-recorder ring of completed spans.
+//!
+//! Spans are *closed* records — the caller samples its clock before and
+//! after the region of interest and pushes `(name, start, end, args)`.
+//! Hierarchy is implicit: a child span's `[start, end]` range nests inside
+//! its parent's on the same track, which is exactly how Chrome's trace
+//! viewer and Perfetto reconstruct flame charts from `ph:"X"` events.
+
+use ajax_net::Micros;
+use std::collections::VecDeque;
+
+/// Default flight-recorder capacity (events). Old events are evicted first,
+/// so the ring always holds the most recent window of activity.
+pub const DEFAULT_CAPACITY: usize = 1 << 17;
+
+/// One span attribute value. Numbers stay numbers in the Chrome export so
+/// Perfetto can aggregate them; strings are escaped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    U64(u64),
+    Str(String),
+}
+
+impl AttrValue {
+    /// Convenience constructor for string attributes.
+    pub fn str(s: impl Into<String>) -> Self {
+        AttrValue::Str(s.into())
+    }
+}
+
+/// A completed span: `[start, start+dur]` virtual microseconds on `track`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span kind, e.g. `"crawl.page"` or `"shard.eval"`. The prefix before
+    /// the first `.` becomes the Chrome event category.
+    pub name: &'static str,
+    /// Display track (Chrome `tid`): one per process line / shard so
+    /// parallel overlap is visible.
+    pub track: u32,
+    /// Start timestamp (virtual µs unless the producer runs on wall clock).
+    pub start: Micros,
+    /// Duration in µs (0 for instant markers such as `hotnode.hit`).
+    pub dur: Micros,
+    /// Key=value attributes.
+    pub args: Vec<(&'static str, AttrValue)>,
+}
+
+/// The bounded ring of recorded spans.
+#[derive(Debug, Default)]
+pub struct SpanLog {
+    events: VecDeque<SpanEvent>,
+    capacity: usize,
+    dropped: u64,
+    track: u32,
+}
+
+impl SpanLog {
+    /// An empty log bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+            track: 0,
+        }
+    }
+
+    /// Sets the track stamped on subsequently pushed spans.
+    pub fn set_track(&mut self, track: u32) {
+        self.track = track;
+    }
+
+    /// Records a completed span. When the ring is full the oldest event is
+    /// evicted (flight-recorder semantics) and `dropped` incremented.
+    pub fn push(
+        &mut self,
+        name: &'static str,
+        start: Micros,
+        end: Micros,
+        args: Vec<(&'static str, AttrValue)>,
+    ) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(SpanEvent {
+            name,
+            track: self.track,
+            start,
+            dur: end.saturating_sub(start),
+            args,
+        });
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the recorded spans in insertion order.
+    pub fn take(&mut self) -> Vec<SpanEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+/// The recording handle threaded through instrumented code. `Off` is the
+/// zero-cost default: every method is a single discriminant check and the
+/// disabled path never allocates — call sites additionally gate attribute
+/// `Vec` construction behind [`Recorder::is_on`].
+#[derive(Debug, Default)]
+pub enum Recorder {
+    /// Tracing disabled: all calls are no-ops.
+    #[default]
+    Off,
+    /// Tracing enabled into the contained flight-recorder ring.
+    On(SpanLog),
+}
+
+impl Recorder {
+    /// A disabled recorder.
+    pub fn off() -> Self {
+        Recorder::Off
+    }
+
+    /// An enabled recorder with the default flight-recorder capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled recorder bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder::On(SpanLog::with_capacity(capacity))
+    }
+
+    /// True when spans are being recorded. Gate attribute construction on
+    /// this so the disabled path allocates nothing.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        matches!(self, Recorder::On(_))
+    }
+
+    /// Records a completed span with attributes. No-op (and no allocation
+    /// beyond the caller-built `args`) when disabled.
+    #[inline]
+    pub fn push(
+        &mut self,
+        name: &'static str,
+        start: Micros,
+        end: Micros,
+        args: Vec<(&'static str, AttrValue)>,
+    ) {
+        if let Recorder::On(log) = self {
+            log.push(name, start, end, args);
+        }
+    }
+
+    /// Records an attribute-free span.
+    #[inline]
+    pub fn push0(&mut self, name: &'static str, start: Micros, end: Micros) {
+        if let Recorder::On(log) = self {
+            log.push(name, start, end, Vec::new());
+        }
+    }
+
+    /// Sets the track stamped on subsequent spans (no-op when disabled).
+    pub fn set_track(&mut self, track: u32) {
+        if let Recorder::On(log) = self {
+            log.set_track(track);
+        }
+    }
+
+    /// Drains recorded spans (empty when disabled).
+    pub fn take(&mut self) -> Vec<SpanEvent> {
+        match self {
+            Recorder::Off => Vec::new(),
+            Recorder::On(log) => log.take(),
+        }
+    }
+
+    /// Events evicted by the ring so far (0 when disabled).
+    pub fn dropped(&self) -> u64 {
+        match self {
+            Recorder::Off => 0,
+            Recorder::On(log) => log.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_recorder_records_nothing() {
+        let mut r = Recorder::off();
+        r.push0("crawl.page", 0, 10);
+        r.set_track(3);
+        assert!(!r.is_on());
+        assert!(r.take().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn spans_record_in_order_with_track_and_args() {
+        let mut r = Recorder::enabled();
+        r.set_track(2);
+        r.push(
+            "xhr.fetch",
+            5,
+            17,
+            vec![
+                ("url", AttrValue::str("/a")),
+                ("status", AttrValue::U64(200)),
+            ],
+        );
+        r.push0("hotnode.hit", 20, 20);
+        let spans = r.take();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "xhr.fetch");
+        assert_eq!(spans[0].track, 2);
+        assert_eq!(spans[0].start, 5);
+        assert_eq!(spans[0].dur, 12);
+        assert_eq!(spans[0].args[1], ("status", AttrValue::U64(200)));
+        assert_eq!(spans[1].dur, 0);
+        assert!(r.take().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = Recorder::with_capacity(3);
+        for i in 0..5u64 {
+            r.push0("crawl.event", i, i + 1);
+        }
+        assert_eq!(r.dropped(), 2);
+        let spans = r.take();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].start, 2, "oldest two evicted");
+        assert_eq!(spans[2].start, 4);
+    }
+
+    #[test]
+    fn end_before_start_saturates_to_zero_duration() {
+        let mut r = Recorder::enabled();
+        r.push0("crawl.page", 10, 5);
+        assert_eq!(r.take()[0].dur, 0);
+    }
+}

@@ -8,86 +8,9 @@ use ajax_net::Micros;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of power-of-two latency buckets: bucket `i` holds samples with
-/// `latency < 2^i` µs (bucket 0 holds exact zeros), which covers ~36 minutes
-/// in the last bucket — more than any sane query latency.
-const BUCKETS: usize = 32;
-
-/// A fixed-bucket, power-of-two latency histogram. `record` is wait-free;
-/// percentile reads are approximate (they return the upper bound of the
-/// bucket containing the requested rank), which is plenty for p50/p95/p99
-/// over exponentially spaced buckets.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    fn bucket_of(micros: Micros) -> usize {
-        // 0 → bucket 0; otherwise the position of the highest set bit + 1,
-        // capped to the last bucket.
-        (64 - micros.leading_zeros() as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one latency sample.
-    pub fn record(&self, micros: Micros) {
-        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in µs (0 when empty).
-    pub fn mean(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Approximate `q`-quantile (`0.0..=1.0`) in µs: the upper bound of the
-    /// bucket where the cumulative count reaches `ceil(q·n)`.
-    pub fn quantile(&self, q: f64) -> Micros {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i == 0 { 0 } else { 1u64 << i };
-            }
-        }
-        1u64 << (BUCKETS - 1)
-    }
-
-    fn to_vec(&self) -> Vec<u64> {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect()
-    }
-}
+// The histogram grew up here and was lifted into `ajax-obs` so the profile
+// rollup could reuse it; re-exported to keep the serve API unchanged.
+pub use ajax_obs::LatencyHistogram;
 
 /// The server's live metrics registry. All fields are atomics so workers and
 /// clients update without locks; a consistent-enough view is taken by
@@ -158,7 +81,7 @@ impl Metrics {
             latency_p50_micros: self.latency.quantile(0.50),
             latency_p95_micros: self.latency.quantile(0.95),
             latency_p99_micros: self.latency.quantile(0.99),
-            latency_buckets: self.latency.to_vec(),
+            latency_buckets: self.latency.bucket_counts(),
             cache_hits: hits,
             cache_misses: misses,
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
@@ -206,42 +129,7 @@ pub struct MetricsSnapshot {
 mod tests {
     use super::*;
 
-    #[test]
-    fn bucket_boundaries() {
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 1);
-        assert_eq!(LatencyHistogram::bucket_of(2), 2);
-        assert_eq!(LatencyHistogram::bucket_of(3), 2);
-        assert_eq!(LatencyHistogram::bucket_of(4), 3);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
-    }
-
-    #[test]
-    fn quantiles_over_known_samples() {
-        let h = LatencyHistogram::default();
-        // 90 fast samples (~8 µs → bucket 4, upper bound 16) and 10 slow
-        // (~1000 µs → bucket 10, upper bound 1024).
-        for _ in 0..90 {
-            h.record(8);
-        }
-        for _ in 0..10 {
-            h.record(1000);
-        }
-        assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile(0.50), 16);
-        assert_eq!(h.quantile(0.90), 16);
-        assert_eq!(h.quantile(0.95), 1024);
-        assert_eq!(h.quantile(0.99), 1024);
-        let mean = h.mean();
-        assert!((mean - (90.0 * 8.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile(0.99), 0);
-        assert_eq!(h.mean(), 0.0);
-    }
+    // Histogram unit tests live in `ajax-obs` now (crates/obs/src/histogram.rs).
 
     #[test]
     fn snapshot_serializes_and_roundtrips() {

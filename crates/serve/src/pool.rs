@@ -16,6 +16,7 @@ use crate::clock::ServeClock;
 use crate::metrics::Metrics;
 use ajax_index::{eval_shard, InvertedIndex, Query, RankWeights, ShardResult, ShardTermStats};
 use ajax_net::Micros;
+use ajax_obs::{AttrValue, SpanLog};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -164,6 +165,7 @@ impl ShardPool {
         clock: ServeClock,
         metrics: Arc<Metrics>,
         eval_cost_micros: Micros,
+        trace: Option<Arc<Mutex<SpanLog>>>,
     ) -> Self {
         let queue = Arc::new(JobQueue::new());
         let index = Arc::new(RwLock::new(Arc::new(index)));
@@ -173,6 +175,7 @@ impl ShardPool {
                 let index = Arc::clone(&index);
                 let clock = clock.clone();
                 let metrics = Arc::clone(&metrics);
+                let trace = trace.clone();
                 std::thread::Builder::new()
                     .name(format!("ajax-serve-s{shard_idx}w{w}"))
                     .spawn(move || {
@@ -183,6 +186,7 @@ impl ShardPool {
                             &clock,
                             &metrics,
                             eval_cost_micros,
+                            trace,
                         )
                     })
                     .expect("spawn shard worker")
@@ -222,6 +226,7 @@ impl ShardPool {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     shard_idx: usize,
     queue: &JobQueue,
@@ -229,6 +234,7 @@ fn worker_loop(
     clock: &ServeClock,
     metrics: &Metrics,
     eval_cost_micros: Micros,
+    trace: Option<Arc<Mutex<SpanLog>>>,
 ) {
     loop {
         let job = queue.pop();
@@ -242,6 +248,7 @@ fn worker_loop(
             return;
         };
         metrics.shard_queue_depth[shard_idx].fetch_sub(1, Ordering::Relaxed);
+        let eval_start = clock.now_micros();
 
         // `>=` so a zero-length deadline deterministically times out even
         // under a manual clock that never advances — the degraded path is
@@ -262,6 +269,26 @@ fn worker_loop(
                 Err(_) => ShardReply::Failed,
             }
         };
+        if let Some(trace) = &trace {
+            let result = match &outcome {
+                ShardReply::Evaluated(..) => "evaluated",
+                ShardReply::TimedOut => "timed_out",
+                ShardReply::Failed => "failed",
+            };
+            let end = clock.now_micros();
+            let mut log = trace.lock().expect("trace ring lock");
+            // Track 0 belongs to the server's admission/merge spans.
+            log.set_track(shard_idx as u32 + 1);
+            log.push(
+                "shard.eval",
+                eval_start,
+                end,
+                vec![
+                    ("shard", AttrValue::U64(shard_idx as u64)),
+                    ("result", AttrValue::str(result)),
+                ],
+            );
+        }
         reply.deliver(shard_idx, outcome);
     }
 }

@@ -22,9 +22,10 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::pool::{Job, ReplyState, ShardPool, ShardReply};
 use ajax_index::{merge_shard_outputs, BrokerResult, Query, QueryBroker, RankWeights};
 use ajax_net::Micros;
+use ajax_obs::{AttrValue, SpanEvent, SpanLog};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Tunables for a [`ShardServer`].
 #[derive(Debug, Clone)]
@@ -45,6 +46,11 @@ pub struct ServeConfig {
     /// Virtual µs a shard evaluation costs under a manual clock (ignored by
     /// the wall clock). Lets load tests model slow shards deterministically.
     pub eval_cost_micros: Micros,
+    /// Record `serve.*` / `shard.eval` spans into a shared flight-recorder
+    /// ring, drained with [`ShardServer::take_trace`]. Timestamps come from
+    /// the server's clock: wall-clock diagnostics normally, deterministic
+    /// virtual time under a manual clock.
+    pub trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +62,7 @@ impl Default for ServeConfig {
             deadline_micros: None,
             clock: ServeClock::wall(),
             eval_cost_micros: 0,
+            trace: false,
         }
     }
 }
@@ -88,6 +95,11 @@ impl ServeConfig {
 
     pub fn with_eval_cost_micros(mut self, c: Micros) -> Self {
         self.eval_cost_micros = c;
+        self
+    }
+
+    pub fn with_tracing(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -196,6 +208,9 @@ pub struct ShardServer {
     in_flight: AtomicUsize,
     shutting_down: AtomicBool,
     start_micros: Micros,
+    /// Shared flight-recorder ring (None when tracing is off — the disabled
+    /// path is a single `Option` check, no lock, no allocation).
+    trace: Option<Arc<Mutex<SpanLog>>>,
 }
 
 impl ShardServer {
@@ -204,6 +219,11 @@ impl ShardServer {
     pub fn new(broker: QueryBroker, config: ServeConfig) -> Self {
         let (shards, weights) = broker.into_parts();
         let metrics = Arc::new(Metrics::new(shards.len()));
+        let trace = config.trace.then(|| {
+            Arc::new(Mutex::new(SpanLog::with_capacity(
+                ajax_obs::DEFAULT_CAPACITY,
+            )))
+        });
         let pools = shards
             .into_iter()
             .enumerate()
@@ -215,6 +235,7 @@ impl ShardServer {
                     config.clock.clone(),
                     Arc::clone(&metrics),
                     config.eval_cost_micros,
+                    trace.clone(),
                 )
             })
             .collect();
@@ -228,6 +249,40 @@ impl ShardServer {
             in_flight: AtomicUsize::new(0),
             shutting_down: AtomicBool::new(false),
             start_micros,
+            trace,
+        }
+    }
+
+    /// Records one span into the shared ring (no-op when tracing is off).
+    /// Callers gate attribute construction on [`Self::tracing`].
+    fn record_span(
+        &self,
+        name: &'static str,
+        start: Micros,
+        end: Micros,
+        args: Vec<(&'static str, AttrValue)>,
+    ) {
+        if let Some(trace) = &self.trace {
+            let mut log = trace.lock().expect("trace ring lock");
+            // Track 0 is the server's admission/merge timeline; shard
+            // workers use tracks 1..=shards.
+            log.set_track(0);
+            log.push(name, start, end, args);
+        }
+    }
+
+    /// True when this server records spans.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drains the serve-side flight recorder (empty when tracing is off).
+    /// Under a wall clock these spans are diagnostics; under a manual clock
+    /// their timestamps are deterministic virtual time.
+    pub fn take_trace(&self) -> Vec<SpanEvent> {
+        match &self.trace {
+            Some(trace) => trace.lock().expect("trace ring lock").take(),
+            None => Vec::new(),
         }
     }
 
@@ -276,6 +331,14 @@ impl ShardServer {
             .is_err()
         {
             self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+            if self.tracing() {
+                self.record_span(
+                    "serve.shed",
+                    admitted_at,
+                    admitted_at,
+                    vec![("max_in_flight", AttrValue::U64(max as u64))],
+                );
+            }
             return Err(ServeError::Overloaded {
                 in_flight: self.in_flight.load(Ordering::SeqCst),
                 max_in_flight: max,
@@ -337,7 +400,19 @@ impl ShardServer {
             }
         }
         let degraded = !missing.is_empty();
+        let merge_start = self.config.clock.now_micros();
         let results = merge_shard_outputs(query, &self.weights, all_results, &all_stats);
+        if self.tracing() {
+            self.record_span(
+                "serve.merge",
+                merge_start,
+                self.config.clock.now_micros(),
+                vec![
+                    ("shards", AttrValue::U64(self.pools.len() as u64)),
+                    ("missing", AttrValue::U64(missing.len() as u64)),
+                ],
+            );
+        }
 
         if !degraded {
             let evicted = self.cache.insert(key, Arc::new(results.clone()));
@@ -362,6 +437,24 @@ impl ShardServer {
             self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
         }
         self.metrics.latency.record(latency_micros);
+        if self.tracing() {
+            let result = if from_cache {
+                "cache_hit"
+            } else if degraded {
+                "degraded"
+            } else {
+                "full"
+            };
+            self.record_span(
+                "serve.query",
+                admitted_at,
+                admitted_at + latency_micros,
+                vec![
+                    ("result", AttrValue::str(result)),
+                    ("results", AttrValue::U64(results.len() as u64)),
+                ],
+            );
+        }
         ServeResponse {
             results,
             degraded,
@@ -671,6 +764,65 @@ mod tests {
         assert_eq!(snap.shed as usize, shed);
         // The in-flight gauge drained back to zero.
         assert_eq!(server.in_flight.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn tracing_records_query_shard_and_merge_spans() {
+        let (clock, _handle) = ServeClock::manual();
+        let server = ShardServer::new(
+            build_broker(2),
+            ServeConfig::default()
+                .with_clock(clock)
+                .with_eval_cost_micros(500)
+                .with_tracing(true),
+        );
+        assert!(server.tracing());
+        server.search("wow").unwrap(); // miss → fan-out
+        server.search("wow").unwrap(); // cache hit
+        let spans = server.take_trace();
+        assert!(!spans.is_empty());
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("serve.query"), 2);
+        assert_eq!(count("serve.merge"), 1, "cache hit skips the merge");
+        assert_eq!(count("shard.eval"), 3, "one eval per shard");
+        // Shard spans carry the virtual eval cost on per-shard tracks.
+        for s in spans.iter().filter(|s| s.name == "shard.eval") {
+            assert_eq!(s.dur, 500);
+            assert!(s.track >= 1);
+        }
+        let hit = spans
+            .iter()
+            .filter(|s| s.name == "serve.query")
+            .nth(1)
+            .unwrap();
+        assert_eq!(hit.track, 0);
+        assert!(hit.args.contains(&("result", AttrValue::str("cache_hit"))));
+        assert!(server.take_trace().is_empty(), "take_trace drains");
+    }
+
+    #[test]
+    fn untraced_server_returns_no_spans() {
+        let server = ShardServer::new(build_broker(2), ServeConfig::default());
+        assert!(!server.tracing());
+        server.search("wow").unwrap();
+        assert!(server.take_trace().is_empty());
+    }
+
+    #[test]
+    fn shed_query_records_a_shed_span() {
+        let (clock, _handle) = ServeClock::manual();
+        let server = ShardServer::new(
+            build_broker(2),
+            ServeConfig::default()
+                .with_clock(clock)
+                .with_max_in_flight(0)
+                .with_tracing(true),
+        );
+        assert!(server.search("wow").is_err());
+        let spans = server.take_trace();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "serve.shed");
+        assert_eq!(spans[0].dur, 0, "shed is an instant marker");
     }
 
     #[test]

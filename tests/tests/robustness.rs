@@ -139,6 +139,13 @@ fn thirty_percent_transient_faults_lose_no_pages() {
     assert!(report.aggregate.fetch_retries > 0);
     assert!(report.aggregate.backoff_micros > 0);
     assert_eq!(report.quarantined_pages, 0);
+    // `quarantined_pages` counts a subset of `failed_pages`; with nothing
+    // lost, both halves of the accounting identity are zero.
+    assert_eq!(report.failed_pages, 0);
+    assert_eq!(
+        report.failed_pages,
+        report.quarantined_pages + report.permanent_failures()
+    );
 }
 
 /// A permanently dead URL pattern is quarantined after K page-level
@@ -178,4 +185,13 @@ fn dead_urls_quarantined_after_k_attempts() {
     ));
     assert_eq!(report.quarantined_pages, 1);
     assert_eq!(report.page_retries, (k - 1) as u64);
+    // The one abandoned page is both failed and quarantined: quarantine is a
+    // subset of failure, not a disjoint bucket, so the identity
+    // failed = quarantined + permanent must hold with permanent = 0 here.
+    assert_eq!(report.failed_pages, 1);
+    assert_eq!(report.permanent_failures(), 0);
+    assert_eq!(
+        report.failed_pages,
+        report.quarantined_pages + report.permanent_failures()
+    );
 }
