@@ -1,6 +1,8 @@
 //! Runs every ch. 7 experiment (sharing the expensive crawls) and prints all
 //! tables/figures. `AJAX_CRAWL_SCALE=paper` for thesis scale.
-use ajax_bench::exp::{caching, crawl_perf, dataset, parallel, queries, serving, threshold};
+use ajax_bench::exp::{
+    caching, crawl_perf, dataset, parallel, pruning, queries, serving, threshold,
+};
 use ajax_bench::{util, Scale};
 
 fn main() {
@@ -71,6 +73,13 @@ fn main() {
     let srv = serving::collect(&scale);
     println!("{}", srv.render());
     util::write_json("serving", &srv);
+
+    // Static crawl planner: events saved + soundness cross-check (small
+    // fixed sites — the invariants, not the scale, are the point here).
+    let prune = pruning::collect(12, 6);
+    println!("{}", prune.render());
+    util::write_json("static_prune", &prune);
+    assert!(prune.all_sound(), "static-prune soundness violated");
 
     // §7.6/§7.7: thresholds and recall.
     let th = threshold::collect(&qdata);

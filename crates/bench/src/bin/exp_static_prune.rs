@@ -1,0 +1,35 @@
+//! Static-prune experiment: crawl VidShare and NewsShare with the static
+//! crawl planner on, off, and in verify mode; fails (exit 1) on any
+//! soundness mismatch, model divergence, or if nothing was pruned at all.
+//!
+//! ```sh
+//! exp_static_prune --videos 12 --pages 6
+//! ```
+use ajax_bench::exp::pruning;
+use ajax_bench::util;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], flag: &str, default: u32) -> u32 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let videos = flag_value(&args, "--videos", 12);
+    let pages = flag_value(&args, "--pages", 6);
+
+    let report = pruning::collect(videos, pages);
+    println!("{}", report.render());
+    util::write_json("static_prune", &report);
+
+    if report.all_sound() && report.any_pruned() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: prune soundness violated or nothing pruned");
+        ExitCode::FAILURE
+    }
+}

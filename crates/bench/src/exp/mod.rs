@@ -6,6 +6,7 @@ pub mod crawl_perf;
 pub mod dataset;
 pub mod faults;
 pub mod parallel;
+pub mod pruning;
 pub mod queries;
 pub mod serving;
 pub mod threshold;

@@ -1,12 +1,43 @@
 //! Static page analysis: the JavaScript invocation graph of a fetched page
 //! (thesis §4.1), assembled from all its `<script>` blocks, together with
 //! the page's event bindings — everything Tables 4.1–4.3 tabulate, derived
-//! before any event is fired.
+//! before any event is fired — plus the interprocedural effect summaries
+//! and diagnostics the static crawl planner consumes (`crawler.rs`,
+//! `docs/static-analysis.md`).
 
 use ajax_dom::events::{collect_event_bindings, EventBinding};
 use ajax_dom::{parse_document, EventType};
 use ajax_js::callgraph::InvocationGraph;
-use ajax_js::parse_program;
+use ajax_js::effects::{graph_diagnostics, EffectAnalysis, EffectSummary};
+use std::collections::{BTreeMap, BTreeSet};
+
+// Downstream layers (engine CLI, bench) consume diagnostics through this
+// module; re-export the catalogue so they need not depend on `ajax-js`.
+pub use ajax_js::effects::{Diagnostic, Lint, Severity};
+
+/// The cached effect verdict for one handler snippet, computed once at
+/// [`analyze_page`] time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BindingVerdict {
+    /// Transitive effects of running the snippet at top level.
+    pub summary: EffectSummary,
+    /// False when the snippet failed to parse (verdicts are then
+    /// worst-case: impure, no provable network reach).
+    pub parsed: bool,
+}
+
+impl BindingVerdict {
+    /// True when firing the handler provably cannot change application
+    /// state — the static-prune criterion.
+    pub fn is_pure(&self) -> bool {
+        self.parsed && self.summary.is_pure()
+    }
+
+    /// True when the handler can cause server traffic.
+    pub fn reaches_network(&self) -> bool {
+        self.parsed && self.summary.reaches_network()
+    }
+}
 
 /// Result of statically analyzing a page.
 #[derive(Debug, Clone)]
@@ -17,21 +48,22 @@ pub struct PageAnalysis {
     pub bindings: Vec<EventBinding>,
     /// Scripts that failed to parse (analysis is best-effort).
     pub script_errors: usize,
+    /// Per-function effect summaries (fixpoint over the graph).
+    pub effects: EffectAnalysis,
+    /// Every `id` attribute present in the initial document.
+    pub dom_ids: BTreeSet<String>,
+    /// Effect verdicts per distinct handler snippet, keyed by source text.
+    verdicts: BTreeMap<String, BindingVerdict>,
 }
 
 impl PageAnalysis {
     /// True when `binding` can cause server traffic (its handler calls,
-    /// directly or transitively, a hot node).
+    /// directly or transitively, a hot node). O(1): verdicts are computed
+    /// once at analysis time, not re-derived per query.
     pub fn binding_reaches_network(&self, binding: &EventBinding) -> bool {
-        let Ok(program) = parse_program(&binding.code) else {
-            return false;
-        };
-        let snippet = InvocationGraph::from_program(&program);
-        let reaching = self.graph.reaches_network();
-        snippet
-            .top_level_calls
-            .iter()
-            .any(|call| reaching.contains(call.as_str()))
+        self.verdicts
+            .get(&binding.code)
+            .is_some_and(BindingVerdict::reaches_network)
     }
 
     /// The bindings that can cause server traffic — the events a
@@ -41,6 +73,109 @@ impl PageAnalysis {
             .iter()
             .filter(|b| self.binding_reaches_network(b))
             .collect()
+    }
+
+    /// The cached verdict for a handler snippet seen in the initial DOM.
+    pub fn verdict(&self, code: &str) -> Option<&BindingVerdict> {
+        self.verdicts.get(code)
+    }
+
+    /// All snippet verdicts, keyed by handler source text.
+    pub fn verdicts(&self) -> impl Iterator<Item = (&str, &BindingVerdict)> {
+        self.verdicts.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Runs the diagnostics pass: graph-level lints (undefined calls,
+    /// redefinitions, dynamic hot calls) plus page-level lints that need
+    /// the document — parse failures, dead functions, DOM writes to ids
+    /// absent from the initial document, stateless handlers, and handlers
+    /// whose termination is unprovable. Sorted most severe first.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for _ in 0..self.script_errors {
+            out.push(Diagnostic::new(
+                Lint::ScriptParseError,
+                "script",
+                "a <script> block failed to parse; analysis of it was skipped",
+            ));
+        }
+        out.extend(graph_diagnostics(&self.graph, &self.effects));
+
+        // Dead functions: unreachable from top-level code or any handler.
+        let mut live: BTreeSet<String> = self.graph.top_level_calls.iter().cloned().collect();
+        let mut frontier: Vec<String> = live.iter().cloned().collect();
+        for code in self.verdicts.keys() {
+            if let Ok(program) = ajax_js::parse_program(code) {
+                let snippet = ajax_js::effects::local_effects_of_snippet(&program.body);
+                for site in snippet.call_sites {
+                    if live.insert(site.callee.clone()) {
+                        frontier.push(site.callee);
+                    }
+                }
+            }
+        }
+        while let Some(name) = frontier.pop() {
+            if let Some(f) = self.graph.function(&name) {
+                for callee in &f.calls {
+                    if live.insert(callee.clone()) {
+                        frontier.push(callee.clone());
+                    }
+                }
+            }
+        }
+        for f in self.graph.functions() {
+            if !live.contains(f.name.as_str()) {
+                out.push(Diagnostic::new(
+                    Lint::DeadFunction,
+                    f.name.clone(),
+                    "declared but unreachable from any handler or top-level call",
+                ));
+            }
+        }
+
+        // Constant DOM-write targets that do not exist in the document.
+        for (name, sum) in self.effects.summaries() {
+            for id in &sum.dom_write_ids {
+                if !self.dom_ids.contains(id) {
+                    out.push(Diagnostic::new(
+                        Lint::DomWriteUnknownId,
+                        name,
+                        format!("writes to element id `{id}`, absent from the document"),
+                    ));
+                }
+            }
+        }
+
+        // Per-snippet verdicts: stateless and possibly-non-terminating.
+        for (code, verdict) in &self.verdicts {
+            if verdict.is_pure() {
+                out.push(Diagnostic::new(
+                    Lint::StatelessHandler,
+                    code.clone(),
+                    "handler is provably stateless; the crawler can skip firing it",
+                ));
+            }
+            if verdict.parsed && verdict.summary.may_not_terminate {
+                out.push(Diagnostic::new(
+                    Lint::NonTerminating,
+                    code.clone(),
+                    "handler reaches a loop or call cycle; termination is not provable",
+                ));
+            }
+        }
+
+        out.sort_by(|a, b| {
+            b.severity()
+                .cmp(&a.severity())
+                .then_with(|| a.lint.code().cmp(b.lint.code()))
+                .then_with(|| a.subject.cmp(&b.subject))
+        });
+        out
+    }
+
+    /// The highest severity present, if any diagnostic fired.
+    pub fn max_severity(&self) -> Option<ajax_js::effects::Severity> {
+        self.diagnostics().iter().map(|d| d.severity()).max()
     }
 }
 
@@ -56,16 +191,37 @@ pub fn analyze_page(html: &str) -> PageAnalysis {
         }
     }
     let bindings = collect_event_bindings(&doc, EventType::all());
+    let dom_ids: BTreeSet<String> = doc
+        .walk()
+        .filter_map(|id| doc.attr(id, "id").map(str::to_string))
+        .collect();
+    let effects = EffectAnalysis::of(&graph);
+    let mut verdicts = BTreeMap::new();
+    for b in &bindings {
+        verdicts.entry(b.code.clone()).or_insert_with(|| {
+            match effects.snippet_summary_src(&b.code) {
+                Ok(summary) => BindingVerdict {
+                    summary,
+                    parsed: true,
+                },
+                Err(_) => BindingVerdict::default(),
+            }
+        });
+    }
     PageAnalysis {
         graph,
         bindings,
         script_errors,
+        effects,
+        dom_ids,
+        verdicts,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ajax_js::effects::Severity;
     use ajax_net::server::{Request, Server};
     use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
 
@@ -164,6 +320,10 @@ mod tests {
         );
         assert_eq!(analysis.script_errors, 1);
         assert_eq!(analysis.graph.hot_nodes(), vec!["ok"]);
+        assert!(analysis
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::ScriptParseError));
     }
 
     #[test]
@@ -171,5 +331,103 @@ mod tests {
         let analysis = analyze_page("<p>plain old web</p>");
         assert!(analysis.graph.hot_nodes().is_empty());
         assert!(analysis.bindings.is_empty());
+        assert!(analysis.diagnostics().is_empty());
+        assert_eq!(analysis.max_severity(), None);
+    }
+
+    #[test]
+    fn verdicts_cached_per_snippet() {
+        let server = VidShareServer::new(VidShareSpec::small(20));
+        let html = server.handle(&Request::get("/watch?v=0")).body;
+        let analysis = analyze_page(&html);
+        // The mouseover handler is pure; nav handlers are not.
+        let hover = analysis.verdict("highlightTitle()").expect("hover verdict");
+        assert!(hover.is_pure() && !hover.reaches_network());
+        let next = analysis.verdict("nextPage()").expect("next verdict");
+        assert!(!next.is_pure() && next.reaches_network());
+        // Every binding has a verdict (onload included).
+        for b in &analysis.bindings {
+            assert!(
+                analysis.verdict(&b.code).is_some(),
+                "no verdict: {}",
+                b.code
+            );
+        }
+    }
+
+    #[test]
+    fn generated_sites_are_lint_clean_at_error_level() {
+        let vid = VidShareServer::new(VidShareSpec::small(20));
+        let news = NewsShareServer::new(NewsSpec::small(10));
+        for html in [
+            vid.handle(&Request::get("/watch?v=0")).body,
+            news.handle(&Request::get("/news?p=1")).body,
+        ] {
+            let analysis = analyze_page(&html);
+            let worst = analysis.max_severity();
+            assert!(
+                worst.is_none() || worst < Some(Severity::Error),
+                "unexpected error diagnostics: {:?}",
+                analysis.diagnostics()
+            );
+        }
+    }
+
+    #[test]
+    fn vidshare_flags_stateless_hover_handler() {
+        let server = VidShareServer::new(VidShareSpec::small(20));
+        let html = server.handle(&Request::get("/watch?v=0")).body;
+        let analysis = analyze_page(&html);
+        let diags = analysis.diagnostics();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == Lint::StatelessHandler && d.subject == "highlightTitle()"),
+            "{diags:?}"
+        );
+        // The only "dead" function is prevPage: the initial DOM renders no
+        // "previous" arrow (you start on comment page 1), so it is only
+        // reachable from server-injected fragments — the static-analysis
+        // blind spot docs/static-analysis.md calls out.
+        let dead: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.lint == Lint::DeadFunction)
+            .map(|d| d.subject.as_str())
+            .collect();
+        assert_eq!(dead, vec!["prevPage"]);
+    }
+
+    #[test]
+    fn dead_function_and_unknown_id_linted() {
+        let analysis = analyze_page(
+            "<script>
+                function used() { document.getElementById('ghost').innerHTML = 'x'; }
+                function orphan() { return 1; }
+             </script>
+             <div id=\"real\" onclick=\"used()\">go</div>",
+        );
+        let diags = analysis.diagnostics();
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == Lint::DeadFunction && d.subject == "orphan"));
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == Lint::DomWriteUnknownId && d.subject == "used"));
+        assert_eq!(analysis.max_severity(), Some(Severity::Warning));
+    }
+
+    #[test]
+    fn diagnostics_sorted_most_severe_first() {
+        let analysis = analyze_page(
+            "<script>function bad() { ghost(); }</script>
+             <div onclick=\"bad()\">x</div>
+             <div onmouseover=\"1 + 1\">y</div>",
+        );
+        let diags = analysis.diagnostics();
+        assert!(diags.len() >= 2);
+        for pair in diags.windows(2) {
+            assert!(pair[0].severity() >= pair[1].severity());
+        }
+        assert_eq!(diags[0].severity(), Severity::Error);
     }
 }

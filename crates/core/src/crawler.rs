@@ -21,7 +21,7 @@ use ajax_net::sched::Task;
 use ajax_net::{LatencyModel, Micros, NetClient, Response, Server, Url};
 use ajax_obs::{AttrValue, Recorder};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Virtual CPU cost model. The defaults are calibrated so the VidShare
@@ -206,6 +206,14 @@ pub struct CrawlConfig {
     pub costs: CpuCostModel,
     /// Retry policy for page GETs and in-event XHR fetches.
     pub retry: RetryPolicy,
+    /// Static crawl planner (docs/static-analysis.md): effect-analyze the
+    /// page once and skip firing events whose handlers are statically
+    /// proven pure, counting them in [`PageStats::pruned_events`].
+    pub static_prune: bool,
+    /// Soundness cross-check for the planner: fire statically-pruned
+    /// events anyway; a state change counts as a
+    /// [`PageStats::prune_mismatches`] instead of a skip.
+    pub verify_prune: bool,
 }
 
 impl CrawlConfig {
@@ -227,6 +235,8 @@ impl CrawlConfig {
             focus_keywords: Vec::new(),
             costs: CpuCostModel::thesis_default(),
             retry: RetryPolicy::default(),
+            static_prune: true,
+            verify_prune: false,
         }
     }
 
@@ -271,6 +281,21 @@ impl CrawlConfig {
         self.retry = retry;
         self
     }
+
+    /// Returns a copy with the static crawl planner disabled (every event
+    /// fires, as in the plain Alg. 3.1.1 loop).
+    pub fn without_static_prune(mut self) -> Self {
+        self.static_prune = false;
+        self
+    }
+
+    /// Returns a copy in prune-verify mode: statically-pruned events fire
+    /// anyway and any state change is counted as a soundness mismatch.
+    pub fn verifying_prune(mut self) -> Self {
+        self.static_prune = true;
+        self.verify_prune = true;
+        self
+    }
 }
 
 /// Per-page crawl accounting (raw material of the ch. 7 experiments).
@@ -293,6 +318,16 @@ pub struct PageStats {
     pub hot_functions: std::collections::BTreeSet<String>,
     /// Events skipped (update-event guard or barren-event history).
     pub events_skipped: u64,
+    /// Events whose handler was statically proven pure by the crawl
+    /// planner: skipped without firing, or — in verify mode — fired and
+    /// cross-checked (docs/static-analysis.md).
+    pub pruned_events: u64,
+    /// Verify-prune soundness failures: a statically "pure" handler
+    /// changed the state when fired. Anything non-zero is an analysis bug.
+    pub prune_mismatches: u64,
+    /// `<script>` blocks the static analysis failed to parse (best-effort;
+    /// zero when the planner is disabled).
+    pub script_errors: u64,
     /// States left unexpanded by the focused-crawling filter.
     pub states_not_expanded: u64,
     /// Events that produced an already-known state (duplicates detected).
@@ -339,6 +374,9 @@ impl PageStats {
             self.hot_functions.len() as u64
         };
         self.events_skipped += other.events_skipped;
+        self.pruned_events += other.pruned_events;
+        self.prune_mismatches += other.prune_mismatches;
+        self.script_errors += other.script_errors;
         self.states_not_expanded += other.states_not_expanded;
         self.duplicates += other.duplicates;
         self.js_errors += other.js_errors;
@@ -697,6 +735,15 @@ impl Crawler {
         model.add_state(initial_hash, initial_text, dom_html);
         env.rec.push0("crawl.load", load_start, env.net.now());
 
+        // Static crawl planner: analyze once, then skip events whose
+        // handlers are proven pure (or fire-and-check in verify mode).
+        let mut planner = config
+            .static_prune
+            .then(|| StaticPlanner::new(body, config, env));
+        if let Some(p) = &planner {
+            stats.script_errors = p.analysis.script_errors as u64;
+        }
+
         let mut snapshots = vec![browser.snapshot()];
         let mut queue = VecDeque::from([StateId::INITIAL]);
 
@@ -739,6 +786,25 @@ impl Crawler {
                 if let Some(history) = history {
                     if history.is_barren(&binding.source, binding.event_type, &binding.code) {
                         stats.events_skipped += 1;
+                        continue;
+                    }
+                }
+                // Static pruning: a handler proven stateless cannot create
+                // a transition, so firing it is pure waste. In verify mode
+                // it fires anyway and a state change is a soundness bug.
+                let pruned = planner.as_mut().is_some_and(|p| p.is_pure(&binding.code));
+                if pruned {
+                    stats.pruned_events += 1;
+                    if !config.verify_prune {
+                        // A pure handler cannot change the DOM, so the event
+                        // is barren by construction; recording it keeps the
+                        // recrawl history as complete as an unpruned crawl's.
+                        new_history.record(
+                            &binding.source,
+                            binding.event_type,
+                            &binding.code,
+                            false,
+                        );
                         continue;
                     }
                 }
@@ -820,6 +886,9 @@ impl Crawler {
                     });
                     "transition"
                 })();
+                if pruned && matches!(result, "transition" | "state_cap") {
+                    stats.prune_mismatches += 1;
+                }
                 if env.rec.is_on() {
                     env.rec.push(
                         "crawl.event",
@@ -834,6 +903,66 @@ impl Crawler {
             }
         }
         Ok(())
+    }
+}
+
+/// The per-page static crawl planner (docs/static-analysis.md): the page
+/// is effect-analyzed once after load; purity verdicts for the initial
+/// DOM's handlers come pre-computed, and snippets first seen in later
+/// states (server-injected fragments) are summarized on demand and
+/// memoized.
+struct StaticPlanner {
+    analysis: crate::analysis::PageAnalysis,
+    memo: HashMap<String, bool>,
+}
+
+impl StaticPlanner {
+    fn new(body: &str, config: &CrawlConfig, env: &mut CrawlEnv<'_>) -> Self {
+        let start = env.net.now();
+        // The analysis re-parses the document and every script; charge it
+        // like the parse it is so the virtual clock stays honest.
+        env.charge_cpu(config.costs.parse_cost(body.len()));
+        let analysis = crate::analysis::analyze_page(body);
+        let memo: HashMap<String, bool> = analysis
+            .verdicts()
+            .map(|(code, v)| (code.to_string(), v.is_pure()))
+            .collect();
+        if env.rec.is_on() {
+            let pure = memo.values().filter(|p| **p).count() as u64;
+            env.rec.push(
+                "analysis.page",
+                start,
+                env.net.now(),
+                vec![
+                    (
+                        "functions",
+                        AttrValue::U64(analysis.graph.functions().count() as u64),
+                    ),
+                    ("bindings", AttrValue::U64(analysis.bindings.len() as u64)),
+                    ("pure_snippets", AttrValue::U64(pure)),
+                    (
+                        "script_errors",
+                        AttrValue::U64(analysis.script_errors as u64),
+                    ),
+                ],
+            );
+        }
+        StaticPlanner { analysis, memo }
+    }
+
+    /// True when firing `code` provably cannot change application state.
+    fn is_pure(&mut self, code: &str) -> bool {
+        if let Some(&pure) = self.memo.get(code) {
+            return pure;
+        }
+        let pure = self
+            .analysis
+            .effects
+            .snippet_summary_src(code)
+            .map(|s| s.is_pure())
+            .unwrap_or(false);
+        self.memo.insert(code.to_string(), pure);
+        pure
     }
 }
 
@@ -1056,6 +1185,38 @@ mod tests {
     }
 
     #[test]
+    fn static_prune_cuts_events_without_changing_the_model() {
+        let (video, _) = multi_page_video();
+        let pruned = crawl(CrawlConfig::ajax(), video);
+        let unpruned = crawl(CrawlConfig::ajax().without_static_prune(), video);
+        // The title-hover handler is proven stateless once per state.
+        assert!(pruned.stats.pruned_events > 0, "hover must be pruned");
+        assert_eq!(unpruned.stats.pruned_events, 0);
+        assert!(
+            pruned.stats.events_fired < unpruned.stats.events_fired,
+            "pruning must fire fewer events: {} !< {}",
+            pruned.stats.events_fired,
+            unpruned.stats.events_fired
+        );
+        // Soundness: the discovered application model is identical.
+        assert_eq!(pruned.model.states, unpruned.model.states);
+        assert_eq!(pruned.model.transitions, unpruned.model.transitions);
+    }
+
+    #[test]
+    fn verify_prune_finds_no_mismatches() {
+        let (video, _) = multi_page_video();
+        let verified = crawl(CrawlConfig::ajax().verifying_prune(), video);
+        assert!(verified.stats.pruned_events > 0, "candidates exist");
+        assert_eq!(verified.stats.prune_mismatches, 0, "analysis is sound");
+        // Verify mode fires everything, so it matches the no-prune crawl.
+        let baseline = crawl(CrawlConfig::ajax().without_static_prune(), video);
+        assert_eq!(verified.stats.events_fired, baseline.stats.events_fired);
+        assert_eq!(verified.model.states, baseline.model.states);
+        assert_eq!(verified.model.transitions, baseline.model.transitions);
+    }
+
+    #[test]
     fn single_page_video_has_one_state() {
         let spec = VidShareSpec::small(50);
         let video = (0..50)
@@ -1128,6 +1289,72 @@ mod guard_and_recrawl_tests {
         assert!(crawl.stats.js_errors > 0, "destructive handler ran");
     }
 
+    /// A page whose pure handler arrives only in a server-injected
+    /// fragment — it is absent from the initial DOM, so the planner must
+    /// summarize and memoize it mid-crawl.
+    fn injected_handler_server() -> Arc<dyn Server> {
+        Arc::new(FnServer(|req: &Request| match req.url.path.as_str() {
+            "/page" => Response::html(
+                "<html><head><script>\
+                     function noop(tag) { var t = tag; return t; }\
+                     function fetchMore(p) {\
+                       var xhr = new XMLHttpRequest();\
+                       xhr.open('GET', '/more?p=' + p, false);\
+                       xhr.send(null);\
+                       document.getElementById('box').innerHTML = xhr.responseText;\
+                     }\
+                     </script></head><body>\
+                     <span id=\"more\" onclick=\"fetchMore(2)\">more</span>\
+                     <div id=\"box\">first</div>\
+                     </body></html>",
+            ),
+            "/more" => Response::html("<p onmouseover=\"noop('late')\">second batch</p>"),
+            _ => Response::not_found(),
+        }))
+    }
+
+    #[test]
+    fn planner_memoizes_handlers_injected_mid_crawl() {
+        let mut crawler = Crawler::new(
+            injected_handler_server(),
+            LatencyModel::Zero,
+            CrawlConfig::ajax(),
+        );
+        let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+        assert_eq!(crawl.model.state_count(), 2);
+        // noop('late') exists only in the injected fragment, yet it is
+        // proven pure and pruned on the second state.
+        assert!(crawl.stats.pruned_events > 0, "injected handler pruned");
+
+        let unpruned = Crawler::new(
+            injected_handler_server(),
+            LatencyModel::Zero,
+            CrawlConfig::ajax().without_static_prune(),
+        )
+        .crawl_page(&Url::parse("http://x/page"))
+        .unwrap();
+        assert_eq!(crawl.model.states, unpruned.model.states);
+        assert_eq!(crawl.model.transitions, unpruned.model.transitions);
+        assert!(crawl.stats.events_fired < unpruned.stats.events_fired);
+    }
+
+    #[test]
+    fn script_parse_failures_surface_in_stats() {
+        let server: Arc<dyn Server> = Arc::new(FnServer(|req: &Request| {
+            if req.url.path == "/page" {
+                Response::html(
+                    "<html><head><script>function broken( {</script></head>\
+                     <body><div id=\"box\">x</div></body></html>",
+                )
+            } else {
+                Response::not_found()
+            }
+        }));
+        let mut crawler = Crawler::new(server, LatencyModel::Zero, CrawlConfig::ajax());
+        let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
+        assert_eq!(crawl.stats.script_errors, 1);
+    }
+
     #[test]
     fn recrawl_with_history_skips_barren_events() {
         let spec = VidShareSpec::small(50);
@@ -1136,7 +1363,15 @@ mod guard_and_recrawl_tests {
             .unwrap();
         let url = Url::parse(&spec.watch_url(video));
         let server = Arc::new(VidShareServer::new(spec));
-        let mut crawler = Crawler::new(server, LatencyModel::Fixed(1_000), CrawlConfig::ajax());
+        // Static pruning already removes the statically-provable barren
+        // events (the title mouseover); disable it so this test isolates
+        // the *runtime* history mechanism, which also catches events that
+        // are barren for dynamic reasons the analysis cannot see.
+        let mut crawler = Crawler::new(
+            server,
+            LatencyModel::Fixed(1_000),
+            CrawlConfig::ajax().without_static_prune(),
+        );
 
         let (first, history) = crawler.crawl_page_with_history(&url, None).unwrap();
         let (barren, productive) = history.counts();

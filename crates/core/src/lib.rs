@@ -43,7 +43,7 @@ pub mod precrawl;
 pub mod recrawl;
 pub mod replay;
 
-pub use analysis::{analyze_page, PageAnalysis};
+pub use analysis::{analyze_page, BindingVerdict, PageAnalysis};
 pub use browser::Browser;
 pub use crawler::{
     CpuCostModel, CrawlConfig, CrawlError, Crawler, FetchFailure, LastError, PageCrawl, PageStats,

@@ -198,6 +198,26 @@ impl AppModel {
     pub fn text_bytes(&self) -> usize {
         self.states.iter().map(|s| s.text.len()).sum()
     }
+
+    /// A stable FNV-64 signature of the transition graph: state hashes plus
+    /// `(from, to, source, event, action)` per transition, ignoring timing
+    /// and replay payloads. Two crawls explored the same application iff
+    /// their signatures agree — the cheap equality the static-prune
+    /// soundness checks (bench experiment, `--verify-prune`) rely on.
+    pub fn graph_signature(&self) -> u64 {
+        let mut h = ajax_dom::hash::Fnv64::new();
+        for s in &self.states {
+            h.write_u64(s.hash);
+        }
+        for t in &self.transitions {
+            h.write_u64(t.from.0 as u64);
+            h.write_u64(t.to.0 as u64);
+            h.write_str(&t.source);
+            h.write_str(t.event.attr_name());
+            h.write_str(&t.action);
+        }
+        h.finish()
+    }
 }
 
 /// The model of a whole AJAX web site: the page models plus the traditional
@@ -220,6 +240,21 @@ impl SiteModel {
     /// Finds a page model by URL.
     pub fn page(&self, url: &str) -> Option<&AppModel> {
         self.pages.iter().find(|p| p.url == url)
+    }
+
+    /// Order-independent signature over all page graphs (see
+    /// [`AppModel::graph_signature`]): page signatures are combined by
+    /// XOR keyed on URL, so partition order does not matter.
+    pub fn graph_signature(&self) -> u64 {
+        self.pages
+            .iter()
+            .map(|p| {
+                let mut h = ajax_dom::hash::Fnv64::new();
+                h.write_str(&p.url);
+                h.write_u64(p.graph_signature());
+                h.finish()
+            })
+            .fold(0u64, |acc, s| acc ^ s)
     }
 }
 
@@ -319,5 +354,41 @@ mod tests {
         assert_eq!(site.total_states(), 3);
         assert!(site.page("http://x/watch?v=1").is_some());
         assert!(site.page("http://x/watch?v=9").is_none());
+    }
+
+    #[test]
+    fn graph_signature_ignores_timing_but_not_structure() {
+        let mut a = model_with_chain();
+        let mut b = model_with_chain();
+        a.crawl_micros = 1;
+        b.crawl_micros = 999_999;
+        b.fetches.push(FetchRecord {
+            url: "http://x/frag".into(),
+            body: "cached".into(),
+        });
+        assert_eq!(a.graph_signature(), b.graph_signature());
+
+        b.add_transition(Transition {
+            from: StateId(2),
+            to: StateId(0),
+            source: "span#back".into(),
+            event: EventType::Click,
+            action: "gotoPage(1)".into(),
+            targets: Vec::new(),
+        });
+        assert_ne!(a.graph_signature(), b.graph_signature());
+    }
+
+    #[test]
+    fn site_signature_is_partition_order_independent() {
+        let mut forward = SiteModel::default();
+        forward.pages.push(model_with_chain());
+        forward.pages.push(AppModel::new("http://x/watch?v=2"));
+        let mut reversed = SiteModel::default();
+        reversed.pages.push(AppModel::new("http://x/watch?v=2"));
+        reversed.pages.push(model_with_chain());
+        assert_eq!(forward.graph_signature(), reversed.graph_signature());
+        let empty = SiteModel::default();
+        assert_ne!(forward.graph_signature(), empty.graph_signature());
     }
 }

@@ -661,4 +661,34 @@ mod tests {
         assert_eq!(report.aggregate.states, sum);
         assert!(report.aggregate.states >= 10);
     }
+
+    #[test]
+    fn aggregate_sums_static_analysis_counters() {
+        let (server, partitions) = setup(10, 5);
+        let mp = MpCrawler::new(server, LatencyModel::Fixed(1_000), CrawlConfig::ajax())
+            .with_proc_lines(2);
+        let report = mp.crawl(&partitions);
+        let pruned: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.pruned_events)
+            .sum();
+        assert_eq!(report.aggregate.pruned_events, pruned);
+        // Every vidshare watch page carries the pure `highlightTitle`
+        // mouseover, so each partition contributes pruned events.
+        assert!(report.partitions.iter().all(|p| p.stats.pruned_events > 0));
+        let mismatches: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.prune_mismatches)
+            .sum();
+        assert_eq!(report.aggregate.prune_mismatches, mismatches);
+        assert_eq!(mismatches, 0, "non-verify crawls never observe mismatches");
+        let errors: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.script_errors)
+            .sum();
+        assert_eq!(report.aggregate.script_errors, errors);
+    }
 }

@@ -1,0 +1,169 @@
+//! Site-wide static analysis: run the effect/diagnostics pass
+//! (`ajax_crawl::analysis`) over every page of a site *without crawling*
+//! — no events are fired, no states are built. This is the `ajax-search
+//! analyze` surface: a fast lint pass over the application's initial
+//! documents, reporting the findings of `docs/static-analysis.md`'s
+//! catalogue (SA001–SA008) and how many handlers the static crawl
+//! planner would prune.
+
+use ajax_crawl::analysis::{analyze_page, Severity};
+use ajax_net::{Request, Server};
+use serde::{Deserialize, Serialize};
+
+/// One diagnostic, flattened to strings so the JSON report needs no
+/// knowledge of the lint catalogue's Rust types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RenderedDiagnostic {
+    /// Stable lint code (`SA001`…`SA008`).
+    pub code: String,
+    /// `error` | `warning` | `info`.
+    pub severity: String,
+    /// What the finding is about (function or binding).
+    pub subject: String,
+    pub message: String,
+}
+
+/// Static-analysis report of one page.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageReport {
+    pub url: String,
+    /// Functions in the page's merged invocation graph.
+    pub functions: usize,
+    /// Event bindings in the initial DOM.
+    pub bindings: usize,
+    /// Bindings whose handler is provably pure (prunable).
+    pub pure_bindings: usize,
+    /// `<script>` blocks that failed to parse.
+    pub script_errors: usize,
+    /// Findings, most severe first.
+    pub diagnostics: Vec<RenderedDiagnostic>,
+}
+
+/// Aggregated analysis over a set of pages.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteAnalysis {
+    pub pages: Vec<PageReport>,
+    /// Total findings by severity, across all pages.
+    pub errors: usize,
+    pub warnings: usize,
+    pub infos: usize,
+}
+
+impl SiteAnalysis {
+    /// True when any page produced an error-severity finding — the CI
+    /// analyze-smoke gate.
+    pub fn has_errors(&self) -> bool {
+        self.errors > 0
+    }
+}
+
+/// Fetches each URL straight from the server and runs the static pass.
+/// Unreachable pages (non-2xx) surface as an SA001-style parse-error page
+/// report rather than aborting the sweep.
+pub fn analyze_site(server: &dyn Server, urls: &[String]) -> SiteAnalysis {
+    let mut site = SiteAnalysis::default();
+    for url in urls {
+        let response = server.handle(&Request::get(ajax_net::Url::parse(url)));
+        if !response.is_ok() {
+            site.errors += 1;
+            site.pages.push(PageReport {
+                url: url.clone(),
+                diagnostics: vec![RenderedDiagnostic {
+                    code: "SA000".into(),
+                    severity: "error".into(),
+                    subject: url.clone(),
+                    message: format!("fetch failed with status {}", response.status),
+                }],
+                ..PageReport::default()
+            });
+            continue;
+        }
+        let analysis = analyze_page(&response.body);
+        let diagnostics: Vec<RenderedDiagnostic> = analysis
+            .diagnostics()
+            .into_iter()
+            .map(|d| RenderedDiagnostic {
+                code: d.lint.code().to_string(),
+                severity: d.severity().to_string(),
+                subject: d.subject.clone(),
+                message: d.message.clone(),
+            })
+            .collect();
+        for d in analysis.diagnostics() {
+            match d.severity() {
+                Severity::Error => site.errors += 1,
+                Severity::Warning => site.warnings += 1,
+                Severity::Info => site.infos += 1,
+            }
+        }
+        site.pages.push(PageReport {
+            url: url.clone(),
+            functions: analysis.graph.functions().count(),
+            bindings: analysis.bindings.len(),
+            pure_bindings: analysis
+                .bindings
+                .iter()
+                .filter(|b| analysis.verdict(&b.code).is_some_and(|v| v.is_pure()))
+                .count(),
+            script_errors: analysis.script_errors,
+            diagnostics,
+        });
+    }
+    site
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+
+    #[test]
+    fn vidshare_pages_are_error_clean() {
+        let spec = VidShareSpec::small(4);
+        let urls: Vec<String> = (0..4).map(|v| spec.watch_url(v)).collect();
+        let server = VidShareServer::new(spec);
+        let site = analyze_site(&server, &urls);
+        assert_eq!(site.pages.len(), 4);
+        assert!(!site.has_errors(), "generated sites must lint clean");
+        // Every watch page carries the pure highlightTitle mouseover.
+        assert!(site.pages.iter().all(|p| p.pure_bindings > 0));
+        // The stateless-handler info lint fires for it.
+        assert!(site
+            .pages
+            .iter()
+            .all(|p| p.diagnostics.iter().any(|d| d.code == "SA007")));
+    }
+
+    #[test]
+    fn news_pages_are_error_clean_with_no_pure_bindings() {
+        let spec = NewsSpec::small(3);
+        let urls: Vec<String> = (0..3).map(|p| spec.page_url(p)).collect();
+        let server = NewsShareServer::new(spec);
+        let site = analyze_site(&server, &urls);
+        assert!(!site.has_errors());
+        // Every *user-event* handler mutates state (history push / fetch);
+        // the only pure binding is the `initNews()` onload bootstrap, which
+        // merely reads a global.
+        assert!(site.pages.iter().all(|p| p.pure_bindings == 1));
+    }
+
+    #[test]
+    fn unreachable_page_is_an_error() {
+        let spec = VidShareSpec::small(1);
+        let server = VidShareServer::new(spec);
+        let site = analyze_site(&server, &["http://x/nope".to_string()]);
+        assert!(site.has_errors());
+        assert_eq!(site.pages[0].diagnostics[0].code, "SA000");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let spec = VidShareSpec::small(2);
+        let urls: Vec<String> = (0..2).map(|v| spec.watch_url(v)).collect();
+        let server = VidShareServer::new(spec);
+        let site = analyze_site(&server, &urls);
+        let json = serde_json::to_string_pretty(&site).unwrap();
+        let back: SiteAnalysis = serde_json::from_str(&json).unwrap();
+        assert_eq!(site, back);
+    }
+}

@@ -26,7 +26,7 @@
 //! ```
 
 use ajax_crawl::crawler::RetryPolicy;
-use ajax_engine::{AjaxSearchEngine, BuildReport, EngineConfig};
+use ajax_engine::{analyze_site, AjaxSearchEngine, BuildReport, EngineConfig};
 use ajax_index::invert::IndexBuilder;
 use ajax_index::persist::{load_index, save_index};
 use ajax_index::query::{search, Query, RankWeights};
@@ -44,16 +44,19 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         _ => {
             eprintln!(
                 "usage: ajax-search build --videos N [--site vidshare|news] [--traditional]\n\
                  \u{20}                  [--max-states N] [--fault-plan SPEC] [--retries N]\n\
                  \u{20}                  [--quarantine-after K] [--report-json FILE]\n\
+                 \u{20}                  [--no-static-prune] [--verify-prune]\n\
                  \u{20}                  [--trace-out FILE] [--profile] --out FILE\n\
                  \u{20}      ajax-search query --index FILE \"query terms\"\n\
                  \u{20}      ajax-search demo\n\
                  \u{20}      ajax-search serve [--videos N] [--workers W] [--cache N] \
-                 [--max-in-flight N] [--deadline-ms N] [--workload FILE]"
+                 [--max-in-flight N] [--deadline-ms N] [--workload FILE]\n\
+                 \u{20}      ajax-search analyze [--videos N] [--site vidshare|news] [--json]"
             );
             return ExitCode::from(2);
         }
@@ -219,6 +222,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     config.path_filter = Some(path_filter.to_string());
     config.trace = trace_out.is_some() || profile;
     apply_resilience_flags(args, &mut config)?;
+    if has_flag(args, "--no-static-prune") {
+        config.crawl = config.crawl.without_static_prune();
+    }
+    let verify_prune = has_flag(args, "--verify-prune");
+    if verify_prune {
+        config.crawl = config.crawl.verifying_prune();
+    }
 
     eprintln!(
         "building {} index over {videos} {site} pages…",
@@ -238,6 +248,25 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         r.virtual_makespan as f64 / 1e3,
         r.build_wall_micros as f64 / 1e3,
     );
+    if r.crawl.pruned_events > 0 || r.crawl.script_errors > 0 {
+        eprintln!(
+            "static analysis: {} events pruned, {} script errors{}",
+            r.crawl.pruned_events,
+            r.crawl.script_errors,
+            if verify_prune {
+                format!(", {} verify mismatches", r.crawl.prune_mismatches)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if verify_prune && r.crawl.prune_mismatches > 0 {
+        return Err(format!(
+            "--verify-prune found {} soundness mismatches: statically-pruned \
+             events changed application state",
+            r.crawl.prune_mismatches
+        ));
+    }
     print_resilience(r);
     write_report_json(args, r)?;
     write_trace(trace_out, profile, &engine)?;
@@ -383,6 +412,64 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 
     println!("{}", server.metrics_json());
+    Ok(())
+}
+
+/// Static analysis without a crawl: fetch every page's initial document,
+/// run the effect/diagnostics pass, and print the findings. Exits nonzero
+/// when any error-severity diagnostic fires (the CI analyze-smoke gate).
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let videos: u32 = flag_value(args, "--videos")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "--videos must be a number".to_string())?;
+    let site = flag_value(args, "--site").unwrap_or("vidshare");
+    let json = has_flag(args, "--json");
+
+    let (server, urls): (Arc<dyn Server>, Vec<String>) = match site {
+        "vidshare" => {
+            let spec = VidShareSpec::small(videos);
+            let urls = (0..videos).map(|v| spec.watch_url(v)).collect();
+            (Arc::new(VidShareServer::new(spec)), urls)
+        }
+        "news" => {
+            let spec = NewsSpec::small(videos);
+            let urls = (0..videos).map(|p| spec.page_url(p)).collect();
+            (Arc::new(NewsShareServer::new(spec)), urls)
+        }
+        other => return Err(format!("--site must be vidshare or news, got {other:?}")),
+    };
+
+    let analysis = analyze_site(server.as_ref(), &urls);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&analysis).map_err(|e| e.to_string())?
+        );
+    } else {
+        for page in &analysis.pages {
+            println!(
+                "{}: {} functions, {} bindings ({} prunable), {} script errors",
+                page.url, page.functions, page.bindings, page.pure_bindings, page.script_errors
+            );
+            for d in &page.diagnostics {
+                println!("  {}[{}] {}: {}", d.severity, d.code, d.subject, d.message);
+            }
+        }
+        println!(
+            "{} pages: {} errors, {} warnings, {} infos",
+            analysis.pages.len(),
+            analysis.errors,
+            analysis.warnings,
+            analysis.infos
+        );
+    }
+    if analysis.has_errors() {
+        return Err(format!(
+            "static analysis found {} error-severity diagnostics",
+            analysis.errors
+        ));
+    }
     Ok(())
 }
 

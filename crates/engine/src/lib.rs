@@ -19,6 +19,7 @@
 //! sharded index to `ajax-serve`'s concurrent [`ShardServer`] — per-shard
 //! worker pools, an LRU result cache, and admission control.
 
+pub mod analyze;
 pub mod report;
 
 use ajax_crawl::crawler::CrawlConfig;
@@ -36,6 +37,7 @@ use ajax_obs::{AttrValue, Recorder, SpanEvent};
 use ajax_serve::{ServeConfig, ShardServer};
 use std::sync::Arc;
 
+pub use analyze::{analyze_site, PageReport, SiteAnalysis};
 pub use report::BuildReport;
 
 /// Pipeline configuration.

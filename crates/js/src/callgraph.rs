@@ -9,6 +9,7 @@
 //! lets tests cross-check the runtime detector.
 
 use crate::ast::{Expr, FunctionDecl, Program, Stmt};
+use crate::effects::{local_effects_of_function, LocalEffects};
 use crate::parser::parse_program;
 use crate::JsError;
 use std::collections::{BTreeMap, BTreeSet};
@@ -24,6 +25,19 @@ pub struct FunctionNode {
     /// True when the body itself constructs an `XMLHttpRequest` or invokes
     /// `open`/`send` on an object — a *direct* AJAX call site.
     pub direct_ajax: bool,
+    /// Syntactic effects of the body (input to `effects::EffectAnalysis`).
+    pub effects: LocalEffects,
+}
+
+/// A duplicate function definition: JS last-wins semantics are kept, but
+/// the shadowing is recorded so the diagnostics pass can surface it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redefinition {
+    pub name: String,
+    /// Line of the definition that was replaced.
+    pub first_line: u32,
+    /// Line of the definition that now wins.
+    pub line: u32,
 }
 
 /// The invocation graph of a program (Fig 4.1).
@@ -33,6 +47,9 @@ pub struct InvocationGraph {
     /// Functions invoked from top-level code (event invocations enter here
     /// too, since handler snippets run at top level).
     pub top_level_calls: BTreeSet<String>,
+    /// Duplicate definitions observed within a script or across merged
+    /// `<script>` blocks (the later definition wins, as at runtime).
+    pub redefinitions: Vec<Redefinition>,
 }
 
 impl InvocationGraph {
@@ -60,6 +77,13 @@ impl InvocationGraph {
         for stmt in &decl.body {
             collector.visit_stmt(stmt);
         }
+        if let Some(prev) = self.functions.get(&decl.name) {
+            self.redefinitions.push(Redefinition {
+                name: decl.name.clone(),
+                first_line: prev.line,
+                line: decl.line,
+            });
+        }
         self.functions.insert(
             decl.name.clone(),
             FunctionNode {
@@ -68,14 +92,26 @@ impl InvocationGraph {
                 line: decl.line,
                 calls: collector.calls,
                 direct_ajax: collector.direct_ajax,
+                effects: local_effects_of_function(decl),
             },
         );
     }
 
     /// Merges another script's graph into this one (pages often have several
-    /// `<script>` blocks).
+    /// `<script>` blocks). JS semantics are kept — a later definition of the
+    /// same name wins — but each shadowing is recorded in `redefinitions`.
     pub fn merge(&mut self, other: InvocationGraph) {
-        self.functions.extend(other.functions);
+        self.redefinitions.extend(other.redefinitions);
+        for (name, node) in other.functions {
+            if let Some(prev) = self.functions.get(&name) {
+                self.redefinitions.push(Redefinition {
+                    name: name.clone(),
+                    first_line: prev.line,
+                    line: node.line,
+                });
+            }
+            self.functions.insert(name, node);
+        }
         self.top_level_calls.extend(other.top_level_calls);
     }
 

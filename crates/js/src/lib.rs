@@ -32,6 +32,7 @@
 pub mod ast;
 pub mod callgraph;
 pub mod debug;
+pub mod effects;
 pub mod error;
 pub mod host;
 pub mod interp;
@@ -39,8 +40,11 @@ pub mod lexer;
 pub mod parser;
 pub mod value;
 
-pub use callgraph::{FunctionNode, InvocationGraph};
+pub use callgraph::{FunctionNode, InvocationGraph, Redefinition};
 pub use debug::{DebugHook, EnterAction, NoopHook};
+pub use effects::{
+    Diagnostic, EffectAnalysis, EffectSummary, Lint, LocalEffects, Severity, ValueSource, XhrClass,
+};
 pub use error::{JsError, JsErrorKind};
 pub use host::{Host, HostCtx, NullHost, ObjId};
 pub use interp::{FrameInfo, GlobalsSnapshot, Interpreter};

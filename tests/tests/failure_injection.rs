@@ -42,11 +42,14 @@ fn infinite_js_loop_is_contained() {
              <span onclick=\"spin()\">go</span></body></html>",
         )
     }));
+    // The static planner would prove `spin()` stateless and never fire it
+    // (a looping handler can't mutate anything before the fuel runs out);
+    // disable it — this test is about the *runtime* containment path.
     let mut crawler = crawler_for(
         server,
         CrawlConfig {
             js_fuel: 50_000,
-            ..CrawlConfig::ajax()
+            ..CrawlConfig::ajax().without_static_prune()
         },
     );
     let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
@@ -88,7 +91,9 @@ fn deep_recursion_is_contained() {
              <body><span onclick=\"r(0)\">boom</span><p>safe</p></body></html>",
         )
     }));
-    let mut crawler = crawler_for(server, CrawlConfig::ajax());
+    // As with the infinite loop above, pruning would skip the provably
+    // stateless recursion; keep it off to exercise the fuel limit itself.
+    let mut crawler = crawler_for(server, CrawlConfig::ajax().without_static_prune());
     let crawl = crawler.crawl_page(&Url::parse("http://x/page")).unwrap();
     assert_eq!(crawl.stats.js_errors, 1);
     assert_eq!(crawl.model.state_count(), 1);
