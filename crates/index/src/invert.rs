@@ -100,20 +100,37 @@ impl InvertedIndex {
     }
 
     /// Merges `other` into `self`: pages are appended (their indices are
-    /// re-based), posting lists are concatenated and re-sorted. This is the
+    /// re-based), posting lists are concatenated. This is the
     /// incremental-indexing path (the thesis builds its index incrementally
     /// from application models and merges per-partition results, §6.4).
+    ///
+    /// Because every incoming posting's page index is re-based past
+    /// `self.pages`, re-based doc keys are strictly greater than everything
+    /// already in the list — a plain O(n) append keeps each list sorted,
+    /// no re-sort needed.
     pub fn merge(&mut self, other: InvertedIndex) {
         let offset = self.pages.len() as u32;
         self.pages.extend(other.pages);
         self.total_states += other.total_states;
         for (term, postings) in other.postings {
             let list = self.postings.entry(term).or_default();
+            debug_assert!(
+                match (list.last(), postings.first()) {
+                    (Some(last), Some(first)) => {
+                        last.doc
+                            < DocKey {
+                                page: first.doc.page + offset,
+                                state: first.doc.state,
+                            }
+                    }
+                    _ => true,
+                },
+                "re-based postings must sort strictly after existing ones"
+            );
             list.extend(postings.into_iter().map(|mut p| {
                 p.doc.page += offset;
                 p
             }));
-            list.sort_by_key(|p| p.doc);
         }
     }
 
