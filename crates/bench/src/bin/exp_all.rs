@@ -1,7 +1,7 @@
 //! Runs every ch. 7 experiment (sharing the expensive crawls) and prints all
 //! tables/figures. `AJAX_CRAWL_SCALE=paper` for thesis scale.
 use ajax_bench::exp::{
-    caching, crawl_perf, dataset, parallel, pruning, queries, serving, threshold,
+    caching, crawl_perf, dataset, index_perf, parallel, pruning, queries, serving, threshold,
 };
 use ajax_bench::{util, Scale};
 
@@ -74,6 +74,11 @@ fn main() {
     println!("{}", srv.render());
     util::write_json("serving", &srv);
 
+    // Columnar index: build throughput, query percentiles, kernel speedup.
+    let iperf = index_perf::collect(scale.query_pages);
+    println!("{}", iperf.render());
+    util::write_json("index_perf", &iperf);
+
     // Static crawl planner: events saved + soundness cross-check (small
     // fixed sites — the invariants, not the scale, are the point here).
     let prune = pruning::collect(12, 6);
@@ -114,5 +119,12 @@ fn main() {
         srv.virtual_speedup,
         srv.repeat_hit_rate * 100.0,
         srv.burst_lost
+    );
+    println!(
+        "index kernel ({}): x{:.2} over pre-columnar reference, p50 {:.1} µs / p95 {:.1} µs",
+        iperf.kernel.site,
+        iperf.kernel.speedup,
+        iperf.sites[0].query_p50_micros,
+        iperf.sites[0].query_p95_micros,
     );
 }

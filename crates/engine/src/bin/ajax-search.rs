@@ -240,13 +240,16 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     // wall_ms is how long the build really took on this machine.
     eprintln!(
         "crawled {} pages / {} states; {} AJAX calls ({} cached); \
-         virtual_ms {:.1} (simulated), wall_ms {:.1} (host)",
+         virtual_ms {:.1} (simulated), wall_ms {:.1} (host); \
+         index {:.1} KiB over {} shards",
         r.pages_crawled,
         r.total_states,
         r.crawl.ajax_network_calls,
         r.crawl.cache_hits,
         r.virtual_makespan as f64 / 1e3,
         r.build_wall_micros as f64 / 1e3,
+        r.index_bytes as f64 / 1024.0,
+        r.shards,
     );
     if r.crawl.pruned_events > 0 || r.crawl.script_errors > 0 {
         eprintln!(
@@ -283,9 +286,10 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let index = builder.build();
     save_index(out, &index).map_err(|e| e.to_string())?;
     eprintln!(
-        "saved {} terms / {} states to {out}",
+        "saved {} terms / {} states ({:.1} KiB resident) to {out}",
         index.term_count(),
-        index.total_states
+        index.total_states,
+        index.approx_bytes() as f64 / 1024.0,
     );
     Ok(())
 }

@@ -29,7 +29,7 @@ use ajax_crawl::partition::partition_urls;
 use ajax_crawl::precrawl::{LinkGraph, Precrawler};
 use ajax_crawl::replay::{reconstruct_state, ReplayError};
 use ajax_dom::Document;
-use ajax_index::invert::IndexBuilder;
+use ajax_index::invert::build_index_parallel;
 use ajax_index::query::{Query, RankWeights};
 use ajax_index::shard::{BrokerResult, QueryBroker};
 use ajax_net::{FaultPlan, LatencyModel, Server, Url};
@@ -199,23 +199,24 @@ impl AjaxSearchEngine {
             spans.push(span);
         }
 
-        // Phase 4: one index per partition. Indexing has no virtual cost
-        // model of its own, so its spans are *modeled*: sequential after the
-        // crawl makespan, charged per indexed state.
+        // Phase 4: one index per partition, each built as per-core sorted
+        // segments merged into the canonical columnar layout (the merge is
+        // order-insensitive, so parallelism cannot perturb the result).
+        // Indexing has no virtual cost model of its own, so its spans are
+        // *modeled*: sequential after the crawl makespan, charged per
+        // indexed state.
         const INDEX_STATE_MICROS: ajax_net::Micros = 50;
         let mut index_cursor = graph.precrawl_micros + crawl_report.virtual_makespan;
         let mut shards = Vec::with_capacity(crawl_report.partitions.len());
         let mut kept_models = Vec::new();
         for partition in &crawl_report.partitions {
-            let mut builder = IndexBuilder::new();
-            if let Some(max) = config.max_index_states {
-                builder = builder.with_max_states(max);
-            }
-            for model in &partition.models {
-                let pagerank = graph.pagerank.get(&model.url).copied();
-                builder.add_model(model, pagerank);
-            }
-            let shard = builder.build();
+            let model_refs: Vec<(&AppModel, Option<f64>)> = partition
+                .models
+                .iter()
+                .map(|model| (model, graph.pagerank.get(&model.url).copied()))
+                .collect();
+            let shard =
+                build_index_parallel(&model_refs, config.max_index_states, config.cores.max(1));
             if config.trace {
                 let cost = shard.total_states * INDEX_STATE_MICROS;
                 spans.push(SpanEvent {

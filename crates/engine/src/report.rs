@@ -51,6 +51,10 @@ pub struct BuildReport {
     pub total_states: u64,
     /// Number of index shards.
     pub shards: usize,
+    /// Resident size of the sharded index in bytes (dictionary strings,
+    /// posting columns, position arena, page tables — honest capacities,
+    /// not just lengths).
+    pub index_bytes: u64,
     /// Real (wall-clock) duration of the whole build on the host machine.
     /// Everything else time-shaped in this report (`precrawl_micros`,
     /// `virtual_makespan`, `virtual_serial`) is *virtual* time from the
@@ -90,6 +94,7 @@ impl BuildReport {
             virtual_serial: crawl.virtual_serial,
             total_states: broker.total_states(),
             shards: broker.shard_count(),
+            index_bytes: broker.approx_bytes() as u64,
             build_wall_micros: 0,
         }
     }

@@ -1,0 +1,193 @@
+//! The term dictionary: interns terms to dense [`TermId`]s.
+//!
+//! Terms are stored **sorted lexicographically** in one `Vec<String>`; the
+//! `TermId` of a term is its rank in that order. Lookups go through a small
+//! open-addressing hash table that stores only `TermId`s (no duplicated
+//! strings), so a lookup is one hash plus a handful of probes, each a single
+//! `&str` comparison against the sorted term column.
+//!
+//! Keeping the dictionary sorted makes the whole index layout *canonical*:
+//! two indexes over the same logical content are structurally equal (same
+//! columns, same arena order) regardless of build order — the property the
+//! determinism contract of `docs/index-internals.md` rests on.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::hash::{Hash, Hasher};
+
+/// Dense identifier of a term: its rank in the sorted dictionary.
+pub type TermId = u32;
+
+/// Sorted, hash-indexed term dictionary.
+#[derive(Debug, Clone, Default)]
+pub struct TermDict {
+    /// Sorted term column; `TermId` = index.
+    terms: Vec<String>,
+    /// Open-addressing table of `TermId + 1` (0 = empty slot). Always a
+    /// power of two, ≥ 2× the term count. Rebuilt on deserialize — never
+    /// persisted.
+    buckets: Vec<u32>,
+}
+
+impl TermDict {
+    /// Builds a dictionary from a **sorted, deduplicated** term column.
+    pub fn from_sorted(terms: Vec<String>) -> Self {
+        debug_assert!(
+            terms.windows(2).all(|w| w[0] < w[1]),
+            "dictionary terms must be sorted and unique"
+        );
+        let buckets = build_buckets(&terms);
+        Self { terms, buckets }
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term with the given id.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// The sorted term column.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+
+    /// Looks a term up: hash probe into the bucket table, comparing against
+    /// the sorted column. O(1) expected, no allocation.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash_term(term) as usize) & mask;
+        loop {
+            match self.buckets[slot] {
+                0 => return None,
+                id_plus_one => {
+                    let id = id_plus_one - 1;
+                    if self.terms[id as usize] == term {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Estimated heap footprint in bytes: string headers + string bytes
+    /// (capacity, not len) + the bucket table.
+    pub fn approx_bytes(&self) -> usize {
+        self.terms.capacity() * std::mem::size_of::<String>()
+            + self.terms.iter().map(String::capacity).sum::<usize>()
+            + self.buckets.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Equality is content equality: the bucket table is a derived structure.
+impl PartialEq for TermDict {
+    fn eq(&self, other: &Self) -> bool {
+        self.terms == other.terms
+    }
+}
+
+impl Serialize for TermDict {
+    fn serialize(&self) -> Value {
+        Value::Array(self.terms.iter().map(|t| Value::Str(t.clone())).collect())
+    }
+}
+
+impl Deserialize for TermDict {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let terms = Vec::<String>::deserialize(value)?;
+        if !terms.windows(2).all(|w| w[0] < w[1]) {
+            return Err(DeError::new(
+                "term dictionary not sorted/deduplicated".to_string(),
+            ));
+        }
+        Ok(Self::from_sorted(terms))
+    }
+}
+
+fn build_buckets(terms: &[String]) -> Vec<u32> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let cap = (terms.len() * 2).next_power_of_two();
+    let mut buckets = vec![0u32; cap];
+    let mask = cap - 1;
+    for (id, term) in terms.iter().enumerate() {
+        let mut slot = (hash_term(term) as usize) & mask;
+        while buckets[slot] != 0 {
+            slot = (slot + 1) & mask;
+        }
+        buckets[slot] = id as u32 + 1;
+    }
+    buckets
+}
+
+fn hash_term(term: &str) -> u64 {
+    // SipHash with the default fixed keys: deterministic across runs.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    term.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(terms: &[&str]) -> TermDict {
+        let mut v: Vec<String> = terms.iter().map(|t| t.to_string()).collect();
+        v.sort();
+        v.dedup();
+        TermDict::from_sorted(v)
+    }
+
+    #[test]
+    fn lookup_finds_every_term() {
+        let d = dict(&["wow", "dance", "morcheeba", "a", "2"]);
+        for id in 0..d.len() as u32 {
+            let term = d.term(id).to_string();
+            assert_eq!(d.lookup(&term), Some(id));
+        }
+        assert_eq!(d.lookup("absent"), None);
+        assert_eq!(d.lookup(""), None);
+    }
+
+    #[test]
+    fn ids_are_sorted_ranks() {
+        let d = dict(&["charlie", "alpha", "bravo"]);
+        assert_eq!(d.term(0), "alpha");
+        assert_eq!(d.term(1), "bravo");
+        assert_eq!(d.term(2), "charlie");
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = TermDict::default();
+        assert!(d.is_empty());
+        assert_eq!(d.lookup("x"), None);
+        assert_eq!(d.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_lookup() {
+        let d = dict(&["x", "y", "zebra"]);
+        let v = d.serialize();
+        let back = TermDict::deserialize(&v).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.lookup("zebra"), Some(2));
+    }
+
+    #[test]
+    fn deserialize_rejects_unsorted() {
+        let v = Value::Array(vec![Value::Str("b".into()), Value::Str("a".into())]);
+        assert!(TermDict::deserialize(&v).is_err());
+    }
+}

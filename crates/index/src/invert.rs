@@ -1,16 +1,39 @@
-//! The enhanced inverted file (thesis §5.2, Table 5.1).
+//! The enhanced inverted file (thesis §5.2, Table 5.1) in compact columnar
+//! form.
 //!
 //! Every **state** of every crawled page is an indexable document; a posting
 //! therefore carries `(page, state, tf, positions)`. The index also stores
 //! what ranking needs: per-page PageRank (from the precrawl phase), per-state
 //! AJAXRank (PageRank over the page's transition graph) and per-state token
 //! counts for the thesis' normalized term frequency (formula 5.1).
+//!
+//! ## Layout
+//!
+//! Instead of `BTreeMap<String, Vec<Posting>>` with one heap `Vec<u32>` per
+//! posting, the index is four parallel columns plus two arenas:
+//!
+//! ```text
+//! dict:         sorted term strings, TermId = rank        (dict.rs)
+//! term_offsets: TermId → [start, end) into the columns    (len = terms + 1)
+//! docs:         DocKey per posting    ─┐ one contiguous
+//! counts:       occurrences per posting│ run per term,
+//! pos_offsets:  offset into positions ─┘ doc-sorted
+//! positions:    shared u32 arena; posting i owns
+//!               positions[pos_offsets[i] .. pos_offsets[i] + counts[i]]
+//! ```
+//!
+//! The layout is **canonical**: terms sorted, each term's run doc-sorted,
+//! and the position arena written in exactly that iteration order. Two
+//! indexes over the same logical content are therefore structurally equal
+//! (`PartialEq`) no matter how they were built or merged — the foundation of
+//! the determinism contract (see `docs/index-internals.md`).
 
-use crate::tokenize::tokenize;
+use crate::dict::{TermDict, TermId};
+use crate::tokenize::for_each_token;
 use ajax_crawl::model::{AppModel, StateId};
 use ajax_crawl::pagerank::pagerank_default;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Identifies one indexed document: a `(page, state)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -20,14 +43,75 @@ pub struct DocKey {
     pub state: StateId,
 }
 
-/// One posting: where a term occurs and how often.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Posting {
+/// A borrowed view of one posting: where a term occurs and how often.
+/// Replaces the old owned `Posting { doc, count, positions: Vec<u32> }` —
+/// the positions now point into the index's shared arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostingRef<'a> {
     pub doc: DocKey,
     /// Raw occurrence count of the term in the state.
     pub count: u32,
     /// Token positions of the occurrences (for term proximity).
-    pub positions: Vec<u32>,
+    pub positions: &'a [u32],
+}
+
+/// A borrowed view of one term's posting run: parallel slices into the
+/// index columns. `Copy`, allocation-free, doc-sorted.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingList<'a> {
+    docs: &'a [DocKey],
+    counts: &'a [u32],
+    pos_offsets: &'a [u32],
+    arena: &'a [u32],
+}
+
+impl<'a> PostingList<'a> {
+    /// The empty list (unseen terms).
+    pub const EMPTY: PostingList<'static> = PostingList {
+        docs: &[],
+        counts: &[],
+        pos_offsets: &[],
+        arena: &[],
+    };
+
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The doc column — what the intersection kernel gallops over.
+    pub fn docs(&self) -> &'a [DocKey] {
+        self.docs
+    }
+
+    pub fn doc(&self, i: usize) -> DocKey {
+        self.docs[i]
+    }
+
+    pub fn count(&self, i: usize) -> u32 {
+        self.counts[i]
+    }
+
+    /// The position slice of posting `i` in the shared arena.
+    pub fn positions(&self, i: usize) -> &'a [u32] {
+        let off = self.pos_offsets[i] as usize;
+        &self.arena[off..off + self.counts[i] as usize]
+    }
+
+    pub fn get(&self, i: usize) -> PostingRef<'a> {
+        PostingRef {
+            doc: self.docs[i],
+            count: self.counts[i],
+            positions: self.positions(i),
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = PostingRef<'a>> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
 }
 
 /// Per-page metadata.
@@ -42,26 +126,76 @@ pub struct PageEntry {
     pub state_lengths: Vec<u32>,
 }
 
-/// The inverted file.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// The inverted file (columnar; see module docs for the layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvertedIndex {
-    /// Term → postings sorted by `(page, state)`.
-    postings: BTreeMap<String, Vec<Posting>>,
+    /// Sorted, interned term dictionary.
+    dict: TermDict,
+    /// `TermId t` owns postings `term_offsets[t] .. term_offsets[t+1]`.
+    term_offsets: Vec<u32>,
+    /// Doc column, one entry per posting, doc-sorted within each term run.
+    docs: Vec<DocKey>,
+    /// Occurrence-count column, parallel to `docs`.
+    counts: Vec<u32>,
+    /// Offset of each posting's position slice in `positions`.
+    pos_offsets: Vec<u32>,
+    /// Shared position arena; posting `i` owns `counts[i]` entries.
+    positions: Vec<u32>,
     /// Indexed pages.
     pub pages: Vec<PageEntry>,
     /// Total number of indexed states (the `|D|` of formula 5.2).
     pub total_states: u64,
 }
 
+impl Default for InvertedIndex {
+    fn default() -> Self {
+        Self {
+            dict: TermDict::default(),
+            term_offsets: vec![0],
+            docs: Vec::new(),
+            counts: Vec::new(),
+            pos_offsets: Vec::new(),
+            positions: Vec::new(),
+            pages: Vec::new(),
+            total_states: 0,
+        }
+    }
+}
+
 impl InvertedIndex {
     /// Number of distinct terms.
     pub fn term_count(&self) -> usize {
-        self.postings.len()
+        self.dict.len()
     }
 
-    /// The posting list of `term` (empty slice if absent).
-    pub fn postings(&self, term: &str) -> &[Posting] {
-        self.postings.get(term).map(Vec::as_slice).unwrap_or(&[])
+    /// The term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// The interned id of `term`, if indexed.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dict.lookup(term)
+    }
+
+    /// The posting run of a known `TermId`.
+    pub fn postings_by_id(&self, id: TermId) -> PostingList<'_> {
+        let start = self.term_offsets[id as usize] as usize;
+        let end = self.term_offsets[id as usize + 1] as usize;
+        PostingList {
+            docs: &self.docs[start..end],
+            counts: &self.counts[start..end],
+            pos_offsets: &self.pos_offsets[start..end],
+            arena: &self.positions,
+        }
+    }
+
+    /// The posting list of `term` (empty if absent).
+    pub fn postings(&self, term: &str) -> PostingList<'_> {
+        match self.dict.lookup(term) {
+            Some(id) => self.postings_by_id(id),
+            None => PostingList::EMPTY,
+        }
     }
 
     /// Document frequency: number of states containing `term`.
@@ -72,7 +206,12 @@ impl InvertedIndex {
     /// Inverse document frequency (formula 5.2): `log(|D| / df)`.
     /// Returns 0 for unseen terms.
     pub fn idf(&self, term: &str) -> f64 {
-        let df = self.df(term);
+        self.idf_from_df(self.df(term))
+    }
+
+    /// The idf for a known document frequency (the query kernel computes df
+    /// once per term from the posting run and reuses it).
+    pub fn idf_from_df(&self, df: u64) -> f64 {
         if df == 0 || self.total_states == 0 {
             0.0
         } else {
@@ -81,10 +220,15 @@ impl InvertedIndex {
     }
 
     /// Normalized term frequency of a posting in its state (formula 5.1).
-    pub fn tf(&self, posting: &Posting) -> f64 {
-        let page = &self.pages[posting.doc.page as usize];
-        let len = page.state_lengths[posting.doc.state.index()].max(1);
-        f64::from(posting.count) / f64::from(len)
+    pub fn tf(&self, posting: &PostingRef<'_>) -> f64 {
+        self.tf_parts(posting.doc, posting.count)
+    }
+
+    /// The same, from the raw columns (avoids forming a `PostingRef`).
+    pub fn tf_parts(&self, doc: DocKey, count: u32) -> f64 {
+        let page = &self.pages[doc.page as usize];
+        let len = page.state_lengths[doc.state.index()].max(1);
+        f64::from(count) / f64::from(len)
     }
 
     /// The URL of a document.
@@ -100,64 +244,186 @@ impl InvertedIndex {
     }
 
     /// Merges `other` into `self`: pages are appended (their indices are
-    /// re-based), posting lists are concatenated. This is the
+    /// re-based), posting runs are concatenated. This is the
     /// incremental-indexing path (the thesis builds its index incrementally
     /// from application models and merges per-partition results, §6.4).
     ///
-    /// Because every incoming posting's page index is re-based past
-    /// `self.pages`, re-based doc keys are strictly greater than everything
-    /// already in the list — a plain O(n) append keeps each list sorted,
-    /// no re-sort needed.
+    /// Because re-based doc keys are strictly greater than everything
+    /// already indexed, concatenation keeps every run sorted — the merge is
+    /// a linear two-way dictionary join, O(postings + terms), no re-sort.
     pub fn merge(&mut self, other: InvertedIndex) {
-        let offset = self.pages.len() as u32;
-        self.pages.extend(other.pages);
-        self.total_states += other.total_states;
-        for (term, postings) in other.postings {
-            let list = self.postings.entry(term).or_default();
-            debug_assert!(
-                match (list.last(), postings.first()) {
-                    (Some(last), Some(first)) => {
-                        last.doc
-                            < DocKey {
-                                page: first.doc.page + offset,
-                                state: first.doc.state,
-                            }
+        let merged = InvertedIndex::merge_segments(vec![std::mem::take(self), other]);
+        *self = merged;
+    }
+
+    /// K-way merge of index segments into one canonical index — the
+    /// parallel build's combine step. Pages are concatenated in segment
+    /// order (doc keys re-based); the dictionaries are merge-joined (all
+    /// sorted), and each output term's run is the concatenation of the
+    /// segments' runs in segment order. Linear in total postings plus
+    /// `terms × segments` for the join.
+    pub fn merge_segments(segments: Vec<InvertedIndex>) -> InvertedIndex {
+        if segments.is_empty() {
+            return InvertedIndex::default();
+        }
+        if segments.len() == 1 {
+            return segments.into_iter().next().expect("one segment");
+        }
+
+        // Page re-basing offsets, page concat, state totals.
+        let mut page_offsets = Vec::with_capacity(segments.len());
+        let mut total_pages = 0u32;
+        let mut total_states = 0u64;
+        let mut n_postings = 0usize;
+        let mut n_positions = 0usize;
+        for seg in &segments {
+            page_offsets.push(total_pages);
+            total_pages += seg.pages.len() as u32;
+            total_states += seg.total_states;
+            n_postings += seg.docs.len();
+            n_positions += seg.positions.len();
+        }
+        let mut pages = Vec::with_capacity(total_pages as usize);
+        for seg in &segments {
+            pages.extend(seg.pages.iter().cloned());
+        }
+
+        let mut terms: Vec<String> = Vec::new();
+        let mut term_offsets: Vec<u32> = Vec::with_capacity(segments[0].dict.len() + 1);
+        term_offsets.push(0);
+        let mut docs: Vec<DocKey> = Vec::with_capacity(n_postings);
+        let mut counts: Vec<u32> = Vec::with_capacity(n_postings);
+        let mut pos_offsets: Vec<u32> = Vec::with_capacity(n_postings);
+        let mut positions: Vec<u32> = Vec::with_capacity(n_positions);
+
+        // K-way join over the (sorted) segment dictionaries.
+        let mut heads = vec![0u32; segments.len()];
+        loop {
+            // Smallest term among the segment heads.
+            let mut min_term: Option<&str> = None;
+            for (seg, &head) in segments.iter().zip(heads.iter()) {
+                if (head as usize) < seg.dict.len() {
+                    let t = seg.dict.term(head);
+                    if min_term.map_or(true, |m| t < m) {
+                        min_term = Some(t);
                     }
-                    _ => true,
-                },
-                "re-based postings must sort strictly after existing ones"
-            );
-            list.extend(postings.into_iter().map(|mut p| {
-                p.doc.page += offset;
-                p
-            }));
+                }
+            }
+            let Some(term) = min_term else { break };
+            terms.push(term.to_string());
+
+            // Concatenate the term's runs in segment order; re-base docs and
+            // rewrite arena offsets. Segment order == ascending page offset,
+            // so the output run stays doc-sorted.
+            let run_start = docs.len();
+            for (s, seg) in segments.iter().enumerate() {
+                let head = heads[s];
+                if (head as usize) >= seg.dict.len() || seg.dict.term(head) != terms.last().unwrap()
+                {
+                    continue;
+                }
+                let run = seg.postings_by_id(head);
+                debug_assert!(
+                    docs.len() == run_start
+                        || match (docs.last(), run.docs.first()) {
+                            (Some(last), Some(first)) =>
+                                *last
+                                    < DocKey {
+                                        page: first.page + page_offsets[s],
+                                        state: first.state,
+                                    },
+                            _ => true,
+                        },
+                    "re-based postings must sort strictly after existing ones"
+                );
+                for i in 0..run.len() {
+                    let d = run.doc(i);
+                    docs.push(DocKey {
+                        page: d.page + page_offsets[s],
+                        state: d.state,
+                    });
+                    counts.push(run.count(i));
+                    pos_offsets.push(positions.len() as u32);
+                    positions.extend_from_slice(run.positions(i));
+                }
+                heads[s] = head + 1;
+            }
+            term_offsets.push(docs.len() as u32);
+        }
+
+        InvertedIndex {
+            dict: TermDict::from_sorted(terms),
+            term_offsets,
+            docs,
+            counts,
+            pos_offsets,
+            positions,
+            pages,
+            total_states,
         }
     }
 
-    /// Estimated heap size of the index in bytes (diagnostics).
+    /// Estimated heap size of the index in bytes. Honest accounting: term
+    /// dictionary (strings + hash table), every column and arena at its
+    /// allocated **capacity**, and per-page metadata including URL and
+    /// per-state vectors.
     pub fn approx_bytes(&self) -> usize {
-        self.postings
+        use std::mem::size_of;
+        let page_meta: usize = self
+            .pages
             .iter()
-            .map(|(term, postings)| {
-                term.len()
-                    + postings.len() * std::mem::size_of::<Posting>()
-                    + postings
-                        .iter()
-                        .map(|p| p.positions.len() * 4)
-                        .sum::<usize>()
+            .map(|p| {
+                p.url.capacity()
+                    + p.ajaxrank.capacity() * size_of::<f64>()
+                    + p.state_lengths.capacity() * size_of::<u32>()
             })
-            .sum()
+            .sum();
+        self.dict.approx_bytes()
+            + self.term_offsets.capacity() * size_of::<u32>()
+            + self.docs.capacity() * size_of::<DocKey>()
+            + self.counts.capacity() * size_of::<u32>()
+            + self.pos_offsets.capacity() * size_of::<u32>()
+            + self.positions.capacity() * size_of::<u32>()
+            + self.pages.capacity() * size_of::<PageEntry>()
+            + page_meta
     }
+}
+
+/// Per-term accumulator inside [`IndexBuilder`]: a miniature of the final
+/// columns. Docs arrive in increasing order (states are processed in page,
+/// then state order), so each accumulator is born sorted.
+#[derive(Debug, Default)]
+struct TermAcc {
+    docs: Vec<DocKey>,
+    counts: Vec<u32>,
+    positions: Vec<u32>,
 }
 
 /// Builds an [`InvertedIndex`] from crawled application models — the
 /// "Build New Index" operation of thesis §8.3.1.
+///
+/// Terms are interned into the builder's dictionary **as they stream out of
+/// the tokenizer** — one `String` allocation per *distinct* term, not one
+/// per occurrence — and per-state grouping runs over reusable scratch
+/// buffers instead of a fresh `HashMap` per state.
 #[derive(Debug, Default)]
 pub struct IndexBuilder {
-    index: InvertedIndex,
+    /// term → local id, first-seen order (re-ranked at `build`).
+    interner: HashMap<String, u32>,
+    /// local id → term.
+    terms: Vec<String>,
+    accs: Vec<TermAcc>,
+    pages: Vec<PageEntry>,
+    total_states: u64,
     /// Cap on states indexed per page ("Max. State ID" in the thesis UI):
     /// `None` = all crawled states.
     max_states: Option<usize>,
+    // --- reusable scratch (cleared, never shrunk, between states) ---
+    token_scratch: String,
+    /// Per local id: positions seen in the current state.
+    state_positions: Vec<Vec<u32>>,
+    /// Local ids with at least one occurrence in the current state.
+    touched: Vec<u32>,
 }
 
 impl IndexBuilder {
@@ -176,7 +442,7 @@ impl IndexBuilder {
     /// Adds one page model. `pagerank` is the URL's rank from the precrawl
     /// phase (pass `None` for a single-page or unranked corpus).
     pub fn add_model(&mut self, model: &AppModel, pagerank: Option<f64>) {
-        let page_idx = self.index.pages.len() as u32;
+        let page_idx = self.pages.len() as u32;
         let limit = self
             .max_states
             .unwrap_or(usize::MAX)
@@ -194,44 +460,154 @@ impl IndexBuilder {
         };
 
         for state in model.states.iter().take(limit) {
-            let tokens = tokenize(&state.text);
-            entry.state_lengths.push(tokens.len() as u32);
-            self.index.total_states += 1;
+            let doc = DocKey {
+                page: page_idx,
+                state: state.id,
+            };
+            let mut token_count = 0u32;
 
-            // Group positions per term.
-            let mut grouped: HashMap<&str, Vec<u32>> = HashMap::new();
-            for token in &tokens {
-                grouped
-                    .entry(token.term.as_str())
-                    .or_default()
-                    .push(token.position);
-            }
-            for (term, positions) in grouped {
-                let posting = Posting {
-                    doc: DocKey {
-                        page: page_idx,
-                        state: state.id,
-                    },
-                    count: positions.len() as u32,
-                    positions,
+            // Stream tokens straight into the interner; group positions per
+            // term in the reusable scratch columns.
+            let interner = &mut self.interner;
+            let terms = &mut self.terms;
+            let accs = &mut self.accs;
+            let state_positions = &mut self.state_positions;
+            let touched = &mut self.touched;
+            for_each_token(&state.text, &mut self.token_scratch, |term, position| {
+                token_count += 1;
+                let id = match interner.get(term) {
+                    Some(&id) => id,
+                    None => {
+                        let id = terms.len() as u32;
+                        interner.insert(term.to_string(), id);
+                        terms.push(term.to_string());
+                        accs.push(TermAcc::default());
+                        state_positions.push(Vec::new());
+                        id
+                    }
                 };
-                self.index
-                    .postings
-                    .entry(term.to_string())
-                    .or_default()
-                    .push(posting);
+                let slot = &mut state_positions[id as usize];
+                if slot.is_empty() {
+                    touched.push(id);
+                }
+                slot.push(position);
+            });
+
+            entry.state_lengths.push(token_count);
+            self.total_states += 1;
+
+            // Flush the state's groups into the per-term accumulators.
+            // `touched` order is first-occurrence order, which is irrelevant:
+            // each term gains exactly one posting for this doc, and docs
+            // arrive in increasing order per term.
+            for &id in self.touched.iter() {
+                let slot = &mut self.state_positions[id as usize];
+                let acc = &mut self.accs[id as usize];
+                acc.docs.push(doc);
+                acc.counts.push(slot.len() as u32);
+                acc.positions.extend_from_slice(slot);
+                slot.clear();
             }
+            self.touched.clear();
         }
-        self.index.pages.push(entry);
+        self.pages.push(entry);
     }
 
-    /// Finalizes the index (sorts posting lists by `(page, state)`).
-    pub fn build(mut self) -> InvertedIndex {
-        for postings in self.index.postings.values_mut() {
-            postings.sort_by_key(|p| p.doc);
+    /// Finalizes the index: re-ranks local term ids into sorted dictionary
+    /// order and lays the accumulators out as the canonical columns. Linear
+    /// in total postings plus `T log T` for the dictionary sort.
+    pub fn build(self) -> InvertedIndex {
+        let mut order: Vec<u32> = (0..self.terms.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| self.terms[a as usize].cmp(&self.terms[b as usize]));
+
+        let n_postings: usize = self.accs.iter().map(|a| a.docs.len()).sum();
+        let n_positions: usize = self.accs.iter().map(|a| a.positions.len()).sum();
+
+        let mut terms = Vec::with_capacity(order.len());
+        let mut term_offsets = Vec::with_capacity(order.len() + 1);
+        term_offsets.push(0u32);
+        let mut docs = Vec::with_capacity(n_postings);
+        let mut counts = Vec::with_capacity(n_postings);
+        let mut pos_offsets = Vec::with_capacity(n_postings);
+        let mut positions = Vec::with_capacity(n_positions);
+
+        for &local in &order {
+            let acc = &self.accs[local as usize];
+            terms.push(self.terms[local as usize].clone());
+            debug_assert!(acc.docs.windows(2).all(|w| w[0] < w[1]));
+            let mut local_off = 0usize;
+            for (i, &doc) in acc.docs.iter().enumerate() {
+                let count = acc.counts[i] as usize;
+                docs.push(doc);
+                counts.push(acc.counts[i]);
+                pos_offsets.push(positions.len() as u32);
+                positions.extend_from_slice(&acc.positions[local_off..local_off + count]);
+                local_off += count;
+            }
+            term_offsets.push(docs.len() as u32);
         }
-        self.index
+
+        InvertedIndex {
+            dict: TermDict::from_sorted(terms),
+            term_offsets,
+            docs,
+            counts,
+            pos_offsets,
+            positions,
+            pages: self.pages,
+            total_states: self.total_states,
+        }
     }
+}
+
+/// Builds an index over `models` with a **parallel segment build**: the
+/// model list is split into `threads` contiguous chunks, each chunk is
+/// inverted independently on its own thread ([`IndexBuilder`] per segment),
+/// and the sorted segments are k-way merged ([`InvertedIndex::merge_segments`])
+/// into one canonical index.
+///
+/// Deterministic by construction: chunking depends only on `models.len()`
+/// and `threads`, and the merge concatenates runs in chunk order — the
+/// result is `PartialEq`-identical to a sequential build over the same
+/// model sequence.
+pub fn build_index_parallel(
+    models: &[(&AppModel, Option<f64>)],
+    max_states: Option<usize>,
+    threads: usize,
+) -> InvertedIndex {
+    let new_builder = || match max_states {
+        Some(m) => IndexBuilder::new().with_max_states(m),
+        None => IndexBuilder::new(),
+    };
+    let threads = threads.max(1).min(models.len().max(1));
+    if threads <= 1 {
+        let mut b = new_builder();
+        for (model, pr) in models {
+            b.add_model(model, *pr);
+        }
+        return b.build();
+    }
+
+    let chunk = models.len().div_ceil(threads);
+    let segments: Vec<InvertedIndex> = std::thread::scope(|scope| {
+        let handles: Vec<_> = models
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut b = new_builder();
+                    for (model, pr) in slice {
+                        b.add_model(model, *pr);
+                    }
+                    b.build()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("segment build panicked"))
+            .collect()
+    });
+    InvertedIndex::merge_segments(segments)
 }
 
 #[cfg(test)]
@@ -274,18 +650,18 @@ mod tests {
         )]);
         let postings = idx.postings("morcheeba");
         assert_eq!(postings.len(), 2, "term in both states");
-        assert_eq!(postings[0].doc.state, StateId(0));
-        assert_eq!(postings[1].doc.state, StateId(1));
+        assert_eq!(postings.doc(0).state, StateId(0));
+        assert_eq!(postings.doc(1).state, StateId(1));
         assert_eq!(idx.postings("singer").len(), 1);
-        assert_eq!(idx.postings("singer")[0].doc.state, StateId(1));
+        assert_eq!(idx.postings("singer").doc(0).state, StateId(1));
     }
 
     #[test]
     fn tf_normalized_by_state_length() {
         let idx = build(&[toy_model("u", &["wow wow wow bad"])]);
-        let posting = &idx.postings("wow")[0];
+        let posting = idx.postings("wow").get(0);
         assert_eq!(posting.count, 3);
-        assert!((idx.tf(posting) - 0.75).abs() < 1e-9);
+        assert!((idx.tf(&posting) - 0.75).abs() < 1e-9);
     }
 
     #[test]
@@ -311,8 +687,18 @@ mod tests {
     #[test]
     fn positions_recorded_in_order() {
         let idx = build(&[toy_model("u", &["alpha beta alpha"])]);
-        let posting = &idx.postings("alpha")[0];
-        assert_eq!(posting.positions, vec![0, 2]);
+        let postings = idx.postings("alpha");
+        assert_eq!(postings.positions(0), &[0, 2]);
+    }
+
+    #[test]
+    fn dictionary_ids_are_sorted_ranks() {
+        let idx = build(&[toy_model("u", &["zebra alpha kiwi"])]);
+        assert_eq!(idx.term_count(), 3);
+        assert_eq!(idx.dict().term(0), "alpha");
+        assert_eq!(idx.dict().term(2), "zebra");
+        assert_eq!(idx.term_id("kiwi"), Some(1));
+        assert_eq!(idx.term_id("absent"), None);
     }
 
     #[test]
@@ -343,8 +729,8 @@ mod tests {
         ]);
         let postings = idx.postings("shared");
         assert_eq!(postings.len(), 3);
-        assert!(postings.windows(2).all(|w| w[0].doc <= w[1].doc));
-        assert_eq!(idx.url_of(postings[2].doc), "http://x/2");
+        assert!(postings.docs().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(idx.url_of(postings.doc(2)), "http://x/2");
     }
 
     #[test]
@@ -353,6 +739,42 @@ mod tests {
         assert_eq!(idx.term_count(), 0);
         assert_eq!(idx.df("x"), 0);
         assert_eq!(idx.idf("x"), 0.0);
+        assert_eq!(idx, InvertedIndex::default());
+    }
+
+    #[test]
+    fn approx_bytes_counts_all_columns() {
+        let idx = build(&[toy_model("http://x/1", &["alpha beta alpha gamma"])]);
+        let b = idx.approx_bytes();
+        // Lower bound: position arena (4 entries × 4B) + doc column
+        // (3 postings × 8B) + dictionary strings ("alpha beta gamma").
+        assert!(b > 4 * 4 + 3 * 8 + 14, "approx_bytes = {b}");
+        assert!(
+            idx.approx_bytes() > IndexBuilder::new().build().approx_bytes(),
+            "non-empty index must report more bytes than empty"
+        );
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let models: Vec<AppModel> = (0..13)
+            .map(|i| {
+                toy_model(
+                    &format!("http://x/{i}"),
+                    &[
+                        &format!("shared word{} alpha", i % 3) as &str,
+                        &format!("deeper state {i}") as &str,
+                    ],
+                )
+            })
+            .collect();
+        let refs: Vec<(&AppModel, Option<f64>)> =
+            models.iter().map(|m| (m, Some(1.0 / 13.0))).collect();
+        let sequential = build_index_parallel(&refs, None, 1);
+        for threads in [2, 3, 4, 13, 64] {
+            let parallel = build_index_parallel(&refs, None, threads);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
     }
 }
 
@@ -387,22 +809,8 @@ mod merge_tests {
         merged.merge(build(&[m2.clone(), m3.clone()]));
         let joint = build(&[m1, m2, m3]);
 
-        assert_eq!(merged.total_states, joint.total_states);
-        assert_eq!(merged.pages.len(), joint.pages.len());
-        for term in ["wow", "dance", "video", "silence"] {
-            let a: Vec<_> = merged
-                .postings(term)
-                .iter()
-                .map(|p| (merged.url_of(p.doc).to_string(), p.doc.state, p.count))
-                .collect();
-            let b: Vec<_> = joint
-                .postings(term)
-                .iter()
-                .map(|p| (joint.url_of(p.doc).to_string(), p.doc.state, p.count))
-                .collect();
-            assert_eq!(a, b, "term {term}");
-        }
-        assert!((merged.idf("wow") - joint.idf("wow")).abs() < 1e-12);
+        // Canonical layout ⇒ structural equality, not just logical.
+        assert_eq!(merged, joint);
     }
 
     #[test]
@@ -411,5 +819,21 @@ mod merge_tests {
         let other = build(&[model("http://a", &["x y"])]);
         empty.merge(other.clone());
         assert_eq!(empty, other);
+    }
+
+    #[test]
+    fn merge_segments_many() {
+        let models: Vec<AppModel> = (0..7)
+            .map(|i| {
+                model(
+                    &format!("http://m/{i}"),
+                    &[&format!("common word{i}") as &str],
+                )
+            })
+            .collect();
+        let joint = build(&models);
+        let segments: Vec<InvertedIndex> = models.chunks(2).map(|c| build(c)).collect();
+        let merged = InvertedIndex::merge_segments(segments);
+        assert_eq!(merged, joint);
     }
 }

@@ -4,32 +4,55 @@
 //! query-processing parts of ch. 6): an inverted file whose postings point
 //! to **application states**, not just URLs.
 //!
-//! * [`tokenize`] — lowercase word tokenizer with positions;
-//! * [`invert`] — the enhanced inverted file of Table 5.1:
-//!   `keyword → (URI, state, tf, positions)`, plus the per-state AJAXRank
-//!   (stationary distribution of the page's transition graph) and the
-//!   per-URL PageRank from the precrawl phase;
+//! * [`tokenize`] — lowercase word tokenizer with positions (streaming
+//!   [`tokenize::for_each_token`] for the allocation-light build path);
+//! * [`dict`] — the sorted, hash-indexed term dictionary interning terms to
+//!   dense `TermId`s;
+//! * [`invert`] — the enhanced inverted file of Table 5.1 in compact
+//!   columnar form: `keyword → (URI, state, tf, positions)` stored as
+//!   per-term contiguous runs over a shared position arena, plus the
+//!   per-state AJAXRank (stationary distribution of the page's transition
+//!   graph) and the per-URL PageRank from the precrawl phase;
+//! * [`kernel`] — the allocation-free query kernel: galloping intersection,
+//!   reusable scoring scratch, bounded top-k;
 //! * [`query`] — boolean keyword and conjunction processing (posting-list
 //!   merge on URL, then state — §5.3.2) and the ranking formula 5.3:
 //!   `R = w1·PageRank + w2·AJAXRank + w3·Σ tf·idf + w4·proximity`;
 //! * [`shard`] — query shipping over per-partition indexes with the global
-//!   idf computed at merge time from per-shard `(N, df)` counts (§6.5.2).
+//!   idf computed at merge time from per-shard `(N, df)` counts (§6.5.2);
+//! * [`reference`] — the frozen pre-columnar implementation, kept as the
+//!   equivalence oracle and bench baseline.
+//!
+//! The layout, determinism contract, and on-disk format history are
+//! documented in `docs/index-internals.md`.
 //!
 //! Result aggregation (state reconstruction) lives in `ajax_crawl::replay`,
 //! since it re-drives the crawler's browser.
 
 pub mod aggregate;
+pub mod dict;
 pub mod invert;
+pub mod kernel;
 pub mod persist;
+pub mod probe;
 pub mod query;
+pub mod reference;
 pub mod shard;
 pub mod tokenize;
 
 pub use aggregate::{locate_terms, ElementHit};
-pub use invert::{DocKey, IndexBuilder, InvertedIndex, Posting};
-pub use persist::{load_index, load_models, save_index, save_models, PersistError};
+pub use dict::{TermDict, TermId};
+pub use invert::{
+    build_index_parallel, DocKey, IndexBuilder, InvertedIndex, PostingList, PostingRef,
+};
+pub use kernel::ScoreScratch;
+pub use persist::{
+    load_index, load_models, save_index, save_models, PersistError, INDEX_FORMAT_VERSION,
+    INDEX_MAGIC,
+};
 pub use query::{search, search_top_k, Query, RankWeights, SearchResult};
 pub use shard::{
-    eval_shard, merge_shard_outputs, BrokerResult, QueryBroker, ShardResult, ShardTermStats,
+    eval_shard, eval_shard_with_scratch, merge_shard_outputs, BrokerResult, QueryBroker,
+    ShardResult, ShardTermStats,
 };
 pub use tokenize::tokenize;

@@ -4,18 +4,44 @@
 //!
 //! The original used Java serialization; we use JSON via serde — human
 //! inspectable, versionable, and adequate for the corpus sizes at hand.
+//!
+//! ## Index format versioning
+//!
+//! Index files are wrapped in a versioned envelope so stale on-disk indexes
+//! fail loudly instead of deserializing garbage:
+//!
+//! ```json
+//! {"magic": "ajax-index", "version": 2, "index": { ...columns... }}
+//! ```
+//!
+//! * **v1** (unversioned, pre-columnar): a bare object with a `postings`
+//!   term→list map. Rejected with [`PersistError::Format`] naming the
+//!   remedy (rebuild).
+//! * **v2**: the columnar layout of `invert.rs` (dictionary + column arrays
+//!   + position arena) inside the envelope above.
+//!
+//! Model files are unchanged (plain JSON array of models).
 
 use crate::invert::InvertedIndex;
 use ajax_crawl::model::AppModel;
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::fs;
 use std::path::Path;
+
+/// The envelope magic for index files.
+pub const INDEX_MAGIC: &str = "ajax-index";
+/// The current index format version (v2 = columnar).
+pub const INDEX_FORMAT_VERSION: u64 = 2;
 
 /// Why a save/load failed.
 #[derive(Debug)]
 pub enum PersistError {
     Io(std::io::Error),
     Serde(serde_json::Error),
+    /// The file parsed as JSON but is not a current-format index (wrong
+    /// magic, old/unknown version, or malformed envelope).
+    Format(String),
 }
 
 impl fmt::Display for PersistError {
@@ -23,6 +49,7 @@ impl fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+            PersistError::Format(msg) => write!(f, "index format error: {msg}"),
         }
     }
 }
@@ -41,17 +68,63 @@ impl From<serde_json::Error> for PersistError {
     }
 }
 
-/// Saves an inverted file to `path` (JSON).
+/// Saves an inverted file to `path` (versioned JSON envelope).
 pub fn save_index(path: impl AsRef<Path>, index: &InvertedIndex) -> Result<(), PersistError> {
-    let json = serde_json::to_string(index)?;
+    let mut envelope = serde::Map::new();
+    envelope.insert("magic".to_string(), Value::Str(INDEX_MAGIC.to_string()));
+    envelope.insert("version".to_string(), Value::U64(INDEX_FORMAT_VERSION));
+    envelope.insert("index".to_string(), index.serialize());
+    let json = serde_json::to_string(&Value::Object(envelope))?;
     fs::write(path, json)?;
     Ok(())
 }
 
-/// Loads an inverted file from `path`.
+/// Loads an inverted file from `path`, verifying the format envelope.
 pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, PersistError> {
     let json = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    let value: Value = serde_json::from_str(&json)?;
+    let obj = value.as_object().ok_or_else(|| {
+        PersistError::Format(format!(
+            "expected an index envelope object, got {}",
+            value.kind()
+        ))
+    })?;
+    match obj.get("magic").and_then(Value::as_str) {
+        Some(INDEX_MAGIC) => {}
+        Some(other) => {
+            return Err(PersistError::Format(format!(
+                "wrong magic {other:?} (expected {INDEX_MAGIC:?})"
+            )))
+        }
+        None => {
+            // Pre-envelope files (the v1 BTreeMap layout) have no magic at
+            // all — the common stale-file case; name the remedy.
+            return Err(PersistError::Format(
+                "no format magic: this looks like a v1 (pre-columnar) or foreign \
+                 file; rebuild the index with `ajax-search build`"
+                    .to_string(),
+            ));
+        }
+    }
+    match obj.get("version") {
+        Some(Value::U64(v)) if *v == INDEX_FORMAT_VERSION => {}
+        Some(Value::U64(v)) => {
+            return Err(PersistError::Format(format!(
+                "unsupported index format version {v} (this build reads \
+                 v{INDEX_FORMAT_VERSION}); rebuild the index with `ajax-search build`"
+            )))
+        }
+        _ => {
+            return Err(PersistError::Format(
+                "missing or malformed format version".to_string(),
+            ))
+        }
+    }
+    let index = obj
+        .get("index")
+        .ok_or_else(|| PersistError::Format("envelope has no index payload".to_string()))?;
+    InvertedIndex::deserialize(index)
+        .map_err(|e| PersistError::Format(format!("index payload: {e}")))
 }
 
 /// Saves crawled application models to `path` — the per-partition
@@ -110,6 +183,21 @@ mod tests {
     }
 
     #[test]
+    fn envelope_carries_magic_and_version() -> Result<(), PersistError> {
+        let mut b = IndexBuilder::new();
+        b.add_model(&sample_model(), Some(0.7));
+        let index = b.build();
+        let path = temp_path("envelope.json");
+        save_index(&path, &index)?;
+        let text = std::fs::read_to_string(&path)?;
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"magic\""));
+        assert!(text.contains(INDEX_MAGIC));
+        assert!(text.contains("\"version\""));
+        Ok(())
+    }
+
+    #[test]
     fn empty_index_roundtrip() -> Result<(), PersistError> {
         // The degenerate case a fresh deployment starts from: zero pages,
         // zero states. Must survive persistence exactly and stay searchable.
@@ -152,6 +240,38 @@ mod tests {
         let err = load_index(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, PersistError::Serde(_)));
+        Ok(())
+    }
+
+    #[test]
+    fn load_v1_file_rejected_with_clear_error() -> Result<(), std::io::Error> {
+        // What the pre-columnar code wrote: a bare index object, no envelope.
+        let path = temp_path("v1_index.json");
+        std::fs::write(
+            &path,
+            r#"{"postings":{"wow":[{"doc":{"page":0,"state":0},"count":1,"positions":[0]}]},"pages":[{"url":"http://x","pagerank":0.5,"ajaxrank":[1.0],"state_lengths":[1]}],"total_states":1}"#,
+        )?;
+        let err = load_index(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            PersistError::Format(msg) => {
+                assert!(msg.contains("rebuild"), "unhelpful message: {msg}");
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn load_future_version_rejected() -> Result<(), std::io::Error> {
+        let path = temp_path("v99_index.json");
+        std::fs::write(&path, r#"{"magic":"ajax-index","version":99,"index":{}}"#)?;
+        let err = load_index(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            PersistError::Format(msg) => assert!(msg.contains("99"), "message: {msg}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
         Ok(())
     }
 }

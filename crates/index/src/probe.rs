@@ -1,0 +1,36 @@
+//! Test/diagnostic probes for the query kernel's allocation discipline.
+//!
+//! The top-k acceptance contract is "URL strings are materialized only for
+//! the final k results". Every place the crate turns a `DocKey` into an
+//! owned URL `String` calls [`note_url_materialized`], so a test can reset
+//! the counter, run a query, and assert the count stayed ≤ k even when the
+//! raw result set was much larger.
+//!
+//! The counter is **thread-local**: each test (or serving worker) observes
+//! only its own materializations, so concurrent queries don't pollute each
+//! other's measurements.
+
+use std::cell::Cell;
+
+thread_local! {
+    static URL_MATERIALIZATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one `DocKey → String` URL materialization.
+#[inline]
+pub(crate) fn note_url_materialized() {
+    URL_MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// This thread's count of URL materializations since the last [`reset_url_materializations`].
+/// Test instrumentation — not part of the stable API.
+#[doc(hidden)]
+pub fn url_materializations() -> u64 {
+    URL_MATERIALIZATIONS.with(Cell::get)
+}
+
+/// Resets this thread's materialization counter. Test instrumentation.
+#[doc(hidden)]
+pub fn reset_url_materializations() {
+    URL_MATERIALIZATIONS.with(|c| c.set(0));
+}

@@ -1,9 +1,18 @@
 //! Query processing (thesis §5.3): boolean keyword queries and conjunctions
 //! over the state-granular inverted file, ranked by formula 5.3.
+//!
+//! Evaluation runs on the allocation-free kernel (`kernel.rs`): galloping
+//! intersection over the columnar posting runs, scoring over raw `DocKey`s,
+//! and URL strings materialized only for the results that are actually
+//! returned — for [`search_top_k`] that is at most `k` strings however many
+//! candidates matched.
 
-use crate::invert::{DocKey, InvertedIndex, Posting};
+use crate::invert::{DocKey, InvertedIndex, PostingList};
+use crate::kernel::{self, ScoreScratch, TopK};
+use crate::probe;
 use crate::tokenize::query_terms;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// A parsed query: a conjunction of terms.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,176 +67,151 @@ pub struct SearchResult {
     pub score: f64,
 }
 
+/// Materializes a scored doc into an owned result (the only place the
+/// sequential paths mint URL strings).
+fn materialize(index: &InvertedIndex, doc: DocKey, score: f64) -> SearchResult {
+    probe::note_url_materialized();
+    SearchResult {
+        url: index.url_of(doc).to_string(),
+        doc,
+        score,
+    }
+}
+
+/// Rank order on raw `(doc, score)` pairs: score descending, then URL
+/// (compared in place — no allocation), then state. The same total order
+/// [`sort_results`] applies to materialized results, so selecting with one
+/// and sorting with the other is consistent.
+fn rank_cmp(index: &InvertedIndex, a: &(DocKey, f64), b: &(DocKey, f64)) -> Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| index.url_of(a.0).cmp(index.url_of(b.0)))
+        .then_with(|| a.0.state.cmp(&b.0.state))
+}
+
 /// Evaluates `query` against `index`: conjunction semantics (every term must
 /// occur in the state), results ranked by formula 5.3, descending.
 pub fn search(index: &InvertedIndex, query: &Query, weights: &RankWeights) -> Vec<SearchResult> {
-    let mut results = search_unsorted(index, query, weights);
-    sort_results(&mut results);
-    results
+    search_with_scratch(index, query, weights, &mut ScoreScratch::new())
+}
+
+/// [`search`] with a caller-owned scratch (reused across queries by serving
+/// threads).
+pub fn search_with_scratch(
+    index: &InvertedIndex,
+    query: &Query,
+    weights: &RankWeights,
+    scratch: &mut ScoreScratch,
+) -> Vec<SearchResult> {
+    let mut scored: Vec<(DocKey, f64)> = Vec::new();
+    score_matches(index, query, weights, scratch, |doc, score| {
+        scored.push((doc, score));
+    });
+    scored.sort_by(|a, b| rank_cmp(index, a, b));
+    scored
+        .into_iter()
+        .map(|(doc, score)| materialize(index, doc, score))
+        .collect()
 }
 
 /// Evaluates `query` and returns only the `k` best results — the top-k
 /// path (cf. the thesis' pointer to threshold-algorithm style optimized
-/// ranking, ch. 9). Scoring work is identical to [`search`], but only a
-/// bounded selection is fully sorted, so large result sets avoid the
-/// O(n log n) total sort.
+/// ranking, ch. 9). Scoring work is identical to [`search`], but candidates
+/// stream through a bounded heap of `(doc, score)` pairs: the full result
+/// set is never materialized and at most `k` URL strings are allocated.
 pub fn search_top_k(
     index: &InvertedIndex,
     query: &Query,
     weights: &RankWeights,
     k: usize,
 ) -> Vec<SearchResult> {
-    let mut results = search_unsorted(index, query, weights);
-    if k == 0 || results.is_empty() {
-        return Vec::new();
-    }
-    if results.len() > k {
-        // Partition so the k best (by the same ordering as sort_results)
-        // land in front, then sort just that prefix.
-        results.select_nth_unstable_by(k - 1, compare_results);
-        results.truncate(k);
-    }
-    results.sort_by(compare_results);
-    results
+    search_top_k_with_scratch(index, query, weights, k, &mut ScoreScratch::new())
 }
 
-fn compare_results(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
-    b.score
-        .partial_cmp(&a.score)
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then_with(|| a.url.cmp(&b.url))
-        .then_with(|| a.doc.state.cmp(&b.doc.state))
-}
-
-/// The scoring pass shared by [`search`] and [`search_top_k`].
-fn search_unsorted(
+/// [`search_top_k`] with a caller-owned scratch.
+pub fn search_top_k_with_scratch(
     index: &InvertedIndex,
     query: &Query,
     weights: &RankWeights,
+    k: usize,
+    scratch: &mut ScoreScratch,
 ) -> Vec<SearchResult> {
-    conjunction_postings(index, &query.terms)
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &(DocKey, f64), b: &(DocKey, f64)| rank_cmp(index, a, b);
+    let mut heap = TopK::new(k);
+    score_matches(index, query, weights, scratch, |doc, score| {
+        heap.offer((doc, score), &cmp);
+    });
+    heap.into_sorted(&cmp)
         .into_iter()
-        .map(|(doc, postings)| {
-            let (pagerank, ajaxrank) = index.ranks_of(doc);
-            let tfidf: f64 = postings
-                .iter()
-                .zip(query.terms.iter())
-                .map(|(p, term)| index.tf(p) * index.idf(term))
-                .sum();
-            let proximity = proximity_score(&postings, query.terms.len());
-            let score = weights.pagerank * pagerank
-                + weights.ajaxrank * ajaxrank
-                + weights.tfidf * tfidf
-                + weights.proximity * proximity;
-            SearchResult {
-                url: index.url_of(doc).to_string(),
-                doc,
-                score,
-            }
-        })
+        .map(|(doc, score)| materialize(index, doc, score))
         .collect()
 }
 
-/// Sorts results by descending score with a deterministic tiebreak.
+/// The scoring pass shared by the sequential paths: intersects the posting
+/// runs and hands each matching doc's formula-5.3 score to `sink`, with the
+/// exact arithmetic shape of the pre-columnar implementation (term-order
+/// tf·idf sum starting from 0.0; `w1·pr + w2·ar + w3·tfidf + w4·prox`
+/// evaluated left to right) so scores stay bit-identical.
+fn score_matches(
+    index: &InvertedIndex,
+    query: &Query,
+    weights: &RankWeights,
+    scratch: &mut ScoreScratch,
+    mut sink: impl FnMut(DocKey, f64),
+) {
+    if query.is_empty() {
+        return;
+    }
+    let lists: Vec<PostingList<'_>> = query.terms.iter().map(|t| index.postings(t)).collect();
+    let ScoreScratch {
+        cursors,
+        idf,
+        events,
+        term_counts,
+    } = scratch;
+    idf.clear();
+    idf.extend(lists.iter().map(|l| index.idf_from_df(l.len() as u64)));
+    kernel::for_each_match(&lists, cursors, |doc, rows| {
+        let (pagerank, ajaxrank) = index.ranks_of(doc);
+        let mut tfidf = 0.0f64;
+        for (t, list) in lists.iter().enumerate() {
+            tfidf += index.tf_parts(doc, list.count(rows[t])) * idf[t];
+        }
+        let proximity = kernel::proximity_of_rows(&lists, rows, events, term_counts);
+        let score = weights.pagerank * pagerank
+            + weights.ajaxrank * ajaxrank
+            + weights.tfidf * tfidf
+            + weights.proximity * proximity;
+        sink(doc, score);
+    });
+}
+
+/// Intersects the query's posting runs and returns the matching docs in
+/// ascending order — the posting-list merge of §5.3.2 without scoring
+/// (diagnostics and tests).
+pub fn conjunction_docs(index: &InvertedIndex, terms: &[String]) -> Vec<DocKey> {
+    let lists: Vec<PostingList<'_>> = terms.iter().map(|t| index.postings(t)).collect();
+    let mut cursors = Vec::new();
+    let mut out = Vec::new();
+    kernel::for_each_match(&lists, &mut cursors, |doc, _| out.push(doc));
+    out
+}
+
+/// Sorts materialized results by descending score with a deterministic
+/// tiebreak (URL, then state) — the same total order the kernel paths use.
 pub fn sort_results(results: &mut [SearchResult]) {
     results.sort_by(compare_results);
 }
 
-/// The posting-list merge of §5.3.2: intersects the per-term posting lists
-/// on `(URL, state)` identity. Returns, per matching document, the postings
-/// of each query term *in term order*. Duplicate query terms are allowed.
-pub fn conjunction_postings<'a>(
-    index: &'a InvertedIndex,
-    terms: &[String],
-) -> Vec<(DocKey, Vec<&'a Posting>)> {
-    let lists: Vec<&[Posting]> = terms.iter().map(|t| index.postings(t)).collect();
-    conjunction_of_lists(&lists)
-}
-
-/// The same merge over pre-fetched posting lists, one per query term in term
-/// order. Callers that also need per-term statistics (the shard-evaluation
-/// path) fetch each list once and reuse it for both, instead of paying two
-/// term lookups per shard.
-pub fn conjunction_of_lists<'a>(lists: &[&'a [Posting]]) -> Vec<(DocKey, Vec<&'a Posting>)> {
-    if lists.is_empty() {
-        return Vec::new();
-    }
-    if lists.iter().any(|l| l.is_empty()) {
-        return Vec::new(); // Conjunction with an unseen term is empty.
-    }
-    // Drive the merge from the rarest list; binary-search the others.
-    let (driver_idx, driver) = lists
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, l)| l.len())
-        .expect("non-empty terms");
-
-    let mut out = Vec::new();
-    'candidates: for candidate in driver.iter() {
-        let doc = candidate.doc;
-        let mut row: Vec<&Posting> = Vec::with_capacity(lists.len());
-        for (i, list) in lists.iter().enumerate() {
-            if i == driver_idx {
-                row.push(candidate);
-                continue;
-            }
-            match list.binary_search_by_key(&doc, |p| p.doc) {
-                Ok(pos) => row.push(&list[pos]),
-                Err(_) => continue 'candidates,
-            }
-        }
-        out.push((doc, row));
-    }
-    out
-}
-
-/// Term-proximity measure `T(q, s)` (§5.3.3 item 4): the highest value goes
-/// to states containing the query terms adjacently in order; spread-out
-/// occurrences score lower. Computed as `k / window`, where `window` is the
-/// length of the smallest token window containing all `k` terms, with a
-/// small in-order bonus folded in by construction (an in-order adjacent run
-/// has window == k ⇒ score 1.0).
-pub fn proximity_score(postings: &[&Posting], k: usize) -> f64 {
-    if k <= 1 {
-        return 1.0;
-    }
-    // Gather (position, term_index) pairs, sorted by position.
-    let mut events: Vec<(u32, usize)> = Vec::new();
-    for (term_idx, posting) in postings.iter().enumerate() {
-        for &pos in &posting.positions {
-            events.push((pos, term_idx));
-        }
-    }
-    events.sort_unstable();
-
-    // Minimal covering window (two pointers with per-term counts).
-    let mut counts = vec![0u32; k];
-    let mut covered = 0usize;
-    let mut best = u32::MAX;
-    let mut left = 0usize;
-    for right in 0..events.len() {
-        let (_, term) = events[right];
-        if counts[term] == 0 {
-            covered += 1;
-        }
-        counts[term] += 1;
-        while covered == k {
-            let window = events[right].0 - events[left].0 + 1;
-            best = best.min(window);
-            let (_, lterm) = events[left];
-            counts[lterm] -= 1;
-            if counts[lterm] == 0 {
-                covered -= 1;
-            }
-            left += 1;
-        }
-    }
-    if best == u32::MAX {
-        // A duplicated term with a single occurrence can never cover k slots;
-        // fall back to the spread of distinct terms.
-        return 0.0;
-    }
-    (k as f64 / f64::from(best)).min(1.0)
+pub(crate) fn compare_results(a: &SearchResult, b: &SearchResult) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.url.cmp(&b.url))
+        .then_with(|| a.doc.state.cmp(&b.doc.state))
 }
 
 #[cfg(test)]
@@ -314,8 +298,7 @@ mod tests {
     #[test]
     fn conjunction_equals_naive_intersection() {
         let idx = index_of(&[("u1", &["a b c", "a c", "b c"]), ("u2", &["c a b a", "b"])]);
-        let merged = conjunction_postings(&idx, &["a".into(), "b".into()]);
-        let merged_docs: Vec<DocKey> = merged.iter().map(|(d, _)| *d).collect();
+        let merged_docs = conjunction_docs(&idx, &["a".into(), "b".into()]);
         // Naive: docs containing a ∩ docs containing b.
         let a_docs: std::collections::BTreeSet<DocKey> =
             idx.postings("a").iter().map(|p| p.doc).collect();
@@ -418,6 +401,19 @@ mod tests {
         // degenerates to the single-term query (set semantics).
         assert_eq!(results.len(), 2);
     }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        let idx = morcheeba_index();
+        let w = RankWeights::default();
+        let mut scratch = ScoreScratch::new();
+        for q in ["morcheeba", "morcheeba singer", "", "live concert", "zebra"] {
+            let query = Query::parse(q);
+            let fresh = search(&idx, &query, &w);
+            let reused = search_with_scratch(&idx, &query, &w, &mut scratch);
+            assert_eq!(fresh, reused, "query {q:?}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -459,5 +455,22 @@ mod top_k_tests {
         let idx = big_index();
         let q = Query::parse("absent");
         assert!(search_top_k(&idx, &q, &RankWeights::default(), 10).is_empty());
+    }
+
+    #[test]
+    fn top_k_materializes_at_most_k_urls() {
+        let idx = big_index();
+        let q = Query::parse("common");
+        let w = RankWeights::default();
+        let full = search(&idx, &q, &w);
+        assert!(full.len() > 10, "need a large result set");
+        crate::probe::reset_url_materializations();
+        let top = search_top_k(&idx, &q, &w, 10);
+        assert_eq!(top.len(), 10);
+        assert!(
+            crate::probe::url_materializations() <= 10,
+            "top-k minted {} URL strings for k=10",
+            crate::probe::url_materializations()
+        );
     }
 }

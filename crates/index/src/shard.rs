@@ -8,14 +8,24 @@
 //! from the summed counts (the formula worked in §6.5.2), completes each
 //! result's score with `w3·Σ tf·idf`, merges and re-sorts — Steps 1 and 2 of
 //! Fig 6.4.
+//!
+//! Shard provenance travels **inside** [`ShardResult`] from evaluation to
+//! the merged [`BrokerResult`]; the merge no longer rebuilds a
+//! `(url, doc) → shard` hash map per query.
 
-use crate::invert::{DocKey, InvertedIndex, Posting};
-use crate::query::{
-    conjunction_of_lists, proximity_score, sort_results, Query, RankWeights, SearchResult,
-};
+use crate::invert::{DocKey, InvertedIndex, PostingList};
+use crate::kernel::{self, ScoreScratch};
+use crate::probe;
+use crate::query::{Query, RankWeights};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// A shard-local result before the global tf·idf completion.
+///
+/// Carries the owned `url` because shard evaluation runs on worker threads
+/// that cannot hand out borrows of their index snapshot — the URL string is
+/// part of the wire format between worker and merger. This is the one
+/// per-result allocation the distributed path keeps.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardResult {
     pub shard: usize,
@@ -78,6 +88,11 @@ impl QueryBroker {
         self.shards.iter().map(|s| s.total_states).sum()
     }
 
+    /// Estimated heap footprint of all shards (diagnostics, BuildReport).
+    pub fn approx_bytes(&self) -> usize {
+        self.shards.iter().map(InvertedIndex::approx_bytes).sum()
+    }
+
     /// Decomposes the broker into its shards and weights — the handoff a
     /// serving layer uses to distribute shards across worker threads.
     pub fn into_parts(self) -> (Vec<InvertedIndex>, RankWeights) {
@@ -110,10 +125,12 @@ impl QueryBroker {
         if query.is_empty() {
             return Vec::new();
         }
+        let mut scratch = ScoreScratch::new();
         let mut all_results = Vec::new();
         let mut all_stats = Vec::with_capacity(self.shards.len());
         for (shard_idx, shard) in self.shards.iter().enumerate() {
-            let (results, stats) = eval_shard(shard, shard_idx, query, &self.weights);
+            let (results, stats) =
+                eval_shard_with_scratch(shard, shard_idx, query, &self.weights, &mut scratch);
             all_results.extend(results);
             all_stats.push(stats);
         }
@@ -125,7 +142,7 @@ impl QueryBroker {
 /// free function so a serving layer can run it on worker threads without
 /// borrowing the whole broker. The query arrives already parsed and
 /// normalized (tokenization happens once per query, not once per shard), and
-/// each term's posting list is fetched exactly once, serving both the df
+/// each term's posting run is fetched exactly once, serving both the df
 /// statistic and the conjunction merge.
 pub fn eval_shard(
     shard: &InvertedIndex,
@@ -133,34 +150,68 @@ pub fn eval_shard(
     query: &Query,
     weights: &RankWeights,
 ) -> (Vec<ShardResult>, ShardTermStats) {
-    let lists: Vec<&[Posting]> = query.terms.iter().map(|t| shard.postings(t)).collect();
+    eval_shard_with_scratch(shard, shard_idx, query, weights, &mut ScoreScratch::new())
+}
+
+/// [`eval_shard`] with a caller-owned [`ScoreScratch`] — serving workers
+/// keep one per thread so steady-state evaluation reuses every buffer.
+pub fn eval_shard_with_scratch(
+    shard: &InvertedIndex,
+    shard_idx: usize,
+    query: &Query,
+    weights: &RankWeights,
+    scratch: &mut ScoreScratch,
+) -> (Vec<ShardResult>, ShardTermStats) {
+    let lists: Vec<PostingList<'_>> = query.terms.iter().map(|t| shard.postings(t)).collect();
     let stats = ShardTermStats {
         total_states: shard.total_states,
         df: lists.iter().map(|l| l.len() as u64).collect(),
     };
-    let results = conjunction_of_lists(&lists)
-        .into_iter()
-        .map(|(doc, postings)| {
-            let (pagerank, ajaxrank) = shard.ranks_of(doc);
-            let proximity = proximity_score(&postings, query.terms.len());
-            ShardResult {
-                shard: shard_idx,
-                url: shard.url_of(doc).to_string(),
-                doc,
-                base_score: weights.pagerank * pagerank
-                    + weights.ajaxrank * ajaxrank
-                    + weights.proximity * proximity,
-                tfs: postings.iter().map(|p| shard.tf(p)).collect(),
-            }
-        })
-        .collect();
+    let ScoreScratch {
+        cursors,
+        events,
+        term_counts,
+        ..
+    } = scratch;
+    let mut results = Vec::new();
+    kernel::for_each_match(&lists, cursors, |doc, rows| {
+        let (pagerank, ajaxrank) = shard.ranks_of(doc);
+        let proximity = kernel::proximity_of_rows(&lists, rows, events, term_counts);
+        probe::note_url_materialized();
+        results.push(ShardResult {
+            shard: shard_idx,
+            url: shard.url_of(doc).to_string(),
+            doc,
+            base_score: weights.pagerank * pagerank
+                + weights.ajaxrank * ajaxrank
+                + weights.proximity * proximity,
+            tfs: lists
+                .iter()
+                .enumerate()
+                .map(|(t, list)| shard.tf_parts(doc, list.count(rows[t])))
+                .collect(),
+        });
+    });
     (results, stats)
 }
 
+/// Rank order on broker results: score descending, then URL, then state —
+/// the same total order as the sequential paths.
+fn compare_broker_results(a: &BrokerResult, b: &BrokerResult) -> Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| a.url.cmp(&b.url))
+        .then_with(|| a.doc.state.cmp(&b.doc.state))
+}
+
 /// The broker-side half of Fig 6.4: completes per-shard base scores with the
-/// global tf·idf, merges, sorts, and re-attaches shard provenance. Shared by
-/// [`QueryBroker::search`] and the `ajax-serve` worker-pool path so both
-/// produce identical floating-point results (same summation order).
+/// global tf·idf, merges and sorts. Shared by [`QueryBroker::search`] and
+/// the `ajax-serve` worker-pool path so both produce identical
+/// floating-point results (same summation order).
+///
+/// Shard provenance rides along inside each [`ShardResult`] — no per-query
+/// `(url, doc) → shard` map is rebuilt here.
 ///
 /// `all_results` must be ordered by shard index (shard 0's results first) for
 /// the ordering guarantee to hold.
@@ -172,41 +223,20 @@ pub fn merge_shard_outputs(
 ) -> Vec<BrokerResult> {
     let idf = QueryBroker::global_idf(query, all_stats);
 
-    let mut merged: Vec<SearchResult> = all_results
-        .iter()
+    let mut merged: Vec<BrokerResult> = all_results
+        .into_iter()
         .map(|r| {
             let tfidf: f64 = r.tfs.iter().zip(idf.iter()).map(|(tf, idf)| tf * idf).sum();
-            SearchResult {
-                url: r.url.clone(),
+            BrokerResult {
+                shard: r.shard,
+                url: r.url,
                 doc: r.doc,
                 score: r.base_score + weights.tfidf * tfidf,
             }
         })
         .collect();
-    sort_results(&mut merged);
-
-    // Re-attach shard provenance (url+doc uniquely identify the origin
-    // because partitions are URL-disjoint, §6.5.2: "the intersection of
-    // URLs between distinct inverted lists is empty").
-    let provenance: std::collections::HashMap<(&str, DocKey), usize> = all_results
-        .iter()
-        .map(|s| ((s.url.as_str(), s.doc), s.shard))
-        .collect();
+    merged.sort_by(compare_broker_results);
     merged
-        .into_iter()
-        .map(|r| {
-            let shard = provenance
-                .get(&(r.url.as_str(), r.doc))
-                .copied()
-                .unwrap_or(0);
-            BrokerResult {
-                shard,
-                url: r.url,
-                doc: r.doc,
-                score: r.score,
-            }
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -308,6 +338,7 @@ mod tests {
         let broker = build_sharded(&corpus(), 2);
         assert_eq!(broker.total_states(), 8);
         assert_eq!(broker.shard_count(), 2);
+        assert!(broker.approx_bytes() > 0);
     }
 
     #[test]

@@ -7,32 +7,45 @@ pub struct TokenAt {
     pub position: u32,
 }
 
-/// Splits `text` into lowercase alphanumeric tokens with positions.
+/// Streams the lowercase alphanumeric tokens of `text` through `f` without
+/// allocating a `String` per token: each token is built in `scratch` (reused
+/// across calls — the builder hands the same buffer to every state) and
+/// handed to `f` as a borrowed `&str` with its 0-based position.
+///
 /// Everything that is not alphanumeric separates tokens; tokens are
 /// lowercased (ASCII + Unicode via `char::to_lowercase`).
-pub fn tokenize(text: &str) -> Vec<TokenAt> {
-    let mut out = Vec::new();
-    let mut current = String::new();
+pub fn for_each_token(text: &str, scratch: &mut String, mut f: impl FnMut(&str, u32)) {
+    scratch.clear();
     let mut position = 0u32;
     for ch in text.chars() {
         if ch.is_alphanumeric() {
             for lower in ch.to_lowercase() {
-                current.push(lower);
+                scratch.push(lower);
             }
-        } else if !current.is_empty() {
-            out.push(TokenAt {
-                term: std::mem::take(&mut current),
-                position,
-            });
+        } else if !scratch.is_empty() {
+            f(scratch, position);
+            scratch.clear();
             position += 1;
         }
     }
-    if !current.is_empty() {
+    if !scratch.is_empty() {
+        f(scratch, position);
+        scratch.clear();
+    }
+}
+
+/// Splits `text` into lowercase alphanumeric tokens with positions.
+/// Allocating wrapper over [`for_each_token`] for callers that want owned
+/// tokens (queries, tests); the index build path streams instead.
+pub fn tokenize(text: &str) -> Vec<TokenAt> {
+    let mut out = Vec::new();
+    let mut scratch = String::new();
+    for_each_token(text, &mut scratch, |term, position| {
         out.push(TokenAt {
-            term: current,
+            term: term.to_string(),
             position,
         });
-    }
+    });
     out
 }
 

@@ -1,0 +1,236 @@
+//! The refactor equivalence suite: the columnar index + allocation-free
+//! kernel must reproduce the pre-columnar implementation (`reference.rs`)
+//! **bit-for-bit** — same result sequences, same floating-point scores —
+//! on every query path: sequential `search`, `search_top_k`, and
+//! `QueryBroker::search` (the ajax-serve worker path runs the same two
+//! halves, asserted again in the workspace integration tests).
+//!
+//! Scores are compared with `f64::to_bits`, not a tolerance: the kernel
+//! keeps the exact summation order of the old code, so anything weaker
+//! would hide a regression of the determinism contract.
+
+use ajax_crawl::model::AppModel;
+use ajax_index::invert::{build_index_parallel, IndexBuilder, InvertedIndex};
+use ajax_index::query::{search, search_top_k, Query, RankWeights};
+use ajax_index::reference::{ref_broker_search, ref_search, ref_search_top_k, RefIndexBuilder};
+use ajax_index::shard::QueryBroker;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random corpus: `n_pages` pages, a few states each,
+/// drawn from a small vocabulary so conjunctions actually match.
+fn corpus(seed: u64, n_pages: usize) -> Vec<AppModel> {
+    const VOCAB: &[&str] = &[
+        "wow",
+        "dance",
+        "video",
+        "morcheeba",
+        "singer",
+        "great",
+        "filler",
+        "the",
+        "ride",
+        "enjoy",
+        "mysterious",
+        "concert",
+        "live",
+        "daisy",
+        "2",
+    ];
+    let mut x = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n_pages)
+        .map(|p| {
+            let mut m = AppModel::new(format!("http://site.example/watch?v={p}"));
+            let n_states = 1 + (next() % 4) as usize;
+            for s in 0..n_states {
+                let n_tokens = 3 + (next() % 12) as usize;
+                let text = (0..n_tokens)
+                    .map(|_| VOCAB[(next() % VOCAB.len() as u64) as usize])
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                m.add_state((p * 100 + s) as u64 + 1, text, None);
+            }
+            m
+        })
+        .collect()
+}
+
+const QUERIES: &[&str] = &[
+    "wow",
+    "wow dance",
+    "morcheeba singer",
+    "the great video",
+    "enjoy the ride",
+    "wow wow",
+    "mysterious",
+    "absentterm",
+    "wow absentterm",
+    "",
+    "dance video filler",
+];
+
+fn build_new(models: &[AppModel]) -> InvertedIndex {
+    let mut b = IndexBuilder::new();
+    for m in models {
+        b.add_model(m, Some(1.0 / models.len().max(1) as f64));
+    }
+    b.build()
+}
+
+fn build_ref(models: &[AppModel]) -> ajax_index::reference::RefIndex {
+    let mut b = RefIndexBuilder::new();
+    for m in models {
+        b.add_model(m, Some(1.0 / models.len().max(1) as f64));
+    }
+    b.build()
+}
+
+fn assert_bit_identical(
+    new: &[ajax_index::query::SearchResult],
+    old: &[ajax_index::query::SearchResult],
+    label: &str,
+) {
+    assert_eq!(new.len(), old.len(), "{label}: result count");
+    for (i, (n, o)) in new.iter().zip(old.iter()).enumerate() {
+        assert_eq!(n.url, o.url, "{label}: url at {i}");
+        assert_eq!(n.doc, o.doc, "{label}: doc at {i}");
+        assert_eq!(
+            n.score.to_bits(),
+            o.score.to_bits(),
+            "{label}: score bits at {i}: {} vs {}",
+            n.score,
+            o.score
+        );
+    }
+}
+
+#[test]
+fn sequential_search_equals_reference() {
+    for seed in [1u64, 7, 42, 1234] {
+        let models = corpus(seed, 12);
+        let new = build_new(&models);
+        let old = build_ref(&models);
+        let w = RankWeights::default();
+        for q in QUERIES {
+            let query = Query::parse(q);
+            assert_bit_identical(
+                &search(&new, &query, &w),
+                &ref_search(&old, &query, &w),
+                &format!("seed {seed}, query {q:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn top_k_equals_reference() {
+    for seed in [3u64, 99] {
+        let models = corpus(seed, 16);
+        let new = build_new(&models);
+        let old = build_ref(&models);
+        let w = RankWeights::default();
+        for q in QUERIES {
+            let query = Query::parse(q);
+            for k in [0usize, 1, 3, 10, 500] {
+                assert_bit_identical(
+                    &search_top_k(&new, &query, &w, k),
+                    &ref_search_top_k(&old, &query, &w, k),
+                    &format!("seed {seed}, query {q:?}, k {k}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn broker_search_equals_reference() {
+    for seed in [5u64, 77] {
+        let models = corpus(seed, 13);
+        for per_shard in [1usize, 3, 5, 13] {
+            let new_shards: Vec<InvertedIndex> = models.chunks(per_shard).map(build_new).collect();
+            let old_shards: Vec<_> = models.chunks(per_shard).map(build_ref).collect();
+            let broker = QueryBroker::new(new_shards);
+            for q in QUERIES {
+                let query = Query::parse(q);
+                let new = broker.search(&query);
+                let old = ref_broker_search(&old_shards, &query, &broker.weights);
+                assert_eq!(new.len(), old.len(), "query {q:?}");
+                for (i, (n, o)) in new.iter().zip(old.iter()).enumerate() {
+                    assert_eq!(n.url, o.url, "query {q:?} at {i}");
+                    assert_eq!(n.doc, o.doc, "query {q:?} at {i}");
+                    assert_eq!(n.shard, o.shard, "query {q:?} at {i}");
+                    assert_eq!(
+                        n.score.to_bits(),
+                        o.score.to_bits(),
+                        "query {q:?} score bits at {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_build_searches_identically() {
+    let models = corpus(11, 17);
+    let refs: Vec<(&AppModel, Option<f64>)> =
+        models.iter().map(|m| (m, Some(1.0 / 17.0))).collect();
+    let sequential = build_new(&models);
+    let parallel = build_index_parallel(&refs, None, 4);
+    assert_eq!(
+        sequential, parallel,
+        "canonical layout must make builds structurally equal"
+    );
+    let w = RankWeights::default();
+    for q in QUERIES {
+        let query = Query::parse(q);
+        assert_bit_identical(
+            &search(&sequential, &query, &w),
+            &search(&parallel, &query, &w),
+            &format!("query {q:?}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized corpora: the kernel's results (docs, order, scores) equal
+    /// the naive BTreeMap/binary-search semantics of the reference engine.
+    /// The acceptance bar is 1e-12 on scores; the implementation actually
+    /// delivers bit-equality, which is what we assert.
+    #[test]
+    fn kernel_equals_naive_semantics(
+        seed in 0u64..10_000,
+        n_pages in 1usize..20,
+        query_idx in 0usize..QUERIES.len(),
+        k in 0usize..25,
+    ) {
+        let models = corpus(seed, n_pages);
+        let new = build_new(&models);
+        let old = build_ref(&models);
+        let w = RankWeights::default();
+        let query = Query::parse(QUERIES[query_idx]);
+
+        let full_new = search(&new, &query, &w);
+        let full_old = ref_search(&old, &query, &w);
+        prop_assert_eq!(full_new.len(), full_old.len());
+        for (n, o) in full_new.iter().zip(full_old.iter()) {
+            prop_assert_eq!(&n.url, &o.url);
+            prop_assert_eq!(n.doc, o.doc);
+            prop_assert!((n.score - o.score).abs() < 1e-12, "score {} vs {}", n.score, o.score);
+            prop_assert_eq!(n.score.to_bits(), o.score.to_bits());
+        }
+
+        let top_new = search_top_k(&new, &query, &w, k);
+        let top_old = ref_search_top_k(&old, &query, &w, k);
+        prop_assert_eq!(top_new, top_old);
+    }
+}

@@ -30,6 +30,9 @@ pub struct Metrics {
     pub cache_evictions: AtomicU64,
     /// Index reloads (each also invalidates the cache).
     pub reloads: AtomicU64,
+    /// Resident size of the served index in bytes (gauge; set at startup
+    /// and on every reload from the shards' honest `approx_bytes`).
+    pub index_bytes: AtomicU64,
     /// End-to-end query latency (admission → response), µs.
     pub latency: LatencyHistogram,
     /// Jobs currently queued per shard (gauge).
@@ -47,6 +50,7 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            index_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             shard_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -72,6 +76,7 @@ impl Metrics {
             shed: self.shed.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
+            index_bytes: self.index_bytes.load(Ordering::Relaxed),
             qps: if uptime_micros == 0 {
                 0.0
             } else {
@@ -111,6 +116,7 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     pub degraded: u64,
     pub reloads: u64,
+    pub index_bytes: u64,
     pub qps: f64,
     pub latency_mean_micros: f64,
     pub latency_p50_micros: u64,

@@ -217,8 +217,10 @@ impl ShardServer {
     /// Takes over a broker's shards, spawning
     /// `shards × workers_per_shard` worker threads.
     pub fn new(broker: QueryBroker, config: ServeConfig) -> Self {
+        let index_bytes = broker.approx_bytes() as u64;
         let (shards, weights) = broker.into_parts();
         let metrics = Arc::new(Metrics::new(shards.len()));
+        metrics.index_bytes.store(index_bytes, Ordering::Relaxed);
         let trace = config.trace.then(|| {
             Arc::new(Mutex::new(SpanLog::with_capacity(
                 ajax_obs::DEFAULT_CAPACITY,
@@ -477,6 +479,7 @@ impl ShardServer {
                 got: broker.shard_count(),
             });
         }
+        let index_bytes = broker.approx_bytes() as u64;
         let (shards, weights) = broker.into_parts();
         if weights_bits(&weights) != weights_bits(&self.weights) {
             return Err(ServeError::WeightsMismatch {
@@ -489,6 +492,9 @@ impl ShardServer {
         }
         self.invalidate_cache();
         self.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .index_bytes
+            .store(index_bytes, Ordering::Relaxed);
         Ok(())
     }
 
@@ -624,6 +630,7 @@ mod tests {
         assert_eq!(snap.cache_misses, 1);
         assert!(snap.cache_hit_rate > 0.0);
         assert_eq!(snap.cache_entries, 1);
+        assert!(snap.index_bytes > 0, "index size gauge set at startup");
 
         server.reload(build_broker(2)).unwrap();
         let third = server.search("wow dance").unwrap();

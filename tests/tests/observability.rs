@@ -109,3 +109,42 @@ fn serve_trace_smoke_under_manual_clock() {
     let stats = validate_chrome_trace(&json).expect("serve trace must be valid");
     assert_eq!(stats.complete_events, spans.len());
 }
+
+/// Two same-seed runs record byte-identical `index.invert` and `serve.query`
+/// spans. The `shard.eval` spans interleave on worker threads, but the
+/// query-level timeline is pinned by the virtual clock: each evaluation
+/// advances it by a fixed cost regardless of scheduling order.
+#[test]
+fn invert_and_serve_query_spans_identical_across_same_seed_runs() {
+    let run = || {
+        let engine = traced_build(10);
+        let invert: Vec<_> = engine
+            .spans
+            .iter()
+            .filter(|s| s.name == "index.invert")
+            .cloned()
+            .collect();
+        let (clock, _handle) = ServeClock::manual();
+        let server = engine.into_server(
+            ServeConfig::default()
+                .with_clock(clock)
+                .with_eval_cost_micros(250)
+                .with_tracing(true),
+        );
+        for q in ["video", "wow dance", "video"] {
+            server.search(q).expect("query");
+        }
+        let queries: Vec<_> = server
+            .take_trace()
+            .into_iter()
+            .filter(|s| s.name == "serve.query")
+            .collect();
+        (invert, queries)
+    };
+    let (invert_a, queries_a) = run();
+    let (invert_b, queries_b) = run();
+    assert!(!invert_a.is_empty());
+    assert_eq!(invert_a, invert_b, "index.invert spans must be identical");
+    assert_eq!(queries_a.len(), 3);
+    assert_eq!(queries_a, queries_b, "serve.query spans must be identical");
+}
