@@ -1,7 +1,8 @@
 //! Runs every ch. 7 experiment (sharing the expensive crawls) and prints all
 //! tables/figures. `AJAX_CRAWL_SCALE=paper` for thesis scale.
 use ajax_bench::exp::{
-    caching, crawl_perf, dataset, index_perf, parallel, pruning, queries, serving, threshold,
+    caching, crawl_perf, dataset, distributed, index_perf, parallel, pruning, queries, serving,
+    threshold,
 };
 use ajax_bench::{util, Scale};
 
@@ -79,6 +80,18 @@ fn main() {
     println!("{}", iperf.render());
     util::write_json("index_perf", &iperf);
 
+    // Distributed serving (ajax-dist): QPS scaling, slow-shard hedging, and
+    // the double-launch determinism check (same corpus and seeds ⇒ identical
+    // merged results — the exp_fault_sweep discipline applied to serving).
+    let dist = distributed::collect(scale.query_pages.min(40));
+    println!("{}", dist.render());
+    util::write_json("distributed", &dist);
+    assert!(
+        dist.all_consistent(),
+        "distributed serving diverged from single-process results or \
+         across launches"
+    );
+
     // Static crawl planner: events saved + soundness cross-check (small
     // fixed sites — the invariants, not the scale, are the point here).
     let prune = pruning::collect(12, 6);
@@ -126,5 +139,18 @@ fn main() {
         iperf.kernel.speedup,
         iperf.sites[0].query_p50_micros,
         iperf.sites[0].query_p95_micros,
+    );
+    println!(
+        "distributed: QPS {} at 1/2/4 shards, slow-shard p99 {:.1} → {:.1} ms \
+         with hedging ({} hedges), deterministic: {}",
+        dist.scaling
+            .iter()
+            .map(|s| format!("{:.0}", s.qps))
+            .collect::<Vec<_>>()
+            .join("/"),
+        dist.fault.p99_hedge_off_micros / 1e3,
+        dist.fault.p99_hedge_on_micros / 1e3,
+        dist.fault.hedges_fired,
+        dist.deterministic,
     );
 }

@@ -1,0 +1,364 @@
+//! Distributed serving (the `ajax-dist` subsystem): QPS scaling across
+//! shard counts, tail latency under an injected slow shard, and the effect
+//! of hedged requests — all over the thesis' 100-query VidShare workload.
+//!
+//! Three phases, each against in-process (thread-mode) shard servers
+//! speaking the real TCP protocol through the coordinator:
+//!
+//! 1. **scaling** — the workload runs through 1-, 2- and 4-shard clusters
+//!    (result cache off, so every query crosses the wire and evaluates);
+//!    each cluster's merged results are checked bit-identical to an
+//!    in-process broker over the same corpus.
+//! 2. **fault injection** — a 2-shard cluster where every reply chunk from
+//!    shard 1 is slowed through a [`ajax_net::FaultProxy`]; p99 is measured
+//!    with hedging off, then with hedging on (the hedge path re-issues on a
+//!    direct connection, bypassing the chaos proxy), results identical in
+//!    both runs.
+//! 3. **determinism** — two independently launched 2-shard clusters run the
+//!    workload; every merged result list must be bit-identical.
+
+use crate::util::TableFmt;
+use ajax_crawl::model::AppModel;
+use ajax_dist::{partition_models, ClusterConfig, DistCluster};
+use ajax_engine::{AjaxSearchEngine, EngineConfig};
+use ajax_index::{BrokerResult, Query, QueryBroker, RankWeights};
+use ajax_net::{Fault, FaultPlan, FaultRule, ProxyConfig, Url};
+use ajax_serve::ServeConfig;
+use ajax_webgen::queries::query_phrases;
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// Seed for the fault plan (the sweep is deterministic given this).
+const FAULT_SEED: u64 = 11;
+/// Every reply chunk from the slow shard sleeps `(factor - 1) ×
+/// slow_chunk_micros`.
+const SLOW_FACTOR: f64 = 20.0;
+/// Hedge fires this long after ship when a shard hasn't answered.
+const HEDGE_AFTER_MICROS: u64 = 2_000;
+
+/// One shard-count cell of the scaling phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardScaling {
+    pub shards: usize,
+    pub queries: usize,
+    pub wall_micros: u64,
+    pub qps: f64,
+    pub p50_micros: f64,
+    pub p99_micros: f64,
+    /// Merged results bit-identical to the in-process broker (documents,
+    /// order, score bits).
+    pub matches_single_process: bool,
+}
+
+/// The slow-shard cell: p99 with hedging off vs on.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultCell {
+    pub shards: usize,
+    pub slow_factor: f64,
+    pub hedge_after_micros: u64,
+    pub p99_hedge_off_micros: f64,
+    pub p99_hedge_on_micros: f64,
+    /// Hedge requests actually issued during the hedge-on run.
+    pub hedges_fired: u64,
+    /// Both runs returned complete (non-degraded) result sets — hedging
+    /// affects latency, never results.
+    pub full_results: bool,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct DistributedData {
+    pub videos: u64,
+    pub queries: u64,
+    pub scaling: Vec<ShardScaling>,
+    pub fault: FaultCell,
+    /// Two independent cluster launches produced bit-identical merged
+    /// results for the entire workload.
+    pub deterministic: bool,
+}
+
+struct Corpus {
+    models: Vec<AppModel>,
+    pagerank: std::collections::HashMap<String, f64>,
+    weights: RankWeights,
+}
+
+fn build_corpus(videos: u32) -> Corpus {
+    let spec = VidShareSpec::small(videos);
+    let start = Url::parse(&spec.watch_url(0));
+    let site = Arc::new(VidShareServer::new(spec));
+    let mut config = EngineConfig::ajax(videos as usize);
+    config.keep_models = true;
+    let engine = AjaxSearchEngine::build(site, &start, config);
+    Corpus {
+        pagerank: engine.graph.pagerank.clone(),
+        weights: engine.weights(),
+        models: engine.models,
+    }
+}
+
+fn launch(corpus: &Corpus, shards: usize, config: ClusterConfig) -> DistCluster {
+    let partitions = partition_models(
+        &corpus.models,
+        |url| corpus.pagerank.get(url).copied(),
+        shards,
+        None,
+    );
+    DistCluster::launch_threads(partitions, corpus.weights, config).expect("cluster launch")
+}
+
+/// Serving config for honest QPS: cache off, admission uncapped.
+fn bench_serve_config() -> ServeConfig {
+    ServeConfig::default()
+        .with_cache_capacity(0)
+        .with_max_in_flight(usize::MAX)
+}
+
+/// Runs the workload sequentially, returning (per-query µs, merged results,
+/// any degraded).
+fn run_workload(
+    cluster: &DistCluster,
+    workload: &[&str],
+) -> (Vec<f64>, Vec<Vec<BrokerResult>>, bool) {
+    let mut samples = Vec::with_capacity(workload.len());
+    let mut all_results = Vec::with_capacity(workload.len());
+    let mut degraded = false;
+    for q in workload {
+        let t0 = std::time::Instant::now();
+        let resp = cluster.server.search(q).expect("admitted");
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+        degraded |= resp.degraded;
+        all_results.push(resp.results);
+    }
+    (samples, all_results, degraded)
+}
+
+/// Partition-invariant bit-equality of two merged result lists: same
+/// documents (`url`, `doc.state`), same order, same score bits. `shard` and
+/// `doc.page` are partition-relative provenance and excluded.
+fn results_identical(a: &[Vec<BrokerResult>], b: &[Vec<BrokerResult>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b.iter()).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb.iter()).all(|(x, y)| {
+                    x.url == y.url
+                        && x.doc.state == y.doc.state
+                        && x.score.to_bits() == y.score.to_bits()
+                })
+        })
+}
+
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// Runs all three phases over `videos` VidShare pages.
+pub fn collect(videos: u32) -> DistributedData {
+    let workload = query_phrases();
+    let corpus = build_corpus(videos);
+
+    // In-process reference: a single broker over the whole corpus.
+    let mut broker = QueryBroker::new(partition_models(
+        &corpus.models,
+        |url| corpus.pagerank.get(url).copied(),
+        1,
+        None,
+    ));
+    broker.weights = corpus.weights;
+    let reference: Vec<Vec<BrokerResult>> = workload
+        .iter()
+        .map(|q| broker.search(&Query::parse(q)))
+        .collect();
+
+    // Phase 1: QPS scaling across shard counts.
+    let mut scaling = Vec::new();
+    for shards in [1usize, 2, 4] {
+        eprintln!("[distributed] scaling: {shards} shard(s)…");
+        let mut cluster = launch(
+            &corpus,
+            shards,
+            ClusterConfig {
+                serve: bench_serve_config(),
+                hedge_after_micros: None,
+                chaos: None,
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let (samples, results, _) = run_workload(&cluster, workload);
+        let wall_micros = t0.elapsed().as_micros() as u64;
+        cluster.shutdown();
+        scaling.push(ShardScaling {
+            shards,
+            queries: workload.len(),
+            wall_micros,
+            qps: workload.len() as f64 / (wall_micros as f64 / 1e6).max(1e-9),
+            p50_micros: percentile(&samples, 0.50),
+            p99_micros: percentile(&samples, 0.99),
+            matches_single_process: results_identical(&results, &reference),
+        });
+    }
+
+    // Phase 2: slow shard 1, hedging off vs on.
+    let chaos = ProxyConfig::new(FaultPlan::new(FAULT_SEED).with_rule(FaultRule::matching(
+        "shard1/reply",
+        1.0,
+        Fault::Slow {
+            factor: SLOW_FACTOR,
+        },
+    )));
+    eprintln!("[distributed] fault cell: slow shard, hedging off…");
+    let mut slow_off = launch(
+        &corpus,
+        2,
+        ClusterConfig {
+            serve: bench_serve_config(),
+            hedge_after_micros: None,
+            chaos: Some(chaos.clone()),
+        },
+    );
+    let (off_samples, off_results, off_degraded) = run_workload(&slow_off, workload);
+    slow_off.shutdown();
+
+    eprintln!("[distributed] fault cell: slow shard, hedging on…");
+    let mut slow_on = launch(
+        &corpus,
+        2,
+        ClusterConfig {
+            serve: bench_serve_config(),
+            hedge_after_micros: Some(HEDGE_AFTER_MICROS),
+            chaos: Some(chaos),
+        },
+    );
+    let (on_samples, on_results, on_degraded) = run_workload(&slow_on, workload);
+    let hedges_fired = slow_on.hedges_fired();
+    slow_on.shutdown();
+
+    let fault = FaultCell {
+        shards: 2,
+        slow_factor: SLOW_FACTOR,
+        hedge_after_micros: HEDGE_AFTER_MICROS,
+        p99_hedge_off_micros: percentile(&off_samples, 0.99),
+        p99_hedge_on_micros: percentile(&on_samples, 0.99),
+        hedges_fired,
+        full_results: !off_degraded
+            && !on_degraded
+            && results_identical(&off_results, &reference)
+            && results_identical(&on_results, &reference),
+    };
+
+    // Phase 3: determinism — two independent launches, identical output.
+    eprintln!("[distributed] determinism: second 2-shard launch…");
+    let mut first = launch(
+        &corpus,
+        2,
+        ClusterConfig {
+            serve: bench_serve_config(),
+            hedge_after_micros: None,
+            chaos: None,
+        },
+    );
+    let (_, run_a, _) = run_workload(&first, workload);
+    first.shutdown();
+    let mut second = launch(
+        &corpus,
+        2,
+        ClusterConfig {
+            serve: bench_serve_config(),
+            hedge_after_micros: None,
+            chaos: None,
+        },
+    );
+    let (_, run_b, _) = run_workload(&second, workload);
+    second.shutdown();
+
+    DistributedData {
+        videos: videos as u64,
+        queries: workload.len() as u64,
+        scaling,
+        fault,
+        deterministic: results_identical(&run_a, &run_b),
+    }
+}
+
+impl DistributedData {
+    /// All correctness invariants hold: every shard count matched the
+    /// in-process broker, the fault cell kept full results, and two
+    /// launches agreed bit-for-bit.
+    pub fn all_consistent(&self) -> bool {
+        self.scaling.iter().all(|s| s.matches_single_process)
+            && self.fault.full_results
+            && self.deterministic
+    }
+
+    /// Renders the scaling table and the fault/hedging summary.
+    pub fn render(&self) -> String {
+        let mut t = TableFmt::new(vec![
+            "shards", "queries", "QPS", "p50 µs", "p99 µs", "= single",
+        ]);
+        for s in &self.scaling {
+            t.row(vec![
+                s.shards.to_string(),
+                s.queries.to_string(),
+                format!("{:.0}", s.qps),
+                format!("{:.1}", s.p50_micros),
+                format!("{:.1}", s.p99_micros),
+                if s.matches_single_process {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
+            ]);
+        }
+        format!(
+            "Distributed serving — doc-partitioned shards over TCP, {} queries\n{}\n\
+             slow-shard fault (x{:.0} on shard 1 replies): p99 {:.1} ms hedge-off \
+             → {:.1} ms hedge-on ({} hedges fired, full results: {})\n\
+             determinism across launches: {}\n",
+            self.queries,
+            t.render(),
+            self.fault.slow_factor,
+            self.fault.p99_hedge_off_micros / 1e3,
+            self.fault.p99_hedge_on_micros / 1e3,
+            self.fault.hedges_fired,
+            if self.fault.full_results { "yes" } else { "NO" },
+            if self.deterministic { "yes" } else { "NO" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criteria of the distributed subsystem at test scale:
+    /// bit-identical results for every shard count, hedging fires under a
+    /// slow shard without changing results, determinism across launches.
+    #[test]
+    fn distributed_meets_acceptance_criteria() {
+        let data = collect(10);
+        assert_eq!(data.scaling.len(), 3);
+        for s in &data.scaling {
+            assert!(
+                s.matches_single_process,
+                "{} shards diverged from the in-process broker",
+                s.shards
+            );
+            assert!(s.qps > 0.0);
+        }
+        assert!(
+            data.fault.hedges_fired > 0,
+            "a uniformly slow shard must trigger hedges"
+        );
+        assert!(data.fault.full_results, "hedging must not change results");
+        assert!(data.deterministic, "launches must agree bit-for-bit");
+        assert!(data.all_consistent());
+        assert!(data.render().contains("Distributed serving"));
+    }
+}

@@ -12,7 +12,7 @@ use ajax_crawl::crawler::CrawlConfig;
 use ajax_crawl::model::AppModel;
 use ajax_crawl::parallel::MpCrawler;
 use ajax_crawl::partition::partition_urls;
-use ajax_index::invert::{build_index_parallel, IndexBuilder, InvertedIndex};
+use ajax_index::invert::{build_index_parallel, planned_build_path, IndexBuilder, InvertedIndex};
 use ajax_index::query::{search, Query, RankWeights};
 use ajax_index::reference::{ref_search, RefIndex, RefIndexBuilder};
 use ajax_net::Server;
@@ -43,6 +43,11 @@ pub struct SitePerf {
     pub build_states_per_sec: f64,
     /// Same corpus through `build_index_parallel` with 4 segment builders.
     pub parallel_build_ms: f64,
+    /// Which path `build_index_parallel` actually took ("serial" when the
+    /// corpus is under the min-states threshold, "parallel" otherwise) —
+    /// small corpora fall back, so `parallel_build_ms` may be timing the
+    /// serial builder.
+    pub build_path: String,
     /// Pooled per-query wall latency over the 100-query workload.
     pub query_p50_micros: f64,
     pub query_p95_micros: f64,
@@ -151,6 +156,7 @@ fn measure_site(site: &str, models: &[AppModel], queries: &[Query]) -> SitePerf 
         build_ms: build_s * 1e3,
         build_states_per_sec: states as f64 / build_s.max(1e-12),
         parallel_build_ms: parallel_s * 1e3,
+        build_path: planned_build_path(&refs, None, 4).as_str().to_string(),
         query_p50_micros: percentile(&mut samples, 0.50),
         query_p95_micros: percentile(&mut samples, 0.95),
         total_results,
@@ -233,6 +239,7 @@ impl IndexPerfData {
             "build ms",
             "states/s",
             "par ms",
+            "path",
             "q p50 µs",
             "q p95 µs",
             "results",
@@ -248,6 +255,7 @@ impl IndexPerfData {
                 format!("{:.2}", s.build_ms),
                 format!("{:.0}", s.build_states_per_sec),
                 format!("{:.2}", s.parallel_build_ms),
+                s.build_path.clone(),
                 format!("{:.1}", s.query_p50_micros),
                 format!("{:.1}", s.query_p95_micros),
                 s.total_results.to_string(),
@@ -290,6 +298,8 @@ mod tests {
             assert!(s.bytes_per_state > 0.0);
             assert!(s.build_states_per_sec > 0.0);
             assert!(s.query_p95_micros >= s.query_p50_micros);
+            // 6 pages is far below the min-states threshold.
+            assert_eq!(s.build_path, "serial");
         }
         assert!(data.kernel.speedup > 0.0);
         assert!(data.render().contains("kernel speedup"));

@@ -1,0 +1,100 @@
+//! Typed errors for cluster setup and the shard binary — the user-facing
+//! replacements for the socket-setup panics the serve CLI used to have.
+
+use std::fmt;
+use std::net::SocketAddr;
+
+/// Why a shard, transport, or cluster could not be brought up.
+#[derive(Debug)]
+pub enum DistError {
+    /// Binding the shard listener failed. `AddrInUse` gets an actionable
+    /// message naming the port and the `--port` flag.
+    Bind {
+        host: String,
+        port: u16,
+        source: std::io::Error,
+    },
+    /// Connecting to a shard (or its proxy) failed after retries.
+    Connect {
+        addr: SocketAddr,
+        source: std::io::Error,
+    },
+    /// The shard answered the handshake with something unexpected.
+    Handshake { addr: SocketAddr, detail: String },
+    /// Spawning or initializing a shard child process failed.
+    Spawn(String),
+    /// A configuration value was rejected before any socket was touched.
+    InvalidConfig(String),
+    /// Any other I/O failure (index save/load for child processes, …).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Bind { host, port, source } => {
+                if source.kind() == std::io::ErrorKind::AddrInUse {
+                    write!(
+                        f,
+                        "port {port} on {host} is already in use; \
+                         pass --port to choose a different one"
+                    )
+                } else {
+                    write!(f, "cannot bind {host}:{port}: {source}")
+                }
+            }
+            DistError::Connect { addr, source } => {
+                write!(f, "cannot connect to shard at {addr}: {source}")
+            }
+            DistError::Handshake { addr, detail } => {
+                write!(f, "handshake with shard at {addr} failed: {detail}")
+            }
+            DistError::Spawn(detail) => write!(f, "cannot spawn shard process: {detail}"),
+            DistError::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
+            DistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Bind { source, .. } | DistError::Connect { source, .. } => Some(source),
+            DistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_in_use_message_names_port_and_flag() {
+        let err = DistError::Bind {
+            host: "127.0.0.1".into(),
+            port: 7700,
+            source: std::io::Error::from(std::io::ErrorKind::AddrInUse),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("7700"), "message names the port: {msg}");
+        assert!(msg.contains("--port"), "message suggests --port: {msg}");
+    }
+
+    #[test]
+    fn other_bind_errors_keep_the_source() {
+        let err = DistError::Bind {
+            host: "127.0.0.1".into(),
+            port: 80,
+            source: std::io::Error::from(std::io::ErrorKind::PermissionDenied),
+        };
+        assert!(err.to_string().contains("cannot bind 127.0.0.1:80"));
+    }
+}

@@ -1,0 +1,271 @@
+//! The shard wire protocol: length-prefixed frames on localhost TCP.
+//!
+//! A frame is `[u32 LE: frame length][u8: kind][JSON payload]`, where the
+//! length covers the kind byte plus the payload. The kind byte discriminates
+//! message types (the vendored serde derive handles plain structs, so the
+//! discriminant lives outside the JSON rather than in a tagged enum); the
+//! payload is the serde-JSON encoding of the matching payload struct, empty
+//! for `Ping`.
+//!
+//! JSON is a deliberate choice over a hand-rolled binary encoding: the
+//! vendored `serde_json` round-trips `f64` bit-exactly (shortest-roundtrip
+//! formatting), which is what lets the coordinator's merged scores stay
+//! bit-identical to single-process serving. Frames are small — a query is a
+//! handful of terms, a reply is the shard's matching results — and the
+//! framing itself is binary, so parsing never scans for delimiters.
+//!
+//! Request/response correlation is by explicit `id`: the coordinator
+//! pipelines many `Eval` frames down one connection and the shard may
+//! interleave replies from its evaluation threads in any order.
+
+use ajax_index::{Query, RankWeights, ShardResult, ShardTermStats};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Protocol version, exchanged in [`ShardInfo`] at handshake.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Upper bound on a frame body; anything larger means a corrupt or hostile
+/// peer and is refused before allocation.
+pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+const KIND_EVAL: u8 = 1;
+const KIND_REPLY: u8 = 2;
+const KIND_PING: u8 = 3;
+const KIND_PONG: u8 = 4;
+const KIND_ERROR: u8 = 5;
+
+/// Coordinator → shard: evaluate `query` under `weights`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRequest {
+    /// Correlation id, echoed in the reply.
+    pub id: u64,
+    pub query: Query,
+    pub weights: RankWeights,
+}
+
+/// Shard → coordinator: the local results plus the term stats the merger
+/// needs for global idf (df per term, shard state count) — the "idf
+/// exchange" travels with every reply, so the coordinator never caches
+/// stale statistics across reloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReply {
+    pub id: u64,
+    pub results: Vec<ShardResult>,
+    pub stats: ShardTermStats,
+}
+
+/// Shard → coordinator at handshake (`Pong`): identity and index shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    pub shard_id: u64,
+    pub proto_version: u64,
+    /// `|Idx_i|` — used for diagnostics; the authoritative value for merging
+    /// always comes per-reply in [`EvalReply::stats`].
+    pub total_states: u64,
+    pub index_bytes: u64,
+    pub term_count: u64,
+}
+
+/// Shard → coordinator: the request with this `id` could not be evaluated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    pub id: u64,
+    pub message: String,
+}
+
+/// One protocol message, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    Eval(EvalRequest),
+    Reply(EvalReply),
+    Ping,
+    Pong(ShardInfo),
+    Error(WireError),
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes one frame. Not atomic across callers — writers serialize access
+/// (the transport holds a per-connection write lock).
+pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    let (kind, payload) = match msg {
+        Message::Eval(m) => (KIND_EVAL, serde_json::to_string(m)),
+        Message::Reply(m) => (KIND_REPLY, serde_json::to_string(m)),
+        Message::Ping => (KIND_PING, Ok(String::new())),
+        Message::Pong(m) => (KIND_PONG, serde_json::to_string(m)),
+        Message::Error(m) => (KIND_ERROR, serde_json::to_string(m)),
+    };
+    let payload = payload.map_err(|e| invalid(format!("encode frame: {e:?}")))?;
+    let len = 1 + payload.len() as u32;
+    // One write per frame: header and payload coalesced so the kernel sees a
+    // single segment (three small writes would hit Nagle + delayed-ACK
+    // stalls of ~40 ms each on localhost).
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.push(kind);
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame, blocking. `Err(UnexpectedEof)` on clean connection
+/// close at a frame boundary.
+pub fn read_message(r: &mut impl Read) -> io::Result<Message> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(invalid("zero-length frame".to_string()));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid(format!("frame of {len} bytes exceeds limit")));
+    }
+    let mut kind = [0u8; 1];
+    r.read_exact(&mut kind)?;
+    let mut payload = vec![0u8; len as usize - 1];
+    r.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|_| invalid("frame payload is not UTF-8".to_string()))?;
+    let decode_err = |e: serde_json::Error| invalid(format!("decode frame: {e:?}"));
+    match kind[0] {
+        KIND_EVAL => Ok(Message::Eval(
+            serde_json::from_str(text).map_err(decode_err)?,
+        )),
+        KIND_REPLY => Ok(Message::Reply(
+            serde_json::from_str(text).map_err(decode_err)?,
+        )),
+        KIND_PING => Ok(Message::Ping),
+        KIND_PONG => Ok(Message::Pong(
+            serde_json::from_str(text).map_err(decode_err)?,
+        )),
+        KIND_ERROR => Ok(Message::Error(
+            serde_json::from_str(text).map_err(decode_err)?,
+        )),
+        other => Err(invalid(format!("unknown frame kind {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_index::DocKey;
+
+    fn round_trip(msg: Message) -> Message {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &msg).unwrap();
+        let decoded = read_message(&mut buf.as_slice()).unwrap();
+        decoded
+    }
+
+    #[test]
+    fn eval_round_trips() {
+        let msg = Message::Eval(EvalRequest {
+            id: 42,
+            query: Query::parse("Morcheeba Enjoy the Ride"),
+            weights: RankWeights::default(),
+        });
+        assert_eq!(round_trip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn reply_round_trips_score_bits_exactly() {
+        // Scores that stress shortest-roundtrip float formatting: merge-time
+        // fusion relies on these bits surviving the wire unchanged.
+        let scores = [0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 1e-300, 123.456e37];
+        for (i, &score) in scores.iter().enumerate() {
+            let msg = Message::Reply(EvalReply {
+                id: i as u64,
+                results: vec![ShardResult {
+                    shard: 3,
+                    url: "http://v/watch?v=1".into(),
+                    doc: DocKey {
+                        page: 7,
+                        state: ajax_crawl::StateId(9),
+                    },
+                    base_score: score,
+                    tfs: vec![score * 0.5, score],
+                }],
+                stats: ShardTermStats {
+                    total_states: 1000,
+                    df: vec![17, 0],
+                },
+            });
+            let Message::Reply(decoded) = round_trip(msg) else {
+                panic!("wrong kind")
+            };
+            assert_eq!(
+                decoded.results[0].base_score.to_bits(),
+                score.to_bits(),
+                "bit-exact f64 round-trip for {score}"
+            );
+            assert_eq!(decoded.results[0].tfs[1].to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        assert_eq!(round_trip(Message::Ping), Message::Ping);
+        let pong = Message::Pong(ShardInfo {
+            shard_id: 2,
+            proto_version: PROTO_VERSION,
+            total_states: 5000,
+            index_bytes: 1 << 20,
+            term_count: 31337,
+        });
+        assert_eq!(round_trip(pong.clone()), pong);
+    }
+
+    #[test]
+    fn error_round_trips() {
+        let msg = Message::Error(WireError {
+            id: 9,
+            message: "evaluation panicked".into(),
+        });
+        assert_eq!(round_trip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_sequence() {
+        let mut buf = Vec::new();
+        for id in 0..5u64 {
+            write_message(
+                &mut buf,
+                &Message::Eval(EvalRequest {
+                    id,
+                    query: Query::parse("wow"),
+                    weights: RankWeights::default(),
+                }),
+            )
+            .unwrap();
+        }
+        let mut cursor = buf.as_slice();
+        for id in 0..5u64 {
+            let Message::Eval(req) = read_message(&mut cursor).unwrap() else {
+                panic!("wrong kind")
+            };
+            assert_eq!(req.id, id);
+        }
+        assert!(read_message(&mut cursor).is_err(), "EOF after last frame");
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_are_refused() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        oversized.push(KIND_PING);
+        assert!(read_message(&mut oversized.as_slice()).is_err());
+
+        let mut unknown = Vec::new();
+        unknown.extend_from_slice(&2u32.to_le_bytes());
+        unknown.push(200);
+        unknown.push(b'x');
+        assert!(read_message(&mut unknown.as_slice()).is_err());
+
+        let mut zero = Vec::new();
+        zero.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_message(&mut zero.as_slice()).is_err());
+    }
+}

@@ -23,17 +23,24 @@
 //! # Build in memory and serve queries concurrently (stdin or a workload
 //! # file, one query per line); prints a metrics snapshot at EOF:
 //! ajax-search serve --videos 60 --workers 2 --workload queries.txt
+//!
+//! # Distributed serving: fork 2 shard processes, run the Table 7.4 query
+//! # workload through the coordinator, and verify every response is
+//! # bit-identical to single-process evaluation:
+//! ajax-search serve --videos 40 --distributed 2 --table74 --verify-single
 //! ```
 
 use ajax_crawl::crawler::RetryPolicy;
+use ajax_dist::{partition_models, ClusterConfig, DistCluster};
 use ajax_engine::{analyze_site, AjaxSearchEngine, BuildReport, EngineConfig};
 use ajax_index::invert::IndexBuilder;
 use ajax_index::persist::{load_index, save_index};
 use ajax_index::query::{search, Query, RankWeights};
+use ajax_index::BrokerResult;
 use ajax_net::{FaultPlan, Server, Url};
 use ajax_obs::{chrome_trace_json_named, ProfileRollup};
 use ajax_serve::ServeConfig;
-use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+use ajax_webgen::{query_workload, NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -44,6 +51,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         _ => {
             eprintln!(
@@ -56,6 +64,9 @@ fn main() -> ExitCode {
                  \u{20}      ajax-search demo\n\
                  \u{20}      ajax-search serve [--videos N] [--workers W] [--cache N] \
                  [--max-in-flight N] [--deadline-ms N] [--workload FILE]\n\
+                 \u{20}                  [--distributed N] [--port BASE] [--hedge-ms N]\n\
+                 \u{20}                  [--table74] [--verify-single]\n\
+                 \u{20}      ajax-search shard --index FILE [--shard-id I] [--port N]\n\
                  \u{20}      ajax-search analyze [--videos N] [--site vidshare|news] [--json]"
             );
             return ExitCode::from(2);
@@ -357,23 +368,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
 
+    let distributed: Option<usize> = flag_value(args, "--distributed")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--distributed must be a number".to_string())
+        })
+        .transpose()?;
+    if distributed == Some(0) {
+        return Err("--distributed needs at least 1 shard".to_string());
+    }
+
     let spec = VidShareSpec::small(videos);
     let start = Url::parse(&spec.watch_url(0));
     let site = Arc::new(VidShareServer::new(spec));
     eprintln!("building AJAX index over {videos} videos…");
-    let engine = AjaxSearchEngine::build(site, &start, EngineConfig::ajax(videos as usize));
+    let mut engine_config = EngineConfig::ajax(videos as usize);
+    // Distributed mode re-partitions the crawled models itself, so keep them.
+    engine_config.keep_models = distributed.is_some();
+    let engine = AjaxSearchEngine::build(site, &start, engine_config);
+
+    let serve_config = ServeConfig::default()
+        .with_workers_per_shard(workers)
+        .with_cache_capacity(cache)
+        .with_max_in_flight(max_in_flight)
+        .with_deadline_micros(deadline_ms.map(|ms| ms * 1_000));
+
+    if let Some(shards) = distributed {
+        return serve_distributed(args, engine, shards, serve_config);
+    }
+
     eprintln!(
         "serving {} states over {} shards ({} workers, cache {cache}, max in-flight {max_in_flight})",
         engine.report.total_states, engine.report.shards, engine.report.shards * workers,
     );
-
-    let server = engine.into_server(
-        ServeConfig::default()
-            .with_workers_per_shard(workers)
-            .with_cache_capacity(cache)
-            .with_max_in_flight(max_in_flight)
-            .with_deadline_micros(deadline_ms.map(|ms| ms * 1_000)),
-    );
+    let server = engine.into_server(serve_config);
 
     let input: Box<dyn BufRead> = match flag_value(args, "--workload") {
         Some(path) => Box::new(std::io::BufReader::new(
@@ -387,35 +415,208 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         if text.is_empty() {
             continue;
         }
-        match server.search(text) {
-            Ok(resp) => {
-                let tag = if resp.from_cache {
-                    " [cached]"
-                } else if resp.degraded {
-                    " [degraded]"
-                } else {
-                    ""
-                };
-                println!(
-                    "{} results for {text:?} in {:.3} ms{tag}",
-                    resp.results.len(),
-                    resp.latency_micros as f64 / 1e3
-                );
-                for (rank, r) in resp.results.iter().take(3).enumerate() {
-                    println!(
-                        "{:>3}. {:.4}  {}  state {}",
-                        rank + 1,
-                        r.score,
-                        r.url,
-                        r.doc.state
-                    );
-                }
-            }
-            Err(e) => println!("shed {text:?}: {e}"),
-        }
+        print_response(&server, text, None)?;
     }
 
     println!("{}", server.metrics_json());
+    Ok(())
+}
+
+/// Runs one query through `server`, printing the top-3; when `single` is
+/// given (a retained in-process engine), additionally verifies the response
+/// is bit-identical to single-process evaluation.
+fn print_response(
+    server: &ajax_serve::ShardServer,
+    text: &str,
+    single: Option<&AjaxSearchEngine>,
+) -> Result<(), String> {
+    match server.search(text) {
+        Ok(resp) => {
+            let tag = if resp.from_cache {
+                " [cached]"
+            } else if resp.degraded {
+                " [degraded]"
+            } else {
+                ""
+            };
+            println!(
+                "{} results for {text:?} in {:.3} ms{tag}",
+                resp.results.len(),
+                resp.latency_micros as f64 / 1e3
+            );
+            for (rank, r) in resp.results.iter().take(3).enumerate() {
+                println!(
+                    "{:>3}. {:.4}  {}  state {}",
+                    rank + 1,
+                    r.score,
+                    r.url,
+                    r.doc.state
+                );
+            }
+            if let Some(engine) = single {
+                let reference = engine.search(text);
+                if let Some(diff) = diff_results(&resp.results, &reference) {
+                    return Err(format!(
+                        "--verify-single: {text:?} diverges from single-process \
+                         evaluation: {diff}"
+                    ));
+                }
+            }
+        }
+        Err(e) => println!("shed {text:?}: {e}"),
+    }
+    Ok(())
+}
+
+/// Compares a distributed response against single-process results:
+/// bit-identical means same documents, same order, same score bits. The
+/// `shard` field and `doc.page` (an index into the owning partition's page
+/// table) are partition-relative provenance and legitimately differ between
+/// partitionings; the partition-invariant document identity is
+/// `(url, doc.state)`.
+fn diff_results(got: &[BrokerResult], want: &[BrokerResult]) -> Option<String> {
+    if got.len() != want.len() {
+        return Some(format!("{} results vs {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        if g.url != w.url || g.doc.state != w.doc.state {
+            return Some(format!(
+                "rank {i}: {} state {} vs {} state {}",
+                g.url, g.doc.state, w.url, w.doc.state
+            ));
+        }
+        if g.score.to_bits() != w.score.to_bits() {
+            return Some(format!(
+                "rank {i}: score bits differ ({:.17e} vs {:.17e})",
+                g.score, w.score
+            ));
+        }
+    }
+    None
+}
+
+/// The `serve --distributed N` path: re-partition the crawled models into
+/// `shards` contiguous chunks, fork one `ajax-search shard` child per chunk,
+/// and coordinate queries over TCP. The engine stays alive for
+/// `--verify-single` comparisons.
+fn serve_distributed(
+    args: &[String],
+    engine: AjaxSearchEngine,
+    shards: usize,
+    serve_config: ServeConfig,
+) -> Result<(), String> {
+    use std::io::BufRead;
+
+    let base_port: Option<u16> = flag_value(args, "--port")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--port must be a port number".to_string())
+        })
+        .transpose()?;
+    let hedge_after_micros: Option<u64> = flag_value(args, "--hedge-ms")
+        .map(|v| {
+            v.parse::<u64>()
+                .map(|ms| ms * 1_000)
+                .map_err(|_| "--hedge-ms must be a number".to_string())
+        })
+        .transpose()?;
+    let verify_single = has_flag(args, "--verify-single");
+
+    let partitions = partition_models(
+        &engine.models,
+        |url| engine.graph.pagerank.get(url).copied(),
+        shards,
+        None,
+    );
+    let exe = std::env::current_exe().map_err(|e| format!("locate own binary: {e}"))?;
+    eprintln!(
+        "forking {shards} shard processes ({} states total)…",
+        engine.report.total_states
+    );
+    let mut cluster = DistCluster::launch_processes(
+        &exe,
+        partitions,
+        engine.weights(),
+        ClusterConfig {
+            serve: serve_config,
+            hedge_after_micros,
+            chaos: None,
+        },
+        base_port,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "coordinator up: {} shards, {} states via transport",
+        cluster.shard_count(),
+        cluster.server.total_states(),
+    );
+
+    let single = verify_single.then_some(&engine);
+    let mut queries = 0usize;
+    if has_flag(args, "--table74") {
+        // The thesis' Table 7.4 workload: 100 queries over the synthetic
+        // sites' phrase pool.
+        for spec in query_workload() {
+            print_response(&cluster.server, &spec.text, single)?;
+            queries += 1;
+        }
+    } else {
+        let input: Box<dyn BufRead> = match flag_value(args, "--workload") {
+            Some(path) => Box::new(std::io::BufReader::new(
+                std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?,
+            )),
+            None => Box::new(std::io::BufReader::new(std::io::stdin())),
+        };
+        for line in input.lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            print_response(&cluster.server, text, single)?;
+            queries += 1;
+        }
+    }
+
+    println!("{}", cluster.server.metrics_json());
+    if verify_single {
+        eprintln!("verified {queries} responses bit-identical to single-process serve");
+    }
+    cluster.shutdown();
+    Ok(())
+}
+
+/// Process-mode shard server: load one index partition and answer queries
+/// over the wire until killed. Prints `LISTENING <addr>` on stdout once
+/// bound — the coordinator parses this to learn ephemeral ports.
+fn cmd_shard(args: &[String]) -> Result<(), String> {
+    use std::io::Write;
+
+    let path = flag_value(args, "--index").ok_or("--index FILE is required")?;
+    let shard_id: usize = flag_value(args, "--shard-id")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "--shard-id must be a number".to_string())?;
+    let port: u16 = flag_value(args, "--port")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "--port must be a port number".to_string())?;
+
+    let index = load_index(path).map_err(|e| e.to_string())?;
+    let listener = ajax_dist::bind_shard("127.0.0.1", port).map_err(|e| e.to_string())?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("shard listener address: {e}"))?;
+    println!("LISTENING {addr}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flush banner: {e}"))?;
+    eprintln!(
+        "shard {shard_id}: {} states / {} terms on {addr}",
+        index.total_states,
+        index.term_count()
+    );
+    ajax_dist::serve_shard(listener, Arc::new(index), shard_id);
     Ok(())
 }
 

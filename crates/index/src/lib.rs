@@ -43,7 +43,8 @@ pub mod tokenize;
 pub use aggregate::{locate_terms, ElementHit};
 pub use dict::{TermDict, TermId};
 pub use invert::{
-    build_index_parallel, DocKey, IndexBuilder, InvertedIndex, PostingList, PostingRef,
+    build_index_parallel, build_index_with_path, planned_build_path, BuildPath, DocKey,
+    IndexBuilder, InvertedIndex, PostingList, PostingRef, PARALLEL_BUILD_MIN_STATES,
 };
 pub use kernel::ScoreScratch;
 pub use persist::{

@@ -183,10 +183,18 @@ fn parallel_build_searches_identically() {
     let refs: Vec<(&AppModel, Option<f64>)> =
         models.iter().map(|m| (m, Some(1.0 / 17.0))).collect();
     let sequential = build_new(&models);
-    let parallel = build_index_parallel(&refs, None, 4);
+    // Force the parallel path (this corpus is under the min-states
+    // threshold) so segment-merge equivalence stays pinned end to end.
+    let parallel =
+        ajax_index::build_index_with_path(&refs, None, 4, ajax_index::BuildPath::Parallel);
     assert_eq!(
         sequential, parallel,
         "canonical layout must make builds structurally equal"
+    );
+    assert_eq!(
+        sequential,
+        build_index_parallel(&refs, None, 4),
+        "the threshold-aware entry point must agree with both"
     );
     let w = RankWeights::default();
     for q in QUERIES {

@@ -19,6 +19,10 @@
 //!   transient/permanent errors, latency spikes) layered onto the client;
 //!   every fault decision is a pure function of `(seed, url, attempt)` so
 //!   degraded-mode experiments stay bit-reproducible.
+//! * [`FaultProxy`] — the same deterministic fault decisions applied to
+//!   *real* localhost TCP: a forwarding proxy used to chaos-test the
+//!   distributed serving tier (`ajax-dist`) with connection refusals, slow
+//!   transfers, and mid-stream drops.
 //! * [`sched`] — a discrete-event executor that replays per-page CPU/network
 //!   traces over *k* "process lines" sharing *m* CPU cores: the virtual-time
 //!   model of the parallel crawler (thesis ch. 6, Table 7.3 / Fig 7.8).
@@ -28,6 +32,7 @@ pub mod clock;
 pub mod fault;
 pub mod latency;
 pub mod network;
+pub mod proxy;
 pub mod sched;
 pub mod server;
 pub mod url;
@@ -36,6 +41,7 @@ pub use clock::{Micros, SimClock};
 pub use fault::{Fault, FaultDecision, FaultPlan, FaultRule, NetError};
 pub use latency::LatencyModel;
 pub use network::{NetClient, NetStats};
+pub use proxy::{FaultProxy, ProxyConfig};
 pub use sched::{simulate, Segment, SimReport, Task};
 pub use server::{Request, Response, Server};
 pub use url::Url;

@@ -1,0 +1,339 @@
+//! A chaos proxy: [`FaultPlan`] over real TCP.
+//!
+//! The crawl-side fault machinery ([`crate::fault`]) injects failures into
+//! the *simulated* network. Distributed serving (`ajax-dist`) runs over real
+//! localhost sockets, so chaos testing needs the same deterministic
+//! decisions applied to actual byte streams: [`FaultProxy`] listens on an
+//! ephemeral port, forwards every accepted connection to one upstream
+//! address, and consults a `FaultPlan` at two points:
+//!
+//! * **at accept** — decision for `fault://<label>/accept` with the
+//!   connection ordinal as the attempt. `Fail`/`Drop` close the client
+//!   immediately (connect storms, dead shards); `Timeout` accepts but never
+//!   forwards (a black-holed shard); `Transient` rules make the first N
+//!   connections fail and later ones succeed — exactly what reconnect
+//!   backoff needs.
+//! * **per reply chunk** — decision for `fault://<label>/reply` with a
+//!   per-connection chunk ordinal, applied to the upstream→client direction.
+//!   `Slow { factor }` sleeps `slow_chunk_micros × (factor − 1)` before
+//!   forwarding the chunk (a slow transfer); `Drop`/`Timeout`/`Fail` sever
+//!   the connection mid-transfer.
+//!
+//! Decisions come from the same pure `(seed, rule, url, attempt)` roll as
+//! the simulated network, so a given plan produces the same fault sequence
+//! on every run. Sleeps are real wall time — this is a latency-injection
+//! tool for p99 experiments, not a virtual-clock model.
+
+use crate::fault::{FaultDecision, FaultPlan};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a [`FaultProxy`] interprets its plan.
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// The deterministic fault schedule.
+    pub plan: FaultPlan,
+    /// Nominal per-chunk transfer time used to scale `Slow { factor }`
+    /// faults: a slowed chunk is delayed `slow_chunk_micros × (factor − 1)`.
+    pub slow_chunk_micros: u64,
+}
+
+impl ProxyConfig {
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            slow_chunk_micros: 500,
+        }
+    }
+
+    pub fn with_slow_chunk_micros(mut self, micros: u64) -> Self {
+        self.slow_chunk_micros = micros;
+        self
+    }
+}
+
+/// A live chaos proxy in front of one upstream address. Dropping (or
+/// calling [`FaultProxy::shutdown`]) stops the accept loop; in-flight
+/// forwarders die with their connections.
+pub struct FaultProxy {
+    /// The address clients should connect to instead of the upstream.
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral localhost port and starts proxying to `upstream`.
+    /// `label` scopes the plan's URL patterns: decisions are rolled for
+    /// `fault://<label>/accept` and `fault://<label>/reply`, so one plan can
+    /// target individual shards (`FaultRule::matching("shard1/reply", …)`).
+    pub fn spawn(
+        upstream: SocketAddr,
+        label: impl Into<String>,
+        config: ProxyConfig,
+    ) -> std::io::Result<Self> {
+        let label = label.into();
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("fault-proxy-{label}"))
+                .spawn(move || accept_loop(listener, upstream, &label, &config, &shutdown))?
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// Stops accepting new connections (idempotent). Established
+    /// connections keep flowing until either side closes.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    label: &str,
+    config: &ProxyConfig,
+    shutdown: &AtomicBool,
+) {
+    let accept_url = format!("fault://{label}/accept");
+    let reply_url = format!("fault://{label}/reply");
+    let mut conn_no: u32 = 0;
+    loop {
+        let Ok((client, _)) = listener.accept() else {
+            return;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let decision = config.plan.decide(&accept_url, conn_no);
+        conn_no = conn_no.wrapping_add(1);
+        match decision {
+            FaultDecision::Fail { .. } | FaultDecision::Drop => {
+                // Refused at the door: the client sees an immediate close.
+                drop(client);
+            }
+            FaultDecision::Timeout => {
+                // Black hole: hold the connection open, forward nothing.
+                std::thread::spawn(move || {
+                    let mut sink = [0u8; 4096];
+                    let mut client = client;
+                    while matches!(client.read(&mut sink), Ok(n) if n > 0) {}
+                });
+            }
+            FaultDecision::None | FaultDecision::Slow { .. } => {
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    drop(client);
+                    continue;
+                };
+                // Forward each chunk immediately — Nagle on either hop would
+                // add artificial, un-planned latency on top of the plan's.
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                forward_pair(client, server, &reply_url, config);
+            }
+        }
+    }
+}
+
+/// Spawns the two forwarding directions for one proxied connection.
+/// Requests (client→upstream) pass through untouched; replies
+/// (upstream→client) go through the per-chunk fault roll.
+fn forward_pair(client: TcpStream, server: TcpStream, reply_url: &str, config: &ProxyConfig) {
+    let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    std::thread::spawn(move || copy_until_eof(client_rd, server));
+    let reply_url = reply_url.to_string();
+    let plan = config.plan.clone();
+    let slow_chunk_micros = config.slow_chunk_micros;
+    std::thread::spawn(move || {
+        forward_replies(server_rd, client, &reply_url, &plan, slow_chunk_micros)
+    });
+}
+
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+fn forward_replies(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    reply_url: &str,
+    plan: &FaultPlan,
+    slow_chunk_micros: u64,
+) {
+    let mut buf = [0u8; 64 * 1024];
+    let mut chunk_no: u32 = 0;
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                let decision = plan.decide(reply_url, chunk_no);
+                chunk_no = chunk_no.wrapping_add(1);
+                match decision {
+                    FaultDecision::Slow { factor } => {
+                        let delay = (slow_chunk_micros as f64 * (factor - 1.0).max(0.0)) as u64;
+                        std::thread::sleep(Duration::from_micros(delay));
+                    }
+                    FaultDecision::Drop | FaultDecision::Timeout | FaultDecision::Fail { .. } => {
+                        // Sever mid-transfer; both sides see a dead socket.
+                        break;
+                    }
+                    FaultDecision::None => {}
+                }
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(Shutdown::Both);
+    let _ = from.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{Fault, FaultRule};
+
+    /// An upstream that echoes each received chunk back, doubled.
+    fn spawn_echo() -> SocketAddr {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { return };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 {
+                            return;
+                        }
+                        let mut doubled = Vec::with_capacity(n * 2);
+                        doubled.extend_from_slice(&buf[..n]);
+                        doubled.extend_from_slice(&buf[..n]);
+                        if stream.write_all(&doubled).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    fn round_trip(addr: SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(payload)?;
+        let mut out = vec![0u8; payload.len() * 2];
+        stream.read_exact(&mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn empty_plan_forwards_transparently() {
+        let upstream = spawn_echo();
+        let proxy =
+            FaultProxy::spawn(upstream, "echo", ProxyConfig::new(FaultPlan::new(1))).unwrap();
+        let out = round_trip(proxy.addr, b"hello").unwrap();
+        assert_eq!(&out, b"hellohello");
+    }
+
+    #[test]
+    fn accept_faults_close_connections_deterministically() {
+        let upstream = spawn_echo();
+        let plan = FaultPlan::new(3).with_rule(FaultRule::matching(
+            "/accept",
+            1.0,
+            Fault::Flaky { status: 503 },
+        ));
+        let mut proxy = FaultProxy::spawn(upstream, "dead", ProxyConfig::new(plan)).unwrap();
+        // Every connection is refused: writes may land in the socket buffer,
+        // but the echo never comes back.
+        let err = round_trip(proxy.addr, b"hi");
+        assert!(err.is_err(), "refused connection cannot echo");
+        proxy.shutdown();
+        proxy.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn transient_accept_fault_recovers_for_later_connections() {
+        let upstream = spawn_echo();
+        // First 2 connections per the transient rule fail, later ones work —
+        // the shape reconnect backoff relies on.
+        let plan = FaultPlan::new(5).with_rule(FaultRule::matching(
+            "/accept",
+            1.0,
+            Fault::Transient {
+                status: 503,
+                fail_attempts: 2,
+            },
+        ));
+        let proxy = FaultProxy::spawn(upstream, "s0", ProxyConfig::new(plan)).unwrap();
+        let mut failures = 0;
+        for _ in 0..2 {
+            if round_trip(proxy.addr, b"x").is_err() {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 2, "first two connections are refused");
+        let out = round_trip(proxy.addr, b"back").unwrap();
+        assert_eq!(&out, b"backback");
+    }
+
+    #[test]
+    fn slow_fault_delays_replies_without_corrupting_them() {
+        let upstream = spawn_echo();
+        let plan = FaultPlan::new(7).with_rule(FaultRule::matching(
+            "/reply",
+            1.0,
+            Fault::Slow { factor: 11.0 },
+        ));
+        let config = ProxyConfig::new(plan).with_slow_chunk_micros(2_000);
+        let proxy = FaultProxy::spawn(upstream, "slow", config).unwrap();
+        let start = std::time::Instant::now();
+        let out = round_trip(proxy.addr, b"payload").unwrap();
+        assert_eq!(&out, b"payloadpayload");
+        // 2000 µs × (11 − 1) = 20 ms minimum injected delay.
+        assert!(
+            start.elapsed() >= Duration::from_millis(15),
+            "slow fault must inject measurable delay, took {:?}",
+            start.elapsed()
+        );
+    }
+}

@@ -18,7 +18,11 @@
 //!   [`clock`]) and a partial-results mode that merges whatever shards
 //!   answered in time, flagging the response as degraded;
 //! * **metrics registry** ([`metrics`]) — lock-free counters and a latency
-//!   histogram (p50/p95/p99), exposed as a serde-serializable snapshot.
+//!   histogram (p50/p95/p99), exposed as a serde-serializable snapshot;
+//! * **shard transport seam** ([`transport`]) — per-shard evaluation sits
+//!   behind the [`ShardTransport`] trait, so the same server fronts local
+//!   worker pools or remote shard *processes* (`ajax-dist`) without
+//!   changing any edge logic.
 //!
 //! The worker path reuses [`ajax_index::eval_shard`] and
 //! [`ajax_index::merge_shard_outputs`] — the exact two halves
@@ -31,8 +35,10 @@ pub mod clock;
 pub mod metrics;
 pub(crate) mod pool;
 pub mod server;
+pub mod transport;
 
 pub use cache::QueryCache;
 pub use clock::{ManualClock, ServeClock};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use server::{ServeConfig, ServeError, ServeResponse, ShardServer};
+pub use transport::{Rendezvous, ShardOutcome, ShardTransport, TransportError};

@@ -1,12 +1,12 @@
-//! Per-shard worker pools and the reply rendezvous.
+//! In-process shard worker pools — the local [`ShardTransport`].
 //!
 //! Each shard owns one MPMC job queue (`Mutex<VecDeque>` + `Condvar`)
-//! consumed by `workers_per_shard` OS threads. Submitting a query pushes one
-//! job per shard; each worker runs [`ajax_index::eval_shard`] against its
-//! shard's current index and delivers the reply into a per-query
-//! [`ReplyState`] slot indexed by shard, where the calling thread collects
-//! them **in shard order** before merging — preserving the sequential
-//! broker's summation order exactly.
+//! consumed by `workers_per_shard` OS threads. [`PoolTransport::ship`]
+//! pushes one job per shard; each worker runs [`ajax_index::eval_shard`]
+//! against its shard's current index and delivers the outcome into the
+//! per-query [`Rendezvous`] slot indexed by shard, where the calling thread
+//! collects them **in shard order** before merging — preserving the
+//! sequential broker's summation order exactly.
 //!
 //! Workers always deliver *something* for every job they pop — a result, a
 //! `TimedOut` marker when the job's deadline already passed, or `Failed` if
@@ -14,95 +14,15 @@
 
 use crate::clock::ServeClock;
 use crate::metrics::Metrics;
-use ajax_index::{eval_shard, InvertedIndex, Query, RankWeights, ShardResult, ShardTermStats};
+use crate::server::ServeConfig;
+use crate::transport::{Rendezvous, ShardOutcome, ShardTransport, TransportError};
+use ajax_index::{eval_shard, InvertedIndex, Query, RankWeights};
 use ajax_net::Micros;
 use ajax_obs::{AttrValue, SpanLog};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-
-/// What a shard worker sends back for one job.
-#[derive(Debug)]
-pub(crate) enum ShardReply {
-    Evaluated(Vec<ShardResult>, ShardTermStats),
-    /// The job's deadline had already passed when a worker picked it up.
-    TimedOut,
-    /// Evaluation panicked (treated like a missed shard).
-    Failed,
-}
-
-/// Per-query rendezvous: one slot per shard, filled by workers, drained by
-/// the caller. Lives in an `Arc` so a caller that gives up on a deadline can
-/// walk away — late deliveries land in the abandoned state harmlessly.
-pub(crate) struct ReplyState {
-    slots: Mutex<ReplySlots>,
-    arrived_cv: Condvar,
-}
-
-struct ReplySlots {
-    replies: Vec<Option<ShardReply>>,
-    arrived: usize,
-}
-
-impl ReplyState {
-    pub(crate) fn new(shards: usize) -> Self {
-        Self {
-            slots: Mutex::new(ReplySlots {
-                replies: (0..shards).map(|_| None).collect(),
-                arrived: 0,
-            }),
-            arrived_cv: Condvar::new(),
-        }
-    }
-
-    fn deliver(&self, shard: usize, reply: ShardReply) {
-        let mut slots = self.slots.lock().unwrap();
-        // A caller that hit its wall-clock deadline has already taken the
-        // slot array (`wait_until`); a late reply then finds no slot and is
-        // dropped — never an out-of-bounds panic, which would kill the
-        // worker and poison this mutex.
-        let ReplySlots { replies, arrived } = &mut *slots;
-        if let Some(slot) = replies.get_mut(shard) {
-            if slot.is_none() {
-                *slot = Some(reply);
-                *arrived += 1;
-            }
-        }
-        self.arrived_cv.notify_all();
-    }
-
-    /// Blocks until every shard has replied, then takes the replies.
-    /// Used on the no-deadline and manual-clock paths, where workers are
-    /// guaranteed to reply (possibly with `TimedOut`).
-    pub(crate) fn wait_all(&self) -> Vec<Option<ShardReply>> {
-        let mut slots = self.slots.lock().unwrap();
-        while slots.arrived < slots.replies.len() {
-            slots = self.arrived_cv.wait(slots).unwrap();
-        }
-        std::mem::take(&mut slots.replies)
-    }
-
-    /// Blocks until every shard has replied or the wall clock reaches
-    /// `deadline`, then takes whatever replies arrived.
-    pub(crate) fn wait_until(
-        &self,
-        clock: &ServeClock,
-        deadline: Micros,
-    ) -> Vec<Option<ShardReply>> {
-        let mut slots = self.slots.lock().unwrap();
-        while slots.arrived < slots.replies.len() {
-            let now = clock.now_micros();
-            if now >= deadline {
-                break;
-            }
-            let wait = std::time::Duration::from_micros(deadline - now);
-            let (guard, _timeout) = self.arrived_cv.wait_timeout(slots, wait).unwrap();
-            slots = guard;
-        }
-        std::mem::take(&mut slots.replies)
-    }
-}
 
 /// One unit of shard work, or the shutdown pill.
 pub(crate) enum Job {
@@ -111,7 +31,7 @@ pub(crate) enum Job {
         weights: RankWeights,
         /// Absolute deadline on the server's clock, if any.
         deadline: Option<Micros>,
-        reply: Arc<ReplyState>,
+        reply: Arc<Rendezvous>,
     },
     Shutdown,
 }
@@ -255,7 +175,7 @@ fn worker_loop(
         // testable without real time.
         let expired = deadline.is_some_and(|d| clock.now_micros() >= d);
         let outcome = if expired {
-            ShardReply::TimedOut
+            ShardOutcome::TimedOut
         } else {
             let snapshot = index.read().unwrap().clone();
             let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -265,15 +185,15 @@ fn worker_loop(
             // tests can model slow shards deterministically.
             clock.advance(eval_cost_micros);
             match evaluated {
-                Ok((results, stats)) => ShardReply::Evaluated(results, stats),
-                Err(_) => ShardReply::Failed,
+                Ok((results, stats)) => ShardOutcome::Evaluated(results, stats),
+                Err(_) => ShardOutcome::Failed,
             }
         };
         if let Some(trace) = &trace {
             let result = match &outcome {
-                ShardReply::Evaluated(..) => "evaluated",
-                ShardReply::TimedOut => "timed_out",
-                ShardReply::Failed => "failed",
+                ShardOutcome::Evaluated(..) => "evaluated",
+                ShardOutcome::TimedOut => "timed_out",
+                ShardOutcome::Failed => "failed",
             };
             let end = clock.now_micros();
             let mut log = trace.lock().expect("trace ring lock");
@@ -299,32 +219,103 @@ impl Drop for ShardPool {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// The in-process transport: one [`ShardPool`] per shard, sharing the
+/// server's metrics registry and (optional) trace ring. This is what
+/// [`ShardServer::new`](crate::ShardServer::new) builds; remote transports
+/// come from `ajax-dist`.
+pub(crate) struct PoolTransport {
+    pools: Vec<ShardPool>,
+    metrics: Arc<Metrics>,
+    workers_per_shard: usize,
+}
 
-    #[test]
-    fn late_delivery_after_deadline_abandonment_is_dropped() {
-        let state = ReplyState::new(2);
-        state.deliver(0, ShardReply::TimedOut);
-        // Deadline 0 is already past on a wall clock, so the caller takes
-        // whatever arrived and walks away.
-        let taken = state.wait_until(&ServeClock::wall(), 0);
-        assert_eq!(taken.len(), 2);
-        assert!(taken[0].is_some());
-        assert!(taken[1].is_none());
-        // A slow worker replying after abandonment must be a harmless no-op
-        // (this used to index the taken-away Vec out of bounds and panic).
-        state.deliver(1, ShardReply::TimedOut);
-        state.deliver(0, ShardReply::Failed);
+impl PoolTransport {
+    /// Spawns `shards.len() × workers_per_shard` worker threads.
+    pub(crate) fn spawn(
+        shards: Vec<InvertedIndex>,
+        config: &ServeConfig,
+        metrics: Arc<Metrics>,
+        trace: Option<Arc<Mutex<SpanLog>>>,
+    ) -> Self {
+        let pools = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                ShardPool::spawn(
+                    i,
+                    shard,
+                    config.workers_per_shard,
+                    config.clock.clone(),
+                    Arc::clone(&metrics),
+                    config.eval_cost_micros,
+                    trace.clone(),
+                )
+            })
+            .collect();
+        Self {
+            pools,
+            metrics,
+            workers_per_shard: config.workers_per_shard,
+        }
+    }
+}
+
+impl ShardTransport for PoolTransport {
+    fn shard_count(&self) -> usize {
+        self.pools.len()
     }
 
-    #[test]
-    fn duplicate_delivery_keeps_first_reply() {
-        let state = ReplyState::new(1);
-        state.deliver(0, ShardReply::TimedOut);
-        state.deliver(0, ShardReply::Failed);
-        let taken = state.wait_all();
-        assert!(matches!(taken[0], Some(ShardReply::TimedOut)));
+    fn worker_count(&self) -> usize {
+        self.pools.len() * self.workers_per_shard.max(1)
+    }
+
+    fn ship(
+        &self,
+        query: Arc<Query>,
+        weights: RankWeights,
+        deadline: Option<Micros>,
+        reply: Arc<Rendezvous>,
+    ) {
+        for (shard_idx, pool) in self.pools.iter().enumerate() {
+            pool.submit(
+                shard_idx,
+                Job::Eval {
+                    query: Arc::clone(&query),
+                    weights,
+                    deadline,
+                    reply: Arc::clone(&reply),
+                },
+                &self.metrics,
+            );
+        }
+    }
+
+    fn total_states(&self) -> u64 {
+        self.pools.iter().map(|p| p.index().total_states).sum()
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.pools
+            .iter()
+            .map(|p| p.index().approx_bytes() as u64)
+            .sum()
+    }
+
+    fn reload(&self, shards: Vec<InvertedIndex>) -> Result<(), TransportError> {
+        if shards.len() != self.pools.len() {
+            return Err(TransportError::Unsupported(
+                "reload with a different shard count",
+            ));
+        }
+        for (pool, shard) in self.pools.iter().zip(shards) {
+            pool.swap_index(shard);
+        }
+        Ok(())
+    }
+
+    fn shutdown(&mut self) {
+        for pool in &mut self.pools {
+            pool.shutdown();
+        }
     }
 }

@@ -1,14 +1,15 @@
 //! The concurrent shard server: admission control, fan-out, degradation.
 //!
-//! [`ShardServer`] owns one [`pool::ShardPool`](crate::pool) per shard. A
-//! query's life:
+//! [`ShardServer`] owns a [`ShardTransport`] — in-process worker pools by
+//! default ([`crate::pool`]), remote shard processes when built via
+//! [`ShardServer::from_transport`] (see `ajax-dist`). A query's life:
 //!
 //! 1. **admission** — a bounded in-flight gate; beyond
 //!    [`ServeConfig::max_in_flight`] the query is shed with
 //!    [`ServeError::Overloaded`] (typed, never silently dropped);
 //! 2. **cache lookup** — a hit answers immediately from the LRU;
-//! 3. **fan-out** — one job per shard is pushed onto the shard queues;
-//!    workers evaluate in parallel and deliver into a per-query slot array;
+//! 3. **fan-out** — the transport ships the query to every shard; shards
+//!    evaluate in parallel and deliver into a per-query slot array;
 //! 4. **merge** — the caller collects replies *in shard order* and runs
 //!    [`ajax_index::merge_shard_outputs`], the same code the sequential
 //!    broker uses, so scores are bit-identical to `QueryBroker::search`;
@@ -19,7 +20,8 @@
 use crate::cache::{cache_key, QueryCache};
 use crate::clock::ServeClock;
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::pool::{Job, ReplyState, ShardPool, ShardReply};
+use crate::pool::PoolTransport;
+use crate::transport::{Rendezvous, ShardOutcome, ShardTransport};
 use ajax_index::{merge_shard_outputs, BrokerResult, Query, QueryBroker, RankWeights};
 use ajax_net::Micros;
 use ajax_obs::{AttrValue, SpanEvent, SpanLog};
@@ -127,6 +129,9 @@ pub enum ServeError {
     /// The server's `shutdown` has run; its workers are gone, so queries
     /// can no longer be served.
     ShuttingDown,
+    /// The shard transport refused or failed the operation (e.g. hot
+    /// reloading remote shard processes, which must be restarted instead).
+    Transport(String),
 }
 
 impl fmt::Display for ServeError {
@@ -153,6 +158,7 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Transport(e) => write!(f, "shard transport: {e}"),
         }
     }
 }
@@ -200,7 +206,7 @@ impl Drop for InFlightGuard<'_> {
 /// A long-lived concurrent query server over sharded indexes. Shareable
 /// across client threads (`&self` methods); workers shut down on drop.
 pub struct ShardServer {
-    pools: Vec<ShardPool>,
+    transport: Box<dyn ShardTransport>,
     weights: RankWeights,
     cache: QueryCache,
     metrics: Arc<Metrics>,
@@ -217,33 +223,59 @@ impl ShardServer {
     /// Takes over a broker's shards, spawning
     /// `shards × workers_per_shard` worker threads.
     pub fn new(broker: QueryBroker, config: ServeConfig) -> Self {
-        let index_bytes = broker.approx_bytes() as u64;
         let (shards, weights) = broker.into_parts();
         let metrics = Arc::new(Metrics::new(shards.len()));
-        metrics.index_bytes.store(index_bytes, Ordering::Relaxed);
         let trace = config.trace.then(|| {
             Arc::new(Mutex::new(SpanLog::with_capacity(
                 ajax_obs::DEFAULT_CAPACITY,
             )))
         });
-        let pools = shards
-            .into_iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                ShardPool::spawn(
-                    i,
-                    shard,
-                    config.workers_per_shard,
-                    config.clock.clone(),
-                    Arc::clone(&metrics),
-                    config.eval_cost_micros,
-                    trace.clone(),
-                )
+        let transport = Box::new(PoolTransport::spawn(
+            shards,
+            &config,
+            Arc::clone(&metrics),
+            trace.clone(),
+        ));
+        Self::assemble(transport, weights, config, metrics, trace)
+    }
+
+    /// Builds a server over an externally constructed transport (e.g.
+    /// `ajax_dist::TcpTransport` talking to shard processes). The server
+    /// keeps all its edge logic — admission, cache, deadlines, merge —
+    /// while the transport decides where evaluation happens. Pass the
+    /// transport's trace ring so coordinator and rpc spans share one
+    /// timeline; with `None` and `config.trace` set, a fresh ring is
+    /// created for the server's own spans.
+    pub fn from_transport(
+        transport: Box<dyn ShardTransport>,
+        weights: RankWeights,
+        config: ServeConfig,
+        trace: Option<Arc<Mutex<SpanLog>>>,
+    ) -> Self {
+        let metrics = Arc::new(Metrics::new(transport.shard_count()));
+        let trace = trace.or_else(|| {
+            config.trace.then(|| {
+                Arc::new(Mutex::new(SpanLog::with_capacity(
+                    ajax_obs::DEFAULT_CAPACITY,
+                )))
             })
-            .collect();
+        });
+        Self::assemble(transport, weights, config, metrics, trace)
+    }
+
+    fn assemble(
+        transport: Box<dyn ShardTransport>,
+        weights: RankWeights,
+        config: ServeConfig,
+        metrics: Arc<Metrics>,
+        trace: Option<Arc<Mutex<SpanLog>>>,
+    ) -> Self {
+        metrics
+            .index_bytes
+            .store(transport.index_bytes(), Ordering::Relaxed);
         let start_micros = config.clock.now_micros();
         Self {
-            pools,
+            transport,
             weights,
             cache: QueryCache::new(config.cache_capacity),
             metrics,
@@ -290,12 +322,18 @@ impl ShardServer {
 
     /// Number of shards served.
     pub fn shard_count(&self) -> usize {
-        self.pools.len()
+        self.transport.shard_count()
     }
 
-    /// Total worker threads.
+    /// Total evaluation lanes (worker threads locally, connections when
+    /// distributed).
     pub fn worker_count(&self) -> usize {
-        self.pools.len() * self.config.workers_per_shard.max(1)
+        self.transport.worker_count()
+    }
+
+    /// True when shards live in other processes.
+    pub fn is_remote(&self) -> bool {
+        self.transport.is_remote()
     }
 
     /// The rank weights queries are scored with.
@@ -360,28 +398,26 @@ impl ShardServer {
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-        // Fan out one job per shard.
+        // Fan out through the transport: one job per shard.
         let deadline = self.config.deadline_micros.map(|d| admitted_at + d);
         let query_arc = Arc::new(query.clone());
-        let reply = Arc::new(ReplyState::new(self.pools.len()));
-        for (shard_idx, pool) in self.pools.iter().enumerate() {
-            pool.submit(
-                shard_idx,
-                Job::Eval {
-                    query: Arc::clone(&query_arc),
-                    weights: self.weights,
-                    deadline,
-                    reply: Arc::clone(&reply),
-                },
-                &self.metrics,
-            );
-        }
+        let reply = Arc::new(Rendezvous::new(self.transport.shard_count()));
+        self.transport.ship(
+            Arc::clone(&query_arc),
+            self.weights,
+            deadline,
+            Arc::clone(&reply),
+        );
 
         // Collect. Under a wall clock with a deadline the caller enforces it
-        // here (walking away from late shards); otherwise workers reply for
-        // every shard — `TimedOut` when a manual-clock deadline expired.
+        // here (walking away from late shards); otherwise the transport
+        // delivers for every shard — `TimedOut` when a manual-clock deadline
+        // expired.
         let replies = match (deadline, self.config.clock.is_manual()) {
-            (Some(d), false) => reply.wait_until(&self.config.clock, d),
+            (Some(d), false) => {
+                let clock = &self.config.clock;
+                reply.wait_until(|| clock.now_micros(), d)
+            }
             _ => reply.wait_all(),
         };
 
@@ -392,11 +428,11 @@ impl ShardServer {
         let mut missing = Vec::new();
         for (shard_idx, slot) in replies.into_iter().enumerate() {
             match slot {
-                Some(ShardReply::Evaluated(results, stats)) => {
+                Some(ShardOutcome::Evaluated(results, stats)) => {
                     all_results.extend(results);
                     all_stats.push(stats);
                 }
-                Some(ShardReply::TimedOut) | Some(ShardReply::Failed) | None => {
+                Some(ShardOutcome::TimedOut) | Some(ShardOutcome::Failed) | None => {
                     missing.push(shard_idx)
                 }
             }
@@ -405,12 +441,20 @@ impl ShardServer {
         let merge_start = self.config.clock.now_micros();
         let results = merge_shard_outputs(query, &self.weights, all_results, &all_stats);
         if self.tracing() {
+            let merge_span = if self.transport.is_remote() {
+                "dist.merge"
+            } else {
+                "serve.merge"
+            };
             self.record_span(
-                "serve.merge",
+                merge_span,
                 merge_start,
                 self.config.clock.now_micros(),
                 vec![
-                    ("shards", AttrValue::U64(self.pools.len() as u64)),
+                    (
+                        "shards",
+                        AttrValue::U64(self.transport.shard_count() as u64),
+                    ),
                     ("missing", AttrValue::U64(missing.len() as u64)),
                 ],
             );
@@ -473,9 +517,9 @@ impl ShardServer {
     /// scoring and cache-keying with its original weights, silently
     /// diverging from a fresh broker.
     pub fn reload(&self, broker: QueryBroker) -> Result<(), ServeError> {
-        if broker.shard_count() != self.pools.len() {
+        if broker.shard_count() != self.transport.shard_count() {
             return Err(ServeError::ShardCountMismatch {
-                expected: self.pools.len(),
+                expected: self.transport.shard_count(),
                 got: broker.shard_count(),
             });
         }
@@ -487,9 +531,9 @@ impl ShardServer {
                 got: weights,
             });
         }
-        for (pool, shard) in self.pools.iter().zip(shards) {
-            pool.swap_index(shard);
-        }
+        self.transport
+            .reload(shards)
+            .map_err(|e| ServeError::Transport(e.to_string()))?;
         self.invalidate_cache();
         self.metrics.reloads.fetch_add(1, Ordering::Relaxed);
         self.metrics
@@ -507,7 +551,7 @@ impl ShardServer {
     /// Total states across shards (diagnostics, mirrors
     /// `QueryBroker::total_states`).
     pub fn total_states(&self) -> u64 {
-        self.pools.iter().map(|p| p.index().total_states).sum()
+        self.transport.total_states()
     }
 
     /// A point-in-time metrics snapshot.
@@ -531,9 +575,7 @@ impl ShardServer {
     /// queues nobody drains.
     pub fn shutdown(&mut self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        for pool in &mut self.pools {
-            pool.shutdown();
-        }
+        self.transport.shutdown();
     }
 }
 
