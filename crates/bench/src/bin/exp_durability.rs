@@ -1,0 +1,64 @@
+//! Durability overhead: crawl throughput with the checkpoint journal off
+//! vs on at several cadences. Writes `BENCH_durability.json` in the working
+//! directory (the repo's perf baseline) in addition to the usual
+//! `target/experiments/durability.json` dump; exits 1 if checkpointing
+//! changes the crawled output at all.
+//!
+//! ```sh
+//! exp_durability --videos 64 --every 0,1,8,64 --repeats 3
+//! ```
+use ajax_bench::exp::durability;
+use ajax_bench::util;
+use std::process::ExitCode;
+
+fn parse_list<T: std::str::FromStr>(args: &[String], flag: &str, default: &str) -> Vec<T> {
+    let raw = args
+        .iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(default);
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let videos: u32 = parse_list(&args, "--videos", "64")
+        .first()
+        .copied()
+        .unwrap_or(64);
+    let repeats: u32 = parse_list(&args, "--repeats", "3")
+        .first()
+        .copied()
+        .unwrap_or(3);
+    // Cell 0 must be the checkpointing-off baseline the others compare to.
+    let mut cadences: Vec<usize> = parse_list(&args, "--every", "0,1,8,64");
+    if cadences.first() != Some(&0) {
+        cadences.insert(0, 0);
+    }
+
+    let sweep = durability::collect(videos, &cadences, repeats);
+    println!("{}", sweep.render());
+    util::write_json("durability", &sweep);
+
+    match serde_json::to_string_pretty(&sweep) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_durability.json", json) {
+                eprintln!("warning: cannot write BENCH_durability.json: {e}");
+            } else {
+                eprintln!("(baseline dump: BENCH_durability.json)");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize baseline: {e}"),
+    }
+
+    if sweep.no_output_drift() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: checkpointing changed the crawled models");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,198 @@
+//! Durability overhead: what the checkpoint journal costs the crawl.
+//!
+//! For each snapshot cadence (`0` = checkpointing off) the whole site is
+//! crawled by the `MpCrawler` and timed on the *wall* clock — checkpoint
+//! commits are real fsync + rename work, so unlike the virtual-time crawl
+//! metrics their cost only shows up in wall time. Each cell reports
+//! pages/sec, the slowdown factor against the checkpointing-off baseline,
+//! and verifies the durability invariant that matters most: the crawled
+//! models are identical whether or not the journal is on.
+
+use crate::util::{latency, TableFmt};
+use ajax_crawl::checkpoint::{config_fingerprint, Checkpointer};
+use ajax_crawl::crawler::CrawlConfig;
+use ajax_crawl::parallel::{MpCrawler, MpReport};
+use ajax_crawl::partition::{partition_urls, Partition};
+use ajax_net::Server;
+use ajax_webgen::{VidShareServer, VidShareSpec};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One cadence cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct DurabilityCell {
+    /// Snapshot cadence in pages; 0 means checkpointing off.
+    pub checkpoint_every: usize,
+    /// Pages crawled.
+    pub pages: usize,
+    /// Snapshots committed (including the final flush).
+    pub snapshots: u64,
+    /// Best-of-`repeats` wall time for the whole crawl (+ flush), µs.
+    pub wall_micros: u64,
+    /// Wall time spent inside checkpoint commits for that best run, µs.
+    pub checkpoint_wall_micros: u64,
+    /// Crawl throughput on the wall clock.
+    pub pages_per_sec: f64,
+    /// Slowdown vs the checkpointing-off baseline (1.0 = free).
+    pub overhead_factor: f64,
+    /// True when the crawled models match the baseline run exactly.
+    pub output_identical: bool,
+}
+
+/// The full cadence sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DurabilitySweep {
+    pub videos: u32,
+    pub repeats: u32,
+    pub cells: Vec<DurabilityCell>,
+}
+
+/// Crawls the site once, journaling to a scratch dir when `every > 0`.
+/// Returns the report, the wall time of crawl+flush, and the checkpoint
+/// stats (zeroed when off).
+fn run_once(
+    server: &Arc<VidShareServer>,
+    partitions: &[Partition],
+    every: usize,
+    scratch: &std::path::Path,
+) -> (MpReport, u64, ajax_crawl::checkpoint::CheckpointStats) {
+    let config = CrawlConfig::ajax().with_checkpoint_every(every.max(1));
+    let mut mp = MpCrawler::new(
+        Arc::clone(server) as Arc<dyn Server>,
+        latency(),
+        config.clone(),
+    )
+    .with_proc_lines(4);
+
+    let ckpt = (every > 0).then(|| {
+        Arc::new(
+            Checkpointer::fresh(scratch, every, config_fingerprint(&config, &["bench"]))
+                .expect("open checkpoint journal"),
+        )
+    });
+    if let Some(c) = &ckpt {
+        mp = mp.with_checkpointing(Arc::clone(c), HashMap::new());
+    }
+
+    let t0 = Instant::now();
+    let report = mp.crawl(partitions);
+    let stats = match &ckpt {
+        Some(c) => c.flush().expect("flush checkpoint journal"),
+        None => ajax_crawl::checkpoint::CheckpointStats::default(),
+    };
+    let wall = t0.elapsed().as_micros() as u64;
+    (report, wall, stats)
+}
+
+/// True when two reports crawled the same models (durability must never
+/// change what is crawled, only how it is persisted).
+fn models_identical(a: &MpReport, b: &MpReport) -> bool {
+    a.partitions.len() == b.partitions.len()
+        && a.partitions.iter().zip(&b.partitions).all(|(pa, pb)| {
+            pa.models.len() == pb.models.len()
+                && pa.models.iter().zip(&pb.models).all(|(ma, mb)| {
+                    ma.url == mb.url && ma.states == mb.states && ma.transitions == mb.transitions
+                })
+        })
+}
+
+/// Sweeps the cadences over a `videos`-page VidShare site, timing each cell
+/// `repeats` times and keeping the fastest run.
+pub fn collect(videos: u32, cadences: &[usize], repeats: u32) -> DurabilitySweep {
+    let spec = VidShareSpec::small(videos);
+    let server = Arc::new(VidShareServer::new(spec.clone()));
+    let urls: Vec<String> = (0..videos).map(|v| spec.watch_url(v)).collect();
+    let partitions = partition_urls(&urls, 50);
+    let scratch =
+        std::env::temp_dir().join(format!("ajax_bench_durability_{}", std::process::id()));
+
+    let mut baseline: Option<(MpReport, f64)> = None;
+    let mut cells = Vec::new();
+    for &every in cadences {
+        eprintln!("[durability] checkpoint_every = {every}…");
+        let mut best: Option<(MpReport, u64, ajax_crawl::checkpoint::CheckpointStats)> = None;
+        for _ in 0..repeats.max(1) {
+            let run = run_once(&server, &partitions, every, &scratch);
+            if best.as_ref().is_none_or(|b| run.1 < b.1) {
+                best = Some(run);
+            }
+        }
+        let (report, wall, stats) = best.expect("at least one repeat");
+        let pages_per_sec = urls.len() as f64 / (wall.max(1) as f64 / 1e6);
+        let (overhead_factor, output_identical) = match &baseline {
+            Some((base_report, base_pps)) => (
+                base_pps / pages_per_sec,
+                models_identical(base_report, &report),
+            ),
+            None => (1.0, true),
+        };
+        cells.push(DurabilityCell {
+            checkpoint_every: every,
+            pages: urls.len(),
+            snapshots: stats.writes,
+            wall_micros: wall,
+            checkpoint_wall_micros: stats.write_wall_micros,
+            pages_per_sec,
+            overhead_factor,
+            output_identical,
+        });
+        if baseline.is_none() {
+            baseline = Some((report, pages_per_sec));
+        }
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+    DurabilitySweep {
+        videos,
+        repeats,
+        cells,
+    }
+}
+
+impl DurabilitySweep {
+    /// Renders the sweep as a table.
+    pub fn render(&self) -> String {
+        let mut table = TableFmt::new(vec![
+            "every",
+            "snapshots",
+            "wall (ms)",
+            "ckpt (ms)",
+            "pages/sec",
+            "overhead",
+            "output",
+        ]);
+        for c in &self.cells {
+            table.row(vec![
+                if c.checkpoint_every == 0 {
+                    "off".to_string()
+                } else {
+                    c.checkpoint_every.to_string()
+                },
+                c.snapshots.to_string(),
+                format!("{:.2}", c.wall_micros as f64 / 1e3),
+                format!("{:.2}", c.checkpoint_wall_micros as f64 / 1e3),
+                format!("{:.0}", c.pages_per_sec),
+                format!("{:.2}x", c.overhead_factor),
+                if c.output_identical {
+                    "identical"
+                } else {
+                    "DRIFT"
+                }
+                .to_string(),
+            ]);
+        }
+        format!(
+            "Durability overhead — checkpointed crawl over {} videos (best of {})\n{}",
+            self.videos,
+            self.repeats,
+            table.render()
+        )
+    }
+
+    /// True when every checkpointed cell crawled exactly the baseline's
+    /// models — the journal must be invisible in the output.
+    pub fn no_output_drift(&self) -> bool {
+        self.cells.iter().all(|c| c.output_identical)
+    }
+}

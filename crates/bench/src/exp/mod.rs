@@ -5,6 +5,7 @@ pub mod caching;
 pub mod crawl_perf;
 pub mod dataset;
 pub mod distributed;
+pub mod durability;
 pub mod faults;
 pub mod index_perf;
 pub mod parallel;

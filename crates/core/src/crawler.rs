@@ -11,6 +11,7 @@
 //!   intercepting repeated `(function, args)` server calls.
 
 use crate::browser::{Browser, CrawlEnv};
+use crate::checkpoint::{Checkpointer, FailureRecord, PageRecord};
 use crate::hotnode::HotNodeCache;
 use crate::model::{AppModel, StateId, Transition};
 use crate::recrawl::EventHistory;
@@ -214,6 +215,11 @@ pub struct CrawlConfig {
     /// events anyway; a state change counts as a
     /// [`PageStats::prune_mismatches`] instead of a skip.
     pub verify_prune: bool,
+    /// Crawl checkpoint cadence (docs/robustness.md): when a
+    /// [`Checkpointer`](crate::checkpoint::Checkpointer) is attached, a
+    /// durable snapshot is committed after every this-many newly crawled
+    /// pages. Ignored when no checkpointer is attached.
+    pub checkpoint_every: usize,
 }
 
 impl CrawlConfig {
@@ -237,6 +243,7 @@ impl CrawlConfig {
             retry: RetryPolicy::default(),
             static_prune: true,
             verify_prune: false,
+            checkpoint_every: 64,
         }
     }
 
@@ -294,6 +301,12 @@ impl CrawlConfig {
     pub fn verifying_prune(mut self) -> Self {
         self.static_prune = true;
         self.verify_prune = true;
+        self
+    }
+
+    /// Returns a copy with a different checkpoint cadence (min 1 page).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
         self
     }
 }
@@ -507,6 +520,74 @@ impl CrawlError {
     }
 }
 
+// Hand-written serde impls (the vendored derive handles unit-variant enums
+// only): a tagged object `{"kind": ..., "url": ..., "status"?, "attempts"}`
+// so checkpoint files can carry the failure taxonomy across a crash.
+impl Serialize for CrawlError {
+    fn serialize(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        let (kind, url, status, attempts) = match self {
+            CrawlError::Http {
+                url,
+                status,
+                attempts,
+            } => ("http", url, Some(*status), *attempts),
+            CrawlError::Timeout { url, attempts } => ("timeout", url, None, *attempts),
+            CrawlError::Truncated { url, attempts } => ("truncated", url, None, *attempts),
+            CrawlError::Exhausted {
+                url,
+                status,
+                attempts,
+            } => ("exhausted", url, Some(*status), *attempts),
+        };
+        map.insert("kind".to_string(), serde::Value::Str(kind.to_string()));
+        map.insert("url".to_string(), serde::Value::Str(url.clone()));
+        if let Some(status) = status {
+            map.insert("status".to_string(), serde::Value::U64(status as u64));
+        }
+        map.insert("attempts".to_string(), serde::Value::U64(attempts as u64));
+        serde::Value::Object(map)
+    }
+}
+
+impl Deserialize for CrawlError {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let bad = |what: &str| serde::DeError::new(format!("CrawlError: {what}"));
+        let obj = value.as_object().ok_or_else(|| bad("expected object"))?;
+        let field = |name: &str| obj.get(name).ok_or_else(|| bad(&format!("missing {name}")));
+        let kind = field("kind")?.as_str().ok_or_else(|| bad("kind"))?;
+        let url = field("url")?
+            .as_str()
+            .ok_or_else(|| bad("url"))?
+            .to_string();
+        let attempts: u32 = match field("attempts")? {
+            serde::Value::U64(v) => *v as u32,
+            _ => return Err(bad("attempts")),
+        };
+        let status = || -> Result<u16, serde::DeError> {
+            match field("status")? {
+                serde::Value::U64(v) => Ok(*v as u16),
+                _ => Err(bad("status")),
+            }
+        };
+        match kind {
+            "http" => Ok(CrawlError::Http {
+                url,
+                status: status()?,
+                attempts,
+            }),
+            "timeout" => Ok(CrawlError::Timeout { url, attempts }),
+            "truncated" => Ok(CrawlError::Truncated { url, attempts }),
+            "exhausted" => Ok(CrawlError::Exhausted {
+                url,
+                status: status()?,
+                attempts,
+            }),
+            other => Err(bad(&format!("unknown kind {other:?}"))),
+        }
+    }
+}
+
 impl std::fmt::Display for CrawlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -582,6 +663,59 @@ impl Crawler {
     pub fn crawl_page(&mut self, url: &Url) -> Result<PageCrawl, CrawlError> {
         self.crawl_page_with_history(url, None)
             .map(|(crawl, _)| crawl)
+    }
+
+    /// Crawls `urls` serially with durable-checkpoint support: pages found
+    /// in `restored` (a previous process's checkpoint, see
+    /// [`crate::checkpoint::ResumeState`]) are emitted without re-crawling,
+    /// and each newly completed page is recorded into `checkpointer`, which
+    /// commits an atomic snapshot every [`CrawlConfig::checkpoint_every`]
+    /// pages. Failed URLs are returned (and recorded) but never abort the
+    /// sweep — the serial counterpart of `MpCrawler`'s resumable partition
+    /// crawl.
+    pub fn crawl_pages(
+        &mut self,
+        urls: &[String],
+        checkpointer: Option<&Checkpointer>,
+        restored: &HashMap<String, PageRecord>,
+    ) -> (Vec<AppModel>, PageStats, Vec<CrawlError>) {
+        let mut models = Vec::with_capacity(urls.len());
+        let mut stats = PageStats::default();
+        let mut errors = Vec::new();
+        for url in urls {
+            if let Some(record) = restored.get(url) {
+                stats.merge(&record.stats);
+                models.push(record.model.clone());
+                continue;
+            }
+            match self.crawl_page_with_history(&Url::parse(url), None) {
+                Ok((page, history)) => {
+                    stats.merge(&page.stats);
+                    if let Some(checkpointer) = checkpointer {
+                        checkpointer.record_page(PageRecord {
+                            url: url.clone(),
+                            model: page.model.clone(),
+                            stats: page.stats.clone(),
+                            attempts: 1,
+                            history,
+                        });
+                    }
+                    models.push(page.model);
+                }
+                Err(e) => {
+                    if let Some(checkpointer) = checkpointer {
+                        checkpointer.record_failure(FailureRecord {
+                            url: url.clone(),
+                            error: e.clone(),
+                            attempts: 1,
+                            quarantined: false,
+                        });
+                    }
+                    errors.push(e);
+                }
+            }
+        }
+        (models, stats, errors)
     }
 
     /// Like [`Self::crawl_page`], additionally consuming the previous

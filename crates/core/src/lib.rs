@@ -33,7 +33,9 @@ pub mod analysis;
 pub mod browser;
 #[cfg(test)]
 mod browser_tests;
+pub mod checkpoint;
 pub mod crawler;
+pub mod durable;
 pub mod hotnode;
 pub mod model;
 pub mod pagerank;
@@ -45,10 +47,15 @@ pub mod replay;
 
 pub use analysis::{analyze_page, BindingVerdict, PageAnalysis};
 pub use browser::Browser;
+pub use checkpoint::{
+    CheckpointError, CheckpointStats, Checkpointer, CrawlCheckpoint, FailureRecord, PageRecord,
+    ResumeState,
+};
 pub use crawler::{
     CpuCostModel, CrawlConfig, CrawlError, Crawler, FetchFailure, LastError, PageCrawl, PageStats,
     RetryPolicy,
 };
+pub use durable::DurableError;
 pub use hotnode::{HotNodeCache, HotNodeStats};
 pub use model::{AppModel, SiteModel, State, StateId, Transition};
 pub use pagerank::pagerank;

@@ -14,6 +14,7 @@
 //!   cores, yielding the deterministic makespan reported by the Table 7.3 /
 //!   Fig 7.8 experiments.
 
+use crate::checkpoint::{Checkpointer, FailureRecord, PageRecord};
 use crate::crawler::{CrawlConfig, CrawlError, Crawler, PageStats};
 use crate::model::AppModel;
 use crate::partition::Partition;
@@ -21,6 +22,7 @@ use ajax_net::fault::FaultPlan;
 use ajax_net::sched::{simulate, Segment, Task};
 use ajax_net::{LatencyModel, Micros, Server, Url};
 use ajax_obs::{Recorder, SpanEvent};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -136,6 +138,14 @@ pub struct MpCrawler {
     /// When true every partition crawls with an enabled [`Recorder`] and
     /// the report carries the merged spans.
     pub trace: bool,
+    /// Durable checkpoint sink: completed pages are recorded here and a
+    /// snapshot committed every [`CrawlConfig::checkpoint_every`] pages.
+    checkpointer: Option<Arc<Checkpointer>>,
+    /// Pages restored from a previous process's checkpoint, keyed by URL —
+    /// reused instead of re-crawled. Failed pages are *not* in this map:
+    /// resume re-crawls them, and the deterministic fault plan reproduces
+    /// their original outcome.
+    restored: HashMap<String, PageRecord>,
 }
 
 impl MpCrawler {
@@ -151,6 +161,8 @@ impl MpCrawler {
             fault_plan: None,
             quarantine_after: 3,
             trace: false,
+            checkpointer: None,
+            restored: HashMap::new(),
         }
     }
 
@@ -181,6 +193,21 @@ impl MpCrawler {
     /// Sets the quarantine threshold (page-level attempts, min 1).
     pub fn with_quarantine_after(mut self, attempts: u32) -> Self {
         self.quarantine_after = attempts.max(1);
+        self
+    }
+
+    /// Attaches a durable checkpoint sink plus the pages restored from it
+    /// (`restored` comes from [`crate::checkpoint::ResumeState::pages`]).
+    /// Restored pages are emitted into their partitions without re-crawling;
+    /// newly completed pages are recorded as they finish, with a snapshot
+    /// committed every [`CrawlConfig::checkpoint_every`] pages.
+    pub fn with_checkpointing(
+        mut self,
+        checkpointer: Arc<Checkpointer>,
+        restored: HashMap<String, PageRecord>,
+    ) -> Self {
+        self.checkpointer = Some(checkpointer);
+        self.restored = restored;
         self
     }
 
@@ -220,19 +247,43 @@ impl MpCrawler {
         let mut failed: Vec<(usize, CrawlError, bool)> = Vec::new();
         let mut segments: Vec<Segment> = Vec::new();
 
-        let mut pending: Vec<usize> = (0..n).collect();
+        // Pages already completed by a previous (crashed) process are
+        // emitted from their checkpoint records; only the rest are crawled.
+        let mut pending: Vec<usize> = Vec::new();
+        for i in 0..n {
+            if let Some(record) = self.restored.get(&partition.urls[i]) {
+                attempts[i] = record.attempts;
+                if record.attempts > 1 {
+                    result.recovered_pages += 1;
+                    result.page_retries += (record.attempts - 1) as u64;
+                }
+                result.stats.merge(&record.stats);
+                models[i] = Some(record.model.clone());
+            } else {
+                pending.push(i);
+            }
+        }
         while !pending.is_empty() {
             let mut next_pass: Vec<usize> = Vec::new();
             for &i in &pending {
                 attempts[i] += 1;
                 let before = crawler.net().now();
-                match crawler.crawl_page(&Url::parse(&partition.urls[i])) {
-                    Ok(page) => {
+                match crawler.crawl_page_with_history(&Url::parse(&partition.urls[i]), None) {
+                    Ok((page, history)) => {
                         if attempts[i] > 1 {
                             result.recovered_pages += 1;
                         }
                         result.stats.merge(&page.stats);
                         segments.extend(page.trace.segments.iter().copied());
+                        if let Some(checkpointer) = &self.checkpointer {
+                            checkpointer.record_page(PageRecord {
+                                url: partition.urls[i].clone(),
+                                model: page.model.clone(),
+                                stats: page.stats.clone(),
+                                attempts: attempts[i],
+                                history,
+                            });
+                        }
                         models[i] = Some(page.model);
                     }
                     Err(e) => {
@@ -247,6 +298,14 @@ impl MpCrawler {
                             next_pass.push(i);
                         } else {
                             let quarantined = e.is_transient();
+                            if let Some(checkpointer) = &self.checkpointer {
+                                checkpointer.record_failure(FailureRecord {
+                                    url: partition.urls[i].clone(),
+                                    error: e.clone(),
+                                    attempts: attempts[i],
+                                    quarantined,
+                                });
+                            }
                             failed.push((i, e, quarantined));
                         }
                     }
@@ -649,6 +708,95 @@ mod tests {
             .crawl(&partitions);
         assert!(report.spans.is_empty());
         assert!(report.partitions.iter().all(|p| p.spans.is_empty()));
+    }
+
+    #[test]
+    fn resumed_crawl_reproduces_uninterrupted_site_model() {
+        use crate::checkpoint::{config_fingerprint, Checkpointer};
+        use crate::model::SiteModel;
+
+        let (server, partitions) = setup(12, 3);
+        let config = CrawlConfig::ajax().with_checkpoint_every(2);
+        let build = || {
+            MpCrawler::new(
+                Arc::clone(&server) as Arc<dyn Server>,
+                LatencyModel::thesis_default(5),
+                config.clone(),
+            )
+            .with_proc_lines(2)
+        };
+        let site = |models: Vec<AppModel>| SiteModel {
+            pages: models,
+            ..SiteModel::default()
+        };
+
+        // The uninterrupted reference run (no checkpointing at all).
+        let reference = site(build().crawl(&partitions).into_models());
+
+        // An "interrupted" run: only part of the work completes before the
+        // process dies, but what completed was durably checkpointed.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ajax_resume_sig_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let fingerprint = config_fingerprint(&config, &["sig-test"]);
+        let ckpt =
+            Arc::new(Checkpointer::fresh(&dir, config.checkpoint_every, fingerprint).unwrap());
+        build()
+            .with_checkpointing(Arc::clone(&ckpt), std::collections::HashMap::new())
+            .crawl(&partitions[..2]);
+        ckpt.flush().unwrap();
+        drop(ckpt);
+
+        // A fresh "process" resumes from the journal and finishes the crawl.
+        let (ckpt, state) =
+            Checkpointer::resume(&dir, config.checkpoint_every, fingerprint).unwrap();
+        assert!(ckpt.stats().resumed);
+        assert!(ckpt.stats().pages_restored > 0);
+        let resumed = site(
+            build()
+                .with_checkpointing(Arc::new(ckpt), state.pages)
+                .crawl(&partitions)
+                .into_models(),
+        );
+
+        assert_eq!(
+            resumed.graph_signature(),
+            reference.graph_signature(),
+            "resumed crawl must reproduce the uninterrupted site graph"
+        );
+        assert_eq!(resumed.pages, reference.pages, "models bit-equal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_crawl_output_is_unchanged() {
+        use crate::checkpoint::{config_fingerprint, Checkpointer};
+
+        let (server, partitions) = setup(8, 2);
+        let config = CrawlConfig::ajax().with_checkpoint_every(1);
+        let run = |ckpt: Option<Arc<Checkpointer>>| {
+            let mut mp = MpCrawler::new(
+                Arc::clone(&server) as Arc<dyn Server>,
+                LatencyModel::Fixed(1_000),
+                config.clone(),
+            )
+            .with_proc_lines(2);
+            if let Some(c) = ckpt {
+                mp = mp.with_checkpointing(c, std::collections::HashMap::new());
+            }
+            mp.crawl(&partitions).into_models()
+        };
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ajax_ckpt_noop_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let ckpt =
+            Arc::new(Checkpointer::fresh(&dir, 1, config_fingerprint(&config, &[])).unwrap());
+        let with = run(Some(Arc::clone(&ckpt)));
+        let stats = ckpt.flush().unwrap();
+        assert!(stats.writes >= 8, "every page checkpointed: {stats:?}");
+        let without = run(None);
+        assert_eq!(with, without, "checkpointing must not perturb the crawl");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -92,6 +92,60 @@ enum ShardRuntime {
     },
 }
 
+impl Drop for ShardRuntime {
+    /// Reaps the shard wherever the runtime is dropped — including the
+    /// error paths of [`DistCluster::launch_processes`] and
+    /// [`DistCluster::assemble`], where earlier-spawned children would
+    /// otherwise outlive the failed launch as orphans. Kill and wait are
+    /// both idempotent, so running after [`DistCluster::shutdown`] is safe.
+    fn drop(&mut self) {
+        match self {
+            ShardRuntime::Thread { handle, .. } => {
+                if let Some(mut h) = handle.take() {
+                    h.kill();
+                }
+            }
+            ShardRuntime::Process {
+                child, index_path, ..
+            } => {
+                let _ = child.kill();
+                let _ = child.wait();
+                let _ = std::fs::remove_file(index_path);
+            }
+        }
+    }
+}
+
+/// Holds a freshly spawned shard child until its banner is parsed; on any
+/// failure before the hand-off to [`ShardRuntime`], drop kills + waits the
+/// child and removes its index file, so a half-launched cluster never
+/// leaves orphan processes or temp indexes behind.
+struct SpawnGuard {
+    child: Option<std::process::Child>,
+    index_path: PathBuf,
+}
+
+impl SpawnGuard {
+    fn into_parts(mut self) -> (std::process::Child, PathBuf) {
+        (
+            self.child.take().expect("guard armed"),
+            std::mem::take(&mut self.index_path),
+        )
+    }
+}
+
+impl Drop for SpawnGuard {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if !self.index_path.as_os_str().is_empty() {
+            let _ = std::fs::remove_file(&self.index_path);
+        }
+    }
+}
+
 /// A running distributed search tier. `server` is the coordinator — query
 /// it exactly like a single-process [`ShardServer`].
 pub struct DistCluster {
@@ -149,20 +203,29 @@ impl DistCluster {
             persist::save_index(&index_path, &partition)
                 .map_err(|e| DistError::Spawn(format!("save shard {i} index: {e}")))?;
             let port = base_port.map_or(0, |p| p + i as u16);
-            let mut child = std::process::Command::new(exe)
-                .arg("shard")
-                .arg("--index")
-                .arg(&index_path)
-                .arg("--shard-id")
-                .arg(i.to_string())
-                .arg("--port")
-                .arg(port.to_string())
-                .stdout(std::process::Stdio::piped())
-                .stderr(std::process::Stdio::inherit())
-                .spawn()
-                .map_err(|e| DistError::Spawn(format!("exec {}: {e}", exe.display())))?;
+            let mut guard = SpawnGuard {
+                child: None,
+                index_path,
+            };
+            guard.child = Some(
+                std::process::Command::new(exe)
+                    .arg("shard")
+                    .arg("--index")
+                    .arg(&guard.index_path)
+                    .arg("--shard-id")
+                    .arg(i.to_string())
+                    .arg("--port")
+                    .arg(port.to_string())
+                    .stdout(std::process::Stdio::piped())
+                    .stderr(std::process::Stdio::inherit())
+                    .spawn()
+                    .map_err(|e| DistError::Spawn(format!("exec {}: {e}", exe.display())))?,
+            );
             // The child prints "LISTENING <addr>" once bound.
-            let stdout = child
+            let stdout = guard
+                .child
+                .as_mut()
+                .expect("guard armed")
                 .stdout
                 .take()
                 .ok_or_else(|| DistError::Spawn("child stdout not captured".to_string()))?;
@@ -175,11 +238,11 @@ impl DistCluster {
                 .strip_prefix("LISTENING ")
                 .and_then(|a| a.parse().ok())
                 .ok_or_else(|| {
-                    let _ = child.kill();
                     DistError::Spawn(format!(
                         "shard {i} did not report its address (got {line:?})"
                     ))
                 })?;
+            let (child, index_path) = guard.into_parts();
             shards.push(ShardRuntime::Process {
                 child,
                 index_path,
@@ -235,6 +298,18 @@ impl DistCluster {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// OS pids of process-mode shard children (empty in thread mode) —
+    /// lets operators and tests verify the children are reaped.
+    pub fn process_pids(&self) -> Vec<u32> {
+        self.shards
+            .iter()
+            .filter_map(|s| match s {
+                ShardRuntime::Process { child, .. } => Some(child.id()),
+                ShardRuntime::Thread { .. } => None,
+            })
+            .collect()
     }
 
     /// Hedge requests issued so far.

@@ -22,6 +22,7 @@
 pub mod analyze;
 pub mod report;
 
+use ajax_crawl::checkpoint::{self, CheckpointError, Checkpointer, ResumeState};
 use ajax_crawl::crawler::CrawlConfig;
 use ajax_crawl::model::AppModel;
 use ajax_crawl::parallel::MpCrawler;
@@ -75,6 +76,12 @@ pub struct EngineConfig {
     /// Record spans across precrawl → crawl → index; drained from
     /// [`AjaxSearchEngine::spans`] after the build.
     pub trace: bool,
+    /// Directory for the crawl checkpoint journal (`None` = no
+    /// checkpointing). Snapshot cadence is `crawl.checkpoint_every`.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Resume from an existing journal in `checkpoint_dir` (restoring the
+    /// precrawl graph and every completed page) instead of starting fresh.
+    pub resume: bool,
 }
 
 impl EngineConfig {
@@ -94,6 +101,8 @@ impl EngineConfig {
             quarantine_after: 3,
             path_filter: Some("/watch".to_string()),
             trace: false,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 
@@ -135,6 +144,33 @@ impl EngineConfig {
         self.trace = trace;
         self
     }
+
+    /// Journals crawl checkpoints under `dir` every
+    /// `crawl.checkpoint_every` pages.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resumes from the journal in `checkpoint_dir` (no-op without one).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The fingerprint guarding a checkpoint journal against being resumed
+    /// under a different pipeline configuration.
+    fn checkpoint_fingerprint(&self, start: &Url) -> u64 {
+        checkpoint::config_fingerprint(
+            &self.crawl,
+            &[
+                &start.to_string(),
+                &self.precrawl_pages.to_string(),
+                &self.partition_size.to_string(),
+                self.path_filter.as_deref().unwrap_or(""),
+            ],
+        )
+    }
 }
 
 /// The assembled engine.
@@ -157,23 +193,71 @@ pub struct AjaxSearchEngine {
 
 impl AjaxSearchEngine {
     /// Runs the full pipeline against `server`, starting the precrawl from
-    /// `start`.
+    /// `start`. Panics on checkpoint I/O problems — use
+    /// [`Self::build_with_checkpoints`] when a checkpoint directory is
+    /// configured.
     pub fn build(server: Arc<dyn Server>, start: &Url, config: EngineConfig) -> Self {
+        Self::build_with_checkpoints(server, start, config).expect("checkpoint journal")
+    }
+
+    /// Runs the full pipeline, journaling (and optionally resuming from)
+    /// crash-safe checkpoints when [`EngineConfig::checkpoint_dir`] is set.
+    /// Without a checkpoint directory this never fails.
+    pub fn build_with_checkpoints(
+        server: Arc<dyn Server>,
+        start: &Url,
+        config: EngineConfig,
+    ) -> Result<Self, CheckpointError> {
         let wall_start = std::time::Instant::now();
 
-        // Phase 1: precrawl.
-        let mut precrawler = Precrawler::new(Arc::clone(&server), config.latency.clone())
-            .with_retry(config.crawl.retry);
-        precrawler.path_filter = config.path_filter.clone();
-        if let Some(plan) = &config.fault_plan {
-            precrawler = precrawler.with_fault_plan(plan.clone());
-        }
-        if config.trace {
-            precrawler = precrawler.with_recorder(Recorder::enabled());
-        }
-        let graph = precrawler.run(start, config.precrawl_pages);
-        // Precrawl spans sit at the head of the timeline on track 0.
-        let mut spans = precrawler.take_spans();
+        // Phase 0: open (or resume) the checkpoint journal.
+        let mut restored_graph: Option<LinkGraph> = None;
+        let mut restored_pages = std::collections::HashMap::new();
+        let checkpointer: Option<Arc<Checkpointer>> = match &config.checkpoint_dir {
+            None => None,
+            Some(dir) => {
+                let fingerprint = config.checkpoint_fingerprint(start);
+                let every = config.crawl.checkpoint_every;
+                let ckpt = if config.resume {
+                    let (ckpt, state): (Checkpointer, ResumeState) =
+                        Checkpointer::resume(dir, every, fingerprint)?;
+                    restored_graph = state.graph;
+                    restored_pages = state.pages;
+                    ckpt
+                } else {
+                    Checkpointer::fresh(dir, every, fingerprint)?
+                };
+                Some(Arc::new(ckpt))
+            }
+        };
+
+        // Phase 1: precrawl — skipped entirely when the journal already
+        // holds the link graph (it is immutable once computed).
+        let mut spans;
+        let graph = match restored_graph {
+            Some(graph) => {
+                spans = Vec::new();
+                graph
+            }
+            None => {
+                let mut precrawler = Precrawler::new(Arc::clone(&server), config.latency.clone())
+                    .with_retry(config.crawl.retry);
+                precrawler.path_filter = config.path_filter.clone();
+                if let Some(plan) = &config.fault_plan {
+                    precrawler = precrawler.with_fault_plan(plan.clone());
+                }
+                if config.trace {
+                    precrawler = precrawler.with_recorder(Recorder::enabled());
+                }
+                let graph = precrawler.run(start, config.precrawl_pages);
+                // Precrawl spans sit at the head of the timeline on track 0.
+                spans = precrawler.take_spans();
+                if let Some(ckpt) = &checkpointer {
+                    ckpt.record_graph(&graph);
+                }
+                graph
+            }
+        };
 
         // Phase 2: partition.
         let partitions = partition_urls(&graph.urls, config.partition_size);
@@ -190,6 +274,9 @@ impl AjaxSearchEngine {
         .with_tracing(config.trace);
         if let Some(plan) = &config.fault_plan {
             mp = mp.with_fault_plan(plan.clone());
+        }
+        if let Some(ckpt) = &checkpointer {
+            mp = mp.with_checkpointing(Arc::clone(ckpt), restored_pages);
         }
         let mut crawl_report = mp.crawl(&partitions);
         // The crawl phase starts once the precrawl finishes: shift its spans
@@ -240,15 +327,39 @@ impl AjaxSearchEngine {
         broker.weights = config.weights;
 
         let mut report = BuildReport::new(&graph, &crawl_report, &broker);
+        if let Some(ckpt) = &checkpointer {
+            // The final snapshot makes the journal cover the whole crawl;
+            // any write error deferred during the crawl surfaces here.
+            report.checkpoint = ckpt.flush()?;
+            if config.trace {
+                // Checkpoint writes happen on the wall clock, but the
+                // exported trace is a virtual-time record that must stay
+                // byte-identical across same-seed runs — so each write
+                // becomes an instant marker sequenced after the crawl
+                // (its args — seq, pages, bytes — are deterministic); the
+                // wall cost lives in `report.checkpoint.write_wall_micros`.
+                let t_base = spans.iter().map(|s| s.start + s.dur).max().unwrap_or(0);
+                spans.extend(
+                    ckpt.take_spans()
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, mut span)| {
+                            span.start = t_base + i as u64;
+                            span.dur = 0;
+                            span
+                        }),
+                );
+            }
+        }
         report.build_wall_micros = wall_start.elapsed().as_micros() as u64;
-        Self {
+        Ok(Self {
             graph,
             broker,
             models: kept_models,
             report,
             spans,
             weights: config.weights,
-        }
+        })
     }
 
     /// Phase 5: distributed query processing.
@@ -485,6 +596,71 @@ mod tests {
             EngineConfig::ajax(16),
         );
         assert!(untraced.spans.is_empty());
+    }
+
+    #[test]
+    fn checkpointed_build_writes_journal_and_resumes_identically() {
+        let (server, start) = vidshare(20);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ajax_engine_ckpt_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let plain = AjaxSearchEngine::build(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(20),
+        );
+        let first = AjaxSearchEngine::build_with_checkpoints(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(20).with_checkpoint_dir(&dir),
+        )
+        .expect("fresh checkpointed build");
+        assert!(first.report.checkpoint.writes > 0, "journal written");
+        assert!(!first.report.checkpoint.resumed);
+        assert_eq!(first.report.pages_crawled, plain.report.pages_crawled);
+
+        // A "crashed-after-finishing" resume: every page restores, the
+        // precrawl is skipped, and the index is reproduced exactly.
+        let resumed = AjaxSearchEngine::build_with_checkpoints(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(20)
+                .with_checkpoint_dir(&dir)
+                .with_resume(true),
+        )
+        .expect("resumed build");
+        assert!(resumed.report.checkpoint.resumed);
+        assert_eq!(
+            resumed.report.checkpoint.pages_restored as usize,
+            plain.report.pages_crawled
+        );
+        assert_eq!(resumed.report.pages_crawled, plain.report.pages_crawled);
+        assert_eq!(resumed.report.total_states, plain.report.total_states);
+        assert_eq!(resumed.graph.pagerank, plain.graph.pagerank);
+        for q in ["wow", "morcheeba mysterious video"] {
+            let a = resumed.search(q);
+            let b = plain.search(q);
+            assert_eq!(a.len(), b.len(), "query {q:?}");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.url, y.url);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+
+        // Resuming under a different configuration must be refused.
+        let err = AjaxSearchEngine::build_with_checkpoints(
+            Arc::clone(&server) as Arc<dyn Server>,
+            &start,
+            EngineConfig::ajax(19)
+                .with_checkpoint_dir(&dir)
+                .with_resume(true),
+        );
+        assert!(
+            matches!(err, Err(CheckpointError::ConfigMismatch { .. })),
+            "config drift must be refused"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

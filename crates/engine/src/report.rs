@@ -1,6 +1,7 @@
 //! Pipeline accounting: what the build did, in the units the thesis'
 //! experiments report.
 
+use ajax_crawl::checkpoint::CheckpointStats;
 use ajax_crawl::crawler::PageStats;
 use ajax_crawl::parallel::MpReport;
 use ajax_crawl::precrawl::LinkGraph;
@@ -55,6 +56,10 @@ pub struct BuildReport {
     /// posting columns, position arena, page tables — honest capacities,
     /// not just lengths).
     pub index_bytes: u64,
+    /// Checkpoint journal accounting (all zeros when checkpointing was
+    /// off): snapshots written, pages restored on resume, whether this
+    /// build resumed, and wall time spent writing snapshots.
+    pub checkpoint: CheckpointStats,
     /// Real (wall-clock) duration of the whole build on the host machine.
     /// Everything else time-shaped in this report (`precrawl_micros`,
     /// `virtual_makespan`, `virtual_serial`) is *virtual* time from the
@@ -95,6 +100,7 @@ impl BuildReport {
             total_states: broker.total_states(),
             shards: broker.shard_count(),
             index_bytes: broker.approx_bytes() as u64,
+            checkpoint: CheckpointStats::default(),
             build_wall_micros: 0,
         }
     }

@@ -5,140 +5,262 @@
 //! The original used Java serialization; we use JSON via serde — human
 //! inspectable, versionable, and adequate for the corpus sizes at hand.
 //!
+//! ## Durability
+//!
+//! All writes go through the crash-safe commit protocol in
+//! [`ajax_crawl::durable`]: serialize to `<path>.tmp`, fsync, rename over
+//! the destination, fsync the parent directory. A reader therefore sees
+//! either the complete old file or the complete new file — never a torn
+//! write.
+//!
 //! ## Index format versioning
-//!
-//! Index files are wrapped in a versioned envelope so stale on-disk indexes
-//! fail loudly instead of deserializing garbage:
-//!
-//! ```json
-//! {"magic": "ajax-index", "version": 2, "index": { ...columns... }}
-//! ```
 //!
 //! * **v1** (unversioned, pre-columnar): a bare object with a `postings`
 //!   term→list map. Rejected with [`PersistError::Format`] naming the
 //!   remedy (rebuild).
-//! * **v2**: the columnar layout of `invert.rs` (dictionary + column arrays
-//!   + position arena) inside the envelope above.
+//! * **v2**: the columnar layout of `invert.rs` inside a single-document
+//!   JSON envelope `{"magic","version","index"}`. Still loadable.
+//! * **v3** (current): the same columnar payload inside the framed durable
+//!   layout — a header line carrying the magic, version, payload length and
+//!   a CRC32 of the payload, then the payload, then an end-of-file marker:
 //!
-//! Model files are unchanged (plain JSON array of models).
+//!   ```text
+//!   {"magic":"ajax-index","version":3,"payload_crc32":C,"payload_len":L}
+//!   { ...columnar index... }
+//!   #ajax-durable-eof
+//!   ```
+//!
+//!   Truncated, over-long or bit-flipped files fail the length/marker/CRC
+//!   checks and surface as [`PersistError::Corrupt`] naming the file — they
+//!   are never silently loaded as a partial index.
+//!
+//! Model files use the same frame with magic `ajax-models` (legacy bare
+//! JSON arrays remain loadable).
 
 use crate::invert::InvertedIndex;
+use ajax_crawl::durable::{self, DurableError, FrameRead};
 use ajax_crawl::model::AppModel;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
-use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// The envelope magic for index files.
 pub const INDEX_MAGIC: &str = "ajax-index";
-/// The current index format version (v2 = columnar).
-pub const INDEX_FORMAT_VERSION: u64 = 2;
+/// The current index format version (v3 = columnar + durable frame).
+pub const INDEX_FORMAT_VERSION: u64 = 3;
+/// The envelope magic for model files.
+pub const MODELS_MAGIC: &str = "ajax-models";
+/// The current model file format version.
+pub const MODELS_FORMAT_VERSION: u64 = 1;
 
-/// Why a save/load failed.
+/// Why a save/load failed. Every variant names the offending file so a
+/// multi-shard operator can tell *which* artifact is damaged.
 #[derive(Debug)]
 pub enum PersistError {
-    Io(std::io::Error),
-    Serde(serde_json::Error),
-    /// The file parsed as JSON but is not a current-format index (wrong
-    /// magic, old/unknown version, or malformed envelope).
-    Format(String),
+    /// The file could not be read or written.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// The file contents (or payload) are not parseable JSON at all.
+    Serde {
+        path: PathBuf,
+        source: serde_json::Error,
+    },
+    /// The file parsed but is not a current-format artifact (wrong magic,
+    /// old/unknown version, or malformed envelope).
+    Format { path: PathBuf, detail: String },
+    /// The file is a recognized artifact but physically damaged: truncated,
+    /// carrying trailing garbage, or failing its checksum.
+    Corrupt { path: PathBuf, detail: String },
 }
 
 impl fmt::Display for PersistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PersistError::Io(e) => write!(f, "i/o error: {e}"),
-            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
-            PersistError::Format(msg) => write!(f, "index format error: {msg}"),
+            PersistError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            PersistError::Serde { path, source } => {
+                write!(f, "serialization error on {}: {source}", path.display())
+            }
+            PersistError::Format { path, detail } => {
+                write!(f, "format error on {}: {detail}", path.display())
+            }
+            PersistError::Corrupt { path, detail } => {
+                write!(f, "corrupt file {}: {detail}", path.display())
+            }
         }
     }
 }
 
 impl std::error::Error for PersistError {}
 
-impl From<std::io::Error> for PersistError {
-    fn from(e: std::io::Error) -> Self {
-        PersistError::Io(e)
+impl From<DurableError> for PersistError {
+    fn from(e: DurableError) -> Self {
+        match e {
+            DurableError::Io { path, source } => PersistError::Io { path, source },
+            DurableError::Corrupt { path, detail } => PersistError::Corrupt { path, detail },
+        }
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
-        PersistError::Serde(e)
+fn serde_err(path: &Path, source: serde_json::Error) -> PersistError {
+    PersistError::Serde {
+        path: path.to_path_buf(),
+        source,
     }
 }
 
-/// Saves an inverted file to `path` (versioned JSON envelope).
+fn format_err(path: &Path, detail: impl Into<String>) -> PersistError {
+    PersistError::Format {
+        path: path.to_path_buf(),
+        detail: detail.into(),
+    }
+}
+
+/// Saves an inverted file to `path` — framed (magic + version + CRC32 +
+/// EOF marker) and atomically committed.
 pub fn save_index(path: impl AsRef<Path>, index: &InvertedIndex) -> Result<(), PersistError> {
-    let mut envelope = serde::Map::new();
-    envelope.insert("magic".to_string(), Value::Str(INDEX_MAGIC.to_string()));
-    envelope.insert("version".to_string(), Value::U64(INDEX_FORMAT_VERSION));
-    envelope.insert("index".to_string(), index.serialize());
-    let json = serde_json::to_string(&Value::Object(envelope))?;
-    fs::write(path, json)?;
+    let path = path.as_ref();
+    let payload = serde_json::to_string(&index.serialize()).map_err(|e| serde_err(path, e))?;
+    durable::write_framed(path, INDEX_MAGIC, INDEX_FORMAT_VERSION, payload.as_bytes())?;
     Ok(())
 }
 
-/// Loads an inverted file from `path`, verifying the format envelope.
+/// Loads an inverted file from `path`, verifying frame integrity (length,
+/// EOF marker, CRC32) and the format envelope.
 pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, PersistError> {
-    let json = fs::read_to_string(path)?;
-    let value: Value = serde_json::from_str(&json)?;
+    let path = path.as_ref();
+    match durable::read_framed(path)? {
+        FrameRead::Framed {
+            magic,
+            version,
+            payload,
+        } => {
+            if magic != INDEX_MAGIC {
+                return Err(format_err(
+                    path,
+                    format!("wrong magic {magic:?} (expected {INDEX_MAGIC:?})"),
+                ));
+            }
+            if version != INDEX_FORMAT_VERSION {
+                return Err(format_err(
+                    path,
+                    format!(
+                        "unsupported index format version {version} (this build reads \
+                         v{INDEX_FORMAT_VERSION}); rebuild the index with `ajax-search build`"
+                    ),
+                ));
+            }
+            let text = String::from_utf8(payload)
+                .map_err(|e| format_err(path, format!("payload is not UTF-8: {e}")))?;
+            let value: Value = serde_json::from_str(&text).map_err(|e| serde_err(path, e))?;
+            InvertedIndex::deserialize(&value)
+                .map_err(|e| format_err(path, format!("index payload: {e}")))
+        }
+        FrameRead::NotFramed(bytes) => load_index_legacy(path, bytes),
+    }
+}
+
+/// Loads a pre-frame (v1/v2) index file: a single JSON document, possibly
+/// wrapped in the v2 `{"magic","version","index"}` envelope.
+fn load_index_legacy(path: &Path, bytes: Vec<u8>) -> Result<InvertedIndex, PersistError> {
+    let text = String::from_utf8(bytes)
+        .map_err(|e| format_err(path, format!("file is not UTF-8: {e}")))?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| serde_err(path, e))?;
     let obj = value.as_object().ok_or_else(|| {
-        PersistError::Format(format!(
-            "expected an index envelope object, got {}",
-            value.kind()
-        ))
+        format_err(
+            path,
+            format!("expected an index envelope object, got {}", value.kind()),
+        )
     })?;
     match obj.get("magic").and_then(Value::as_str) {
         Some(INDEX_MAGIC) => {}
         Some(other) => {
-            return Err(PersistError::Format(format!(
-                "wrong magic {other:?} (expected {INDEX_MAGIC:?})"
-            )))
+            return Err(format_err(
+                path,
+                format!("wrong magic {other:?} (expected {INDEX_MAGIC:?})"),
+            ))
         }
         None => {
             // Pre-envelope files (the v1 BTreeMap layout) have no magic at
             // all — the common stale-file case; name the remedy.
-            return Err(PersistError::Format(
+            return Err(format_err(
+                path,
                 "no format magic: this looks like a v1 (pre-columnar) or foreign \
-                 file; rebuild the index with `ajax-search build`"
-                    .to_string(),
+                 file; rebuild the index with `ajax-search build`",
             ));
         }
     }
     match obj.get("version") {
-        Some(Value::U64(v)) if *v == INDEX_FORMAT_VERSION => {}
+        // v2 wrote the same columnar payload, just without the durable
+        // frame — keep old indexes loadable across the upgrade.
+        Some(Value::U64(2)) => {}
         Some(Value::U64(v)) => {
-            return Err(PersistError::Format(format!(
-                "unsupported index format version {v} (this build reads \
-                 v{INDEX_FORMAT_VERSION}); rebuild the index with `ajax-search build`"
-            )))
-        }
-        _ => {
-            return Err(PersistError::Format(
-                "missing or malformed format version".to_string(),
+            return Err(format_err(
+                path,
+                format!(
+                    "unsupported index format version {v} (this build reads \
+                     v{INDEX_FORMAT_VERSION}); rebuild the index with `ajax-search build`"
+                ),
             ))
         }
+        _ => return Err(format_err(path, "missing or malformed format version")),
     }
     let index = obj
         .get("index")
-        .ok_or_else(|| PersistError::Format("envelope has no index payload".to_string()))?;
-    InvertedIndex::deserialize(index)
-        .map_err(|e| PersistError::Format(format!("index payload: {e}")))
+        .ok_or_else(|| format_err(path, "envelope has no index payload"))?;
+    InvertedIndex::deserialize(index).map_err(|e| format_err(path, format!("index payload: {e}")))
 }
 
 /// Saves crawled application models to `path` — the per-partition
-/// `*.bin` files of §6.3.2, unified into one JSON document.
+/// `*.bin` files of §6.3.2, unified into one framed, atomically committed
+/// JSON document.
 pub fn save_models(path: impl AsRef<Path>, models: &[AppModel]) -> Result<(), PersistError> {
-    let json = serde_json::to_string(models)?;
-    fs::write(path, json)?;
+    let path = path.as_ref();
+    let payload = serde_json::to_string(models).map_err(|e| serde_err(path, e))?;
+    durable::write_framed(
+        path,
+        MODELS_MAGIC,
+        MODELS_FORMAT_VERSION,
+        payload.as_bytes(),
+    )?;
     Ok(())
 }
 
-/// Loads application models from `path`.
+/// Loads application models from `path` (framed current format, or a
+/// legacy bare JSON array).
 pub fn load_models(path: impl AsRef<Path>) -> Result<Vec<AppModel>, PersistError> {
-    let json = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    let path = path.as_ref();
+    let bytes = match durable::read_framed(path)? {
+        FrameRead::Framed {
+            magic,
+            version,
+            payload,
+        } => {
+            if magic != MODELS_MAGIC {
+                return Err(format_err(
+                    path,
+                    format!("wrong magic {magic:?} (expected {MODELS_MAGIC:?})"),
+                ));
+            }
+            if version != MODELS_FORMAT_VERSION {
+                return Err(format_err(
+                    path,
+                    format!(
+                        "unsupported model file version {version} (this build reads \
+                         v{MODELS_FORMAT_VERSION})"
+                    ),
+                ));
+            }
+            payload
+        }
+        FrameRead::NotFramed(bytes) => bytes,
+    };
+    let text = String::from_utf8(bytes)
+        .map_err(|e| format_err(path, format!("payload is not UTF-8: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| serde_err(path, e))
 }
 
 #[cfg(test)]
@@ -164,11 +286,15 @@ mod tests {
         m
     }
 
-    #[test]
-    fn index_roundtrip_preserves_search_results() -> Result<(), PersistError> {
+    fn sample_index() -> InvertedIndex {
         let mut b = IndexBuilder::new();
         b.add_model(&sample_model(), Some(0.7));
-        let index = b.build();
+        b.build()
+    }
+
+    #[test]
+    fn index_roundtrip_preserves_search_results() -> Result<(), PersistError> {
+        let index = sample_index();
 
         let path = temp_path("index.json");
         save_index(&path, &index)?;
@@ -184,16 +310,16 @@ mod tests {
 
     #[test]
     fn envelope_carries_magic_and_version() -> Result<(), PersistError> {
-        let mut b = IndexBuilder::new();
-        b.add_model(&sample_model(), Some(0.7));
-        let index = b.build();
+        let index = sample_index();
         let path = temp_path("envelope.json");
         save_index(&path, &index)?;
-        let text = std::fs::read_to_string(&path)?;
+        let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(text.contains("\"magic\""));
         assert!(text.contains(INDEX_MAGIC));
         assert!(text.contains("\"version\""));
+        assert!(text.contains("payload_crc32"));
+        assert!(text.contains(ajax_crawl::durable::EOF_MARKER));
         Ok(())
     }
 
@@ -228,9 +354,24 @@ mod tests {
     }
 
     #[test]
+    fn legacy_bare_model_array_still_loads() {
+        let models = vec![sample_model()];
+        let path = temp_path("legacy_models.json");
+        std::fs::write(&path, serde_json::to_string(&models).unwrap()).unwrap();
+        let loaded = load_models(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(models, loaded);
+    }
+
+    #[test]
     fn load_missing_file_errors() {
         let err = load_index("/nonexistent/definitely/missing.json").unwrap_err();
-        assert!(matches!(err, PersistError::Io(_)));
+        match err {
+            PersistError::Io { path, .. } => {
+                assert!(path.to_string_lossy().contains("missing.json"));
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -239,7 +380,7 @@ mod tests {
         std::fs::write(&path, "{not json")?;
         let err = load_index(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, PersistError::Serde(_)));
+        assert!(matches!(err, PersistError::Serde { .. }));
         Ok(())
     }
 
@@ -254,11 +395,29 @@ mod tests {
         let err = load_index(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         match err {
-            PersistError::Format(msg) => {
-                assert!(msg.contains("rebuild"), "unhelpful message: {msg}");
+            PersistError::Format { detail, .. } => {
+                assert!(detail.contains("rebuild"), "unhelpful message: {detail}");
             }
             other => panic!("expected Format error, got {other:?}"),
         }
+        Ok(())
+    }
+
+    #[test]
+    fn load_v2_envelope_still_loads() -> Result<(), PersistError> {
+        // What the previous release wrote: a one-document envelope with the
+        // same columnar payload, no frame. Must stay loadable.
+        let index = sample_index();
+        let mut envelope = serde::Map::new();
+        envelope.insert("magic".to_string(), Value::Str(INDEX_MAGIC.to_string()));
+        envelope.insert("version".to_string(), Value::U64(2));
+        envelope.insert("index".to_string(), index.serialize());
+        let json = serde_json::to_string(&Value::Object(envelope)).unwrap();
+        let path = temp_path("v2_index.json");
+        std::fs::write(&path, json).unwrap();
+        let loaded = load_index(&path)?;
+        std::fs::remove_file(&path).ok();
+        assert_eq!(index, loaded);
         Ok(())
     }
 
@@ -269,9 +428,64 @@ mod tests {
         let err = load_index(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         match err {
-            PersistError::Format(msg) => assert!(msg.contains("99"), "message: {msg}"),
+            PersistError::Format { detail, .. } => {
+                assert!(detail.contains("99"), "message: {detail}")
+            }
             other => panic!("expected Format error, got {other:?}"),
         }
         Ok(())
+    }
+
+    #[test]
+    fn truncated_index_detected_as_corrupt() {
+        let path = temp_path("truncated_index.json");
+        save_index(&path, &sample_index()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let err = load_index(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            PersistError::Corrupt { path, detail } => {
+                assert!(path.to_string_lossy().contains("truncated_index"));
+                assert!(detail.contains("truncat"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bitflipped_index_detected_as_corrupt() {
+        let path = temp_path("bitflip_index.json");
+        save_index(&path, &sample_index()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit in the middle of the payload (after the header line).
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let mid = header_end + (bytes.len() - header_end) / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_index(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            PersistError::Corrupt { detail, .. } => {
+                assert!(detail.contains("checksum"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_commits_atomically_leaving_no_tmp() {
+        let path = temp_path("atomic_index.json");
+        save_index(&path, &sample_index()).unwrap();
+        assert!(path.exists());
+        assert!(!ajax_crawl::durable::tmp_path(&path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_names_the_offending_file() {
+        let err = load_index("/nonexistent/definitely/missing.json").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing.json"), "message: {msg}");
     }
 }

@@ -30,6 +30,9 @@ pub struct Metrics {
     pub cache_evictions: AtomicU64,
     /// Index reloads (each also invalidates the cache).
     pub reloads: AtomicU64,
+    /// Rejected index reloads (corrupt artifact, shard-count or weights
+    /// mismatch) — the server kept serving the previous generation.
+    pub reloads_rejected: AtomicU64,
     /// Resident size of the served index in bytes (gauge; set at startup
     /// and on every reload from the shards' honest `approx_bytes`).
     pub index_bytes: AtomicU64,
@@ -50,6 +53,7 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             cache_evictions: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
             index_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             shard_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
@@ -76,6 +80,7 @@ impl Metrics {
             shed: self.shed.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
+            reloads_rejected: self.reloads_rejected.load(Ordering::Relaxed),
             index_bytes: self.index_bytes.load(Ordering::Relaxed),
             qps: if uptime_micros == 0 {
                 0.0
@@ -116,6 +121,7 @@ pub struct MetricsSnapshot {
     pub shed: u64,
     pub degraded: u64,
     pub reloads: u64,
+    pub reloads_rejected: u64,
     pub index_bytes: u64,
     pub qps: f64,
     pub latency_mean_micros: f64,

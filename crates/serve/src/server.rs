@@ -132,6 +132,10 @@ pub enum ServeError {
     /// The shard transport refused or failed the operation (e.g. hot
     /// reloading remote shard processes, which must be restarted instead).
     Transport(String),
+    /// `reload_from_path` was pointed at a missing, corrupt, or
+    /// wrong-format index artifact; the server kept serving the previous
+    /// generation.
+    CorruptArtifact(String),
 }
 
 impl fmt::Display for ServeError {
@@ -159,6 +163,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Transport(e) => write!(f, "shard transport: {e}"),
+            ServeError::CorruptArtifact(e) => {
+                write!(f, "reload rejected, serving previous generation: {e}")
+            }
         }
     }
 }
@@ -517,6 +524,14 @@ impl ShardServer {
     /// scoring and cache-keying with its original weights, silently
     /// diverging from a fresh broker.
     pub fn reload(&self, broker: QueryBroker) -> Result<(), ServeError> {
+        self.try_reload(broker).inspect_err(|_| {
+            self.metrics
+                .reloads_rejected
+                .fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    fn try_reload(&self, broker: QueryBroker) -> Result<(), ServeError> {
         if broker.shard_count() != self.transport.shard_count() {
             return Err(ServeError::ShardCountMismatch {
                 expected: self.transport.shard_count(),
@@ -540,6 +555,24 @@ impl ShardServer {
             .index_bytes
             .store(index_bytes, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Reloads the serving index from a persisted single-shard artifact
+    /// (what `ajax-search build --out` writes). A missing, torn, or
+    /// checksum-failing file is rejected as
+    /// [`ServeError::CorruptArtifact`] and the server keeps answering
+    /// queries from the generation it already holds; the rejection is
+    /// visible as `reloads_rejected` in the metrics snapshot.
+    pub fn reload_from_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), ServeError> {
+        let index = ajax_index::persist::load_index(&path).map_err(|e| {
+            self.metrics
+                .reloads_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            ServeError::CorruptArtifact(e.to_string())
+        })?;
+        let mut broker = QueryBroker::new(vec![index]);
+        broker.weights = self.weights;
+        self.reload(broker)
     }
 
     /// Drops every cached result (exposed for operational use; `reload`
@@ -710,6 +743,49 @@ mod tests {
         assert!(again.from_cache);
         assert_eq!(again.results, cached.results);
         assert_eq!(server.metrics_snapshot().reloads, 0);
+        assert_eq!(server.metrics_snapshot().reloads_rejected, 1);
+    }
+
+    #[test]
+    fn corrupt_reload_keeps_serving_old_generation() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("ajax_serve_reload_{}.ajx", std::process::id()));
+
+        // A single-shard server whose index came from a persisted artifact.
+        let mut b = IndexBuilder::new();
+        for m in corpus() {
+            b.add_model(&m, Some(0.2));
+        }
+        ajax_index::persist::save_index(&path, &b.build()).unwrap();
+        let server = ShardServer::new(
+            QueryBroker::new(vec![ajax_index::persist::load_index(&path).unwrap()]),
+            ServeConfig::default(),
+        );
+        let before = server.search("wow dance").unwrap();
+        assert!(!before.results.is_empty());
+
+        // A valid artifact reloads fine.
+        server.reload_from_path(&path).unwrap();
+        assert_eq!(server.metrics_snapshot().reloads, 1);
+
+        // Truncate the artifact mid-payload: the reload must be refused,
+        // counted, and the old generation must keep answering.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = server.reload_from_path(&path).unwrap_err();
+        assert!(matches!(err, ServeError::CorruptArtifact(_)), "{err:?}");
+        let after = server.search("wow dance").unwrap();
+        assert_eq!(after.results, before.results);
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.reloads, 1, "rejected reload must not count");
+        assert_eq!(snap.reloads_rejected, 1);
+
+        // A missing artifact is also a rejection, not a crash.
+        std::fs::remove_file(&path).ok();
+        let err = server.reload_from_path(&path).unwrap_err();
+        assert!(matches!(err, ServeError::CorruptArtifact(_)));
+        assert_eq!(server.metrics_snapshot().reloads_rejected, 2);
+        assert_eq!(server.search("wow dance").unwrap().results, before.results);
     }
 
     #[test]

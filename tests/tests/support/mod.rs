@@ -1,0 +1,57 @@
+//! Shared helpers for integration tests that drive the real `ajax-search`
+//! binary as a subprocess.
+
+use std::path::PathBuf;
+
+/// Locates the compiled `ajax-search` binary.
+///
+/// Order: the `AJAX_SEARCH_BIN` environment variable (what CI sets), then
+/// the `target/{debug,release}` directories walking up from the running
+/// test executable (which lives in `target/<profile>/deps/`).
+pub fn find_ajax_search() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("AJAX_SEARCH_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Some(path);
+        }
+    }
+    let name = format!("ajax-search{}", std::env::consts::EXE_SUFFIX);
+    let exe = std::env::current_exe().ok()?;
+    for dir in exe.ancestors().skip(1) {
+        let direct = dir.join(&name);
+        if direct.is_file() {
+            return Some(direct);
+        }
+        for profile in ["debug", "release"] {
+            let nested = dir.join(profile).join(&name);
+            if nested.is_file() {
+                return Some(nested);
+            }
+        }
+    }
+    None
+}
+
+/// A scratch directory under the system temp dir, unique to this process
+/// and `tag`; recreated empty. Removed on drop.
+pub struct ScratchDir(pub PathBuf);
+
+impl ScratchDir {
+    pub fn new(tag: &str) -> Self {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("ajax_it_{}_{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
