@@ -15,6 +15,7 @@ use ajax_crawl::partition::partition_urls;
 use ajax_index::invert::{build_index_parallel, planned_build_path, IndexBuilder, InvertedIndex};
 use ajax_index::query::{search, Query, RankWeights};
 use ajax_index::reference::{ref_search, RefIndex, RefIndexBuilder};
+use ajax_index::{load_index, save_index, save_index_v3};
 use ajax_net::Server;
 use ajax_webgen::{query_workload, NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
 use serde::Serialize;
@@ -26,6 +27,22 @@ use std::time::Instant;
 const QUERY_REPS: usize = 3;
 /// Index-build repetitions; the reported time is the fastest (least noisy).
 const BUILD_REPS: usize = 3;
+/// Cold-start (open → first query) repetitions; the reported time is the
+/// fastest. Repeats run against a warm page cache, so this isolates the
+/// *decode* cost difference — v3 must deserialize the whole JSON payload,
+/// v4 maps the segment and decodes nothing up front.
+const COLD_REPS: usize = 3;
+
+/// The corpus scale the committed v4 on-disk ceilings were measured at —
+/// the CI bench-smoke invocation (`exp_index_perf --pages 40`). The gate
+/// only fires at this scale: bytes/state shifts with corpus size as the
+/// dictionary amortizes.
+const V4_BASELINE_PAGES: u32 = 40;
+/// Committed v4 bytes/state ceilings per site at [`V4_BASELINE_PAGES`]
+/// (measured value + ~25% headroom). A run at the baseline scale that
+/// regresses above its ceiling aborts the bench, failing CI — encoder
+/// bloat cannot land silently.
+const V4_BYTES_PER_STATE_CEILING: &[(&str, f64)] = &[("vidshare", 1110.0), ("news", 737.0)];
 
 /// One site's build + query measurements.
 #[derive(Debug, Clone, Serialize)]
@@ -35,9 +52,26 @@ pub struct SitePerf {
     pub states: u64,
     pub terms: usize,
     /// Honest resident size: dictionary strings, posting columns, position
-    /// arena, page tables — capacities, not lengths.
+    /// arena, page tables — content bytes, identical across build paths.
     pub index_bytes: usize,
     pub bytes_per_state: f64,
+    /// On-disk size of the same index persisted as a legacy v3 (framed
+    /// JSON) artifact.
+    pub v3_disk_bytes: u64,
+    /// On-disk size persisted as the current v4 compressed segment.
+    pub v4_disk_bytes: u64,
+    /// `v4_disk_bytes / states` — the number the committed CI ceiling
+    /// ([`V4_BYTES_PER_STATE_CEILING`]) gates.
+    pub v4_bytes_per_state: f64,
+    /// `v3_disk_bytes / v4_disk_bytes` (> 1 means v4 is smaller).
+    pub v4_compression_vs_v3: f64,
+    /// Cold start, v3: open + full JSON deserialize + first workload query.
+    pub cold_start_v3_micros: f64,
+    /// Cold start, v4: open + mmap + first workload query (postings decode
+    /// lazily, so this is near-constant in corpus size).
+    pub cold_start_v4_micros: f64,
+    /// `cold_start_v3_micros / cold_start_v4_micros` (> 1: v4 faster).
+    pub cold_start_speedup: f64,
     /// Sequential single-threaded build, best of [`BUILD_REPS`].
     pub build_ms: f64,
     pub build_states_per_sec: f64,
@@ -108,6 +142,72 @@ fn percentile(samples: &mut [f64], q: f64) -> f64 {
     samples[idx]
 }
 
+/// Cold-start probe: persist `index` in both on-disk formats, then time
+/// open → first workload query for each. Before timing, the mmap-loaded v4
+/// index is checked **bit-identical** to the in-memory build over the whole
+/// workload (which the equivalence suite pins to the frozen reference
+/// oracle). Returns `(v3_disk, v4_disk, v3_micros, v4_micros)`.
+fn measure_cold_start(
+    site: &str,
+    index: &InvertedIndex,
+    queries: &[Query],
+    weights: &RankWeights,
+) -> (u64, u64, f64, f64) {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let v3_path = dir.join(format!("ajax-bench-{pid}-{site}.v3.ajx"));
+    let v4_path = dir.join(format!("ajax-bench-{pid}-{site}.v4.ajx"));
+    save_index_v3(&v3_path, index).expect("persist v3 artifact");
+    save_index(&v4_path, index).expect("persist v4 artifact");
+    let v3_disk = std::fs::metadata(&v3_path).expect("v3 metadata").len();
+    let v4_disk = std::fs::metadata(&v4_path).expect("v4 metadata").len();
+
+    let mapped = load_index(&v4_path).expect("load v4 artifact");
+    for q in queries {
+        let mem = search(index, q, weights);
+        let map = search(&mapped, q, weights);
+        assert_eq!(
+            mem.len(),
+            map.len(),
+            "{site}: result count for {:?}",
+            q.terms
+        );
+        for (a, b) in mem.iter().zip(map.iter()) {
+            assert_eq!(a.url, b.url, "{site}: url for {:?}", q.terms);
+            assert_eq!(a.doc, b.doc, "{site}: doc for {:?}", q.terms);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{site}: score bits for {:?}",
+                q.terms
+            );
+        }
+    }
+    drop(mapped);
+
+    let probe = &queries[0];
+    let expected = search(index, probe, weights).len();
+    let time_open = |path: &std::path::Path| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..COLD_REPS {
+            let t0 = Instant::now();
+            let loaded = load_index(path).expect("load persisted index");
+            let results = search(&loaded, probe, weights);
+            best = best.min(t0.elapsed().as_secs_f64());
+            // Both backings must answer the probe query identically, or the
+            // two cold-start numbers are not measuring the same work.
+            assert_eq!(results.len(), expected, "cold-start result drift ({site})");
+            std::hint::black_box(results.len());
+        }
+        best * 1e6
+    };
+    let v3_micros = time_open(&v3_path);
+    let v4_micros = time_open(&v4_path);
+    let _ = std::fs::remove_file(&v3_path);
+    let _ = std::fs::remove_file(&v4_path);
+    (v3_disk, v4_disk, v3_micros, v4_micros)
+}
+
 fn measure_site(site: &str, models: &[AppModel], queries: &[Query]) -> SitePerf {
     // Build throughput: fastest of BUILD_REPS sequential builds.
     let mut build_s = f64::INFINITY;
@@ -125,6 +225,15 @@ fn measure_site(site: &str, models: &[AppModel], queries: &[Query]) -> SitePerf 
         let t0 = Instant::now();
         let par = build_index_parallel(&refs, None, 4);
         parallel_s = parallel_s.min(t0.elapsed().as_secs_f64());
+        // Canonical layout + content-derived sizing: both build paths must
+        // report the same resident footprint (this regressed once, when
+        // `approx_bytes` summed `Vec::capacity` and the answer depended on
+        // each path's reallocation history).
+        assert_eq!(
+            par.approx_bytes(),
+            index.approx_bytes(),
+            "serial and parallel builds must report identical approx_bytes ({site})"
+        );
         std::hint::black_box(par.total_states);
     }
 
@@ -146,6 +255,7 @@ fn measure_site(site: &str, models: &[AppModel], queries: &[Query]) -> SitePerf 
 
     let states = index.total_states;
     let bytes = index.approx_bytes();
+    let (v3_disk, v4_disk, cold_v3, cold_v4) = measure_cold_start(site, &index, queries, &weights);
     SitePerf {
         site: site.to_string(),
         pages: models.len(),
@@ -153,6 +263,13 @@ fn measure_site(site: &str, models: &[AppModel], queries: &[Query]) -> SitePerf 
         terms: index.term_count(),
         index_bytes: bytes,
         bytes_per_state: bytes as f64 / states.max(1) as f64,
+        v3_disk_bytes: v3_disk,
+        v4_disk_bytes: v4_disk,
+        v4_bytes_per_state: v4_disk as f64 / states.max(1) as f64,
+        v4_compression_vs_v3: v3_disk as f64 / (v4_disk as f64).max(1.0),
+        cold_start_v3_micros: cold_v3,
+        cold_start_v4_micros: cold_v4,
+        cold_start_speedup: cold_v3 / cold_v4.max(1e-9),
         build_ms: build_s * 1e3,
         build_states_per_sec: states as f64 / build_s.max(1e-12),
         parallel_build_ms: parallel_s * 1e3,
@@ -222,8 +339,39 @@ pub fn collect(pages: u32) -> IndexPerfData {
         measure_site("vidshare", &vid_models, &queries),
         measure_site("news", &news_models, &queries),
     ];
+    if pages == V4_BASELINE_PAGES {
+        enforce_v4_ceilings(&sites);
+    }
     let kernel = measure_speedup("vidshare", &vid_models, &queries);
     IndexPerfData { sites, kernel }
+}
+
+/// Aborts the bench when a site's v4 on-disk density regresses above its
+/// committed ceiling. Only meaningful at [`V4_BASELINE_PAGES`]; `collect`
+/// gates the call.
+fn enforce_v4_ceilings(sites: &[SitePerf]) {
+    for s in sites {
+        let Some((_, ceiling)) = V4_BYTES_PER_STATE_CEILING
+            .iter()
+            .find(|(name, _)| *name == s.site)
+        else {
+            continue;
+        };
+        assert!(
+            s.v4_bytes_per_state <= *ceiling,
+            "v4 segment regression: {} packs {:.1} B/state on disk, above the \
+             committed ceiling of {:.1} B/state at --pages {} — the encoder got \
+             fatter; fix it or re-commit the baseline deliberately",
+            s.site,
+            s.v4_bytes_per_state,
+            ceiling,
+            V4_BASELINE_PAGES,
+        );
+        eprintln!(
+            "[index_perf] v4 baseline ok: {} {:.1} B/state <= ceiling {:.1}",
+            s.site, s.v4_bytes_per_state, ceiling
+        );
+    }
 }
 
 impl IndexPerfData {
@@ -236,6 +384,12 @@ impl IndexPerfData {
             "terms",
             "KiB",
             "B/state",
+            "v4 KiB",
+            "v4 B/st",
+            "v3/v4",
+            "cold v3 µs",
+            "cold v4 µs",
+            "cold x",
             "build ms",
             "states/s",
             "par ms",
@@ -252,6 +406,12 @@ impl IndexPerfData {
                 s.terms.to_string(),
                 format!("{:.1}", s.index_bytes as f64 / 1024.0),
                 format!("{:.1}", s.bytes_per_state),
+                format!("{:.1}", s.v4_disk_bytes as f64 / 1024.0),
+                format!("{:.1}", s.v4_bytes_per_state),
+                format!("x{:.1}", s.v4_compression_vs_v3),
+                format!("{:.0}", s.cold_start_v3_micros),
+                format!("{:.0}", s.cold_start_v4_micros),
+                format!("x{:.1}", s.cold_start_speedup),
                 format!("{:.2}", s.build_ms),
                 format!("{:.0}", s.build_states_per_sec),
                 format!("{:.2}", s.parallel_build_ms),
@@ -261,8 +421,24 @@ impl IndexPerfData {
                 s.total_results.to_string(),
             ]);
         }
+        let cold: String = self
+            .sites
+            .iter()
+            .map(|s| {
+                format!(
+                    "cold start ({}): v4 mmap {:.0} µs vs v3 deserialize {:.0} µs (x{:.1}); \
+                     on disk v4 packs x{:.1} tighter than v3\n",
+                    s.site,
+                    s.cold_start_v4_micros,
+                    s.cold_start_v3_micros,
+                    s.cold_start_speedup,
+                    s.v4_compression_vs_v3,
+                )
+            })
+            .collect();
         format!(
             "Index performance — columnar layout, 100-query workload (wall clock)\n{}\n\
+             {cold}\
              kernel speedup ({}): x{:.2} over the pre-columnar reference \
              ({:.2} ms → {:.2} ms for the full workload)\n",
             t.render(),
@@ -300,8 +476,17 @@ mod tests {
             assert!(s.query_p95_micros >= s.query_p50_micros);
             // 6 pages is far below the min-states threshold.
             assert_eq!(s.build_path, "serial");
+            // On-disk + cold-start columns: the v4 segment must exist, be
+            // smaller than the v3 JSON, and open in measurable time.
+            assert!(s.v4_disk_bytes > 0);
+            assert!(s.v4_disk_bytes < s.v3_disk_bytes);
+            assert!(s.v4_bytes_per_state > 0.0);
+            assert!(s.v4_compression_vs_v3 > 1.0);
+            assert!(s.cold_start_v3_micros > 0.0);
+            assert!(s.cold_start_v4_micros > 0.0);
         }
         assert!(data.kernel.speedup > 0.0);
         assert!(data.render().contains("kernel speedup"));
+        assert!(data.render().contains("cold start"));
     }
 }

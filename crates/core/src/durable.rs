@@ -194,15 +194,15 @@ fn parse_header(line: &str) -> Option<(String, u64, u32, usize)> {
     Some((magic, version, crc, len))
 }
 
-/// Reads `path` and validates its frame: header sanity, declared payload
-/// length, trailing end-of-file marker, CRC32. Any violation is
-/// [`DurableError::Corrupt`] naming the path and what failed; a file that
-/// does not even start with a frame header comes back as
-/// [`FrameRead::NotFramed`] so callers can run their legacy parser (and
-/// produce their historical error messages).
-pub fn read_framed(path: impl AsRef<Path>) -> Result<FrameRead, DurableError> {
-    let path = path.as_ref();
-    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+/// Validates a frame in place: header sanity, declared payload length,
+/// trailing end-of-file marker, CRC32 over the **raw payload bytes** (no
+/// UTF-8 assumption — binary payloads are first-class). Returns the parsed
+/// `(magic, version)` and the payload's byte range within `bytes`, or `None`
+/// when the content is not framed at all (legacy fallback territory).
+fn validate_frame(
+    bytes: &[u8],
+    path: &Path,
+) -> Result<Option<(String, u64, std::ops::Range<usize>)>, DurableError> {
     let corrupt = |detail: String| DurableError::Corrupt {
         path: path.to_path_buf(),
         detail,
@@ -221,21 +221,21 @@ pub fn read_framed(path: impl AsRef<Path>) -> Result<FrameRead, DurableError> {
     };
 
     let Some(header_end) = bytes.iter().position(|&b| b == b'\n') else {
-        if torn_header(&bytes) {
+        if torn_header(bytes) {
             return Err(corrupt(
                 "truncated frame header (file ends mid-header)".to_string(),
             ));
         }
-        return Ok(FrameRead::NotFramed(bytes));
+        return Ok(None);
     };
     let Ok(header_line) = std::str::from_utf8(&bytes[..header_end]) else {
-        return Ok(FrameRead::NotFramed(bytes));
+        return Ok(None);
     };
     let Some((magic, version, crc, len)) = parse_header(header_line) else {
         if torn_header(header_line.as_bytes()) {
             return Err(corrupt("malformed frame header".to_string()));
         }
-        return Ok(FrameRead::NotFramed(bytes));
+        return Ok(None);
     };
 
     // From here on the file claims to be framed, so every deviation is
@@ -265,11 +265,77 @@ pub fn read_framed(path: impl AsRef<Path>) -> Result<FrameRead, DurableError> {
             "checksum mismatch: payload crc32 {actual:#010x}, header declares {crc:#010x}"
         )));
     }
-    Ok(FrameRead::Framed {
-        magic,
-        version,
-        payload: payload.to_vec(),
-    })
+    Ok(Some((magic, version, payload_start..payload_start + len)))
+}
+
+/// Reads `path` and validates its frame: header sanity, declared payload
+/// length, trailing end-of-file marker, CRC32. Any violation is
+/// [`DurableError::Corrupt`] naming the path and what failed; a file that
+/// does not even start with a frame header comes back as
+/// [`FrameRead::NotFramed`] so callers can run their legacy parser (and
+/// produce their historical error messages).
+pub fn read_framed(path: impl AsRef<Path>) -> Result<FrameRead, DurableError> {
+    let path = path.as_ref();
+    let bytes = fs::read(path).map_err(|e| io_err(path, e))?;
+    match validate_frame(&bytes, path)? {
+        Some((magic, version, payload)) => Ok(FrameRead::Framed {
+            magic,
+            version,
+            payload: bytes[payload].to_vec(),
+        }),
+        None => Ok(FrameRead::NotFramed(bytes)),
+    }
+}
+
+/// A validated frame over a memory-mapped file: the payload is a borrowed
+/// window into the mapping, never copied to the heap. The frame (header,
+/// marker, CRC) is verified once at open; afterwards [`MappedFrame::payload`]
+/// is a plain slice whose pages fault in on demand.
+#[derive(Debug)]
+pub struct MappedFrame {
+    buf: crate::mapfile::MappedFile,
+    pub magic: String,
+    pub version: u64,
+    payload: std::ops::Range<usize>,
+}
+
+impl MappedFrame {
+    /// The validated payload bytes, borrowed from the mapping.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf[self.payload.clone()]
+    }
+
+    /// True when the backing is an actual kernel mapping.
+    pub fn is_mapped(&self) -> bool {
+        self.buf.is_mapped()
+    }
+}
+
+/// What [`map_framed`] found on disk.
+#[derive(Debug)]
+pub enum MapRead {
+    /// A checksummed frame that validated end to end, payload left in place.
+    Framed(MappedFrame),
+    /// The first line is not a frame header; raw bytes for a legacy parse.
+    NotFramed(Vec<u8>),
+}
+
+/// [`read_framed`], zero-copy: memory-maps `path`, validates the frame in
+/// place and hands back a [`MappedFrame`] whose payload borrows the mapping.
+/// Unframed (legacy) files are small JSON documents — those are returned as
+/// owned bytes like [`read_framed`] does.
+pub fn map_framed(path: impl AsRef<Path>) -> Result<MapRead, DurableError> {
+    let path = path.as_ref();
+    let buf = crate::mapfile::MappedFile::open(path).map_err(|e| io_err(path, e))?;
+    match validate_frame(&buf, path)? {
+        Some((magic, version, payload)) => Ok(MapRead::Framed(MappedFrame {
+            buf,
+            magic,
+            version,
+            payload,
+        })),
+        None => Ok(MapRead::NotFramed(buf.as_slice().to_vec())),
+    }
 }
 
 /// What `fsck` learned about one file.
@@ -337,6 +403,71 @@ mod tests {
             other => panic!("expected framed, got {other:?}"),
         }
         assert!(!tmp_path(&path).exists(), "commit removed the temp file");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_payload_roundtrips_and_maps() {
+        // Non-UTF-8 payload containing newlines, NULs and the EOF marker's
+        // own bytes: the frame must treat it as opaque binary.
+        let path = temp("binary");
+        let mut payload: Vec<u8> = (0u8..=255).collect();
+        payload.extend_from_slice(b"\n#ajax-durable-eof\n");
+        payload.extend_from_slice(&[0xFF, 0xFE, 0x00, b'\n']);
+        write_framed(&path, "ajax-bin", 4, &payload).unwrap();
+        match read_framed(&path).unwrap() {
+            FrameRead::Framed {
+                magic,
+                version,
+                payload: read_back,
+            } => {
+                assert_eq!(magic, "ajax-bin");
+                assert_eq!(version, 4);
+                assert_eq!(read_back, payload);
+            }
+            other => panic!("expected framed, got {other:?}"),
+        }
+        match map_framed(&path).unwrap() {
+            MapRead::Framed(frame) => {
+                assert_eq!(frame.magic, "ajax-bin");
+                assert_eq!(frame.version, 4);
+                assert_eq!(frame.payload(), payload.as_slice());
+            }
+            MapRead::NotFramed(_) => panic!("expected mapped frame"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn map_framed_matches_read_framed_on_corruption() {
+        let path = temp("map_corrupt");
+        write_framed(&path, "ajax-bin", 4, b"some payload here").unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let mapped = map_framed(&path);
+        let read = read_framed(&path);
+        match (mapped, read) {
+            (
+                Err(DurableError::Corrupt { detail: a, .. }),
+                Err(DurableError::Corrupt { detail: b, .. }),
+            ) => {
+                assert_eq!(a, b, "mapped and heap reads must agree on the diagnosis");
+            }
+            other => panic!("expected matching Corrupt errors, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn map_framed_falls_back_to_legacy_bytes() {
+        let path = temp("map_legacy");
+        fs::write(&path, b"{\"not\": \"framed\"}").unwrap();
+        match map_framed(&path).unwrap() {
+            MapRead::NotFramed(bytes) => assert_eq!(bytes, b"{\"not\": \"framed\"}"),
+            MapRead::Framed(_) => panic!("legacy JSON must not parse as a frame"),
+        }
         fs::remove_file(&path).ok();
     }
 

@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod crawler;
 pub mod durable;
 pub mod hotnode;
+pub mod mapfile;
 pub mod model;
 pub mod pagerank;
 pub mod parallel;
@@ -57,6 +58,7 @@ pub use crawler::{
 };
 pub use durable::DurableError;
 pub use hotnode::{HotNodeCache, HotNodeStats};
+pub use mapfile::MappedFile;
 pub use model::{AppModel, SiteModel, State, StateId, Transition};
 pub use pagerank::pagerank;
 pub use parallel::{MpCrawler, MpReport, PageFailure};

@@ -358,11 +358,14 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         });
     }
     write_trace(trace_out, profile, &engine)?;
+    let on_disk = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     eprintln!(
-        "saved {} terms / {} states ({:.1} KiB resident) to {out} (commit {:.1} ms wall)",
+        "saved {} terms / {} states ({:.1} KiB resident, {:.1} KiB on disk as a v4 segment) \
+         to {out} (commit {:.1} ms wall)",
         index.term_count(),
         index.total_states,
         index.approx_bytes() as f64 / 1024.0,
+        on_disk as f64 / 1024.0,
         save_wall.as_micros() as f64 / 1e3,
     );
     Ok(())
@@ -798,8 +801,40 @@ fn cmd_fsck(args: &[String]) -> Result<(), String> {
                 version,
                 payload_len,
             }) => {
-                println!("OK         {name}: {magic} v{version}, {payload_len} payload bytes, checksum verified");
-                ok += 1;
+                // Frame-valid index files are further classified by format
+                // version: only the current v4 segment is fully OK; a v3
+                // (JSON) frame is readable but previous-generation; any
+                // other version is unreadable by this build.
+                if magic == ajax_index::INDEX_MAGIC {
+                    match version {
+                        ajax_index::INDEX_FORMAT_VERSION => {
+                            println!(
+                                "OK         {name}: {magic} v{version} (mmap-able segment), \
+                                 {payload_len} payload bytes, checksum verified"
+                            );
+                            ok += 1;
+                        }
+                        ajax_index::INDEX_V3_VERSION => {
+                            println!(
+                                "LEGACY     {name}: {magic} v{version} (JSON) — still \
+                                 loadable; rewrite with the current build for the \
+                                 compressed mmap-able v4 segment"
+                            );
+                            legacy += 1;
+                        }
+                        other => {
+                            println!(
+                                "FATAL      {name}: {magic} v{other} is not readable by \
+                                 this build (reads v4 and v3) — rebuild with \
+                                 `ajax-search build`"
+                            );
+                            fatal += 1;
+                        }
+                    }
+                } else {
+                    println!("OK         {name}: {magic} v{version}, {payload_len} payload bytes, checksum verified");
+                    ok += 1;
+                }
             }
             Ok(Inspection::Legacy { bytes }) => {
                 println!(

@@ -1,31 +1,58 @@
 //! The term dictionary: interns terms to dense [`TermId`]s.
 //!
-//! Terms are stored **sorted lexicographically** in one `Vec<String>`; the
-//! `TermId` of a term is its rank in that order. Lookups go through a small
-//! open-addressing hash table that stores only `TermId`s (no duplicated
-//! strings), so a lookup is one hash plus a handful of probes, each a single
-//! `&str` comparison against the sorted term column.
+//! Terms are stored **sorted lexicographically**; the `TermId` of a term is
+//! its rank in that order. The dictionary has two representations:
+//!
+//! * **Owned** — one `Vec<String>` plus a small open-addressing hash table
+//!   of `TermId`s, so a lookup is one hash and a handful of probes, each a
+//!   single `&str` comparison against the sorted term column. This is what
+//!   builders and merges produce.
+//! * **Mapped** — a front-coded byte block inside an mmap-ed v4 segment
+//!   (`segment::MappedDict`). Lookups binary-search the block heads and scan
+//!   one front-coded block against the mapped bytes; no `Vec<String>` is
+//!   ever materialized. [`TermDict::decode_term`] reconstructs individual
+//!   terms on demand into a caller buffer.
 //!
 //! Keeping the dictionary sorted makes the whole index layout *canonical*:
 //! two indexes over the same logical content are structurally equal (same
 //! columns, same arena order) regardless of build order — the property the
 //! determinism contract of `docs/index-internals.md` rests on.
 
+use crate::segment::MappedDict;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::hash::{Hash, Hasher};
 
 /// Dense identifier of a term: its rank in the sorted dictionary.
 pub type TermId = u32;
 
-/// Sorted, hash-indexed term dictionary.
-#[derive(Debug, Clone, Default)]
+/// Sorted term dictionary — owned (hash-indexed) or mapped (front-coded).
+#[derive(Debug, Clone)]
 pub struct TermDict {
-    /// Sorted term column; `TermId` = index.
-    terms: Vec<String>,
-    /// Open-addressing table of `TermId + 1` (0 = empty slot). Always a
-    /// power of two, ≥ 2× the term count. Rebuilt on deserialize — never
-    /// persisted.
-    buckets: Vec<u32>,
+    repr: DictRepr,
+}
+
+#[derive(Debug, Clone)]
+enum DictRepr {
+    Owned {
+        /// Sorted term column; `TermId` = index.
+        terms: Vec<String>,
+        /// Open-addressing table of `TermId + 1` (0 = empty slot). Always a
+        /// power of two, ≥ 2× the term count. Rebuilt on deserialize — never
+        /// persisted.
+        buckets: Vec<u32>,
+    },
+    Mapped(MappedDict),
+}
+
+impl Default for TermDict {
+    fn default() -> Self {
+        Self {
+            repr: DictRepr::Owned {
+                terms: Vec::new(),
+                buckets: Vec::new(),
+            },
+        }
+    }
 }
 
 impl TermDict {
@@ -36,69 +63,160 @@ impl TermDict {
             "dictionary terms must be sorted and unique"
         );
         let buckets = build_buckets(&terms);
-        Self { terms, buckets }
+        Self {
+            repr: DictRepr::Owned { terms, buckets },
+        }
+    }
+
+    /// Wraps a mapped v4 segment dictionary (already validated at open).
+    pub(crate) fn from_mapped(mapped: MappedDict) -> Self {
+        Self {
+            repr: DictRepr::Mapped(mapped),
+        }
     }
 
     /// Number of distinct terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        match &self.repr {
+            DictRepr::Owned { terms, .. } => terms.len(),
+            DictRepr::Mapped(m) => m.len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
-    /// The term with the given id.
+    /// True when the terms live in a mapped segment rather than on the heap.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, DictRepr::Mapped(_))
+    }
+
+    /// The term with the given id. Owned dictionaries only — mapped terms
+    /// have no resident string to borrow; use [`TermDict::decode_term`].
     pub fn term(&self, id: TermId) -> &str {
-        &self.terms[id as usize]
-    }
-
-    /// The sorted term column.
-    pub fn terms(&self) -> &[String] {
-        &self.terms
-    }
-
-    /// Looks a term up: hash probe into the bucket table, comparing against
-    /// the sorted column. O(1) expected, no allocation.
-    pub fn lookup(&self, term: &str) -> Option<TermId> {
-        if self.buckets.is_empty() {
-            return None;
+        match &self.repr {
+            DictRepr::Owned { terms, .. } => &terms[id as usize],
+            DictRepr::Mapped(_) => {
+                panic!("TermDict::term on a mapped dictionary; use decode_term")
+            }
         }
-        let mask = self.buckets.len() - 1;
-        let mut slot = (hash_term(term) as usize) & mask;
-        loop {
-            match self.buckets[slot] {
-                0 => return None,
-                id_plus_one => {
-                    let id = id_plus_one - 1;
-                    if self.terms[id as usize] == term {
-                        return Some(id);
+    }
+
+    /// The sorted term column. Owned dictionaries only.
+    pub fn terms(&self) -> &[String] {
+        match &self.repr {
+            DictRepr::Owned { terms, .. } => terms,
+            DictRepr::Mapped(_) => {
+                panic!("TermDict::terms on a mapped dictionary; decode terms individually")
+            }
+        }
+    }
+
+    /// Decodes the term with the given id into `buf` and returns it. Works
+    /// on both representations; the owned path copies so callers can treat
+    /// the buffer uniformly.
+    pub fn decode_term<'b>(&self, id: TermId, buf: &'b mut Vec<u8>) -> &'b str {
+        match &self.repr {
+            DictRepr::Owned { terms, .. } => {
+                buf.clear();
+                buf.extend_from_slice(terms[id as usize].as_bytes());
+                std::str::from_utf8(buf).expect("owned terms are UTF-8")
+            }
+            DictRepr::Mapped(m) => m.decode_term(id, buf),
+        }
+    }
+
+    /// Looks a term up. Owned: hash probe into the bucket table. Mapped:
+    /// block binary search over the front-coded bytes. O(1) expected /
+    /// O(log blocks + block) respectively, no allocation either way.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        match &self.repr {
+            DictRepr::Owned { terms, buckets } => {
+                if buckets.is_empty() {
+                    return None;
+                }
+                let mask = buckets.len() - 1;
+                let mut slot = (hash_term(term) as usize) & mask;
+                loop {
+                    match buckets[slot] {
+                        0 => return None,
+                        id_plus_one => {
+                            let id = id_plus_one - 1;
+                            if terms[id as usize] == term {
+                                return Some(id);
+                            }
+                        }
                     }
+                    slot = (slot + 1) & mask;
                 }
             }
-            slot = (slot + 1) & mask;
+            DictRepr::Mapped(m) => m.lookup(term),
         }
     }
 
-    /// Estimated heap footprint in bytes: string headers + string bytes
-    /// (capacity, not len) + the bucket table.
+    /// Materializes an owned dictionary (decodes every term if mapped).
+    pub fn into_owned(self) -> TermDict {
+        match self.repr {
+            DictRepr::Owned { .. } => self,
+            DictRepr::Mapped(m) => {
+                let mut terms = Vec::with_capacity(m.len());
+                let mut buf = Vec::new();
+                for id in 0..m.len() as TermId {
+                    terms.push(m.decode_term(id, &mut buf).to_string());
+                }
+                TermDict::from_sorted(terms)
+            }
+        }
+    }
+
+    /// Resident heap footprint in bytes, **content-derived**: string headers
+    /// + string byte lengths + the bucket table. Capacity padding is
+    /// excluded so structurally equal dictionaries report identical sizes
+    /// regardless of how they were built. A mapped dictionary holds no term
+    /// bytes on the heap and reports 0.
     pub fn approx_bytes(&self) -> usize {
-        self.terms.capacity() * std::mem::size_of::<String>()
-            + self.terms.iter().map(String::capacity).sum::<usize>()
-            + self.buckets.capacity() * std::mem::size_of::<u32>()
+        match &self.repr {
+            DictRepr::Owned { terms, buckets } => {
+                terms.len() * std::mem::size_of::<String>()
+                    + terms.iter().map(String::len).sum::<usize>()
+                    + buckets.len() * std::mem::size_of::<u32>()
+            }
+            DictRepr::Mapped(_) => 0,
+        }
     }
 }
 
-/// Equality is content equality: the bucket table is a derived structure.
+/// Equality is content equality: the bucket table is derived, and a mapped
+/// dictionary equals an owned one over the same sorted terms.
 impl PartialEq for TermDict {
     fn eq(&self, other: &Self) -> bool {
-        self.terms == other.terms
+        match (&self.repr, &other.repr) {
+            (DictRepr::Owned { terms: a, .. }, DictRepr::Owned { terms: b, .. }) => a == b,
+            _ => {
+                if self.len() != other.len() {
+                    return false;
+                }
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                (0..self.len() as TermId).all(|id| {
+                    self.decode_term(id, &mut a);
+                    other.decode_term(id, &mut b);
+                    a == b
+                })
+            }
+        }
     }
 }
 
 impl Serialize for TermDict {
     fn serialize(&self) -> Value {
-        Value::Array(self.terms.iter().map(|t| Value::Str(t.clone())).collect())
+        let mut buf = Vec::new();
+        Value::Array(
+            (0..self.len() as TermId)
+                .map(|id| Value::Str(self.decode_term(id, &mut buf).to_string()))
+                .collect(),
+        )
     }
 }
 
@@ -174,6 +292,33 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.lookup("x"), None);
         assert_eq!(d.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn decode_term_matches_term() {
+        let d = dict(&["zebra", "zeal", "zero"]);
+        let mut buf = Vec::new();
+        for id in 0..d.len() as u32 {
+            assert_eq!(d.decode_term(id, &mut buf), d.term(id));
+        }
+    }
+
+    #[test]
+    fn approx_bytes_is_content_derived() {
+        // Same content through different construction paths must agree.
+        let a = dict(&["alpha", "bravo", "charlie"]);
+        let mut v: Vec<String> = ["charlie", "alpha", "bravo"]
+            .iter()
+            .map(|t| {
+                let mut s = String::with_capacity(64); // deliberate over-allocation
+                s.push_str(t);
+                s
+            })
+            .collect();
+        v.sort();
+        let b = TermDict::from_sorted(v);
+        assert_eq!(a, b);
+        assert_eq!(a.approx_bytes(), b.approx_bytes());
     }
 
     #[test]

@@ -22,18 +22,28 @@
 //!               positions[pos_offsets[i] .. pos_offsets[i] + counts[i]]
 //! ```
 //!
+//! Since format v4 the columns have two backings: **owned** (the `Vec`s
+//! above — what builders and merges produce) and **mapped** (compressed
+//! byte sections of an mmap-ed segment, `segment.rs`). A mapped index
+//! decodes a term's doc/count run on demand into a caller-owned
+//! [`TermScratch`] (`postings_in`), and positions are decoded only inside
+//! the proximity scan ([`PostingList::for_each_position`]).
+//!
 //! The layout is **canonical**: terms sorted, each term's run doc-sorted,
 //! and the position arena written in exactly that iteration order. Two
 //! indexes over the same logical content are therefore structurally equal
-//! (`PartialEq`) no matter how they were built or merged — the foundation of
-//! the determinism contract (see `docs/index-internals.md`).
+//! (`PartialEq`) no matter how they were built, merged or persisted — the
+//! foundation of the determinism contract (see `docs/index-internals.md`).
 
 use crate::dict::{TermDict, TermId};
+use crate::segment::{self, MappedPostings};
 use crate::tokenize::for_each_token;
 use ajax_crawl::model::{AppModel, StateId};
 use ajax_crawl::pagerank::pagerank_default;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Identifies one indexed document: a `(page, state)` pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -41,6 +51,51 @@ pub struct DocKey {
     /// Index into [`InvertedIndex::pages`].
     pub page: u32,
     pub state: StateId,
+}
+
+/// A build or merge outgrew the index's `u32` offset space. Before this
+/// guard, `as u32` casts silently wrapped on multi-GB inputs and corrupted
+/// postings without any error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexBuildError {
+    OffsetOverflow {
+        /// Which column overflowed (`"postings"`, `"positions"`, `"pages"`,
+        /// or a v4 stream name).
+        column: &'static str,
+        /// The size that did not fit.
+        len: u64,
+        /// The largest representable size.
+        max: u64,
+    },
+}
+
+impl fmt::Display for IndexBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexBuildError::OffsetOverflow { column, len, max } => write!(
+                f,
+                "index {column} column needs {len} entries/bytes, exceeding the u32 offset \
+                 space ({max}); split the corpus into shards"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexBuildError {}
+
+/// The production offset limit: every offset column is `u32`.
+const U32_LIMIT: u64 = u32::MAX as u64;
+
+fn check_fits(column: &'static str, len: u64, limit: u64) -> Result<(), IndexBuildError> {
+    if len > limit {
+        Err(IndexBuildError::OffsetOverflow {
+            column,
+            len,
+            max: limit,
+        })
+    } else {
+        Ok(())
+    }
 }
 
 /// A borrowed view of one posting: where a term occurs and how often.
@@ -55,14 +110,32 @@ pub struct PostingRef<'a> {
     pub positions: &'a [u32],
 }
 
-/// A borrowed view of one term's posting run: parallel slices into the
-/// index columns. `Copy`, allocation-free, doc-sorted.
+/// Where a posting list's positions come from.
+#[derive(Debug, Clone, Copy)]
+enum PosSrc<'a> {
+    /// Owned index: absolute offsets into the shared `u32` arena.
+    Arena {
+        pos_offsets: &'a [u32],
+        arena: &'a [u32],
+    },
+    /// Mapped segment: per-posting byte bounds (recovered into scratch
+    /// during the run decode) into the term's slice of the delta+varint
+    /// position stream — position bytes themselves decode lazily, never
+    /// resident.
+    Stream {
+        pos_offs: &'a [u32],
+        stream: &'a [u8],
+    },
+}
+
+/// A borrowed view of one term's posting run: parallel slices over the doc
+/// and count columns (owned columns or a per-query scratch decode), plus a
+/// lazily-decoded position source. `Copy`, allocation-free, doc-sorted.
 #[derive(Debug, Clone, Copy)]
 pub struct PostingList<'a> {
     docs: &'a [DocKey],
     counts: &'a [u32],
-    pos_offsets: &'a [u32],
-    arena: &'a [u32],
+    pos: PosSrc<'a>,
 }
 
 impl<'a> PostingList<'a> {
@@ -70,8 +143,10 @@ impl<'a> PostingList<'a> {
     pub const EMPTY: PostingList<'static> = PostingList {
         docs: &[],
         counts: &[],
-        pos_offsets: &[],
-        arena: &[],
+        pos: PosSrc::Arena {
+            pos_offsets: &[],
+            arena: &[],
+        },
     };
 
     pub fn len(&self) -> usize {
@@ -95,12 +170,50 @@ impl<'a> PostingList<'a> {
         self.counts[i]
     }
 
-    /// The position slice of posting `i` in the shared arena.
+    /// The position slice of posting `i` in the shared arena. Only available
+    /// when the positions are arena-backed (owned index); mapped posting
+    /// lists decode positions lazily — use
+    /// [`PostingList::for_each_position`].
     pub fn positions(&self, i: usize) -> &'a [u32] {
-        let off = self.pos_offsets[i] as usize;
-        &self.arena[off..off + self.counts[i] as usize]
+        match self.pos {
+            PosSrc::Arena { pos_offsets, arena } => {
+                let off = pos_offsets[i] as usize;
+                &arena[off..off + self.counts[i] as usize]
+            }
+            PosSrc::Stream { .. } => {
+                panic!("PostingList::positions on a mapped segment; use for_each_position")
+            }
+        }
     }
 
+    /// Visits the positions of posting `i` in ascending order. Works on both
+    /// backings; on a mapped segment this is where the delta+varint stream
+    /// is decoded — the only place position bytes are ever touched.
+    pub fn for_each_position(&self, i: usize, mut f: impl FnMut(u32)) {
+        match self.pos {
+            PosSrc::Arena { pos_offsets, arena } => {
+                let off = pos_offsets[i] as usize;
+                for &p in &arena[off..off + self.counts[i] as usize] {
+                    f(p);
+                }
+            }
+            PosSrc::Stream { pos_offs, stream } => {
+                let mut cur = pos_offs[i] as usize;
+                let end = pos_offs[i + 1] as usize;
+                let mut pos = 0u32;
+                let mut first = true;
+                while cur < end {
+                    let delta = segment::read_varint(stream, &mut cur) as u32;
+                    pos = if first { delta } else { pos + delta };
+                    first = false;
+                    f(pos);
+                }
+            }
+        }
+    }
+
+    /// Borrowed posting view — arena-backed lists only (see
+    /// [`PostingList::positions`]).
     pub fn get(&self, i: usize) -> PostingRef<'a> {
         PostingRef {
             doc: self.docs[i],
@@ -111,6 +224,27 @@ impl<'a> PostingList<'a> {
 
     pub fn iter(&self) -> impl Iterator<Item = PostingRef<'a>> + '_ {
         (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// Reusable decode target for one term's posting run on a mapped index.
+/// Owned indexes ignore it (their columns are borrowed directly); mapped
+/// indexes decode the delta+varint run into these vectors, which grow once
+/// and are reused across queries.
+#[derive(Debug, Default)]
+pub struct TermScratch {
+    pub(crate) docs: Vec<DocKey>,
+    pub(crate) counts: Vec<u32>,
+    /// `docs.len() + 1` cumulative byte offsets into the term's position
+    /// window — rebuilt from the run's `pos_len` varints, so
+    /// `for_each_position` keeps O(1) access without a per-posting offset
+    /// column on disk.
+    pub(crate) pos_offs: Vec<u32>,
+}
+
+impl TermScratch {
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -126,21 +260,49 @@ pub struct PageEntry {
     pub state_lengths: Vec<u32>,
 }
 
+/// The owned (resident) posting columns — see the module docs for the
+/// layout.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct OwnedStore {
+    /// `TermId t` owns postings `term_offsets[t] .. term_offsets[t+1]`.
+    pub(crate) term_offsets: Vec<u32>,
+    /// Doc column, one entry per posting, doc-sorted within each term run.
+    pub(crate) docs: Vec<DocKey>,
+    /// Occurrence-count column, parallel to `docs`.
+    pub(crate) counts: Vec<u32>,
+    /// Offset of each posting's position slice in `positions`.
+    pub(crate) pos_offsets: Vec<u32>,
+    /// Shared position arena; posting `i` owns `counts[i]` entries.
+    pub(crate) positions: Vec<u32>,
+}
+
+impl Default for OwnedStore {
+    fn default() -> Self {
+        Self {
+            term_offsets: vec![0],
+            docs: Vec::new(),
+            counts: Vec::new(),
+            pos_offsets: Vec::new(),
+            positions: Vec::new(),
+        }
+    }
+}
+
+/// The posting columns: resident vectors, or byte sections of an mmap-ed v4
+/// segment decoded on demand.
+#[derive(Debug, Clone)]
+pub(crate) enum Store {
+    Owned(OwnedStore),
+    Mapped(MappedPostings),
+}
+
 /// The inverted file (columnar; see module docs for the layout).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InvertedIndex {
     /// Sorted, interned term dictionary.
-    dict: TermDict,
-    /// `TermId t` owns postings `term_offsets[t] .. term_offsets[t+1]`.
-    term_offsets: Vec<u32>,
-    /// Doc column, one entry per posting, doc-sorted within each term run.
-    docs: Vec<DocKey>,
-    /// Occurrence-count column, parallel to `docs`.
-    counts: Vec<u32>,
-    /// Offset of each posting's position slice in `positions`.
-    pos_offsets: Vec<u32>,
-    /// Shared position arena; posting `i` owns `counts[i]` entries.
-    positions: Vec<u32>,
+    pub(crate) dict: TermDict,
+    /// The posting columns (owned or mapped).
+    pub(crate) store: Store,
     /// Indexed pages.
     pub pages: Vec<PageEntry>,
     /// Total number of indexed states (the `|D|` of formula 5.2).
@@ -151,11 +313,7 @@ impl Default for InvertedIndex {
     fn default() -> Self {
         Self {
             dict: TermDict::default(),
-            term_offsets: vec![0],
-            docs: Vec::new(),
-            counts: Vec::new(),
-            pos_offsets: Vec::new(),
-            positions: Vec::new(),
+            store: Store::Owned(OwnedStore::default()),
             pages: Vec::new(),
             total_states: 0,
         }
@@ -178,19 +336,101 @@ impl InvertedIndex {
         self.dict.lookup(term)
     }
 
-    /// The posting run of a known `TermId`.
-    pub fn postings_by_id(&self, id: TermId) -> PostingList<'_> {
-        let start = self.term_offsets[id as usize] as usize;
-        let end = self.term_offsets[id as usize + 1] as usize;
-        PostingList {
-            docs: &self.docs[start..end],
-            counts: &self.counts[start..end],
-            pos_offsets: &self.pos_offsets[start..end],
-            arena: &self.positions,
+    /// True when the posting columns live in an mmap-ed segment.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, Store::Mapped(_))
+    }
+
+    /// Assembles a mapped index from an opened v4 segment.
+    pub(crate) fn from_mapped(
+        dict: crate::segment::MappedDict,
+        postings: MappedPostings,
+        pages: Vec<PageEntry>,
+        total_states: u64,
+    ) -> Self {
+        Self {
+            dict: TermDict::from_mapped(dict),
+            store: Store::Mapped(postings),
+            pages,
+            total_states,
         }
     }
 
-    /// The posting list of `term` (empty if absent).
+    /// The owned columns — borrowed in place for an owned index, fully
+    /// decoded for a mapped one (merge, v3 re-save, equality).
+    pub(crate) fn owned_store(&self) -> Cow<'_, OwnedStore> {
+        match &self.store {
+            Store::Owned(s) => Cow::Borrowed(s),
+            Store::Mapped(m) => Cow::Owned(m.materialize()),
+        }
+    }
+
+    /// The owned columns of an index known to be resident (post
+    /// [`InvertedIndex::into_owned`]).
+    fn store_owned(&self) -> &OwnedStore {
+        match &self.store {
+            Store::Owned(s) => s,
+            Store::Mapped(_) => unreachable!("caller materialized the index first"),
+        }
+    }
+
+    /// Converts into a fully resident index: decodes the mapped columns and
+    /// dictionary if necessary, no-op otherwise.
+    pub fn into_owned(self) -> InvertedIndex {
+        let InvertedIndex {
+            dict,
+            store,
+            pages,
+            total_states,
+        } = self;
+        let store = match store {
+            Store::Owned(s) => Store::Owned(s),
+            Store::Mapped(m) => Store::Owned(m.materialize()),
+        };
+        InvertedIndex {
+            dict: dict.into_owned(),
+            store,
+            pages,
+            total_states,
+        }
+    }
+
+    /// Length of term `id`'s posting run — O(1) on both backings (the v4
+    /// `term_offsets` column is fixed-width and addressable in place).
+    pub fn run_len(&self, id: TermId) -> usize {
+        match &self.store {
+            Store::Owned(s) => {
+                (s.term_offsets[id as usize + 1] - s.term_offsets[id as usize]) as usize
+            }
+            Store::Mapped(m) => m.run_len(id),
+        }
+    }
+
+    /// The posting run of a known `TermId`, borrowed from the owned columns.
+    /// Mapped indexes need a decode scratch — use
+    /// [`InvertedIndex::postings_by_id_in`].
+    pub fn postings_by_id(&self, id: TermId) -> PostingList<'_> {
+        match &self.store {
+            Store::Owned(s) => {
+                let start = s.term_offsets[id as usize] as usize;
+                let end = s.term_offsets[id as usize + 1] as usize;
+                PostingList {
+                    docs: &s.docs[start..end],
+                    counts: &s.counts[start..end],
+                    pos: PosSrc::Arena {
+                        pos_offsets: &s.pos_offsets[start..end],
+                        arena: &s.positions,
+                    },
+                }
+            }
+            Store::Mapped(_) => {
+                panic!("postings_by_id on a mapped segment; use postings_by_id_in with a scratch")
+            }
+        }
+    }
+
+    /// The posting list of `term` (empty if absent). Owned indexes only —
+    /// see [`InvertedIndex::postings_in`].
     pub fn postings(&self, term: &str) -> PostingList<'_> {
         match self.dict.lookup(term) {
             Some(id) => self.postings_by_id(id),
@@ -198,9 +438,50 @@ impl InvertedIndex {
         }
     }
 
+    /// The posting run of a known `TermId` on either backing: owned columns
+    /// are borrowed in place (the scratch is untouched); mapped runs are
+    /// delta+varint-decoded into `scratch` and borrowed from there.
+    /// Positions stay undecoded in both cases until `for_each_position`.
+    pub fn postings_by_id_in<'s>(
+        &'s self,
+        id: TermId,
+        scratch: &'s mut TermScratch,
+    ) -> PostingList<'s> {
+        match &self.store {
+            Store::Owned(_) => self.postings_by_id(id),
+            Store::Mapped(m) => {
+                m.decode_docs_counts(
+                    id,
+                    &mut scratch.docs,
+                    &mut scratch.counts,
+                    &mut scratch.pos_offs,
+                );
+                PostingList {
+                    docs: &scratch.docs,
+                    counts: &scratch.counts,
+                    pos: PosSrc::Stream {
+                        pos_offs: &scratch.pos_offs,
+                        stream: m.term_pos_window(id),
+                    },
+                }
+            }
+        }
+    }
+
+    /// The posting list of `term` on either backing (empty if absent).
+    pub fn postings_in<'s>(&'s self, term: &str, scratch: &'s mut TermScratch) -> PostingList<'s> {
+        match self.dict.lookup(term) {
+            Some(id) => self.postings_by_id_in(id, scratch),
+            None => PostingList::EMPTY,
+        }
+    }
+
     /// Document frequency: number of states containing `term`.
     pub fn df(&self, term: &str) -> u64 {
-        self.postings(term).len() as u64
+        match self.dict.lookup(term) {
+            Some(id) => self.run_len(id) as u64,
+            None => 0,
+        }
     }
 
     /// Inverse document frequency (formula 5.2): `log(|D| / df)`.
@@ -256,45 +537,81 @@ impl InvertedIndex {
         *self = merged;
     }
 
+    /// K-way merge of index segments into one canonical index — panicking
+    /// wrapper over [`InvertedIndex::try_merge_segments`] for callers that
+    /// treat overflow as fatal.
+    pub fn merge_segments(segments: Vec<InvertedIndex>) -> InvertedIndex {
+        InvertedIndex::try_merge_segments(segments)
+            .expect("index merge overflowed the u32 offset space")
+    }
+
     /// K-way merge of index segments into one canonical index — the
     /// parallel build's combine step. Pages are concatenated in segment
     /// order (doc keys re-based); the dictionaries are merge-joined (all
     /// sorted), and each output term's run is the concatenation of the
     /// segments' runs in segment order. Linear in total postings plus
     /// `terms × segments` for the join.
-    pub fn merge_segments(segments: Vec<InvertedIndex>) -> InvertedIndex {
+    ///
+    /// Mapped segments are materialized first (the merge needs random
+    /// access to whole runs). Fails with a typed error if the combined
+    /// postings, positions or pages outgrow the `u32` offset space —
+    /// previously those casts wrapped silently.
+    pub fn try_merge_segments(
+        segments: Vec<InvertedIndex>,
+    ) -> Result<InvertedIndex, IndexBuildError> {
+        InvertedIndex::try_merge_segments_with_limit(segments, U32_LIMIT)
+    }
+
+    /// [`InvertedIndex::try_merge_segments`] with an injectable offset limit
+    /// so the guard is testable without allocating 4 GiB of postings.
+    pub(crate) fn try_merge_segments_with_limit(
+        segments: Vec<InvertedIndex>,
+        limit: u64,
+    ) -> Result<InvertedIndex, IndexBuildError> {
         if segments.is_empty() {
-            return InvertedIndex::default();
+            return Ok(InvertedIndex::default());
         }
+        let segments: Vec<InvertedIndex> = segments
+            .into_iter()
+            .map(InvertedIndex::into_owned)
+            .collect();
         if segments.len() == 1 {
-            return segments.into_iter().next().expect("one segment");
+            return Ok(segments.into_iter().next().expect("one segment"));
         }
 
-        // Page re-basing offsets, page concat, state totals.
-        let mut page_offsets = Vec::with_capacity(segments.len());
-        let mut total_pages = 0u32;
+        // Totals first, in u64, so the overflow check happens before any
+        // offset is narrowed to u32.
+        let mut total_pages = 0u64;
         let mut total_states = 0u64;
-        let mut n_postings = 0usize;
-        let mut n_positions = 0usize;
+        let mut n_postings = 0u64;
+        let mut n_positions = 0u64;
         for seg in &segments {
-            page_offsets.push(total_pages);
-            total_pages += seg.pages.len() as u32;
+            total_pages += seg.pages.len() as u64;
             total_states += seg.total_states;
-            n_postings += seg.docs.len();
-            n_positions += seg.positions.len();
+            n_postings += seg.store_owned().docs.len() as u64;
+            n_positions += seg.store_owned().positions.len() as u64;
         }
+        check_fits("pages", total_pages, limit)?;
+        check_fits("postings", n_postings, limit)?;
+        check_fits("positions", n_positions, limit)?;
+
+        // Page re-basing offsets, page concat.
+        let mut page_offsets = Vec::with_capacity(segments.len());
+        let mut next_page = 0u32;
         let mut pages = Vec::with_capacity(total_pages as usize);
         for seg in &segments {
+            page_offsets.push(next_page);
+            next_page += seg.pages.len() as u32;
             pages.extend(seg.pages.iter().cloned());
         }
 
         let mut terms: Vec<String> = Vec::new();
         let mut term_offsets: Vec<u32> = Vec::with_capacity(segments[0].dict.len() + 1);
         term_offsets.push(0);
-        let mut docs: Vec<DocKey> = Vec::with_capacity(n_postings);
-        let mut counts: Vec<u32> = Vec::with_capacity(n_postings);
-        let mut pos_offsets: Vec<u32> = Vec::with_capacity(n_postings);
-        let mut positions: Vec<u32> = Vec::with_capacity(n_positions);
+        let mut docs: Vec<DocKey> = Vec::with_capacity(n_postings as usize);
+        let mut counts: Vec<u32> = Vec::with_capacity(n_postings as usize);
+        let mut pos_offsets: Vec<u32> = Vec::with_capacity(n_postings as usize);
+        let mut positions: Vec<u32> = Vec::with_capacity(n_positions as usize);
 
         // K-way join over the (sorted) segment dictionaries.
         let mut heads = vec![0u32; segments.len()];
@@ -351,41 +668,106 @@ impl InvertedIndex {
             term_offsets.push(docs.len() as u32);
         }
 
-        InvertedIndex {
+        Ok(InvertedIndex {
             dict: TermDict::from_sorted(terms),
-            term_offsets,
-            docs,
-            counts,
-            pos_offsets,
-            positions,
+            store: Store::Owned(OwnedStore {
+                term_offsets,
+                docs,
+                counts,
+                pos_offsets,
+                positions,
+            }),
             pages,
             total_states,
-        }
+        })
     }
 
-    /// Estimated heap size of the index in bytes. Honest accounting: term
-    /// dictionary (strings + hash table), every column and arena at its
-    /// allocated **capacity**, and per-page metadata including URL and
-    /// per-state vectors.
+    /// Estimated **resident** size of the index in bytes. Content-derived —
+    /// term dictionary (string bytes + hash table), every column and arena
+    /// at its *length*, and per-page metadata — so structurally equal
+    /// indexes report identical sizes no matter which build path produced
+    /// them (capacity padding used to make serial and parallel builds
+    /// disagree). A mapped index's columns live in the page cache, not on
+    /// the heap: only pages and bookkeeping count; see
+    /// [`InvertedIndex::mapped_bytes`].
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
         let page_meta: usize = self
             .pages
             .iter()
             .map(|p| {
-                p.url.capacity()
-                    + p.ajaxrank.capacity() * size_of::<f64>()
-                    + p.state_lengths.capacity() * size_of::<u32>()
+                p.url.len()
+                    + p.ajaxrank.len() * size_of::<f64>()
+                    + p.state_lengths.len() * size_of::<u32>()
             })
             .sum();
-        self.dict.approx_bytes()
-            + self.term_offsets.capacity() * size_of::<u32>()
-            + self.docs.capacity() * size_of::<DocKey>()
-            + self.counts.capacity() * size_of::<u32>()
-            + self.pos_offsets.capacity() * size_of::<u32>()
-            + self.positions.capacity() * size_of::<u32>()
-            + self.pages.capacity() * size_of::<PageEntry>()
-            + page_meta
+        let columns = match &self.store {
+            Store::Owned(s) => {
+                s.term_offsets.len() * size_of::<u32>()
+                    + s.docs.len() * size_of::<DocKey>()
+                    + s.counts.len() * size_of::<u32>()
+                    + s.pos_offsets.len() * size_of::<u32>()
+                    + s.positions.len() * size_of::<u32>()
+            }
+            Store::Mapped(_) => 0,
+        };
+        self.dict.approx_bytes() + columns + self.pages.len() * size_of::<PageEntry>() + page_meta
+    }
+
+    /// Bytes served from the mmap-ed segment (0 for a resident index) —
+    /// the counterpart of [`InvertedIndex::approx_bytes`] for capacity
+    /// planning: mapped bytes share the page cache and are reclaimable.
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.store {
+            Store::Owned(_) => 0,
+            Store::Mapped(m) => m.payload_len(),
+        }
+    }
+}
+
+/// Logical equality across backings: a mapped index equals the owned index
+/// it was encoded from.
+impl PartialEq for InvertedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_states == other.total_states
+            && self.pages == other.pages
+            && self.dict == other.dict
+            && *self.owned_store() == *other.owned_store()
+    }
+}
+
+/// The v3 JSON shape (kept for `save_index_v3` and the v3 load path): one
+/// object with the dictionary and each column as a field.
+impl Serialize for InvertedIndex {
+    fn serialize(&self) -> Value {
+        let store = self.owned_store();
+        let mut map = serde::Map::new();
+        map.insert("dict".to_string(), self.dict.serialize());
+        map.insert("term_offsets".to_string(), store.term_offsets.serialize());
+        map.insert("docs".to_string(), store.docs.serialize());
+        map.insert("counts".to_string(), store.counts.serialize());
+        map.insert("pos_offsets".to_string(), store.pos_offsets.serialize());
+        map.insert("positions".to_string(), store.positions.serialize());
+        map.insert("pages".to_string(), self.pages.serialize());
+        map.insert("total_states".to_string(), self.total_states.serialize());
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for InvertedIndex {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(InvertedIndex {
+            dict: serde::__field(value, "dict")?,
+            store: Store::Owned(OwnedStore {
+                term_offsets: serde::__field(value, "term_offsets")?,
+                docs: serde::__field(value, "docs")?,
+                counts: serde::__field(value, "counts")?,
+                pos_offsets: serde::__field(value, "pos_offsets")?,
+                positions: serde::__field(value, "positions")?,
+            }),
+            pages: serde::__field(value, "pages")?,
+            total_states: serde::__field(value, "total_states")?,
+        })
     }
 }
 
@@ -442,7 +824,10 @@ impl IndexBuilder {
     /// Adds one page model. `pagerank` is the URL's rank from the precrawl
     /// phase (pass `None` for a single-page or unranked corpus).
     pub fn add_model(&mut self, model: &AppModel, pagerank: Option<f64>) {
-        let page_idx = self.pages.len() as u32;
+        // Explicit, not a silent `as u32` wrap: a corpus cannot exceed the
+        // doc key's u32 page space.
+        let page_idx =
+            u32::try_from(self.pages.len()).expect("page count exceeds u32 doc-key space");
         let limit = self
             .max_states
             .unwrap_or(usize::MAX)
@@ -513,23 +898,41 @@ impl IndexBuilder {
         self.pages.push(entry);
     }
 
+    /// Finalizes the index — panicking wrapper over
+    /// [`IndexBuilder::try_build`] for callers that treat overflow as fatal.
+    pub fn build(self) -> InvertedIndex {
+        self.try_build()
+            .expect("index build overflowed the u32 offset space")
+    }
+
     /// Finalizes the index: re-ranks local term ids into sorted dictionary
     /// order and lays the accumulators out as the canonical columns. Linear
-    /// in total postings plus `T log T` for the dictionary sort.
-    pub fn build(self) -> InvertedIndex {
+    /// in total postings plus `T log T` for the dictionary sort. Fails with
+    /// a typed error if the posting or position totals outgrow the `u32`
+    /// offset space — previously those casts wrapped silently.
+    pub fn try_build(self) -> Result<InvertedIndex, IndexBuildError> {
+        self.try_build_with_limit(U32_LIMIT)
+    }
+
+    /// [`IndexBuilder::try_build`] with an injectable offset limit so the
+    /// guard is testable without allocating 4 GiB of postings.
+    pub(crate) fn try_build_with_limit(self, limit: u64) -> Result<InvertedIndex, IndexBuildError> {
         let mut order: Vec<u32> = (0..self.terms.len() as u32).collect();
         order.sort_unstable_by(|&a, &b| self.terms[a as usize].cmp(&self.terms[b as usize]));
 
-        let n_postings: usize = self.accs.iter().map(|a| a.docs.len()).sum();
-        let n_positions: usize = self.accs.iter().map(|a| a.positions.len()).sum();
+        let n_postings: u64 = self.accs.iter().map(|a| a.docs.len() as u64).sum();
+        let n_positions: u64 = self.accs.iter().map(|a| a.positions.len() as u64).sum();
+        check_fits("postings", n_postings, limit)?;
+        check_fits("positions", n_positions, limit)?;
+        check_fits("pages", self.pages.len() as u64, limit)?;
 
         let mut terms = Vec::with_capacity(order.len());
         let mut term_offsets = Vec::with_capacity(order.len() + 1);
         term_offsets.push(0u32);
-        let mut docs = Vec::with_capacity(n_postings);
-        let mut counts = Vec::with_capacity(n_postings);
-        let mut pos_offsets = Vec::with_capacity(n_postings);
-        let mut positions = Vec::with_capacity(n_positions);
+        let mut docs = Vec::with_capacity(n_postings as usize);
+        let mut counts = Vec::with_capacity(n_postings as usize);
+        let mut pos_offsets = Vec::with_capacity(n_postings as usize);
+        let mut positions = Vec::with_capacity(n_positions as usize);
 
         for &local in &order {
             let acc = &self.accs[local as usize];
@@ -547,16 +950,18 @@ impl IndexBuilder {
             term_offsets.push(docs.len() as u32);
         }
 
-        InvertedIndex {
+        Ok(InvertedIndex {
             dict: TermDict::from_sorted(terms),
-            term_offsets,
-            docs,
-            counts,
-            pos_offsets,
-            positions,
+            store: Store::Owned(OwnedStore {
+                term_offsets,
+                docs,
+                counts,
+                pos_offsets,
+                positions,
+            }),
             pages: self.pages,
             total_states: self.total_states,
-        }
+        })
     }
 }
 
@@ -626,8 +1031,19 @@ pub fn build_index_parallel(
     max_states: Option<usize>,
     threads: usize,
 ) -> InvertedIndex {
+    try_build_index_parallel(models, max_states, threads)
+        .expect("index build overflowed the u32 offset space")
+}
+
+/// [`build_index_parallel`] returning the typed overflow error instead of
+/// panicking.
+pub fn try_build_index_parallel(
+    models: &[(&AppModel, Option<f64>)],
+    max_states: Option<usize>,
+    threads: usize,
+) -> Result<InvertedIndex, IndexBuildError> {
     let path = planned_build_path(models, max_states, threads);
-    build_index_with_path(models, max_states, threads, path)
+    try_build_index_with_path(models, max_states, threads, path)
 }
 
 /// [`build_index_parallel`] with the path decision made by the caller —
@@ -639,6 +1055,16 @@ pub fn build_index_with_path(
     threads: usize,
     path: BuildPath,
 ) -> InvertedIndex {
+    try_build_index_with_path(models, max_states, threads, path)
+        .expect("index build overflowed the u32 offset space")
+}
+
+fn try_build_index_with_path(
+    models: &[(&AppModel, Option<f64>)],
+    max_states: Option<usize>,
+    threads: usize,
+    path: BuildPath,
+) -> Result<InvertedIndex, IndexBuildError> {
     let new_builder = || match max_states {
         Some(m) => IndexBuilder::new().with_max_states(m),
         None => IndexBuilder::new(),
@@ -649,11 +1075,11 @@ pub fn build_index_with_path(
         for (model, pr) in models {
             b.add_model(model, *pr);
         }
-        return b.build();
+        return b.try_build();
     }
 
     let chunk = models.len().div_ceil(threads);
-    let segments: Vec<InvertedIndex> = std::thread::scope(|scope| {
+    let segments: Result<Vec<InvertedIndex>, IndexBuildError> = std::thread::scope(|scope| {
         let handles: Vec<_> = models
             .chunks(chunk)
             .map(|slice| {
@@ -662,7 +1088,7 @@ pub fn build_index_with_path(
                     for (model, pr) in slice {
                         b.add_model(model, *pr);
                     }
-                    b.build()
+                    b.try_build()
                 })
             })
             .collect();
@@ -671,7 +1097,7 @@ pub fn build_index_with_path(
             .map(|h| h.join().expect("segment build panicked"))
             .collect()
     });
-    InvertedIndex::merge_segments(segments)
+    InvertedIndex::try_merge_segments(segments?)
 }
 
 #[cfg(test)]
@@ -753,6 +1179,9 @@ mod tests {
         let idx = build(&[toy_model("u", &["alpha beta alpha"])]);
         let postings = idx.postings("alpha");
         assert_eq!(postings.positions(0), &[0, 2]);
+        let mut seen = Vec::new();
+        postings.for_each_position(0, |p| seen.push(p));
+        assert_eq!(seen, vec![0, 2]);
     }
 
     #[test]
@@ -817,6 +1246,49 @@ mod tests {
             idx.approx_bytes() > IndexBuilder::new().build().approx_bytes(),
             "non-empty index must report more bytes than empty"
         );
+    }
+
+    #[test]
+    fn approx_bytes_identical_across_build_paths() {
+        // Structurally equal indexes must report identical sizes: capacity
+        // padding differs between serial and parallel builds, content does
+        // not.
+        let models: Vec<AppModel> = (0..9)
+            .map(|i| toy_model(&format!("http://x/{i}"), &["alpha beta", "gamma delta"]))
+            .collect();
+        let refs: Vec<(&AppModel, Option<f64>)> = models.iter().map(|m| (m, Some(0.1))).collect();
+        let serial = build_index_parallel(&refs, None, 1);
+        let parallel = build_index_with_path(&refs, None, 4, BuildPath::Parallel);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.approx_bytes(), parallel.approx_bytes());
+    }
+
+    #[test]
+    fn build_overflow_is_typed_error() {
+        let model = toy_model("u", &["alpha beta gamma delta", "alpha again"]);
+        let mut b = IndexBuilder::new();
+        b.add_model(&model, None);
+        // 6 positions total; a limit of 4 must trip the positions guard.
+        let err = b.try_build_with_limit(4).unwrap_err();
+        match err {
+            IndexBuildError::OffsetOverflow { column, len, max } => {
+                assert_eq!(max, 4);
+                assert!(len > 4);
+                assert!(column == "postings" || column == "positions", "{column}");
+            }
+        }
+        assert!(err.to_string().contains("u32 offset space"));
+    }
+
+    #[test]
+    fn merge_overflow_is_typed_error() {
+        let a = build(&[toy_model("http://a", &["one two three"])]);
+        let b = build(&[toy_model("http://b", &["four five six"])]);
+        let err = InvertedIndex::try_merge_segments_with_limit(vec![a.clone(), b.clone()], 3)
+            .unwrap_err();
+        assert!(matches!(err, IndexBuildError::OffsetOverflow { .. }));
+        // A generous limit merges fine.
+        assert!(InvertedIndex::try_merge_segments_with_limit(vec![a, b], 1 << 20).is_ok());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! expression shapes as the old implementation, so scores are bit-identical
 //! (see `docs/index-internals.md` and `reference.rs`).
 
-use crate::invert::{DocKey, PostingList};
+use crate::invert::{DocKey, PostingList, TermScratch};
 use std::cmp::Ordering;
 
 /// Reusable per-query scratch buffers. One per caller thread; cleared (but
@@ -32,6 +32,9 @@ pub struct ScoreScratch {
     pub(crate) events: Vec<(u32, usize)>,
     /// Per-term occurrence counters for the proximity window scan.
     pub(crate) term_counts: Vec<u32>,
+    /// One decode buffer per query term for mapped (v4) posting runs; owned
+    /// indexes leave them untouched.
+    pub(crate) term_bufs: Vec<TermScratch>,
 }
 
 impl ScoreScratch {
@@ -139,12 +142,12 @@ pub(crate) fn proximity_of_rows(
     if k <= 1 {
         return 1.0;
     }
-    // Gather (position, term_index) pairs, sorted by position.
+    // Gather (position, term_index) pairs, sorted by position. Positions
+    // are decoded here and only here — on a mapped segment this walks the
+    // delta+varint stream of exactly the matched postings.
     events.clear();
     for (term_idx, list) in lists.iter().enumerate() {
-        for &pos in list.positions(rows[term_idx]) {
-            events.push((pos, term_idx));
-        }
+        list.for_each_position(rows[term_idx], |pos| events.push((pos, term_idx)));
     }
     events.sort_unstable();
 

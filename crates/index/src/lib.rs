@@ -18,6 +18,9 @@
 //! * [`query`] — boolean keyword and conjunction processing (posting-list
 //!   merge on URL, then state — §5.3.2) and the ranking formula 5.3:
 //!   `R = w1·PageRank + w2·AJAXRank + w3·Σ tf·idf + w4·proximity`;
+//! * [`segment`] — the compressed, mmap-able on-disk segment (format v4):
+//!   delta+varint posting runs, front-coded dictionary, lazily-decoded
+//!   position stream, all addressable in place behind the durable frame;
 //! * [`shard`] — query shipping over per-partition indexes with the global
 //!   idf computed at merge time from per-shard `(N, df)` counts (§6.5.2);
 //! * [`reference`] — the frozen pre-columnar implementation, kept as the
@@ -37,19 +40,21 @@ pub mod persist;
 pub mod probe;
 pub mod query;
 pub mod reference;
+pub mod segment;
 pub mod shard;
 pub mod tokenize;
 
 pub use aggregate::{locate_terms, ElementHit};
 pub use dict::{TermDict, TermId};
 pub use invert::{
-    build_index_parallel, build_index_with_path, planned_build_path, BuildPath, DocKey,
-    IndexBuilder, InvertedIndex, PostingList, PostingRef, PARALLEL_BUILD_MIN_STATES,
+    build_index_parallel, build_index_with_path, planned_build_path, try_build_index_parallel,
+    BuildPath, DocKey, IndexBuildError, IndexBuilder, InvertedIndex, PostingList, PostingRef,
+    TermScratch, PARALLEL_BUILD_MIN_STATES,
 };
 pub use kernel::ScoreScratch;
 pub use persist::{
-    load_index, load_models, save_index, save_models, PersistError, INDEX_FORMAT_VERSION,
-    INDEX_MAGIC,
+    load_index, load_models, save_index, save_index_v3, save_models, PersistError,
+    INDEX_FORMAT_VERSION, INDEX_MAGIC, INDEX_V3_VERSION,
 };
 pub use query::{search, search_top_k, Query, RankWeights, SearchResult};
 pub use shard::{

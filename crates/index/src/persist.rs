@@ -20,15 +20,23 @@
 //!   remedy (rebuild).
 //! * **v2**: the columnar layout of `invert.rs` inside a single-document
 //!   JSON envelope `{"magic","version","index"}`. Still loadable.
-//! * **v3** (current): the same columnar payload inside the framed durable
+//! * **v3**: the same columnar payload as JSON inside the framed durable
 //!   layout — a header line carrying the magic, version, payload length and
-//!   a CRC32 of the payload, then the payload, then an end-of-file marker:
+//!   a CRC32 of the payload, then the payload, then an end-of-file marker.
+//!   Still loadable (and writable via [`save_index_v3`] for comparisons).
+//! * **v4** (current): the compressed binary segment of `segment.rs` inside
+//!   the same durable frame:
 //!
 //!   ```text
-//!   {"magic":"ajax-index","version":3,"payload_crc32":C,"payload_len":L}
-//!   { ...columnar index... }
+//!   {"magic":"ajax-index","version":4,"payload_crc32":C,"payload_len":L}
+//!   AJAXSEG4 ...binary segment...
 //!   #ajax-durable-eof
 //!   ```
+//!
+//!   The CRC is computed over the raw payload bytes, so frame verification
+//!   is format-agnostic. Loading a v4 file **maps** it ([`ajax_crawl::durable::map_framed`])
+//!   instead of deserializing: the posting columns are addressed in place
+//!   and decoded lazily per query.
 //!
 //!   Truncated, over-long or bit-flipped files fail the length/marker/CRC
 //!   checks and surface as [`PersistError::Corrupt`] naming the file — they
@@ -38,16 +46,22 @@
 //! JSON arrays remain loadable).
 
 use crate::invert::InvertedIndex;
-use ajax_crawl::durable::{self, DurableError, FrameRead};
+use crate::segment;
+use ajax_crawl::durable::{self, DurableError, FrameRead, MapRead};
 use ajax_crawl::model::AppModel;
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The envelope magic for index files.
 pub const INDEX_MAGIC: &str = "ajax-index";
-/// The current index format version (v3 = columnar + durable frame).
-pub const INDEX_FORMAT_VERSION: u64 = 3;
+/// The current index format version (v4 = compressed mmap-able segment +
+/// durable frame).
+pub const INDEX_FORMAT_VERSION: u64 = 4;
+/// The previous (JSON columnar) index version, still read and writable via
+/// [`save_index_v3`].
+pub const INDEX_V3_VERSION: u64 = 3;
 /// The envelope magic for model files.
 pub const MODELS_MAGIC: &str = "ajax-models";
 /// The current model file format version.
@@ -119,47 +133,70 @@ fn format_err(path: &Path, detail: impl Into<String>) -> PersistError {
     }
 }
 
-/// Saves an inverted file to `path` — framed (magic + version + CRC32 +
-/// EOF marker) and atomically committed.
+/// Saves an inverted file to `path` in the current (v4) format: the
+/// compressed binary segment inside the durable frame (magic + version +
+/// CRC32 over the raw payload bytes + EOF marker), atomically committed.
 pub fn save_index(path: impl AsRef<Path>, index: &InvertedIndex) -> Result<(), PersistError> {
     let path = path.as_ref();
+    let payload =
+        segment::encode(index).map_err(|e| format_err(path, format!("segment encode: {e}")))?;
+    durable::write_framed(path, INDEX_MAGIC, INDEX_FORMAT_VERSION, &payload)?;
+    Ok(())
+}
+
+/// Saves an inverted file in the previous v3 (framed JSON) format — kept
+/// for cross-version comparisons (the cold-start benchmark) and to exercise
+/// the v3 load path.
+pub fn save_index_v3(path: impl AsRef<Path>, index: &InvertedIndex) -> Result<(), PersistError> {
+    let path = path.as_ref();
     let payload = serde_json::to_string(&index.serialize()).map_err(|e| serde_err(path, e))?;
-    durable::write_framed(path, INDEX_MAGIC, INDEX_FORMAT_VERSION, payload.as_bytes())?;
+    durable::write_framed(path, INDEX_MAGIC, INDEX_V3_VERSION, payload.as_bytes())?;
     Ok(())
 }
 
 /// Loads an inverted file from `path`, verifying frame integrity (length,
 /// EOF marker, CRC32) and the format envelope.
+///
+/// A v4 file is **memory-mapped**: the call validates the segment's
+/// structure (bounds, sentinels, dictionary coding, UTF-8) and returns an
+/// index whose posting columns are decoded lazily from the mapping. v3/v2
+/// files are deserialized into a fully resident index as before.
 pub fn load_index(path: impl AsRef<Path>) -> Result<InvertedIndex, PersistError> {
     let path = path.as_ref();
-    match durable::read_framed(path)? {
-        FrameRead::Framed {
-            magic,
-            version,
-            payload,
-        } => {
-            if magic != INDEX_MAGIC {
+    match durable::map_framed(path)? {
+        MapRead::Framed(frame) => {
+            if frame.magic != INDEX_MAGIC {
                 return Err(format_err(
                     path,
-                    format!("wrong magic {magic:?} (expected {INDEX_MAGIC:?})"),
+                    format!("wrong magic {:?} (expected {INDEX_MAGIC:?})", frame.magic),
                 ));
             }
-            if version != INDEX_FORMAT_VERSION {
-                return Err(format_err(
+            match frame.version {
+                INDEX_FORMAT_VERSION => {
+                    segment::open(Arc::new(frame)).map_err(|detail| PersistError::Corrupt {
+                        path: path.to_path_buf(),
+                        detail: format!("v4 segment: {detail}"),
+                    })
+                }
+                INDEX_V3_VERSION => {
+                    let text = std::str::from_utf8(frame.payload())
+                        .map_err(|e| format_err(path, format!("payload is not UTF-8: {e}")))?;
+                    let value: Value =
+                        serde_json::from_str(text).map_err(|e| serde_err(path, e))?;
+                    InvertedIndex::deserialize(&value)
+                        .map_err(|e| format_err(path, format!("index payload: {e}")))
+                }
+                other => Err(format_err(
                     path,
                     format!(
-                        "unsupported index format version {version} (this build reads \
-                         v{INDEX_FORMAT_VERSION}); rebuild the index with `ajax-search build`"
+                        "unsupported index format version {other} (this build reads \
+                         v{INDEX_FORMAT_VERSION} and v{INDEX_V3_VERSION}); rebuild the \
+                         index with `ajax-search build`"
                     ),
-                ));
+                )),
             }
-            let text = String::from_utf8(payload)
-                .map_err(|e| format_err(path, format!("payload is not UTF-8: {e}")))?;
-            let value: Value = serde_json::from_str(&text).map_err(|e| serde_err(path, e))?;
-            InvertedIndex::deserialize(&value)
-                .map_err(|e| format_err(path, format!("index payload: {e}")))
         }
-        FrameRead::NotFramed(bytes) => load_index_legacy(path, bytes),
+        MapRead::NotFramed(bytes) => load_index_legacy(path, bytes),
     }
 }
 
@@ -313,13 +350,55 @@ mod tests {
         let index = sample_index();
         let path = temp_path("envelope.json");
         save_index(&path, &index)?;
-        let text = std::fs::read_to_string(&path).unwrap();
+        // The payload is binary — inspect the file as bytes, not a String.
+        let bytes = std::fs::read(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert!(text.contains("\"magic\""));
-        assert!(text.contains(INDEX_MAGIC));
-        assert!(text.contains("\"version\""));
-        assert!(text.contains("payload_crc32"));
-        assert!(text.contains(ajax_crawl::durable::EOF_MARKER));
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let header = std::str::from_utf8(&bytes[..header_end]).unwrap();
+        assert!(header.contains("\"magic\""));
+        assert!(header.contains(INDEX_MAGIC));
+        assert!(header.contains("\"version\":4"));
+        assert!(header.contains("payload_crc32"));
+        let tail = format!("\n{}\n", ajax_crawl::durable::EOF_MARKER);
+        assert!(bytes.ends_with(tail.as_bytes()));
+        // The segment magic leads the binary payload.
+        assert_eq!(&bytes[header_end + 1..header_end + 9], b"AJAXSEG4");
+        Ok(())
+    }
+
+    #[test]
+    fn v4_load_is_mapped_and_searches_identically() -> Result<(), PersistError> {
+        let index = sample_index();
+        let path = temp_path("v4_index.bin");
+        save_index(&path, &index)?;
+        let loaded = load_index(&path)?;
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.is_mapped(), "v4 load must map, not deserialize");
+        assert!(loaded.mapped_bytes() > 0);
+        assert_eq!(index, loaded, "logical equality across backings");
+        let w = RankWeights::default();
+        for q in ["morcheeba", "the singer", "enjoy ride", "absent", ""] {
+            let query = Query::parse(q);
+            assert_eq!(
+                search(&index, &query, &w),
+                search(&loaded, &query, &w),
+                "query {q:?} must be bit-identical on the mapped index"
+            );
+        }
+        // Materializing the mapped index reproduces the original exactly.
+        assert_eq!(loaded.into_owned(), index);
+        Ok(())
+    }
+
+    #[test]
+    fn v3_file_still_loads() -> Result<(), PersistError> {
+        let index = sample_index();
+        let path = temp_path("v3_index.json");
+        save_index_v3(&path, &index)?;
+        let loaded = load_index(&path)?;
+        std::fs::remove_file(&path).ok();
+        assert!(!loaded.is_mapped(), "v3 loads resident");
+        assert_eq!(index, loaded);
         Ok(())
     }
 

@@ -7,7 +7,7 @@
 //! returned — for [`search_top_k`] that is at most `k` strings however many
 //! candidates matched.
 
-use crate::invert::{DocKey, InvertedIndex, PostingList};
+use crate::invert::{DocKey, InvertedIndex, PostingList, TermScratch};
 use crate::kernel::{self, ScoreScratch, TopK};
 use crate::probe;
 use crate::tokenize::query_terms;
@@ -78,13 +78,15 @@ fn materialize(index: &InvertedIndex, doc: DocKey, score: f64) -> SearchResult {
     }
 }
 
-/// Rank order on raw `(doc, score)` pairs: score descending, then URL
-/// (compared in place — no allocation), then state. The same total order
-/// [`sort_results`] applies to materialized results, so selecting with one
-/// and sorting with the other is consistent.
+/// Rank order on raw `(doc, score)` pairs: score descending (by
+/// [`f64::total_cmp`] — a *total* order, which the top-k heap contract
+/// requires; `partial_cmp(..).unwrap_or(Equal)` made NaN compare equal to
+/// everything, a non-transitive relation that let top-k and full-sort
+/// disagree), then URL (compared in place — no allocation), then state. The
+/// same total order [`sort_results`] applies to materialized results, so
+/// selecting with one and sorting with the other is consistent.
 fn rank_cmp(index: &InvertedIndex, a: &(DocKey, f64), b: &(DocKey, f64)) -> Ordering {
-    b.1.partial_cmp(&a.1)
-        .unwrap_or(Ordering::Equal)
+    b.1.total_cmp(&a.1)
         .then_with(|| index.url_of(a.0).cmp(index.url_of(b.0)))
         .then_with(|| a.0.state.cmp(&b.0.state))
 }
@@ -165,13 +167,22 @@ fn score_matches(
     if query.is_empty() {
         return;
     }
-    let lists: Vec<PostingList<'_>> = query.terms.iter().map(|t| index.postings(t)).collect();
     let ScoreScratch {
         cursors,
         idf,
         events,
         term_counts,
+        term_bufs,
     } = scratch;
+    if term_bufs.len() < query.terms.len() {
+        term_bufs.resize_with(query.terms.len(), TermScratch::default);
+    }
+    let lists: Vec<PostingList<'_>> = query
+        .terms
+        .iter()
+        .zip(term_bufs.iter_mut())
+        .map(|(t, buf)| index.postings_in(t, buf))
+        .collect();
     idf.clear();
     idf.extend(lists.iter().map(|l| index.idf_from_df(l.len() as u64)));
     kernel::for_each_match(&lists, cursors, |doc, rows| {
@@ -193,7 +204,13 @@ fn score_matches(
 /// ascending order — the posting-list merge of §5.3.2 without scoring
 /// (diagnostics and tests).
 pub fn conjunction_docs(index: &InvertedIndex, terms: &[String]) -> Vec<DocKey> {
-    let lists: Vec<PostingList<'_>> = terms.iter().map(|t| index.postings(t)).collect();
+    let mut bufs: Vec<TermScratch> = Vec::new();
+    bufs.resize_with(terms.len(), TermScratch::default);
+    let lists: Vec<PostingList<'_>> = terms
+        .iter()
+        .zip(bufs.iter_mut())
+        .map(|(t, buf)| index.postings_in(t, buf))
+        .collect();
     let mut cursors = Vec::new();
     let mut out = Vec::new();
     kernel::for_each_match(&lists, &mut cursors, |doc, _| out.push(doc));
@@ -208,8 +225,7 @@ pub fn sort_results(results: &mut [SearchResult]) {
 
 pub(crate) fn compare_results(a: &SearchResult, b: &SearchResult) -> Ordering {
     b.score
-        .partial_cmp(&a.score)
-        .unwrap_or(Ordering::Equal)
+        .total_cmp(&a.score)
         .then_with(|| a.url.cmp(&b.url))
         .then_with(|| a.doc.state.cmp(&b.doc.state))
 }
@@ -447,6 +463,62 @@ mod top_k_tests {
             let top = search_top_k(&idx, &q, &w, k);
             assert_eq!(top.len(), full.len().min(k));
             assert_eq!(&full[..top.len()], &top[..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_matches_full_sort_under_degenerate_weights() {
+        // Degenerate weights force NaN and ±inf scores (inf·0 = NaN with
+        // zero pageranks). The rank comparator must stay a *total* order —
+        // with the old `partial_cmp(..).unwrap_or(Equal)`, NaN compared
+        // equal to everything (non-transitive) and the bounded heap's
+        // selection diverged from the full sort's prefix.
+        let mut b = IndexBuilder::new();
+        for page in 0..25 {
+            let mut m = AppModel::new(format!("http://x/{page:02}"));
+            m.add_state(1, format!("common filler{}", page % 5), None);
+            b.add_model(&m, if page % 2 == 0 { None } else { Some(0.0) });
+        }
+        let idx = b.build();
+        let q = Query::parse("common");
+        let degenerate = [
+            RankWeights {
+                pagerank: f64::INFINITY, // inf · 0.0 = NaN
+                ajaxrank: 0.0,
+                tfidf: 1.0,
+                proximity: 0.0,
+            },
+            RankWeights {
+                pagerank: f64::NAN,
+                ajaxrank: 1.0,
+                tfidf: 1.0,
+                proximity: 1.0,
+            },
+            RankWeights {
+                pagerank: f64::NEG_INFINITY,
+                ajaxrank: f64::INFINITY,
+                tfidf: 0.0,
+                proximity: 0.0,
+            },
+        ];
+        // NaN != NaN under `==`, so compare results by score *bits*.
+        let fingerprint = |rs: &[SearchResult]| -> Vec<(String, DocKey, u64)> {
+            rs.iter()
+                .map(|r| (r.url.clone(), r.doc, r.score.to_bits()))
+                .collect()
+        };
+        for (wi, w) in degenerate.iter().enumerate() {
+            let full = search(&idx, &q, w);
+            assert_eq!(full.len(), 25);
+            for k in [1usize, 3, 10, 25, 40] {
+                let top = search_top_k(&idx, &q, w, k);
+                assert_eq!(top.len(), full.len().min(k));
+                assert_eq!(
+                    fingerprint(&full[..top.len()]),
+                    fingerprint(&top),
+                    "weights[{wi}] k={k}"
+                );
+            }
         }
     }
 

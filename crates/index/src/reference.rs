@@ -140,10 +140,14 @@ impl RefIndexBuilder {
     }
 }
 
+// The one deliberate deviation from the frozen code: the rank comparator
+// moved to `f64::total_cmp` in lockstep with the engine (`query::rank_cmp`,
+// `shard::compare_broker_results`). Both sides must use the same total
+// order or NaN-scored ties (degenerate weights) would order differently
+// and break the bit-identity contract.
 fn compare_results(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
     b.score
-        .partial_cmp(&a.score)
-        .unwrap_or(std::cmp::Ordering::Equal)
+        .total_cmp(&a.score)
         .then_with(|| a.url.cmp(&b.url))
         .then_with(|| a.doc.state.cmp(&b.doc.state))
 }

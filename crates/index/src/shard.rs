@@ -13,7 +13,7 @@
 //! the merged [`BrokerResult`]; the merge no longer rebuilds a
 //! `(url, doc) → shard` hash map per query.
 
-use crate::invert::{DocKey, InvertedIndex, PostingList};
+use crate::invert::{DocKey, InvertedIndex, PostingList, TermScratch};
 use crate::kernel::{self, ScoreScratch};
 use crate::probe;
 use crate::query::{Query, RankWeights};
@@ -93,6 +93,12 @@ impl QueryBroker {
         self.shards.iter().map(InvertedIndex::approx_bytes).sum()
     }
 
+    /// Bytes served from mmap-ed v4 segments across shards (0 when every
+    /// shard is resident).
+    pub fn mapped_bytes(&self) -> usize {
+        self.shards.iter().map(InvertedIndex::mapped_bytes).sum()
+    }
+
     /// Decomposes the broker into its shards and weights — the handoff a
     /// serving layer uses to distribute shards across worker threads.
     pub fn into_parts(self) -> (Vec<InvertedIndex>, RankWeights) {
@@ -162,17 +168,26 @@ pub fn eval_shard_with_scratch(
     weights: &RankWeights,
     scratch: &mut ScoreScratch,
 ) -> (Vec<ShardResult>, ShardTermStats) {
-    let lists: Vec<PostingList<'_>> = query.terms.iter().map(|t| shard.postings(t)).collect();
-    let stats = ShardTermStats {
-        total_states: shard.total_states,
-        df: lists.iter().map(|l| l.len() as u64).collect(),
-    };
     let ScoreScratch {
         cursors,
         events,
         term_counts,
+        term_bufs,
         ..
     } = scratch;
+    if term_bufs.len() < query.terms.len() {
+        term_bufs.resize_with(query.terms.len(), TermScratch::default);
+    }
+    let lists: Vec<PostingList<'_>> = query
+        .terms
+        .iter()
+        .zip(term_bufs.iter_mut())
+        .map(|(t, buf)| shard.postings_in(t, buf))
+        .collect();
+    let stats = ShardTermStats {
+        total_states: shard.total_states,
+        df: lists.iter().map(|l| l.len() as u64).collect(),
+    };
     let mut results = Vec::new();
     kernel::for_each_match(&lists, cursors, |doc, rows| {
         let (pagerank, ajaxrank) = shard.ranks_of(doc);
@@ -195,12 +210,13 @@ pub fn eval_shard_with_scratch(
     (results, stats)
 }
 
-/// Rank order on broker results: score descending, then URL, then state —
-/// the same total order as the sequential paths.
+/// Rank order on broker results: score descending (by [`f64::total_cmp`],
+/// in lockstep with `query::rank_cmp` — both must stay total orders or the
+/// sequential and distributed paths can order NaN-scored ties differently),
+/// then URL, then state.
 fn compare_broker_results(a: &BrokerResult, b: &BrokerResult) -> Ordering {
     b.score
-        .partial_cmp(&a.score)
-        .unwrap_or(Ordering::Equal)
+        .total_cmp(&a.score)
         .then_with(|| a.url.cmp(&b.url))
         .then_with(|| a.doc.state.cmp(&b.doc.state))
 }

@@ -36,6 +36,10 @@ pub struct Metrics {
     /// Resident size of the served index in bytes (gauge; set at startup
     /// and on every reload from the shards' honest `approx_bytes`).
     pub index_bytes: AtomicU64,
+    /// Bytes served from mmap-ed v4 segments (gauge, same lifecycle as
+    /// `index_bytes`). Mapped bytes live in the page cache, not the heap —
+    /// capacity planning tracks the two separately.
+    pub index_mapped_bytes: AtomicU64,
     /// End-to-end query latency (admission → response), µs.
     pub latency: LatencyHistogram,
     /// Jobs currently queued per shard (gauge).
@@ -55,6 +59,7 @@ impl Metrics {
             reloads: AtomicU64::new(0),
             reloads_rejected: AtomicU64::new(0),
             index_bytes: AtomicU64::new(0),
+            index_mapped_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             shard_queue_depth: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -82,6 +87,7 @@ impl Metrics {
             reloads: self.reloads.load(Ordering::Relaxed),
             reloads_rejected: self.reloads_rejected.load(Ordering::Relaxed),
             index_bytes: self.index_bytes.load(Ordering::Relaxed),
+            index_mapped_bytes: self.index_mapped_bytes.load(Ordering::Relaxed),
             qps: if uptime_micros == 0 {
                 0.0
             } else {
@@ -123,6 +129,7 @@ pub struct MetricsSnapshot {
     pub reloads: u64,
     pub reloads_rejected: u64,
     pub index_bytes: u64,
+    pub index_mapped_bytes: u64,
     pub qps: f64,
     pub latency_mean_micros: f64,
     pub latency_p50_micros: u64,

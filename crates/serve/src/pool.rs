@@ -301,6 +301,13 @@ impl ShardTransport for PoolTransport {
             .sum()
     }
 
+    fn index_mapped_bytes(&self) -> u64 {
+        self.pools
+            .iter()
+            .map(|p| p.index().mapped_bytes() as u64)
+            .sum()
+    }
+
     fn reload(&self, shards: Vec<InvertedIndex>) -> Result<(), TransportError> {
         if shards.len() != self.pools.len() {
             return Err(TransportError::Unsupported(

@@ -280,6 +280,9 @@ impl ShardServer {
         metrics
             .index_bytes
             .store(transport.index_bytes(), Ordering::Relaxed);
+        metrics
+            .index_mapped_bytes
+            .store(transport.index_mapped_bytes(), Ordering::Relaxed);
         let start_micros = config.clock.now_micros();
         Self {
             transport,
@@ -539,6 +542,7 @@ impl ShardServer {
             });
         }
         let index_bytes = broker.approx_bytes() as u64;
+        let index_mapped_bytes = broker.mapped_bytes() as u64;
         let (shards, weights) = broker.into_parts();
         if weights_bits(&weights) != weights_bits(&self.weights) {
             return Err(ServeError::WeightsMismatch {
@@ -554,6 +558,9 @@ impl ShardServer {
         self.metrics
             .index_bytes
             .store(index_bytes, Ordering::Relaxed);
+        self.metrics
+            .index_mapped_bytes
+            .store(index_mapped_bytes, Ordering::Relaxed);
         Ok(())
     }
 
@@ -763,15 +770,25 @@ mod tests {
         );
         let before = server.search("wow dance").unwrap();
         assert!(!before.results.is_empty());
+        assert!(
+            server.metrics_snapshot().index_mapped_bytes > 0,
+            "a v4 artifact serves from the mapping"
+        );
 
         // A valid artifact reloads fine.
         server.reload_from_path(&path).unwrap();
         assert_eq!(server.metrics_snapshot().reloads, 1);
 
-        // Truncate the artifact mid-payload: the reload must be refused,
-        // counted, and the old generation must keep answering.
+        // Replace the artifact with a truncated copy — atomically, by
+        // rename, like every legitimate writer (and unlike an in-place
+        // truncation, which would clobber the inode the serving generation
+        // has mmap-ed; v4 index files are immutable once committed). The
+        // reload must be refused, counted, and the old generation must keep
+        // answering.
         let bytes = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let tmp = path.with_extension("corrupt_tmp");
+        std::fs::write(&tmp, &bytes[..bytes.len() / 2]).unwrap();
+        std::fs::rename(&tmp, &path).unwrap();
         let err = server.reload_from_path(&path).unwrap_err();
         assert!(matches!(err, ServeError::CorruptArtifact(_)), "{err:?}");
         let after = server.search("wow dance").unwrap();

@@ -167,6 +167,13 @@ pub trait ShardTransport: Send + Sync {
     /// Honest resident size of the shards in bytes (metrics gauge).
     fn index_bytes(&self) -> u64;
 
+    /// Bytes served from mmap-ed v4 segments across shards (metrics gauge;
+    /// 0 when every shard is resident). Remote transports that cannot see
+    /// their shards' backing keep the default.
+    fn index_mapped_bytes(&self) -> u64 {
+        0
+    }
+
     /// Swaps in freshly built shard indexes (same count, caller-validated).
     fn reload(&self, shards: Vec<InvertedIndex>) -> Result<(), TransportError>;
 
