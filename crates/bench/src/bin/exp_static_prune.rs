@@ -1,9 +1,12 @@
 //! Static-prune experiment: crawl VidShare and NewsShare with the static
-//! crawl planner on, off, and in verify mode; fails (exit 1) on any
-//! soundness mismatch, model divergence, or if nothing was pruned at all.
+//! crawl planner on, off, and in verify mode; then crawl the Gallery site
+//! with the equivalence/commutativity planner off, on, and in verify mode.
+//! Fails (exit 1) on any soundness mismatch, model divergence, if nothing
+//! was pruned at all, or if the equivalence planner saves less than 40% of
+//! fired events on the redundant-handler site.
 //!
 //! ```sh
-//! exp_static_prune --videos 12 --pages 6
+//! exp_static_prune --videos 12 --pages 6 --albums 6
 //! ```
 use ajax_bench::exp::pruning;
 use ajax_bench::util;
@@ -21,15 +24,32 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let videos = flag_value(&args, "--videos", 12);
     let pages = flag_value(&args, "--pages", 6);
+    let albums = flag_value(&args, "--albums", 6);
 
     let report = pruning::collect(videos, pages);
     println!("{}", report.render());
     util::write_json("static_prune", &report);
 
-    if report.all_sound() && report.any_pruned() {
+    let equiv = pruning::collect_equiv(albums);
+    println!("{}", equiv.render());
+    util::write_json("equiv_prune", &equiv);
+
+    let mut ok = true;
+    if !(report.all_sound() && report.any_pruned()) {
+        eprintln!("FAIL: prune soundness violated or nothing pruned");
+        ok = false;
+    }
+    if !equiv.all_sound() {
+        eprintln!("FAIL: equivalence-pruning soundness violated");
+        ok = false;
+    }
+    if !equiv.meets_target() {
+        eprintln!("FAIL: equivalence pruning saved less than 40% of fired events");
+        ok = false;
+    }
+    if ok {
         ExitCode::SUCCESS
     } else {
-        eprintln!("FAIL: prune soundness violated or nothing pruned");
         ExitCode::FAILURE
     }
 }

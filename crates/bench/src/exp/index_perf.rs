@@ -459,7 +459,7 @@ mod tests {
         let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
         assert_eq!(percentile(&mut v, 0.50), 3.0);
         assert_eq!(percentile(&mut v, 1.0), 5.0);
-        assert_eq!(percentile(&mut [].as_mut_slice(), 0.5), 0.0);
+        assert_eq!(percentile([].as_mut_slice(), 0.5), 0.0);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! `docs/static-analysis.md`).
 
 use ajax_dom::events::{collect_event_bindings, EventBinding};
-use ajax_dom::{parse_document, EventType};
+use ajax_dom::{parse_document, Document, EventType, NodeId};
 use ajax_js::callgraph::InvocationGraph;
 use ajax_js::effects::{graph_diagnostics, EffectAnalysis, EffectSummary};
+use ajax_js::{AbsLoc, LocSet};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
 
 // Downstream layers (engine CLI, bench) consume diagnostics through this
 // module; re-export the catalogue so they need not depend on `ajax-js`.
@@ -54,6 +56,15 @@ pub struct PageAnalysis {
     pub dom_ids: BTreeSet<String>,
     /// Effect verdicts per distinct handler snippet, keyed by source text.
     verdicts: BTreeMap<String, BindingVerdict>,
+    /// For every element id in the initial document, the set of element
+    /// ids on its ancestor path. Refines string-level location overlap
+    /// into document containment: an `innerHTML` write to an ancestor
+    /// destroys every descendant, so `#box` conflicts with `#inner` when
+    /// `inner` sits inside `box` even though the id strings are disjoint.
+    id_ancestors: BTreeMap<String, BTreeSet<String>>,
+    /// Lazily-computed, memoized diagnostics — the analyze subcommand and
+    /// the crawl planner both ask; the lint pass runs at most once.
+    diagnostics: OnceLock<Vec<Diagnostic>>,
 }
 
 impl PageAnalysis {
@@ -85,12 +96,19 @@ impl PageAnalysis {
         self.verdicts.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Runs the diagnostics pass: graph-level lints (undefined calls,
-    /// redefinitions, dynamic hot calls) plus page-level lints that need
-    /// the document — parse failures, dead functions, DOM writes to ids
-    /// absent from the initial document, stateless handlers, and handlers
-    /// whose termination is unprovable. Sorted most severe first.
-    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+    /// The diagnostics of this page, sorted most severe first: graph-level
+    /// lints (undefined calls, redefinitions, dynamic hot calls, dead
+    /// writes, self-races, unbounded write sets) plus page-level lints
+    /// that need the document — parse failures, dead functions, DOM writes
+    /// to ids absent from the initial document, write-set conflicts
+    /// between co-bound handlers, stateless handlers, and handlers whose
+    /// termination is unprovable. The pass is memoized: the first call
+    /// computes, every later call returns the same slice.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        self.diagnostics.get_or_init(|| self.compute_diagnostics())
+    }
+
+    fn compute_diagnostics(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for _ in 0..self.script_errors {
             out.push(Diagnostic::new(
@@ -146,6 +164,41 @@ impl PageAnalysis {
             }
         }
 
+        // SA009: two handlers bound on one element whose DOM write sets
+        // may touch the same location — the firing order is observable.
+        let mut by_node: BTreeMap<NodeId, Vec<&EventBinding>> = BTreeMap::new();
+        for b in &self.bindings {
+            by_node.entry(b.node).or_default().push(b);
+        }
+        for bound in by_node.values().filter(|bs| bs.len() >= 2) {
+            for (i, a) in bound.iter().enumerate() {
+                for b in &bound[i + 1..] {
+                    if a.code == b.code {
+                        continue;
+                    }
+                    let (Some(va), Some(vb)) =
+                        (self.verdicts.get(&a.code), self.verdicts.get(&b.code))
+                    else {
+                        continue;
+                    };
+                    if !va.parsed || !vb.parsed {
+                        continue;
+                    }
+                    let (wa, wb) = (va.summary.write_locs(), vb.summary.write_locs());
+                    if !wa.is_empty() && !wb.is_empty() && self.locs_conflict(&wa, &wb) {
+                        out.push(Diagnostic::new(
+                            Lint::WriteSetConflict,
+                            a.source.clone(),
+                            format!(
+                                "`{}` ({}) and `{}` ({}) write overlapping DOM locations; the firing order is observable",
+                                a.code, a.event_type, b.code, b.event_type
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
         // Per-snippet verdicts: stateless and possibly-non-terminating.
         for (code, verdict) in &self.verdicts {
             if verdict.is_pure() {
@@ -177,6 +230,207 @@ impl PageAnalysis {
     pub fn max_severity(&self) -> Option<ajax_js::effects::Severity> {
         self.diagnostics().iter().map(|d| d.severity()).max()
     }
+
+    /// The canonical equivalence signature of a handler snippet, or `None`
+    /// when the snippet failed to parse (unparsed handlers carry
+    /// worst-case verdicts and never share a class).
+    pub fn equiv_signature(&self, code: &str) -> Option<String> {
+        self.verdicts
+            .get(code)
+            .filter(|v| v.parsed)
+            .map(|v| canonical_signature(&v.summary))
+    }
+
+    /// Handler equivalence classes over the page's parsed handler
+    /// snippets: two handlers land in one class iff their effect
+    /// summaries are isomorphic up to a renaming of symbols
+    /// ([`canonical_signature`]). Classes are numbered deterministically
+    /// by their lexicographically smallest member.
+    ///
+    /// Equivalence is a *heuristic* crawl fact, not a semantic proof —
+    /// summaries abstract away written values and control flow, so two
+    /// same-class handlers may still behave differently on a concrete
+    /// state (docs/static-analysis.md). The planner therefore only lets
+    /// class members inherit a representative's **barren** verdict, and
+    /// `--verify-equiv` cross-checks every inherited verdict at runtime.
+    pub fn equiv_classes(&self) -> Vec<EquivClass> {
+        let mut by_sig: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (code, v) in &self.verdicts {
+            if v.parsed {
+                by_sig
+                    .entry(canonical_signature(&v.summary))
+                    .or_default()
+                    .push(code.clone());
+            }
+        }
+        let mut classes: Vec<(String, Vec<String>)> = by_sig.into_iter().collect();
+        classes.sort_by(|a, b| a.1[0].cmp(&b.1[0]));
+        classes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (signature, members))| EquivClass {
+                id: i as u32,
+                signature,
+                members,
+            })
+            .collect()
+    }
+
+    /// True when the two handler snippets provably commute: firing A then
+    /// B reaches the same state as B then A, so the planner may skip one
+    /// interleaving order. Requires both snippets parsed; delegates to
+    /// [`PageAnalysis::summaries_commute`].
+    pub fn commutes(&self, a: &str, b: &str) -> bool {
+        match (self.verdicts.get(a), self.verdicts.get(b)) {
+            (Some(va), Some(vb)) if va.parsed && vb.parsed => {
+                self.summaries_commute(&va.summary, &vb.summary)
+            }
+            _ => false,
+        }
+    }
+
+    /// Commutativity over effect summaries: `A` and `B` commute when
+    /// neither is opaque or calls undefined functions, their global
+    /// write sets are disjoint from the other's read+write sets, and
+    /// their DOM write sets are disjoint (under [`Self::locs_conflict`],
+    /// which includes document containment) from the other's DOM
+    /// read+write sets. XHR effects are ignored: the modeled servers are
+    /// stateless and deterministic, so requests cannot interfere.
+    pub fn summaries_commute(&self, a: &EffectSummary, b: &EffectSummary) -> bool {
+        if a.opaque || b.opaque || !a.calls_undefined.is_empty() || !b.calls_undefined.is_empty() {
+            return false;
+        }
+        let globals_race = a
+            .writes_globals
+            .iter()
+            .any(|g| b.writes_globals.contains(g) || b.reads_globals.contains(g))
+            || b.writes_globals.iter().any(|g| a.reads_globals.contains(g));
+        if globals_race {
+            return false;
+        }
+        // read_locs() already includes write targets, so one check per
+        // direction covers write/write, write/read and read/write pairs.
+        !self.locs_conflict(&a.write_locs(), &b.read_locs())
+            && !self.locs_conflict(&b.write_locs(), &a.read_locs())
+    }
+
+    /// True when a location of `a` and a location of `b` may denote the
+    /// same element (string-level overlap) **or** elements in an
+    /// ancestor/descendant relation in the initial document (an
+    /// `innerHTML` write to an ancestor replaces every descendant).
+    ///
+    /// Caveat: the ancestry relation is computed from the *initial*
+    /// document; elements created dynamically by handlers are invisible
+    /// to it (docs/static-analysis.md).
+    pub fn locs_conflict(&self, a: &LocSet, b: &LocSet) -> bool {
+        if a.overlaps(b) {
+            return true;
+        }
+        let (ea, eb) = (self.expand_locs(a), self.expand_locs(b));
+        ea.iter().any(|x| {
+            eb.iter().any(|y| {
+                self.id_ancestors.get(x).is_some_and(|anc| anc.contains(y))
+                    || self.id_ancestors.get(y).is_some_and(|anc| anc.contains(x))
+            })
+        })
+    }
+
+    /// Expands a location set to the concrete document ids it may denote.
+    fn expand_locs(&self, s: &LocSet) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for loc in s.iter() {
+            match loc {
+                AbsLoc::Id(x) => {
+                    out.insert(x.clone());
+                }
+                AbsLoc::Prefix(p) => {
+                    out.extend(
+                        self.dom_ids
+                            .iter()
+                            .filter(|i| i.starts_with(p.as_str()))
+                            .cloned(),
+                    );
+                }
+                AbsLoc::Any => out.extend(self.dom_ids.iter().cloned()),
+            }
+        }
+        out
+    }
+}
+
+/// One handler-equivalence class (see [`PageAnalysis::equiv_classes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivClass {
+    /// Dense class id, deterministic across runs.
+    pub id: u32,
+    /// The canonical (symbol-renamed) summary signature all members share.
+    pub signature: String,
+    /// Member handler codes, lexicographically sorted.
+    pub members: Vec<String>,
+}
+
+/// Renders an effect summary with every symbol replaced by a
+/// first-occurrence index in its namespace, so two summaries get equal
+/// strings iff they are isomorphic up to a renaming of DOM ids/prefixes
+/// (`k`), XHR URLs (`u`), global names (`g`) and undefined callees (`f`).
+/// Namespaces are separate and channel kinds are kept apart, so a
+/// concrete-id write never matches a prefix write.
+pub fn canonical_signature(sum: &EffectSummary) -> String {
+    struct Renamer {
+        prefix: char,
+        seen: Vec<String>,
+    }
+    impl Renamer {
+        fn new(prefix: char) -> Self {
+            Renamer {
+                prefix,
+                seen: Vec::new(),
+            }
+        }
+        fn rename(&mut self, sym: &str) -> String {
+            let idx = self.seen.iter().position(|s| s == sym).unwrap_or_else(|| {
+                self.seen.push(sym.to_string());
+                self.seen.len() - 1
+            });
+            format!("{}{idx}", self.prefix)
+        }
+        fn set(&mut self, syms: &BTreeSet<String>) -> String {
+            syms.iter()
+                .map(|s| self.rename(s))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+    fn nums(set: &BTreeSet<usize>) -> String {
+        set.iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    let mut dom = Renamer::new('k');
+    let mut url = Renamer::new('u');
+    let mut glo = Renamer::new('g');
+    let mut cal = Renamer::new('f');
+    format!(
+        "wi[{}];wp[{}];wq[{}];wd{};ri[{}];rp[{}];rq[{}];rd{};uc[{}];up[{}];uq[{}];ud{};gr[{}];gw[{}];cu[{}];nt{};op{}",
+        dom.set(&sum.dom_write_ids),
+        dom.set(&sum.dom_write_prefixes),
+        nums(&sum.dom_write_params),
+        u8::from(sum.dom_write_dynamic),
+        dom.set(&sum.dom_read_ids),
+        dom.set(&sum.dom_read_prefixes),
+        nums(&sum.dom_read_params),
+        u8::from(sum.dom_read_dynamic),
+        url.set(&sum.xhr_const_urls),
+        url.set(&sum.xhr_url_prefixes),
+        nums(&sum.xhr_url_params),
+        u8::from(sum.xhr_dynamic),
+        glo.set(&sum.reads_globals),
+        glo.set(&sum.writes_globals),
+        cal.set(&sum.calls_undefined),
+        u8::from(sum.may_not_terminate),
+        u8::from(sum.opaque),
+    )
 }
 
 /// Analyzes a page's HTML statically.
@@ -195,6 +449,8 @@ pub fn analyze_page(html: &str) -> PageAnalysis {
         .walk()
         .filter_map(|id| doc.attr(id, "id").map(str::to_string))
         .collect();
+    let mut id_ancestors = BTreeMap::new();
+    collect_id_ancestors(&doc, doc.root(), &mut Vec::new(), &mut id_ancestors);
     let effects = EffectAnalysis::of(&graph);
     let mut verdicts = BTreeMap::new();
     for b in &bindings {
@@ -215,6 +471,30 @@ pub fn analyze_page(html: &str) -> PageAnalysis {
         effects,
         dom_ids,
         verdicts,
+        id_ancestors,
+        diagnostics: OnceLock::new(),
+    }
+}
+
+/// DFS from `node` carrying the stack of enclosing element ids; records,
+/// for every element with an `id`, the set of ids on its ancestor path.
+fn collect_id_ancestors(
+    doc: &Document,
+    node: NodeId,
+    stack: &mut Vec<String>,
+    out: &mut BTreeMap<String, BTreeSet<String>>,
+) {
+    let own_id = doc.attr(node, "id").map(str::to_string);
+    if let Some(id) = &own_id {
+        out.insert(id.clone(), stack.iter().cloned().collect());
+        stack.push(id.clone());
+    }
+    let children: Vec<NodeId> = doc.children(node).collect();
+    for child in children {
+        collect_id_ancestors(doc, child, stack, out);
+    }
+    if own_id.is_some() {
+        stack.pop();
     }
 }
 
@@ -429,5 +709,187 @@ mod tests {
             assert!(pair[0].severity() >= pair[1].severity());
         }
         assert_eq!(diags[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn diagnostics_memoized_single_computation() {
+        let server = VidShareServer::new(VidShareSpec::small(20));
+        let html = server.handle(&Request::get("/watch?v=0")).body;
+        let analysis = analyze_page(&html);
+        let first = analysis.diagnostics();
+        let (ptr, len) = (first.as_ptr(), first.len());
+        assert!(len > 0, "vidshare has at least the SA003/SA004 lints");
+        // The second call must return the very same buffer, not a re-run
+        // of the lint pass.
+        let second = analysis.diagnostics();
+        assert_eq!(second.as_ptr(), ptr);
+        assert_eq!(second.len(), len);
+        // max_severity goes through the same cache.
+        assert!(analysis.max_severity().is_some());
+        assert_eq!(analysis.diagnostics().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn redefined_handler_keys_equivalence_on_winning_definition() {
+        // `h` is redefined mid-page: the first definition only writes the
+        // DOM, the winning (last) one also writes a global — the same
+        // shape as `g`. The equivalence class must be keyed on the
+        // winner: h() groups with g(), not with f() (which matches the
+        // losing definition's write set).
+        let analysis = analyze_page(
+            "<script>
+                function h() { document.getElementById('x').innerHTML = 'a'; }
+                function f() { document.getElementById('x').innerHTML = 'a'; }
+                function g() { document.getElementById('x').innerHTML = 'a'; log = 1; }
+             </script>
+             <script>
+                function h() { document.getElementById('x').innerHTML = 'a'; log = 1; }
+             </script>
+             <div id=\"x\">t</div>
+             <span onclick=\"h()\">h</span>
+             <span onclick=\"g()\">g</span>
+             <span onclick=\"f()\">f</span>",
+        );
+        // The fixpoint itself already reflects the winner.
+        let h = analysis.verdict("h()").expect("verdict for h()");
+        assert!(h.summary.writes_globals.contains("log"), "{h:?}");
+        // And so does the class structure.
+        assert_eq!(
+            analysis.equiv_signature("h()"),
+            analysis.equiv_signature("g()")
+        );
+        assert_ne!(
+            analysis.equiv_signature("h()"),
+            analysis.equiv_signature("f()")
+        );
+        let classes = analysis.equiv_classes();
+        let hg = classes
+            .iter()
+            .find(|c| c.members.contains(&"h()".to_string()))
+            .unwrap();
+        assert_eq!(hg.members, vec!["g()".to_string(), "h()".to_string()]);
+        // The redefinition itself is still linted.
+        assert!(analysis
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::HandlerRedefinition));
+    }
+
+    #[test]
+    fn row_handlers_collapse_into_one_class_up_to_renaming() {
+        // Two per-row handler families with *different* id prefixes and
+        // different globals: isomorphic up to renaming, hence one class.
+        // The hero loader has a different shape and stays separate.
+        let analysis = analyze_page(
+            "<script>
+                function showCaption(i) { document.getElementById('cap_' + i).innerHTML = caps; }
+                function showTag(i) { document.getElementById('tag_' + i).innerHTML = tags; }
+                function loadHero(i) {
+                    var xhr = new XMLHttpRequest();
+                    xhr.open('GET', '/photo?i=' + i, false);
+                    xhr.send(null);
+                    document.getElementById('hero').innerHTML = xhr.responseText;
+                }
+             </script>
+             <div id=\"hero\" onclick=\"loadHero(1)\">photo</div>
+             <div id=\"cap_0\" onclick=\"showCaption(0)\">c0</div>
+             <div id=\"cap_1\" onclick=\"showCaption(1)\">c1</div>
+             <div id=\"tag_0\" onclick=\"showTag(0)\">t0</div>",
+        );
+        let classes = analysis.equiv_classes();
+        let rows = classes
+            .iter()
+            .find(|c| c.members.contains(&"showCaption(0)".to_string()))
+            .expect("row class");
+        assert_eq!(
+            rows.members.iter().map(String::as_str).collect::<Vec<_>>(),
+            vec!["showCaption(0)", "showCaption(1)", "showTag(0)"],
+            "renaming makes cap_/tag_ families isomorphic"
+        );
+        let hero = classes
+            .iter()
+            .find(|c| c.members.contains(&"loadHero(1)".to_string()))
+            .expect("hero class");
+        assert_ne!(hero.signature, rows.signature);
+        // Unparsed snippets never get a signature.
+        assert_eq!(analysis.equiv_signature("syntax error ("), None);
+    }
+
+    #[test]
+    fn commutativity_disjoint_regions_yes_shared_or_nested_no() {
+        let analysis = analyze_page(
+            "<script>
+                function setHero() { document.getElementById('hero').innerHTML = 'x'; }
+                function setCap() { document.getElementById('cap_3').innerHTML = 'y'; }
+                function wipeBox() { document.getElementById('box').innerHTML = ''; }
+                function readInner() { var t = document.getElementById('inner').innerHTML; return t; }
+                function bumpShared() { n = n + 1; document.getElementById('hero').innerHTML = n; }
+             </script>
+             <div id=\"hero\" onclick=\"setHero()\">h</div>
+             <div id=\"cap_3\" onclick=\"setCap()\">c</div>
+             <div id=\"box\" onclick=\"wipeBox()\"><p><span id=\"inner\" onclick=\"readInner()\">i</span></p></div>
+             <div onmouseover=\"bumpShared()\">n</div>",
+        );
+        // Disjoint DOM regions commute.
+        assert!(analysis.commutes("setHero()", "setCap()"));
+        // Symmetry.
+        assert!(analysis.commutes("setCap()", "setHero()"));
+        // Writing an ancestor destroys the descendant the other handler
+        // reads — string-disjoint ids, but containment forbids reordering.
+        assert!(!analysis.commutes("wipeBox()", "readInner()"));
+        assert!(!analysis.commutes("readInner()", "wipeBox()"));
+        // Write/write on one id never commutes.
+        assert!(!analysis.commutes("setHero()", "bumpShared()"));
+        // Global read-modify-write races with itself.
+        assert!(!analysis.commutes("bumpShared()", "bumpShared()"));
+        // Unknown snippets are never proven commuting.
+        assert!(!analysis.commutes("setHero()", "nope()"));
+    }
+
+    #[test]
+    fn sa009_write_set_conflict_on_co_bound_handlers() {
+        let conflicted = analyze_page(
+            "<script>
+                function a() { document.getElementById('x').innerHTML = '1'; }
+                function b() { document.getElementById('x').innerHTML = '2'; }
+             </script>
+             <div id=\"x\">t</div>
+             <div onclick=\"a()\" onmouseover=\"b()\">both</div>",
+        );
+        let diags = conflicted.diagnostics();
+        let conflict = diags
+            .iter()
+            .find(|d| d.lint == Lint::WriteSetConflict)
+            .expect("SA009 fires for co-bound overlapping writes");
+        assert!(conflict.message.contains("a()") && conflict.message.contains("b()"));
+        assert_eq!(conflict.severity(), Severity::Warning);
+
+        // Same handlers on *different* elements: no conflict.
+        let separate = analyze_page(
+            "<script>
+                function a() { document.getElementById('x').innerHTML = '1'; }
+                function b() { document.getElementById('x').innerHTML = '2'; }
+             </script>
+             <div id=\"x\">t</div>
+             <div onclick=\"a()\">one</div><div onclick=\"b()\">two</div>",
+        );
+        assert!(!separate
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::WriteSetConflict));
+
+        // Co-bound but disjoint write sets: no conflict.
+        let disjoint = analyze_page(
+            "<script>
+                function a() { document.getElementById('x').innerHTML = '1'; }
+                function c() { document.getElementById('y').innerHTML = '2'; }
+             </script>
+             <div id=\"x\">t</div><div id=\"y\">u</div>
+             <div onclick=\"a()\" onmouseover=\"c()\">both</div>",
+        );
+        assert!(!disjoint
+            .diagnostics()
+            .iter()
+            .any(|d| d.lint == Lint::WriteSetConflict));
     }
 }

@@ -211,7 +211,7 @@ fn snapshot_files(dir: &Path) -> Vec<(u64, PathBuf)> {
             Some((seq, entry.path()))
         })
         .collect();
-    files.sort_by(|a, b| b.0.cmp(&a.0));
+    files.sort_by_key(|f| std::cmp::Reverse(f.0));
     files
 }
 

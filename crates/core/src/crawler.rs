@@ -215,6 +215,17 @@ pub struct CrawlConfig {
     /// events anyway; a state change counts as a
     /// [`PageStats::prune_mismatches`] instead of a skip.
     pub verify_prune: bool,
+    /// Handler-equivalence + commutativity pruning (docs/static-analysis.md):
+    /// fire one representative per equivalence class per state, letting the
+    /// other members inherit a *barren* verdict, and carry barren verdicts
+    /// into successor states created by provably commuting events. This is
+    /// a heuristic (summaries abstract away written values), so it defaults
+    /// to off; `verify_equiv` cross-checks it at full firing cost.
+    pub equiv_prune: bool,
+    /// Soundness cross-check for equivalence/commutativity pruning: fire
+    /// claimed-barren events anyway; a state change counts as a
+    /// [`PageStats::equiv_mismatches`] instead of a skip.
+    pub verify_equiv: bool,
     /// Crawl checkpoint cadence (docs/robustness.md): when a
     /// [`Checkpointer`](crate::checkpoint::Checkpointer) is attached, a
     /// durable snapshot is committed after every this-many newly crawled
@@ -243,6 +254,8 @@ impl CrawlConfig {
             retry: RetryPolicy::default(),
             static_prune: true,
             verify_prune: false,
+            equiv_prune: false,
+            verify_equiv: false,
             checkpoint_every: 64,
         }
     }
@@ -304,6 +317,23 @@ impl CrawlConfig {
         self
     }
 
+    /// Returns a copy with handler-equivalence + commutativity pruning
+    /// enabled (requires the static planner, so it implies `static_prune`).
+    pub fn with_equiv_prune(mut self) -> Self {
+        self.static_prune = true;
+        self.equiv_prune = true;
+        self
+    }
+
+    /// Returns a copy in equivalence-verify mode: claimed-barren events
+    /// fire anyway and any state change is counted as an
+    /// [`PageStats::equiv_mismatches`].
+    pub fn verifying_equiv(mut self) -> Self {
+        self = self.with_equiv_prune();
+        self.verify_equiv = true;
+        self
+    }
+
     /// Returns a copy with a different checkpoint cadence (min 1 page).
     pub fn with_checkpoint_every(mut self, every: usize) -> Self {
         self.checkpoint_every = every.max(1);
@@ -338,6 +368,19 @@ pub struct PageStats {
     /// Verify-prune soundness failures: a statically "pure" handler
     /// changed the state when fired. Anything non-zero is an analysis bug.
     pub prune_mismatches: u64,
+    /// Events skipped because an equivalence-class sibling was observed
+    /// barren in the same state (or — in verify mode — fired and
+    /// cross-checked anyway).
+    pub equiv_pruned_events: u64,
+    /// Events skipped because their barren verdict was carried into this
+    /// state from the parent state across a provably commuting event.
+    pub commute_pruned_events: u64,
+    /// Verify-equiv failures: an event claimed barren by equivalence or
+    /// commutativity changed the state when fired. Unlike
+    /// `prune_mismatches`, a non-zero count here is an *expected* outcome
+    /// on pages where the heuristic overreaches — it is why `equiv_prune`
+    /// defaults to off.
+    pub equiv_mismatches: u64,
     /// `<script>` blocks the static analysis failed to parse (best-effort;
     /// zero when the planner is disabled).
     pub script_errors: u64,
@@ -389,6 +432,9 @@ impl PageStats {
         self.events_skipped += other.events_skipped;
         self.pruned_events += other.pruned_events;
         self.prune_mismatches += other.prune_mismatches;
+        self.equiv_pruned_events += other.equiv_pruned_events;
+        self.commute_pruned_events += other.commute_pruned_events;
+        self.equiv_mismatches += other.equiv_mismatches;
         self.script_errors += other.script_errors;
         self.states_not_expanded += other.states_not_expanded;
         self.duplicates += other.duplicates;
@@ -881,6 +927,15 @@ impl Crawler {
         let mut snapshots = vec![browser.snapshot()];
         let mut queue = VecDeque::from([StateId::INITIAL]);
 
+        // Equivalence/commutativity pruning bookkeeping (both Vecs run
+        // parallel to `snapshots`): the handler codes known (or claimed)
+        // barren at each state, and the (parent state, action) edge that
+        // created each state — used to inherit barren verdicts across
+        // provably commuting events.
+        let equiv = config.equiv_prune && planner.is_some();
+        let mut state_barren: Vec<std::collections::BTreeSet<String>> = vec![Default::default()];
+        let mut parent_action: Vec<Option<(usize, String)>> = vec![None];
+
         'bfs: while let Some(state_id) = queue.pop_front() {
             // Focused crawling: expand only relevant states. An off-topic
             // *page* (initial state) gets no AJAX crawling at all — its
@@ -902,6 +957,28 @@ impl Crawler {
             env.charge_cpu(config.costs.rollback_micros);
             env.rec.push0("crawl.rollback", rb_start, env.net.now());
             let bindings = collect_event_bindings(browser.doc(), &config.event_types);
+
+            // Commutativity: a handler barren at the parent state stays
+            // barren here when the event that created this state provably
+            // commutes with it (disjoint write/read+write sets — firing
+            // order is irrelevant, so its outcome is unchanged). BFS
+            // guarantees the parent finished expanding before any child
+            // pops, so the parent's barren set is complete.
+            if equiv {
+                if let Some((parent, action)) = parent_action[state_id.index()].clone() {
+                    let p = planner.as_mut().expect("equiv implies planner");
+                    let inherited: Vec<String> = state_barren[parent]
+                        .iter()
+                        .filter(|code| p.commutes(&action, code))
+                        .cloned()
+                        .collect();
+                    state_barren[state_id.index()].extend(inherited);
+                }
+            }
+            // Per-state equivalence-class outcomes: class id → "was the
+            // first fired member barren?". Later members of a barren class
+            // inherit the verdict instead of firing.
+            let mut class_outcome: HashMap<u32, bool> = HashMap::new();
 
             for binding in bindings {
                 if stats.events_fired >= config.max_events_per_page as u64 {
@@ -933,6 +1010,33 @@ impl Crawler {
                         // A pure handler cannot change the DOM, so the event
                         // is barren by construction; recording it keeps the
                         // recrawl history as complete as an unpruned crawl's.
+                        new_history.record(
+                            &binding.source,
+                            binding.event_type,
+                            &binding.code,
+                            false,
+                        );
+                        continue;
+                    }
+                }
+                // Equivalence/commutativity claims (docs/static-analysis.md):
+                // a handler inherited barren from the parent state, or whose
+                // class representative was already observed barren here, is
+                // skipped — or fired and cross-checked in verify mode.
+                let mut claimed_barren = false;
+                if equiv && !pruned {
+                    let p = planner.as_mut().expect("equiv implies planner");
+                    if state_barren[state_id.index()].contains(&binding.code) {
+                        claimed_barren = true;
+                        stats.commute_pruned_events += 1;
+                    } else if let Some(class) = p.class_of(&binding.code) {
+                        if class_outcome.get(&class) == Some(&true) {
+                            claimed_barren = true;
+                            stats.equiv_pruned_events += 1;
+                        }
+                    }
+                    if claimed_barren && !config.verify_equiv {
+                        state_barren[state_id.index()].insert(binding.code.clone());
                         new_history.record(
                             &binding.source,
                             binding.event_type,
@@ -991,6 +1095,8 @@ impl Crawler {
                         let dom_html = config.store_dom.then(|| browser.doc().to_html());
                         let id = model.add_state(new_hash, text, dom_html);
                         snapshots.push(browser.snapshot());
+                        state_barren.push(Default::default());
+                        parent_action.push(Some((state_id.index(), binding.code.clone())));
                         queue.push_back(id);
                         id
                     } else {
@@ -1023,6 +1129,29 @@ impl Crawler {
                 if pruned && matches!(result, "transition" | "state_cap") {
                     stats.prune_mismatches += 1;
                 }
+                if equiv {
+                    // Record this firing for later members of its class and
+                    // for barren inheritance into child states. `or_insert`
+                    // keeps the *first* fired member as the representative.
+                    let p = planner.as_mut().expect("equiv implies planner");
+                    match result {
+                        "unchanged" => {
+                            state_barren[state_id.index()].insert(binding.code.clone());
+                            if let Some(class) = p.class_of(&binding.code) {
+                                class_outcome.entry(class).or_insert(true);
+                            }
+                        }
+                        "transition" | "state_cap" | "js_error" | "partial" => {
+                            if let Some(class) = p.class_of(&binding.code) {
+                                class_outcome.entry(class).or_insert(false);
+                            }
+                        }
+                        _ => {}
+                    }
+                    if claimed_barren && matches!(result, "transition" | "state_cap") {
+                        stats.equiv_mismatches += 1;
+                    }
+                }
                 if env.rec.is_on() {
                     env.rec.push(
                         "crawl.event",
@@ -1048,6 +1177,17 @@ impl Crawler {
 struct StaticPlanner {
     analysis: crate::analysis::PageAnalysis,
     memo: HashMap<String, bool>,
+    /// Per-snippet effect summaries (`None` = unparseable), lazily extended
+    /// with snippets first seen in injected fragments.
+    summaries: HashMap<String, Option<ajax_js::EffectSummary>>,
+    /// Canonical signature → dense class id. Grows as injected snippets
+    /// introduce new signatures; ids are stable within one page crawl.
+    sig_classes: HashMap<String, u32>,
+    /// Snippet → its equivalence class (`None` = unparseable, never classed).
+    class_memo: HashMap<String, Option<u32>>,
+    /// Commutativity verdicts, keyed by the (lexicographically ordered)
+    /// snippet pair — the relation is symmetric.
+    commute_memo: HashMap<(String, String), bool>,
 }
 
 impl StaticPlanner {
@@ -1060,6 +1200,10 @@ impl StaticPlanner {
         let memo: HashMap<String, bool> = analysis
             .verdicts()
             .map(|(code, v)| (code.to_string(), v.is_pure()))
+            .collect();
+        let summaries: HashMap<String, Option<ajax_js::EffectSummary>> = analysis
+            .verdicts()
+            .map(|(code, v)| (code.to_string(), v.parsed.then(|| v.summary.clone())))
             .collect();
         if env.rec.is_on() {
             let pure = memo.values().filter(|p| **p).count() as u64;
@@ -1081,7 +1225,14 @@ impl StaticPlanner {
                 ],
             );
         }
-        StaticPlanner { analysis, memo }
+        StaticPlanner {
+            analysis,
+            memo,
+            summaries,
+            sig_classes: HashMap::new(),
+            class_memo: HashMap::new(),
+            commute_memo: HashMap::new(),
+        }
     }
 
     /// True when firing `code` provably cannot change application state.
@@ -1097,6 +1248,52 @@ impl StaticPlanner {
             .unwrap_or(false);
         self.memo.insert(code.to_string(), pure);
         pure
+    }
+
+    /// The effect summary of a handler snippet: pre-computed for initial-DOM
+    /// handlers, summarized on demand for snippets first seen in injected
+    /// fragments. `None` when the snippet does not parse.
+    fn summary_of(&mut self, code: &str) -> Option<ajax_js::EffectSummary> {
+        if let Some(cached) = self.summaries.get(code) {
+            return cached.clone();
+        }
+        let summary = self.analysis.effects.snippet_summary_src(code).ok();
+        self.summaries.insert(code.to_string(), summary.clone());
+        summary
+    }
+
+    /// The equivalence class of a handler snippet (`None` when unparseable).
+    /// Class ids are allocated lazily per canonical signature, so snippets
+    /// injected mid-crawl join existing classes when isomorphic.
+    fn class_of(&mut self, code: &str) -> Option<u32> {
+        if let Some(cached) = self.class_memo.get(code) {
+            return *cached;
+        }
+        let class = self.summary_of(code).map(|sum| {
+            let sig = crate::analysis::canonical_signature(&sum);
+            let next = self.sig_classes.len() as u32;
+            *self.sig_classes.entry(sig).or_insert(next)
+        });
+        self.class_memo.insert(code.to_string(), class);
+        class
+    }
+
+    /// True when the two snippets provably commute (memoized; symmetric).
+    fn commutes(&mut self, a: &str, b: &str) -> bool {
+        let key = if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        };
+        if let Some(&verdict) = self.commute_memo.get(&key) {
+            return verdict;
+        }
+        let verdict = match (self.summary_of(a), self.summary_of(b)) {
+            (Some(sa), Some(sb)) => self.analysis.summaries_commute(&sa, &sb),
+            _ => false,
+        };
+        self.commute_memo.insert(key, verdict);
+        verdict
     }
 }
 
@@ -1547,6 +1744,204 @@ mod guard_and_recrawl_tests {
         let (m3, _) = crawler.crawl_page_with_history(&url, Some(&h2)).unwrap();
         assert_eq!(m2.model.states, m3.model.states);
         assert_eq!(m2.model.transitions, m3.model.transitions);
+    }
+}
+
+#[cfg(test)]
+mod equiv_tests {
+    use super::*;
+    use ajax_net::server::{FnServer, Request, Response};
+    use std::sync::Arc;
+
+    fn crawl_with(server: Arc<dyn Server>, config: CrawlConfig) -> PageCrawl {
+        let mut crawler = Crawler::new(server, LatencyModel::Zero, config);
+        crawler.crawl_page(&Url::parse("http://x/page")).unwrap()
+    }
+
+    /// The photo-viewer fragment for photo `i` of 3: hero content plus the
+    /// prev/next controls (constant-argument handlers, like VidShare's
+    /// comment nav — the current photo is never linked, so hero events are
+    /// productive in every state).
+    fn photo_fragment(i: u32) -> String {
+        let mut html = format!("<p>photo {i}</p>");
+        if i > 0 {
+            html.push_str(&format!(
+                "<span class=\"nav\" onclick=\"loadPhoto({})\">prev</span>",
+                i - 1
+            ));
+        }
+        if i < 2 {
+            html.push_str(&format!(
+                "<span class=\"nav\" onclick=\"loadPhoto({})\">next</span>",
+                i + 1
+            ));
+        }
+        html
+    }
+
+    /// A gallery-style page: one AJAX hero region (productive nav events)
+    /// plus redundant per-row caption handlers that are barren everywhere
+    /// (each caption div is pre-filled with exactly what its handler
+    /// writes) and live in one equivalence class.
+    fn gallery_server() -> Arc<dyn Server> {
+        Arc::new(FnServer(|req: &Request| {
+            match req.url.path.as_str() {
+            "/page" => Response::html(format!(
+                "<html><head><script>\
+                 function loadPhoto(i) {{\
+                   var xhr = new XMLHttpRequest();\
+                   xhr.open('GET', '/photo?i=' + i, false);\
+                   xhr.send(null);\
+                   document.getElementById('hero').innerHTML = xhr.responseText;\
+                 }}\
+                 function showCaption(i) {{ document.getElementById('cap_' + i).innerHTML = 'caption ' + i; }}\
+                 </script></head><body>\
+                 <div id=\"hero\">{}</div>\
+                 <div id=\"caps\">\
+                 <div id=\"cap_0\" onclick=\"showCaption(0)\">caption 0</div>\
+                 <div id=\"cap_1\" onclick=\"showCaption(1)\">caption 1</div>\
+                 <div id=\"cap_2\" onclick=\"showCaption(2)\">caption 2</div>\
+                 </div></body></html>",
+                photo_fragment(0)
+            )),
+            "/photo" => match req.url.param("i").and_then(|i| i.parse::<u32>().ok()) {
+                Some(i) if i < 3 => Response::html(photo_fragment(i)),
+                _ => Response::not_found(),
+            },
+            _ => Response::not_found(),
+        }
+        }))
+    }
+
+    #[test]
+    fn equiv_and_commute_pruning_cut_events_without_changing_the_model() {
+        let off = crawl_with(gallery_server(), CrawlConfig::ajax());
+        let on = crawl_with(gallery_server(), CrawlConfig::ajax().with_equiv_prune());
+
+        // One caption representative fires in the initial state; its class
+        // siblings inherit the barren verdict there, and all captions are
+        // carried barren into the photo states across the commuting hero
+        // events.
+        assert!(on.stats.equiv_pruned_events > 0, "{:?}", on.stats);
+        assert!(on.stats.commute_pruned_events > 0, "{:?}", on.stats);
+        // Every skipped event is an event the baseline fired.
+        assert_eq!(
+            on.stats.events_fired + on.stats.equiv_pruned_events + on.stats.commute_pruned_events,
+            off.stats.events_fired
+        );
+        // The acceptance bar: ≥ 40% fewer fired events.
+        assert!(
+            on.stats.events_fired * 5 <= off.stats.events_fired * 3,
+            "expected >=40% reduction: {} vs {}",
+            on.stats.events_fired,
+            off.stats.events_fired
+        );
+        // Soundness on this site: the discovered model is identical.
+        assert_eq!(on.model.states, off.model.states);
+        assert_eq!(on.model.transitions, off.model.transitions);
+
+        // Verify mode fires everything and confirms every claim.
+        let verify = crawl_with(gallery_server(), CrawlConfig::ajax().verifying_equiv());
+        assert_eq!(verify.stats.equiv_mismatches, 0);
+        assert_eq!(verify.stats.events_fired, off.stats.events_fired);
+        assert!(verify.stats.equiv_pruned_events + verify.stats.commute_pruned_events > 0);
+        assert_eq!(verify.model.states, off.model.states);
+        assert_eq!(verify.model.transitions, off.model.transitions);
+    }
+
+    /// Two handlers with isomorphic summaries but different runtime
+    /// behavior: `setA` rewrites its slot with the content it already has
+    /// (barren), `setB` actually changes its slot. The class heuristic
+    /// wrongly collapses them — which is exactly why `equiv_prune`
+    /// defaults to off and `--verify-equiv` exists.
+    fn twin_server() -> Arc<dyn Server> {
+        Arc::new(FnServer(|req: &Request| match req.url.path.as_str() {
+            "/page" => Response::html(
+                "<html><head><script>\
+                 function setA() { document.getElementById('slot_a').innerHTML = 'alpha'; }\
+                 function setB() { document.getElementById('slot_b').innerHTML = 'beta'; }\
+                 </script></head><body>\
+                 <div id=\"slot_a\" onclick=\"setA()\">alpha</div>\
+                 <div id=\"slot_b\" onclick=\"setB()\">other</div>\
+                 </body></html>",
+            ),
+            _ => Response::not_found(),
+        }))
+    }
+
+    #[test]
+    fn verify_equiv_counts_mismatches_on_unsound_classes() {
+        let off = crawl_with(twin_server(), CrawlConfig::ajax());
+        assert_eq!(off.model.state_count(), 2, "setB is productive");
+
+        // Blind pruning loses the state — the documented failure mode.
+        let on = crawl_with(twin_server(), CrawlConfig::ajax().with_equiv_prune());
+        assert!(on.stats.equiv_pruned_events > 0);
+        assert_eq!(on.model.state_count(), 1, "heuristic overreach");
+
+        // Verify mode counts the overreach and keeps the model intact.
+        let verify = crawl_with(twin_server(), CrawlConfig::ajax().verifying_equiv());
+        assert_eq!(verify.stats.equiv_mismatches, 1, "{:?}", verify.stats);
+        assert_eq!(verify.model.states, off.model.states);
+        assert_eq!(verify.model.transitions, off.model.transitions);
+    }
+
+    /// The list fragment: version `i` of the wrapper content. The rows are
+    /// byte-identical across versions (their handlers are barren
+    /// everywhere); only the header paragraph changes.
+    fn list_fragment(i: u32) -> String {
+        format!(
+            "<p>list {i}</p>\
+             <div id=\"row_0\" onclick=\"touchRow(0)\">row 0</div>\
+             <div id=\"row_1\" onclick=\"touchRow(1)\">row 1</div>\
+             <span onclick=\"swapList({})\">flip</span>",
+            1 - i
+        )
+    }
+
+    /// A page whose productive event rewrites the *ancestor* of the barren
+    /// rows: `swapList` writes `#wrap`, which contains `#row_*`. String
+    /// overlap alone would call them disjoint; the document-containment
+    /// refinement must block barren inheritance across the swap.
+    fn nested_server() -> Arc<dyn Server> {
+        Arc::new(FnServer(|req: &Request| {
+            match req.url.path.as_str() {
+            "/page" => Response::html(format!(
+                "<html><head><script>\
+                 function swapList(i) {{\
+                   var xhr = new XMLHttpRequest();\
+                   xhr.open('GET', '/list?i=' + i, false);\
+                   xhr.send(null);\
+                   document.getElementById('wrap').innerHTML = xhr.responseText;\
+                 }}\
+                 function touchRow(i) {{ document.getElementById('row_' + i).innerHTML = 'row ' + i; }}\
+                 </script></head><body>\
+                 <div id=\"wrap\">{}</div>\
+                 </body></html>",
+                list_fragment(1)
+            )),
+            "/list" => match req.url.param("i").and_then(|i| i.parse::<u32>().ok()) {
+                Some(i) if i < 2 => Response::html(list_fragment(i)),
+                _ => Response::not_found(),
+            },
+            _ => Response::not_found(),
+        }
+        }))
+    }
+
+    #[test]
+    fn ancestor_write_blocks_commute_inheritance() {
+        let off = crawl_with(nested_server(), CrawlConfig::ajax());
+        let on = crawl_with(nested_server(), CrawlConfig::ajax().with_equiv_prune());
+        // The row verdicts must NOT ride across the wrap rewrite: each new
+        // state re-fires a row representative instead of inheriting.
+        assert_eq!(on.stats.commute_pruned_events, 0, "{:?}", on.stats);
+        // Within each state the class still collapses the second row.
+        assert_eq!(on.stats.equiv_pruned_events, 2, "{:?}", on.stats);
+        assert_eq!(on.model.states, off.model.states);
+        assert_eq!(on.model.transitions, off.model.transitions);
+        let verify = crawl_with(nested_server(), CrawlConfig::ajax().verifying_equiv());
+        assert_eq!(verify.stats.equiv_mismatches, 0);
     }
 }
 

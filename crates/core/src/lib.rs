@@ -46,7 +46,7 @@ pub mod precrawl;
 pub mod recrawl;
 pub mod replay;
 
-pub use analysis::{analyze_page, BindingVerdict, PageAnalysis};
+pub use analysis::{analyze_page, canonical_signature, BindingVerdict, EquivClass, PageAnalysis};
 pub use browser::Browser;
 pub use checkpoint::{
     CheckpointError, CheckpointStats, Checkpointer, CrawlCheckpoint, FailureRecord, PageRecord,

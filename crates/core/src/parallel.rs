@@ -838,5 +838,50 @@ mod tests {
             .map(|p| p.stats.script_errors)
             .sum();
         assert_eq!(report.aggregate.script_errors, errors);
+        // The equivalence-pruning counters aggregate the same way (all zero
+        // here: `CrawlConfig::ajax()` leaves the heuristic off).
+        let equiv: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.equiv_pruned_events)
+            .sum();
+        assert_eq!(report.aggregate.equiv_pruned_events, equiv);
+        let commute: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.commute_pruned_events)
+            .sum();
+        assert_eq!(report.aggregate.commute_pruned_events, commute);
+        let equiv_mismatches: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.equiv_mismatches)
+            .sum();
+        assert_eq!(report.aggregate.equiv_mismatches, equiv_mismatches);
+        assert_eq!(equiv, 0, "equiv pruning is opt-in");
+    }
+
+    #[test]
+    fn mp_crawl_with_equiv_prune_aggregates_nonzero_counters() {
+        let (server, partitions) = setup(10, 5);
+        let mp = MpCrawler::new(
+            server,
+            LatencyModel::Fixed(1_000),
+            CrawlConfig::ajax().with_equiv_prune(),
+        )
+        .with_proc_lines(2);
+        let report = mp.crawl(&partitions);
+        let equiv: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.equiv_pruned_events)
+            .sum();
+        assert_eq!(report.aggregate.equiv_pruned_events, equiv);
+        let commute: u64 = report
+            .partitions
+            .iter()
+            .map(|p| p.stats.commute_pruned_events)
+            .sum();
+        assert_eq!(report.aggregate.commute_pruned_events, commute);
     }
 }

@@ -55,6 +55,7 @@ pub fn partition_models(
 }
 
 /// How to run a cluster.
+#[derive(Default)]
 pub struct ClusterConfig {
     /// Coordinator (edge-logic) configuration.
     pub serve: ServeConfig,
@@ -65,16 +66,6 @@ pub struct ClusterConfig {
     /// `fault://shard<i>/accept` and `fault://shard<i>/reply`, so rules can
     /// target one shard (`FaultRule::matching("shard1/reply", …)`).
     pub chaos: Option<ProxyConfig>,
-}
-
-impl Default for ClusterConfig {
-    fn default() -> Self {
-        Self {
-            serve: ServeConfig::default(),
-            hedge_after_micros: None,
-            chaos: None,
-        }
-    }
 }
 
 enum ShardRuntime {

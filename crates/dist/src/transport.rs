@@ -320,9 +320,7 @@ fn hedge_eval(
     loop {
         match read_message(&mut stream)? {
             Message::Reply(reply) if reply.id == id => return Ok((reply.results, reply.stats)),
-            Message::Error(err) if err.id == id => {
-                return Err(std::io::Error::new(std::io::ErrorKind::Other, err.message))
-            }
+            Message::Error(err) if err.id == id => return Err(std::io::Error::other(err.message)),
             _ => {}
         }
     }

@@ -14,13 +14,57 @@ use serde::{Deserialize, Serialize};
 /// knowledge of the lint catalogue's Rust types.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RenderedDiagnostic {
-    /// Stable lint code (`SA001`…`SA008`).
+    /// Stable lint code (`SA001`…`SA012`).
     pub code: String,
     /// `error` | `warning` | `info`.
     pub severity: String,
     /// What the finding is about (function or binding).
     pub subject: String,
     pub message: String,
+}
+
+/// The abstract read/write-set summary of one distinct handler snippet —
+/// the `analyze` rendering of the interprocedural effect fixpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BindingReport {
+    /// The handler snippet (`onclick` source).
+    pub code: String,
+    /// Elements the snippet is bound to.
+    pub sources: Vec<String>,
+    /// False when the snippet failed to parse (everything below is then
+    /// the worst-case verdict).
+    pub parsed: bool,
+    /// Abstract DOM locations written (`#id`, `#prefix*`, `*`).
+    pub writes: Vec<String>,
+    /// Abstract DOM locations read (includes write targets).
+    pub reads: Vec<String>,
+    pub globals_read: Vec<String>,
+    pub globals_written: Vec<String>,
+    /// Constant XHR URLs and URL prefixes reachable from the handler.
+    pub xhr_urls: Vec<String>,
+    /// Equivalence class the snippet belongs to (`None` if unparsed).
+    pub class: Option<u32>,
+}
+
+/// One handler equivalence class: snippets whose effect summaries are
+/// isomorphic up to symbol renaming.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EquivClassReport {
+    pub id: u32,
+    /// The κ-renamed canonical signature shared by every member.
+    pub signature: String,
+    /// Member snippets.
+    pub members: Vec<String>,
+}
+
+/// Pairwise commutativity over the page's distinct handler snippets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommuteMatrix {
+    /// Row/column labels, in first-appearance order.
+    pub codes: Vec<String>,
+    /// `rows[i]` is a string over `{+,-}`: `+` at column `j` means
+    /// `codes[i]` and `codes[j]` provably commute.
+    pub rows: Vec<String>,
 }
 
 /// Static-analysis report of one page.
@@ -37,6 +81,13 @@ pub struct PageReport {
     pub script_errors: usize,
     /// Findings, most severe first.
     pub diagnostics: Vec<RenderedDiagnostic>,
+    /// Per-snippet read/write-set summaries.
+    pub binding_reports: Vec<BindingReport>,
+    /// Handler equivalence classes (only classes with ≥ 1 member of the
+    /// page's bindings; singletons included).
+    pub equiv_classes: Vec<EquivClassReport>,
+    /// Pairwise commutativity matrix over the distinct snippets.
+    pub commute: CommuteMatrix,
 }
 
 /// Aggregated analysis over a set of pages.
@@ -79,23 +130,87 @@ pub fn analyze_site(server: &dyn Server, urls: &[String]) -> SiteAnalysis {
             continue;
         }
         let analysis = analyze_page(&response.body);
-        let diagnostics: Vec<RenderedDiagnostic> = analysis
-            .diagnostics()
-            .into_iter()
-            .map(|d| RenderedDiagnostic {
-                code: d.lint.code().to_string(),
-                severity: d.severity().to_string(),
-                subject: d.subject.clone(),
-                message: d.message.clone(),
-            })
-            .collect();
+        // Single diagnostics pass: render and tally in one sweep over the
+        // memoized slice.
+        let mut diagnostics = Vec::new();
         for d in analysis.diagnostics() {
             match d.severity() {
                 Severity::Error => site.errors += 1,
                 Severity::Warning => site.warnings += 1,
                 Severity::Info => site.infos += 1,
             }
+            diagnostics.push(RenderedDiagnostic {
+                code: d.lint.code().to_string(),
+                severity: d.severity().to_string(),
+                subject: d.subject.clone(),
+                message: d.message.clone(),
+            });
         }
+        // Distinct snippets in first-appearance order, with the elements
+        // each one is bound to.
+        let mut codes: Vec<String> = Vec::new();
+        for b in &analysis.bindings {
+            if !codes.contains(&b.code) {
+                codes.push(b.code.clone());
+            }
+        }
+        let classes = analysis.equiv_classes();
+        let class_of = |code: &str| -> Option<u32> {
+            classes
+                .iter()
+                .find(|c| c.members.iter().any(|m| m == code))
+                .map(|c| c.id)
+        };
+        let binding_reports: Vec<BindingReport> = codes
+            .iter()
+            .map(|code| {
+                let verdict = analysis.verdict(code);
+                let (parsed, summary) = match verdict {
+                    Some(v) => (v.parsed, Some(&v.summary)),
+                    None => (false, None),
+                };
+                let mut report = BindingReport {
+                    code: code.clone(),
+                    sources: analysis
+                        .bindings
+                        .iter()
+                        .filter(|b| &b.code == code)
+                        .map(|b| b.source.clone())
+                        .collect(),
+                    parsed,
+                    class: parsed.then(|| class_of(code)).flatten(),
+                    ..BindingReport::default()
+                };
+                if let Some(sum) = summary.filter(|_| parsed) {
+                    report.writes = sum.write_locs().render();
+                    report.reads = sum.read_locs().render();
+                    report.globals_read = sum.reads_globals.iter().cloned().collect();
+                    report.globals_written = sum.writes_globals.iter().cloned().collect();
+                    report.xhr_urls = sum
+                        .xhr_const_urls
+                        .iter()
+                        .cloned()
+                        .chain(sum.xhr_url_prefixes.iter().map(|p| format!("{p}*")))
+                        .collect();
+                    if sum.xhr_dynamic || !sum.xhr_url_params.is_empty() {
+                        report.xhr_urls.push("*".to_string());
+                    }
+                }
+                report
+            })
+            .collect();
+        let commute = CommuteMatrix {
+            codes: codes.clone(),
+            rows: codes
+                .iter()
+                .map(|a| {
+                    codes
+                        .iter()
+                        .map(|b| if analysis.commutes(a, b) { '+' } else { '-' })
+                        .collect()
+                })
+                .collect(),
+        };
         site.pages.push(PageReport {
             url: url.clone(),
             functions: analysis.graph.functions().count(),
@@ -107,6 +222,16 @@ pub fn analyze_site(server: &dyn Server, urls: &[String]) -> SiteAnalysis {
                 .count(),
             script_errors: analysis.script_errors,
             diagnostics,
+            binding_reports,
+            equiv_classes: classes
+                .into_iter()
+                .map(|c| EquivClassReport {
+                    id: c.id,
+                    signature: c.signature,
+                    members: c.members,
+                })
+                .collect(),
+            commute,
         });
     }
     site
@@ -115,7 +240,9 @@ pub fn analyze_site(server: &dyn Server, urls: &[String]) -> SiteAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ajax_webgen::{NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+    use ajax_webgen::{
+        GalleryServer, GallerySpec, NewsShareServer, NewsSpec, VidShareServer, VidShareSpec,
+    };
 
     #[test]
     fn vidshare_pages_are_error_clean() {
@@ -154,6 +281,59 @@ mod tests {
         let site = analyze_site(&server, &["http://x/nope".to_string()]);
         assert!(site.has_errors());
         assert_eq!(site.pages[0].diagnostics[0].code, "SA000");
+    }
+
+    #[test]
+    fn gallery_pages_expose_classes_and_commutativity() {
+        let spec = GallerySpec::small(2);
+        let urls: Vec<String> = (0..2).map(|a| spec.page_url(a)).collect();
+        let server = GalleryServer::new(spec);
+        let site = analyze_site(&server, &urls);
+        assert!(!site.has_errors());
+        let page = &site.pages[0];
+
+        // Read/write sets: caption rows are prefix writes, the hero loader
+        // writes the single hero id and reaches the network.
+        let cap = page
+            .binding_reports
+            .iter()
+            .find(|b| b.code == "showCaption(0)")
+            .expect("caption binding reported");
+        assert!(cap.parsed);
+        assert_eq!(cap.writes, vec!["#cap_*"]);
+        assert!(cap.xhr_urls.is_empty());
+        let hero = page
+            .binding_reports
+            .iter()
+            .find(|b| b.code.starts_with("loadPhoto"))
+            .expect("hero binding reported");
+        assert_eq!(hero.writes, vec!["#hero"]);
+        assert!(!hero.xhr_urls.is_empty());
+
+        // Every caption and tag row lands in one equivalence class; the
+        // hero loader stays out of it.
+        assert_eq!(
+            cap.class,
+            page.binding_reports
+                .iter()
+                .find(|b| b.code == "showTag(0)")
+                .unwrap()
+                .class
+        );
+        assert_ne!(cap.class, hero.class);
+        let row_class = page
+            .equiv_classes
+            .iter()
+            .find(|c| c.id == cap.class.unwrap())
+            .unwrap();
+        assert!(row_class.members.len() >= 2);
+
+        // Commutativity: rows commute with the hero loader (disjoint
+        // regions), and the matrix is symmetric.
+        let idx = |code: &str| page.commute.codes.iter().position(|c| c == code).unwrap();
+        let (ci, hi) = (idx("showCaption(0)"), idx(&hero.code));
+        assert_eq!(page.commute.rows[ci].as_bytes()[hi], b'+');
+        assert_eq!(page.commute.rows[hi].as_bytes()[ci], b'+');
     }
 
     #[test]

@@ -40,7 +40,10 @@ use ajax_index::BrokerResult;
 use ajax_net::{FaultPlan, Server, Url};
 use ajax_obs::{chrome_trace_json_named, ProfileRollup};
 use ajax_serve::ServeConfig;
-use ajax_webgen::{query_workload, NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+use ajax_webgen::{
+    query_workload, GalleryServer, GallerySpec, NewsShareServer, NewsSpec, VidShareServer,
+    VidShareSpec,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -56,10 +59,11 @@ fn main() -> ExitCode {
         Some("fsck") => cmd_fsck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: ajax-search build --videos N [--site vidshare|news] [--traditional]\n\
+                "usage: ajax-search build --videos N [--site vidshare|news|gallery] [--traditional]\n\
                  \u{20}                  [--max-states N] [--fault-plan SPEC] [--retries N]\n\
                  \u{20}                  [--quarantine-after K] [--report-json FILE]\n\
                  \u{20}                  [--no-static-prune] [--verify-prune]\n\
+                 \u{20}                  [--equiv-prune] [--verify-equiv]\n\
                  \u{20}                  [--checkpoint-dir DIR] [--resume] [--checkpoint-every N]\n\
                  \u{20}                  [--trace-out FILE] [--profile] --out FILE\n\
                  \u{20}      ajax-search query --index FILE \"query terms\"\n\
@@ -69,7 +73,8 @@ fn main() -> ExitCode {
                  \u{20}                  [--distributed N] [--port BASE] [--hedge-ms N]\n\
                  \u{20}                  [--table74] [--verify-single]\n\
                  \u{20}      ajax-search shard --index FILE [--shard-id I] [--port N]\n\
-                 \u{20}      ajax-search analyze [--videos N] [--site vidshare|news] [--json]\n\
+                 \u{20}      ajax-search analyze [--videos N] [--site vidshare|news|gallery]\n\
+                 \u{20}                  [--json] [--effects]\n\
                  \u{20}      ajax-search fsck FILE|DIR"
             );
             return ExitCode::from(2);
@@ -224,7 +229,16 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             let start = Url::parse(&spec.page_url(0));
             (Arc::new(NewsShareServer::new(spec)), start, "/news")
         }
-        other => return Err(format!("--site must be vidshare or news, got {other:?}")),
+        "gallery" => {
+            let spec = GallerySpec::small(videos);
+            let start = Url::parse(&spec.page_url(0));
+            (Arc::new(GalleryServer::new(spec)), start, "/album")
+        }
+        other => {
+            return Err(format!(
+                "--site must be vidshare, news or gallery, got {other:?}"
+            ))
+        }
     };
     let mut config = if traditional {
         EngineConfig::traditional(videos as usize)
@@ -255,6 +269,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let verify_prune = has_flag(args, "--verify-prune");
     if verify_prune {
         config.crawl = config.crawl.verifying_prune();
+    }
+    if has_flag(args, "--equiv-prune") {
+        config.crawl = config.crawl.with_equiv_prune();
+    }
+    let verify_equiv = has_flag(args, "--verify-equiv");
+    if verify_equiv {
+        config.crawl = config.crawl.verifying_equiv();
     }
 
     eprintln!(
@@ -298,6 +319,26 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
             "--verify-prune found {} soundness mismatches: statically-pruned \
              events changed application state",
             r.crawl.prune_mismatches
+        ));
+    }
+    if r.crawl.equiv_pruned_events > 0 || r.crawl.commute_pruned_events > 0 {
+        eprintln!(
+            "equivalence pruning: {} events claimed by class verdicts, {} by \
+             commutativity{}",
+            r.crawl.equiv_pruned_events,
+            r.crawl.commute_pruned_events,
+            if verify_equiv {
+                format!(", {} verify mismatches", r.crawl.equiv_mismatches)
+            } else {
+                String::new()
+            },
+        );
+    }
+    if verify_equiv && r.crawl.equiv_mismatches > 0 {
+        return Err(format!(
+            "--verify-equiv found {} mismatches: events claimed barren by \
+             equivalence/commutativity actually changed application state",
+            r.crawl.equiv_mismatches
         ));
     }
     if r.checkpoint.writes > 0 || r.checkpoint.resumed {
@@ -696,6 +737,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .map_err(|_| "--videos must be a number".to_string())?;
     let site = flag_value(args, "--site").unwrap_or("vidshare");
     let json = has_flag(args, "--json");
+    let effects = has_flag(args, "--effects");
 
     let (server, urls): (Arc<dyn Server>, Vec<String>) = match site {
         "vidshare" => {
@@ -708,7 +750,16 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             let urls = (0..videos).map(|p| spec.page_url(p)).collect();
             (Arc::new(NewsShareServer::new(spec)), urls)
         }
-        other => return Err(format!("--site must be vidshare or news, got {other:?}")),
+        "gallery" => {
+            let spec = GallerySpec::small(videos);
+            let urls = (0..videos).map(|a| spec.page_url(a)).collect();
+            (Arc::new(GalleryServer::new(spec)), urls)
+        }
+        other => {
+            return Err(format!(
+                "--site must be vidshare, news or gallery, got {other:?}"
+            ))
+        }
     };
 
     let analysis = analyze_site(server.as_ref(), &urls);
@@ -725,6 +776,36 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             );
             for d in &page.diagnostics {
                 println!("  {}[{}] {}: {}", d.severity, d.code, d.subject, d.message);
+            }
+            if effects {
+                for b in &page.binding_reports {
+                    let class = b
+                        .class
+                        .map(|c| format!("class {c}"))
+                        .unwrap_or_else(|| "unparsed".to_string());
+                    println!(
+                        "  effects {:?} [{class}]: writes {{{}}} reads {{{}}} xhr {{{}}} \
+                         globals r{{{}}} w{{{}}}",
+                        b.code,
+                        b.writes.join(", "),
+                        b.reads.join(", "),
+                        b.xhr_urls.join(", "),
+                        b.globals_read.join(", "),
+                        b.globals_written.join(", "),
+                    );
+                }
+                for c in &page.equiv_classes {
+                    println!(
+                        "  class {}: {} members, signature {}",
+                        c.id,
+                        c.members.len(),
+                        c.signature
+                    );
+                }
+                println!("  commutativity ('+' = provably order-independent):");
+                for (code, row) in page.commute.codes.iter().zip(&page.commute.rows) {
+                    println!("    {row}  {code:?}");
+                }
             }
         }
         println!(

@@ -172,9 +172,9 @@ impl TermDict {
 
     /// Resident heap footprint in bytes, **content-derived**: string headers
     /// + string byte lengths + the bucket table. Capacity padding is
-    /// excluded so structurally equal dictionaries report identical sizes
-    /// regardless of how they were built. A mapped dictionary holds no term
-    /// bytes on the heap and reports 0.
+    ///   excluded so structurally equal dictionaries report identical sizes
+    ///   regardless of how they were built. A mapped dictionary holds no term
+    ///   bytes on the heap and reports 0.
     pub fn approx_bytes(&self) -> usize {
         match &self.repr {
             DictRepr::Owned { terms, buckets } => {

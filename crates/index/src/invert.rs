@@ -621,7 +621,7 @@ impl InvertedIndex {
             for (seg, &head) in segments.iter().zip(heads.iter()) {
                 if (head as usize) < seg.dict.len() {
                     let t = seg.dict.term(head);
-                    if min_term.map_or(true, |m| t < m) {
+                    if min_term.is_none_or(|m| t < m) {
                         min_term = Some(t);
                     }
                 }
@@ -1402,7 +1402,7 @@ mod merge_tests {
             })
             .collect();
         let joint = build(&models);
-        let segments: Vec<InvertedIndex> = models.chunks(2).map(|c| build(c)).collect();
+        let segments: Vec<InvertedIndex> = models.chunks(2).map(build).collect();
         let merged = InvertedIndex::merge_segments(segments);
         assert_eq!(merged, joint);
     }

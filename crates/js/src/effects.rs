@@ -35,6 +35,11 @@ pub enum ValueSource {
     /// A compile-time constant (literals and foldable concatenations),
     /// rendered as the string the interpreter would produce.
     Const(String),
+    /// A string known to *start* with this constant prefix, with a
+    /// parameter-shaped tail (`'row_' + i` id construction, `'/c?p=' + p`
+    /// URL templates). Concatenations whose tail is computed from mutable
+    /// state stay [`ValueSource::Dynamic`].
+    ConstPrefix(String),
     /// The caller's n-th argument, verbatim.
     Param(usize),
     /// Anything else: globals, computed values, branch-dependent state.
@@ -58,12 +63,27 @@ pub struct CallSite {
 pub struct LocalEffects {
     /// Element ids written via `innerHTML` where the id is a constant.
     pub dom_write_ids: BTreeSet<String>,
+    /// `innerHTML` writes whose target id starts with a constant prefix
+    /// (`'row_' + i` construction with a parameter-shaped tail).
+    pub dom_write_prefixes: BTreeSet<String>,
     /// `innerHTML` writes whose target id is the n-th parameter.
     pub dom_write_params: BTreeSet<usize>,
     /// `innerHTML` write to a target the analysis cannot name.
     pub dom_write_dynamic: bool,
+    /// Element ids looked up via `getElementById` with a constant id —
+    /// the read half of the read/write-set abstraction. A write target is
+    /// also a read (the element is located before it is mutated).
+    pub dom_read_ids: BTreeSet<String>,
+    /// Constant-prefix `getElementById` lookups.
+    pub dom_read_prefixes: BTreeSet<String>,
+    /// `getElementById` lookups whose id is the n-th parameter.
+    pub dom_read_params: BTreeSet<usize>,
+    /// A `getElementById` the analysis cannot name.
+    pub dom_read_dynamic: bool,
     /// XHR URLs sent that are compile-time constants.
     pub xhr_const_urls: BTreeSet<String>,
+    /// XHR URL templates: a constant prefix with a parameter-shaped tail.
+    pub xhr_url_prefixes: BTreeSet<String>,
     /// XHRs whose URL is the n-th parameter, verbatim.
     pub xhr_url_params: BTreeSet<usize>,
     /// An XHR whose URL is computed (or an `open`/`send` on an object the
@@ -79,6 +99,9 @@ pub struct LocalEffects {
     pub has_loop: bool,
     /// The body does something outside the modeled effect space.
     pub opaque: bool,
+    /// Constant ids written twice in straight-line code with no
+    /// intervening read or call — the earlier write is dead (SA010).
+    pub overwritten_ids: BTreeSet<String>,
     /// Outgoing calls with classified arguments.
     pub call_sites: Vec<CallSite>,
 }
@@ -105,9 +128,15 @@ pub enum XhrClass {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EffectSummary {
     pub dom_write_ids: BTreeSet<String>,
+    pub dom_write_prefixes: BTreeSet<String>,
     pub dom_write_params: BTreeSet<usize>,
     pub dom_write_dynamic: bool,
+    pub dom_read_ids: BTreeSet<String>,
+    pub dom_read_prefixes: BTreeSet<String>,
+    pub dom_read_params: BTreeSet<usize>,
+    pub dom_read_dynamic: bool,
     pub xhr_const_urls: BTreeSet<String>,
+    pub xhr_url_prefixes: BTreeSet<String>,
     pub xhr_url_params: BTreeSet<usize>,
     pub xhr_dynamic: bool,
     pub reads_globals: BTreeSet<String>,
@@ -121,17 +150,69 @@ pub struct EffectSummary {
     pub opaque: bool,
 }
 
+/// Widening cap for the per-channel location sets: a set that outgrows
+/// this many members collapses to the dynamic/`Any` flag. The program's
+/// constant pool is finite, so this is a backstop, not the usual exit.
+pub const WIDEN_CAP: usize = 32;
+
 impl EffectSummary {
     /// True when running this code can mutate the DOM.
     pub fn writes_dom(&self) -> bool {
         !self.dom_write_ids.is_empty()
+            || !self.dom_write_prefixes.is_empty()
             || !self.dom_write_params.is_empty()
             || self.dom_write_dynamic
     }
 
     /// True when running this code can cause server traffic.
     pub fn reaches_network(&self) -> bool {
-        !self.xhr_const_urls.is_empty() || !self.xhr_url_params.is_empty() || self.xhr_dynamic
+        !self.xhr_const_urls.is_empty()
+            || !self.xhr_url_prefixes.is_empty()
+            || !self.xhr_url_params.is_empty()
+            || self.xhr_dynamic
+    }
+
+    /// The DOM locations this code may write, as an abstract-location set.
+    /// Parameter-indexed writes that survived into the summary (a snippet
+    /// has no parameters to substitute) degrade to `Any`.
+    pub fn write_locs(&self) -> crate::absdom::LocSet {
+        locs_of(
+            &self.dom_write_ids,
+            &self.dom_write_prefixes,
+            self.dom_write_dynamic || !self.dom_write_params.is_empty(),
+        )
+    }
+
+    /// The DOM locations this code may read. Write targets are included —
+    /// the element is located before it is mutated.
+    pub fn read_locs(&self) -> crate::absdom::LocSet {
+        let mut locs = locs_of(
+            &self.dom_read_ids,
+            &self.dom_read_prefixes,
+            self.dom_read_dynamic || !self.dom_read_params.is_empty(),
+        );
+        locs.union(&self.write_locs());
+        locs
+    }
+
+    /// Widens every location set past [`WIDEN_CAP`] into its dynamic
+    /// flag, bounding the lattice height of the interprocedural fixpoint.
+    fn widen(&mut self) {
+        widen_channel(
+            &mut self.dom_write_ids,
+            &mut self.dom_write_prefixes,
+            &mut self.dom_write_dynamic,
+        );
+        widen_channel(
+            &mut self.dom_read_ids,
+            &mut self.dom_read_prefixes,
+            &mut self.dom_read_dynamic,
+        );
+        widen_channel(
+            &mut self.xhr_const_urls,
+            &mut self.xhr_url_prefixes,
+            &mut self.xhr_dynamic,
+        );
     }
 
     /// True when the code provably cannot change application state: no DOM
@@ -148,17 +229,49 @@ impl EffectSummary {
             && !self.opaque
     }
 
-    /// Classifies the reachable XHR traffic for cache-hitability.
+    /// Classifies the reachable XHR traffic for cache-hitability. URL
+    /// templates (constant prefix + parameter tail) re-hit per rendered
+    /// argument tuple, exactly like verbatim parameter URLs.
     pub fn xhr_class(&self) -> XhrClass {
         if self.xhr_dynamic {
             XhrClass::Dynamic
-        } else if !self.xhr_url_params.is_empty() {
+        } else if !self.xhr_url_params.is_empty() || !self.xhr_url_prefixes.is_empty() {
             XhrClass::ParamDerived
         } else if !self.xhr_const_urls.is_empty() {
             XhrClass::Constant
         } else {
             XhrClass::None
         }
+    }
+}
+
+/// Builds a [`crate::absdom::LocSet`] from one effect channel.
+fn locs_of(
+    ids: &BTreeSet<String>,
+    prefixes: &BTreeSet<String>,
+    dynamic: bool,
+) -> crate::absdom::LocSet {
+    use crate::absdom::{AbsLoc, LocSet};
+    if dynamic {
+        return LocSet::any();
+    }
+    let mut locs = LocSet::new();
+    for id in ids {
+        locs.insert(AbsLoc::Id(id.clone()));
+    }
+    for p in prefixes {
+        locs.insert(AbsLoc::Prefix(p.clone()));
+    }
+    locs
+}
+
+/// Widens one channel's `(ids, prefixes)` pair into its dynamic flag
+/// once the combined set outgrows [`WIDEN_CAP`].
+fn widen_channel(ids: &mut BTreeSet<String>, prefixes: &mut BTreeSet<String>, dynamic: &mut bool) {
+    if ids.len() + prefixes.len() > WIDEN_CAP {
+        ids.clear();
+        prefixes.clear();
+        *dynamic = true;
     }
 }
 
@@ -204,6 +317,18 @@ pub enum Lint {
     /// SA008: a handler reaches a loop or call-graph cycle; termination is
     /// not provable (the interpreter's fuel limit still bounds it).
     NonTerminating,
+    /// SA009: two handlers bound on the same element have overlapping DOM
+    /// write sets — their firing order is observable.
+    WriteSetConflict,
+    /// SA010: a constant id is written twice in straight-line code with no
+    /// intervening read or call; the first write is dead.
+    AlwaysOverwritten,
+    /// SA011: a function both reads and writes the same global — firing it
+    /// twice is not idempotent (a self-race under re-entry).
+    SelfRace,
+    /// SA012: a handler's DOM write set is unbounded (`*`), defeating
+    /// equivalence and commutativity pruning.
+    UnboundedWriteSet,
 }
 
 impl Lint {
@@ -217,16 +342,26 @@ impl Lint {
             Lint::DynamicHotCall => "SA006",
             Lint::StatelessHandler => "SA007",
             Lint::NonTerminating => "SA008",
+            Lint::WriteSetConflict => "SA009",
+            Lint::AlwaysOverwritten => "SA010",
+            Lint::SelfRace => "SA011",
+            Lint::UnboundedWriteSet => "SA012",
         }
     }
 
     pub fn severity(self) -> Severity {
         match self {
             Lint::ScriptParseError | Lint::CallsUndefined => Severity::Error,
-            Lint::HandlerRedefinition | Lint::DeadFunction | Lint::DomWriteUnknownId => {
-                Severity::Warning
-            }
-            Lint::DynamicHotCall | Lint::StatelessHandler | Lint::NonTerminating => Severity::Info,
+            Lint::HandlerRedefinition
+            | Lint::DeadFunction
+            | Lint::DomWriteUnknownId
+            | Lint::WriteSetConflict
+            | Lint::AlwaysOverwritten => Severity::Warning,
+            Lint::DynamicHotCall
+            | Lint::StatelessHandler
+            | Lint::NonTerminating
+            | Lint::SelfRace
+            | Lint::UnboundedWriteSet => Severity::Info,
         }
     }
 }
@@ -313,6 +448,10 @@ fn is_host_global(name: &str) -> bool {
 enum AbstractVal {
     NumConst(f64),
     StrConst(String),
+    /// A string known to start with this constant prefix, followed by a
+    /// parameter-shaped tail (`'row_' + i`). Tails computed from mutable
+    /// state degrade to [`AbstractVal::Other`] instead.
+    StrPrefix(String),
     Param(usize),
     /// `document.getElementById(src)` result.
     Element(ValueSource),
@@ -325,6 +464,7 @@ fn classify(v: &AbstractVal) -> ValueSource {
     match v {
         AbstractVal::NumConst(n) => ValueSource::Const(format_number(*n)),
         AbstractVal::StrConst(s) => ValueSource::Const(s.clone()),
+        AbstractVal::StrPrefix(s) => ValueSource::ConstPrefix(s.clone()),
         AbstractVal::Param(i) => ValueSource::Param(*i),
         _ => ValueSource::Dynamic,
     }
@@ -336,6 +476,13 @@ struct EffectCollector<'a> {
     locals: BTreeSet<String>,
     env: BTreeMap<String, AbstractVal>,
     fx: LocalEffects,
+    /// Nesting depth of conditional/loop constructs; the SA010 dead-write
+    /// check only tracks straight-line (depth-0) code.
+    branch_depth: u32,
+    /// Constant ids written on the current straight-line path with no
+    /// intervening content read or user-function call. A second write to a
+    /// member makes the earlier one dead (SA010).
+    linear_writes: BTreeSet<String>,
 }
 
 /// Computes the syntactic effects of a declared function's body.
@@ -361,6 +508,8 @@ fn local_effects(params: &[String], body: &[Stmt]) -> LocalEffects {
         locals,
         env,
         fx: LocalEffects::default(),
+        branch_depth: 0,
+        linear_writes: BTreeSet::new(),
     };
     for stmt in body {
         c.visit_stmt(stmt);
@@ -420,13 +569,17 @@ impl EffectCollector<'_> {
                 else_branch,
             } => {
                 self.eval(cond);
+                self.branch_depth += 1;
                 then_branch.iter().for_each(|s| self.visit_stmt(s));
                 else_branch.iter().for_each(|s| self.visit_stmt(s));
+                self.branch_depth -= 1;
             }
             Stmt::While { cond, body } => {
                 self.fx.has_loop = true;
                 self.eval(cond);
+                self.branch_depth += 1;
                 body.iter().for_each(|s| self.visit_stmt(s));
+                self.branch_depth -= 1;
             }
             Stmt::For {
                 init,
@@ -441,10 +594,12 @@ impl EffectCollector<'_> {
                 if let Some(e) = cond {
                     self.eval(e);
                 }
+                self.branch_depth += 1;
                 if let Some(e) = update {
                     self.eval(e);
                 }
                 body.iter().for_each(|s| self.visit_stmt(s));
+                self.branch_depth -= 1;
             }
             Stmt::Return(Some(e)) => {
                 self.eval(e);
@@ -542,6 +697,10 @@ impl EffectCollector<'_> {
                     args: sources,
                     line: *line,
                 });
+                // The callee may read any element: earlier writes are live.
+                if !is_builtin(callee) {
+                    self.linear_writes.clear();
+                }
                 AbstractVal::Other
             }
             Expr::MethodCall {
@@ -553,7 +712,12 @@ impl EffectCollector<'_> {
             Expr::Member { object, .. } => {
                 // Property reads (`.length`, `.responseText`, `.innerHTML`)
                 // never mutate; the receiver read is recorded by `eval`.
-                self.eval(object);
+                let obj = self.eval(object);
+                // Reading an element's content keeps its last write live
+                // for the SA010 dead-write check.
+                if let AbstractVal::Element(ValueSource::Const(id)) = &obj {
+                    self.linear_writes.remove(id);
+                }
                 AbstractVal::Other
             }
             Expr::New { class, args, .. } => {
@@ -636,12 +800,39 @@ impl EffectCollector<'_> {
     fn record_dom_write(&mut self, src: ValueSource) {
         match src {
             ValueSource::Const(id) => {
+                // Straight-line re-write of an id whose previous write no
+                // read or call could have observed: the earlier one is dead.
+                if self.branch_depth == 0 {
+                    if !self.linear_writes.insert(id.clone()) {
+                        self.fx.overwritten_ids.insert(id.clone());
+                    }
+                } else {
+                    self.linear_writes.remove(&id);
+                }
                 self.fx.dom_write_ids.insert(id);
+            }
+            ValueSource::ConstPrefix(p) => {
+                self.fx.dom_write_prefixes.insert(p);
             }
             ValueSource::Param(i) => {
                 self.fx.dom_write_params.insert(i);
             }
             ValueSource::Dynamic => self.fx.dom_write_dynamic = true,
+        }
+    }
+
+    fn record_dom_read(&mut self, src: &ValueSource) {
+        match src {
+            ValueSource::Const(id) => {
+                self.fx.dom_read_ids.insert(id.clone());
+            }
+            ValueSource::ConstPrefix(p) => {
+                self.fx.dom_read_prefixes.insert(p.clone());
+            }
+            ValueSource::Param(i) => {
+                self.fx.dom_read_params.insert(*i);
+            }
+            ValueSource::Dynamic => self.fx.dom_read_dynamic = true,
         }
     }
 
@@ -660,6 +851,9 @@ impl EffectCollector<'_> {
                 args.iter().skip(1).for_each(|a| {
                     self.eval(a);
                 });
+                // Locating an element is a read of that DOM location — a
+                // write target is also in the read set.
+                self.record_dom_read(&src);
                 return AbstractVal::Element(src);
             }
             if name == "Math" {
@@ -692,6 +886,9 @@ impl EffectCollector<'_> {
                         Some(ValueSource::Const(u)) => {
                             self.fx.xhr_const_urls.insert(u.clone());
                         }
+                        Some(ValueSource::ConstPrefix(u)) => {
+                            self.fx.xhr_url_prefixes.insert(u.clone());
+                        }
                         Some(ValueSource::Param(i)) => {
                             self.fx.xhr_url_params.insert(*i);
                         }
@@ -702,9 +899,13 @@ impl EffectCollector<'_> {
                 }
                 AbstractVal::Other
             }
-            AbstractVal::Element(_) => {
+            AbstractVal::Element(src) => {
                 // Only `getAttribute` exists on elements; anything else is a
-                // runtime error (no state change either way).
+                // runtime error (no state change either way). Either way it
+                // observes the element: its last write is live.
+                if let ValueSource::Const(id) = src {
+                    self.linear_writes.remove(id);
+                }
                 AbstractVal::Other
             }
             _ => {
@@ -725,12 +926,22 @@ impl EffectCollector<'_> {
 }
 
 fn fold_add(a: &AbstractVal, b: &AbstractVal) -> AbstractVal {
-    use AbstractVal::{NumConst, StrConst};
+    use AbstractVal::{NumConst, Param, StrConst, StrPrefix};
     match (a, b) {
         (NumConst(x), NumConst(y)) => NumConst(x + y),
         (StrConst(x), StrConst(y)) => StrConst(format!("{x}{y}")),
         (StrConst(x), NumConst(y)) => StrConst(format!("{x}{}", format_number(*y))),
         (NumConst(x), StrConst(y)) => StrConst(format!("{}{y}", format_number(*x))),
+        // A parameter tail keeps the constant head as a prefix pattern
+        // (`'row_' + i` ids, `'/c?p=' + p` URL templates). Tails computed
+        // from globals or other mutable state deliberately do NOT — those
+        // stay `Other`, so hot nodes with state-derived URLs still classify
+        // as `XhrClass::Dynamic` (SA006).
+        (StrConst(x), Param(_)) => StrPrefix(x.clone()),
+        // Once prefixed, appending anything preserves the prefix; a
+        // constant head in front of a prefixed tail concatenates.
+        (StrPrefix(x), _) => StrPrefix(x.clone()),
+        (StrConst(x), StrPrefix(y)) => StrPrefix(format!("{x}{y}")),
         _ => AbstractVal::Other,
     }
 }
@@ -784,6 +995,7 @@ impl EffectAnalysis {
                         sum.may_not_terminate = true;
                     }
                     apply_call_sites(&mut sum, &node.effects.call_sites, &summaries, &defined);
+                    sum.widen();
                     if summaries.get(name.as_str()) != Some(&sum) {
                         summaries.insert(name.clone(), sum);
                         changed = true;
@@ -816,6 +1028,7 @@ impl EffectAnalysis {
         // collector, which keeps the snippet impure.
         let mut sum = seed_summary(&local);
         apply_call_sites(&mut sum, &local.call_sites, &self.summaries, &self.defined);
+        sum.widen();
         sum
     }
 
@@ -828,9 +1041,15 @@ impl EffectAnalysis {
 fn seed_summary(local: &LocalEffects) -> EffectSummary {
     EffectSummary {
         dom_write_ids: local.dom_write_ids.clone(),
+        dom_write_prefixes: local.dom_write_prefixes.clone(),
         dom_write_params: local.dom_write_params.clone(),
         dom_write_dynamic: local.dom_write_dynamic,
+        dom_read_ids: local.dom_read_ids.clone(),
+        dom_read_prefixes: local.dom_read_prefixes.clone(),
+        dom_read_params: local.dom_read_params.clone(),
+        dom_read_dynamic: local.dom_read_dynamic,
         xhr_const_urls: local.xhr_const_urls.clone(),
+        xhr_url_prefixes: local.xhr_url_prefixes.clone(),
         xhr_url_params: local.xhr_url_params.clone(),
         xhr_dynamic: local.xhr_dynamic,
         reads_globals: local.reads_globals.clone(),
@@ -864,11 +1083,16 @@ fn apply_call_sites(
         };
         sum.dom_write_ids
             .extend(callee.dom_write_ids.iter().cloned());
+        sum.dom_write_prefixes
+            .extend(callee.dom_write_prefixes.iter().cloned());
         sum.dom_write_dynamic |= callee.dom_write_dynamic;
         for p in &callee.dom_write_params {
             match site.args.get(*p) {
                 Some(ValueSource::Const(id)) => {
                     sum.dom_write_ids.insert(id.clone());
+                }
+                Some(ValueSource::ConstPrefix(pre)) => {
+                    sum.dom_write_prefixes.insert(pre.clone());
                 }
                 Some(ValueSource::Param(i)) => {
                     sum.dom_write_params.insert(*i);
@@ -876,13 +1100,36 @@ fn apply_call_sites(
                 Some(ValueSource::Dynamic) | None => sum.dom_write_dynamic = true,
             }
         }
+        sum.dom_read_ids.extend(callee.dom_read_ids.iter().cloned());
+        sum.dom_read_prefixes
+            .extend(callee.dom_read_prefixes.iter().cloned());
+        sum.dom_read_dynamic |= callee.dom_read_dynamic;
+        for p in &callee.dom_read_params {
+            match site.args.get(*p) {
+                Some(ValueSource::Const(id)) => {
+                    sum.dom_read_ids.insert(id.clone());
+                }
+                Some(ValueSource::ConstPrefix(pre)) => {
+                    sum.dom_read_prefixes.insert(pre.clone());
+                }
+                Some(ValueSource::Param(i)) => {
+                    sum.dom_read_params.insert(*i);
+                }
+                Some(ValueSource::Dynamic) | None => sum.dom_read_dynamic = true,
+            }
+        }
         sum.xhr_const_urls
             .extend(callee.xhr_const_urls.iter().cloned());
+        sum.xhr_url_prefixes
+            .extend(callee.xhr_url_prefixes.iter().cloned());
         sum.xhr_dynamic |= callee.xhr_dynamic;
         for p in &callee.xhr_url_params {
             match site.args.get(*p) {
                 Some(ValueSource::Const(url)) => {
                     sum.xhr_const_urls.insert(url.clone());
+                }
+                Some(ValueSource::ConstPrefix(pre)) => {
+                    sum.xhr_url_prefixes.insert(pre.clone());
                 }
                 Some(ValueSource::Param(i)) => {
                     sum.xhr_url_params.insert(*i);
@@ -965,9 +1212,11 @@ fn sccs(names: &[&str], edges: &BTreeMap<&str, Vec<&str>>) -> Vec<Vec<String>> {
 }
 
 /// Graph-level diagnostics: calls to undefined functions (SA002), handler
-/// redefinitions across `<script>` blocks (SA003), and dynamically-formed
-/// hot calls (SA006). Page-level lints that need the document (dead
-/// functions, unknown DOM ids, stateless handlers) live in `ajax-crawl`.
+/// redefinitions across `<script>` blocks (SA003), dynamically-formed hot
+/// calls (SA006), dead straight-line writes (SA010), global self-races
+/// (SA011), and unbounded write sets (SA012). Page-level lints that need
+/// the document (dead functions, unknown DOM ids, stateless handlers,
+/// write-set conflicts between co-bound handlers) live in `ajax-crawl`.
 pub fn graph_diagnostics(graph: &InvocationGraph, analysis: &EffectAnalysis) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for f in graph.functions() {
@@ -986,6 +1235,39 @@ pub fn graph_diagnostics(graph: &InvocationGraph, analysis: &EffectAnalysis) -> 
                     "hot node sends XHRs with computed URLs; the hot-node cache may never re-hit",
                 ));
             }
+            let races: Vec<&str> = sum
+                .reads_globals
+                .intersection(&sum.writes_globals)
+                .map(|g| g.as_str())
+                .collect();
+            if !races.is_empty() {
+                out.push(Diagnostic::new(
+                    Lint::SelfRace,
+                    f.name.clone(),
+                    format!(
+                        "reads and writes the same global(s) `{}`; firing twice is not idempotent",
+                        races.join("`, `")
+                    ),
+                ));
+            }
+            if sum.dom_write_dynamic {
+                out.push(Diagnostic::new(
+                    Lint::UnboundedWriteSet,
+                    f.name.clone(),
+                    "DOM write set is unbounded (`*`); equivalence and commutativity pruning \
+                     cannot apply",
+                ));
+            }
+        }
+        for id in &f.effects.overwritten_ids {
+            out.push(Diagnostic::new(
+                Lint::AlwaysOverwritten,
+                f.name.clone(),
+                format!(
+                    "`#{id}` is written twice in straight-line code with no intervening read \
+                     or call; the first write is dead"
+                ),
+            ));
         }
     }
     for r in &graph.redefinitions {
@@ -1056,8 +1338,10 @@ mod tests {
         // showLoading('recent_comments') resolves the param to a constant.
         assert!(goto.dom_write_ids.contains("recent_comments"));
         assert!(goto.dom_write_params.is_empty());
-        // The URL is '/comments...' + p: dynamic.
-        assert!(goto.xhr_dynamic);
+        // The URL is '/comments...' + p with a parameter tail: a template.
+        assert!(!goto.xhr_dynamic);
+        assert!(goto.xhr_url_prefixes.contains("/comments?v=1&p="));
+        assert_eq!(goto.xhr_class(), XhrClass::ParamDerived);
         assert!(goto.writes_globals.contains("currentPage"));
         assert!(goto.reads_globals.contains("totalPages"));
     }
@@ -1240,6 +1524,348 @@ mod tests {
         let diags = graph_diagnostics(&g, &a);
         assert!(diags.iter().any(|d| d.lint == Lint::DynamicHotCall));
         assert_eq!(a.summary("hot").unwrap().xhr_class(), XhrClass::Dynamic);
+    }
+
+    #[test]
+    fn prefix_writes_collected_from_param_tails() {
+        // The gallery idiom: one handler per strip row, each writing a
+        // `caption_<i>` div located by string concatenation.
+        let (_, a) = analyze(
+            "var captions = ['a', 'b'];
+             function showCaption(i) {
+                 document.getElementById('caption_' + i).innerHTML = captions[i];
+             }",
+        );
+        let s = a.summary("showCaption").unwrap();
+        assert_eq!(
+            s.dom_write_prefixes,
+            BTreeSet::from(["caption_".to_string()])
+        );
+        assert!(!s.dom_write_dynamic);
+        assert_eq!(s.write_locs().render(), vec!["#caption_*"]);
+        // The write target is also read (located), and the summary says so.
+        assert_eq!(
+            s.dom_read_prefixes,
+            BTreeSet::from(["caption_".to_string()])
+        );
+        assert!(s.read_locs().render().contains(&"#caption_*".to_string()));
+    }
+
+    #[test]
+    fn url_template_resolves_two_hops() {
+        let (_, a) = analyze(
+            "function getUrl(url) { var x = new XMLHttpRequest(); x.open('GET', url, false); x.send(null); }
+             function load(p) { getUrl('/photo?id=' + p); }
+             function first() { load(0); }",
+        );
+        let load = a.summary("load").unwrap();
+        assert_eq!(
+            load.xhr_url_prefixes,
+            BTreeSet::from(["/photo?id=".to_string()])
+        );
+        assert_eq!(load.xhr_class(), XhrClass::ParamDerived);
+        // `load(0)` resolves the template tail to a constant? No — the
+        // prefix was absolute by the time it reached `load`'s summary, so
+        // callers inherit the template verbatim.
+        let first = a.summary("first").unwrap();
+        assert_eq!(
+            first.xhr_url_prefixes,
+            BTreeSet::from(["/photo?id=".to_string()])
+        );
+        assert!(!first.xhr_dynamic);
+    }
+
+    #[test]
+    fn const_prefix_arguments_substitute_into_callee_params() {
+        let (_, a) = analyze(
+            "function f(p) { document.getElementById(p).innerHTML = 'x'; }
+             function g(k) { f('row_' + k); }",
+        );
+        let g = a.summary("g").unwrap();
+        assert_eq!(g.dom_write_prefixes, BTreeSet::from(["row_".to_string()]));
+        assert!(g.dom_write_params.is_empty());
+        assert!(!g.dom_write_dynamic);
+    }
+
+    #[test]
+    fn global_tails_stay_dynamic_not_prefixed() {
+        // '/p?' + page with a *global* tail must not become a template —
+        // the hot-node cache genuinely may never re-hit for it (SA006).
+        let (_, a) = analyze(
+            "var page = 1;
+             function hot() { var x = new XMLHttpRequest(); x.open('GET', '/p?' + page, false); x.send(null); }",
+        );
+        let s = a.summary("hot").unwrap();
+        assert!(s.xhr_dynamic);
+        assert!(s.xhr_url_prefixes.is_empty());
+    }
+
+    #[test]
+    fn reads_and_writes_form_disjoint_loc_sets() {
+        let (_, a) = analyze(
+            "function peek() { return document.getElementById('status').innerHTML; }
+             function poke(msg) { document.getElementById('log').innerHTML = msg; }",
+        );
+        let peek = a.summary("peek").unwrap();
+        assert_eq!(peek.dom_read_ids, BTreeSet::from(["status".to_string()]));
+        assert!(peek.write_locs().is_empty());
+        assert_eq!(peek.read_locs().render(), vec!["#status"]);
+        let poke = a.summary("poke").unwrap();
+        assert_eq!(poke.write_locs().render(), vec!["#log"]);
+        // Disjoint read/write sets: the pair commutes.
+        assert!(!peek.read_locs().overlaps(&poke.write_locs()));
+        assert!(!poke.read_locs().overlaps(&peek.write_locs()));
+    }
+
+    #[test]
+    fn always_overwritten_write_linted() {
+        let (g, a) = analyze(
+            "function flash() {
+                 document.getElementById('box').innerHTML = 'loading';
+                 document.getElementById('box').innerHTML = 'done';
+             }",
+        );
+        assert_eq!(
+            g.function("flash").unwrap().effects.overwritten_ids,
+            BTreeSet::from(["box".to_string()])
+        );
+        let diags = graph_diagnostics(&g, &a);
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == Lint::AlwaysOverwritten && d.subject == "flash"));
+    }
+
+    #[test]
+    fn intervening_read_call_or_branch_suppresses_sa010() {
+        // A content read between the writes keeps the first one live.
+        let (g1, _) = analyze(
+            "function f() {
+                 document.getElementById('box').innerHTML = 'a';
+                 var t = document.getElementById('box').innerHTML;
+                 document.getElementById('box').innerHTML = t + 'b';
+             }",
+        );
+        assert!(g1.function("f").unwrap().effects.overwritten_ids.is_empty());
+        // A user-function call may observe the element.
+        let (g2, _) = analyze(
+            "function probe() { return document.getElementById('box').innerHTML; }
+             function f() {
+                 document.getElementById('box').innerHTML = 'a';
+                 probe();
+                 document.getElementById('box').innerHTML = 'b';
+             }",
+        );
+        assert!(g2.function("f").unwrap().effects.overwritten_ids.is_empty());
+        // Conditional writes are not straight-line.
+        let (g3, _) = analyze(
+            "function f(x) {
+                 if (x) { document.getElementById('box').innerHTML = 'a'; }
+                 document.getElementById('box').innerHTML = 'b';
+             }",
+        );
+        assert!(g3.function("f").unwrap().effects.overwritten_ids.is_empty());
+    }
+
+    #[test]
+    fn self_race_on_shared_global_linted() {
+        let (g, a) = analyze("var n = 0; function bump() { n = n + 1; }");
+        let s = a.summary("bump").unwrap();
+        assert!(s.reads_globals.contains("n") && s.writes_globals.contains("n"));
+        let diags = graph_diagnostics(&g, &a);
+        let race = diags.iter().find(|d| d.lint == Lint::SelfRace).unwrap();
+        assert_eq!(race.subject, "bump");
+        assert_eq!(race.severity(), Severity::Info);
+    }
+
+    #[test]
+    fn unbounded_write_set_linted() {
+        let (g, a) = analyze(
+            "var target = 'somewhere';
+             function blast(msg) { document.getElementById(target).innerHTML = msg; }",
+        );
+        assert!(a.summary("blast").unwrap().dom_write_dynamic);
+        assert!(a.summary("blast").unwrap().write_locs().is_unbounded());
+        let diags = graph_diagnostics(&g, &a);
+        assert!(diags
+            .iter()
+            .any(|d| d.lint == Lint::UnboundedWriteSet && d.subject == "blast"));
+    }
+
+    #[test]
+    fn widening_collapses_oversized_channels() {
+        // A call fan-in larger than WIDEN_CAP collapses the channel to the
+        // dynamic flag instead of growing the summary without bound.
+        let mut src = String::new();
+        let mut body = String::new();
+        for i in 0..(WIDEN_CAP + 4) {
+            src.push_str(&format!(
+                "function w{i}() {{ document.getElementById('cell_{i}').innerHTML = 'x'; }}\n"
+            ));
+            body.push_str(&format!("w{i}();\n"));
+        }
+        src.push_str(&format!("function all() {{ {body} }}"));
+        let (_, a) = analyze(&src);
+        let all = a.summary("all").unwrap();
+        assert!(all.dom_write_dynamic, "widened past the cap");
+        assert!(all.dom_write_ids.is_empty());
+        assert!(all.write_locs().is_unbounded());
+        // Under the cap: untouched.
+        let w0 = a.summary("w0").unwrap();
+        assert_eq!(w0.dom_write_ids.len(), 1);
+        assert!(!w0.dom_write_dynamic);
+    }
+
+    #[test]
+    fn recursive_prefix_construction_converges() {
+        // Mutually recursive functions passing prefixed ids around: the
+        // fixpoint must converge (prefixes are absolute once formed) and
+        // both members of the cycle see the union.
+        let (_, a) = analyze(
+            "function even(i) { document.getElementById('row_' + i).innerHTML = 'e'; odd(i); }
+             function odd(i) { document.getElementById('col_' + i).innerHTML = 'o'; even(i); }",
+        );
+        for name in ["even", "odd"] {
+            let s = a.summary(name).unwrap();
+            assert_eq!(
+                s.dom_write_prefixes,
+                BTreeSet::from(["row_".to_string(), "col_".to_string()]),
+                "{name} sees the whole cycle"
+            );
+            assert!(s.may_not_terminate);
+            assert!(!s.dom_write_dynamic);
+        }
+    }
+
+    /// Channel-wise subsumption: a widened-to-dynamic channel covers any
+    /// concrete one; otherwise the concrete sets must not shrink.
+    #[allow(clippy::too_many_arguments)]
+    fn channel_subsumes(
+        b_dyn: bool,
+        a_dyn: bool,
+        b_ids: &BTreeSet<String>,
+        a_ids: &BTreeSet<String>,
+        b_pre: &BTreeSet<String>,
+        a_pre: &BTreeSet<String>,
+        b_params: &BTreeSet<usize>,
+        a_params: &BTreeSet<usize>,
+    ) -> bool {
+        b_dyn
+            || (!a_dyn
+                && a_ids.is_subset(b_ids)
+                && a_pre.is_subset(b_pre)
+                && a_params.is_subset(b_params))
+    }
+
+    /// Structural subsumption: every effect `a` claims, `b` claims too.
+    fn subsumes(b: &EffectSummary, a: &EffectSummary) -> bool {
+        channel_subsumes(
+            b.dom_write_dynamic,
+            a.dom_write_dynamic,
+            &b.dom_write_ids,
+            &a.dom_write_ids,
+            &b.dom_write_prefixes,
+            &a.dom_write_prefixes,
+            &b.dom_write_params,
+            &a.dom_write_params,
+        ) && channel_subsumes(
+            b.dom_read_dynamic,
+            a.dom_read_dynamic,
+            &b.dom_read_ids,
+            &a.dom_read_ids,
+            &b.dom_read_prefixes,
+            &a.dom_read_prefixes,
+            &b.dom_read_params,
+            &a.dom_read_params,
+        ) && channel_subsumes(
+            b.xhr_dynamic,
+            a.xhr_dynamic,
+            &b.xhr_const_urls,
+            &a.xhr_const_urls,
+            &b.xhr_url_prefixes,
+            &a.xhr_url_prefixes,
+            &b.xhr_url_params,
+            &a.xhr_url_params,
+        ) && a.reads_globals.is_subset(&b.reads_globals)
+            && a.writes_globals.is_subset(&b.writes_globals)
+            && a.calls_undefined.is_subset(&b.calls_undefined)
+            && (!a.opaque || b.opaque)
+            && (!a.may_not_terminate || b.may_not_terminate)
+    }
+
+    #[test]
+    fn fixpoint_is_deterministic_and_monotone_under_program_growth() {
+        // Seeded sweep: generate small programs, analyze twice (results must
+        // be identical), then append effect-only statements to bodies and
+        // check every summary grows monotonically.
+        let mut rng: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        for _case in 0..40 {
+            let nfuncs = 2 + next() % 4;
+            let mut bodies: Vec<Vec<String>> = Vec::new();
+            for i in 0..nfuncs {
+                let mut stmts = Vec::new();
+                for _ in 0..(next() % 3) {
+                    stmts.push(gen_stmt(next(), i, nfuncs));
+                }
+                bodies.push(stmts);
+            }
+            let render = |bodies: &[Vec<String>]| {
+                let mut s = String::from("var shared = 0;\n");
+                for (i, b) in bodies.iter().enumerate() {
+                    s.push_str(&format!("function f{i}(p) {{ {} }}\n", b.join(" ")));
+                }
+                s
+            };
+            let src1 = render(&bodies);
+            let (_, a1) = analyze(&src1);
+            let (_, a2) = analyze(&src1);
+            assert_eq!(a1, a2, "analysis must be deterministic\n{src1}");
+
+            // Grow: append effect statements (never declarations) so every
+            // old behavior remains possible.
+            let mut grown = bodies.clone();
+            for (i, b) in grown.iter_mut().enumerate() {
+                if next() % 2 == 0 {
+                    b.push(gen_stmt(next(), i, nfuncs));
+                }
+            }
+            let src2 = render(&grown);
+            let (_, b) = analyze(&src2);
+            for i in 0..nfuncs {
+                let name = format!("f{i}");
+                let old = a1.summary(&name).unwrap();
+                let new = b.summary(&name).unwrap();
+                assert!(
+                    subsumes(new, old),
+                    "appending statements must not shrink {name}'s summary\n\
+                     old: {old:?}\nnew: {new:?}\nbefore:\n{src1}\nafter:\n{src2}"
+                );
+            }
+        }
+    }
+
+    /// One random effect-only statement for the monotonicity sweep.
+    fn gen_stmt(r: usize, me: usize, nfuncs: usize) -> String {
+        match r % 6 {
+            0 => format!("document.getElementById('id_{}').innerHTML = 'v';", r % 5),
+            1 => format!(
+                "document.getElementById('pre{}_' + p).innerHTML = 'v';",
+                r % 3
+            ),
+            2 => "shared = shared + 1;".to_string(),
+            3 => {
+                let callee = (me + 1 + r % nfuncs.max(1)) % nfuncs;
+                format!("f{callee}('arg_{}');", r % 4)
+            }
+            4 => format!("var q{} = document.getElementById(p).innerHTML;", r % 97),
+            _ => "var x = new XMLHttpRequest(); x.open('GET', '/u?k=' + p, false); x.send(null);"
+                .to_string(),
+        }
     }
 
     #[test]

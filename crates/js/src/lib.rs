@@ -29,6 +29,7 @@
 //! against infinite loops, §3.2). The step counter doubles as the virtual
 //! CPU-cost measure used by the crawl-time experiments.
 
+pub mod absdom;
 pub mod ast;
 pub mod callgraph;
 pub mod debug;
@@ -40,6 +41,7 @@ pub mod lexer;
 pub mod parser;
 pub mod value;
 
+pub use absdom::{AbsLoc, LocSet};
 pub use callgraph::{FunctionNode, InvocationGraph, Redefinition};
 pub use debug::{DebugHook, EnterAction, NoopHook};
 pub use effects::{

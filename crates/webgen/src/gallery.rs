@@ -1,0 +1,325 @@
+//! **Gallery** — a third synthetic AJAX application, built as the
+//! evaluation target for the read/write-set static analysis.
+//!
+//! Where VidShare has one linear AJAX chain and NewsShare has a product
+//! state space, Gallery is shaped like the sites that motivate *handler
+//! equivalence classes*: an album page carries one productive AJAX region
+//! (the photo hero, paged via `loadPhoto(k)`) surrounded by many
+//! **redundant row handlers** — caption and tag rows whose `onclick`
+//! handlers all instantiate the same function template with a different
+//! index and rewrite their own row with content the server already
+//! rendered. Firing any one of them proves the rest barren:
+//!
+//! * all `showCaption(i)` / `showTag(i)` bindings have isomorphic effect
+//!   summaries (a single id-prefix DOM write keyed by the parameter), so
+//!   they collapse into one equivalence class per state;
+//! * the hero writes only `#hero`, disjoint from every `cap_*` / `tag_*`
+//!   row, so the barren verdicts commute across photo transitions.
+//!
+//! The hero fragment for photo `k` links only to *other* photos
+//! (constant-argument prev/next spans), so hero events are productive in
+//! every state and never share a class verdict with the rows.
+
+use crate::spec::VidShareSpec;
+use crate::text;
+use ajax_net::server::{Request, Response, Server};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a Gallery site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GallerySpec {
+    pub seed: u64,
+    /// Number of album pages.
+    pub num_albums: u32,
+    /// Photos per album (states reachable through the hero region).
+    pub photos: u32,
+    /// Redundant caption rows per album page.
+    pub captions: u32,
+    /// Redundant tag rows per album page.
+    pub tags: u32,
+    /// Hyperlinks to other albums.
+    pub related_links: u32,
+}
+
+impl Default for GallerySpec {
+    fn default() -> Self {
+        Self {
+            seed: 0xCAFE_D00D,
+            num_albums: 300,
+            photos: 4,
+            captions: 8,
+            tags: 6,
+            related_links: 5,
+        }
+    }
+}
+
+impl GallerySpec {
+    /// A small site for tests.
+    pub fn small(num_albums: u32) -> Self {
+        Self {
+            num_albums,
+            ..Self::default()
+        }
+    }
+
+    /// The canonical URL of an album page.
+    pub fn page_url(&self, album: u32) -> String {
+        format!("http://gallery.example/album?a={album}")
+    }
+
+    fn text_spec(&self) -> VidShareSpec {
+        VidShareSpec {
+            seed: self.seed,
+            showcase: false,
+            ..VidShareSpec::default()
+        }
+    }
+
+    /// Deterministic descriptive text for photo `k` of `album`.
+    pub fn photo_text(&self, album: u32, k: u32) -> String {
+        let spec = self.text_spec();
+        let mut rng = spec.rng("gallery-photo", &[album as u64, k as u64]);
+        let mut words = Vec::new();
+        for _ in 0..rng.random_range(4..9usize) {
+            words.push(text::VOCAB[rng.random_range(0..text::VOCAB.len())]);
+        }
+        format!("photo {k} of album {album}: {}", words.join(" "))
+    }
+
+    /// Related album ids.
+    pub fn related(&self, album: u32) -> Vec<u32> {
+        let spec = self.text_spec();
+        let mut rng = spec.rng("gallery-related", &[album as u64]);
+        let n = self.num_albums.max(1);
+        let mut out = Vec::new();
+        for _ in 0..self.related_links {
+            let target = rng.random_range(0..n);
+            if target != album && !out.contains(&target) {
+                out.push(target);
+            }
+        }
+        if out.is_empty() && n > 1 {
+            out.push((album + 1) % n);
+        }
+        out
+    }
+}
+
+/// The Gallery server.
+#[derive(Debug, Clone)]
+pub struct GalleryServer {
+    spec: GallerySpec,
+}
+
+impl GalleryServer {
+    /// Creates a server for `spec`.
+    pub fn new(spec: GallerySpec) -> Self {
+        Self { spec }
+    }
+
+    /// The site spec.
+    pub fn spec(&self) -> &GallerySpec {
+        &self.spec
+    }
+
+    /// Renders the hero fragment for photo `k`: the photo itself plus the
+    /// prev/next controls. The controls carry constant arguments and never
+    /// reference the photo currently shown, so every hero event leads
+    /// somewhere else (or duplicates a previously seen state).
+    pub fn photo_fragment(&self, album: u32, k: u32) -> String {
+        let mut html = format!(
+            "<p class=\"photo\">{}</p><div id=\"photo_nav\">",
+            self.spec.photo_text(album, k)
+        );
+        if k > 0 {
+            html.push_str(&format!(
+                "<span class=\"pnav\" onclick=\"loadPhoto({})\">prev</span>",
+                k - 1
+            ));
+        }
+        if k + 1 < self.spec.photos {
+            html.push_str(&format!(
+                "<span class=\"pnav\" onclick=\"loadPhoto({})\">next</span>",
+                k + 1
+            ));
+        }
+        html.push_str("</div>");
+        html
+    }
+
+    fn page_script(&self, album: u32) -> String {
+        format!(
+            r#"
+function loadPhoto(i) {{
+    var xhr = new XMLHttpRequest();
+    xhr.open("GET", '/photo?a={album}&i=' + i, false);
+    xhr.send(null);
+    document.getElementById('hero').innerHTML = xhr.responseText;
+}}
+function showCaption(i) {{
+    document.getElementById('cap_' + i).innerHTML = 'caption ' + i;
+}}
+function showTag(i) {{
+    document.getElementById('tag_' + i).innerHTML = 'tag ' + i;
+}}
+"#
+        )
+    }
+
+    /// Renders the full album page. The initial hero is exactly
+    /// `photo_fragment(album, 0)`, and every caption/tag row is pre-filled
+    /// with exactly what its handler writes — the rows are barren by
+    /// construction, which is the ground truth the equivalence-pruning
+    /// experiments check against.
+    pub fn album_page(&self, album: u32) -> String {
+        let spec = &self.spec;
+        let mut captions = String::new();
+        for i in 0..spec.captions {
+            captions.push_str(&format!(
+                "<div id=\"cap_{i}\" class=\"row\" onclick=\"showCaption({i})\">caption {i}</div>"
+            ));
+        }
+        let mut tags = String::new();
+        for i in 0..spec.tags {
+            tags.push_str(&format!(
+                "<span id=\"tag_{i}\" class=\"chip\" onclick=\"showTag({i})\">tag {i}</span>"
+            ));
+        }
+        let mut related = String::new();
+        for rel in spec.related(album) {
+            related.push_str(&format!(
+                "<li><a href=\"/album?a={rel}\">{}</a></li>",
+                spec.photo_text(rel, 0)
+            ));
+        }
+        format!(
+            "<!DOCTYPE html>\n<html><head><title>Gallery album {album}</title>\
+             <script type=\"text/javascript\">{script}</script></head>\
+             <body>\
+             <h1 id=\"masthead\">Gallery album {album}</h1>\
+             <div id=\"hero\">{hero}</div>\
+             <div id=\"captions\">{captions}</div>\
+             <div id=\"tags\">{tags}</div>\
+             <div id=\"related\"><ul>{related}</ul></div>\
+             </body></html>",
+            script = self.page_script(album),
+            hero = self.photo_fragment(album, 0),
+        )
+    }
+}
+
+impl Server for GalleryServer {
+    fn handle(&self, request: &Request) -> Response {
+        let album: Option<u32> = request
+            .url
+            .param("a")
+            .and_then(|a| a.parse().ok())
+            .filter(|a| *a < self.spec.num_albums);
+        match (request.url.path.as_str(), album) {
+            ("/album", Some(album)) => Response::html(self.album_page(album)),
+            ("/photo", Some(album)) => {
+                match request.url.param("i").and_then(|i| i.parse::<u32>().ok()) {
+                    Some(i) if i < self.spec.photos => {
+                        Response::html(self.photo_fragment(album, i))
+                    }
+                    _ => Response::not_found(),
+                }
+            }
+            _ => Response::not_found(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "gallery"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajax_dom::parse_document;
+
+    fn server() -> GalleryServer {
+        GalleryServer::new(GallerySpec::small(20))
+    }
+
+    #[test]
+    fn page_parses_with_hero_and_rows() {
+        let s = server();
+        let resp = s.handle(&Request::get("/album?a=3"));
+        assert!(resp.is_ok());
+        let mut doc = parse_document(&resp.body);
+        assert!(doc.get_element_by_id("hero").is_some());
+        assert!(doc.get_element_by_id("cap_0").is_some());
+        assert!(doc.get_element_by_id("tag_0").is_some());
+        assert!(resp.body.contains("loadPhoto"));
+        assert!(resp.body.contains("showCaption"));
+    }
+
+    #[test]
+    fn initial_hero_is_exactly_photo_zero_fragment() {
+        let s = server();
+        let page = s.album_page(3);
+        assert!(page.contains(&format!(
+            "<div id=\"hero\">{}</div>",
+            s.photo_fragment(3, 0)
+        )));
+    }
+
+    #[test]
+    fn rows_are_prefilled_with_handler_output() {
+        let s = server();
+        let page = s.album_page(1);
+        for i in 0..s.spec().captions {
+            assert!(page.contains(&format!(">caption {i}</div>")));
+        }
+        for i in 0..s.spec().tags {
+            assert!(page.contains(&format!(">tag {i}</span>")));
+        }
+    }
+
+    #[test]
+    fn fragments_served() {
+        let s = server();
+        assert!(s.handle(&Request::get("/photo?a=1&i=2")).is_ok());
+        assert_eq!(s.handle(&Request::get("/photo?a=1&i=99")).status, 404);
+        assert_eq!(s.handle(&Request::get("/photo?a=99&i=0")).status, 404);
+        assert_eq!(s.handle(&Request::get("/album?a=999")).status, 404);
+        assert_eq!(s.handle(&Request::get("/bogus")).status, 404);
+    }
+
+    #[test]
+    fn nav_links_other_photos_only() {
+        let s = server();
+        let frag = s.photo_fragment(1, 1);
+        assert!(frag.contains("loadPhoto(0)"));
+        assert!(frag.contains("loadPhoto(2)"));
+        assert!(!frag.contains("loadPhoto(1)"));
+        assert!(!s.photo_fragment(1, 0).contains("prev"));
+        let last = s.spec().photos - 1;
+        assert!(!s.photo_fragment(1, last).contains("next"));
+    }
+
+    #[test]
+    fn deterministic_content() {
+        let s = server();
+        assert_eq!(
+            s.handle(&Request::get("/album?a=5")),
+            s.handle(&Request::get("/album?a=5"))
+        );
+        assert_ne!(s.spec().photo_text(1, 0), s.spec().photo_text(1, 1));
+    }
+
+    #[test]
+    fn related_links_valid() {
+        let spec = GallerySpec::small(20);
+        for album in 0..20 {
+            for rel in spec.related(album) {
+                assert!(rel < 20);
+                assert_ne!(rel, album);
+            }
+        }
+    }
+}

@@ -22,12 +22,14 @@
 //! funnel into one server-fetching function, so distinct events collide on
 //! identical hot calls.
 
+pub mod gallery;
 pub mod news;
 pub mod queries;
 pub mod server;
 pub mod spec;
 pub mod text;
 
+pub use gallery::{GalleryServer, GallerySpec};
 pub use news::{NewsShareServer, NewsSpec};
 pub use queries::{ground_truth, ground_truth_all, query_workload, GroundTruth, QuerySpec};
 pub use server::VidShareServer;

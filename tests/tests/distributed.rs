@@ -19,7 +19,7 @@
 use ajax_crawl::model::AppModel;
 use ajax_dist::{partition_models, ClusterConfig, DistCluster};
 use ajax_index::shard::QueryBroker;
-use ajax_index::{BrokerResult, Query, RankWeights};
+use ajax_index::{BrokerResult, RankWeights};
 use ajax_net::{Fault, FaultPlan, FaultRule, ProxyConfig, Url};
 use ajax_serve::{ServeConfig, ShardServer};
 use ajax_webgen::queries::query_phrases;

@@ -6,7 +6,10 @@
 use ajax_crawl::crawler::CrawlConfig;
 use ajax_engine::{analyze_site, AjaxSearchEngine, EngineConfig};
 use ajax_net::{LatencyModel, Server, Url};
-use ajax_webgen::{query_workload, NewsShareServer, NewsSpec, VidShareServer, VidShareSpec};
+use ajax_webgen::{
+    query_workload, GalleryServer, GallerySpec, NewsShareServer, NewsSpec, VidShareServer,
+    VidShareSpec,
+};
 use std::sync::Arc;
 
 fn vid_site(n: u32) -> (Arc<VidShareServer>, Url) {
@@ -123,4 +126,110 @@ fn analyze_surface_flags_both_sites_clean() {
     let news_urls: Vec<String> = (0..4).map(|p| news_spec.page_url(p)).collect();
     let news = analyze_site(&NewsShareServer::new(news_spec), &news_urls);
     assert!(!news.has_errors(), "news must lint clean");
+}
+
+fn gallery_build(n: u32, crawl: CrawlConfig) -> AjaxSearchEngine {
+    let spec = GallerySpec::small(n);
+    let start = Url::parse(&spec.page_url(0));
+    let server = Arc::new(GalleryServer::new(spec));
+    let mut config = EngineConfig::ajax(n as usize);
+    config.crawl = crawl;
+    config.keep_models = true;
+    config.path_filter = Some("/album".to_string());
+    AjaxSearchEngine::build(server, &start, config)
+}
+
+#[test]
+fn equiv_pruned_gallery_build_is_cheaper_but_identical() {
+    let n = 4;
+    let baseline = gallery_build(n, CrawlConfig::ajax());
+    let pruned = gallery_build(n, CrawlConfig::ajax().with_equiv_prune());
+
+    // Cost: both claim channels fire, every skipped event is accounted
+    // for, and the acceptance bar (≥ 40% fewer fired events) clears.
+    assert!(pruned.report.crawl.equiv_pruned_events > 0);
+    assert!(pruned.report.crawl.commute_pruned_events > 0);
+    assert_eq!(
+        pruned.report.crawl.events_fired
+            + pruned.report.crawl.equiv_pruned_events
+            + pruned.report.crawl.commute_pruned_events,
+        baseline.report.crawl.events_fired,
+        "claimed events must partition the baseline's fired events"
+    );
+    assert!(
+        pruned.report.crawl.events_fired * 5 <= baseline.report.crawl.events_fired * 3,
+        "expected >=40% reduction: {} vs {}",
+        pruned.report.crawl.events_fired,
+        baseline.report.crawl.events_fired
+    );
+
+    // Results: state counts, transition graphs, and search output agree.
+    assert_eq!(pruned.report.crawl.states, baseline.report.crawl.states);
+    assert_eq!(
+        pruned.report.crawl.transitions,
+        baseline.report.crawl.transitions
+    );
+    assert_eq!(pruned.report.total_states, baseline.report.total_states);
+    let sig = |e: &AjaxSearchEngine| -> Vec<(String, u64)> {
+        let mut sigs: Vec<(String, u64)> = e
+            .models
+            .iter()
+            .map(|m| (m.url.clone(), m.graph_signature()))
+            .collect();
+        sigs.sort();
+        sigs
+    };
+    assert_eq!(sig(&pruned), sig(&baseline), "transition graphs diverged");
+    for query in query_workload().iter().take(6) {
+        let a = pruned.search(&query.text);
+        let b = baseline.search(&query.text);
+        assert_eq!(a.len(), b.len(), "result count for {:?}", query.text);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.url, rb.url);
+            assert_eq!(ra.doc.state, rb.doc.state);
+            assert_eq!(ra.score.to_bits(), rb.score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn verify_equiv_finds_no_mismatches_on_gallery() {
+    let verified = gallery_build(4, CrawlConfig::ajax().verifying_equiv());
+    assert!(
+        verified.report.crawl.equiv_pruned_events + verified.report.crawl.commute_pruned_events > 0,
+        "verify mode must still make claims to check"
+    );
+    assert_eq!(
+        verified.report.crawl.equiv_mismatches, 0,
+        "an event claimed barren by equivalence/commutativity changed state"
+    );
+    // Verify fires everything, so its model matches the plain baseline.
+    let baseline = gallery_build(4, CrawlConfig::ajax());
+    assert_eq!(
+        verified.report.crawl.events_fired,
+        baseline.report.crawl.events_fired
+    );
+    assert_eq!(verified.report.total_states, baseline.report.total_states);
+}
+
+#[test]
+fn analyze_surface_reports_gallery_classes() {
+    let spec = GallerySpec::small(3);
+    let urls: Vec<String> = (0..3).map(|a| spec.page_url(a)).collect();
+    let site = analyze_site(&GalleryServer::new(spec), &urls);
+    assert!(!site.has_errors(), "gallery must lint clean");
+    for page in &site.pages {
+        // All caption + tag rows collapse into one class.
+        let biggest = page
+            .equiv_classes
+            .iter()
+            .map(|c| c.members.len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            biggest >= 10,
+            "expected a large redundant-handler class, got {biggest}"
+        );
+        assert!(!page.commute.codes.is_empty());
+    }
 }
